@@ -1,0 +1,47 @@
+// Ablation (§3.3, network scheduler): receiver-side outstanding-multitask limit.
+//
+// The paper chose 4 after "an experimental parameter sweep", balancing two failure
+// modes: with 1 outstanding multitask the receiving link idles whenever the single
+// multitask waits on one slow remote disk; with too many, no multitask's fetch
+// completes early enough to pipeline its compute monotask behind the others'
+// network use. This bench reproduces the sweep on a shuffle-heavy workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/sort.h"
+
+int main() {
+  std::puts("=== Ablation: receiver-side outstanding-multitask limit (network) ===");
+  std::puts("Paper (§3.3): 4 balances link utilization vs pipelining with compute\n");
+
+  const auto cluster = monoload::SortClusterConfig();
+  monoload::SortParams params;
+  params.total_bytes = monoutil::GiB(200);
+  params.values_per_key = 20;
+  params.num_map_tasks = 800;
+  params.num_reduce_tasks = 800;
+  auto make_job = [&params](monosim::SimEnvironment* env) {
+    return monoload::MakeSortJob(&env->dfs(), params);
+  };
+
+  monoutil::TablePrinter table({"multitask limit", "reduce stage", "total", "vs best"});
+  std::vector<std::tuple<int, double, double>> rows;
+  double best = 1e18;
+  for (int limit : {1, 2, 4, 8, 16}) {
+    monosim::MonoConfig config;
+    config.network_multitask_limit = limit;
+    const auto result = monobench::RunMonotasks(cluster, make_job, config);
+    rows.emplace_back(limit, result.stages[1].duration(), result.duration());
+    best = std::min(best, result.duration());
+  }
+  for (const auto& [limit, reduce_seconds, total] : rows) {
+    table.AddRow({std::to_string(limit), monoutil::FormatSeconds(reduce_seconds),
+                  monoutil::FormatSeconds(total),
+                  monoutil::FormatDouble(total / best, 2) + "x"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates one
+// figure or table from the paper; these helpers run a job spec under a chosen
+// executor on a fresh simulated cluster and return the results.
+#ifndef MONOTASKS_BENCH_BENCH_UTIL_H_
+#define MONOTASKS_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+
+#include "src/framework/environment.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+
+namespace monobench {
+
+// Runs `make_job(env)` under the Spark-baseline executor and returns the result.
+inline monosim::JobResult RunSpark(
+    const monosim::ClusterConfig& cluster,
+    const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
+    monosim::SparkConfig config = {}, bool trace = false) {
+  monosim::SimEnvironment env(cluster);
+  if (trace) {
+    env.cluster().EnableTrace();
+  }
+  monosim::SparkExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), config);
+  env.AttachExecutor(&executor);
+  return env.driver().RunJob(make_job(&env));
+}
+
+// Runs `make_job(env)` under the monotasks executor and returns the result.
+inline monosim::JobResult RunMonotasks(
+    const monosim::ClusterConfig& cluster,
+    const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
+    monosim::MonoConfig config = {}, bool trace = false) {
+  monosim::SimEnvironment env(cluster);
+  if (trace) {
+    env.cluster().EnableTrace();
+  }
+  monosim::MonotasksExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), config);
+  env.AttachExecutor(&executor);
+  return env.driver().RunJob(make_job(&env));
+}
+
+// True if the bench was invoked with the given flag (e.g. "--ssd").
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace monobench
+
+#endif  // MONOTASKS_BENCH_BENCH_UTIL_H_

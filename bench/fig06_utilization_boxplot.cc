@@ -1,0 +1,70 @@
+// Fig 6: boxplots of the utilization of the most-utilized (bottleneck) and
+// second-most-utilized resource on each executor during each Big Data Benchmark
+// stage, for Spark and MonoSpark.
+//
+// Paper's result: multiple resources are well utilized during most stages, and
+// MonoSpark's per-resource schedulers utilize resources as well as or better than
+// Spark.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/workloads/bdb.h"
+
+namespace {
+
+// Gathers, over all stages x machines, the highest and second-highest resource
+// utilization.
+void Collect(const monosim::JobResult& result, std::vector<double>* top,
+             std::vector<double>* second) {
+  for (const auto& stage : result.stages) {
+    const auto& util = stage.utilization;
+    for (size_t m = 0; m < util.cpu.size(); ++m) {
+      std::vector<double> values = {util.cpu[m], util.disk[m], util.network[m]};
+      std::sort(values.begin(), values.end(), std::greater<>());
+      top->push_back(values[0]);
+      second->push_back(values[1]);
+    }
+  }
+}
+
+void PrintBox(const char* label, const std::vector<double>& samples) {
+  const monoutil::BoxplotSummary box = monoutil::Boxplot(samples);
+  std::printf("  %-28s p5 %5.1f%%  p25 %5.1f%%  median %5.1f%%  p75 %5.1f%%  p95 %5.1f%%\n",
+              label, 100 * box.p5, 100 * box.p25, 100 * box.p50, 100 * box.p75,
+              100 * box.p95);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Fig 6: bottleneck / second-resource utilization across BDB stages ===");
+  std::puts("Paper: multiple resources well utilized; MonoSpark >= Spark\n");
+
+  const auto cluster = monoload::BdbClusterConfig();
+  std::vector<double> spark_top;
+  std::vector<double> spark_second;
+  std::vector<double> mono_top;
+  std::vector<double> mono_second;
+
+  for (monoload::BdbQuery query : monoload::AllBdbQueries()) {
+    auto make_job = [query](monosim::SimEnvironment* env) {
+      return monoload::MakeBdbQueryJob(&env->dfs(), query);
+    };
+    Collect(monobench::RunSpark(cluster, make_job, {}, /*trace=*/true), &spark_top,
+            &spark_second);
+    Collect(monobench::RunMonotasks(cluster, make_job, {}, /*trace=*/true), &mono_top,
+            &mono_second);
+  }
+
+  PrintBox("Spark     bottleneck", spark_top);
+  PrintBox("MonoSpark bottleneck", mono_top);
+  PrintBox("Spark     2nd resource", spark_second);
+  PrintBox("MonoSpark 2nd resource", mono_second);
+
+  std::printf("\nMedian bottleneck utilization: Spark %.1f%%, MonoSpark %.1f%%\n",
+              100 * monoutil::Median(spark_top), 100 * monoutil::Median(mono_top));
+  return 0;
+}

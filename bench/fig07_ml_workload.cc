@@ -1,0 +1,35 @@
+// Fig 7: per-stage runtimes of the machine-learning (least-squares) workload on
+// 15 machines with 2 SSDs, comparing Spark and MonoSpark.
+//
+// Paper's result: MonoSpark provides performance on par with Spark for every stage
+// of this network-intensive, CPU-optimized, in-memory workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/workloads/ml.h"
+
+int main() {
+  std::puts("=== Fig 7: least-squares ML workload, 15 machines x 2 SSD ===");
+  std::puts("Paper: MonoSpark on par with Spark in every stage\n");
+
+  const auto cluster = monoload::MlClusterConfig();
+  auto make_job = [](monosim::SimEnvironment*) { return monoload::MakeMlJob(); };
+  const auto spark = monobench::RunSpark(cluster, make_job);
+  const auto mono = monobench::RunMonotasks(cluster, make_job);
+
+  monoutil::TablePrinter table({"stage", "spark", "monospark", "mono/spark"});
+  for (size_t s = 0; s < spark.stages.size(); ++s) {
+    table.AddRow({spark.stages[s].name, monoutil::FormatSeconds(spark.stages[s].duration()),
+                  monoutil::FormatSeconds(mono.stages[s].duration()),
+                  monoutil::FormatDouble(mono.stages[s].duration() /
+                                             spark.stages[s].duration(),
+                                         2)});
+  }
+  table.AddRow({"total", monoutil::FormatSeconds(spark.duration()),
+                monoutil::FormatSeconds(mono.duration()),
+                monoutil::FormatDouble(mono.duration() / spark.duration(), 2)});
+  table.Print(std::cout);
+  return 0;
+}

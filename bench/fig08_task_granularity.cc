@@ -1,0 +1,37 @@
+// Fig 8: sensitivity to the number of tasks, for a job that reads input from disk
+// and computes on it, on 20 workers (160 cores).
+//
+// Paper's result: with one or two waves of tasks Spark is faster (MonoSpark has no
+// fine-grained pipelining to hide the disk read behind compute), but by roughly three
+// waves MonoSpark's coarse-grained cross-task pipelining has caught up.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/read_compute.h"
+
+int main() {
+  std::puts("=== Fig 8: runtime vs number of tasks (read input, then compute) ===");
+  std::puts("Paper: Spark wins at 1-2 waves; MonoSpark catches up by ~3 waves\n");
+
+  const auto cluster = monoload::SortClusterConfig();  // 20 workers, 160 cores.
+  monoutil::TablePrinter table(
+      {"tasks", "waves", "spark", "monospark", "mono/spark"});
+  for (int tasks : {160, 320, 480, 960, 1920, 2560}) {
+    monoload::ReadComputeParams params;
+    params.num_tasks = tasks;
+    auto make_job = [&params](monosim::SimEnvironment* env) {
+      return monoload::MakeReadComputeJob(&env->dfs(), params);
+    };
+    const auto spark = monobench::RunSpark(cluster, make_job);
+    const auto mono = monobench::RunMonotasks(cluster, make_job);
+    table.AddRow({std::to_string(tasks), monoutil::FormatDouble(tasks / 160.0, 1),
+                  monoutil::FormatSeconds(spark.duration()),
+                  monoutil::FormatSeconds(mono.duration()),
+                  monoutil::FormatDouble(mono.duration() / spark.duration(), 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 11: predicting the runtime on a cluster with twice as many SSDs per worker.
+//
+// Monotask runtimes from a run on 20 workers x 1 SSD are fed to the model, which
+// predicts the runtime with 2 SSDs per worker; we then actually run that cluster.
+// Paper's result: error at most 9% (largest for the CPU-bound 10-value workload,
+// where the model predicts no change but transient disk-bound periods still shrink),
+// and the model correctly captures bottleneck shifts that make the speedup less than
+// 2x.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/model/monotasks_model.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/sort.h"
+
+int main() {
+  std::puts("=== Fig 11: predict 1 SSD -> 2 SSDs per worker (600 GB sort) ===");
+  std::puts("Paper: prediction error at most 9%\n");
+
+  const auto one_ssd = monoload::SsdClusterConfig(20, 1);
+  const auto two_ssd = monoload::SsdClusterConfig(20, 2);
+
+  monoutil::TablePrinter table({"values/key", "observed 1xSSD", "predicted 2xSSD",
+                                "actual 2xSSD", "error"});
+  for (int values : {10, 20, 50}) {
+    monoload::SortParams params;
+    params.total_bytes = monoutil::GiB(600);
+    params.values_per_key = values;
+    params.num_map_tasks = 960;
+    params.num_reduce_tasks = 960;
+    auto make_job = [&params](monosim::SimEnvironment* env) {
+      return monoload::MakeSortJob(&env->dfs(), params);
+    };
+
+    const auto baseline = monobench::RunMonotasks(one_ssd, make_job);
+    const monomodel::MonotasksModel model(
+        baseline, monomodel::HardwareProfile::FromCluster(one_ssd));
+    const double predicted =
+        model.PredictJobSeconds(model.baseline().WithDisksPerMachine(2));
+    const auto actual = monobench::RunMonotasks(two_ssd, make_job);
+
+    table.AddRow({std::to_string(values), monoutil::FormatSeconds(baseline.duration()),
+                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(actual.duration()),
+                  monoutil::FormatDouble(
+                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig 13: predicting a combined hardware + software migration: from 5 machines with
+// HDDs and on-disk input to 20 machines with SSDs and in-memory, deserialized input.
+//
+// Three simultaneous changes (4x machines, HDD -> SSD, on-disk -> in-memory input)
+// produce a ~10x runtime change; the paper's model predicted it within 23% in the
+// worst case, with part of the error coming from the model assuming network bytes
+// stay constant while the larger cluster actually reads a smaller fraction of data
+// locally.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/model/monotasks_model.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/sort.h"
+
+int main() {
+  std::puts(
+      "=== Fig 13: predict 5xHDD/on-disk -> 20xSSD/in-memory (100 GB sort) ===");
+  std::puts("Paper: ~10x speedup predicted within 23% worst case\n");
+
+  // The "before" cluster: §6.4's 5 machines with hard disks. The paper's m2.4xlarge
+  // HDDs delivered roughly half the streaming bandwidth of our calibrated default
+  // (2010-era drives), which is what made even the CPU-heavy sort variants
+  // disk-bound before the migration — the precondition for the 10x improvement.
+  auto small = monoload::SmallHddClusterConfig();
+  for (auto& disk : small.machine.disks) {
+    disk.bandwidth = monoutil::MiBps(45);
+  }
+  const auto big = monoload::SsdClusterConfig(20, 2);
+
+  monoutil::TablePrinter table({"values/key", "observed 5xHDD", "predicted 20xSSD",
+                                "actual 20xSSD", "speedup", "error"});
+  for (int values : {10, 20, 50}) {
+    monoload::SortParams params;
+    params.total_bytes = monoutil::GiB(100);
+    params.values_per_key = values;
+    params.num_map_tasks = 400;  // Constant task count across clusters, as in §6.4.
+    params.num_reduce_tasks = 400;
+    auto on_disk = [&params](monosim::SimEnvironment* env) {
+      return monoload::MakeSortJob(&env->dfs(), params);
+    };
+    const auto baseline = monobench::RunMonotasks(small, on_disk);
+
+    const monomodel::MonotasksModel model(
+        baseline, monomodel::HardwareProfile::FromCluster(small));
+    monomodel::SoftwareChanges software;
+    software.input_in_memory_deserialized = true;
+    const double predicted = model.PredictJobSeconds(
+        monomodel::HardwareProfile::FromCluster(big), software);
+
+    monoload::SortParams memory_params = params;
+    memory_params.input_in_memory = true;
+    auto in_memory = [&memory_params](monosim::SimEnvironment* env) {
+      return monoload::MakeSortJob(&env->dfs(), memory_params);
+    };
+    const auto actual = monobench::RunMonotasks(big, in_memory);
+
+    table.AddRow(
+        {std::to_string(values), monoutil::FormatSeconds(baseline.duration()),
+         monoutil::FormatSeconds(predicted), monoutil::FormatSeconds(actual.duration()),
+         monoutil::FormatDouble(baseline.duration() / actual.duration(), 1) + "x",
+         monoutil::FormatDouble(
+             100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+             "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 14: bottleneck analysis — the predicted job completion time if each resource
+// were infinitely fast, as a fraction of the actual runtime. This replicates the
+// blocked-time analysis of Ousterhout et al. (NSDI'15) [25] without any added
+// instrumentation: monotask runtimes are the instrumentation.
+//
+// Paper's findings, replicated: CPU is the bottleneck for most BDB queries
+// (optimizing CPU helps most), improving disk speed reduces some queries' runtime,
+// improving network speed has little effect, and multi-stage queries like 3c benefit
+// from optimizing multiple resources because different stages have different
+// bottlenecks.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/model/monotasks_model.h"
+#include "src/workloads/bdb.h"
+
+int main() {
+  std::puts("=== Fig 14: runtime with infinitely fast disk / network / CPU ===");
+  std::puts("(fraction of actual runtime; smaller = that resource mattered more)");
+  std::puts("Paper: CPU bottlenecks most queries; network barely matters\n");
+
+  const auto cluster = monoload::BdbClusterConfig();
+  monoutil::TablePrinter table({"query", "actual", "no-disk", "no-network",
+                                "perfect-cpu", "bottleneck"});
+  for (monoload::BdbQuery query : monoload::AllBdbQueries()) {
+    auto make_job = [query](monosim::SimEnvironment* env) {
+      return monoload::MakeBdbQueryJob(&env->dfs(), query);
+    };
+    const auto result = monobench::RunMonotasks(cluster, make_job);
+    const monomodel::MonotasksModel model(
+        result, monomodel::HardwareProfile::FromCluster(cluster));
+    const double actual = result.duration();
+    auto fraction = [&](monomodel::Resource resource) {
+      return model.PredictWithInfinitelyFast(resource) / actual;
+    };
+    table.AddRow({monoload::BdbQueryName(query), monoutil::FormatSeconds(actual),
+                  monoutil::FormatDouble(fraction(monomodel::Resource::kDisk), 2),
+                  monoutil::FormatDouble(fraction(monomodel::Resource::kNetwork), 2),
+                  monoutil::FormatDouble(fraction(monomodel::Resource::kCpu), 2),
+                  monomodel::ResourceName(model.JobBottleneck())});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 15: the natural Spark-based model — scale runtime by the slot count — cannot
+// predict the effect of removing a disk, because Spark's slots track CPU cores, not
+// disks.
+//
+// Paper's result: the slot model predicts *no change* when a disk is removed (slots
+// are unchanged), badly underestimating disk-bound queries; scaling slots by the
+// disk reduction instead would predict 2x slowdowns that only disk-bound queries
+// actually exhibit. One dimension (slots) cannot control multi-dimensional resources.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/model/spark_models.h"
+#include "src/workloads/bdb.h"
+
+int main() {
+  std::puts("=== Fig 15: Spark slot-based model for the 2 HDD -> 1 HDD change ===");
+  std::puts("Paper: the slot model mispredicts (slots don't change with disks)\n");
+
+  const auto two_disk = monoload::BdbClusterConfig();
+  auto one_disk = two_disk;
+  one_disk.machine.disks.resize(1);
+
+  monoutil::TablePrinter table({"query", "observed 2-disk", "slot-model 1-disk",
+                                "actual 1-disk", "error"});
+  for (monoload::BdbQuery query : monoload::AllBdbQueries()) {
+    auto make_job = [query](monosim::SimEnvironment* env) {
+      return monoload::MakeBdbQueryJob(&env->dfs(), query);
+    };
+    const auto baseline = monobench::RunSpark(two_disk, make_job);
+    // Spark: slots = cores; removing a disk leaves slots (8) unchanged, so the model
+    // predicts the runtime is unchanged.
+    const monomodel::SlotBasedModel model(baseline, /*baseline_slots_per_machine=*/8);
+    const double predicted = model.PredictJobSeconds(/*new_slots_per_machine=*/8);
+    const auto actual = monobench::RunSpark(one_disk, make_job);
+    table.AddRow({monoload::BdbQueryName(query),
+                  monoutil::FormatSeconds(baseline.duration()),
+                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(actual.duration()),
+                  monoutil::FormatDouble(
+                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

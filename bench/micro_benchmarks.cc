@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks for the hot paths of the simulators and the
+// engine's serialization layer. These guard the performance of the tooling itself:
+// the figure benches replay hundreds of thousands of events per run, so regressions
+// here directly slow experiment turnaround.
+#include <benchmark/benchmark.h>
+
+#include "src/api/serde.h"
+#include "src/common/rng.h"
+#include "src/simcore/fluid_server.h"
+#include "src/simcore/simulation.h"
+
+namespace {
+
+void BM_EventQueueScheduleAndFire(benchmark::State& state) {
+  for (auto _ : state) {
+    monosim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleAndFire)->Arg(1000)->Arg(10000);
+
+void BM_FluidServerChurn(benchmark::State& state) {
+  // Continuous arrivals into a processor-sharing server: the inner loop of every
+  // device in the cluster simulator.
+  for (auto _ : state) {
+    monosim::Simulation sim;
+    monosim::FluidServer server(&sim, "bench", monosim::HddCapacity(100.0, 0.3));
+    int completed = 0;
+    std::function<void(int)> submit = [&](int remaining) {
+      if (remaining == 0) {
+        return;
+      }
+      server.Submit(10.0, [&, remaining] {
+        ++completed;
+        submit(remaining - 1);
+      });
+    };
+    for (int lane = 0; lane < 8; ++lane) {
+      submit(state.range(0) / 8);
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FluidServerChurn)->Arg(800)->Arg(8000);
+
+void BM_RngNextU64(benchmark::State& state) {
+  monoutil::Rng rng(1);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rng.NextU64();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_SerializeRecords(benchmark::State& state) {
+  using Record = std::pair<int64_t, int64_t>;
+  std::vector<Record> records;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    records.emplace_back(i, i * 3);
+  }
+  for (auto _ : state) {
+    monotasks::Buffer buffer = monotasks::SerializeVector(records);
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_SerializeRecords)->Arg(1000)->Arg(100000);
+
+void BM_DeserializeRecords(benchmark::State& state) {
+  using Record = std::pair<int64_t, int64_t>;
+  std::vector<Record> records;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    records.emplace_back(i, i * 3);
+  }
+  const monotasks::Buffer buffer = monotasks::SerializeVector(records);
+  for (auto _ : state) {
+    auto out = monotasks::DeserializeVector<Record>(buffer);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_DeserializeRecords)->Arg(1000)->Arg(100000);
+
+void BM_SerializeStrings(benchmark::State& state) {
+  std::vector<std::string> records;
+  for (int i = 0; i < 10000; ++i) {
+    records.push_back("record-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    monotasks::Buffer buffer = monotasks::SerializeVector(records);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_SerializeStrings);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// "Should I store compressed or uncompressed data?" — the second question in the
+// paper's introduction, answered with the monotasks model and validated by actually
+// running both configurations.
+//
+// The Big Data Benchmark's inputs are compressed sequence files (Fig 5's setup); a
+// scan stage's compute monotasks therefore spend a measurable share of their time
+// decompressing, and the model can trade that CPU against the larger reads an
+// uncompressed layout would need — per query, from a single instrumented run.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/model/monotasks_model.h"
+#include "src/workloads/bdb.h"
+
+namespace {
+
+// Rebuilds a query with uncompressed input: reads grow by the compression ratio,
+// CPU loses the decompression share. Used as the "actual" configuration.
+monosim::JobSpec UncompressedVariant(monosim::DfsSim* dfs, monoload::BdbQuery query) {
+  monosim::JobSpec job = monoload::MakeBdbQueryJob(dfs, query);
+  for (auto& stage : job.stages) {
+    if (stage.input != monosim::InputSource::kDfs ||
+        stage.input_compression_ratio <= 1.0) {
+      continue;
+    }
+    const std::string expanded = stage.input_file + ".uncompressed";
+    if (!dfs->HasFile(expanded)) {
+      const auto& original = dfs->GetFile(stage.input_file);
+      dfs->CreateFileWithBlocks(
+          expanded,
+          static_cast<monoutil::Bytes>(static_cast<double>(original.total_bytes()) *
+                                       stage.input_compression_ratio),
+          static_cast<int>(original.blocks.size()));
+    }
+    stage.input_file = expanded;
+    stage.cpu_seconds_per_task *= 1.0 - stage.decompress_fraction;
+    stage.deser_fraction /= 1.0 - stage.decompress_fraction;
+    stage.decompress_fraction = 0.0;
+    stage.input_compression_ratio = 1.0;
+  }
+  return job;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== What-if: store the BDB inputs uncompressed? (paper intro, Q2) ===");
+  std::puts("Prediction from one compressed-input run vs. actually running it\n");
+
+  const auto cluster = monoload::BdbClusterConfig();
+  monoutil::TablePrinter table({"query", "compressed (observed)",
+                                "uncompressed (predicted)", "uncompressed (actual)",
+                                "error", "verdict"});
+  for (monoload::BdbQuery query :
+       {monoload::BdbQuery::k1a, monoload::BdbQuery::k1c, monoload::BdbQuery::k2a,
+        monoload::BdbQuery::k2c, monoload::BdbQuery::k4}) {
+    auto compressed = [query](monosim::SimEnvironment* env) {
+      return monoload::MakeBdbQueryJob(&env->dfs(), query);
+    };
+    const auto baseline = monobench::RunMonotasks(cluster, compressed);
+    const monomodel::MonotasksModel model(
+        baseline, monomodel::HardwareProfile::FromCluster(cluster));
+    monomodel::SoftwareChanges software;
+    software.input_stored_uncompressed = true;
+    const double predicted = model.PredictJobSeconds(model.baseline(), software);
+
+    auto uncompressed = [query](monosim::SimEnvironment* env) {
+      return UncompressedVariant(&env->dfs(), query);
+    };
+    const auto actual = monobench::RunMonotasks(cluster, uncompressed);
+
+    table.AddRow({monoload::BdbQueryName(query),
+                  monoutil::FormatSeconds(baseline.duration()),
+                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(actual.duration()),
+                  monoutil::FormatDouble(
+                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      "%",
+                  predicted < baseline.duration() ? "uncompress" : "keep compressed"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

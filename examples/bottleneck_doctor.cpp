@@ -1,0 +1,120 @@
+// Bottleneck doctor: diagnose a slow analytics job the monotasks way.
+//
+// Runs a Big Data Benchmark query under both architectures and produces the kind of
+// report the paper argues should be trivial: per-stage bottlenecks, per-machine
+// utilization of the bottleneck resource, and what each architecture lets you see.
+// The Spark run can only offer aggregate device counters; the monotasks run has
+// per-monotask service times, so the doctor can say *why* the stage took as long as
+// it did and what would fix it.
+//
+// Run:  ./bottleneck_doctor [query]   (query in {1a,1b,1c,2a,2b,2c,3a,3b,3c,4};
+//                                      default 2c)
+#include <cstdio>
+#include <string>
+
+#include "src/framework/environment.h"
+#include "src/model/monotasks_model.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+#include "src/workloads/bdb.h"
+
+namespace {
+
+monoload::BdbQuery ParseQuery(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "2c";
+  for (monoload::BdbQuery query : monoload::AllBdbQueries()) {
+    if (monoload::BdbQueryName(query) == name) {
+      return query;
+    }
+  }
+  std::fprintf(stderr, "unknown query '%s', using 2c\n", name.c_str());
+  return monoload::BdbQuery::k2c;
+}
+
+double MeanUtil(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) {
+    total += v;
+  }
+  return values.empty() ? 0.0 : total / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const monoload::BdbQuery query = ParseQuery(argc, argv);
+  const auto cluster = monoload::BdbClusterConfig();
+  std::printf("Diagnosing BDB query %s on 5 workers x 2 HDD...\n\n",
+              monoload::BdbQueryName(query).c_str());
+
+  // Run under Spark (the before picture).
+  monosim::SimEnvironment spark_env(cluster);
+  spark_env.cluster().EnableTrace();
+  monosim::SparkExecutorSim spark(&spark_env.sim(), &spark_env.cluster(),
+                                  &spark_env.pool(), {});
+  spark_env.AttachExecutor(&spark);
+  const auto spark_result =
+      spark_env.driver().RunJob(monoload::MakeBdbQueryJob(&spark_env.dfs(), query));
+
+  // Run under monotasks (the after picture).
+  monosim::SimEnvironment mono_env(cluster);
+  mono_env.cluster().EnableTrace();
+  monosim::MonotasksExecutorSim mono(&mono_env.sim(), &mono_env.cluster(),
+                                     &mono_env.pool(), {});
+  mono.EnableQueueTraces();
+  mono_env.AttachExecutor(&mono);
+  const auto mono_result =
+      mono_env.driver().RunJob(monoload::MakeBdbQueryJob(&mono_env.dfs(), query));
+
+  std::printf("Runtime: Spark %.1f s, MonoSpark %.1f s\n\n", spark_result.duration(),
+              mono_result.duration());
+
+  std::puts("What Spark can tell you (aggregate device counters per stage):");
+  for (const auto& stage : spark_result.stages) {
+    std::printf("  %-16s %6.1f s   cpu util %4.0f%%  disk util %4.0f%%  net util %4.0f%%\n",
+                stage.name.c_str(), stage.duration(), 100 * MeanUtil(stage.utilization.cpu),
+                100 * MeanUtil(stage.utilization.disk),
+                100 * MeanUtil(stage.utilization.network));
+  }
+  std::puts("  ...but which of that device time belongs to which work, and what would");
+  std::puts("  change under new hardware, is guesswork (Figs 15-17).\n");
+
+  std::puts("What monotasks tells you (per-monotask service time, built in):");
+  const monomodel::MonotasksModel model(
+      mono_result, monomodel::HardwareProfile::FromCluster(cluster));
+  for (int s = 0; s < model.num_stages(); ++s) {
+    const auto& stage = mono_result.stages[static_cast<size_t>(s)];
+    const auto& times = stage.monotask_times;
+    const auto ideal = model.IdealTimes(s);
+    std::printf("  %-16s %6.1f s\n", stage.name.c_str(), stage.duration());
+    std::printf("      monotask seconds: compute %.0f (deser %.0f) | disk read %.0f / "
+                "write %.0f | network %.0f\n",
+                times.compute_seconds, times.compute_deser_seconds,
+                times.disk_read_seconds, times.disk_write_seconds,
+                times.network_seconds);
+    std::printf("      ideal times:      cpu %.1f s, disk %.1f s, network %.1f s  "
+                "=> bottleneck: %s\n",
+                ideal.cpu, ideal.disk, ideal.network,
+                monomodel::ResourceName(ideal.bottleneck()));
+  }
+
+  // §3.1: contention is visible as queue length — no inference required.
+  const double window = mono_result.duration();
+  std::printf("\nMean scheduler queue lengths on machine 0 (contention, directly):\n"
+              "      cpu %.1f monotasks queued | disk0 %.1f | disk1 %.1f\n",
+              mono.cpu_scheduler(0).queue_trace().Integrate(0, window) / window,
+              mono.disk_scheduler(0, 0).queue_trace().Integrate(0, window) / window,
+              mono.disk_scheduler(0, 1).queue_trace().Integrate(0, window) / window);
+
+  std::puts("\nPrescription:");
+  const auto bottleneck = model.JobBottleneck();
+  std::printf("  The job is %s-bound. Best case from optimizing it: %.1f s "
+              "(currently %.1f s).\n",
+              monomodel::ResourceName(bottleneck),
+              model.PredictWithInfinitelyFast(bottleneck), mono_result.duration());
+  std::printf("  Removing one disk per machine would give %.1f s; adding two more, "
+              "%.1f s.\n",
+              model.PredictJobSeconds(model.baseline().WithDisksPerMachine(1)),
+              model.PredictJobSeconds(model.baseline().WithDisksPerMachine(4)));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Engine showdown: the same real job under both architectures.
+//
+// Runs an I/O-heavy aggregation twice through the threaded engine — once in
+// task-threads mode (the baseline: each task does its own I/O from a slot thread,
+// contending on the disks) and once in monotasks mode (per-resource schedulers, one
+// disk operation at a time) — and compares wall time and what each architecture can
+// report afterwards.
+//
+// Run:  ./engine_showdown
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/dataset.h"
+
+namespace {
+
+using Record = std::pair<int64_t, int64_t>;
+
+monotasks::EngineConfig ConfigFor(monotasks::ExecutionMode mode) {
+  monotasks::EngineConfig config;
+  config.num_workers = 2;
+  config.cores_per_worker = 4;
+  config.disks_per_worker = 1;
+  config.mode = mode;
+  // Slow-ish disks and a modest time scale so device time dominates and the
+  // scheduling difference is visible in wall time.
+  config.disk_bandwidth = monoutil::MiBps(64);
+  config.disk_seek_alpha = 0.6;
+  config.time_scale = 40.0;
+  return config;
+}
+
+double RunOnce(monotasks::ExecutionMode mode, bool print_metrics) {
+  monotasks::MonoClient client(ConfigFor(mode));
+  // ~96 MiB of records through a shuffle: disk-dominated at 64 MiB/s.
+  std::vector<Record> input;
+  input.reserve(3 << 20);
+  for (int64_t i = 0; i < (3 << 20); ++i) {
+    input.emplace_back(i % 1024, i);
+  }
+  // A full repartition (no map-side combine): all ~96 MiB is written as shuffle
+  // data, served back from disk, and re-read — the disk-heavy case.
+  auto repartitioned = client.Parallelize<Record>(input, 16).PartitionBy<int64_t>(
+      [](const Record& r) { return r.first; }, 8);
+  const auto count = repartitioned.Count();
+  if (count != (3 << 20)) {
+    std::fprintf(stderr, "unexpected record count %ld\n", count);
+  }
+
+  const auto& metrics = client.last_job_metrics();
+  if (print_metrics) {
+    for (const auto& stage : metrics.stages) {
+      std::printf("    %-8s compute %6.2fs | disk r %6.2fs w %6.2fs | net %5.2fs\n",
+                  stage.name.c_str(), stage.compute_seconds, stage.disk_read_seconds,
+                  stage.disk_write_seconds, stage.network_seconds);
+    }
+  }
+  return metrics.wall_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Same job, same devices, two architectures.\n");
+
+  std::puts("Task threads (baseline — tasks do their own I/O, slots = cores):");
+  const double baseline = RunOnce(monotasks::ExecutionMode::kTaskThreads, true);
+  std::printf("    wall time: %.2f s\n\n", baseline);
+
+  std::puts("Monotasks (per-resource schedulers, one disk op at a time):");
+  const double mono = RunOnce(monotasks::ExecutionMode::kMonotasks, true);
+  std::printf("    wall time: %.2f s\n\n", mono);
+
+  std::printf("Monotasks / baseline: %.2fx %s\n", mono / baseline,
+              mono <= baseline ? "(faster: no disk-head thrash)" : "(slower)");
+  std::puts("\nBeyond the speed difference: the monotasks run's per-stage resource");
+  std::puts("breakdown above is exact service time per device, usable directly by the");
+  std::puts("performance model; the baseline's is whatever the tasks happened to");
+  std::puts("self-report while contending.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Log analytics: a realistic multi-stage pipeline on the monotasks engine.
+//
+// Generates a day of synthetic web-server logs, then answers an on-call question —
+// "which endpoints are throwing 5xx errors, and how bad is each?" — with a pipeline
+// of parse -> filter -> aggregate -> sort, all executed as monotask DAGs. Shows the
+// Dataset API on a string-heavy domain workload and prints the per-stage resource
+// breakdown at the end.
+//
+// Run:  ./log_analytics
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/api/dataset.h"
+#include "src/common/rng.h"
+
+namespace {
+
+struct LogLine {
+  std::string endpoint;
+  int64_t status = 0;
+  int64_t latency_us = 0;
+};
+
+std::vector<std::string> GenerateLogs(int count, uint64_t seed) {
+  const std::vector<std::string> endpoints = {
+      "/api/users", "/api/orders", "/api/cart", "/api/search", "/healthz", "/login"};
+  monoutil::Rng rng(seed);
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto& endpoint = endpoints[rng.NextBelow(endpoints.size())];
+    // /api/orders has a bad day: 8% of its requests fail; others mostly succeed.
+    int64_t status = 200;
+    const double roll = rng.NextDouble();
+    if (endpoint == "/api/orders" ? roll < 0.08 : roll < 0.005) {
+      status = 500 + static_cast<int64_t>(rng.NextBelow(4));
+    } else if (roll > 0.97) {
+      status = 404;
+    }
+    const auto latency = static_cast<int64_t>(rng.Exponential(25000));
+    std::ostringstream line;
+    line << endpoint << ' ' << status << ' ' << latency;
+    lines.push_back(line.str());
+  }
+  return lines;
+}
+
+LogLine ParseLine(const std::string& raw) {
+  LogLine parsed;
+  std::istringstream stream(raw);
+  stream >> parsed.endpoint >> parsed.status >> parsed.latency_us;
+  return parsed;
+}
+
+}  // namespace
+
+int main() {
+  monotasks::EngineConfig config;
+  config.num_workers = 4;
+  config.cores_per_worker = 2;
+  config.disks_per_worker = 2;
+  config.time_scale = 200.0;
+  monotasks::MonoClient client(config);
+
+  std::puts("Generating 60k synthetic log lines...");
+  const std::vector<std::string> raw_logs = GenerateLogs(60000, /*seed=*/2026);
+
+  using EndpointErrors = std::pair<std::string, int64_t>;
+  auto logs = client.Parallelize<std::string>(raw_logs, 16);
+  auto server_errors =
+      logs.Map<EndpointErrors>([](const std::string& raw) {
+            const LogLine parsed = ParseLine(raw);
+            return EndpointErrors{parsed.endpoint, parsed.status >= 500 ? 1 : 0};
+          })
+          .Filter([](const EndpointErrors& e) { return e.second > 0; });
+  auto per_endpoint = monotasks::ReduceByKey<std::string, int64_t>(
+      server_errors, [](const int64_t& a, const int64_t& b) { return a + b; }, 4);
+  auto ranked = per_endpoint.SortBy<int64_t>(
+      [](const EndpointErrors& e) { return -e.second; }, 1);
+
+  std::puts("\n5xx errors by endpoint (worst first):");
+  for (const auto& [endpoint, errors] : ranked.Collect()) {
+    std::printf("  %-12s %6ld errors\n", endpoint.c_str(), errors);
+  }
+
+  // Join the error counts against the service-ownership table (a two-parent
+  // shuffle, like the paper's BDB query 3) to page the right teams.
+  using Owner = std::pair<std::string, std::string>;
+  auto owners = client.Parallelize<Owner>(
+      {{"/api/users", std::string("identity-team")},
+       {"/api/orders", std::string("checkout-team")},
+       {"/api/cart", std::string("checkout-team")},
+       {"/api/search", std::string("discovery-team")},
+       {"/healthz", std::string("platform-team")},
+       {"/login", std::string("identity-team")}},
+      2);
+  auto paged = monotasks::Join<std::string, int64_t, std::string>(per_endpoint, owners, 4);
+  std::puts("\nWho to page:");
+  for (const auto& [endpoint, hit] : paged.Collect()) {
+    if (hit.first >= 100) {
+      std::printf("  %-12s -> %s (%ld errors)\n", endpoint.c_str(),
+                  hit.second.c_str(), hit.first);
+    }
+  }
+
+  const auto& metrics = client.last_job_metrics();
+  std::puts("\nWhere the time went (monotask service seconds per stage):");
+  for (const auto& stage : metrics.stages) {
+    std::printf("  %-8s compute %7.4f | disk r/w %7.4f / %7.4f | network %7.4f"
+                "  (%d tasks)\n",
+                stage.name.c_str(), stage.compute_seconds, stage.disk_read_seconds,
+                stage.disk_write_seconds, stage.network_seconds, stage.num_tasks);
+  }
+  std::puts("\nNote: parsing dominates compute; the shuffle is tiny after filtering —");
+  std::puts("exactly the kind of conclusion monotask instrumentation hands you for free.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: word count on the monotasks execution engine.
+//
+// The same program a Spark user would write — parallelize lines, split into words,
+// reduce by key — but executed as monotasks: every disk read, computation, shuffle
+// fetch and disk write is a separate single-resource unit of work, scheduled by the
+// per-resource schedulers on each worker. Because of that, the engine can report
+// exactly where the time went, per stage and per resource, with no extra
+// instrumentation.
+//
+// Run:  ./quickstart
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/api/dataset.h"
+
+int main() {
+  using WordCount = std::pair<std::string, int64_t>;
+
+  // A 4-worker in-process cluster; each worker has 2 cores and 1 disk. time_scale
+  // makes the simulated devices run 200x faster than real time.
+  monotasks::EngineConfig config;
+  config.num_workers = 4;
+  config.cores_per_worker = 2;
+  config.disks_per_worker = 1;
+  config.time_scale = 200.0;
+  monotasks::MonoClient client(config);
+
+  // Some input text.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back("monotasks make performance reasoning simple");
+    lines.push_back("each monotask uses exactly one resource");
+    lines.push_back("per resource schedulers make contention visible");
+  }
+
+  auto words = client.Parallelize<std::string>(lines, 8)
+                   .FlatMap<WordCount>([](const std::string& line) {
+                     std::vector<WordCount> out;
+                     std::istringstream stream(line);
+                     std::string word;
+                     while (stream >> word) {
+                       out.emplace_back(word, 1);
+                     }
+                     return out;
+                   });
+  auto counts = monotasks::ReduceByKey<std::string, int64_t>(
+      words, [](const int64_t& a, const int64_t& b) { return a + b; }, 4);
+
+  std::map<std::string, int64_t> result;
+  for (auto& [word, count] : counts.Collect()) {
+    result[word] = count;
+  }
+
+  std::puts("Top words:");
+  for (const auto& [word, count] : result) {
+    if (count >= 200) {
+      std::printf("  %-12s %ld\n", word.c_str(), count);
+    }
+  }
+
+  // The clarity dividend: per-stage, per-resource monotask times, for free.
+  const auto& metrics = client.last_job_metrics();
+  std::puts("\nPer-stage monotask service time (seconds of device/core time):");
+  std::puts("  stage    tasks  compute   disk-read  disk-write  network");
+  for (const auto& stage : metrics.stages) {
+    std::printf("  %-8s %5d  %7.4f   %9.4f  %10.4f  %7.4f\n", stage.name.c_str(),
+                stage.num_tasks, stage.compute_seconds, stage.disk_read_seconds,
+                stage.disk_write_seconds, stage.network_seconds);
+  }
+  std::printf("\nJob wall time: %.3f s (device time scaled %gx)\n", metrics.wall_seconds,
+              config.time_scale);
+  return 0;
+}

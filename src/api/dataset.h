@@ -1,0 +1,376 @@
+// Dataset<T>: the typed, Spark-like public API of the monotasks engine.
+//
+//   MonoClient client(config);
+//   auto words = client.Parallelize<std::string>(lines, 8)
+//                    .FlatMap<std::string>(SplitWords)
+//                    .Map<std::pair<std::string, int64_t>>(PairWithOne)
+//                    .ReduceByKey(Add, 8);
+//   for (const auto& [word, count] : words.Collect()) { ... }
+//
+// Transformations are lazy: they build a logical plan that MonoContext turns into
+// stages of multitasks, each decomposed into single-resource monotasks on the
+// workers. Nothing in the API exposes (or needs) a tasks-per-machine knob — the
+// per-resource schedulers decide concurrency (§7).
+#ifndef MONOTASKS_SRC_API_DATASET_H_
+#define MONOTASKS_SRC_API_DATASET_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/context.h"
+#include "src/api/plan.h"
+#include "src/api/serde.h"
+#include "src/common/rng.h"
+
+namespace monotasks {
+
+template <typename T>
+class Dataset;
+
+// Owns the MonoContext and mints root datasets.
+class MonoClient {
+ public:
+  explicit MonoClient(EngineConfig config = {}) : context_(config) {}
+
+  MonoContext& context() { return context_; }
+
+  // Splits `records` into `num_partitions` source partitions distributed across the
+  // workers' disks (paying the write time) and returns a Dataset over them.
+  template <typename T>
+  Dataset<T> Parallelize(const std::vector<T>& records, int num_partitions);
+
+  // A dataset over a source previously written with Dataset::Save.
+  template <typename T>
+  Dataset<T> FromSource(const std::string& name, int num_partitions);
+
+  const EngineJobMetrics& last_job_metrics() const {
+    return context_.last_job_metrics();
+  }
+
+ private:
+  static std::atomic<uint64_t>& SourceCounter() {
+    static std::atomic<uint64_t> counter{0};
+    return counter;
+  }
+  template <typename T>
+  friend class Dataset;
+
+  MonoContext context_;
+};
+
+template <typename T>
+class Dataset {
+ public:
+  Dataset(MonoClient* client, std::shared_ptr<const PlanNode> node)
+      : client_(client), node_(std::move(node)) {}
+
+  int num_partitions() const { return node_->num_partitions; }
+
+  // ---- Narrow transformations (no shuffle) ----
+
+  template <typename U>
+  Dataset<U> Map(std::function<U(const T&)> fn) const {
+    auto transform = [fn](const Buffer& in) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::vector<U> out;
+      out.reserve(records.size());
+      for (const T& record : records) {
+        out.push_back(fn(record));
+      }
+      return SerializeVector<U>(out);
+    };
+    return Dataset<U>(client_, PlanNode::Narrow(node_, std::move(transform)));
+  }
+
+  Dataset<T> Filter(std::function<bool(const T&)> predicate) const {
+    auto transform = [predicate](const Buffer& in) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::vector<T> out;
+      for (T& record : records) {
+        if (predicate(record)) {
+          out.push_back(std::move(record));
+        }
+      }
+      return SerializeVector<T>(out);
+    };
+    return Dataset<T>(client_, PlanNode::Narrow(node_, std::move(transform)));
+  }
+
+  // Keeps approximately `fraction` of the records, chosen deterministically from
+  // `seed` (the same dataset sampled twice with one seed returns the same records).
+  Dataset<T> Sample(double fraction, uint64_t seed = 7) const {
+    MONO_CHECK(fraction >= 0.0 && fraction <= 1.0);
+    auto transform = [fraction, seed](const Buffer& in) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::vector<T> out;
+      monoutil::Rng rng(seed ^ std::hash<size_t>{}(records.size()));
+      for (T& record : records) {
+        if (rng.NextDouble() < fraction) {
+          out.push_back(std::move(record));
+        }
+      }
+      return SerializeVector<T>(out);
+    };
+    return Dataset<T>(client_, PlanNode::Narrow(node_, std::move(transform)));
+  }
+
+  template <typename U>
+  Dataset<U> FlatMap(std::function<std::vector<U>(const T&)> fn) const {
+    auto transform = [fn](const Buffer& in) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::vector<U> out;
+      for (const T& record : records) {
+        std::vector<U> expanded = fn(record);
+        out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+                   std::make_move_iterator(expanded.end()));
+      }
+      return SerializeVector<U>(out);
+    };
+    return Dataset<U>(client_, PlanNode::Narrow(node_, std::move(transform)));
+  }
+
+  // ---- Wide transformations (shuffle) ----
+
+  // Hash-repartitions by a key extractor. The result has `num_partitions` partitions
+  // with all records of equal key co-located.
+  template <typename K>
+  Dataset<T> PartitionBy(std::function<K(const T&)> key_fn, int num_partitions) const {
+    auto partition_fn = [key_fn](const Buffer& in, int num_out) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::vector<std::vector<T>> buckets(static_cast<size_t>(num_out));
+      for (T& record : records) {
+        const size_t bucket =
+            std::hash<K>{}(key_fn(record)) % static_cast<size_t>(num_out);
+        buckets[bucket].push_back(std::move(record));
+      }
+      std::vector<Buffer> out;
+      out.reserve(buckets.size());
+      for (const auto& bucket : buckets) {
+        out.push_back(SerializeVector<T>(bucket));
+      }
+      return out;
+    };
+    auto merge_fn = [](std::vector<Buffer> buckets) {
+      std::vector<T> merged;
+      for (const Buffer& bucket : buckets) {
+        std::vector<T> records = DeserializeVector<T>(bucket);
+        merged.insert(merged.end(), std::make_move_iterator(records.begin()),
+                      std::make_move_iterator(records.end()));
+      }
+      return SerializeVector<T>(merged);
+    };
+    return Dataset<T>(client_, PlanNode::Shuffle(node_, num_partitions,
+                                                 std::move(partition_fn),
+                                                 std::move(merge_fn)));
+  }
+
+  // Sorts records within hash partitions of the key (sorted runs per partition).
+  template <typename K>
+  Dataset<T> SortBy(std::function<K(const T&)> key_fn, int num_partitions) const {
+    Dataset<T> partitioned = PartitionBy<K>(key_fn, num_partitions);
+    auto transform = [key_fn](const Buffer& in) {
+      std::vector<T> records = DeserializeVector<T>(in);
+      std::sort(records.begin(), records.end(), [&key_fn](const T& a, const T& b) {
+        return key_fn(a) < key_fn(b);
+      });
+      return SerializeVector<T>(records);
+    };
+    return Dataset<T>(client_, PlanNode::Narrow(partitioned.node_, std::move(transform)));
+  }
+
+  // ---- Actions ----
+
+  std::vector<T> Collect() const {
+    std::vector<Buffer> partitions = client_->context_.RunJob(node_);
+    std::vector<T> out;
+    for (const Buffer& partition : partitions) {
+      std::vector<T> records = DeserializeVector<T>(partition);
+      out.insert(out.end(), std::make_move_iterator(records.begin()),
+                 std::make_move_iterator(records.end()));
+    }
+    return out;
+  }
+
+  int64_t Count() const {
+    // Counting still moves the data through the engine; a production implementation
+    // would add a per-partition pre-aggregation.
+    return static_cast<int64_t>(Collect().size());
+  }
+
+  // Materializes the dataset as a named source on the workers' disks; read it back
+  // with MonoClient::FromSource.
+  void Save(const std::string& name) const {
+    client_->context_.RunJobToSource(node_, name);
+  }
+
+  // Materializes the dataset in worker memory and returns a Dataset over the cached
+  // partitions: downstream jobs skip the input disk reads entirely — the §6.3
+  // "store input in memory" configuration, on the real engine.
+  Dataset<T> Cache() const {
+    std::vector<Buffer> partitions = client_->context_.RunJob(node_);
+    const int num_partitions = static_cast<int>(partitions.size());
+    const std::string name =
+        "cache." + std::to_string(MonoClient::SourceCounter().fetch_add(1));
+    client_->context_.CreateMemorySource(name, std::move(partitions));
+    return Dataset<T>(client_, PlanNode::Source(name, num_partitions));
+  }
+
+ private:
+  template <typename U>
+  friend class Dataset;
+  friend class MonoClient;
+
+  MonoClient* client_;
+  std::shared_ptr<const PlanNode> node_;
+
+ public:
+  // Escape hatch for free-function transformations (e.g. ReduceByKey) that need to
+  // extend the plan; not part of the user-facing surface.
+  MonoClient* client_for_extension() const { return client_; }
+  const std::shared_ptr<const PlanNode>& node_for_extension() const { return node_; }
+};
+
+// Key-value convenience: ReduceByKey over Dataset<std::pair<K, V>>.
+//
+// Map-side combining happens in the partition function (each bucket is pre-reduced
+// before it is shuffled), reduce-side merging in the merge function — both inside
+// compute monotasks.
+template <typename K, typename V>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& dataset,
+                                     std::function<V(const V&, const V&)> reduce,
+                                     int num_partitions) {
+  using Record = std::pair<K, V>;
+  auto combine = [reduce](std::vector<Record> records) {
+    std::map<K, V> merged;
+    for (Record& record : records) {
+      auto [it, inserted] = merged.emplace(std::move(record.first),
+                                           std::move(record.second));
+      if (!inserted) {
+        it->second = reduce(it->second, record.second);
+      }
+    }
+    return std::vector<Record>(std::make_move_iterator(merged.begin()),
+                               std::make_move_iterator(merged.end()));
+  };
+
+  auto partition_fn = [combine](const Buffer& in, int num_out) {
+    std::vector<Record> records = DeserializeVector<Record>(in);
+    std::vector<std::vector<Record>> buckets(static_cast<size_t>(num_out));
+    for (Record& record : records) {
+      const size_t bucket =
+          std::hash<K>{}(record.first) % static_cast<size_t>(num_out);
+      buckets[bucket].push_back(std::move(record));
+    }
+    std::vector<Buffer> out;
+    out.reserve(buckets.size());
+    for (auto& bucket : buckets) {
+      out.push_back(SerializeVector<Record>(combine(std::move(bucket))));
+    }
+    return out;
+  };
+  auto merge_fn = [combine](std::vector<Buffer> fetched) {
+    std::vector<Record> all;
+    for (const Buffer& bucket : fetched) {
+      std::vector<Record> records = DeserializeVector<Record>(bucket);
+      all.insert(all.end(), std::make_move_iterator(records.begin()),
+                 std::make_move_iterator(records.end()));
+    }
+    return SerializeVector<Record>(combine(std::move(all)));
+  };
+
+  return Dataset<Record>(
+      dataset.client_for_extension(),
+      PlanNode::Shuffle(dataset.node_for_extension(), num_partitions,
+                        std::move(partition_fn), std::move(merge_fn)));
+}
+
+// Inner equi-join of two key-value datasets: both sides are hash-partitioned by key
+// (a two-parent shuffle, like Spark's join / BDB query 3), and each reduce task
+// builds a hash table from its left buckets and probes it with the right.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& left,
+                                            const Dataset<std::pair<K, W>>& right,
+                                            int num_partitions) {
+  using Left = std::pair<K, V>;
+  using Right = std::pair<K, W>;
+  using Out = std::pair<K, std::pair<V, W>>;
+
+  auto bucket = [](auto tag, const Buffer& in, int num_out) {
+    using Record = decltype(tag);
+    std::vector<Record> records = DeserializeVector<Record>(in);
+    std::vector<std::vector<Record>> buckets(static_cast<size_t>(num_out));
+    for (Record& record : records) {
+      const size_t b = std::hash<K>{}(record.first) % static_cast<size_t>(num_out);
+      buckets[b].push_back(std::move(record));
+    }
+    std::vector<Buffer> out;
+    out.reserve(buckets.size());
+    for (const auto& records_for_bucket : buckets) {
+      out.push_back(SerializeVector<Record>(records_for_bucket));
+    }
+    return out;
+  };
+  auto partition_left = [bucket](const Buffer& in, int num_out) {
+    return bucket(Left{}, in, num_out);
+  };
+  auto partition_right = [bucket](const Buffer& in, int num_out) {
+    return bucket(Right{}, in, num_out);
+  };
+
+  auto merge2 = [](std::vector<Buffer> left_buckets, std::vector<Buffer> right_buckets) {
+    std::multimap<K, V> table;
+    for (const Buffer& bucket_data : left_buckets) {
+      for (Left& record : DeserializeVector<Left>(bucket_data)) {
+        table.emplace(std::move(record.first), std::move(record.second));
+      }
+    }
+    std::vector<Out> joined;
+    for (const Buffer& bucket_data : right_buckets) {
+      for (Right& record : DeserializeVector<Right>(bucket_data)) {
+        auto [lo, hi] = table.equal_range(record.first);
+        for (auto it = lo; it != hi; ++it) {
+          joined.emplace_back(record.first, std::make_pair(it->second, record.second));
+        }
+      }
+    }
+    return SerializeVector<Out>(joined);
+  };
+
+  return Dataset<Out>(
+      left.client_for_extension(),
+      PlanNode::CoGroup(left.node_for_extension(), right.node_for_extension(),
+                        num_partitions, std::move(partition_left),
+                        std::move(partition_right), std::move(merge2)));
+}
+
+template <typename T>
+Dataset<T> MonoClient::Parallelize(const std::vector<T>& records, int num_partitions) {
+  MONO_CHECK(num_partitions >= 1);
+  std::vector<std::vector<T>> split(static_cast<size_t>(num_partitions));
+  for (size_t i = 0; i < records.size(); ++i) {
+    split[i % static_cast<size_t>(num_partitions)].push_back(records[i]);
+  }
+  std::vector<Buffer> partitions;
+  partitions.reserve(split.size());
+  for (const auto& part : split) {
+    partitions.push_back(SerializeVector<T>(part));
+  }
+  const std::string name =
+      "parallelize." + std::to_string(SourceCounter().fetch_add(1));
+  context_.CreateSource(name, std::move(partitions));
+  return Dataset<T>(this, PlanNode::Source(name, num_partitions));
+}
+
+template <typename T>
+Dataset<T> MonoClient::FromSource(const std::string& name, int num_partitions) {
+  return Dataset<T>(this, PlanNode::Source(name, num_partitions));
+}
+
+}  // namespace monotasks
+
+#endif  // MONOTASKS_SRC_API_DATASET_H_

@@ -1,0 +1,62 @@
+// Bridge from the threaded engine's metrics to the §6 performance model.
+//
+// The same model that predicts for the cluster simulator works on the real engine:
+// per-stage monotask service times and byte counts are exactly the model's inputs.
+// (The engine does not separate deserialization time inside its compute closures, so
+// the §6.3 in-memory what-if is approximated from disk reads only — use Cache() and
+// re-run for the exact answer.)
+#ifndef MONOTASKS_SRC_API_ENGINE_MODEL_H_
+#define MONOTASKS_SRC_API_ENGINE_MODEL_H_
+
+#include <vector>
+
+#include "src/api/context.h"
+#include "src/model/monotasks_model.h"
+
+namespace monotasks {
+
+// Hardware profile of the in-process cluster, usable with monomodel.
+inline monomodel::HardwareProfile EngineHardwareProfile(const EngineConfig& config) {
+  monomodel::HardwareProfile profile;
+  profile.num_machines = config.num_workers;
+  profile.cores_per_machine = config.cores_per_worker;
+  profile.disks_per_machine = config.disks_per_worker;
+  profile.disk_bandwidth = config.disk_bandwidth;
+  profile.nic_bandwidth = config.nic_bandwidth;
+  return profile;
+}
+
+// Converts a completed engine job's metrics to model inputs. Times are wall-clock
+// seconds; because devices are time-scaled, the matching hardware profile must use
+// effective (scaled) rates — handled by `time_scale` here.
+inline std::vector<monomodel::StageModelInput> ToModelInputs(
+    const EngineJobMetrics& metrics) {
+  std::vector<monomodel::StageModelInput> inputs;
+  for (const auto& stage : metrics.stages) {
+    monomodel::StageModelInput input;
+    input.name = stage.name;
+    input.cpu_seconds = stage.compute_seconds;
+    input.disk_read_bytes = stage.disk_read_bytes;
+    input.input_disk_read_bytes = 0;  // Not separated by the engine's metrics.
+    input.disk_write_bytes = stage.disk_write_bytes;
+    input.network_bytes = stage.network_bytes;
+    input.observed_seconds = stage.wall_seconds;
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+// Builds a model over an engine run. `config` must be the configuration the job ran
+// with; device rates are scaled by time_scale so that wall-clock observations and
+// byte counts are consistent.
+inline monomodel::MonotasksModel BuildEngineModel(const EngineJobMetrics& metrics,
+                                                  const EngineConfig& config) {
+  monomodel::HardwareProfile profile = EngineHardwareProfile(config);
+  profile.disk_bandwidth *= config.time_scale;
+  profile.nic_bandwidth *= config.time_scale;
+  return monomodel::MonotasksModel(ToModelInputs(metrics), profile);
+}
+
+}  // namespace monotasks
+
+#endif  // MONOTASKS_SRC_API_ENGINE_MODEL_H_

@@ -1,0 +1,101 @@
+// Logical plan nodes for the typed Dataset API.
+//
+// Dataset<T> methods build a chain of type-erased PlanNodes; the MonoContext turns
+// the chain into stages at shuffle boundaries, exactly like Spark's DAG scheduler.
+// All record-level work is captured as closures over serialized buffers so the
+// execution layer stays untyped.
+#ifndef MONOTASKS_SRC_API_PLAN_H_
+#define MONOTASKS_SRC_API_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/block_device.h"
+
+namespace monotasks {
+
+struct PlanNode {
+  enum class Kind {
+    kSource,   // Named partition blocks already resident on the workers.
+    kNarrow,   // Per-partition transform (map / filter / flatMap chains).
+    kShuffle,  // Repartition: map-side bucketing + reduce-side merge.
+    kCoGroup,  // Two-parent shuffle (joins): both sides bucket by the same key.
+  };
+
+  Kind kind = Kind::kSource;
+  std::shared_ptr<const PlanNode> parent;
+  // Second parent, kCoGroup only.
+  std::shared_ptr<const PlanNode> parent2;
+  int num_partitions = 0;
+
+  // kSource
+  std::string source_name;
+
+  // kNarrow: serialized partition in, serialized partition out.
+  std::function<Buffer(const Buffer&)> transform;
+
+  // kShuffle/kCoGroup, map side: serialized partition -> one serialized bucket per
+  // output partition (bucket r goes to reduce task r). For kCoGroup, partition_fn
+  // buckets the left parent and partition_fn2 the right parent.
+  std::function<std::vector<Buffer>(const Buffer&, int num_out)> partition_fn;
+  std::function<std::vector<Buffer>(const Buffer&, int num_out)> partition_fn2;
+  // kShuffle, reduce side: fetched buckets -> the stage's serialized partition.
+  std::function<Buffer(std::vector<Buffer>)> merge_fn;
+  // kCoGroup, reduce side: buckets from both sides -> the stage's partition.
+  std::function<Buffer(std::vector<Buffer> left, std::vector<Buffer> right)> merge2_fn;
+
+  static std::shared_ptr<const PlanNode> Source(std::string name, int partitions) {
+    auto node = std::make_shared<PlanNode>();
+    node->kind = Kind::kSource;
+    node->source_name = std::move(name);
+    node->num_partitions = partitions;
+    return node;
+  }
+
+  static std::shared_ptr<const PlanNode> Narrow(
+      std::shared_ptr<const PlanNode> parent,
+      std::function<Buffer(const Buffer&)> transform) {
+    auto node = std::make_shared<PlanNode>();
+    node->kind = Kind::kNarrow;
+    node->num_partitions = parent->num_partitions;
+    node->parent = std::move(parent);
+    node->transform = std::move(transform);
+    return node;
+  }
+
+  static std::shared_ptr<const PlanNode> Shuffle(
+      std::shared_ptr<const PlanNode> parent, int num_partitions,
+      std::function<std::vector<Buffer>(const Buffer&, int)> partition_fn,
+      std::function<Buffer(std::vector<Buffer>)> merge_fn) {
+    auto node = std::make_shared<PlanNode>();
+    node->kind = Kind::kShuffle;
+    node->num_partitions = num_partitions;
+    node->parent = std::move(parent);
+    node->partition_fn = std::move(partition_fn);
+    node->merge_fn = std::move(merge_fn);
+    return node;
+  }
+
+  static std::shared_ptr<const PlanNode> CoGroup(
+      std::shared_ptr<const PlanNode> left, std::shared_ptr<const PlanNode> right,
+      int num_partitions,
+      std::function<std::vector<Buffer>(const Buffer&, int)> partition_left,
+      std::function<std::vector<Buffer>(const Buffer&, int)> partition_right,
+      std::function<Buffer(std::vector<Buffer>, std::vector<Buffer>)> merge2_fn) {
+    auto node = std::make_shared<PlanNode>();
+    node->kind = Kind::kCoGroup;
+    node->num_partitions = num_partitions;
+    node->parent = std::move(left);
+    node->parent2 = std::move(right);
+    node->partition_fn = std::move(partition_left);
+    node->partition_fn2 = std::move(partition_right);
+    node->merge2_fn = std::move(merge2_fn);
+    return node;
+  }
+};
+
+}  // namespace monotasks
+
+#endif  // MONOTASKS_SRC_API_PLAN_H_

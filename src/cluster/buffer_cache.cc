@@ -1,0 +1,147 @@
+#include "src/cluster/buffer_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+
+using monoutil::Bytes;
+
+BufferCacheSim::BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
+                               std::vector<DiskSim*> disks)
+    : sim_(sim),
+      config_(config),
+      disks_(std::move(disks)),
+      dirty_per_disk_(disks_.size(), 0),
+      submitted_per_disk_(disks_.size(), 0),
+      flushed_per_disk_(disks_.size(), 0),
+      sync_waiters_(disks_.size()),
+      flush_in_flight_(disks_.size(), false) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(!disks_.empty());
+  MONO_CHECK(config_.dirty_limit > 0);
+  MONO_CHECK(config_.memory_bandwidth > 0);
+}
+
+void BufferCacheSim::Write(int disk_index, Bytes bytes, std::function<void()> done) {
+  MONO_CHECK(disk_index >= 0 && static_cast<size_t>(disk_index) < disks_.size());
+  MONO_CHECK(bytes >= 0);
+  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
+    // Over the dirty limit: throttle the writer until flushing frees headroom, and
+    // make sure flushing is actually running.
+    blocked_writes_.push_back(PendingWrite{disk_index, bytes, std::move(done), false});
+    MaybeStartWriteback(/*pressure=*/true);
+    return;
+  }
+  AdmitWrite(disk_index, bytes, std::move(done), /*sync=*/false);
+}
+
+void BufferCacheSim::WriteSync(int disk_index, Bytes bytes, std::function<void()> done) {
+  MONO_CHECK(disk_index >= 0 && static_cast<size_t>(disk_index) < disks_.size());
+  MONO_CHECK(bytes >= 0);
+  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
+    blocked_writes_.push_back(PendingWrite{disk_index, bytes, std::move(done), true});
+    MaybeStartWriteback(/*pressure=*/true);
+    return;
+  }
+  AdmitWrite(disk_index, bytes, std::move(done), /*sync=*/true);
+}
+
+void BufferCacheSim::AdmitWrite(int disk_index, Bytes bytes, std::function<void()> done,
+                                bool sync) {
+  const auto d = static_cast<size_t>(disk_index);
+  dirty_per_disk_[d] += bytes;
+  submitted_per_disk_[d] += bytes;
+  total_dirty_ += bytes;
+  if (sync) {
+    // Completion is deferred until everything submitted to this disk so far —
+    // including these bytes — has been flushed. Flushing is FIFO per disk, so
+    // thresholds are reached in order.
+    sync_waiters_[d].push_back(SyncWaiter{submitted_per_disk_[d], std::move(done)});
+    MaybeStartWriteback(/*pressure=*/true);
+    return;
+  }
+  const SimTime copy_time = static_cast<double>(bytes) / config_.memory_bandwidth;
+  sim_->ScheduleAfter(copy_time, std::move(done));
+  MaybeStartWriteback(/*pressure=*/total_dirty_ >= config_.dirty_limit);
+}
+
+void BufferCacheSim::MaybeStartWriteback(bool pressure) {
+  if (writeback_running_ || total_dirty_ == 0) {
+    return;
+  }
+  if (pressure) {
+    writeback_timer_.Cancel();
+    writeback_armed_ = false;
+    writeback_running_ = true;
+    PumpFlusher();
+    return;
+  }
+  if (!writeback_armed_) {
+    writeback_armed_ = true;
+    writeback_timer_ = sim_->ScheduleAfter(config_.writeback_delay, [this] {
+      writeback_armed_ = false;
+      if (total_dirty_ > 0) {
+        writeback_running_ = true;
+        PumpFlusher();
+      }
+    });
+  }
+}
+
+void BufferCacheSim::PumpFlusher() {
+  if (!writeback_running_) {
+    return;
+  }
+  if (total_dirty_ == 0 && active_flushes_ == 0) {
+    // Cache fully drained; future writes re-arm the delayed writeback timer.
+    writeback_running_ = false;
+    return;
+  }
+  // Issue one flush per idle disk, dirtiest disk's data first.
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    if (flush_in_flight_[d] || dirty_per_disk_[d] == 0) {
+      continue;
+    }
+    const Bytes chunk = std::min(dirty_per_disk_[d], config_.flush_chunk);
+    flush_in_flight_[d] = true;
+    ++active_flushes_;
+    const int disk_index = static_cast<int>(d);
+    disks_[d]->Write(chunk, [this, disk_index, chunk] { OnFlushDone(disk_index, chunk); });
+  }
+}
+
+void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
+  const auto d = static_cast<size_t>(disk_index);
+  MONO_CHECK(flush_in_flight_[d]);
+  flush_in_flight_[d] = false;
+  --active_flushes_;
+  dirty_per_disk_[d] -= bytes;
+  flushed_per_disk_[d] += bytes;
+  total_dirty_ -= bytes;
+  total_flushed_ += bytes;
+  MONO_CHECK(dirty_per_disk_[d] >= 0);
+
+  // Release sync writers whose bytes are now durable.
+  while (!sync_waiters_[d].empty() &&
+         sync_waiters_[d].front().flushed_threshold <= flushed_per_disk_[d]) {
+    auto done = std::move(sync_waiters_[d].front().done);
+    sync_waiters_[d].pop_front();
+    done();
+  }
+
+  // Admit throttled writers that now fit under the limit. A write larger than the
+  // limit itself is admitted once the cache is empty (it then flushes under pressure).
+  while (!blocked_writes_.empty() &&
+         (total_dirty_ == 0 ||
+          total_dirty_ + blocked_writes_.front().bytes <= config_.dirty_limit)) {
+    PendingWrite write = std::move(blocked_writes_.front());
+    blocked_writes_.pop_front();
+    AdmitWrite(write.disk_index, write.bytes, std::move(write.done), write.sync);
+  }
+  PumpFlusher();
+}
+
+}  // namespace monosim

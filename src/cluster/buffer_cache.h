@@ -1,0 +1,96 @@
+// BufferCacheSim: the OS page cache's write-back behaviour, per machine.
+//
+// This models the paper's third clarity challenge (§2.2): "resource use occurs outside
+// the control of the analytics framework". Spark's disk writes complete into the cache
+// at memory speed; the OS later flushes dirty pages through the disk, contending with
+// the framework's own reads and writes. Small outputs may never touch the disk during
+// the job at all (the query 1c effect in §5.3), while large outputs exceed the dirty
+// limit and throttle writers to disk speed.
+//
+// Model:
+//   * A cached write of n bytes completes after n / memory_bandwidth, provided the
+//     dirty total stays under `dirty_limit`; otherwise the writer waits (FIFO) until
+//     flushing frees headroom.
+//   * Background writeback starts `writeback_delay` seconds after the cache first
+//     becomes dirty (re-armed whenever it drains), or immediately under pressure, and
+//     issues `flush_chunk`-sized writes to the dirtiest disk, one outstanding flush
+//     per disk, through the same DiskSim the framework uses — so flushes contend.
+#ifndef MONOTASKS_SRC_CLUSTER_BUFFER_CACHE_H_
+#define MONOTASKS_SRC_CLUSTER_BUFFER_CACHE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/cluster/cluster_config.h"
+#include "src/cluster/disk.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+class BufferCacheSim {
+ public:
+  // `disks` must outlive the cache. One flusher state is kept per disk.
+  BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
+                 std::vector<DiskSim*> disks);
+
+  BufferCacheSim(const BufferCacheSim&) = delete;
+  BufferCacheSim& operator=(const BufferCacheSim&) = delete;
+
+  // Writes `bytes` destined for `disk_index` through the cache; `done` fires when the
+  // write has been absorbed (memory-speed unless the cache is over its dirty limit).
+  void Write(int disk_index, monoutil::Bytes bytes, std::function<void()> done);
+
+  // Like Write, but `done` fires only once the bytes are durable on the disk ("OS
+  // configured to force writes to disk", §5.3). Data still flows through the cache's
+  // flusher, so writes remain elevator-batched rather than issued per caller.
+  void WriteSync(int disk_index, monoutil::Bytes bytes, std::function<void()> done);
+
+  // Dirty bytes not yet flushed to any disk.
+  monoutil::Bytes total_dirty() const { return total_dirty_; }
+
+  // Bytes flushed to disks so far by background writeback.
+  monoutil::Bytes total_flushed() const { return total_flushed_; }
+
+  // True if background writeback is actively issuing disk writes.
+  bool flushing() const { return active_flushes_ > 0; }
+
+ private:
+  struct PendingWrite {
+    int disk_index;
+    monoutil::Bytes bytes;
+    std::function<void()> done;
+    bool sync = false;
+  };
+  struct SyncWaiter {
+    monoutil::Bytes flushed_threshold;
+    std::function<void()> done;
+  };
+
+  void AdmitWrite(int disk_index, monoutil::Bytes bytes, std::function<void()> done,
+                  bool sync);
+  void MaybeStartWriteback(bool pressure);
+  void PumpFlusher();
+  void OnFlushDone(int disk_index, monoutil::Bytes bytes);
+
+  Simulation* sim_;
+  BufferCacheConfig config_;
+  std::vector<DiskSim*> disks_;
+
+  std::vector<monoutil::Bytes> dirty_per_disk_;
+  std::vector<monoutil::Bytes> submitted_per_disk_;
+  std::vector<monoutil::Bytes> flushed_per_disk_;
+  std::vector<std::deque<SyncWaiter>> sync_waiters_;  // Per disk, thresholds ascending.
+  std::vector<bool> flush_in_flight_;
+  monoutil::Bytes total_dirty_ = 0;
+  monoutil::Bytes total_flushed_ = 0;
+  int active_flushes_ = 0;
+  bool writeback_armed_ = false;   // A delayed start is scheduled.
+  bool writeback_running_ = false; // Writeback keeps pumping until the cache drains.
+  EventHandle writeback_timer_;
+  std::deque<PendingWrite> blocked_writes_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_CLUSTER_BUFFER_CACHE_H_

@@ -1,0 +1,59 @@
+#include "src/cluster/disk.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+namespace {
+
+CapacityFn MakeCapacity(const DiskConfig& config) {
+  switch (config.type) {
+    case DiskType::kHdd:
+      return HddCapacity(config.bandwidth, config.seek_alpha);
+    case DiskType::kSsd:
+      return SsdCapacity(config.bandwidth, config.ssd_channels,
+                         config.ssd_single_stream_fraction);
+  }
+  MONO_CHECK_MSG(false, "unknown disk type");
+  return nullptr;
+}
+
+double NominalBandwidth(const DiskConfig& config) {
+  // Utilization is measured against peak bandwidth, which for an SSD is only reached
+  // with several outstanding requests.
+  return config.bandwidth;
+}
+
+}  // namespace
+
+DiskSim::DiskSim(Simulation* sim, std::string name, const DiskConfig& config)
+    : config_(config), server_(sim, std::move(name), MakeCapacity(config)) {
+  server_.set_nominal_capacity(NominalBandwidth(config));
+}
+
+void DiskSim::Read(monoutil::Bytes bytes, std::function<void()> done) {
+  MONO_CHECK(bytes >= 0);
+  bytes_read_ += bytes;
+  ++active_reads_;
+  server_.Submit(
+      static_cast<double>(bytes),
+      [this, done = std::move(done)] {
+        --active_reads_;
+        done();
+      },
+      config_.read_contention_weight);
+}
+
+void DiskSim::Write(monoutil::Bytes bytes, std::function<void()> done) {
+  MONO_CHECK(bytes >= 0);
+  bytes_written_ += bytes;
+  // A write interleaved with reads thrashes the head; writes alone are batched by
+  // the elevator and close to free. The weight is fixed at submission, which is a
+  // fair approximation because writes are issued in bounded chunks.
+  const double weight = active_reads_ > 0 ? config_.write_contention_weight_mixed
+                                          : config_.write_contention_weight_solo;
+  server_.Submit(static_cast<double>(bytes), std::move(done), weight);
+}
+
+}  // namespace monosim

@@ -1,0 +1,62 @@
+// DiskSim: one physical disk (HDD or SSD) on a simulated machine.
+//
+// Reads and writes share the device's FluidServer, so concurrent requests contend
+// exactly as the capacity model dictates (HDD seek degradation, SSD channels). Write
+// requests may instead be routed through the machine's BufferCacheSim (Spark's
+// behaviour); DiskSim itself is always write-through, which is what the paper's disk
+// monotasks require (§3.1: "disk monotasks flush all writes to disk").
+#ifndef MONOTASKS_SRC_CLUSTER_DISK_H_
+#define MONOTASKS_SRC_CLUSTER_DISK_H_
+
+#include <functional>
+#include <string>
+
+#include "src/cluster/cluster_config.h"
+#include "src/simcore/fluid_server.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+class DiskSim {
+ public:
+  DiskSim(Simulation* sim, std::string name, const DiskConfig& config);
+
+  DiskSim(const DiskSim&) = delete;
+  DiskSim& operator=(const DiskSim&) = delete;
+
+  // Starts a read of `bytes`; `done` fires when the data is in memory.
+  void Read(monoutil::Bytes bytes, std::function<void()> done);
+
+  // Starts a write-through of `bytes`; `done` fires when the data is durable.
+  void Write(monoutil::Bytes bytes, std::function<void()> done);
+
+  // Number of requests currently being served by the device.
+  int active_requests() const { return server_.active(); }
+
+  monoutil::Bytes bytes_read() const { return bytes_read_; }
+  monoutil::Bytes bytes_written() const { return bytes_written_; }
+
+  const DiskConfig& config() const { return config_; }
+
+  // Device bandwidth for a single streaming request (the utilization denominator).
+  double nominal_bandwidth() const { return server_.nominal_capacity(); }
+
+  void EnableTrace() { server_.EnableTrace(); }
+  const RateTrace& rate_trace() const { return server_.rate_trace(); }
+  double MeanUtilization(SimTime from, SimTime to) const {
+    return server_.MeanUtilization(from, to);
+  }
+
+  const std::string& name() const { return server_.name(); }
+
+ private:
+  DiskConfig config_;
+  FluidServer server_;
+  monoutil::Bytes bytes_read_ = 0;
+  monoutil::Bytes bytes_written_ = 0;
+  int active_reads_ = 0;  // Drives the mixed-vs-solo write contention weight.
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_CLUSTER_DISK_H_

@@ -1,0 +1,185 @@
+#include "src/cluster/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+namespace {
+
+constexpr double kCompletionEpsilonSeconds = 1e-9;
+
+}  // namespace
+
+NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
+                                   monoutil::BytesPerSecond nic_bandwidth,
+                                   monoutil::SimTime request_latency)
+    : sim_(sim),
+      nic_bandwidth_(nic_bandwidth),
+      request_latency_(request_latency),
+      ingress_count_(static_cast<size_t>(num_machines), 0),
+      egress_count_(static_cast<size_t>(num_machines), 0),
+      ingress_flows_(static_cast<size_t>(num_machines)),
+      egress_flows_(static_cast<size_t>(num_machines)),
+      ingress_traces_(static_cast<size_t>(num_machines)) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(num_machines >= 1);
+  MONO_CHECK(nic_bandwidth > 0);
+}
+
+double NetworkFabricSim::ShareFor(const Flow& flow) const {
+  const double egress_share =
+      nic_bandwidth_ / static_cast<double>(egress_count_[static_cast<size_t>(flow.src)]);
+  const double ingress_share =
+      nic_bandwidth_ / static_cast<double>(ingress_count_[static_cast<size_t>(flow.dst)]);
+  return std::min(egress_share, ingress_share);
+}
+
+NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil::Bytes bytes,
+                                                     std::function<void()> done) {
+  MONO_CHECK(src >= 0 && src < num_machines());
+  MONO_CHECK(dst >= 0 && dst < num_machines());
+  MONO_CHECK_MSG(src != dst, "local transfers must not traverse the fabric");
+  MONO_CHECK(bytes >= 0);
+  MONO_CHECK(done != nullptr);
+
+  const FlowId id = next_id_++;
+  auto flow = std::make_unique<Flow>();
+  flow->id = id;
+  flow->src = src;
+  flow->dst = dst;
+  flow->remaining = static_cast<double>(bytes);
+  flow->last_update = sim_->now();
+  flow->done = std::move(done);
+  Flow* raw = flow.get();
+  flows_.emplace(id, std::move(flow));
+
+  ++egress_count_[static_cast<size_t>(src)];
+  ++ingress_count_[static_cast<size_t>(dst)];
+  egress_flows_[static_cast<size_t>(src)].push_back(raw);
+  ingress_flows_[static_cast<size_t>(dst)].push_back(raw);
+  total_bytes_ += bytes;
+
+  RecomputeAround(src, dst);
+  return id;
+}
+
+void NetworkFabricSim::SendControl(int src, int dst, std::function<void()> deliver) {
+  MONO_CHECK(src >= 0 && src < num_machines());
+  MONO_CHECK(dst >= 0 && dst < num_machines());
+  sim_->ScheduleAfter(request_latency_, std::move(deliver));
+}
+
+void NetworkFabricSim::UpdateFlowRate(Flow* flow) {
+  // Advance progress under the old rate, then apply the new share.
+  const SimTime now = sim_->now();
+  const double dt = now - flow->last_update;
+  if (dt > 0) {
+    flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
+  }
+  flow->last_update = now;
+  flow->rate = ShareFor(*flow);
+
+  flow->completion.Cancel();
+  MONO_CHECK(flow->rate > 0);
+  const SimTime finish_in = flow->remaining / flow->rate;
+  const FlowId id = flow->id;
+  flow->completion = sim_->ScheduleAfter(finish_in, [this, id] { OnFlowComplete(id); });
+}
+
+void NetworkFabricSim::RecomputeAround(int src, int dst) {
+  // Flows touching either endpoint may have a new share. Collect unique flows (a flow
+  // can appear in both lists) and the machines whose ingress rate changes.
+  std::vector<Flow*> affected;
+  for (Flow* flow : egress_flows_[static_cast<size_t>(src)]) {
+    affected.push_back(flow);
+  }
+  for (Flow* flow : ingress_flows_[static_cast<size_t>(dst)]) {
+    if (flow->src != src) {
+      affected.push_back(flow);
+    }
+  }
+  std::vector<int> touched_ingress;
+  touched_ingress.push_back(dst);  // Record even when the last flow just departed.
+  for (Flow* flow : affected) {
+    UpdateFlowRate(flow);
+    touched_ingress.push_back(flow->dst);
+  }
+  if (trace_enabled_) {
+    RecordIngressRates(touched_ingress);
+  }
+}
+
+void NetworkFabricSim::OnFlowComplete(FlowId id) {
+  auto it = flows_.find(id);
+  MONO_CHECK(it != flows_.end());
+  Flow* flow = it->second.get();
+
+  // Guard against firing while a rate change left residual bytes.
+  const SimTime now = sim_->now();
+  const double dt = now - flow->last_update;
+  flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
+  flow->last_update = now;
+  MONO_CHECK_MSG(flow->remaining <= std::max(flow->rate, 1.0) * kCompletionEpsilonSeconds,
+                 "flow completion fired early");
+
+  const int src = flow->src;
+  const int dst = flow->dst;
+  std::function<void()> done = std::move(flow->done);
+
+  auto erase_from = [](std::vector<Flow*>& list, Flow* target) {
+    list.erase(std::remove(list.begin(), list.end(), target), list.end());
+  };
+  erase_from(egress_flows_[static_cast<size_t>(src)], flow);
+  erase_from(ingress_flows_[static_cast<size_t>(dst)], flow);
+  --egress_count_[static_cast<size_t>(src)];
+  --ingress_count_[static_cast<size_t>(dst)];
+  flows_.erase(it);
+
+  RecomputeAround(src, dst);
+  done();
+}
+
+int NetworkFabricSim::ingress_flows(int machine) const {
+  MONO_CHECK(machine >= 0 && machine < num_machines());
+  return ingress_count_[static_cast<size_t>(machine)];
+}
+
+int NetworkFabricSim::egress_flows(int machine) const {
+  MONO_CHECK(machine >= 0 && machine < num_machines());
+  return egress_count_[static_cast<size_t>(machine)];
+}
+
+void NetworkFabricSim::EnableTrace() {
+  trace_enabled_ = true;
+  for (size_t m = 0; m < ingress_traces_.size(); ++m) {
+    if (ingress_traces_[m].empty()) {
+      ingress_traces_[m].Record(sim_->now(), 0.0);
+    }
+  }
+}
+
+void NetworkFabricSim::RecordIngressRates(const std::vector<int>& machines) {
+  for (int machine : machines) {
+    double total = 0.0;
+    for (const Flow* flow : ingress_flows_[static_cast<size_t>(machine)]) {
+      total += flow->rate;
+    }
+    ingress_traces_[static_cast<size_t>(machine)].Record(sim_->now(), total);
+  }
+}
+
+const RateTrace& NetworkFabricSim::ingress_trace(int machine) const {
+  MONO_CHECK(machine >= 0 && machine < num_machines());
+  return ingress_traces_[static_cast<size_t>(machine)];
+}
+
+double NetworkFabricSim::MeanIngressUtilization(int machine, SimTime from, SimTime to) const {
+  MONO_CHECK(trace_enabled_);
+  return ingress_trace(machine).MeanUtilization(from, to, nic_bandwidth_);
+}
+
+}  // namespace monosim

@@ -1,0 +1,96 @@
+// NetworkFabricSim: a full-bisection fabric connecting the machines' NICs.
+//
+// Each machine has a full-duplex NIC; a flow from src to dst receives
+// min(egress share at src, ingress share at dst), with each NIC splitting its
+// bandwidth equally among the flows it carries. This equal-split model is exact for
+// the symmetric all-to-all shuffles the paper's network-heavy workloads produce, and
+// errs (conservatively) toward under-utilization in asymmetric cases; it avoids the
+// cost of full max-min water-filling while preserving the receiver-side bottleneck
+// behaviour that the monotasks network scheduler is designed around (§3.3).
+#ifndef MONOTASKS_SRC_CLUSTER_NETWORK_H_
+#define MONOTASKS_SRC_CLUSTER_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/simcore/rate_trace.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+class NetworkFabricSim {
+ public:
+  // All NICs share one bandwidth (each direction). `request_latency` is the one-way
+  // delay for small control messages (shuffle data requests).
+  NetworkFabricSim(Simulation* sim, int num_machines, monoutil::BytesPerSecond nic_bandwidth,
+                   monoutil::SimTime request_latency = monoutil::Millis(1));
+
+  NetworkFabricSim(const NetworkFabricSim&) = delete;
+  NetworkFabricSim& operator=(const NetworkFabricSim&) = delete;
+
+  using FlowId = uint64_t;
+
+  // Starts a bulk data flow of `bytes` from machine `src` to machine `dst` (src !=
+  // dst); `done` fires when the last byte arrives.
+  FlowId StartFlow(int src, int dst, monoutil::Bytes bytes, std::function<void()> done);
+
+  // Delivers a small control message from `src` to `dst` after the request latency.
+  void SendControl(int src, int dst, std::function<void()> deliver);
+
+  int num_machines() const { return static_cast<int>(ingress_count_.size()); }
+  monoutil::BytesPerSecond nic_bandwidth() const { return nic_bandwidth_; }
+  monoutil::SimTime request_latency() const { return request_latency_; }
+
+  // Number of flows currently arriving at / departing from `machine`.
+  int ingress_flows(int machine) const;
+  int egress_flows(int machine) const;
+
+  monoutil::Bytes total_bytes_transferred() const { return total_bytes_; }
+
+  // Per-machine ingress rate trace (enabled for all machines by EnableTrace).
+  void EnableTrace();
+  const RateTrace& ingress_trace(int machine) const;
+  double MeanIngressUtilization(int machine, SimTime from, SimTime to) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    int src;
+    int dst;
+    double remaining;
+    double rate = 0.0;
+    SimTime last_update;
+    std::function<void()> done;
+    EventHandle completion;
+  };
+
+  // Re-derives the rate of every flow touching `src` or `dst` (after a flow set
+  // change at those machines), updating progress and completion events.
+  void RecomputeAround(int src, int dst);
+  void UpdateFlowRate(Flow* flow);
+  void OnFlowComplete(FlowId id);
+  double ShareFor(const Flow& flow) const;
+  void RecordIngressRates(const std::vector<int>& machines);
+
+  Simulation* sim_;
+  monoutil::BytesPerSecond nic_bandwidth_;
+  monoutil::SimTime request_latency_;
+
+  std::unordered_map<FlowId, std::unique_ptr<Flow>> flows_;
+  std::vector<int> ingress_count_;
+  std::vector<int> egress_count_;
+  std::vector<std::vector<Flow*>> ingress_flows_;
+  std::vector<std::vector<Flow*>> egress_flows_;
+  FlowId next_id_ = 1;
+  monoutil::Bytes total_bytes_ = 0;
+
+  bool trace_enabled_ = false;
+  std::vector<RateTrace> ingress_traces_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_CLUSTER_NETWORK_H_

@@ -1,0 +1,38 @@
+// Lightweight invariant checking.
+//
+// MONO_CHECK aborts with a message when a precondition or invariant is violated. These
+// stay enabled in release builds: the simulators and schedulers in this repository rely
+// on internal invariants (non-negative times, dependency counts reaching zero exactly
+// once) whose silent violation would produce quietly-wrong experiment results.
+#ifndef MONOTASKS_SRC_COMMON_CHECK_H_
+#define MONOTASKS_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace monoutil {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "MONO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace monoutil
+
+#define MONO_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::monoutil::CheckFailed(#cond, __FILE__, __LINE__, "");         \
+    }                                                                 \
+  } while (0)
+
+#define MONO_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::monoutil::CheckFailed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                 \
+  } while (0)
+
+#endif  // MONOTASKS_SRC_COMMON_CHECK_H_

@@ -1,0 +1,43 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace monoutil {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace monoutil

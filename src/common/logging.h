@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// Benches and examples default to kInfo; simulator internals log at kDebug so traces
+// can be turned on when investigating a schedule without recompiling.
+#ifndef MONOTASKS_SRC_COMMON_LOGGING_H_
+#define MONOTASKS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace monoutil {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Sets/returns the global minimum level that is emitted (default kWarning, so library
+// users see nothing unless they opt in).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr if `level` is at or above the global level.
+void LogLine(LogLevel level, const std::string& message);
+
+// Internal: stream-style log statement builder used by the MONO_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace monoutil
+
+#define MONO_LOG(level) ::monoutil::LogMessage(::monoutil::LogLevel::level)
+
+#endif  // MONOTASKS_SRC_COMMON_LOGGING_H_

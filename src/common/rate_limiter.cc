@@ -1,0 +1,51 @@
+#include "src/common/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace monoutil {
+
+RateLimiter::RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes)
+    : rate_(bytes_per_second),
+      burst_(burst_bytes > 0 ? burst_bytes
+                             : std::max<Bytes>(1, static_cast<Bytes>(bytes_per_second / 100))),
+      last_fill_(Clock::now()) {
+  MONO_CHECK(bytes_per_second > 0);
+}
+
+void RateLimiter::set_time_scale(double factor) {
+  MONO_CHECK(factor > 0);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  time_scale_ = factor;
+}
+
+void RateLimiter::Consume(Bytes n) {
+  MONO_CHECK(n >= 0);
+  double remaining = static_cast<double>(n);
+  while (remaining > 0) {
+    double wait_seconds = 0.0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto now = Clock::now();
+      const double elapsed = std::chrono::duration<double>(now - last_fill_).count();
+      last_fill_ = now;
+      available_ = std::min(static_cast<double>(burst_),
+                            available_ + elapsed * rate_ * time_scale_);
+      const double take = std::min(available_, remaining);
+      available_ -= take;
+      remaining -= take;
+      if (remaining > 0) {
+        wait_seconds = remaining / (rate_ * time_scale_);
+        // Sleep in bounded slices so rate changes take effect promptly.
+        wait_seconds = std::min(wait_seconds, 0.01);
+      }
+    }
+    if (wait_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_seconds));
+    }
+  }
+}
+
+}  // namespace monoutil

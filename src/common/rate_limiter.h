@@ -1,0 +1,48 @@
+// Wall-clock token-bucket rate limiter.
+//
+// The threaded execution engine uses RateLimiter to emulate physical device throughput
+// (disk bandwidth, NIC bandwidth) on real threads: a device thread calls Consume(bytes)
+// and is blocked until the bucket admits that many bytes at the configured rate.
+#ifndef MONOTASKS_SRC_COMMON_RATE_LIMITER_H_
+#define MONOTASKS_SRC_COMMON_RATE_LIMITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/units.h"
+
+namespace monoutil {
+
+class RateLimiter {
+ public:
+  // `bytes_per_second` must be > 0. `burst_bytes` bounds how far the bucket can run
+  // ahead; it defaults to 1/100th of a second of budget.
+  explicit RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes = 0);
+
+  // Blocks the calling thread until `n` bytes are admitted. Thread-safe.
+  void Consume(Bytes n);
+
+  // Returns the configured rate.
+  BytesPerSecond rate() const { return rate_; }
+
+  // Scales simulated device time: with factor f, a transfer that would take t seconds
+  // of device time blocks the caller for t/f wall seconds. Used by tests and examples
+  // to run "10 seconds of disk" in milliseconds while preserving relative timing.
+  void set_time_scale(double factor);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  BytesPerSecond rate_;
+  Bytes burst_;
+  double time_scale_ = 1.0;
+
+  std::mutex mutex_;
+  double available_ = 0.0;      // Bytes currently in the bucket.
+  Clock::time_point last_fill_;
+};
+
+}  // namespace monoutil
+
+#endif  // MONOTASKS_SRC_COMMON_RATE_LIMITER_H_

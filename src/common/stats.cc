@@ -1,0 +1,66 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace monoutil {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double q) {
+  MONO_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+BoxplotSummary Boxplot(const std::vector<double>& samples) {
+  BoxplotSummary box;
+  box.p5 = Percentile(samples, 0.05);
+  box.p25 = Percentile(samples, 0.25);
+  box.p50 = Percentile(samples, 0.50);
+  box.p75 = Percentile(samples, 0.75);
+  box.p95 = Percentile(samples, 0.95);
+  return box;
+}
+
+double Median(const std::vector<double>& samples) { return Percentile(samples, 0.5); }
+
+double RelativeError(double predicted, double actual) {
+  if (actual == 0.0) {
+    return 0.0;
+  }
+  return std::abs(actual - predicted) / std::abs(actual);
+}
+
+}  // namespace monoutil

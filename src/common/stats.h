@@ -1,0 +1,58 @@
+// Streaming and batch statistics used for experiment reporting.
+#ifndef MONOTASKS_SRC_COMMON_STATS_H_
+#define MONOTASKS_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace monoutil {
+
+// Online mean / variance / extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Five-number summary used for the paper's box-and-whisker plots (Fig 6):
+// 5th / 25th / 50th / 75th / 95th percentiles.
+struct BoxplotSummary {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+// Returns the q-quantile (q in [0, 1]) of `samples` using linear interpolation between
+// order statistics. `samples` may be unsorted; it is copied. Returns 0 when empty.
+double Percentile(std::vector<double> samples, double q);
+
+// Computes the Fig-6-style five-number summary of `samples`.
+BoxplotSummary Boxplot(const std::vector<double>& samples);
+
+// Returns the median of `samples` (0 when empty).
+double Median(const std::vector<double>& samples);
+
+// Relative error |actual - predicted| / actual. Returns 0 when actual == 0.
+double RelativeError(double predicted, double actual);
+
+}  // namespace monoutil
+
+#endif  // MONOTASKS_SRC_COMMON_STATS_H_

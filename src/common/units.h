@@ -1,0 +1,48 @@
+// Units and conversions used throughout the monotasks libraries.
+//
+// Simulated time is a double count of seconds (SimTime); data sizes are int64 byte
+// counts. Helpers here keep call sites readable (`monoutil::MiB(512)`) and avoid
+// magic-number unit mistakes.
+#ifndef MONOTASKS_SRC_COMMON_UNITS_H_
+#define MONOTASKS_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace monoutil {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+// Data size, in bytes.
+using Bytes = int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// Convenience constructors for byte quantities.
+constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+// Convenience constructors for time quantities (seconds are the base unit).
+constexpr SimTime Millis(double n) { return n / 1e3; }
+constexpr SimTime Micros(double n) { return n / 1e6; }
+constexpr SimTime Minutes(double n) { return n * 60.0; }
+
+// Converts a byte count to fractional mebibytes/gibibytes (for reporting).
+constexpr double ToMiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr double ToGiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+// Throughputs are expressed in bytes per second.
+using BytesPerSecond = double;
+
+constexpr BytesPerSecond MiBps(double n) { return n * static_cast<double>(kMiB); }
+constexpr BytesPerSecond GiBps(double n) { return n * static_cast<double>(kGiB); }
+
+// Converts a link rate in gigabits per second to bytes per second.
+constexpr BytesPerSecond Gbps(double n) { return n * 1e9 / 8.0; }
+
+}  // namespace monoutil
+
+#endif  // MONOTASKS_SRC_COMMON_UNITS_H_

@@ -1,0 +1,102 @@
+#include "src/engine/dag_scheduler.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monotasks {
+
+LocalDagScheduler::LocalDagScheduler(std::function<void(Monotask*)> submit)
+    : submit_(std::move(submit)) {
+  MONO_CHECK(submit_ != nullptr);
+}
+
+void LocalDagScheduler::SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
+                                  const std::vector<std::pair<Monotask*, Monotask*>>& edges,
+                                  std::function<void()> on_all_done) {
+  MONO_CHECK(!tasks.empty());
+  std::vector<Monotask*> ready;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto dag = std::make_unique<DagState>();
+    dag->remaining = static_cast<int>(tasks.size());
+    dag->on_all_done = std::move(on_all_done);
+    DagState* dag_ptr = dag.get();
+
+    for (const auto& task : tasks) {
+      TaskState state;
+      state.dag = dag_ptr;
+      auto [it, inserted] = task_states_.emplace(task.get(), std::move(state));
+      MONO_CHECK_MSG(inserted, "monotask registered twice");
+    }
+    for (const auto& [from, to] : edges) {
+      auto from_it = task_states_.find(from);
+      auto to_it = task_states_.find(to);
+      MONO_CHECK_MSG(from_it != task_states_.end() && to_it != task_states_.end(),
+                     "dependency edge references a task outside the DAG");
+      from_it->second.dependents.push_back(to);
+      ++to_it->second.unmet_dependencies;
+    }
+    for (const auto& task : tasks) {
+      if (task_states_[task.get()].unmet_dependencies == 0) {
+        ready.push_back(task.get());
+      }
+    }
+    MONO_CHECK_MSG(!ready.empty(), "DAG has no root (dependency cycle)");
+    pending_ += static_cast<int>(tasks.size());
+    dag->tasks = std::move(tasks);
+    dags_.push_back(std::move(dag));
+  }
+  for (Monotask* task : ready) {
+    submit_(task);
+  }
+}
+
+void LocalDagScheduler::OnMonotaskComplete(Monotask* task) {
+  std::vector<Monotask*> newly_ready;
+  std::function<void()> dag_done;
+  std::vector<std::unique_ptr<Monotask>> to_destroy;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = task_states_.find(task);
+    MONO_CHECK_MSG(it != task_states_.end(), "completion for unknown monotask");
+    TaskState state = std::move(it->second);
+    task_states_.erase(it);
+    --pending_;
+
+    for (Monotask* dependent : state.dependents) {
+      auto dep_it = task_states_.find(dependent);
+      MONO_CHECK(dep_it != task_states_.end());
+      if (--dep_it->second.unmet_dependencies == 0) {
+        newly_ready.push_back(dependent);
+      }
+    }
+    if (--state.dag->remaining == 0) {
+      dag_done = std::move(state.dag->on_all_done);
+      // Defer destruction of the DAG's monotasks until after the lock is released
+      // (the completed task itself is among them and is still on the caller's stack;
+      // the objects are kept alive until `to_destroy` dies at the end of scope —
+      // after the final callback below).
+      for (auto dag_it = dags_.begin(); dag_it != dags_.end(); ++dag_it) {
+        if (dag_it->get() == state.dag) {
+          to_destroy = std::move((*dag_it)->tasks);
+          dags_.erase(dag_it);
+          break;
+        }
+      }
+    }
+  }
+  for (Monotask* ready : newly_ready) {
+    submit_(ready);
+  }
+  if (dag_done) {
+    dag_done();
+  }
+}
+
+int LocalDagScheduler::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+}  // namespace monotasks

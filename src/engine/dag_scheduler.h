@@ -1,0 +1,65 @@
+// LocalDagScheduler: the worker-side top-level scheduler of §3.3.
+//
+// Tracks dependencies among the monotasks of every multitask assigned to this worker
+// and submits a monotask to its per-resource scheduler only when all of its
+// dependencies have completed, so monotasks never block holding a resource.
+// Completion callbacks arrive on resource-scheduler threads; all state is guarded by
+// one mutex.
+#ifndef MONOTASKS_SRC_ENGINE_DAG_SCHEDULER_H_
+#define MONOTASKS_SRC_ENGINE_DAG_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/monotask.h"
+
+namespace monotasks {
+
+class Worker;
+
+class LocalDagScheduler {
+ public:
+  // `submit` routes a ready monotask to the right per-resource scheduler.
+  explicit LocalDagScheduler(std::function<void(Monotask*)> submit);
+
+  LocalDagScheduler(const LocalDagScheduler&) = delete;
+  LocalDagScheduler& operator=(const LocalDagScheduler&) = delete;
+
+  // Registers a DAG: `tasks` with `edges` as (from, to) dependency pairs (to runs
+  // after from). `on_all_done` fires (on a resource thread) when every task in this
+  // DAG has completed. Takes ownership of the monotasks.
+  void SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
+                 const std::vector<std::pair<Monotask*, Monotask*>>& edges,
+                 std::function<void()> on_all_done);
+
+  // Called by the worker when a resource scheduler reports completion.
+  void OnMonotaskComplete(Monotask* task);
+
+  // Monotasks registered but not yet completed (diagnostic).
+  int pending() const;
+
+ private:
+  struct DagState {
+    int remaining = 0;
+    std::function<void()> on_all_done;
+    std::vector<std::unique_ptr<Monotask>> tasks;
+  };
+  struct TaskState {
+    int unmet_dependencies = 0;
+    std::vector<Monotask*> dependents;
+    DagState* dag = nullptr;
+  };
+
+  std::function<void(Monotask*)> submit_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Monotask*, TaskState> task_states_;
+  std::vector<std::unique_ptr<DagState>> dags_;
+  int pending_ = 0;
+};
+
+}  // namespace monotasks
+
+#endif  // MONOTASKS_SRC_ENGINE_DAG_SCHEDULER_H_

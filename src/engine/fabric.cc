@@ -1,0 +1,33 @@
+#include "src/engine/fabric.h"
+
+#include "src/common/check.h"
+
+namespace monotasks {
+
+InProcessFabric::InProcessFabric(int num_workers, monoutil::BytesPerSecond nic_bandwidth,
+                                 double time_scale) {
+  MONO_CHECK(num_workers >= 1);
+  for (int w = 0; w < num_workers; ++w) {
+    egress_.push_back(std::make_unique<monoutil::RateLimiter>(nic_bandwidth));
+    ingress_.push_back(std::make_unique<monoutil::RateLimiter>(nic_bandwidth));
+    egress_.back()->set_time_scale(time_scale);
+    ingress_.back()->set_time_scale(time_scale);
+  }
+}
+
+void InProcessFabric::Transfer(int src, int dst, monoutil::Bytes bytes) {
+  MONO_CHECK(src >= 0 && src < num_workers());
+  MONO_CHECK(dst >= 0 && dst < num_workers());
+  if (src == dst || bytes == 0) {
+    return;
+  }
+  // Consume the sender's egress first, then the receiver's ingress. Serializing the
+  // two halves is a coarse model of store-and-forward through the fabric; it halves
+  // neither side's accounted bandwidth because each limiter only charges its own
+  // direction.
+  egress_[static_cast<size_t>(src)]->Consume(bytes);
+  ingress_[static_cast<size_t>(dst)]->Consume(bytes);
+  total_bytes_ += bytes;
+}
+
+}  // namespace monotasks

@@ -1,0 +1,13 @@
+#include "src/engine/monotask.h"
+
+namespace monotasks {
+
+std::atomic<Monotask::Id>& Monotask::Counter() {
+  static std::atomic<Id> counter{1};
+  return counter;
+}
+
+Monotask::Monotask(ResourceType resource, std::string label)
+    : id_(Counter().fetch_add(1)), resource_(resource), label_(std::move(label)) {}
+
+}  // namespace monotasks

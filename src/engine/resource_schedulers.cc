@@ -1,0 +1,239 @@
+#include "src/engine/resource_schedulers.h"
+
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace monotasks {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+CpuScheduler::CpuScheduler(int num_threads, CompletionCallback on_complete)
+    : on_complete_(std::move(on_complete)) {
+  MONO_CHECK(num_threads >= 1);
+  MONO_CHECK(on_complete_ != nullptr);
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CpuScheduler::~CpuScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void CpuScheduler::Submit(Monotask* task) {
+  MONO_CHECK(task != nullptr);
+  MONO_CHECK(task->resource() == ResourceType::kCpu);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(task);
+  }
+  cv_.notify_one();
+}
+
+int CpuScheduler::queue_length() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void CpuScheduler::WorkerLoop() {
+  while (true) {
+    Monotask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) {
+        return;
+      }
+      task = queue_.front();
+      queue_.pop_front();
+      ++running_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task->Run();
+    const double service = SecondsSince(start);
+    task->set_service_seconds(service);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    on_complete_(task, service);
+  }
+}
+
+DiskScheduler::DiskScheduler(int max_outstanding, CompletionCallback on_complete)
+    : on_complete_(std::move(on_complete)) {
+  MONO_CHECK(max_outstanding >= 1);
+  MONO_CHECK(on_complete_ != nullptr);
+  for (int t = 0; t < max_outstanding; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DiskScheduler::~DiskScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void DiskScheduler::Submit(Monotask* task) {
+  MONO_CHECK(task != nullptr);
+  MONO_CHECK(task->resource() == ResourceType::kDisk);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queues_[static_cast<size_t>(task->disk_queue)].push_back(task);
+  }
+  cv_.notify_one();
+}
+
+int DiskScheduler::queue_length() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int total = 0;
+  for (const auto& queue : queues_) {
+    total += static_cast<int>(queue.size());
+  }
+  return total;
+}
+
+int DiskScheduler::queued_writes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queues_[static_cast<size_t>(DiskQueue::kWrite)].size());
+}
+
+Monotask* DiskScheduler::PopNextLocked() {
+  // Round-robin across non-empty phase queues, continuing after the last served
+  // phase, so a backlog of writes cannot starve reads (§3.3).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const int phase = (rr_cursor_ + attempt) % 3;
+    auto& queue = queues_[static_cast<size_t>(phase)];
+    if (!queue.empty()) {
+      Monotask* task = queue.front();
+      queue.pop_front();
+      rr_cursor_ = (phase + 1) % 3;
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void DiskScheduler::WorkerLoop() {
+  while (true) {
+    Monotask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        if (shutdown_) {
+          return true;
+        }
+        for (const auto& queue : queues_) {
+          if (!queue.empty()) {
+            return true;
+          }
+        }
+        return false;
+      });
+      if (shutdown_) {
+        return;
+      }
+      task = PopNextLocked();
+      if (task == nullptr) {
+        continue;
+      }
+      ++running_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task->Run();
+    const double service = SecondsSince(start);
+    task->set_service_seconds(service);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    on_complete_(task, service);
+  }
+}
+
+NetworkScheduler::NetworkScheduler(int multitask_limit, int num_threads,
+                                   CompletionCallback on_complete)
+    : on_complete_(std::move(on_complete)), limit_(multitask_limit) {
+  MONO_CHECK(multitask_limit >= 1);
+  MONO_CHECK(num_threads >= multitask_limit);
+  MONO_CHECK(on_complete_ != nullptr);
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+NetworkScheduler::~NetworkScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void NetworkScheduler::Submit(Monotask* task) {
+  MONO_CHECK(task != nullptr);
+  MONO_CHECK(task->resource() == ResourceType::kNetwork);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(task);
+  }
+  cv_.notify_one();
+}
+
+int NetworkScheduler::queue_length() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void NetworkScheduler::WorkerLoop() {
+  while (true) {
+    Monotask* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Admission: at most `limit_` fetch sets outstanding at once.
+      cv_.wait(lock, [this] {
+        return shutdown_ || (!queue_.empty() && running_ < limit_);
+      });
+      if (shutdown_) {
+        return;
+      }
+      task = queue_.front();
+      queue_.pop_front();
+      ++running_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task->Run();
+    const double service = SecondsSince(start);
+    task->set_service_seconds(service);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    cv_.notify_one();  // A slot freed; admit the next waiter.
+    on_complete_(task, service);
+  }
+}
+
+}  // namespace monotasks

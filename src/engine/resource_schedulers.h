@@ -1,0 +1,121 @@
+// Threaded per-resource schedulers for the execution engine (§3.3, real threads).
+//
+// Each scheduler owns exactly as many worker threads as monotasks that may use its
+// resource concurrently — one per core for the CPU scheduler, one per HDD (or the
+// flash outstanding count per SSD) for the disk scheduler — and queues everything
+// else. Queue lengths are observable, which is how the architecture makes contention
+// visible. Completion callbacks run on the scheduler thread that executed the
+// monotask; callers (the LocalDagScheduler) must be thread-safe.
+#ifndef MONOTASKS_SRC_ENGINE_RESOURCE_SCHEDULERS_H_
+#define MONOTASKS_SRC_ENGINE_RESOURCE_SCHEDULERS_H_
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/engine/monotask.h"
+
+namespace monotasks {
+
+// Fires when a monotask finishes running; receives the task and its service time.
+using CompletionCallback = std::function<void(Monotask*, double service_seconds)>;
+
+// A fixed pool of threads draining a FIFO of monotasks: the CPU scheduler runs one
+// monotask per core.
+class CpuScheduler {
+ public:
+  CpuScheduler(int num_threads, CompletionCallback on_complete);
+  ~CpuScheduler();
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  void Submit(Monotask* task);
+
+  int queue_length() const;
+  int running() const { return running_; }
+  int max_concurrency() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  CompletionCallback on_complete_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Monotask*> queue_;
+  int running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// One scheduler per disk: `max_outstanding` threads (1 for an HDD) drain three
+// phase queues (read / write / serve) in round-robin order.
+class DiskScheduler {
+ public:
+  DiskScheduler(int max_outstanding, CompletionCallback on_complete);
+  ~DiskScheduler();
+
+  DiskScheduler(const DiskScheduler&) = delete;
+  DiskScheduler& operator=(const DiskScheduler&) = delete;
+
+  void Submit(Monotask* task);  // Uses task->disk_queue to pick the phase queue.
+
+  int queue_length() const;
+  int queued_writes() const;
+  int running() const { return running_; }
+  int max_concurrency() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+  Monotask* PopNextLocked();
+
+  CompletionCallback on_complete_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<std::deque<Monotask*>, 3> queues_;
+  int rr_cursor_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Receiver-side network admission (§3.3): at most `multitask_limit` multitasks may
+// have shuffle fetches outstanding. Fetch work itself runs on a small thread pool
+// (the flows are rate-limited by the fabric, so threads mostly sleep in limiters).
+class NetworkScheduler {
+ public:
+  NetworkScheduler(int multitask_limit, int num_threads, CompletionCallback on_complete);
+  ~NetworkScheduler();
+
+  NetworkScheduler(const NetworkScheduler&) = delete;
+  NetworkScheduler& operator=(const NetworkScheduler&) = delete;
+
+  // Submits the network monotask of one multitask (it performs that multitask's
+  // whole fetch set). Admission is gated by the multitask limit.
+  void Submit(Monotask* task);
+
+  int queue_length() const;
+  int active() const { return running_; }
+  int max_concurrency() const { return limit_; }
+
+ private:
+  void WorkerLoop();
+
+  CompletionCallback on_complete_;
+  int limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Monotask*> queue_;
+  int running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace monotasks
+
+#endif  // MONOTASKS_SRC_ENGINE_RESOURCE_SCHEDULERS_H_

@@ -1,0 +1,108 @@
+#include "src/engine/worker.h"
+
+#include "src/common/check.h"
+
+namespace monotasks {
+namespace {
+
+// std::atomic<double> has no fetch_add until C++20's on floating types is spotty in
+// practice; a CAS loop keeps the accounting portable.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Worker::Worker(int id, const EngineConfig& config, InProcessFabric* fabric)
+    : id_(id), config_(config), fabric_(fabric) {
+  MONO_CHECK(fabric_ != nullptr);
+  MONO_CHECK(config.cores_per_worker >= 1);
+  MONO_CHECK(config.disks_per_worker >= 1);
+
+  for (int d = 0; d < config.disks_per_worker; ++d) {
+    disks_.push_back(std::make_unique<SimulatedBlockDevice>(
+        "worker" + std::to_string(id) + ".disk" + std::to_string(d),
+        config.disk_bandwidth, config.time_scale, config.disk_seek_alpha));
+  }
+  auto on_complete = [this](Monotask* task, double service) {
+    OnComplete(task, service);
+  };
+  cpu_ = std::make_unique<CpuScheduler>(config.cores_per_worker, on_complete);
+  for (int d = 0; d < config.disks_per_worker; ++d) {
+    disk_schedulers_.push_back(
+        std::make_unique<DiskScheduler>(config.disk_outstanding, on_complete));
+  }
+  network_ = std::make_unique<NetworkScheduler>(config.network_multitask_limit,
+                                                config.network_multitask_limit,
+                                                on_complete);
+  dag_ = std::make_unique<LocalDagScheduler>([this](Monotask* task) { Route(task); });
+}
+
+void Worker::Route(Monotask* task) {
+  switch (task->resource()) {
+    case ResourceType::kCpu:
+      cpu_->Submit(task);
+      return;
+    case ResourceType::kDisk:
+      MONO_CHECK(task->disk_index >= 0 && task->disk_index < num_disks());
+      disk_schedulers_[static_cast<size_t>(task->disk_index)]->Submit(task);
+      return;
+    case ResourceType::kNetwork:
+      network_->Submit(task);
+      return;
+  }
+  MONO_CHECK_MSG(false, "unknown resource type");
+}
+
+void Worker::OnComplete(Monotask* task, double service_seconds) {
+  switch (task->resource()) {
+    case ResourceType::kCpu:
+      AtomicAdd(&counters_.cpu_seconds, service_seconds);
+      ++counters_.cpu_count;
+      break;
+    case ResourceType::kDisk:
+      AtomicAdd(&counters_.disk_seconds, service_seconds);
+      ++counters_.disk_count;
+      break;
+    case ResourceType::kNetwork:
+      AtomicAdd(&counters_.network_seconds, service_seconds);
+      ++counters_.network_count;
+      break;
+  }
+  dag_->OnMonotaskComplete(task);
+}
+
+void Worker::SubmitDetached(std::unique_ptr<Monotask> task, std::function<void()> done) {
+  std::vector<std::unique_ptr<Monotask>> tasks;
+  tasks.push_back(std::move(task));
+  dag_->SubmitDag(std::move(tasks), {}, std::move(done));
+}
+
+int Worker::MultitaskLimit() const {
+  int limit = config_.cores_per_worker;
+  limit += config_.disks_per_worker * config_.disk_outstanding;
+  limit += config_.network_multitask_limit;
+  return limit + 1;
+}
+
+int Worker::PickWriteDisk() {
+  return next_write_disk_.fetch_add(1) % num_disks();
+}
+
+int Worker::PickServeDisk() {
+  return next_serve_disk_.fetch_add(1) % num_disks();
+}
+
+int Worker::DiskWithBlock(const std::string& block_id) const {
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    if (disks_[d]->HasBlock(block_id)) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+}  // namespace monotasks

@@ -1,0 +1,17 @@
+#include "src/framework/environment.h"
+
+namespace monosim {
+
+SimEnvironment::SimEnvironment(const ClusterConfig& config, int dfs_replication) {
+  cluster_ = std::make_unique<ClusterSim>(&sim_, config);
+  dfs_ = std::make_unique<DfsSim>(config.num_machines,
+                                  static_cast<int>(config.machine.disks.size()),
+                                  dfs_replication, config.seed);
+  driver_ = std::make_unique<JobDriver>(&sim_, cluster_.get(), dfs_.get(), &pool_);
+}
+
+void SimEnvironment::AttachExecutor(ExecutorSim* executor) {
+  driver_->set_executor(executor);
+}
+
+}  // namespace monosim

@@ -1,0 +1,28 @@
+// ExecutorSim: the interface both execution architectures implement.
+//
+// The driver activates stages and registers them with the TaskPool; it then notifies
+// the executor, which pulls tasks for machines with spare capacity and runs them —
+// either as fine-grained pipelined multitasks (SparkExecutorSim) or decomposed into
+// monotasks under per-resource schedulers (MonotasksExecutorSim).
+#ifndef MONOTASKS_SRC_FRAMEWORK_EXECUTOR_H_
+#define MONOTASKS_SRC_FRAMEWORK_EXECUTOR_H_
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+class ExecutorSim {
+ public:
+  virtual ~ExecutorSim() = default;
+
+  // Called whenever new tasks may be available in the pool (a stage was activated).
+  // The executor should try to fill idle capacity on every machine.
+  virtual void OnWorkAvailable() = 0;
+
+  // Peak bytes of task data buffered in application memory on any single machine.
+  virtual monoutil::Bytes peak_buffered_bytes() const { return 0; }
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_FRAMEWORK_EXECUTOR_H_

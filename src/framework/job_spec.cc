@@ -1,0 +1,49 @@
+#include "src/framework/job_spec.h"
+
+#include "src/common/check.h"
+
+namespace monosim {
+
+void JobSpec::Validate() const {
+  MONO_CHECK_MSG(!stages.empty(), "job must have at least one stage");
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageSpec& stage = stages[s];
+    MONO_CHECK_MSG(stage.num_tasks > 0, "stage must have tasks");
+    MONO_CHECK(stage.cpu_seconds_per_task >= 0);
+    MONO_CHECK(stage.deser_fraction >= 0 && stage.deser_fraction <= 1.0);
+    MONO_CHECK(stage.input_compression_ratio >= 1.0);
+    MONO_CHECK(stage.decompress_fraction >= 0 && stage.decompress_fraction <= 1.0);
+    MONO_CHECK(stage.deser_fraction + stage.decompress_fraction <= 1.0);
+    MONO_CHECK(stage.task_size_jitter >= 0 && stage.task_size_jitter < 1.0);
+    switch (stage.input) {
+      case InputSource::kDfs:
+        MONO_CHECK_MSG(!stage.input_file.empty(), "kDfs input requires input_file");
+        break;
+      case InputSource::kShuffle: {
+        MONO_CHECK_MSG(s > 0, "first stage cannot read shuffle data");
+        const StageSpec& prev = stages[s - 1];
+        MONO_CHECK_MSG(prev.output == OutputSink::kShuffle,
+                       "kShuffle input requires the previous stage to write shuffle data");
+        MONO_CHECK_MSG(stage.input_bytes == prev.shuffle_bytes,
+                       "shuffle input bytes must equal previous stage's shuffle output");
+        break;
+      }
+      case InputSource::kMemory:
+      case InputSource::kNone:
+        break;
+    }
+    switch (stage.output) {
+      case OutputSink::kShuffle:
+        MONO_CHECK_MSG(stage.shuffle_bytes > 0, "kShuffle output requires shuffle_bytes");
+        MONO_CHECK_MSG(s + 1 < stages.size(), "last stage cannot write shuffle data");
+        break;
+      case OutputSink::kDfs:
+        MONO_CHECK_MSG(stage.output_bytes >= 0, "negative output bytes");
+        break;
+      case OutputSink::kNone:
+        break;
+    }
+  }
+}
+
+}  // namespace monosim

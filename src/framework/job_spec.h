@@ -1,0 +1,82 @@
+// Job and stage specifications.
+//
+// A job is a linear chain of bulk-synchronous stages (the structure Spark gives the
+// paper's benchmark workloads once the DAG scheduler has run: map stage -> shuffle ->
+// reduce stage, possibly repeated). Each stage describes the per-task resource profile
+// — where input comes from, how much CPU work each task performs, and where output
+// goes. Executors (multitask / monotask) decide *how* those resources are used; the
+// spec only says how much.
+#ifndef MONOTASKS_SRC_FRAMEWORK_JOB_SPEC_H_
+#define MONOTASKS_SRC_FRAMEWORK_JOB_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+enum class InputSource {
+  kNone,     // Generated in place (e.g. synthetic data generators).
+  kDfs,      // Read from DFS blocks; tasks prefer the block's home machine.
+  kMemory,   // Cached in memory on the machines (no read I/O).
+  kShuffle,  // Fetched from the previous stage's shuffle output.
+};
+
+enum class OutputSink {
+  kNone,
+  kShuffle,  // Written locally as shuffle data for the next stage.
+  kDfs,      // Written to the DFS (the job's final output).
+};
+
+struct StageSpec {
+  std::string name;
+  int num_tasks = 0;
+
+  InputSource input = InputSource::kNone;
+  // For kDfs: the DFS file name (the file's block count must equal num_tasks).
+  std::string input_file;
+  // For kMemory / kShuffle / kNone: total input bytes across all tasks. For kShuffle
+  // this must equal the previous stage's shuffle_bytes.
+  monoutil::Bytes input_bytes = 0;
+
+  // Total single-threaded CPU work per task, including (de)serialization and any
+  // decompression.
+  double cpu_seconds_per_task = 0.0;
+  // Fraction of the CPU work that deserializes the input (separable thanks to
+  // monotasks; used by the §6.3 what-if model).
+  double deser_fraction = 0.0;
+  // Input compression (only meaningful for kDfs input): input_bytes above are the
+  // *compressed* bytes read from disk; uncompressed, the data would be
+  // input_compression_ratio times larger. decompress_fraction is the share of the
+  // CPU work that decompresses — both feed the "should I store compressed or
+  // uncompressed data?" what-if from the paper's introduction.
+  double input_compression_ratio = 1.0;
+  double decompress_fraction = 0.0;
+
+  OutputSink output = OutputSink::kNone;
+  // Total bytes across all tasks for the chosen sink.
+  monoutil::Bytes shuffle_bytes = 0;
+  monoutil::Bytes output_bytes = 0;
+  // If true, shuffle output is kept in memory rather than written to disk (the ML
+  // workload in §5.2 stores shuffle data in-memory).
+  bool shuffle_to_memory = false;
+
+  // Multiplicative per-task size variation: each task's sizes are scaled by a factor
+  // drawn uniformly from [1 - jitter, 1 + jitter] (normalized so totals are exact).
+  double task_size_jitter = 0.05;
+};
+
+struct JobSpec {
+  std::string name;
+  std::vector<StageSpec> stages;
+  uint64_t seed = 1;
+
+  // Aborts (via MONO_CHECK) if the spec is internally inconsistent: a kShuffle stage
+  // not preceded by a kShuffle-output stage, byte totals that disagree, etc.
+  void Validate() const;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_FRAMEWORK_JOB_SPEC_H_

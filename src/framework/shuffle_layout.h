@@ -1,0 +1,31 @@
+// Shuffle fetch layout: which machines a reduce task fetches its input from.
+//
+// A reduce task's input is its share of the previous stage's shuffle output,
+// distributed across machines proportionally to where the map tasks wrote it.
+// Rounding is assigned to the last portion so the sum is exact; the rotation start
+// depends on the task index so concurrent reduce tasks spread their first requests
+// across the cluster.
+#ifndef MONOTASKS_SRC_FRAMEWORK_SHUFFLE_LAYOUT_H_
+#define MONOTASKS_SRC_FRAMEWORK_SHUFFLE_LAYOUT_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/framework/stage_execution.h"
+#include "src/framework/task.h"
+
+namespace monosim {
+
+struct ShufflePortion {
+  int src_machine = 0;
+  monoutil::Bytes bytes = 0;
+};
+
+// Computes the fetch portions for `task` (whose stage reads shuffle data). Portions
+// with zero bytes are omitted. The portion from the task's own machine (if any) is
+// included; callers handle it as a local read.
+std::vector<ShufflePortion> ComputeShufflePortions(const TaskAssignment& task);
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_FRAMEWORK_SHUFFLE_LAYOUT_H_

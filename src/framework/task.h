@@ -1,0 +1,34 @@
+// TaskAssignment: one multitask, bound to a machine, with its concrete sizes.
+//
+// The driver's locality-aware placement produces these; the executors consume them.
+// Sizes are per-task (already jittered and normalized so stage totals are exact).
+#ifndef MONOTASKS_SRC_FRAMEWORK_TASK_H_
+#define MONOTASKS_SRC_FRAMEWORK_TASK_H_
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+class StageExecution;
+
+struct TaskAssignment {
+  StageExecution* stage = nullptr;
+  int task_index = 0;
+  // Machine the task will run on.
+  int machine = 0;
+  // For DFS input: whether the input block is local, and where it lives.
+  bool input_local = true;
+  int input_machine = 0;
+  int input_disk = 0;
+
+  monoutil::Bytes input_bytes = 0;
+  double cpu_seconds = 0.0;
+  double deser_cpu_seconds = 0.0;
+  double decompress_cpu_seconds = 0.0;
+  monoutil::Bytes shuffle_write_bytes = 0;
+  monoutil::Bytes output_bytes = 0;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_FRAMEWORK_TASK_H_

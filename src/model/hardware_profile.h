@@ -1,0 +1,61 @@
+// HardwareProfile: the cluster parameters the performance model reasons over.
+//
+// What-if questions are phrased as transformations of this profile (more machines,
+// more disks, SSDs instead of HDDs, a faster network) plus optional software changes.
+#ifndef MONOTASKS_SRC_MODEL_HARDWARE_PROFILE_H_
+#define MONOTASKS_SRC_MODEL_HARDWARE_PROFILE_H_
+
+#include "src/cluster/cluster_config.h"
+
+namespace monomodel {
+
+struct HardwareProfile {
+  int num_machines = 0;
+  int cores_per_machine = 0;
+  int disks_per_machine = 0;
+  // Per-disk streaming bandwidth (the rate a well-behaved monotask achieves).
+  monoutil::BytesPerSecond disk_bandwidth = 0;
+  // Per-machine, per-direction NIC bandwidth.
+  monoutil::BytesPerSecond nic_bandwidth = 0;
+
+  int total_cores() const { return num_machines * cores_per_machine; }
+  int total_disks() const { return num_machines * disks_per_machine; }
+  double total_disk_bandwidth() const {
+    return static_cast<double>(total_disks()) * disk_bandwidth;
+  }
+  double total_nic_bandwidth() const {
+    return static_cast<double>(num_machines) * nic_bandwidth;
+  }
+
+  static HardwareProfile FromCluster(const monosim::ClusterConfig& config) {
+    HardwareProfile profile;
+    profile.num_machines = config.num_machines;
+    profile.cores_per_machine = config.machine.cores;
+    profile.disks_per_machine = static_cast<int>(config.machine.disks.size());
+    profile.disk_bandwidth =
+        config.machine.disks.empty() ? 0 : config.machine.disks[0].bandwidth;
+    profile.nic_bandwidth = config.machine.nic_bandwidth;
+    return profile;
+  }
+
+  // Convenience transformations for common what-if questions.
+  HardwareProfile WithDisksPerMachine(int disks) const {
+    HardwareProfile profile = *this;
+    profile.disks_per_machine = disks;
+    return profile;
+  }
+  HardwareProfile WithDiskBandwidth(monoutil::BytesPerSecond bandwidth) const {
+    HardwareProfile profile = *this;
+    profile.disk_bandwidth = bandwidth;
+    return profile;
+  }
+  HardwareProfile WithMachines(int machines) const {
+    HardwareProfile profile = *this;
+    profile.num_machines = machines;
+    return profile;
+  }
+};
+
+}  // namespace monomodel
+
+#endif  // MONOTASKS_SRC_MODEL_HARDWARE_PROFILE_H_

@@ -1,0 +1,199 @@
+#include "src/model/monotasks_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace monomodel {
+
+const char* ResourceName(Resource resource) {
+  switch (resource) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kDisk:
+      return "disk";
+    case Resource::kNetwork:
+      return "network";
+  }
+  return "?";
+}
+
+double StageIdealTimes::bottleneck_seconds() const {
+  return std::max(cpu, std::max(disk, network));
+}
+
+Resource StageIdealTimes::bottleneck() const {
+  if (cpu >= disk && cpu >= network) {
+    return Resource::kCpu;
+  }
+  if (disk >= network) {
+    return Resource::kDisk;
+  }
+  return Resource::kNetwork;
+}
+
+double StageIdealTimes::MaxExcluding(Resource excluded) const {
+  double best = 0.0;
+  if (excluded != Resource::kCpu) {
+    best = std::max(best, cpu);
+  }
+  if (excluded != Resource::kDisk) {
+    best = std::max(best, disk);
+  }
+  if (excluded != Resource::kNetwork) {
+    best = std::max(best, network);
+  }
+  return best;
+}
+
+namespace {
+
+std::vector<StageModelInput> ExtractInputs(const monosim::JobResult& result) {
+  std::vector<StageModelInput> inputs;
+  for (const auto& stage : result.stages) {
+    StageModelInput input;
+    input.name = stage.name;
+    // CPU comes from the monotask instrumentation when present (the monotasks
+    // executor), falling back to ground-truth totals (identical for an uncontended
+    // CPU scheduler, and the right anchor for tests).
+    if (stage.monotask_times.compute_count > 0) {
+      input.cpu_seconds = stage.monotask_times.compute_seconds;
+      input.deser_cpu_seconds = stage.monotask_times.compute_deser_seconds;
+      input.decompress_cpu_seconds = stage.monotask_times.compute_decompress_seconds;
+    } else {
+      input.cpu_seconds = stage.usage.cpu_seconds;
+      input.deser_cpu_seconds = stage.usage.deser_cpu_seconds;
+      input.decompress_cpu_seconds = stage.usage.decompress_cpu_seconds;
+    }
+    input.disk_read_bytes = stage.usage.disk_read_bytes;
+    input.input_disk_read_bytes = stage.usage.input_disk_read_bytes;
+    input.input_uncompressed_bytes = stage.usage.input_uncompressed_bytes;
+    input.disk_write_bytes = stage.usage.disk_write_bytes;
+    input.network_bytes = stage.usage.network_bytes;
+    input.observed_seconds = stage.duration();
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+MonotasksModel::MonotasksModel(const monosim::JobResult& result, HardwareProfile baseline)
+    : MonotasksModel(ExtractInputs(result), baseline) {}
+
+MonotasksModel::MonotasksModel(std::vector<StageModelInput> stages,
+                               HardwareProfile baseline)
+    : stages_(std::move(stages)), baseline_(baseline) {
+  MONO_CHECK(!stages_.empty());
+  MONO_CHECK(baseline_.total_cores() > 0);
+  MONO_CHECK(baseline_.total_disk_bandwidth() > 0);
+  MONO_CHECK(baseline_.total_nic_bandwidth() > 0);
+}
+
+const StageModelInput& MonotasksModel::stage_input(int stage) const {
+  MONO_CHECK(stage >= 0 && stage < num_stages());
+  return stages_[static_cast<size_t>(stage)];
+}
+
+StageIdealTimes MonotasksModel::IdealTimes(int stage, const HardwareProfile& hardware,
+                                           const SoftwareChanges& software) const {
+  const StageModelInput& input = stage_input(stage);
+  StageIdealTimes ideal;
+
+  double cpu_seconds = input.cpu_seconds;
+  monoutil::Bytes read_bytes = input.disk_read_bytes;
+  if (software.input_in_memory_deserialized) {
+    // §6.3: the input no longer needs to be read from disk, deserialized, or
+    // decompressed. This is only knowable because monotasks separate those pieces
+    // of the compute monotask's work.
+    cpu_seconds -= input.deser_cpu_seconds + input.decompress_cpu_seconds;
+    read_bytes -= input.input_disk_read_bytes;
+  } else if (software.input_stored_uncompressed) {
+    // The intro's "compressed or uncompressed?" question: trade decompression CPU
+    // for larger input reads.
+    cpu_seconds -= input.decompress_cpu_seconds;
+    read_bytes += input.input_uncompressed_bytes - input.input_disk_read_bytes;
+  }
+  ideal.cpu = cpu_seconds / static_cast<double>(hardware.total_cores());
+  ideal.disk = static_cast<double>(read_bytes + input.disk_write_bytes) /
+               hardware.total_disk_bandwidth();
+  ideal.network =
+      static_cast<double>(input.network_bytes) / hardware.total_nic_bandwidth();
+  return ideal;
+}
+
+StageIdealTimes MonotasksModel::IdealTimes(int stage) const {
+  return IdealTimes(stage, baseline_, SoftwareChanges{});
+}
+
+double MonotasksModel::ModeledJobSeconds(const HardwareProfile& hardware,
+                                         const SoftwareChanges& software) const {
+  double total = 0.0;
+  for (int s = 0; s < num_stages(); ++s) {
+    total += IdealTimes(s, hardware, software).bottleneck_seconds();
+  }
+  return total;
+}
+
+double MonotasksModel::ModeledJobSeconds() const {
+  return ModeledJobSeconds(baseline_, SoftwareChanges{});
+}
+
+double MonotasksModel::PredictJobSeconds(const HardwareProfile& hardware,
+                                         const SoftwareChanges& software) const {
+  // Per-stage observed time, scaled by the modeled change for that stage (§6.2).
+  double total = 0.0;
+  for (int s = 0; s < num_stages(); ++s) {
+    const double modeled_base = IdealTimes(s).bottleneck_seconds();
+    const double modeled_new = IdealTimes(s, hardware, software).bottleneck_seconds();
+    const double observed = stage_input(s).observed_seconds;
+    if (modeled_base <= 0.0) {
+      total += observed;
+      continue;
+    }
+    total += observed * (modeled_new / modeled_base);
+  }
+  return total;
+}
+
+double MonotasksModel::PredictWithInfinitelyFast(Resource resource) const {
+  double total = 0.0;
+  for (int s = 0; s < num_stages(); ++s) {
+    const StageIdealTimes ideal = IdealTimes(s);
+    const double modeled_base = ideal.bottleneck_seconds();
+    const double observed = stage_input(s).observed_seconds;
+    if (modeled_base <= 0.0) {
+      total += observed;
+      continue;
+    }
+    total += observed * (ideal.MaxExcluding(resource) / modeled_base);
+  }
+  return total;
+}
+
+Resource MonotasksModel::JobBottleneck() const {
+  double cpu = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+  for (int s = 0; s < num_stages(); ++s) {
+    const StageIdealTimes ideal = IdealTimes(s);
+    cpu += ideal.cpu;
+    disk += ideal.disk;
+    network += ideal.network;
+  }
+  StageIdealTimes totals;
+  totals.cpu = cpu;
+  totals.disk = disk;
+  totals.network = network;
+  return totals.bottleneck();
+}
+
+double MonotasksModel::observed_job_seconds() const {
+  double total = 0.0;
+  for (const auto& stage : stages_) {
+    total += stage.observed_seconds;
+  }
+  return total;
+}
+
+}  // namespace monomodel

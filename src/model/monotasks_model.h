@@ -1,0 +1,120 @@
+// The monotasks performance model (§6 of the paper).
+//
+// Because every monotask uses exactly one resource and reports its service time, a
+// completed job yields, per stage: total compute monotask seconds (with the
+// deserialization portion separated out), and the bytes moved through disk and
+// network. From those, the model computes per-resource *ideal completion times*:
+//
+//   ideal_cpu     = compute monotask seconds / total cores
+//   ideal_disk    = (disk read + write bytes) / total disk bandwidth
+//   ideal_network = network bytes / total NIC bandwidth
+//
+// A stage's modeled time is the maximum (the bottleneck); the job's is the sum over
+// stages. What-if predictions re-evaluate the ideal times under a transformed
+// hardware/software profile and scale the *observed* runtime by the modeled change
+// (§6.2), which corrects for the model's idealizations (ramp-up, imperfect
+// parallelism).
+#ifndef MONOTASKS_SRC_MODEL_MONOTASKS_MODEL_H_
+#define MONOTASKS_SRC_MODEL_MONOTASKS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/framework/metrics.h"
+#include "src/model/hardware_profile.h"
+
+namespace monomodel {
+
+enum class Resource {
+  kCpu,
+  kDisk,
+  kNetwork,
+};
+
+const char* ResourceName(Resource resource);
+
+// Per-stage model inputs, extracted from a monotasks run (or approximated from a
+// Spark run via FromMeasured — see spark_models.h for why that is worse).
+struct StageModelInput {
+  std::string name;
+  double cpu_seconds = 0.0;        // Total compute monotask time.
+  double deser_cpu_seconds = 0.0;  // Portion spent deserializing input.
+  double decompress_cpu_seconds = 0.0;  // Portion spent decompressing input.
+  monoutil::Bytes disk_read_bytes = 0;
+  monoutil::Bytes input_disk_read_bytes = 0;  // Part of the reads that fetched input.
+  // Size the input reads would have if stored uncompressed.
+  monoutil::Bytes input_uncompressed_bytes = 0;
+  monoutil::Bytes disk_write_bytes = 0;
+  monoutil::Bytes network_bytes = 0;
+  double observed_seconds = 0.0;   // The stage's actual duration.
+};
+
+// Software-configuration changes the model can evaluate (§6.3 and the intro's
+// configuration questions).
+struct SoftwareChanges {
+  // Input is stored in memory, deserialized: input disk reads and input
+  // deserialization (and decompression) CPU time disappear.
+  bool input_in_memory_deserialized = false;
+  // Input is stored uncompressed on disk: decompression CPU disappears, but the
+  // input reads grow to their uncompressed size.
+  bool input_stored_uncompressed = false;
+};
+
+struct StageIdealTimes {
+  double cpu = 0.0;
+  double disk = 0.0;
+  double network = 0.0;
+
+  double bottleneck_seconds() const;
+  Resource bottleneck() const;
+  // Modeled stage time if `excluded` were infinitely fast (Fig 14).
+  double MaxExcluding(Resource excluded) const;
+};
+
+class MonotasksModel {
+ public:
+  // Builds the model from a completed run's per-stage metrics and the hardware it
+  // ran on. Monotask instrumentation (MonotaskTimes) is used for CPU; ground-truth
+  // byte counts for I/O.
+  MonotasksModel(const monosim::JobResult& result, HardwareProfile baseline);
+
+  // Direct construction from inputs (used by tests and by the Spark-based model).
+  MonotasksModel(std::vector<StageModelInput> stages, HardwareProfile baseline);
+
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const StageModelInput& stage_input(int stage) const;
+
+  // Ideal per-resource times for one stage under a scenario.
+  StageIdealTimes IdealTimes(int stage, const HardwareProfile& hardware,
+                             const SoftwareChanges& software = {}) const;
+  StageIdealTimes IdealTimes(int stage) const;  // Baseline hardware, no changes.
+
+  // Modeled time (sum over stages of the per-stage bottleneck) under a scenario.
+  double ModeledJobSeconds(const HardwareProfile& hardware,
+                           const SoftwareChanges& software = {}) const;
+  double ModeledJobSeconds() const;
+
+  // The headline what-if answer: predicted wall-clock runtime on `hardware` with
+  // `software` changes, anchored to the observed runtime (§6.2: per-stage observed
+  // time scaled by the modeled change, summed).
+  double PredictJobSeconds(const HardwareProfile& hardware,
+                           const SoftwareChanges& software = {}) const;
+
+  // Fig 14: predicted runtime if `resource` were infinitely fast (a bound on the
+  // benefit of optimizing it). Same observed-anchored scaling.
+  double PredictWithInfinitelyFast(Resource resource) const;
+
+  // The job-level bottleneck: resource with the largest total ideal time.
+  Resource JobBottleneck() const;
+
+  double observed_job_seconds() const;
+  const HardwareProfile& baseline() const { return baseline_; }
+
+ private:
+  std::vector<StageModelInput> stages_;
+  HardwareProfile baseline_;
+};
+
+}  // namespace monomodel
+
+#endif  // MONOTASKS_SRC_MODEL_MONOTASKS_MODEL_H_

@@ -1,0 +1,53 @@
+#include "src/model/spark_models.h"
+
+#include "src/common/check.h"
+
+namespace monomodel {
+
+SlotBasedModel::SlotBasedModel(const monosim::JobResult& result,
+                               int baseline_slots_per_machine)
+    : baseline_slots_(baseline_slots_per_machine) {
+  MONO_CHECK(baseline_slots_per_machine > 0);
+  for (const auto& stage : result.stages) {
+    stage_observed_.push_back(stage.duration());
+  }
+}
+
+double SlotBasedModel::PredictJobSeconds(int new_slots_per_machine) const {
+  MONO_CHECK(new_slots_per_machine > 0);
+  const double scale = static_cast<double>(baseline_slots_) /
+                       static_cast<double>(new_slots_per_machine);
+  double total = 0.0;
+  for (double observed : stage_observed_) {
+    total += observed * scale;
+  }
+  return total;
+}
+
+double SlotBasedModel::observed_job_seconds() const {
+  double total = 0.0;
+  for (double observed : stage_observed_) {
+    total += observed;
+  }
+  return total;
+}
+
+MonotasksModel ModelFromMeasuredUsage(const monosim::JobResult& result,
+                                      HardwareProfile baseline) {
+  std::vector<StageModelInput> inputs;
+  for (const auto& stage : result.stages) {
+    StageModelInput input;
+    input.name = stage.name;
+    input.cpu_seconds = stage.measured.cpu_seconds;
+    input.deser_cpu_seconds = 0.0;  // Not measurable in Spark (§6.3).
+    input.disk_read_bytes = stage.measured.disk_read_bytes;
+    input.input_disk_read_bytes = 0;  // Indistinguishable from other reads.
+    input.disk_write_bytes = stage.measured.disk_write_bytes;
+    input.network_bytes = stage.measured.network_bytes;
+    input.observed_seconds = stage.duration();
+    inputs.push_back(std::move(input));
+  }
+  return MonotasksModel(std::move(inputs), baseline);
+}
+
+}  // namespace monomodel

@@ -1,0 +1,46 @@
+// The two Spark-based strawman models the paper evaluates (§6.6, Figs 15-17).
+//
+// Spark has no per-resource instrumentation, so a user modelling it has two options,
+// both of which the paper shows to be inadequate:
+//
+//   1. Slot scaling (Fig 15): the scheduler's only knob is the number of slots, so
+//      predict runtime scales with slots. Slots track cores — changing the number of
+//      disks does not change the prediction at all.
+//   2. Measured device usage (Fig 17): when a job runs *in isolation*, device-level
+//      counters over each stage window can stand in for per-stage resource use. But
+//      deserialization time cannot be separated (record-level pipelining), buffer-
+//      cache writes are partly invisible, and measured rates embed contention.
+#ifndef MONOTASKS_SRC_MODEL_SPARK_MODELS_H_
+#define MONOTASKS_SRC_MODEL_SPARK_MODELS_H_
+
+#include <vector>
+
+#include "src/framework/metrics.h"
+#include "src/model/monotasks_model.h"
+
+namespace monomodel {
+
+// Fig 15: predicted runtime after a configuration change is the observed runtime
+// scaled by old_slots / new_slots, per stage.
+class SlotBasedModel {
+ public:
+  SlotBasedModel(const monosim::JobResult& result, int baseline_slots_per_machine);
+
+  double PredictJobSeconds(int new_slots_per_machine) const;
+  double observed_job_seconds() const;
+
+ private:
+  std::vector<double> stage_observed_;
+  int baseline_slots_;
+};
+
+// Fig 17: a MonotasksModel whose inputs come from device-level measurement of a Spark
+// run instead of monotask instrumentation. `input_bytes_hint` (optional, per stage)
+// lets the caller supply the input size so the in-memory what-if is *attemptable*;
+// the deserialization CPU share remains unknowable and stays zero.
+MonotasksModel ModelFromMeasuredUsage(const monosim::JobResult& result,
+                                      HardwareProfile baseline);
+
+}  // namespace monomodel
+
+#endif  // MONOTASKS_SRC_MODEL_SPARK_MODELS_H_

@@ -1,0 +1,183 @@
+#include "src/monotask/mono_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/framework/stage_execution.h"
+#include "src/monotask/mono_multitask.h"
+
+namespace monosim {
+
+MonotasksExecutorSim::MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster,
+                                           TaskPool* pool, MonoConfig config)
+    : sim_(sim), cluster_(cluster), pool_(pool), config_(config) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(cluster_ != nullptr);
+  MONO_CHECK(pool_ != nullptr);
+  MONO_CHECK(config_.hdd_outstanding >= 1);
+  MONO_CHECK(config_.ssd_outstanding >= 1);
+  MONO_CHECK(config_.network_multitask_limit >= 1);
+
+  workers_.resize(static_cast<size_t>(cluster_->num_machines()));
+  for (int m = 0; m < cluster_->num_machines(); ++m) {
+    WorkerState& worker = workers_[static_cast<size_t>(m)];
+    MachineSim& machine = cluster_->machine(m);
+    worker.cpu = std::make_unique<CpuSchedulerSim>(sim_, &machine);
+    for (int d = 0; d < machine.num_disks(); ++d) {
+      const int outstanding = machine.disk(d).config().type == DiskType::kHdd
+                                  ? config_.hdd_outstanding
+                                  : config_.ssd_outstanding;
+      worker.disks.push_back(std::make_unique<DiskSchedulerSim>(
+          sim_, &machine.disk(d), outstanding, config_.fifo_disk_queues));
+      if (config_.memory_pressure_threshold > 0) {
+        WorkerState* state = &worker;
+        const monoutil::Bytes threshold = config_.memory_pressure_threshold;
+        worker.disks.back()->set_memory_pressure_fn(
+            [state, threshold] { return state->buffered_bytes > threshold; });
+      }
+    }
+    worker.network = std::make_unique<NetworkSchedulerSim>(config_.network_multitask_limit);
+  }
+}
+
+MonotasksExecutorSim::~MonotasksExecutorSim() = default;
+
+int MonotasksExecutorSim::MultitaskLimit(int machine) const {
+  // §3.4: enough multitasks for every resource scheduler to be at its concurrency
+  // limit, plus one extra so round-robin queues never run dry.
+  const WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  int limit = worker.cpu->max_concurrency();
+  for (const auto& disk : worker.disks) {
+    limit += disk->max_concurrency();
+  }
+  limit += worker.network->max_concurrency();
+  return limit + config_.extra_multitasks;
+}
+
+CpuSchedulerSim& MonotasksExecutorSim::cpu_scheduler(int machine) {
+  return *workers_[static_cast<size_t>(machine)].cpu;
+}
+
+DiskSchedulerSim& MonotasksExecutorSim::disk_scheduler(int machine, int disk) {
+  return *workers_[static_cast<size_t>(machine)].disks[static_cast<size_t>(disk)];
+}
+
+NetworkSchedulerSim& MonotasksExecutorSim::network_scheduler(int machine) {
+  return *workers_[static_cast<size_t>(machine)].network;
+}
+
+int MonotasksExecutorSim::num_disks(int machine) const {
+  return static_cast<int>(workers_[static_cast<size_t>(machine)].disks.size());
+}
+
+void MonotasksExecutorSim::OnWorkAvailable() {
+  // Breadth-first fill (one multitask per machine per round) so machines claim their
+  // local blocks before any stealing happens.
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      if (DispatchOne(m)) {
+        assigned = true;
+      }
+    }
+  }
+}
+
+bool MonotasksExecutorSim::DispatchOne(int machine) {
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  if (worker.active_multitasks >= MultitaskLimit(machine)) {
+    return false;
+  }
+  auto assignment = pool_->TakeTask(machine);
+  if (!assignment.has_value()) {
+    return false;
+  }
+  ++worker.active_multitasks;
+  assignment->stage->OnTaskStarted(assignment->task_index, sim_->now());
+  auto multitask = std::make_unique<MonoMultitaskSim>(this, *assignment);
+  MonoMultitaskSim* raw = multitask.get();
+  running_.emplace(raw, std::move(multitask));
+  // The leading compute monotask that deserializes the task description and builds
+  // the DAG (Fig 4 caption) is modeled as a fixed launch delay.
+  sim_->ScheduleAfter(config_.task_launch_overhead, [raw] { raw->Start(); });
+  return true;
+}
+
+void MonotasksExecutorSim::TryDispatch(int machine) {
+  while (DispatchOne(machine)) {
+  }
+}
+
+void MonotasksExecutorSim::OnMultitaskComplete(MonoMultitaskSim* multitask) {
+  const TaskAssignment& assignment = multitask->assignment();
+  const int machine = assignment.machine;
+  StageExecution* stage = assignment.stage;
+  const int task_index = assignment.task_index;
+
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  MONO_CHECK(worker.active_multitasks > 0);
+  --worker.active_multitasks;
+
+  auto it = running_.find(multitask);
+  MONO_CHECK(it != running_.end());
+  // Deferred destruction: this is called from inside the multitask's own frames.
+  sim_->ScheduleAfter(0.0,
+                      [owned = std::shared_ptr<MonoMultitaskSim>(std::move(it->second))] {});
+  running_.erase(it);
+
+  stage->OnTaskFinished(task_index, sim_->now());
+  TryDispatch(machine);
+}
+
+int MonotasksExecutorSim::PickWriteDisk(int machine) {
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  if (config_.load_aware_disk_writes) {
+    // §8 extension: route the write to the disk with the shortest write queue.
+    int best = 0;
+    int best_depth = worker.disks[0]->queued_writes() + worker.disks[0]->running();
+    for (int d = 1; d < static_cast<int>(worker.disks.size()); ++d) {
+      const int depth = worker.disks[static_cast<size_t>(d)]->queued_writes() +
+                        worker.disks[static_cast<size_t>(d)]->running();
+      if (depth < best_depth) {
+        best = d;
+        best_depth = depth;
+      }
+    }
+    return best;
+  }
+  const int disk = worker.next_write_disk;
+  worker.next_write_disk = (disk + 1) % static_cast<int>(worker.disks.size());
+  return disk;
+}
+
+int MonotasksExecutorSim::PickServeDisk(int machine) {
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  const int disk = worker.next_serve_disk;
+  worker.next_serve_disk = (disk + 1) % static_cast<int>(worker.disks.size());
+  return disk;
+}
+
+void MonotasksExecutorSim::EnableQueueTraces() {
+  for (auto& worker : workers_) {
+    worker.cpu->EnableQueueTrace();
+    for (auto& disk : worker.disks) {
+      disk->EnableQueueTrace();
+    }
+  }
+}
+
+void MonotasksExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  worker.buffered_bytes += bytes;
+  peak_buffered_ = std::max(peak_buffered_, worker.buffered_bytes);
+}
+
+void MonotasksExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
+  WorkerState& worker = workers_[static_cast<size_t>(machine)];
+  worker.buffered_bytes = std::max<monoutil::Bytes>(0, worker.buffered_bytes - bytes);
+}
+
+}  // namespace monosim

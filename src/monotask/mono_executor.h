@@ -1,0 +1,124 @@
+// MonotasksExecutorSim: the paper's architecture (§3).
+//
+// Multitasks arriving on a worker are decomposed into a DAG of monotasks that each use
+// exactly one resource. A Local DAG Scheduler (here: the per-multitask MonoMultitaskSim
+// state machine) tracks dependencies and submits each monotask to the machine's
+// per-resource scheduler once its dependencies complete. The job scheduler assigns
+// each machine enough multitasks to saturate every resource: the sum of each
+// scheduler's maximum concurrency, plus one (§3.4).
+//
+// Key behavioural differences from the Spark baseline, all from the paper:
+//   * no fine-grained pipelining inside a multitask — input is fully buffered in
+//     memory before compute begins, output fully buffered before the write begins;
+//   * disk writes are flushed (never left in the OS buffer cache), so disk monotask
+//     times are meaningful (§3.1);
+//   * one monotask per HDD at a time -> no seek thrash; the flash scheduler allows a
+//     configurable number of outstanding monotasks;
+//   * shuffle fetches are admitted receiver-side, at most four multitasks' worth at a
+//     time, and shuffle data is always read back from disk on the serving machine.
+#ifndef MONOTASKS_SRC_MONOTASK_MONO_EXECUTOR_H_
+#define MONOTASKS_SRC_MONOTASK_MONO_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/framework/executor.h"
+#include "src/framework/task.h"
+#include "src/framework/task_pool.h"
+#include "src/monotask/resource_schedulers.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+class MonoMultitaskSim;
+
+struct MonoConfig {
+  // Outstanding monotasks per disk. HDDs use 1 (§3.3); flash reaches peak throughput
+  // with ~4 outstanding.
+  int hdd_outstanding = 1;
+  int ssd_outstanding = 4;
+  // Receiver-side limit on multitasks with outstanding shuffle requests.
+  int network_multitask_limit = 4;
+  // The "+1" of §3.4: extra multitasks assigned beyond the schedulers' concurrency
+  // sum so round-robin queues never run empty while the driver is asked for work.
+  int extra_multitasks = 1;
+  // §8 "Disk scheduling" extension: route disk-write monotasks to the disk with the
+  // shortest write queue instead of round-robin. Off by default (paper behaviour).
+  bool load_aware_disk_writes = false;
+  // Ablation: replace the disk scheduler's per-phase round-robin with a single FIFO
+  // queue (reproduces the convoy effect §3.3 argues against). Off by default.
+  bool fifo_disk_queues = false;
+  // §3.5 memory regulation: when a machine's buffered task data exceeds this many
+  // bytes, its disk schedulers prioritize write monotasks (clearing output buffers
+  // out of memory) over reads. 0 disables the policy (the paper's implementation).
+  monoutil::Bytes memory_pressure_threshold = 0;
+  // Fixed cost of the leading compute monotask that deserializes the task
+  // description and builds the monotask DAG.
+  monoutil::SimTime task_launch_overhead = monoutil::Millis(5);
+};
+
+class MonotasksExecutorSim : public ExecutorSim {
+ public:
+  MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPool* pool,
+                       MonoConfig config = {});
+  ~MonotasksExecutorSim() override;
+
+  void OnWorkAvailable() override;
+  monoutil::Bytes peak_buffered_bytes() const override { return peak_buffered_; }
+
+  const MonoConfig& config() const { return config_; }
+
+  // Maximum multitasks assigned concurrently to `machine` (§3.4).
+  int MultitaskLimit(int machine) const;
+
+  // Scheduler access (used by MonoMultitaskSim and by tests).
+  CpuSchedulerSim& cpu_scheduler(int machine);
+  DiskSchedulerSim& disk_scheduler(int machine, int disk);
+  NetworkSchedulerSim& network_scheduler(int machine);
+  int num_disks(int machine) const;
+
+  // Picks the disk for a write monotask: round-robin, or the shortest write queue
+  // when load-aware writes are enabled.
+  int PickWriteDisk(int machine);
+  // Picks the disk that serves a shuffle read (round-robin over the machine's disks).
+  int PickServeDisk(int machine);
+
+  void AddBuffered(int machine, monoutil::Bytes bytes);
+  void RemoveBuffered(int machine, monoutil::Bytes bytes);
+
+  // Enables queue-length tracing on every per-resource scheduler (§3.1: contention
+  // is visible as queue length). Call before submitting jobs.
+  void EnableQueueTraces();
+
+ private:
+  friend class MonoMultitaskSim;
+
+  struct WorkerState {
+    std::unique_ptr<CpuSchedulerSim> cpu;
+    std::vector<std::unique_ptr<DiskSchedulerSim>> disks;
+    std::unique_ptr<NetworkSchedulerSim> network;
+    int active_multitasks = 0;
+    int next_write_disk = 0;
+    int next_serve_disk = 0;
+    monoutil::Bytes buffered_bytes = 0;
+  };
+
+  void TryDispatch(int machine);
+  bool DispatchOne(int machine);
+  void OnMultitaskComplete(MonoMultitaskSim* multitask);
+
+  Simulation* sim_;
+  ClusterSim* cluster_;
+  TaskPool* pool_;
+  MonoConfig config_;
+
+  std::vector<WorkerState> workers_;
+  std::unordered_map<MonoMultitaskSim*, std::unique_ptr<MonoMultitaskSim>> running_;
+  monoutil::Bytes peak_buffered_ = 0;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_MONOTASK_MONO_EXECUTOR_H_

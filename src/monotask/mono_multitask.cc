@@ -1,0 +1,259 @@
+#include "src/monotask/mono_multitask.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/framework/shuffle_layout.h"
+#include "src/framework/stage_execution.h"
+#include "src/monotask/mono_executor.h"
+
+namespace monosim {
+
+using monoutil::Bytes;
+
+namespace {
+
+// Attributes one disk monotask's service to the machine whose disk performed it.
+void RecordDiskService(monosim::MonotaskTimes* times, int machine, double service,
+                       monoutil::Bytes bytes) {
+  times->disk_seconds_per_machine[static_cast<size_t>(machine)] += service;
+  times->disk_bytes_per_machine[static_cast<size_t>(machine)] += bytes;
+}
+
+}  // namespace
+
+MonoMultitaskSim::MonoMultitaskSim(MonotasksExecutorSim* executor,
+                                   TaskAssignment assignment)
+    : executor_(executor), assignment_(std::move(assignment)) {
+  const StageSpec& spec = assignment_.stage->spec();
+  write_total_ = assignment_.shuffle_write_bytes + assignment_.output_bytes;
+  const bool shuffle_in_memory =
+      spec.output == OutputSink::kShuffle && spec.shuffle_to_memory;
+  write_is_io_ = write_total_ > 0 && !shuffle_in_memory;
+}
+
+void MonoMultitaskSim::Start() {
+  StageExecution* stage = assignment_.stage;
+  const StageSpec& spec = stage->spec();
+
+  // Ground-truth usage for work whose size is known up front (shuffle fetch I/O is
+  // accounted per portion below, when its disk/network split is known).
+  auto& usage = stage->result().usage;
+  if (spec.input == InputSource::kDfs) {
+    usage.disk_read_bytes += assignment_.input_bytes;
+    usage.input_disk_read_bytes += assignment_.input_bytes;
+    usage.input_uncompressed_bytes += static_cast<Bytes>(
+        static_cast<double>(assignment_.input_bytes) * spec.input_compression_ratio);
+    if (!assignment_.input_local) {
+      usage.network_bytes += assignment_.input_bytes;
+    }
+  }
+  if (write_is_io_) {
+    usage.disk_write_bytes += write_total_;
+  }
+  if (spec.output == OutputSink::kShuffle) {
+    stage->RecordShuffleWrite(assignment_.machine, assignment_.shuffle_write_bytes);
+  }
+
+  // The entire input is buffered in memory before compute starts (§3.5).
+  executor_->AddBuffered(assignment_.machine, assignment_.input_bytes);
+  StartInputPhase();
+}
+
+void MonoMultitaskSim::StartInputPhase() {
+  StageExecution* stage = assignment_.stage;
+  const StageSpec& spec = stage->spec();
+  auto& times = stage->result().monotask_times;
+
+  const bool has_input_io =
+      (spec.input == InputSource::kDfs || spec.input == InputSource::kShuffle) &&
+      assignment_.input_bytes > 0;
+  if (!has_input_io) {
+    StartComputePhase();
+    return;
+  }
+
+  if (spec.input == InputSource::kDfs) {
+    pending_input_pieces_ = 1;
+    if (assignment_.input_local) {
+      executor_->disk_scheduler(assignment_.machine, assignment_.input_disk)
+          .EnqueueRead(DiskPhase::kRead, assignment_.input_bytes,
+                       [this, &times](double service) {
+                         times.disk_read_seconds += service;
+                         ++times.disk_count;
+                         RecordDiskService(&times, assignment_.machine, service,
+                                           assignment_.input_bytes);
+                         OnInputPieceDone();
+                       });
+    } else {
+      // Remote block: gated by the network scheduler like a one-portion fetch set.
+      network_slot_held_ = true;
+      executor_->network_scheduler(assignment_.machine).Acquire([this, &times] {
+        auto& fabric = executor_->cluster_->fabric();
+        fabric.SendControl(
+            assignment_.machine, assignment_.input_machine, [this, &times, &fabric] {
+              executor_->disk_scheduler(assignment_.input_machine, assignment_.input_disk)
+                  .EnqueueRead(
+                      DiskPhase::kServe, assignment_.input_bytes,
+                      [this, &times, &fabric](double service) {
+                        times.disk_read_seconds += service;
+                        ++times.disk_count;
+                        RecordDiskService(&times, assignment_.input_machine, service,
+                                          assignment_.input_bytes);
+                        const SimTime flow_start = executor_->sim_->now();
+                        fabric.StartFlow(assignment_.input_machine, assignment_.machine,
+                                         assignment_.input_bytes,
+                                         [this, &times, flow_start] {
+                                           times.network_seconds +=
+                                               executor_->sim_->now() - flow_start;
+                                           ++times.network_count;
+                                           executor_->network_scheduler(assignment_.machine)
+                                               .Release();
+                                           network_slot_held_ = false;
+                                           OnInputPieceDone();
+                                         });
+                      });
+            });
+      });
+    }
+    return;
+  }
+
+  // Shuffle input: local portion via the disk scheduler, remote portions as one
+  // receiver-admitted fetch set.
+  const bool serve_from_disk = !stage->prev()->spec().shuffle_to_memory;
+  std::vector<ShufflePortion> remote;
+  Bytes local_bytes = 0;
+  for (const ShufflePortion& portion : ComputeShufflePortions(assignment_)) {
+    if (portion.src_machine == assignment_.machine) {
+      local_bytes += portion.bytes;
+    } else {
+      remote.push_back(portion);
+    }
+  }
+  auto& usage = stage->result().usage;
+  pending_input_pieces_ = (local_bytes > 0 ? 1 : 0) + static_cast<int>(remote.size());
+  if (pending_input_pieces_ == 0) {
+    StartComputePhase();
+    return;
+  }
+
+  if (local_bytes > 0) {
+    if (serve_from_disk) {
+      usage.disk_read_bytes += local_bytes;
+      const int disk = executor_->PickServeDisk(assignment_.machine);
+      executor_->disk_scheduler(assignment_.machine, disk)
+          .EnqueueRead(DiskPhase::kRead, local_bytes,
+                       [this, &times, local_bytes](double service) {
+            times.disk_read_seconds += service;
+            ++times.disk_count;
+            RecordDiskService(&times, assignment_.machine, service, local_bytes);
+            OnInputPieceDone();
+          });
+    } else {
+      executor_->sim_->ScheduleAfter(0.0, [this] { OnInputPieceDone(); });
+    }
+  }
+
+  if (!remote.empty()) {
+    for (const ShufflePortion& portion : remote) {
+      usage.network_bytes += portion.bytes;
+      if (serve_from_disk) {
+        usage.disk_read_bytes += portion.bytes;
+      }
+    }
+    network_slot_held_ = true;
+    // One network slot covers the whole fetch set: all of this multitask's requests
+    // go out together, so its data arrives before later multitasks' data (§3.3).
+    executor_->network_scheduler(assignment_.machine)
+        .Acquire([this, remote = std::move(remote), serve_from_disk, &times] {
+          auto remaining = std::make_shared<int>(static_cast<int>(remote.size()));
+          for (const ShufflePortion& portion : remote) {
+            auto piece_done = [this, remaining, &times] {
+              if (--*remaining == 0) {
+                executor_->network_scheduler(assignment_.machine).Release();
+                network_slot_held_ = false;
+              }
+              OnInputPieceDone();
+            };
+            auto& fabric = executor_->cluster_->fabric();
+            fabric.SendControl(
+                assignment_.machine, portion.src_machine,
+                [this, portion, serve_from_disk, piece_done, &times, &fabric] {
+                  auto send_back = [this, portion, piece_done, &times, &fabric] {
+                    const SimTime flow_start = executor_->sim_->now();
+                    fabric.StartFlow(portion.src_machine, assignment_.machine,
+                                     portion.bytes, [piece_done, flow_start, &times, this] {
+                                       times.network_seconds +=
+                                           executor_->sim_->now() - flow_start;
+                                       ++times.network_count;
+                                       piece_done();
+                                     });
+                  };
+                  if (serve_from_disk) {
+                    const int disk = executor_->PickServeDisk(portion.src_machine);
+                    executor_->disk_scheduler(portion.src_machine, disk)
+                        .EnqueueRead(DiskPhase::kServe, portion.bytes,
+                                     [send_back, &times, portion](double service) {
+                                       times.disk_read_seconds += service;
+                                       ++times.disk_count;
+                                       RecordDiskService(&times, portion.src_machine,
+                                                         service, portion.bytes);
+                                       send_back();
+                                     });
+                  } else {
+                    send_back();
+                  }
+                });
+          }
+        });
+  }
+}
+
+void MonoMultitaskSim::OnInputPieceDone() {
+  MONO_CHECK(pending_input_pieces_ > 0);
+  if (--pending_input_pieces_ == 0) {
+    StartComputePhase();
+  }
+}
+
+void MonoMultitaskSim::StartComputePhase() {
+  auto& times = assignment_.stage->result().monotask_times;
+  executor_->cpu_scheduler(assignment_.machine)
+      .Enqueue(assignment_.cpu_seconds, [this, &times](double service) {
+        times.compute_seconds += service;
+        times.compute_deser_seconds += assignment_.deser_cpu_seconds;
+        times.compute_decompress_seconds += assignment_.decompress_cpu_seconds;
+        ++times.compute_count;
+        // Input buffers are released once compute has transformed them; the output
+        // buffer exists until the write monotask retires it.
+        executor_->RemoveBuffered(assignment_.machine, assignment_.input_bytes);
+        executor_->AddBuffered(assignment_.machine, write_total_);
+        StartWritePhase();
+      });
+}
+
+void MonoMultitaskSim::StartWritePhase() {
+  if (!write_is_io_) {
+    executor_->RemoveBuffered(assignment_.machine, write_total_);
+    Finish();
+    return;
+  }
+  auto& times = assignment_.stage->result().monotask_times;
+  const int disk = executor_->PickWriteDisk(assignment_.machine);
+  executor_->disk_scheduler(assignment_.machine, disk)
+      .EnqueueWrite(write_total_, [this, &times](double service) {
+        times.disk_write_seconds += service;
+        ++times.disk_count;
+        RecordDiskService(&times, assignment_.machine, service, write_total_);
+        executor_->RemoveBuffered(assignment_.machine, write_total_);
+        Finish();
+      });
+}
+
+void MonoMultitaskSim::Finish() {
+  executor_->OnMultitaskComplete(this);
+}
+
+}  // namespace monosim

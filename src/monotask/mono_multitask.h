@@ -1,0 +1,55 @@
+// MonoMultitaskSim: one multitask decomposed into its monotask DAG (§3.2, Fig 4).
+//
+// The DAG for a map-like multitask:
+//
+//   disk-read(input block) -> compute -> disk-write(shuffle | output)
+//
+// and for a reduce-like multitask:
+//
+//   { per remote machine: request -> serve disk-read (remote) -> network flow }  \
+//   { local shuffle portion: disk-read                                        }  -> compute -> disk-write
+//
+// This class plays the role of the paper's Local DAG Scheduler for its multitask: it
+// submits each monotask to the right per-resource scheduler only when the monotask's
+// dependencies have completed, and accumulates per-monotask service times into the
+// stage's metrics.
+#ifndef MONOTASKS_SRC_MONOTASK_MONO_MULTITASK_H_
+#define MONOTASKS_SRC_MONOTASK_MONO_MULTITASK_H_
+
+#include "src/framework/task.h"
+
+namespace monosim {
+
+class MonotasksExecutorSim;
+
+class MonoMultitaskSim {
+ public:
+  MonoMultitaskSim(MonotasksExecutorSim* executor, TaskAssignment assignment);
+
+  MonoMultitaskSim(const MonoMultitaskSim&) = delete;
+  MonoMultitaskSim& operator=(const MonoMultitaskSim&) = delete;
+
+  // Begins execution: enqueues the input-phase monotasks.
+  void Start();
+
+  const TaskAssignment& assignment() const { return assignment_; }
+
+ private:
+  void StartInputPhase();
+  void OnInputPieceDone();
+  void StartComputePhase();
+  void StartWritePhase();
+  void Finish();
+
+  MonotasksExecutorSim* executor_;
+  TaskAssignment assignment_;
+
+  int pending_input_pieces_ = 0;
+  bool network_slot_held_ = false;
+  monoutil::Bytes write_total_ = 0;
+  bool write_is_io_ = false;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_MONOTASK_MONO_MULTITASK_H_

@@ -1,0 +1,138 @@
+#include "src/monotask/resource_schedulers.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+
+CpuSchedulerSim::CpuSchedulerSim(Simulation* sim, MachineSim* machine)
+    : sim_(sim), machine_(machine), cores_(machine->num_cores()) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(machine_ != nullptr);
+}
+
+void CpuSchedulerSim::Enqueue(double cpu_seconds, MonotaskDone done) {
+  MONO_CHECK(cpu_seconds >= 0);
+  MONO_CHECK(done != nullptr);
+  queue_.push_back(Item{cpu_seconds, std::move(done)});
+  Dispatch();
+  RecordQueue();
+}
+
+void CpuSchedulerSim::Dispatch() {
+  while (running_ < cores_ && !queue_.empty()) {
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    RecordQueue();
+    ++running_;
+    const SimTime dispatched = sim_->now();
+    machine_->RunCompute(
+        item.cpu_seconds, [this, dispatched, done = std::move(item.done)] {
+          --running_;
+          const double service = sim_->now() - dispatched;
+          // Admit the next monotask before reporting completion so the core never
+          // idles waiting for downstream bookkeeping.
+          Dispatch();
+          done(service);
+        });
+  }
+}
+
+DiskSchedulerSim::DiskSchedulerSim(Simulation* sim, DiskSim* disk, int max_outstanding,
+                                   bool fifo)
+    : sim_(sim), disk_(disk), max_outstanding_(max_outstanding), fifo_(fifo) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(disk_ != nullptr);
+  MONO_CHECK(max_outstanding >= 1);
+}
+
+void DiskSchedulerSim::EnqueueRead(DiskPhase phase, monoutil::Bytes bytes,
+                                   MonotaskDone done) {
+  MONO_CHECK(phase == DiskPhase::kRead || phase == DiskPhase::kServe);
+  const size_t queue = fifo_ ? 0 : static_cast<size_t>(phase);
+  queues_[queue].push_back(Item{true, bytes, std::move(done)});
+  Dispatch();
+  RecordQueue();
+}
+
+void DiskSchedulerSim::EnqueueWrite(monoutil::Bytes bytes, MonotaskDone done) {
+  const size_t queue = fifo_ ? 0 : static_cast<size_t>(DiskPhase::kWrite);
+  queues_[queue].push_back(Item{false, bytes, std::move(done)});
+  Dispatch();
+  RecordQueue();
+}
+
+int DiskSchedulerSim::queue_length() const {
+  int total = 0;
+  for (const auto& queue : queues_) {
+    total += static_cast<int>(queue.size());
+  }
+  return total;
+}
+
+void DiskSchedulerSim::Dispatch() {
+  while (running_ < max_outstanding_ && queue_length() > 0) {
+    // Round-robin over non-empty phase queues, continuing after the last phase
+    // served, so reads, writes, and shuffle-serves interleave (§3.3). Under memory
+    // pressure, writes jump the rotation to clear buffered data out of memory
+    // (§3.5).
+    int phase = -1;
+    if (under_pressure_ && under_pressure_() &&
+        !queues_[static_cast<size_t>(DiskPhase::kWrite)].empty()) {
+      phase = static_cast<int>(DiskPhase::kWrite);
+    }
+    for (int attempt = 0; phase < 0 && attempt < 3; ++attempt) {
+      const int candidate = (rr_cursor_ + attempt) % 3;
+      if (!queues_[static_cast<size_t>(candidate)].empty()) {
+        phase = candidate;
+        break;
+      }
+    }
+    MONO_CHECK(phase >= 0);
+    rr_cursor_ = (phase + 1) % 3;
+    Item item = std::move(queues_[static_cast<size_t>(phase)].front());
+    queues_[static_cast<size_t>(phase)].pop_front();
+    RecordQueue();
+    ++running_;
+    const SimTime dispatched = sim_->now();
+    auto on_done = [this, dispatched, done = std::move(item.done)] {
+      --running_;
+      const double service = sim_->now() - dispatched;
+      Dispatch();
+      done(service);
+    };
+    if (item.is_read) {
+      disk_->Read(item.bytes, std::move(on_done));
+    } else {
+      disk_->Write(item.bytes, std::move(on_done));
+    }
+  }
+}
+
+NetworkSchedulerSim::NetworkSchedulerSim(int multitask_limit) : limit_(multitask_limit) {
+  MONO_CHECK(multitask_limit >= 1);
+}
+
+void NetworkSchedulerSim::Acquire(std::function<void()> granted) {
+  MONO_CHECK(granted != nullptr);
+  if (active_ < limit_) {
+    ++active_;
+    granted();
+    return;
+  }
+  waiting_.push_back(std::move(granted));
+}
+
+void NetworkSchedulerSim::Release() {
+  MONO_CHECK(active_ > 0);
+  if (!waiting_.empty()) {
+    auto granted = std::move(waiting_.front());
+    waiting_.pop_front();
+    granted();  // Slot transfers directly to the next waiter.
+    return;
+  }
+  --active_;
+}
+
+}  // namespace monosim

@@ -1,0 +1,165 @@
+// Per-resource monotask schedulers (§3.3 of the paper).
+//
+// Each worker machine has one scheduler per resource. Schedulers run the minimum
+// number of monotasks needed to keep the resource busy and queue the rest, which makes
+// contention visible as queue length and lets every monotask use the device at full
+// efficiency:
+//
+//   * CpuSchedulerSim      — one compute monotask per core.
+//   * DiskSchedulerSim     — one monotask per HDD (several for flash), with
+//                            round-robin across DAG phases (read / write / shuffle-
+//                            serve) to avoid the convoy effect §3.3 describes.
+//   * NetworkSchedulerSim  — receiver-side admission: fetch sets from at most N
+//                            multitasks outstanding (N = 4 in the paper).
+//
+// Every completion callback receives the monotask's *service* time (queueing
+// excluded): this is the built-in instrumentation that feeds the §6 model.
+#ifndef MONOTASKS_SRC_MONOTASK_RESOURCE_SCHEDULERS_H_
+#define MONOTASKS_SRC_MONOTASK_RESOURCE_SCHEDULERS_H_
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "src/cluster/disk.h"
+#include "src/cluster/machine.h"
+#include "src/simcore/rate_trace.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+// Called when a monotask finishes; `service_seconds` is time spent actually using
+// the resource (dispatch to completion).
+using MonotaskDone = std::function<void(double service_seconds)>;
+
+class CpuSchedulerSim {
+ public:
+  CpuSchedulerSim(Simulation* sim, MachineSim* machine);
+
+  CpuSchedulerSim(const CpuSchedulerSim&) = delete;
+  CpuSchedulerSim& operator=(const CpuSchedulerSim&) = delete;
+
+  // Queues a compute monotask of `cpu_seconds` of single-threaded work.
+  void Enqueue(double cpu_seconds, MonotaskDone done);
+
+  int running() const { return running_; }
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  int max_concurrency() const { return cores_; }
+
+  // §3.1: "this design makes resource contention visible as the queue length for
+  // each resource". Tracing records the queue-length step function over time.
+  void EnableQueueTrace() { queue_trace_.Record(sim_->now(), 0.0); trace_on_ = true; }
+  const RateTrace& queue_trace() const { return queue_trace_; }
+
+ private:
+  struct Item {
+    double cpu_seconds;
+    MonotaskDone done;
+  };
+  void Dispatch();
+  void RecordQueue() {
+    if (trace_on_) {
+      queue_trace_.Record(sim_->now(), static_cast<double>(queue_.size()));
+    }
+  }
+  bool trace_on_ = false;
+  RateTrace queue_trace_;
+
+  Simulation* sim_;
+  MachineSim* machine_;
+  int cores_;
+  int running_ = 0;
+  std::deque<Item> queue_;
+};
+
+// DAG phase a disk monotask belongs to; the scheduler round-robins across phases so
+// a backlog of writes cannot starve the reads that feed the CPU (§3.3 "Queueing
+// monotasks").
+enum class DiskPhase {
+  kRead = 0,   // Reading input (DFS block or local shuffle data).
+  kWrite = 1,  // Writing shuffle or output data.
+  kServe = 2,  // Reading shuffle data on behalf of a remote reduce multitask.
+};
+
+class DiskSchedulerSim {
+ public:
+  // `max_outstanding` is 1 for HDDs; flash uses the configured outstanding count.
+  // `fifo` disables the per-phase round-robin (ablation of §3.3's queueing design):
+  // all monotasks share one FIFO queue.
+  DiskSchedulerSim(Simulation* sim, DiskSim* disk, int max_outstanding, bool fifo = false);
+
+  DiskSchedulerSim(const DiskSchedulerSim&) = delete;
+  DiskSchedulerSim& operator=(const DiskSchedulerSim&) = delete;
+
+  void EnqueueRead(DiskPhase phase, monoutil::Bytes bytes, MonotaskDone done);
+  void EnqueueWrite(monoutil::Bytes bytes, MonotaskDone done);
+
+  // §3.5: when `under_pressure` returns true, the scheduler serves the write queue
+  // first (clearing buffered output out of memory) instead of round-robin. Optional.
+  void set_memory_pressure_fn(std::function<bool()> under_pressure) {
+    under_pressure_ = std::move(under_pressure);
+  }
+
+  int running() const { return running_; }
+  int queue_length() const;
+  // Queued monotasks in the write phase (used by load-aware write placement).
+  int queued_writes() const { return static_cast<int>(queues_[1].size()); }
+  int max_concurrency() const { return max_outstanding_; }
+
+  // Queue-length visibility (§3.1); see CpuSchedulerSim::EnableQueueTrace.
+  void EnableQueueTrace() { queue_trace_.Record(sim_->now(), 0.0); trace_on_ = true; }
+  const RateTrace& queue_trace() const { return queue_trace_; }
+
+ private:
+  struct Item {
+    bool is_read;
+    monoutil::Bytes bytes;
+    MonotaskDone done;
+  };
+  void Dispatch();
+  void RecordQueue() {
+    if (trace_on_) {
+      queue_trace_.Record(sim_->now(), static_cast<double>(queue_length()));
+    }
+  }
+  bool trace_on_ = false;
+  RateTrace queue_trace_;
+
+  Simulation* sim_;
+  DiskSim* disk_;
+  int max_outstanding_;
+  bool fifo_;
+  std::function<bool()> under_pressure_;
+  int running_ = 0;
+  std::array<std::deque<Item>, 3> queues_;  // Indexed by DiskPhase (FIFO: queue 0 only).
+  int rr_cursor_ = 0;
+};
+
+// Receiver-side network admission control: at most `multitask_limit` multitasks may
+// have their shuffle requests outstanding at once (§3.3 chose 4 to balance link
+// utilization against pipelining with compute monotasks).
+class NetworkSchedulerSim {
+ public:
+  explicit NetworkSchedulerSim(int multitask_limit);
+
+  NetworkSchedulerSim(const NetworkSchedulerSim&) = delete;
+  NetworkSchedulerSim& operator=(const NetworkSchedulerSim&) = delete;
+
+  // Requests a fetch slot; `granted` runs (possibly immediately) when one is free.
+  void Acquire(std::function<void()> granted);
+  // Releases a slot previously granted; admits the next waiter.
+  void Release();
+
+  int active() const { return active_; }
+  int queue_length() const { return static_cast<int>(waiting_.size()); }
+  int max_concurrency() const { return limit_; }
+
+ private:
+  int limit_;
+  int active_ = 0;
+  std::deque<std::function<void()>> waiting_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_MONOTASK_RESOURCE_SCHEDULERS_H_

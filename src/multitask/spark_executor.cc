@@ -1,0 +1,153 @@
+#include "src/multitask/spark_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/framework/stage_execution.h"
+#include "src/multitask/spark_task.h"
+
+namespace monosim {
+
+SparkExecutorSim::SparkExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPool* pool,
+                                   SparkConfig config)
+    : sim_(sim), cluster_(cluster), pool_(pool), config_(config),
+      machines_(static_cast<size_t>(cluster->num_machines())) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK(cluster_ != nullptr);
+  MONO_CHECK(pool_ != nullptr);
+  MONO_CHECK(config_.chunk_bytes > 0);
+  MONO_CHECK(config_.readahead_chunks >= 1);
+  MONO_CHECK(config_.max_parallel_fetches >= 1);
+}
+
+SparkExecutorSim::~SparkExecutorSim() = default;
+
+int SparkExecutorSim::SlotsFor(int machine) const {
+  if (config_.slots_per_machine > 0) {
+    return config_.slots_per_machine;
+  }
+  return cluster_->machine(machine).num_cores();
+}
+
+void SparkExecutorSim::OnWorkAvailable() {
+  // Fill machines breadth-first (one task per machine per round) so local tasks are
+  // claimed by their home machines before anyone starts stealing — the behaviour a
+  // real driver gets from per-machine resource offers.
+  bool assigned = true;
+  while (assigned) {
+    assigned = false;
+    for (int m = 0; m < cluster_->num_machines(); ++m) {
+      if (DispatchOne(m)) {
+        assigned = true;
+      }
+    }
+  }
+}
+
+bool SparkExecutorSim::DispatchOne(int machine) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  if (state.busy_slots >= SlotsFor(machine)) {
+    return false;
+  }
+  auto assignment = pool_->TakeTask(machine);
+  if (!assignment.has_value()) {
+    return false;
+  }
+  ++state.busy_slots;
+  assignment->stage->OnTaskStarted(assignment->task_index, sim_->now());
+  auto task = std::make_unique<SparkTaskSim>(this, *assignment);
+  SparkTaskSim* raw = task.get();
+  running_.emplace(raw, std::move(task));
+  // The launch overhead (task deserialization on the executor) occupies the slot
+  // before the pipeline starts.
+  sim_->ScheduleAfter(config_.task_launch_overhead, [raw] { raw->Start(); });
+  return true;
+}
+
+void SparkExecutorSim::TryDispatch(int machine) {
+  while (DispatchOne(machine)) {
+  }
+}
+
+void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
+  const TaskAssignment& assignment = task->assignment();
+  const int machine = assignment.machine;
+  StageExecution* stage = assignment.stage;
+  const int task_index = assignment.task_index;
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  MONO_CHECK(state.busy_slots > 0);
+  --state.busy_slots;
+  // OnTaskComplete is called from inside the task's own frames, so destruction is
+  // deferred to a zero-delay event that runs after the current event unwinds.
+  auto it = running_.find(task);
+  MONO_CHECK(it != running_.end());
+  // shared_ptr because std::function requires a copyable callable.
+  sim_->ScheduleAfter(0.0, [owned = std::shared_ptr<SparkTaskSim>(std::move(it->second))] {});
+  running_.erase(it);
+  stage->OnTaskFinished(task_index, sim_->now());
+  TryDispatch(machine);
+}
+
+int SparkExecutorSim::PickWriteDisk(int machine) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  const int disk = state.next_write_disk;
+  state.next_write_disk = (disk + 1) % cluster_->machine(machine).num_disks();
+  return disk;
+}
+
+int SparkExecutorSim::PickServeDisk(int machine) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  const int disk = state.next_serve_disk;
+  state.next_serve_disk = (disk + 1) % cluster_->machine(machine).num_disks();
+  return disk;
+}
+
+void SparkExecutorSim::ServeRead(int machine, monoutil::Bytes bytes,
+                                 std::function<void()> done) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  auto start = [this, machine, bytes, done = std::move(done)]() mutable {
+    const int disk = PickServeDisk(machine);
+    cluster_->machine(machine).disk(disk).Read(bytes, [this, machine,
+                                                       done = std::move(done)] {
+      MachineState& state = machines_[static_cast<size_t>(machine)];
+      --state.active_serve_reads;
+      if (!state.serve_read_queue.empty()) {
+        auto next = std::move(state.serve_read_queue.front());
+        state.serve_read_queue.pop_front();
+        ++state.active_serve_reads;
+        next();
+      }
+      done();
+    });
+  };
+  if (state.active_serve_reads < config_.serve_read_concurrency) {
+    ++state.active_serve_reads;
+    start();
+  } else {
+    state.serve_read_queue.push_back(std::move(start));
+  }
+}
+
+double SparkExecutorSim::ChunkCpuFactor() {
+  if (config_.chunk_cpu_jitter_cv <= 0.0) {
+    return 1.0;
+  }
+  // Lognormal with mean 1: exp(N(-sigma^2/2, sigma)) where sigma ~ cv for small cv.
+  const double sigma = config_.chunk_cpu_jitter_cv;
+  return std::exp(rng_.Normal(-0.5 * sigma * sigma, sigma));
+}
+
+void SparkExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  state.buffered_bytes += bytes;
+  peak_buffered_ = std::max(peak_buffered_, state.buffered_bytes);
+}
+
+void SparkExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
+  MachineState& state = machines_[static_cast<size_t>(machine)];
+  state.buffered_bytes = std::max<monoutil::Bytes>(0, state.buffered_bytes - bytes);
+}
+
+}  // namespace monosim

@@ -1,0 +1,277 @@
+#include "src/multitask/spark_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/framework/shuffle_layout.h"
+#include "src/framework/stage_execution.h"
+#include "src/multitask/spark_executor.h"
+
+namespace monosim {
+
+using monoutil::Bytes;
+
+SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment)
+    : executor_(executor), assignment_(std::move(assignment)) {
+  const StageSpec& spec = assignment_.stage->spec();
+  const Bytes chunk = executor_->config().chunk_bytes;
+
+  has_input_io_ = (spec.input == InputSource::kDfs || spec.input == InputSource::kShuffle) &&
+                  assignment_.input_bytes > 0;
+  const Bytes write_total = assignment_.shuffle_write_bytes + assignment_.output_bytes;
+  const bool shuffle_in_memory =
+      spec.output == OutputSink::kShuffle && spec.shuffle_to_memory;
+  has_output_io_ = write_total > 0 && !shuffle_in_memory;
+
+  if (assignment_.input_bytes > 0) {
+    total_chunks_ = static_cast<int>((assignment_.input_bytes + chunk - 1) / chunk);
+  } else if (write_total > 0) {
+    total_chunks_ = static_cast<int>((write_total + chunk - 1) / chunk);
+  } else {
+    total_chunks_ = 1;
+  }
+  chunk_input_bytes_ =
+      static_cast<double>(assignment_.input_bytes) / static_cast<double>(total_chunks_);
+  chunk_cpu_seconds_ = assignment_.cpu_seconds / static_cast<double>(total_chunks_);
+  chunk_write_bytes_ =
+      static_cast<double>(write_total) / static_cast<double>(total_chunks_);
+}
+
+void SparkTaskSim::Start() {
+  StageExecution* stage = assignment_.stage;
+  const StageSpec& spec = stage->spec();
+
+  // Ground-truth usage accounting for work whose size is known up front. Shuffle
+  // fetch I/O is accounted per portion because its disk/network split depends on
+  // where the data lives.
+  auto& usage = stage->result().usage;
+  if (spec.input == InputSource::kDfs) {
+    usage.disk_read_bytes += assignment_.input_bytes;
+    usage.input_disk_read_bytes += assignment_.input_bytes;
+    usage.input_uncompressed_bytes += static_cast<Bytes>(
+        static_cast<double>(assignment_.input_bytes) * spec.input_compression_ratio);
+    if (!assignment_.input_local) {
+      usage.network_bytes += assignment_.input_bytes;
+    }
+  }
+  const Bytes write_total = assignment_.shuffle_write_bytes + assignment_.output_bytes;
+  if (has_output_io_) {
+    usage.disk_write_bytes += write_total;
+  }
+  if (spec.output == OutputSink::kShuffle) {
+    // Recorded up front: the reduce stage only begins after every map task is done,
+    // so the per-machine totals are complete by the time they are consumed.
+    stage->RecordShuffleWrite(assignment_.machine, assignment_.shuffle_write_bytes);
+  }
+
+  // Set up the reader.
+  if (!has_input_io_) {
+    reader_done_ = true;
+    delivered_bytes_ = static_cast<double>(assignment_.input_bytes);
+  } else if (spec.input == InputSource::kShuffle) {
+    for (const ShufflePortion& portion : ComputeShufflePortions(assignment_)) {
+      fetch_queue_.push_back(FetchPortion{portion.src_machine, portion.bytes});
+    }
+    serve_from_disk_ = !stage->prev()->spec().shuffle_to_memory;
+  }
+  Pump();
+}
+
+int SparkTaskSim::chunks_ready() const {
+  if (!has_input_io_) {
+    return total_chunks_;
+  }
+  if (reader_done_ && fetch_queue_.empty() && active_fetches_ == 0 &&
+      reads_in_flight_ == 0) {
+    return total_chunks_;
+  }
+  // Small epsilon absorbs floating-point drift in per-chunk byte accounting.
+  return std::min(total_chunks_,
+                  static_cast<int>((delivered_bytes_ + 1e-3) / chunk_input_bytes_));
+}
+
+void SparkTaskSim::Pump() {
+  if (finished_) {
+    return;
+  }
+  AdvanceReader();
+  AdvanceCompute();
+  AdvanceWriter();
+  MaybeFinish();
+}
+
+void SparkTaskSim::AdvanceReader() {
+  const StageSpec& spec = assignment_.stage->spec();
+  if (!has_input_io_ || reader_done_) {
+    return;
+  }
+  if (spec.input == InputSource::kDfs) {
+    IssueBlockRead();
+  } else {
+    StartNextFetch();
+  }
+}
+
+void SparkTaskSim::IssueBlockRead() {
+  // Sequential stream with bounded read-ahead: at most `readahead_chunks` chunks may
+  // be issued beyond what compute has consumed, and the stream keeps a limited number
+  // of requests in flight (two when a network hop is pipelined behind the disk).
+  const int consumed = chunks_computed_ + (compute_busy_ ? 1 : 0);
+  const int readahead = executor_->config().readahead_chunks;
+  const int max_in_flight = assignment_.input_local ? 1 : 2;
+  while (reads_issued_ < total_chunks_ && reads_in_flight_ < max_in_flight &&
+         reads_issued_ - consumed < readahead) {
+    ++reads_issued_;
+    ++reads_in_flight_;
+    const double bytes = chunk_input_bytes_;
+    DiskSim& disk =
+        executor_->cluster_->machine(assignment_.input_machine).disk(assignment_.input_disk);
+    if (assignment_.input_local) {
+      disk.Read(static_cast<Bytes>(bytes), [this, bytes] {
+        --reads_in_flight_;
+        if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
+          reader_done_ = true;
+        }
+        OnChunkDelivered(static_cast<Bytes>(bytes));
+      });
+    } else {
+      // Remote block: disk read on the block's home machine, then a network flow.
+      disk.Read(static_cast<Bytes>(bytes), [this, bytes] {
+        executor_->cluster_->fabric().StartFlow(
+            assignment_.input_machine, assignment_.machine, static_cast<Bytes>(bytes),
+            [this, bytes] {
+              --reads_in_flight_;
+              if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
+                reader_done_ = true;
+              }
+              OnChunkDelivered(static_cast<Bytes>(bytes));
+            });
+      });
+    }
+  }
+}
+
+void SparkTaskSim::StartNextFetch() {
+  auto& usage = assignment_.stage->result().usage;
+  while (active_fetches_ < executor_->config().max_parallel_fetches &&
+         !fetch_queue_.empty()) {
+    const FetchPortion portion = fetch_queue_.front();
+    fetch_queue_.pop_front();
+    ++active_fetches_;
+
+    auto delivered = [this, portion] {
+      --active_fetches_;
+      if (fetch_queue_.empty() && active_fetches_ == 0) {
+        reader_done_ = true;
+      }
+      OnChunkDelivered(portion.bytes);
+    };
+
+    if (portion.src_machine == assignment_.machine) {
+      // Local shuffle data: read from the local disk, or straight from the page
+      // cache when the shuffle fits in memory.
+      if (serve_from_disk_) {
+        usage.disk_read_bytes += portion.bytes;
+        const int disk = executor_->PickServeDisk(assignment_.machine);
+        executor_->cluster_->machine(assignment_.machine).disk(disk).Read(
+            portion.bytes, std::move(delivered));
+      } else {
+        executor_->sim_->ScheduleAfter(0.0, std::move(delivered));
+      }
+      continue;
+    }
+    usage.network_bytes += portion.bytes;
+    if (serve_from_disk_) {
+      usage.disk_read_bytes += portion.bytes;
+    }
+    // Remote portion: request message, then (optionally) a disk read on the serving
+    // machine through the shuffle service's bounded I/O pool, then the bulk flow back.
+    executor_->cluster_->fabric().SendControl(
+        assignment_.machine, portion.src_machine, [this, portion, delivered] {
+          auto send = [this, portion, delivered] {
+            executor_->cluster_->fabric().StartFlow(portion.src_machine,
+                                                    assignment_.machine, portion.bytes,
+                                                    delivered);
+          };
+          if (serve_from_disk_) {
+            executor_->ServeRead(portion.src_machine, portion.bytes, std::move(send));
+          } else {
+            send();
+          }
+        });
+  }
+}
+
+void SparkTaskSim::OnChunkDelivered(Bytes bytes) {
+  delivered_bytes_ += static_cast<double>(bytes);
+  executor_->AddBuffered(assignment_.machine, bytes);
+  Pump();
+}
+
+void SparkTaskSim::AdvanceCompute() {
+  if (compute_busy_ || chunks_computed_ >= total_chunks_) {
+    return;
+  }
+  // Backpressure: the writer buffer is bounded, so compute stalls if writing falls
+  // too far behind (e.g. the buffer cache is throttling).
+  const int write_backlog = chunks_computed_ - chunks_written_;
+  if (has_output_io_ && write_backlog > executor_->config().readahead_chunks) {
+    return;
+  }
+  if (chunks_ready() <= chunks_computed_) {
+    return;
+  }
+  compute_busy_ = true;
+  executor_->cluster_->machine(assignment_.machine)
+      .RunCompute(chunk_cpu_seconds_ * executor_->ChunkCpuFactor(), [this] {
+        compute_busy_ = false;
+        ++chunks_computed_;
+        if (has_input_io_) {
+          executor_->RemoveBuffered(assignment_.machine,
+                                    static_cast<Bytes>(chunk_input_bytes_));
+        }
+        Pump();
+      });
+}
+
+void SparkTaskSim::AdvanceWriter() {
+  if (!has_output_io_) {
+    chunks_written_ = chunks_computed_;
+    return;
+  }
+  if (writer_busy_ || chunks_written_ >= chunks_computed_) {
+    return;
+  }
+  writer_busy_ = true;
+  const Bytes bytes = static_cast<Bytes>(chunk_write_bytes_);
+  const int disk = executor_->PickWriteDisk(assignment_.machine);
+  auto done = [this] {
+    writer_busy_ = false;
+    ++chunks_written_;
+    Pump();
+  };
+  MachineSim& machine = executor_->cluster_->machine(assignment_.machine);
+  if (executor_->config().write_through) {
+    // Forced durability still flows through the cache's flusher so writes stay
+    // elevator-batched; the task just can't proceed until its bytes are on disk.
+    machine.buffer_cache().WriteSync(disk, bytes, std::move(done));
+  } else {
+    machine.buffer_cache().Write(disk, bytes, std::move(done));
+  }
+}
+
+void SparkTaskSim::MaybeFinish() {
+  if (finished_) {
+    return;
+  }
+  const bool compute_done = chunks_computed_ == total_chunks_;
+  const bool writes_done = !has_output_io_ || chunks_written_ == total_chunks_;
+  if (compute_done && writes_done) {
+    finished_ = true;
+    executor_->OnTaskComplete(this);
+  }
+}
+
+}  // namespace monosim

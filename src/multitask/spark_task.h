@@ -1,0 +1,90 @@
+// SparkTaskSim: one pipelined multitask (the white boxes in the paper's Fig 1).
+//
+// The task is a three-lane software pipeline over fixed-size chunks:
+//
+//   reader  ->  compute  ->  writer
+//
+// The reader is either a sequential block reader (DFS input, local or remote with the
+// flow pipelined behind the remote disk read), an instant source (cached input), or a
+// shuffle fetch engine running a bounded number of parallel per-source streams. The
+// compute lane consumes one chunk at a time on the machine's CPU pool; the writer
+// pushes output chunks into the OS buffer cache (or through to disk when the executor
+// is configured write-through). Lanes run concurrently on *different* chunks — the
+// fine-grained pipelining that monotasks eliminates.
+#ifndef MONOTASKS_SRC_MULTITASK_SPARK_TASK_H_
+#define MONOTASKS_SRC_MULTITASK_SPARK_TASK_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/framework/task.h"
+
+namespace monosim {
+
+class SparkExecutorSim;
+
+class SparkTaskSim {
+ public:
+  SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment);
+
+  SparkTaskSim(const SparkTaskSim&) = delete;
+  SparkTaskSim& operator=(const SparkTaskSim&) = delete;
+
+  // Begins execution (after the launch overhead has been paid by the executor).
+  void Start();
+
+  const TaskAssignment& assignment() const { return assignment_; }
+
+ private:
+  // Pipeline drivers: each checks whether its lane can advance and issues the next
+  // resource request if so. Called after every completion event.
+  void AdvanceReader();
+  void AdvanceCompute();
+  void AdvanceWriter();
+  void Pump();
+  void MaybeFinish();
+
+  // Reader backends.
+  void IssueBlockRead();   // DFS input, local or remote.
+  void StartNextFetch();   // Shuffle fetch engine.
+  void OnChunkDelivered(monoutil::Bytes bytes);
+
+  int chunks_ready() const;
+
+  SparkExecutorSim* executor_;
+  TaskAssignment assignment_;
+
+  // Chunk geometry.
+  int total_chunks_ = 1;
+  double chunk_input_bytes_ = 0.0;
+  double chunk_cpu_seconds_ = 0.0;
+  double chunk_write_bytes_ = 0.0;
+  bool has_input_io_ = false;
+  bool has_output_io_ = false;
+
+  // Reader state.
+  int reads_issued_ = 0;       // Block reader: chunks issued.
+  int reads_in_flight_ = 0;
+  double delivered_bytes_ = 0.0;
+  bool reader_done_ = false;
+  // Shuffle fetch engine state.
+  struct FetchPortion {
+    int src_machine = 0;
+    monoutil::Bytes bytes = 0;
+  };
+  std::deque<FetchPortion> fetch_queue_;
+  int active_fetches_ = 0;
+  bool serve_from_disk_ = false;
+
+  // Compute / writer state.
+  bool compute_busy_ = false;
+  int chunks_computed_ = 0;
+  bool writer_busy_ = false;
+  int chunks_written_ = 0;
+
+  bool finished_ = false;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_MULTITASK_SPARK_TASK_H_

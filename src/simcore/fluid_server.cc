@@ -1,0 +1,185 @@
+#include "src/simcore/fluid_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+namespace {
+
+// A request whose remaining service time falls below this is considered complete.
+// Expressed in seconds of service so it is independent of the work-unit scale.
+constexpr double kCompletionEpsilonSeconds = 1e-9;
+
+}  // namespace
+
+FluidServer::FluidServer(Simulation* sim, std::string name, CapacityFn capacity,
+                         double per_request_cap)
+    : sim_(sim),
+      name_(std::move(name)),
+      capacity_(std::move(capacity)),
+      per_request_cap_(per_request_cap),
+      nominal_capacity_(capacity_(1)),
+      last_update_(sim->now()) {
+  MONO_CHECK(sim_ != nullptr);
+  MONO_CHECK_MSG(capacity_(1) > 0, "server capacity must be positive");
+}
+
+FluidServer::RequestId FluidServer::Submit(double amount, std::function<void()> done,
+                                           double weight) {
+  MONO_CHECK(amount >= 0);
+  MONO_CHECK(done != nullptr);
+  MONO_CHECK(weight > 0);
+  AdvanceProgress();
+  const RequestId id = next_id_++;
+  active_.push_back(Request{id, amount, weight, 0.0, std::move(done)});
+  Reschedule();
+  return id;
+}
+
+double FluidServer::CancelRequest(RequestId id) {
+  AdvanceProgress();
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->id == id) {
+      const double remaining = it->remaining;
+      active_.erase(it);
+      Reschedule();
+      return remaining;
+    }
+  }
+  MONO_CHECK_MSG(false, "CancelRequest: unknown request id");
+  return 0.0;
+}
+
+void FluidServer::AdvanceProgress() {
+  const SimTime now = sim_->now();
+  const double dt = now - last_update_;
+  if (dt > 0) {
+    for (auto& req : active_) {
+      const double served = req.rate * dt;
+      req.remaining = std::max(0.0, req.remaining - served);
+      served_ += served;
+    }
+  }
+  last_update_ = now;
+}
+
+void FluidServer::Reschedule() {
+  // Recompute per-request rates for the current active set.
+  const int n = active();
+  double total_rate = 0.0;
+  if (n > 0) {
+    double total_weight = 0.0;
+    for (const auto& req : active_) {
+      total_weight += req.weight;
+    }
+    const double cap = capacity_(total_weight);
+    MONO_CHECK_MSG(cap > 0, "capacity function must be positive for active requests");
+    double share = cap / static_cast<double>(n);
+    if (per_request_cap_ != kUnlimited) {
+      share = std::min(share, per_request_cap_);
+    }
+    for (auto& req : active_) {
+      req.rate = share;
+      total_rate += share;
+    }
+  }
+  if (trace_enabled_) {
+    rate_trace_.Record(last_update_, total_rate);
+  }
+
+  // Schedule (or clear) the single completion event for the earliest finisher.
+  completion_event_.Cancel();
+  if (n == 0) {
+    return;
+  }
+  double min_time = std::numeric_limits<double>::infinity();
+  for (const auto& req : active_) {
+    if (req.rate > 0) {
+      min_time = std::min(min_time, req.remaining / req.rate);
+    }
+  }
+  MONO_CHECK_MSG(std::isfinite(min_time), "active request with zero rate would never finish");
+  completion_event_ = sim_->ScheduleAfter(min_time, [this] { OnCompletionEvent(); });
+}
+
+void FluidServer::OnCompletionEvent() {
+  AdvanceProgress();
+  // Collect completions first: `done` callbacks may re-enter Submit().
+  std::vector<std::function<void()>> done_callbacks;
+  for (auto it = active_.begin(); it != active_.end();) {
+    const double eps = std::max(it->rate, 1.0) * kCompletionEpsilonSeconds;
+    if (it->remaining <= eps) {
+      done_callbacks.push_back(std::move(it->done));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& done : done_callbacks) {
+    done();
+  }
+}
+
+double FluidServer::total_served() const {
+  // Include progress accrued since the last bookkeeping update.
+  double extra = 0.0;
+  const double dt = sim_->now() - last_update_;
+  if (dt > 0) {
+    for (const auto& req : active_) {
+      extra += std::min(req.remaining, req.rate * dt);
+    }
+  }
+  return served_ + extra;
+}
+
+void FluidServer::EnableTrace() {
+  trace_enabled_ = true;
+  if (rate_trace_.empty()) {
+    rate_trace_.Record(sim_->now(), 0.0);
+  }
+}
+
+double FluidServer::MeanUtilization(SimTime from, SimTime to) const {
+  MONO_CHECK(trace_enabled_);
+  return rate_trace_.MeanUtilization(from, to, nominal_capacity_);
+}
+
+CapacityFn ConstantCapacity(double capacity) {
+  MONO_CHECK(capacity > 0);
+  return [capacity](double) { return capacity; };
+}
+
+CapacityFn HddCapacity(double bandwidth, double alpha) {
+  MONO_CHECK(bandwidth > 0);
+  MONO_CHECK(alpha >= 0);
+  return [bandwidth, alpha](double active_weight) {
+    return bandwidth / (1.0 + alpha * std::max(0.0, active_weight - 1.0));
+  };
+}
+
+CapacityFn SsdCapacity(double bandwidth, int channels, double single_stream_fraction) {
+  MONO_CHECK(bandwidth > 0);
+  MONO_CHECK(channels >= 1);
+  MONO_CHECK(single_stream_fraction > 0 && single_stream_fraction <= 1.0);
+  return [bandwidth, channels, single_stream_fraction](double active_weight) {
+    if (channels == 1) {
+      return bandwidth;  // A single channel is saturated by any one request.
+    }
+    const double n = std::min(active_weight, static_cast<double>(channels));
+    if (n <= 1.0) {
+      return bandwidth * single_stream_fraction;
+    }
+    // Linear ramp from single_stream_fraction (one request) to 1.0 (channels busy).
+    const double frac = single_stream_fraction + (1.0 - single_stream_fraction) *
+                                                     (n - 1.0) /
+                                                     static_cast<double>(channels - 1);
+    return bandwidth * frac;
+  };
+}
+
+}  // namespace monosim

@@ -1,0 +1,141 @@
+// FluidServer: a capacity-shared ("fluid") resource model for the discrete-event
+// simulator.
+//
+// A FluidServer serves requests measured in abstract work units (CPU-seconds for a
+// compute core pool, bytes for a disk). All admitted requests progress simultaneously;
+// capacity is split equally among them, optionally capped per request (a single task
+// thread cannot use more than one core). Total capacity may itself depend on the number
+// of active requests — this is how HDD seek degradation under concurrent streams and
+// SSD channel parallelism are expressed:
+//
+//   * CPU pool of c cores:  capacity(n) = c,       per-request cap = 1 core
+//   * HDD:                  capacity(n) = B / (1 + alpha * (n - 1))   (seek penalty)
+//   * SSD with k channels:  capacity(n) = B * ramp(min(n, k) / k)
+//
+// The server recomputes rates whenever the active set changes and keeps exactly one
+// pending completion event, so the event count is proportional to the request count.
+// It also integrates served work over time and can record a (time, total-rate) step
+// function for utilization plots (Figs 2 and 9 in the paper).
+#ifndef MONOTASKS_SRC_SIMCORE_FLUID_SERVER_H_
+#define MONOTASKS_SRC_SIMCORE_FLUID_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "src/simcore/rate_trace.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+
+// Total capacity (work units per second) available given the sum of the active
+// requests' contention weights. Must be positive whenever any request is active.
+// Weights let callers express that some request types contend less: a streaming disk
+// write merged by the elevator costs less head movement than an interleaved read, so
+// it carries a fractional weight.
+using CapacityFn = std::function<double(double active_weight)>;
+
+class FluidServer {
+ public:
+  // `per_request_cap` limits the rate any single request may receive; pass
+  // kUnlimited for none. `name` is used in traces and error messages.
+  static constexpr double kUnlimited = -1.0;
+
+  FluidServer(Simulation* sim, std::string name, CapacityFn capacity,
+              double per_request_cap = kUnlimited);
+
+  FluidServer(const FluidServer&) = delete;
+  FluidServer& operator=(const FluidServer&) = delete;
+
+  // Identifies an in-service request.
+  using RequestId = uint64_t;
+
+  // Admits a request for `amount` work units; `done` fires (as a simulation event)
+  // when the request completes. Requests are serviced immediately — queueing policy
+  // belongs to the schedulers layered above this class. `amount` may be zero, in which
+  // case `done` fires at the current time. `weight` (default 1) is the request's
+  // contention weight passed to the capacity function.
+  RequestId Submit(double amount, std::function<void()> done, double weight = 1.0);
+
+  // Aborts an in-service request; its `done` callback never fires. Returns the
+  // remaining (unserved) work.
+  double CancelRequest(RequestId id);
+
+  // Number of requests currently in service.
+  int active() const { return static_cast<int>(active_.size()); }
+
+  // Total work units served so far (integrated over time).
+  double total_served() const;
+
+  // Nominal capacity used as the denominator for utilization: capacity(1) unless
+  // overridden via set_nominal_capacity (e.g. a CPU pool's core count).
+  double nominal_capacity() const { return nominal_capacity_; }
+  void set_nominal_capacity(double c) { nominal_capacity_ = c; }
+
+  // Mean utilization over [from, to]: work served in the window divided by
+  // nominal_capacity * (to - from). Requires tracing to be enabled.
+  double MeanUtilization(SimTime from, SimTime to) const;
+
+  // Enables recording of the (time, total service rate) step function.
+  void EnableTrace();
+  bool trace_enabled() const { return trace_enabled_; }
+
+  // The recorded total-service-rate step function. Empty unless EnableTrace() was
+  // called before the first request.
+  const RateTrace& rate_trace() const { return rate_trace_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Request {
+    RequestId id;
+    double remaining;
+    double weight = 1.0;
+    double rate = 0.0;
+    std::function<void()> done;
+  };
+
+  // Advances all active requests to the current time, then recomputes rates and
+  // reschedules the single completion event.
+  void Reschedule();
+
+  // Brings `remaining` up to date with progress since `last_update_`.
+  void AdvanceProgress();
+
+  // Fires completions for any requests that have (numerically) finished.
+  void OnCompletionEvent();
+
+  Simulation* sim_;
+  std::string name_;
+  CapacityFn capacity_;
+  double per_request_cap_;
+  double nominal_capacity_;
+
+  std::list<Request> active_;
+  RequestId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  double served_ = 0.0;
+  EventHandle completion_event_;
+
+  bool trace_enabled_ = false;
+  RateTrace rate_trace_;
+};
+
+// Convenience capacity functions.
+
+// Constant capacity regardless of concurrency (CPU pools, network links).
+CapacityFn ConstantCapacity(double capacity);
+
+// HDD model: full bandwidth for one stream-weight, degrading as
+// 1 / (1 + alpha * (w - 1)) with total contention weight w.
+CapacityFn HddCapacity(double bandwidth, double alpha);
+
+// SSD model: bandwidth scales up with outstanding requests until `channels` worth of
+// weight are busy; `single_stream_fraction` of peak is available to a lone request.
+CapacityFn SsdCapacity(double bandwidth, int channels, double single_stream_fraction);
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_SIMCORE_FLUID_SERVER_H_

@@ -1,0 +1,67 @@
+#include "src/simcore/rate_trace.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace monosim {
+
+using monoutil::SimTime;
+
+void RateTrace::Record(SimTime time, double rate) {
+  if (!points_.empty()) {
+    MONO_CHECK_MSG(time >= points_.back().time, "rate trace times must be non-decreasing");
+    if (points_.back().time == time) {
+      points_.back().rate = rate;
+      return;
+    }
+    if (points_.back().rate == rate) {
+      return;  // No change; avoid unbounded growth from redundant updates.
+    }
+  }
+  points_.push_back(Point{time, rate});
+}
+
+double RateTrace::Integrate(SimTime from, SimTime to) const {
+  MONO_CHECK(to >= from);
+  double total = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const SimTime seg_start = points_[i].time;
+    const SimTime seg_end = (i + 1 < points_.size()) ? points_[i + 1].time : to;
+    const SimTime lo = std::max(seg_start, from);
+    const SimTime hi = std::min(std::max(seg_end, seg_start), to);
+    if (hi > lo) {
+      total += points_[i].rate * (hi - lo);
+    }
+  }
+  return total;
+}
+
+double RateTrace::MeanUtilization(SimTime from, SimTime to, double capacity) const {
+  MONO_CHECK(to > from);
+  MONO_CHECK(capacity > 0);
+  return Integrate(from, to) / (capacity * (to - from));
+}
+
+double RateTrace::RateAt(SimTime time) const {
+  double rate = 0.0;
+  for (const auto& point : points_) {
+    if (point.time > time) {
+      break;
+    }
+    rate = point.rate;
+  }
+  return rate;
+}
+
+std::vector<double> RateTrace::SampleWindows(SimTime from, SimTime to, SimTime step,
+                                             double capacity) const {
+  MONO_CHECK(step > 0);
+  std::vector<double> windows;
+  for (SimTime t = from; t + step <= to; t += step) {
+    windows.push_back(MeanUtilization(t, t + step, capacity));
+  }
+  return windows;
+}
+
+}  // namespace monosim

@@ -1,0 +1,52 @@
+// RateTrace: a recorded (time, rate) step function.
+//
+// Devices record their instantaneous total service rate here; benches integrate it to
+// produce the utilization time series and per-stage utilization statistics that the
+// paper plots (Figs 2, 6 and 9).
+#ifndef MONOTASKS_SRC_SIMCORE_RATE_TRACE_H_
+#define MONOTASKS_SRC_SIMCORE_RATE_TRACE_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+class RateTrace {
+ public:
+  struct Point {
+    monoutil::SimTime time;
+    double rate;
+  };
+
+  // Records that the rate changed to `rate` at `time`. Times must be non-decreasing;
+  // a same-time update overwrites the previous point.
+  void Record(monoutil::SimTime time, double rate);
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  // Integral of the rate over [from, to]. The last recorded rate is assumed to hold
+  // forever. Returns 0 for an empty trace.
+  double Integrate(monoutil::SimTime from, monoutil::SimTime to) const;
+
+  // Integrate(from, to) / (capacity * (to - from)): the mean fraction of `capacity`
+  // in use over the window.
+  double MeanUtilization(monoutil::SimTime from, monoutil::SimTime to,
+                         double capacity) const;
+
+  // The rate in effect at `time` (0 before the first point).
+  double RateAt(monoutil::SimTime time) const;
+
+  // Mean utilizations over consecutive windows of `step` seconds spanning [from, to),
+  // for plotting time series. The final partial window is dropped.
+  std::vector<double> SampleWindows(monoutil::SimTime from, monoutil::SimTime to,
+                                    monoutil::SimTime step, double capacity) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_SIMCORE_RATE_TRACE_H_

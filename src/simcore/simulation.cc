@@ -1,0 +1,75 @@
+#include "src/simcore/simulation.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace monosim {
+
+void EventHandle::Cancel() {
+  if (record_ != nullptr && !record_->fired) {
+    record_->cancelled = true;
+    record_->fn = nullptr;  // Release captured state promptly.
+  }
+}
+
+bool EventHandle::pending() const {
+  return record_ != nullptr && !record_->fired && !record_->cancelled;
+}
+
+EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  MONO_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  MONO_CHECK(fn != nullptr);
+  auto record = std::make_shared<EventHandle::Record>();
+  record->fn = std::move(fn);
+  queue_.push(QueueEntry{when, next_seq_++, record});
+  return EventHandle(std::move(record));
+}
+
+EventHandle Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  MONO_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.record->cancelled) {
+      continue;
+    }
+    now_ = entry.when;
+    entry.record->fired = true;
+    ++fired_;
+    // Move the callback out so that captured state dies when it returns.
+    std::function<void()> fn = std::move(entry.record->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  MONO_CHECK(deadline >= now_);
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without firing live ones beyond the deadline.
+    const QueueEntry& top = queue_.top();
+    if (top.record->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    Step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace monosim

@@ -1,0 +1,99 @@
+// Discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and an event queue. Events are callbacks scheduled
+// at absolute virtual times; ties are broken by insertion order so runs are fully
+// deterministic. Everything in the cluster simulator (devices, schedulers, tasks) is
+// driven by this kernel — no wall-clock time or threads are involved.
+#ifndef MONOTASKS_SRC_SIMCORE_SIMULATION_H_
+#define MONOTASKS_SRC_SIMCORE_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+using monoutil::SimTime;
+
+// Handle to a scheduled event; lets the owner cancel it before it fires. Default
+// constructed handles are empty. Handles are cheap to copy (shared ownership of a
+// small record).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly or on an
+  // empty handle.
+  void Cancel();
+
+  // True if this handle refers to an event that has neither fired nor been cancelled.
+  bool pending() const;
+
+ private:
+  friend class Simulation;
+  struct Record {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<Record> record) : record_(std::move(record)) {}
+  std::shared_ptr<Record> record_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time in seconds. Starts at 0.
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `when` (must be >= now()).
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` seconds from now (delay must be >= 0).
+  EventHandle ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs until the queue is empty or the next event lies beyond `deadline`; the clock
+  // is advanced to `deadline` if the run was cut short.
+  void RunUntil(SimTime deadline);
+
+  // Fires at most one event (skipping cancelled ones). Returns false when empty.
+  bool Step();
+
+  // Number of (non-cancelled) events fired so far.
+  uint64_t fired_events() const { return fired_; }
+
+ private:
+  struct QueueEntry {
+    SimTime when;
+    uint64_t seq;
+    std::shared_ptr<EventHandle::Record> record;
+  };
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t fired_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_SIMCORE_SIMULATION_H_

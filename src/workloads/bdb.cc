@@ -1,0 +1,252 @@
+#include "src/workloads/bdb.h"
+
+#include "src/common/check.h"
+
+namespace monoload {
+
+using monosim::ClusterConfig;
+using monosim::InputSource;
+using monosim::JobSpec;
+using monosim::MachineConfig;
+using monosim::OutputSink;
+using monosim::StageSpec;
+using monoutil::Bytes;
+using monoutil::GiB;
+using monoutil::MiB;
+
+namespace {
+
+// Table sizes at scale factor 5 (calibration constants; see header).
+constexpr Bytes kRankingsBytes = GiB(8);
+constexpr Bytes kUservisitsBytes = GiB(40);
+// One map task per 128 MiB block.
+constexpr int kRankingsBlocks = 128;
+constexpr int kUservisitsBlocks = 480;
+// Q3's first stage scans both tables.
+constexpr Bytes kJoinScanBytes = kRankingsBytes + kUservisitsBytes;
+constexpr int kJoinScanBlocks = kRankingsBlocks + kUservisitsBlocks;
+
+// CPU costs in nanoseconds per byte, chosen so that most queries are CPU-bound on
+// the 5x(8-core, 2-HDD) cluster, matching Fig 14's bottleneck analysis.
+constexpr double kScanCpuNsPerByte = 110.0;        // Q1 filter + (de)serialization.
+constexpr double kAggMapCpuNsPerByte = 105.0;      // Q2 map: parse + partial aggregate.
+constexpr double kAggReduceCpuNsPerByte = 100.0;  // Q2 reduce: merge groups.
+constexpr double kJoinScanCpuNsPerByte = 100.0;    // Q3 scan: project join columns.
+constexpr double kJoinCpuNsPerByte = 50.0;        // Q3 join stage (per shuffle byte).
+constexpr double kJoinAggCpuNsPerByte = 80.0;     // Q3 final aggregation.
+constexpr double kPythonCpuNsPerByte = 150.0;     // Q4 external-script map.
+constexpr double kDeserFraction = 0.25;
+
+double CpuSeconds(Bytes bytes, double ns_per_byte) {
+  return static_cast<double>(bytes) * ns_per_byte * 1e-9;
+}
+
+void EnsureFile(monosim::DfsSim* dfs, const std::string& name, Bytes bytes, int blocks) {
+  if (!dfs->HasFile(name)) {
+    dfs->CreateFileWithBlocks(name, bytes, blocks);
+  }
+}
+
+// Fig 5's inputs are "compressed sequence files": on-disk bytes are the compressed
+// size, and part of each scan's CPU work is decompression. Metadata only — the
+// calibrated stage costs already include it.
+constexpr double kInputCompressionRatio = 2.5;
+constexpr double kDecompressFraction = 0.12;
+
+StageSpec ScanStage(const std::string& name, const std::string& file, Bytes bytes,
+                    int tasks, double cpu_ns_per_byte) {
+  StageSpec stage;
+  stage.name = name;
+  stage.num_tasks = tasks;
+  stage.input = InputSource::kDfs;
+  stage.input_file = file;
+  stage.cpu_seconds_per_task = CpuSeconds(bytes, cpu_ns_per_byte) / tasks;
+  stage.deser_fraction = kDeserFraction;
+  stage.input_compression_ratio = kInputCompressionRatio;
+  stage.decompress_fraction = kDecompressFraction;
+  return stage;
+}
+
+// Q1: scan + filter of rankings; the a/b/c variants only differ in how much output
+// they materialize (the BI -> ETL spectrum described in §5.2).
+JobSpec MakeQ1(monosim::DfsSim* dfs, Bytes output_bytes, const std::string& name) {
+  EnsureFile(dfs, "bdb.rankings", kRankingsBytes, kRankingsBlocks);
+  JobSpec job;
+  job.name = name;
+  StageSpec scan = ScanStage(name + ".scan", "bdb.rankings", kRankingsBytes,
+                             kRankingsBlocks, kScanCpuNsPerByte);
+  scan.output = OutputSink::kDfs;
+  scan.output_bytes = output_bytes;
+  job.stages = {scan};
+  return job;
+}
+
+// Q2: group-by aggregation of uservisits; variants differ in the number of groups
+// and hence the shuffle and result sizes.
+JobSpec MakeQ2(monosim::DfsSim* dfs, Bytes shuffle_bytes, const std::string& name) {
+  EnsureFile(dfs, "bdb.uservisits", kUservisitsBytes, kUservisitsBlocks);
+  JobSpec job;
+  job.name = name;
+  StageSpec map = ScanStage(name + ".map", "bdb.uservisits", kUservisitsBytes,
+                            kUservisitsBlocks, kAggMapCpuNsPerByte);
+  map.output = OutputSink::kShuffle;
+  map.shuffle_bytes = shuffle_bytes;
+
+  StageSpec reduce;
+  reduce.name = name + ".reduce";
+  reduce.num_tasks = 80;
+  reduce.input = InputSource::kShuffle;
+  reduce.input_bytes = shuffle_bytes;
+  reduce.cpu_seconds_per_task =
+      CpuSeconds(shuffle_bytes, kAggReduceCpuNsPerByte) / reduce.num_tasks;
+  reduce.deser_fraction = kDeserFraction;
+  reduce.output = OutputSink::kDfs;
+  reduce.output_bytes = shuffle_bytes / 2;
+  job.stages = {map, reduce};
+  return job;
+}
+
+// Q3: join of uservisits and rankings, modeled as scan -> join -> aggregate. The
+// variants scale the join's shuffle volume; 3c's shuffle stage exercises CPU, disk,
+// and network about equally on the 2-HDD cluster (the §6.2 worst case).
+JobSpec MakeQ3(monosim::DfsSim* dfs, Bytes shuffle_bytes, const std::string& name) {
+  EnsureFile(dfs, "bdb.joinscan", kJoinScanBytes, kJoinScanBlocks);
+  JobSpec job;
+  job.name = name;
+  StageSpec scan = ScanStage(name + ".scan", "bdb.joinscan", kJoinScanBytes,
+                             kJoinScanBlocks, kJoinScanCpuNsPerByte);
+  scan.output = OutputSink::kShuffle;
+  scan.shuffle_bytes = shuffle_bytes;
+
+  StageSpec join;
+  join.name = name + ".join";
+  join.num_tasks = 80;
+  join.input = InputSource::kShuffle;
+  join.input_bytes = shuffle_bytes;
+  join.cpu_seconds_per_task =
+      CpuSeconds(shuffle_bytes, kJoinCpuNsPerByte) / join.num_tasks;
+  join.deser_fraction = kDeserFraction;
+  join.output = OutputSink::kShuffle;
+  join.shuffle_bytes = static_cast<Bytes>(static_cast<double>(shuffle_bytes) * 0.3);
+
+  StageSpec agg;
+  agg.name = name + ".agg";
+  agg.num_tasks = 40;
+  agg.input = InputSource::kShuffle;
+  agg.input_bytes = join.shuffle_bytes;
+  agg.cpu_seconds_per_task =
+      CpuSeconds(join.shuffle_bytes, kJoinAggCpuNsPerByte) / agg.num_tasks;
+  agg.deser_fraction = kDeserFraction;
+  agg.output = OutputSink::kDfs;
+  agg.output_bytes = join.shuffle_bytes / 5;
+  job.stages = {scan, join, agg};
+  return job;
+}
+
+// Q4: the page-rank-like query that shells out to a Python script (CPU-heavy map).
+JobSpec MakeQ4(monosim::DfsSim* dfs) {
+  EnsureFile(dfs, "bdb.uservisits", kUservisitsBytes, kUservisitsBlocks);
+  JobSpec job;
+  job.name = "bdb.4";
+  StageSpec map = ScanStage("bdb.4.map", "bdb.uservisits", kUservisitsBytes,
+                            kUservisitsBlocks, kPythonCpuNsPerByte);
+  map.output = OutputSink::kShuffle;
+  map.shuffle_bytes = GiB(5);
+
+  StageSpec reduce;
+  reduce.name = "bdb.4.reduce";
+  reduce.num_tasks = 80;
+  reduce.input = InputSource::kShuffle;
+  reduce.input_bytes = GiB(5);
+  reduce.cpu_seconds_per_task = CpuSeconds(GiB(5), kAggReduceCpuNsPerByte) / 80;
+  reduce.deser_fraction = kDeserFraction;
+  reduce.output = OutputSink::kDfs;
+  reduce.output_bytes = GiB(5);
+  job.stages = {map, reduce};
+  return job;
+}
+
+}  // namespace
+
+const std::vector<BdbQuery>& AllBdbQueries() {
+  static const std::vector<BdbQuery> kAll = {
+      BdbQuery::k1a, BdbQuery::k1b, BdbQuery::k1c, BdbQuery::k2a, BdbQuery::k2b,
+      BdbQuery::k2c, BdbQuery::k3a, BdbQuery::k3b, BdbQuery::k3c, BdbQuery::k4};
+  return kAll;
+}
+
+std::string BdbQueryName(BdbQuery query) {
+  switch (query) {
+    case BdbQuery::k1a:
+      return "1a";
+    case BdbQuery::k1b:
+      return "1b";
+    case BdbQuery::k1c:
+      return "1c";
+    case BdbQuery::k2a:
+      return "2a";
+    case BdbQuery::k2b:
+      return "2b";
+    case BdbQuery::k2c:
+      return "2c";
+    case BdbQuery::k3a:
+      return "3a";
+    case BdbQuery::k3b:
+      return "3b";
+    case BdbQuery::k3c:
+      return "3c";
+    case BdbQuery::k4:
+      return "4";
+  }
+  MONO_CHECK_MSG(false, "unknown query");
+  return "";
+}
+
+JobSpec MakeBdbQueryJob(monosim::DfsSim* dfs, BdbQuery query, uint64_t seed) {
+  MONO_CHECK(dfs != nullptr);
+  JobSpec job;
+  switch (query) {
+    case BdbQuery::k1a:
+      job = MakeQ1(dfs, MiB(32), "bdb.1a");
+      break;
+    case BdbQuery::k1b:
+      job = MakeQ1(dfs, MiB(512), "bdb.1b");
+      break;
+    case BdbQuery::k1c:
+      // The ETL-sized variant: the output dwarfs what the buffer cache will flush
+      // during the job, producing the §5.3 write-visibility gap.
+      job = MakeQ1(dfs, GiB(24), "bdb.1c");
+      break;
+    case BdbQuery::k2a:
+      job = MakeQ2(dfs, GiB(1), "bdb.2a");
+      break;
+    case BdbQuery::k2b:
+      job = MakeQ2(dfs, GiB(4), "bdb.2b");
+      break;
+    case BdbQuery::k2c:
+      job = MakeQ2(dfs, GiB(12), "bdb.2c");
+      break;
+    case BdbQuery::k3a:
+      job = MakeQ3(dfs, GiB(2), "bdb.3a");
+      break;
+    case BdbQuery::k3b:
+      job = MakeQ3(dfs, GiB(6), "bdb.3b");
+      break;
+    case BdbQuery::k3c:
+      job = MakeQ3(dfs, GiB(20), "bdb.3c");
+      break;
+    case BdbQuery::k4:
+      job = MakeQ4(dfs);
+      break;
+  }
+  job.seed = seed;
+  return job;
+}
+
+ClusterConfig BdbClusterConfig(bool ssd) {
+  MachineConfig machine =
+      ssd ? MachineConfig::SsdWorker(2) : MachineConfig::HddWorker(2);
+  return ClusterConfig::Of(5, machine);
+}
+
+}  // namespace monoload

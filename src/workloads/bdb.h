@@ -1,0 +1,61 @@
+// The Big Data Benchmark workload (§5.2), derived from the AMPLab benchmark [31].
+//
+// Ten queries over two synthetic web tables:
+//   * rankings   (pageURL, pageRank, avgDuration)     — ~8 GiB at scale factor 5
+//   * uservisits (sourceIP, destURL, visitDate, ...)  — ~40 GiB at scale factor 5
+//
+// Query families, each with a/b/c variants whose *result* size grows from
+// business-intelligence-sized (fits on one screen) to ETL-sized (needs a cluster):
+//   Q1: exploratory scan of rankings with a selectivity knob (map-only).
+//   Q2: aggregation of uservisits grouped by a source-IP prefix (map + reduce).
+//   Q3: join of uservisits with rankings (scan+shuffle, join, aggregate: 3 stages).
+//   Q4: a page-rank-like transformation implemented as an external script (CPU-heavy
+//       map + reduce that materializes its output).
+//
+// Table sizes and per-query CPU/byte costs are calibration constants chosen to
+// reproduce the paper's qualitative results: most queries CPU-bound (Fig 14), 1c
+// write-bound (the buffer-cache discussion of §5.3), and 3c's large shuffle stage
+// using all three resources about equally (§6.2's 28% worst-case model error).
+#ifndef MONOTASKS_SRC_WORKLOADS_BDB_H_
+#define MONOTASKS_SRC_WORKLOADS_BDB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.h"
+#include "src/framework/job_spec.h"
+#include "src/storage/dfs.h"
+
+namespace monoload {
+
+enum class BdbQuery {
+  k1a,
+  k1b,
+  k1c,
+  k2a,
+  k2b,
+  k2c,
+  k3a,
+  k3b,
+  k3c,
+  k4,
+};
+
+// All ten queries, in the order the paper's figures list them.
+const std::vector<BdbQuery>& AllBdbQueries();
+
+// "1a", "2c", "4", ...
+std::string BdbQueryName(BdbQuery query);
+
+// Creates the input table file(s) for `query` if not already present, and returns
+// the job. Queries share the table files, so one DfsSim can serve the whole suite.
+monosim::JobSpec MakeBdbQueryJob(monosim::DfsSim* dfs, BdbQuery query,
+                                 uint64_t seed = 11);
+
+// The 5-worker cluster the paper ran the benchmark on (§5.1); `ssd` selects the
+// 2-SSD variant used for the SSD comparison at the end of §5.2.
+monosim::ClusterConfig BdbClusterConfig(bool ssd = false);
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_BDB_H_

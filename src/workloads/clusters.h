@@ -1,0 +1,27 @@
+// Cluster presets matching the evaluation setups in §5.1 and §6.
+#ifndef MONOTASKS_SRC_WORKLOADS_CLUSTERS_H_
+#define MONOTASKS_SRC_WORKLOADS_CLUSTERS_H_
+
+#include "src/cluster/cluster_config.h"
+
+namespace monoload {
+
+// 20 workers with 2 HDDs: the §5.2 sort cluster.
+inline monosim::ClusterConfig SortClusterConfig() {
+  return monosim::ClusterConfig::Of(20, monosim::MachineConfig::HddWorker(2));
+}
+
+// 20 workers with n SSDs: the Fig 11 prediction experiment (1 SSD -> 2 SSDs).
+inline monosim::ClusterConfig SsdClusterConfig(int num_machines, int ssds_per_machine) {
+  return monosim::ClusterConfig::Of(num_machines,
+                                    monosim::MachineConfig::SsdWorker(ssds_per_machine));
+}
+
+// 5 workers with 2 HDDs: the small cluster of Fig 13's "before" configuration.
+inline monosim::ClusterConfig SmallHddClusterConfig() {
+  return monosim::ClusterConfig::Of(5, monosim::MachineConfig::HddWorker(2));
+}
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_CLUSTERS_H_

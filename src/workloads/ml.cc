@@ -1,0 +1,56 @@
+#include "src/workloads/ml.h"
+
+#include "src/common/check.h"
+
+namespace monoload {
+
+using monosim::ClusterConfig;
+using monosim::InputSource;
+using monosim::JobSpec;
+using monosim::MachineConfig;
+using monosim::OutputSink;
+using monosim::StageSpec;
+using monoutil::Bytes;
+
+ClusterConfig MlClusterConfig() {
+  MachineConfig machine = MachineConfig::SsdWorker(2);
+  return ClusterConfig::Of(15, machine);
+}
+
+JobSpec MakeMlJob(const MlParams& params) {
+  MONO_CHECK(params.num_stages >= 1);
+  MONO_CHECK(params.tasks_per_stage >= 1);
+  JobSpec job;
+  job.name = "ml.least-squares";
+  job.seed = params.seed;
+
+  const double stage_cpu =
+      static_cast<double>(params.stage_bytes) * params.cpu_ns_per_byte * 1e-9;
+  const Bytes shuffle = static_cast<Bytes>(static_cast<double>(params.stage_bytes) *
+                                           params.shuffle_fraction);
+
+  for (int s = 0; s < params.num_stages; ++s) {
+    StageSpec stage;
+    stage.name = "ml.stage" + std::to_string(s);
+    stage.num_tasks = params.tasks_per_stage;
+    if (s == 0) {
+      // The matrix is cached in memory (deserialized arrays of doubles).
+      stage.input = InputSource::kMemory;
+      stage.input_bytes = params.stage_bytes;
+    } else {
+      stage.input = InputSource::kShuffle;
+      stage.input_bytes = shuffle;
+    }
+    stage.cpu_seconds_per_task = stage_cpu / params.tasks_per_stage;
+    stage.deser_fraction = 0.05;  // Fast array serialization.
+    if (s + 1 < params.num_stages) {
+      stage.output = OutputSink::kShuffle;
+      stage.shuffle_bytes = shuffle;
+      stage.shuffle_to_memory = true;  // §5.2: shuffle data is stored in-memory.
+    }
+    job.stages.push_back(stage);
+  }
+  return job;
+}
+
+}  // namespace monoload

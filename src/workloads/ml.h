@@ -1,0 +1,38 @@
+// The machine-learning workload (§5.2 "Machine Learning", Fig 7).
+//
+// A least-squares solve via block coordinate descent: a series of matrix-multiply
+// stages over a 1M x 4096 matrix of doubles. Three properties distinguish it from the
+// other workloads, all from the paper: the CPU path is optimized (arrays of doubles,
+// native BLAS — low CPU cost per byte), a large volume of data crosses the network
+// between stages, and shuffle data stays in memory, so the disks are idle.
+#ifndef MONOTASKS_SRC_WORKLOADS_ML_H_
+#define MONOTASKS_SRC_WORKLOADS_ML_H_
+
+#include "src/cluster/cluster_config.h"
+#include "src/framework/job_spec.h"
+
+namespace monoload {
+
+struct MlParams {
+  // Matrix block rows per task and the stage count (one per coordinate-descent pass).
+  int num_stages = 6;
+  int tasks_per_stage = 480;  // Four waves over 15 machines x 8 cores.
+  // Bytes of matrix data processed per stage (1M rows x 4096 cols x 8 B = 32.8 GB;
+  // scaled to the block the pass touches).
+  monoutil::Bytes stage_bytes = monoutil::GiB(24);
+  // Fraction of the stage's data exchanged over the network between stages.
+  double shuffle_fraction = 0.5;
+  // Optimized native compute: CPU-nanoseconds per byte (an order of magnitude below
+  // the JVM-heavy workloads).
+  double cpu_ns_per_byte = 9.0;
+  uint64_t seed = 13;
+};
+
+// The paper ran this on 15 machines with 2 SSDs each (unused: shuffle is in-memory).
+monosim::ClusterConfig MlClusterConfig();
+
+monosim::JobSpec MakeMlJob(const MlParams& params = {});
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_ML_H_

@@ -1,0 +1,37 @@
+// An iterative PageRank-style workload for the cluster simulator.
+//
+// Each iteration joins the rank vector against the (cached, in-memory) adjacency
+// structure, shuffles contributions by destination vertex, and aggregates new ranks.
+// Iterative graph workloads are the canonical stress test for stage-barrier engines:
+// many dependent stages, a shuffle per iteration, and CPU dominated by
+// (de)serialization — which is why they feature in the performance-clarity debate the
+// paper cites ([22, 23]: "the impact of fast networks on graph analytics").
+#ifndef MONOTASKS_SRC_WORKLOADS_PAGERANK_H_
+#define MONOTASKS_SRC_WORKLOADS_PAGERANK_H_
+
+#include "src/cluster/cluster_config.h"
+#include "src/framework/job_spec.h"
+#include "src/storage/dfs.h"
+
+namespace monoload {
+
+struct PageRankParams {
+  // Graph size: edges dominate the data volume (16 B per edge: src, dst).
+  int64_t num_vertices = 50'000'000;
+  int64_t num_edges = 1'000'000'000;
+  int iterations = 5;
+  int tasks_per_stage = 320;
+  // CPU cost of generating/applying rank contributions, per edge byte.
+  double cpu_ns_per_byte = 55.0;
+  // If false, the adjacency lists are re-read from the DFS every iteration (the
+  // uncached configuration users ask the "is caching worth it?" question about).
+  bool edges_in_memory = true;
+  uint64_t seed = 23;
+};
+
+// One contributions+aggregate stage pair per iteration.
+monosim::JobSpec MakePageRankJob(monosim::DfsSim* dfs, const PageRankParams& params);
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_PAGERANK_H_

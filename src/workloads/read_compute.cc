@@ -1,0 +1,33 @@
+#include "src/workloads/read_compute.h"
+
+#include "src/common/check.h"
+
+namespace monoload {
+
+using monosim::InputSource;
+using monosim::JobSpec;
+using monosim::StageSpec;
+
+JobSpec MakeReadComputeJob(monosim::DfsSim* dfs, const ReadComputeParams& params) {
+  MONO_CHECK(dfs != nullptr);
+  MONO_CHECK(params.num_tasks >= 1);
+  const std::string input_file = params.name_prefix + ".input";
+  dfs->CreateFileWithBlocks(input_file, params.total_bytes, params.num_tasks);
+
+  JobSpec job;
+  job.name = params.name_prefix;
+  job.seed = params.seed;
+  StageSpec stage;
+  stage.name = params.name_prefix + ".stage";
+  stage.num_tasks = params.num_tasks;
+  stage.input = InputSource::kDfs;
+  stage.input_file = input_file;
+  stage.cpu_seconds_per_task = static_cast<double>(params.total_bytes) *
+                               params.cpu_ns_per_byte * 1e-9 /
+                               static_cast<double>(params.num_tasks);
+  stage.deser_fraction = 0.3;
+  job.stages = {stage};
+  return job;
+}
+
+}  // namespace monoload

@@ -1,0 +1,31 @@
+// The read-then-compute microbenchmark used by Fig 8 (task-granularity sensitivity).
+//
+// A single stage that reads input from disk and computes on it. With one wave of
+// tasks, monotasks cannot pipeline the disk read with compute (the read and compute
+// monotasks of a multitask are strictly ordered), so MonoSpark loses to Spark's
+// fine-grained pipelining; with three or more waves, cross-multitask pipelining
+// recovers the loss — the crossover the figure shows.
+#ifndef MONOTASKS_SRC_WORKLOADS_READ_COMPUTE_H_
+#define MONOTASKS_SRC_WORKLOADS_READ_COMPUTE_H_
+
+#include "src/framework/job_spec.h"
+#include "src/storage/dfs.h"
+
+namespace monoload {
+
+struct ReadComputeParams {
+  monoutil::Bytes total_bytes = monoutil::GiB(80);
+  int num_tasks = 160;
+  // CPU work per byte read; the default makes compute and disk roughly equal so
+  // pipelining matters.
+  double cpu_ns_per_byte = 45.0;
+  std::string name_prefix = "readcompute";
+  uint64_t seed = 17;
+};
+
+monosim::JobSpec MakeReadComputeJob(monosim::DfsSim* dfs,
+                                    const ReadComputeParams& params);
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_READ_COMPUTE_H_

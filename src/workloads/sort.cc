@@ -1,0 +1,81 @@
+#include "src/workloads/sort.h"
+
+#include "src/common/check.h"
+
+namespace monoload {
+
+using monosim::InputSource;
+using monosim::JobSpec;
+using monosim::OutputSink;
+using monosim::StageSpec;
+using monoutil::Bytes;
+using monoutil::MiB;
+
+Bytes SortRecordBytes(int values_per_key) {
+  MONO_CHECK(values_per_key >= 1);
+  return 8 + 8 * static_cast<Bytes>(values_per_key);
+}
+
+double SortCpuSeconds(Bytes bytes, int values_per_key) {
+  const double record = static_cast<double>(SortRecordBytes(values_per_key));
+  const double ns_per_byte = kSortCpuPerRecordNs / record + kSortCpuPerByteNs;
+  return static_cast<double>(bytes) * ns_per_byte * 1e-9;
+}
+
+JobSpec MakeSortJob(monosim::DfsSim* dfs, const SortParams& params) {
+  MONO_CHECK(dfs != nullptr);
+  MONO_CHECK(params.total_bytes > 0);
+
+  int map_tasks = params.num_map_tasks;
+  if (map_tasks == 0) {
+    map_tasks = static_cast<int>((params.total_bytes + MiB(128) - 1) / MiB(128));
+  }
+  const int reduce_tasks =
+      params.num_reduce_tasks > 0 ? params.num_reduce_tasks : map_tasks;
+
+  const std::string input_file = params.name_prefix + ".input";
+  if (!params.input_in_memory) {
+    dfs->CreateFileWithBlocks(input_file, params.total_bytes, map_tasks);
+  }
+
+  const double map_cpu_total = SortCpuSeconds(params.total_bytes, params.values_per_key);
+  const double reduce_cpu_total = map_cpu_total * kSortReduceCpuFactor;
+
+  JobSpec job;
+  job.name = params.name_prefix;
+  job.seed = params.seed;
+
+  StageSpec map;
+  map.name = params.name_prefix + ".map";
+  map.num_tasks = map_tasks;
+  if (params.input_in_memory) {
+    map.input = InputSource::kMemory;
+    map.input_bytes = params.total_bytes;
+    // Input is cached deserialized: the map stage skips input deserialization.
+    map.cpu_seconds_per_task =
+        map_cpu_total * (1.0 - kSortDeserFraction) / static_cast<double>(map_tasks);
+    map.deser_fraction = 0.0;
+  } else {
+    map.input = InputSource::kDfs;
+    map.input_file = input_file;
+    map.cpu_seconds_per_task = map_cpu_total / static_cast<double>(map_tasks);
+    map.deser_fraction = kSortDeserFraction;
+  }
+  map.output = OutputSink::kShuffle;
+  map.shuffle_bytes = params.total_bytes;
+
+  StageSpec reduce;
+  reduce.name = params.name_prefix + ".reduce";
+  reduce.num_tasks = reduce_tasks;
+  reduce.input = InputSource::kShuffle;
+  reduce.input_bytes = params.total_bytes;
+  reduce.cpu_seconds_per_task = reduce_cpu_total / static_cast<double>(reduce_tasks);
+  reduce.deser_fraction = kSortDeserFraction * 0.8;  // Shuffle data is re-deserialized.
+  reduce.output = OutputSink::kDfs;
+  reduce.output_bytes = params.total_bytes;
+
+  job.stages = {map, reduce};
+  return job;
+}
+
+}  // namespace monoload

@@ -1,0 +1,61 @@
+// The sort workload family (§5.2 "Sort", §6.2, §7).
+//
+// Sorts key-value pairs read from the DFS: a map stage partitions the data (read
+// input, partition + serialize, write shuffle) and a reduce stage sorts each
+// partition (fetch shuffle, sort + serialize, write output). The workload knob is the
+// number of longs in each value: with the total data size fixed, smaller values mean
+// more records and therefore more CPU work per byte, letting the paper (and us) sweep
+// the CPU:disk balance (10 values ~ CPU-bound, 20 ~ balanced, 50+ ~ disk-bound).
+#ifndef MONOTASKS_SRC_WORKLOADS_SORT_H_
+#define MONOTASKS_SRC_WORKLOADS_SORT_H_
+
+#include <string>
+
+#include "src/framework/job_spec.h"
+#include "src/storage/dfs.h"
+
+namespace monoload {
+
+struct SortParams {
+  monoutil::Bytes total_bytes = monoutil::GiB(100);
+  // Longs per value; the record is an 8-byte key plus 8 * values_per_key bytes.
+  int values_per_key = 20;
+  // Map tasks (= input blocks) and reduce tasks.
+  int num_map_tasks = 0;   // 0: one task per 128 MiB block.
+  int num_reduce_tasks = 0;  // 0: same as map tasks.
+  // Input location: on-disk (default) or cached in memory, deserialized (§6.3).
+  bool input_in_memory = false;
+  // Distinct jobs in one simulation need distinct file names and seeds.
+  std::string name_prefix = "sort";
+  uint64_t seed = 7;
+};
+
+// Per-byte CPU cost of sort-style processing, in CPU-nanoseconds per byte. Records
+// cost a fixed amount each (deserialization, hashing, comparisons), so smaller
+// records mean more CPU per byte:
+//
+//   ns_per_byte = kSortCpuPerRecordNs / record_size + kSortCpuPerByteNs
+//
+// Calibrated so that on the 2-HDD workers of §5.1 the workload is CPU-bound at 10
+// values per key, roughly balanced at ~20, and disk-bound at 50.
+inline constexpr double kSortCpuPerRecordNs = 7400.0;
+inline constexpr double kSortCpuPerByteNs = 37.0;
+// The reduce side additionally sorts, costing a constant factor more CPU.
+inline constexpr double kSortReduceCpuFactor = 1.1;
+// Fraction of map CPU work that is input deserialization (separable only with
+// monotasks; drives the §6.3 what-if).
+inline constexpr double kSortDeserFraction = 0.35;
+
+// Record size in bytes for a given values-per-key.
+monoutil::Bytes SortRecordBytes(int values_per_key);
+
+// CPU-seconds needed to process `bytes` of sort data with the given record size.
+double SortCpuSeconds(monoutil::Bytes bytes, int values_per_key);
+
+// Builds the job and (unless input_in_memory) creates its DFS input file. `dfs` must
+// be the environment's DFS. Map and reduce stages move the full dataset.
+monosim::JobSpec MakeSortJob(monosim::DfsSim* dfs, const SortParams& params);
+
+}  // namespace monoload
+
+#endif  // MONOTASKS_SRC_WORKLOADS_SORT_H_

@@ -1,0 +1,84 @@
+// Parameterized consistency sweep over every Big Data Benchmark query: properties
+// that must hold regardless of which query runs.
+#include <gtest/gtest.h>
+
+#include "src/framework/environment.h"
+#include "src/model/monotasks_model.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+#include "src/workloads/bdb.h"
+
+namespace monoload {
+namespace {
+
+// A scaled-down BDB cluster so the full 10-query sweep stays fast.
+monosim::ClusterConfig SmallBdbCluster() {
+  return monosim::ClusterConfig::Of(3, monosim::MachineConfig::HddWorker(2));
+}
+
+class BdbQuerySweepTest : public ::testing::TestWithParam<BdbQuery> {
+ protected:
+  monosim::JobResult Run(bool monotasks) const {
+    monosim::SimEnvironment env(SmallBdbCluster());
+    monosim::SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), {});
+    monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+    env.AttachExecutor(monotasks ? static_cast<monosim::ExecutorSim*>(&mono)
+                                 : static_cast<monosim::ExecutorSim*>(&spark));
+    return env.driver().RunJob(MakeBdbQueryJob(&env.dfs(), GetParam()));
+  }
+};
+
+TEST_P(BdbQuerySweepTest, StagesRunInOrderWithBarriers) {
+  const monosim::JobResult result = Run(true);
+  for (size_t s = 1; s < result.stages.size(); ++s) {
+    EXPECT_GE(result.stages[s].start, result.stages[s - 1].end);
+  }
+  EXPECT_GE(result.end, result.stages.back().end);
+}
+
+TEST_P(BdbQuerySweepTest, MonotaskDiskSecondsConsistentWithBytes) {
+  const monosim::JobResult result = Run(true);
+  for (const auto& stage : result.stages) {
+    const auto& times = stage.monotask_times;
+    const monoutil::Bytes moved =
+        stage.usage.disk_read_bytes + stage.usage.disk_write_bytes;
+    if (moved == 0) {
+      continue;
+    }
+    // One monotask per disk at a time: bytes / service time equals device bandwidth.
+    const double rate =
+        static_cast<double>(moved) / (times.disk_read_seconds + times.disk_write_seconds);
+    EXPECT_NEAR(rate, monoutil::MiBps(90), monoutil::MiBps(90) * 0.02) << stage.name;
+  }
+}
+
+TEST_P(BdbQuerySweepTest, ModelIdentityPredictionMatchesObserved) {
+  const monosim::JobResult result = Run(true);
+  const monomodel::MonotasksModel model(
+      result, monomodel::HardwareProfile::FromCluster(SmallBdbCluster()));
+  // Predicting for the hardware the job already ran on must return the observed
+  // runtime exactly (the §6.2 scaling anchor).
+  EXPECT_NEAR(model.PredictJobSeconds(model.baseline()), result.duration(),
+              result.duration() * 1e-9);
+}
+
+TEST_P(BdbQuerySweepTest, ExecutorsAgreeOnStageStructure) {
+  const monosim::JobResult spark = Run(false);
+  const monosim::JobResult mono = Run(true);
+  ASSERT_EQ(spark.stages.size(), mono.stages.size());
+  for (size_t s = 0; s < spark.stages.size(); ++s) {
+    EXPECT_EQ(spark.stages[s].name, mono.stages[s].name);
+    EXPECT_EQ(spark.stages[s].num_tasks, mono.stages[s].num_tasks);
+    EXPECT_EQ(spark.stages[s].usage.disk_write_bytes, mono.stages[s].usage.disk_write_bytes);
+  }
+}
+
+std::string QueryName(const ::testing::TestParamInfo<BdbQuery>& info) {
+  return "q" + BdbQueryName(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, BdbQuerySweepTest,
+                         ::testing::ValuesIn(AllBdbQueries()), QueryName);
+
+}  // namespace
+}  // namespace monoload

@@ -1,0 +1,155 @@
+#include "src/cluster/buffer_cache.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/disk.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+using monoutil::Bytes;
+
+class BufferCacheTest : public ::testing::Test {
+ protected:
+  void MakeCache(BufferCacheConfig config, int num_disks = 1) {
+    DiskConfig disk_config;
+    disk_config.type = DiskType::kHdd;
+    disk_config.bandwidth = 100.0;  // 100 B/s for easy arithmetic.
+    disk_config.seek_alpha = 0.0;
+    std::vector<DiskSim*> raw;
+    for (int d = 0; d < num_disks; ++d) {
+      disks_.push_back(
+          std::make_unique<DiskSim>(&sim_, "disk" + std::to_string(d), disk_config));
+      raw.push_back(disks_.back().get());
+    }
+    cache_ = std::make_unique<BufferCacheSim>(&sim_, config, std::move(raw));
+  }
+
+  Simulation sim_;
+  std::vector<std::unique_ptr<DiskSim>> disks_;
+  std::unique_ptr<BufferCacheSim> cache_;
+};
+
+TEST_F(BufferCacheTest, SmallWriteCompletesAtMemorySpeed) {
+  BufferCacheConfig config;
+  config.dirty_limit = 1000;
+  config.writeback_delay = 30.0;
+  config.memory_bandwidth = 1000.0;
+  MakeCache(config);
+  double done_at = -1.0;
+  cache_->Write(0, 100, [&] { done_at = sim_.now(); });
+  sim_.RunUntil(1.0);
+  // 100 B at 1000 B/s of memory bandwidth = 0.1 s; far faster than the 1 s the disk
+  // would need.
+  EXPECT_NEAR(done_at, 0.1, 1e-9);
+  EXPECT_EQ(disks_[0]->bytes_written(), 0);  // Nothing flushed yet.
+}
+
+TEST_F(BufferCacheTest, WritebackFlushesAfterDelay) {
+  BufferCacheConfig config;
+  config.dirty_limit = 1000;
+  config.writeback_delay = 5.0;
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  cache_->Write(0, 100, [] {});
+  sim_.RunUntil(4.9);
+  EXPECT_EQ(cache_->total_flushed(), 0);
+  sim_.Run();
+  EXPECT_EQ(cache_->total_flushed(), 100);
+  EXPECT_EQ(cache_->total_dirty(), 0);
+  EXPECT_EQ(disks_[0]->bytes_written(), 100);
+}
+
+TEST_F(BufferCacheTest, PressureStartsFlushingImmediately) {
+  BufferCacheConfig config;
+  config.dirty_limit = 100;
+  config.writeback_delay = 1000.0;  // Would never fire in this test.
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  cache_->Write(0, 100, [] {});  // Exactly at the limit: flushing must start.
+  sim_.RunUntil(2.0);
+  EXPECT_GT(cache_->total_flushed(), 0);
+}
+
+TEST_F(BufferCacheTest, OverLimitWritesBlockUntilFlushed) {
+  BufferCacheConfig config;
+  config.dirty_limit = 100;
+  config.writeback_delay = 1000.0;
+  config.flush_chunk = 100;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  double first_done = -1.0;
+  double second_done = -1.0;
+  cache_->Write(0, 100, [&] { first_done = sim_.now(); });
+  cache_->Write(0, 100, [&] { second_done = sim_.now(); });
+  sim_.Run();
+  EXPECT_GE(first_done, 0.0);
+  // The second write had to wait for the first 100 B flush (1 s at 100 B/s).
+  EXPECT_GE(second_done, 1.0);
+  EXPECT_EQ(cache_->total_flushed(), 200);
+}
+
+TEST_F(BufferCacheTest, FlushContendsWithForegroundReads) {
+  BufferCacheConfig config;
+  config.dirty_limit = 50;
+  config.writeback_delay = 1000.0;
+  config.flush_chunk = 100;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  // Fill the cache beyond the limit so flushing starts, then issue a read.
+  cache_->Write(0, 200, [] {});
+  double read_done = -1.0;
+  disks_[0]->Read(100, [&](/*no args*/) { read_done = sim_.now(); });
+  sim_.Run();
+  // Alone, the read would take 1 s; sharing the disk with flush writes it must take
+  // measurably longer.
+  EXPECT_GT(read_done, 1.5);
+}
+
+TEST_F(BufferCacheTest, FlusherDrainsMultipleDisks) {
+  BufferCacheConfig config;
+  config.dirty_limit = 10;  // Immediate pressure.
+  config.writeback_delay = 1000.0;
+  config.flush_chunk = 100;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config, /*num_disks=*/2);
+  cache_->Write(0, 300, [] {});
+  cache_->Write(1, 300, [] {});
+  sim_.Run();
+  EXPECT_EQ(disks_[0]->bytes_written(), 300);
+  EXPECT_EQ(disks_[1]->bytes_written(), 300);
+  EXPECT_EQ(cache_->total_dirty(), 0);
+}
+
+TEST_F(BufferCacheTest, WritebackReArmsAfterDrain) {
+  BufferCacheConfig config;
+  config.dirty_limit = 1000;
+  config.writeback_delay = 1.0;
+  config.flush_chunk = 100;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  cache_->Write(0, 50, [] {});
+  sim_.Run();
+  EXPECT_EQ(cache_->total_flushed(), 50);
+  // A later write must get its own delayed writeback, not be stranded.
+  cache_->Write(0, 60, [] {});
+  sim_.Run();
+  EXPECT_EQ(cache_->total_flushed(), 110);
+}
+
+TEST_F(BufferCacheTest, ZeroByteWriteCompletes) {
+  BufferCacheConfig config;
+  MakeCache(config);
+  bool done = false;
+  cache_->Write(0, 0, [&] { done = true; });
+  sim_.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace monosim

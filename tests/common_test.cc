@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/simcore/rate_trace.h"
+
+namespace monoutil {
+namespace {
+
+TEST(UnitsTest, ByteConstructors) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(2), int64_t{2} * 1024 * 1024 * 1024);
+  EXPECT_EQ(MiB(0.5), 512 * 1024);
+}
+
+TEST(UnitsTest, TimeConstructors) {
+  EXPECT_DOUBLE_EQ(Millis(250), 0.25);
+  EXPECT_DOUBLE_EQ(Minutes(2), 120.0);
+}
+
+TEST(UnitsTest, GbpsConvertsToBytesPerSecond) {
+  EXPECT_NEAR(Gbps(1), 125e6, 1e-6);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(3.0, 5.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(7);
+  bool seen[5] = {false, false, false, false, false};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.NextBelow(5)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(RngTest, ExponentialHasApproximateMean) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(StatsTest, OnlineStatsBasics) {
+  OnlineStats stats;
+  stats.Add(1.0);
+  stats.Add(2.0);
+  stats.Add(3.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 6.0);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(samples), 2.5);
+}
+
+TEST(StatsTest, PercentileOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, BoxplotOrdersQuantiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  const BoxplotSummary box = Boxplot(samples);
+  EXPECT_LT(box.p5, box.p25);
+  EXPECT_LT(box.p25, box.p50);
+  EXPECT_LT(box.p50, box.p75);
+  EXPECT_LT(box.p75, box.p95);
+  EXPECT_NEAR(box.p50, 50.5, 1e-9);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 0.0);
+}
+
+TEST(TableTest, FormatsAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(1.234, 1), "1.2");
+  EXPECT_EQ(FormatSeconds(0.5), "500.0 ms");
+  EXPECT_EQ(FormatSeconds(90.0), "90.0 s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(static_cast<double>(kGiB) * 2), "2.00 GiB");
+}
+
+}  // namespace
+}  // namespace monoutil
+
+namespace monosim {
+namespace {
+
+TEST(RateTraceTest, IntegratesStepFunction) {
+  RateTrace trace;
+  trace.Record(0.0, 10.0);
+  trace.Record(1.0, 0.0);
+  trace.Record(2.0, 5.0);
+  // Last rate extends to the end of the integration window.
+  EXPECT_NEAR(trace.Integrate(0.0, 3.0), 10.0 + 0.0 + 5.0, 1e-12);
+  EXPECT_NEAR(trace.Integrate(0.5, 1.5), 5.0, 1e-12);
+}
+
+TEST(RateTraceTest, MeanUtilizationNormalizesByCapacity) {
+  RateTrace trace;
+  trace.Record(0.0, 50.0);
+  trace.Record(1.0, 0.0);
+  EXPECT_NEAR(trace.MeanUtilization(0.0, 2.0, 100.0), 0.25, 1e-12);
+}
+
+TEST(RateTraceTest, RateAtReturnsStepValue) {
+  RateTrace trace;
+  trace.Record(1.0, 3.0);
+  trace.Record(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(2.0), 7.0);
+}
+
+TEST(RateTraceTest, SameTimeUpdateOverwrites) {
+  RateTrace trace;
+  trace.Record(1.0, 3.0);
+  trace.Record(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(trace.RateAt(1.0), 9.0);
+  EXPECT_EQ(trace.points().size(), 1u);
+}
+
+TEST(RateTraceTest, RedundantUpdatesCoalesce) {
+  RateTrace trace;
+  trace.Record(0.0, 5.0);
+  trace.Record(1.0, 5.0);
+  EXPECT_EQ(trace.points().size(), 1u);
+}
+
+TEST(RateTraceTest, SampleWindows) {
+  RateTrace trace;
+  trace.Record(0.0, 100.0);
+  trace.Record(1.0, 0.0);
+  const auto windows = trace.SampleWindows(0.0, 2.0, 0.5, 100.0);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_NEAR(windows[0], 1.0, 1e-12);
+  EXPECT_NEAR(windows[1], 1.0, 1e-12);
+  EXPECT_NEAR(windows[2], 0.0, 1e-12);
+  EXPECT_NEAR(windows[3], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace monosim

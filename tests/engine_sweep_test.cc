@@ -1,0 +1,97 @@
+// Parameterized sweep over engine configurations: the same word-count job must
+// produce identical results on any worker/core/disk topology, in both execution
+// modes. This is the engine's thread-safety and correctness net.
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/dataset.h"
+
+namespace monotasks {
+namespace {
+
+struct EngineSweepParams {
+  int workers;
+  int cores;
+  int disks;
+  ExecutionMode mode;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<EngineSweepParams>& info) {
+  return "w" + std::to_string(info.param.workers) + "_c" +
+         std::to_string(info.param.cores) + "_d" + std::to_string(info.param.disks) +
+         (info.param.mode == ExecutionMode::kMonotasks ? "_mono" : "_slots");
+}
+
+class EngineSweepTest : public ::testing::TestWithParam<EngineSweepParams> {
+ protected:
+  EngineConfig Config() const {
+    EngineConfig config;
+    config.num_workers = GetParam().workers;
+    config.cores_per_worker = GetParam().cores;
+    config.disks_per_worker = GetParam().disks;
+    config.mode = GetParam().mode;
+    config.time_scale = 2000.0;
+    return config;
+  }
+};
+
+TEST_P(EngineSweepTest, WordCountIsTopologyInvariant) {
+  MonoClient client(Config());
+  using WordCount = std::pair<std::string, int64_t>;
+  std::vector<std::string> lines;
+  for (int i = 0; i < 60; ++i) {
+    lines.push_back("alpha beta gamma alpha");
+  }
+  auto words = client.Parallelize<std::string>(lines, 12).FlatMap<WordCount>(
+      [](const std::string& line) {
+        std::vector<WordCount> out;
+        std::istringstream stream(line);
+        std::string word;
+        while (stream >> word) {
+          out.emplace_back(word, 1);
+        }
+        return out;
+      });
+  auto counts = ReduceByKey<std::string, int64_t>(
+      words, [](const int64_t& a, const int64_t& b) { return a + b; }, 5);
+  std::map<std::string, int64_t> result;
+  for (auto& [word, count] : counts.Collect()) {
+    result[word] = count;
+  }
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result["alpha"], 120);
+  EXPECT_EQ(result["beta"], 60);
+  EXPECT_EQ(result["gamma"], 60);
+}
+
+TEST_P(EngineSweepTest, ChainedJobsReuseTheContext) {
+  MonoClient client(Config());
+  auto data = client.Parallelize<int64_t>({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  data.Map<int64_t>([](const int64_t& x) { return x * 2; }).Save("doubled");
+  auto total =
+      client.FromSource<int64_t>("doubled", 4)
+          .Filter([](const int64_t& x) { return x > 4; })
+          .Count();
+  EXPECT_EQ(total, 6);  // {6, 8, 10, 12, 14, 16}.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, EngineSweepTest,
+    ::testing::Values(EngineSweepParams{1, 1, 1, ExecutionMode::kMonotasks},
+                      EngineSweepParams{1, 4, 2, ExecutionMode::kMonotasks},
+                      EngineSweepParams{2, 2, 1, ExecutionMode::kMonotasks},
+                      EngineSweepParams{3, 2, 2, ExecutionMode::kMonotasks},
+                      EngineSweepParams{5, 1, 1, ExecutionMode::kMonotasks},
+                      EngineSweepParams{1, 1, 1, ExecutionMode::kTaskThreads},
+                      EngineSweepParams{3, 2, 2, ExecutionMode::kTaskThreads},
+                      EngineSweepParams{5, 2, 1, ExecutionMode::kTaskThreads}),
+    SweepName);
+
+}  // namespace
+}  // namespace monotasks

@@ -1,0 +1,183 @@
+#include "src/simcore/fluid_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+TEST(FluidServerTest, SingleRequestTakesAmountOverCapacity) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double done_at = -1.0;
+  server.Submit(250.0, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+}
+
+TEST(FluidServerTest, ZeroAmountCompletesImmediately) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double done_at = -1.0;
+  server.Submit(0.0, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 0.0, 1e-12);
+}
+
+TEST(FluidServerTest, TwoEqualRequestsShareCapacity) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double first = -1.0;
+  double second = -1.0;
+  server.Submit(100.0, [&] { first = sim.now(); });
+  server.Submit(100.0, [&] { second = sim.now(); });
+  sim.Run();
+  // Each gets 50 units/s; both finish at t=2.
+  EXPECT_NEAR(first, 2.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, LateArrivalSlowsExistingRequest) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double first = -1.0;
+  double second = -1.0;
+  server.Submit(100.0, [&] { first = sim.now(); });
+  sim.ScheduleAt(0.5, [&] { server.Submit(100.0, [&] { second = sim.now(); }); });
+  sim.Run();
+  // First does 50 units alone in 0.5s, then shares: 50 more at 50/s -> finishes at 1.5.
+  EXPECT_NEAR(first, 1.5, 1e-9);
+  // Second: 50 of its 100 by t=1.5, then full rate -> 0.5s more.
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, PerRequestCapLimitsLoneRequest) {
+  Simulation sim;
+  // A 4-core CPU pool: a single-threaded task cannot exceed 1 core.
+  FluidServer server(&sim, "cpu", ConstantCapacity(4.0), /*per_request_cap=*/1.0);
+  double done_at = -1.0;
+  server.Submit(2.0, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, CpuPoolRunsUpToCoresAtFullSpeed) {
+  Simulation sim;
+  FluidServer server(&sim, "cpu", ConstantCapacity(4.0), /*per_request_cap=*/1.0);
+  int finished = 0;
+  for (int i = 0; i < 4; ++i) {
+    server.Submit(1.0, [&] { ++finished; });
+  }
+  sim.Run();
+  EXPECT_EQ(finished, 4);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(FluidServerTest, CpuPoolOversubscriptionSharesCores) {
+  Simulation sim;
+  FluidServer server(&sim, "cpu", ConstantCapacity(4.0), /*per_request_cap=*/1.0);
+  int finished = 0;
+  for (int i = 0; i < 8; ++i) {
+    server.Submit(1.0, [&] { ++finished; });
+  }
+  sim.Run();
+  // 8 single-core requests on 4 cores: each runs at 0.5 cores.
+  EXPECT_EQ(finished, 8);
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, HddCapacityDegradesWithConcurrency) {
+  CapacityFn capacity = HddCapacity(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(capacity(1), 100.0);
+  EXPECT_DOUBLE_EQ(capacity(2), 50.0);
+  EXPECT_DOUBLE_EQ(capacity(5), 20.0);
+}
+
+TEST(FluidServerTest, HddConcurrentRequestsSlowerThanSequential) {
+  // Two 100-unit requests on an HDD with alpha=1: concurrent total capacity is 50,
+  // so both finish at t=4; run back-to-back they would finish at t=2.
+  Simulation sim;
+  FluidServer server(&sim, "hdd", HddCapacity(100.0, 1.0));
+  double last = -1.0;
+  server.Submit(100.0, [&] { last = sim.now(); });
+  server.Submit(100.0, [&] { last = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(last, 4.0, 1e-9);
+}
+
+TEST(FluidServerTest, SsdRampReachesPeakAtChannels) {
+  CapacityFn capacity = SsdCapacity(400.0, 4, 0.55);
+  EXPECT_NEAR(capacity(1), 400.0 * 0.55, 1e-9);
+  EXPECT_NEAR(capacity(4), 400.0, 1e-9);
+  EXPECT_NEAR(capacity(8), 400.0, 1e-9);  // No benefit beyond the channel count.
+  EXPECT_GT(capacity(2), capacity(1));
+  EXPECT_GT(capacity(3), capacity(2));
+}
+
+TEST(FluidServerTest, SsdSingleChannelIsConstant) {
+  CapacityFn capacity = SsdCapacity(400.0, 1, 0.55);
+  EXPECT_NEAR(capacity(1), 400.0, 1e-9);
+  EXPECT_NEAR(capacity(3), 400.0, 1e-9);
+}
+
+TEST(FluidServerTest, CancelReturnsRemainingWork) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  bool done = false;
+  auto id = server.Submit(100.0, [&] { done = true; });
+  sim.ScheduleAt(0.25, [&] {
+    const double remaining = server.CancelRequest(id);
+    EXPECT_NEAR(remaining, 75.0, 1e-9);
+  });
+  sim.Run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(server.active(), 0);
+}
+
+TEST(FluidServerTest, TotalServedIntegratesWork) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  server.Submit(100.0, [] {});
+  server.Submit(50.0, [] {});
+  sim.Run();
+  EXPECT_NEAR(server.total_served(), 150.0, 1e-6);
+}
+
+TEST(FluidServerTest, UtilizationTraceMeasuresBusyFraction) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  server.EnableTrace();
+  server.Submit(100.0, [] {});  // Busy during [0, 1].
+  sim.Run();
+  sim.ScheduleAt(2.0, [] {});  // Idle during [1, 2].
+  sim.Run();
+  EXPECT_NEAR(server.MeanUtilization(0.0, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(server.MeanUtilization(0.0, 2.0), 0.5, 1e-9);
+}
+
+TEST(FluidServerTest, DoneCallbackCanResubmit) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double second_done = -1.0;
+  server.Submit(100.0, [&] {
+    server.Submit(100.0, [&] { second_done = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, ManyRequestsAllComplete) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", HddCapacity(100.0, 0.15));
+  int finished = 0;
+  for (int i = 0; i < 64; ++i) {
+    server.Submit(10.0 + i, [&] { ++finished; });
+  }
+  sim.Run();
+  EXPECT_EQ(finished, 64);
+  EXPECT_EQ(server.active(), 0);
+}
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,232 @@
+// Tests for the framework layer: specs, stage execution, task pool, shuffle layout.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/framework/job_spec.h"
+#include "src/framework/shuffle_layout.h"
+#include "src/framework/stage_execution.h"
+#include "src/framework/task_pool.h"
+#include "src/storage/dfs.h"
+
+namespace monosim {
+namespace {
+
+using monoutil::GiB;
+using monoutil::MiB;
+
+JobSpec TwoStageJob(int map_tasks = 8, int reduce_tasks = 8) {
+  JobSpec job;
+  job.name = "test";
+  StageSpec map;
+  map.name = "map";
+  map.num_tasks = map_tasks;
+  map.input = InputSource::kDfs;
+  map.input_file = "input";
+  map.cpu_seconds_per_task = 1.0;
+  map.deser_fraction = 0.25;
+  map.output = OutputSink::kShuffle;
+  map.shuffle_bytes = MiB(256);
+  StageSpec reduce;
+  reduce.name = "reduce";
+  reduce.num_tasks = reduce_tasks;
+  reduce.input = InputSource::kShuffle;
+  reduce.input_bytes = MiB(256);
+  reduce.cpu_seconds_per_task = 0.5;
+  reduce.output = OutputSink::kDfs;
+  reduce.output_bytes = MiB(64);
+  job.stages = {map, reduce};
+  return job;
+}
+
+TEST(JobSpecTest, ValidSpecPasses) {
+  TwoStageJob().Validate();
+}
+
+TEST(JobSpecDeathTest, ShuffleInputMustMatchPreviousOutput) {
+  JobSpec job = TwoStageJob();
+  job.stages[1].input_bytes = MiB(100);  // != map.shuffle_bytes
+  EXPECT_DEATH(job.Validate(), "shuffle input bytes");
+}
+
+TEST(JobSpecDeathTest, FirstStageCannotReadShuffle) {
+  JobSpec job = TwoStageJob();
+  job.stages.erase(job.stages.begin());
+  EXPECT_DEATH(job.Validate(), "first stage");
+}
+
+TEST(JobSpecDeathTest, LastStageCannotWriteShuffle) {
+  JobSpec job = TwoStageJob();
+  job.stages.pop_back();
+  EXPECT_DEATH(job.Validate(), "last stage");
+}
+
+class StageExecutionTest : public ::testing::Test {
+ protected:
+  StageExecutionTest() : dfs_(4, 2, 1, /*seed=*/3), rng_(7) {
+    dfs_.CreateFileWithBlocks("input", MiB(512), 8);
+    job_ = TwoStageJob();
+  }
+
+  DfsSim dfs_;
+  monoutil::Rng rng_;
+  JobSpec job_;
+};
+
+TEST_F(StageExecutionTest, TaskSizesSumToSpecTotals) {
+  StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  monoutil::Bytes shuffle_total = 0;
+  double cpu_total = 0.0;
+  for (int m = 0; m < 4; ++m) {
+    while (auto task = stage.TakeTask(m)) {
+      shuffle_total += task->shuffle_write_bytes;
+      cpu_total += task->cpu_seconds;
+    }
+  }
+  EXPECT_EQ(shuffle_total, MiB(256));
+  EXPECT_NEAR(cpu_total, 8.0, 1e-9);
+}
+
+TEST_F(StageExecutionTest, LocalityPreferredOverStealing) {
+  StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  // 8 blocks over 4 machines: each machine has 2 local blocks.
+  auto first = stage.TakeTask(0);
+  auto second = stage.TakeTask(0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(first->input_local);
+  EXPECT_TRUE(second->input_local);
+  // Third take on machine 0 must steal a non-local block.
+  auto third = stage.TakeTask(0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_FALSE(third->input_local);
+  EXPECT_NE(third->input_machine, 0);
+}
+
+TEST_F(StageExecutionTest, EveryTaskHandedOutExactlyOnce) {
+  StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  std::set<int> seen;
+  for (int i = 0; i < 8; ++i) {
+    auto task = stage.TakeTask(i % 4);
+    ASSERT_TRUE(task.has_value());
+    EXPECT_TRUE(seen.insert(task->task_index).second);
+  }
+  EXPECT_FALSE(stage.TakeTask(0).has_value());
+  EXPECT_EQ(stage.unassigned_tasks(), 0);
+}
+
+TEST_F(StageExecutionTest, CompletionCallbackFiresAfterLastTask) {
+  StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  bool complete = false;
+  stage.set_on_complete([&] { complete = true; });
+  stage.Activate(0.0);
+  for (int i = 0; i < 8; ++i) {
+    auto task = stage.TakeTask(i % 4);
+    stage.OnTaskStarted(task->task_index, 1.0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(complete);
+    stage.OnTaskFinished(i, 2.0 + i);
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(stage.AllTasksFinished());
+  EXPECT_NEAR(stage.result().task_seconds, 8 * 1.0 + (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7),
+              1e-9);
+  EXPECT_NEAR(stage.result().end, 9.0, 1e-12);
+}
+
+TEST_F(StageExecutionTest, ShuffleBytesTrackedPerMachine) {
+  StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  stage.RecordShuffleWrite(0, MiB(100));
+  stage.RecordShuffleWrite(0, MiB(28));
+  stage.RecordShuffleWrite(3, MiB(128));
+  EXPECT_EQ(stage.shuffle_bytes_per_machine()[0], MiB(128));
+  EXPECT_EQ(stage.shuffle_bytes_per_machine()[3], MiB(128));
+  EXPECT_EQ(stage.shuffle_bytes_per_machine()[1], 0);
+}
+
+TEST_F(StageExecutionTest, ShufflePortionsProportionalAndExact) {
+  StageExecution map_stage(job_, 0, 4, &dfs_, nullptr, &rng_);
+  map_stage.RecordShuffleWrite(0, MiB(128));  // Half on machine 0.
+  map_stage.RecordShuffleWrite(1, MiB(64));
+  map_stage.RecordShuffleWrite(2, MiB(64));
+  StageExecution reduce_stage(job_, 1, 4, &dfs_, &map_stage, &rng_);
+  auto task = reduce_stage.TakeTask(0);
+  ASSERT_TRUE(task.has_value());
+  const auto portions = ComputeShufflePortions(*task);
+  monoutil::Bytes total = 0;
+  monoutil::Bytes from_zero = 0;
+  for (const auto& portion : portions) {
+    total += portion.bytes;
+    if (portion.src_machine == 0) {
+      from_zero = portion.bytes;
+    }
+  }
+  EXPECT_EQ(total, task->input_bytes);  // Exact, despite proportional rounding.
+  // Machine 0 holds half the shuffle data, so roughly half the fetch comes from it.
+  EXPECT_NEAR(static_cast<double>(from_zero) / static_cast<double>(total), 0.5, 0.02);
+  // Machine 3 wrote nothing: no portion from it.
+  for (const auto& portion : portions) {
+    EXPECT_NE(portion.src_machine, 3);
+  }
+}
+
+TEST(TaskPoolTest, RoundRobinsAcrossStages) {
+  DfsSim dfs(2, 1, 1, 3);
+  monoutil::Rng rng(7);
+  JobSpec job_a;
+  job_a.name = "a";
+  StageSpec spec;
+  spec.name = "scan";
+  spec.num_tasks = 4;
+  spec.input = InputSource::kNone;
+  spec.input_bytes = MiB(8);
+  spec.cpu_seconds_per_task = 1.0;
+  job_a.stages = {spec};
+  JobSpec job_b = job_a;
+  job_b.name = "b";
+
+  StageExecution stage_a(job_a, 0, 2, &dfs, nullptr, &rng);
+  StageExecution stage_b(job_b, 0, 2, &dfs, nullptr, &rng);
+  TaskPool pool;
+  pool.AddStage(&stage_a);
+  pool.AddStage(&stage_b);
+  EXPECT_TRUE(pool.HasWork());
+
+  // Tasks alternate between the two stages.
+  auto t1 = pool.TakeTask(0);
+  auto t2 = pool.TakeTask(0);
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_NE(t1->stage, t2->stage);
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(pool.TakeTask(1).has_value());
+  }
+  EXPECT_FALSE(pool.TakeTask(0).has_value());
+  EXPECT_FALSE(pool.HasWork());
+  pool.RemoveStage(&stage_a);
+  pool.RemoveStage(&stage_b);
+}
+
+TEST(TaskPoolTest, RemoveStageStopsHandingItsTasks) {
+  DfsSim dfs(2, 1, 1, 3);
+  monoutil::Rng rng(7);
+  JobSpec job;
+  job.name = "a";
+  StageSpec spec;
+  spec.name = "scan";
+  spec.num_tasks = 4;
+  spec.input = InputSource::kNone;
+  spec.input_bytes = MiB(8);
+  spec.cpu_seconds_per_task = 1.0;
+  job.stages = {spec};
+  StageExecution stage(job, 0, 2, &dfs, nullptr, &rng);
+  TaskPool pool;
+  pool.AddStage(&stage);
+  pool.RemoveStage(&stage);
+  EXPECT_FALSE(pool.TakeTask(0).has_value());
+}
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,215 @@
+// Tests for the §6 performance model.
+#include <gtest/gtest.h>
+
+#include "src/model/monotasks_model.h"
+#include "src/model/spark_models.h"
+
+namespace monomodel {
+namespace {
+
+using monoutil::GiB;
+using monoutil::MiB;
+
+HardwareProfile TestHardware() {
+  HardwareProfile hw;
+  hw.num_machines = 10;
+  hw.cores_per_machine = 8;
+  hw.disks_per_machine = 2;
+  hw.disk_bandwidth = monoutil::MiBps(100);
+  hw.nic_bandwidth = monoutil::MiBps(125);
+  return hw;
+}
+
+StageModelInput CpuBoundStage() {
+  StageModelInput stage;
+  stage.name = "cpu-bound";
+  stage.cpu_seconds = 8000.0;  // 100 s over 80 cores.
+  stage.deser_cpu_seconds = 2000.0;
+  stage.disk_read_bytes = GiB(100);  // 51.2 s over 2 GB/s of disk.
+  stage.input_disk_read_bytes = GiB(100);
+  stage.disk_write_bytes = 0;
+  stage.network_bytes = GiB(10);
+  stage.observed_seconds = 110.0;
+  return stage;
+}
+
+TEST(HardwareProfileTest, Totals) {
+  const HardwareProfile hw = TestHardware();
+  EXPECT_EQ(hw.total_cores(), 80);
+  EXPECT_EQ(hw.total_disks(), 20);
+  EXPECT_NEAR(hw.total_disk_bandwidth(), 20 * 100.0 * 1024 * 1024, 1);
+  EXPECT_NEAR(hw.total_nic_bandwidth(), 10 * 125.0 * 1024 * 1024, 1);
+}
+
+TEST(HardwareProfileTest, Transformations) {
+  const HardwareProfile hw = TestHardware();
+  EXPECT_EQ(hw.WithDisksPerMachine(4).total_disks(), 40);
+  EXPECT_EQ(hw.WithMachines(20).total_cores(), 160);
+  EXPECT_NEAR(hw.WithDiskBandwidth(monoutil::MiBps(450)).disk_bandwidth,
+              monoutil::MiBps(450), 1);
+  // The original is untouched.
+  EXPECT_EQ(hw.disks_per_machine, 2);
+}
+
+TEST(MonotasksModelTest, IdealTimesMatchHandComputation) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  const StageIdealTimes ideal = model.IdealTimes(0);
+  EXPECT_NEAR(ideal.cpu, 100.0, 1e-9);
+  EXPECT_NEAR(ideal.disk, static_cast<double>(GiB(100)) / (20 * 100.0 * 1024 * 1024),
+              1e-9);
+  EXPECT_NEAR(ideal.network, static_cast<double>(GiB(10)) / (10 * 125.0 * 1024 * 1024),
+              1e-9);
+  EXPECT_EQ(ideal.bottleneck(), Resource::kCpu);
+}
+
+TEST(MonotasksModelTest, BottleneckShiftsWithHardware) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  // With 8x the CPU, disk becomes the bottleneck.
+  const auto big_cpu = TestHardware().WithMachines(80);
+  // More machines scale every resource; instead shrink disk bandwidth.
+  const auto slow_disk = TestHardware().WithDiskBandwidth(monoutil::MiBps(10));
+  EXPECT_EQ(model.IdealTimes(0, slow_disk).bottleneck(), Resource::kDisk);
+  (void)big_cpu;
+}
+
+TEST(MonotasksModelTest, PredictScalesObservedByModeledChange) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  // Same hardware: prediction equals the observed runtime.
+  EXPECT_NEAR(model.PredictJobSeconds(TestHardware()), 110.0, 1e-9);
+  // Double the cores (via machines) halves the CPU-bound stage, until disk binds:
+  // modeled base max(100, 51.2, 8.2) = 100; new max(50, 25.6, 4.1) = 50.
+  const double predicted = model.PredictJobSeconds(TestHardware().WithMachines(20));
+  EXPECT_NEAR(predicted, 110.0 * 50.0 / 100.0, 1e-6);
+}
+
+TEST(MonotasksModelTest, CpuBoundStageUnchangedByMoreDisks) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  EXPECT_NEAR(model.PredictJobSeconds(TestHardware().WithDisksPerMachine(4)), 110.0,
+              1e-9);
+}
+
+TEST(MonotasksModelTest, InMemoryInputRemovesReadsAndDeser) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  SoftwareChanges software;
+  software.input_in_memory_deserialized = true;
+  const StageIdealTimes ideal = model.IdealTimes(0, TestHardware(), software);
+  EXPECT_NEAR(ideal.cpu, (8000.0 - 2000.0) / 80.0, 1e-9);
+  EXPECT_NEAR(ideal.disk, 0.0, 1e-9);  // All reads were input reads.
+}
+
+TEST(MonotasksModelTest, InfinitelyFastResource) {
+  MonotasksModel model({CpuBoundStage()}, TestHardware());
+  // Without CPU, the stage is disk-bound at 51.2 s (modeled), scaled by observed.
+  const double no_cpu = model.PredictWithInfinitelyFast(Resource::kCpu);
+  const double disk_ideal = static_cast<double>(GiB(100)) / (20 * 100.0 * 1024 * 1024);
+  EXPECT_NEAR(no_cpu, 110.0 * disk_ideal / 100.0, 1e-6);
+  // Disk and network aren't the bottleneck: removing them changes nothing.
+  EXPECT_NEAR(model.PredictWithInfinitelyFast(Resource::kDisk), 110.0, 1e-9);
+  EXPECT_NEAR(model.PredictWithInfinitelyFast(Resource::kNetwork), 110.0, 1e-9);
+}
+
+TEST(MonotasksModelTest, MultiStageJobSumsStages) {
+  StageModelInput disk_stage;
+  disk_stage.name = "disk-bound";
+  disk_stage.cpu_seconds = 80.0;
+  disk_stage.disk_read_bytes = GiB(200);
+  disk_stage.disk_write_bytes = GiB(200);
+  disk_stage.observed_seconds = 230.0;
+  MonotasksModel model({CpuBoundStage(), disk_stage}, TestHardware());
+  EXPECT_NEAR(model.observed_job_seconds(), 340.0, 1e-9);
+  // Each stage has its own bottleneck; doubling disks only helps the second.
+  const double predicted = model.PredictJobSeconds(TestHardware().WithDisksPerMachine(4));
+  EXPECT_LT(predicted, 340.0);
+  EXPECT_GT(predicted, 110.0 + 230.0 / 2.0 - 1.0);
+}
+
+TEST(MonotasksModelTest, JobBottleneckAggregatesAcrossStages) {
+  StageModelInput disk_stage;
+  disk_stage.name = "disk";
+  disk_stage.cpu_seconds = 10.0;
+  disk_stage.disk_read_bytes = GiB(500);
+  disk_stage.observed_seconds = 300.0;
+  MonotasksModel model({CpuBoundStage(), disk_stage}, TestHardware());
+  EXPECT_EQ(model.JobBottleneck(), Resource::kDisk);
+}
+
+TEST(MonotasksModelTest, ZeroWorkStageFallsBackToObserved) {
+  StageModelInput idle;
+  idle.name = "idle";
+  idle.observed_seconds = 5.0;
+  MonotasksModel model({idle}, TestHardware());
+  EXPECT_NEAR(model.PredictJobSeconds(TestHardware().WithMachines(100)), 5.0, 1e-9);
+}
+
+TEST(SlotBasedModelTest, ScalesBySlotRatio) {
+  monosim::JobResult result;
+  monosim::StageResult stage;
+  stage.start = 0.0;
+  stage.end = 100.0;
+  result.stages.push_back(stage);
+  SlotBasedModel model(result, /*baseline_slots_per_machine=*/8);
+  EXPECT_NEAR(model.PredictJobSeconds(8), 100.0, 1e-9);
+  EXPECT_NEAR(model.PredictJobSeconds(16), 50.0, 1e-9);
+  EXPECT_NEAR(model.PredictJobSeconds(4), 200.0, 1e-9);
+  EXPECT_NEAR(model.observed_job_seconds(), 100.0, 1e-9);
+}
+
+TEST(SparkMeasuredModelTest, BuildsFromMeasuredUsage) {
+  monosim::JobResult result;
+  monosim::StageResult stage;
+  stage.name = "s";
+  stage.start = 0.0;
+  stage.end = 50.0;
+  stage.measured.cpu_seconds = 1000.0;
+  stage.measured.disk_read_bytes = GiB(10);
+  stage.measured.disk_write_bytes = GiB(2);
+  stage.measured.network_bytes = GiB(1);
+  result.stages.push_back(stage);
+  const MonotasksModel model = ModelFromMeasuredUsage(result, TestHardware());
+  const auto& input = model.stage_input(0);
+  EXPECT_NEAR(input.cpu_seconds, 1000.0, 1e-9);
+  EXPECT_EQ(input.disk_read_bytes, GiB(10));
+  // Deserialization is not measurable in Spark.
+  EXPECT_NEAR(input.deser_cpu_seconds, 0.0, 1e-12);
+  EXPECT_EQ(input.input_disk_read_bytes, 0);
+}
+
+
+TEST(MonotasksModelTest, UncompressedInputTradesCpuForReads) {
+  StageModelInput stage = CpuBoundStage();
+  stage.decompress_cpu_seconds = 1600.0;
+  stage.input_uncompressed_bytes = GiB(250);  // 2.5x compression.
+  MonotasksModel model({stage}, TestHardware());
+  SoftwareChanges software;
+  software.input_stored_uncompressed = true;
+  const StageIdealTimes ideal = model.IdealTimes(0, TestHardware(), software);
+  EXPECT_NEAR(ideal.cpu, (8000.0 - 1600.0) / 80.0, 1e-9);
+  EXPECT_NEAR(ideal.disk,
+              static_cast<double>(GiB(250)) / (20 * 100.0 * 1024 * 1024), 1e-9);
+}
+
+TEST(MonotasksModelTest, InMemoryAlsoRemovesDecompression) {
+  StageModelInput stage = CpuBoundStage();
+  stage.decompress_cpu_seconds = 1600.0;
+  stage.input_uncompressed_bytes = GiB(250);
+  MonotasksModel model({stage}, TestHardware());
+  SoftwareChanges software;
+  software.input_in_memory_deserialized = true;
+  const StageIdealTimes ideal = model.IdealTimes(0, TestHardware(), software);
+  EXPECT_NEAR(ideal.cpu, (8000.0 - 2000.0 - 1600.0) / 80.0, 1e-9);
+  EXPECT_NEAR(ideal.disk, 0.0, 1e-9);
+}
+
+TEST(MonotasksModelTest, UncompressedIsNoOpForUncompressedInput) {
+  // A stage whose input was never compressed: the what-if must change nothing.
+  StageModelInput stage = CpuBoundStage();
+  stage.input_uncompressed_bytes = stage.input_disk_read_bytes;
+  MonotasksModel model({stage}, TestHardware());
+  SoftwareChanges software;
+  software.input_stored_uncompressed = true;
+  EXPECT_NEAR(model.PredictJobSeconds(TestHardware(), software),
+              model.PredictJobSeconds(TestHardware()), 1e-9);
+}
+
+}  // namespace
+}  // namespace monomodel

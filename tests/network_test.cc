@@ -1,0 +1,153 @@
+#include "src/cluster/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+using monoutil::Bytes;
+
+TEST(NetworkFabricTest, SingleFlowRunsAtLinkRate) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, /*nic_bandwidth=*/100.0);
+  double done_at = -1.0;
+  fabric.StartFlow(0, 1, 200, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, TwoFlowsToSameReceiverShareIngress) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  int finished = 0;
+  fabric.StartFlow(0, 2, 100, [&] { ++finished; });
+  fabric.StartFlow(1, 2, 100, [&] { ++finished; });
+  sim.Run();
+  EXPECT_EQ(finished, 2);
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);  // Each got 50 B/s.
+}
+
+TEST(NetworkFabricTest, TwoFlowsFromSameSenderShareEgress) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  int finished = 0;
+  fabric.StartFlow(0, 1, 100, [&] { ++finished; });
+  fabric.StartFlow(0, 2, 100, [&] { ++finished; });
+  sim.Run();
+  EXPECT_EQ(finished, 2);
+  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, DisjointFlowsDoNotInterfere) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  int finished = 0;
+  fabric.StartFlow(0, 1, 100, [&] { ++finished; });
+  fabric.StartFlow(2, 3, 100, [&] { ++finished; });
+  sim.Run();
+  EXPECT_EQ(finished, 2);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, FlowRateIsMinOfEndpointShares) {
+  // Receiver 3 carries two flows (shares: 50 each); sender 0 carries the 0->3 flow
+  // plus another egress flow, so 0->3 also gets 50 from the sender side. Flow 1->3
+  // is receiver-limited at 50 even though its sender is idle otherwise.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  double flow_1_3_done = -1.0;
+  fabric.StartFlow(0, 3, 1000, [] {});
+  fabric.StartFlow(0, 2, 1000, [] {});
+  fabric.StartFlow(1, 3, 100, [&] { flow_1_3_done = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(flow_1_3_done, 2.0, 1e-6);
+}
+
+TEST(NetworkFabricTest, CompletionFreesBandwidthForRemainingFlows) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  double small_done = -1.0;
+  double large_done = -1.0;
+  fabric.StartFlow(0, 2, 50, [&] { small_done = sim.now(); });
+  fabric.StartFlow(1, 2, 150, [&] { large_done = sim.now(); });
+  sim.Run();
+  // Both at 50 B/s; small finishes at t=1 (50 B). Large has 100 B left, now alone at
+  // 100 B/s -> finishes at t=2.
+  EXPECT_NEAR(small_done, 1.0, 1e-9);
+  EXPECT_NEAR(large_done, 2.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, ZeroByteFlowCompletes) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 2, 100.0);
+  bool done = false;
+  fabric.StartFlow(0, 1, 0, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(NetworkFabricTest, ControlMessageTakesRequestLatency) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 2, 100.0, /*request_latency=*/0.25);
+  double delivered_at = -1.0;
+  fabric.SendControl(0, 1, [&] { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(delivered_at, 0.25, 1e-12);
+}
+
+TEST(NetworkFabricTest, TracksTotalBytes) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 3, 100.0);
+  fabric.StartFlow(0, 1, 100, [] {});
+  fabric.StartFlow(1, 2, 300, [] {});
+  sim.Run();
+  EXPECT_EQ(fabric.total_bytes_transferred(), 400);
+}
+
+TEST(NetworkFabricTest, IngressTraceMeasuresUtilization) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 2, 100.0);
+  fabric.EnableTrace();
+  fabric.StartFlow(0, 1, 100, [] {});  // Saturates machine 1's ingress for 1s.
+  sim.Run();
+  sim.ScheduleAt(2.0, [] {});
+  sim.Run();
+  EXPECT_NEAR(fabric.MeanIngressUtilization(1, 0.0, 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(fabric.MeanIngressUtilization(1, 0.0, 2.0), 0.5, 1e-9);
+  EXPECT_NEAR(fabric.MeanIngressUtilization(0, 0.0, 2.0), 0.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, FlowCountsTrackActiveFlows) {
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 3, 100.0);
+  fabric.StartFlow(0, 1, 100, [] {});
+  fabric.StartFlow(2, 1, 100, [] {});
+  EXPECT_EQ(fabric.ingress_flows(1), 2);
+  EXPECT_EQ(fabric.egress_flows(0), 1);
+  sim.Run();
+  EXPECT_EQ(fabric.ingress_flows(1), 0);
+  EXPECT_EQ(fabric.egress_flows(0), 0);
+}
+
+TEST(NetworkFabricTest, AllToAllShuffleIsSymmetric) {
+  // 4 machines, everyone sends 300 B to everyone else. Each NIC carries 3 ingress
+  // flows of 300 B at 100/3 B/s -> 9 s total.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 4, 100.0);
+  int finished = 0;
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      if (src != dst) {
+        fabric.StartFlow(src, dst, 300, [&] { ++finished; });
+      }
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(finished, 12);
+  EXPECT_NEAR(sim.now(), 9.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,190 @@
+// Property-based and parameterized sweeps over the simulators' invariants.
+//
+// These tests assert relationships that must hold for *every* configuration in a
+// sweep, not point values: determinism, conservation of work, monotonicity of
+// runtimes in hardware, and the architectural invariants the paper's design rests on
+// (per-disk monotask exclusivity, multitask limits, model consistency).
+#include <gtest/gtest.h>
+
+#include "src/framework/environment.h"
+#include "src/model/monotasks_model.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+#include "src/workloads/sort.h"
+
+namespace monosim {
+namespace {
+
+using monoutil::GiB;
+using monoutil::MiB;
+
+struct SweepParams {
+  int machines;
+  int disks;
+  int values_per_key;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParams>& info) {
+  return "m" + std::to_string(info.param.machines) + "_d" +
+         std::to_string(info.param.disks) + "_v" +
+         std::to_string(info.param.values_per_key);
+}
+
+class ExecutorSweepTest : public ::testing::TestWithParam<SweepParams> {
+ protected:
+  ClusterConfig Cluster() const {
+    return ClusterConfig::Of(GetParam().machines,
+                             MachineConfig::HddWorker(GetParam().disks));
+  }
+  monoload::SortParams Sort() const {
+    monoload::SortParams params;
+    params.total_bytes = GiB(8);
+    params.values_per_key = GetParam().values_per_key;
+    params.num_map_tasks = 64;
+    params.num_reduce_tasks = 64;
+    return params;
+  }
+  JobResult Run(bool monotasks) const {
+    SimEnvironment env(Cluster());
+    SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), {});
+    MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+    env.AttachExecutor(monotasks ? static_cast<ExecutorSim*>(&mono)
+                                 : static_cast<ExecutorSim*>(&spark));
+    auto params = Sort();
+    return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params));
+  }
+};
+
+TEST_P(ExecutorSweepTest, BothExecutorsCompleteWithSameGroundTruthWork) {
+  const JobResult spark = Run(false);
+  const JobResult mono = Run(true);
+  ASSERT_EQ(spark.stages.size(), mono.stages.size());
+  for (size_t s = 0; s < spark.stages.size(); ++s) {
+    // The work is a property of the job, not the architecture.
+    EXPECT_EQ(spark.stages[s].usage.disk_read_bytes, mono.stages[s].usage.disk_read_bytes);
+    EXPECT_EQ(spark.stages[s].usage.disk_write_bytes,
+              mono.stages[s].usage.disk_write_bytes);
+    EXPECT_NEAR(spark.stages[s].usage.cpu_seconds, mono.stages[s].usage.cpu_seconds,
+                1e-6);
+    // Network bytes depend slightly on task placement (which reduce task lands on
+    // which machine changes the local/remote shuffle split), so compare loosely.
+    EXPECT_NEAR(static_cast<double>(spark.stages[s].usage.network_bytes),
+                static_cast<double>(mono.stages[s].usage.network_bytes),
+                0.05 * static_cast<double>(mono.stages[s].usage.network_bytes) + 1.0);
+  }
+}
+
+TEST_P(ExecutorSweepTest, RuntimeIsNoLessThanTheModeledIdeal) {
+  const JobResult mono = Run(true);
+  const monomodel::MonotasksModel model(
+      mono, monomodel::HardwareProfile::FromCluster(Cluster()));
+  for (int s = 0; s < model.num_stages(); ++s) {
+    const double ideal = model.IdealTimes(s).bottleneck_seconds();
+    // Real execution can only be slower than the perfectly-parallel ideal.
+    EXPECT_GE(mono.stages[static_cast<size_t>(s)].duration(), ideal * 0.999);
+  }
+}
+
+TEST_P(ExecutorSweepTest, MonotaskComputeTimeMatchesGroundTruth) {
+  const JobResult mono = Run(true);
+  for (const auto& stage : mono.stages) {
+    // The CPU scheduler never over-subscribes cores, so compute monotask service
+    // time equals the work they contain.
+    EXPECT_NEAR(stage.monotask_times.compute_seconds, stage.usage.cpu_seconds,
+                stage.usage.cpu_seconds * 0.01);
+  }
+}
+
+TEST_P(ExecutorSweepTest, DeterministicAcrossRepeatedRuns) {
+  const JobResult first = Run(true);
+  const JobResult second = Run(true);
+  EXPECT_DOUBLE_EQ(first.duration(), second.duration());
+  const JobResult spark_first = Run(false);
+  const JobResult spark_second = Run(false);
+  EXPECT_DOUBLE_EQ(spark_first.duration(), spark_second.duration());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExecutorSweepTest,
+                         ::testing::Values(SweepParams{2, 1, 10}, SweepParams{2, 2, 20},
+                                           SweepParams{4, 2, 20}, SweepParams{4, 1, 50},
+                                           SweepParams{8, 2, 50}),
+                         SweepName);
+
+class DiskScalingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiskScalingTest, MoreDisksNeverSlowTheJob) {
+  // Runtime must be non-increasing in the disk count for a disk-heavy job.
+  const int disks = GetParam();
+  auto run = [](int d) {
+    SimEnvironment env(ClusterConfig::Of(4, MachineConfig::HddWorker(d)));
+    MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+    env.AttachExecutor(&mono);
+    monoload::SortParams params;
+    params.total_bytes = GiB(16);
+    params.values_per_key = 100;  // Disk-bound.
+    params.num_map_tasks = 64;
+    params.num_reduce_tasks = 64;
+    return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params)).duration();
+  };
+  EXPECT_LE(run(disks + 1), run(disks) * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Disks, DiskScalingTest, ::testing::Values(1, 2, 3));
+
+class SlotSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSweepTest, SparkCompletesUnderAnySlotCount) {
+  SimEnvironment env(ClusterConfig::Of(2, MachineConfig::HddWorker(2)));
+  SparkConfig config;
+  config.slots_per_machine = GetParam();
+  SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), config);
+  env.AttachExecutor(&spark);
+  monoload::SortParams params;
+  params.total_bytes = GiB(4);
+  params.num_map_tasks = 32;
+  params.num_reduce_tasks = 32;
+  const JobResult result = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params));
+  EXPECT_EQ(result.stages[0].num_tasks, 32);
+  EXPECT_GT(result.duration(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweepTest, ::testing::Values(1, 2, 4, 8, 16, 64));
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, JitterPreservesTotals) {
+  // Whatever the seed, per-task jitter must not change the stage's byte totals.
+  DfsSim dfs(4, 2, 1, GetParam());
+  monoutil::Rng rng(GetParam());
+  JobSpec job;
+  job.name = "jitter";
+  StageSpec spec;
+  spec.name = "scan";
+  spec.num_tasks = 17;  // Odd count exercises rounding.
+  spec.input = InputSource::kNone;
+  spec.input_bytes = MiB(999);
+  spec.cpu_seconds_per_task = 0.7;
+  spec.output = OutputSink::kDfs;
+  spec.output_bytes = MiB(333);
+  spec.task_size_jitter = 0.2;
+  job.stages = {spec};
+
+  StageExecution stage(job, 0, 4, &dfs, nullptr, &rng);
+  monoutil::Bytes input_total = 0;
+  monoutil::Bytes output_total = 0;
+  for (int m = 0; m < 4; ++m) {
+    while (auto task = stage.TakeTask(m)) {
+      input_total += task->input_bytes;
+      output_total += task->output_bytes;
+      EXPECT_GE(task->input_bytes, 0);
+    }
+  }
+  EXPECT_EQ(input_total, MiB(999));
+  EXPECT_EQ(output_total, MiB(333));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1000u, 31337u));
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,246 @@
+// Unit tests for the simulated per-resource monotask schedulers (§3.3) and the
+// buffer cache's synchronous-write mode.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/buffer_cache.h"
+#include "src/cluster/machine.h"
+#include "src/monotask/resource_schedulers.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+using monoutil::MiB;
+
+class SchedulerSimTest : public ::testing::Test {
+ protected:
+  SchedulerSimTest() {
+    MachineConfig config;
+    config.cores = 2;
+    DiskConfig disk;
+    disk.bandwidth = 100.0;  // 100 B/s.
+    disk.seek_alpha = 0.5;
+    config.disks = {disk, disk};
+    machine_ = std::make_unique<MachineSim>(&sim_, 0, config);
+  }
+
+  Simulation sim_;
+  std::unique_ptr<MachineSim> machine_;
+};
+
+TEST_F(SchedulerSimTest, CpuSchedulerRunsAtMostCoreCount) {
+  CpuSchedulerSim scheduler(&sim_, machine_.get());
+  EXPECT_EQ(scheduler.max_concurrency(), 2);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.Enqueue(1.0, [&](double service) {
+      EXPECT_NEAR(service, 1.0, 1e-9);  // Never contended: exactly the work.
+      ++done;
+    });
+  }
+  EXPECT_EQ(scheduler.running(), 2);
+  EXPECT_EQ(scheduler.queue_length(), 3);
+  sim_.Run();
+  EXPECT_EQ(done, 5);
+  // 5 monotasks of 1 s on 2 cores: 3 serial rounds.
+  EXPECT_NEAR(sim_.now(), 3.0, 1e-9);
+}
+
+TEST_F(SchedulerSimTest, CpuServiceTimeExcludesQueueing) {
+  CpuSchedulerSim scheduler(&sim_, machine_.get());
+  std::vector<double> services;
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Enqueue(2.0, [&](double service) { services.push_back(service); });
+  }
+  sim_.Run();
+  for (double service : services) {
+    EXPECT_NEAR(service, 2.0, 1e-9);  // The queued ones waited 2 s but served 2 s.
+  }
+}
+
+TEST_F(SchedulerSimTest, DiskSchedulerRunsOneAtATimeOnHdd) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), /*max_outstanding=*/1);
+  std::vector<double> services;
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double s) { services.push_back(s); });
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double s) { services.push_back(s); });
+  EXPECT_EQ(scheduler.running(), 1);
+  EXPECT_EQ(scheduler.queue_length(), 1);
+  sim_.Run();
+  // One at a time at full bandwidth: each is served in exactly 1 s despite the
+  // disk's punishing seek_alpha — the design's whole point.
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_NEAR(services[0], 1.0, 1e-9);
+  EXPECT_NEAR(services[1], 1.0, 1e-9);
+  EXPECT_NEAR(sim_.now(), 2.0, 1e-9);
+}
+
+TEST_F(SchedulerSimTest, DiskSchedulerRoundRobinsPhases) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1);
+  std::vector<std::string> order;
+  auto record = [&](std::string label) {
+    return [&order, label](double) { order.push_back(label); };
+  };
+  // Seed a running monotask, then queue writes before reads.
+  scheduler.EnqueueWrite(100, record("w0"));
+  scheduler.EnqueueWrite(100, record("w1"));
+  scheduler.EnqueueWrite(100, record("w2"));
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kServe, 100, record("s0"));
+  sim_.Run();
+  ASSERT_EQ(order.size(), 5u);
+  // After w0, the round-robin must visit the read and serve queues before draining
+  // the remaining writes (no write convoy).
+  EXPECT_EQ(order[1], "s0");
+  EXPECT_EQ(order[2], "r0");
+  EXPECT_EQ(order[3], "w1");
+}
+
+TEST_F(SchedulerSimTest, FifoAblationDrainsWritesFirst) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1, /*fifo=*/true);
+  std::vector<std::string> order;
+  auto record = [&](std::string label) {
+    return [&order, label](double) { order.push_back(label); };
+  };
+  scheduler.EnqueueWrite(100, record("w0"));
+  scheduler.EnqueueWrite(100, record("w1"));
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"w0", "w1", "r0"}));
+}
+
+TEST_F(SchedulerSimTest, SsdSchedulerAllowsMultipleOutstanding) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), /*max_outstanding=*/4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double) { ++done; });
+  }
+  EXPECT_EQ(scheduler.running(), 4);
+  sim_.Run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(NetworkSchedulerSimTest, GatesConcurrentFetchSets) {
+  NetworkSchedulerSim scheduler(/*multitask_limit=*/2);
+  int granted = 0;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.Acquire([&] { ++granted; });
+  }
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(scheduler.active(), 2);
+  EXPECT_EQ(scheduler.queue_length(), 3);
+  scheduler.Release();
+  EXPECT_EQ(granted, 3);  // The slot transferred to a waiter.
+  EXPECT_EQ(scheduler.active(), 2);
+  scheduler.Release();
+  scheduler.Release();
+  EXPECT_EQ(granted, 5);
+  scheduler.Release();
+  scheduler.Release();
+  EXPECT_EQ(scheduler.active(), 0);
+}
+
+TEST(BufferCacheSyncTest, WriteSyncCompletesOnlyWhenDurable) {
+  Simulation sim;
+  DiskConfig disk_config;
+  disk_config.bandwidth = 100.0;
+  disk_config.seek_alpha = 0.0;
+  DiskSim disk(&sim, "d0", disk_config);
+  BufferCacheConfig config;
+  config.dirty_limit = MiB(1);
+  config.flush_chunk = 100;
+  config.memory_bandwidth = 1e9;
+  BufferCacheSim cache(&sim, config, {&disk});
+
+  double done_at = -1.0;
+  cache.WriteSync(0, 200, [&] { done_at = sim.now(); });
+  sim.Run();
+  // 200 B at 100 B/s must take >= 2 s even though it went through the cache.
+  EXPECT_GE(done_at, 2.0 - 1e-9);
+  EXPECT_EQ(disk.bytes_written(), 200);
+}
+
+TEST(BufferCacheSyncTest, SyncWritersCompleteInOrderPerDisk) {
+  Simulation sim;
+  DiskConfig disk_config;
+  disk_config.bandwidth = 100.0;
+  disk_config.seek_alpha = 0.0;
+  DiskSim disk(&sim, "d0", disk_config);
+  BufferCacheConfig config;
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e9;
+  BufferCacheSim cache(&sim, config, {&disk});
+
+  std::vector<int> order;
+  cache.WriteSync(0, 100, [&] { order.push_back(1); });
+  cache.WriteSync(0, 100, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cache.total_flushed(), 200);
+}
+
+TEST(BufferCacheSyncTest, AsyncAndSyncWritesCoexist) {
+  Simulation sim;
+  DiskConfig disk_config;
+  disk_config.bandwidth = 100.0;
+  disk_config.seek_alpha = 0.0;
+  DiskSim disk(&sim, "d0", disk_config);
+  BufferCacheConfig config;
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e9;
+  config.writeback_delay = 1000.0;
+  BufferCacheSim cache(&sim, config, {&disk});
+
+  double async_done = -1.0;
+  double sync_done = -1.0;
+  cache.Write(0, 100, [&] { async_done = sim.now(); });
+  cache.WriteSync(0, 100, [&] { sync_done = sim.now(); });
+  sim.Run();
+  EXPECT_LT(async_done, 0.1);  // Memory speed.
+  // The sync write waits for both its own bytes and the earlier dirty bytes.
+  EXPECT_GE(sync_done, 2.0 - 1e-9);
+}
+
+
+TEST_F(SchedulerSimTest, MemoryPressurePrioritizesWrites) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1);
+  bool pressure = false;
+  scheduler.set_memory_pressure_fn([&pressure] { return pressure; });
+  std::vector<std::string> order;
+  auto record = [&](std::string label) {
+    return [&order, label](double) { order.push_back(label); };
+  };
+  // Seed the disk, then queue reads ahead of writes and raise pressure: the writes
+  // must jump the round-robin rotation.
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r1"));
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r2"));
+  scheduler.EnqueueWrite(100, record("w0"));
+  scheduler.EnqueueWrite(100, record("w1"));
+  pressure = true;
+  sim_.Run();
+  ASSERT_EQ(order.size(), 5u);
+  // r0 was already running; under pressure both writes are served before r1/r2.
+  EXPECT_EQ(order[1], "w0");
+  EXPECT_EQ(order[2], "w1");
+}
+
+TEST_F(SchedulerSimTest, MemoryPressureOffFallsBackToRoundRobin) {
+  DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1);
+  bool pressure = false;
+  scheduler.set_memory_pressure_fn([&pressure] { return pressure; });
+  std::vector<std::string> order;
+  auto record = [&](std::string label) {
+    return [&order, label](double) { order.push_back(label); };
+  };
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r1"));
+  scheduler.EnqueueWrite(100, record("w0"));
+  sim_.Run();
+  // Without pressure the rotation interleaves: r0, w0, r1.
+  EXPECT_EQ(order, (std::vector<std::string>{"r0", "w0", "r1"}));
+}
+
+}  // namespace
+}  // namespace monosim

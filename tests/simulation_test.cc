@@ -1,0 +1,128 @@
+#include "src/simcore/simulation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace monosim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulationTest, FiresEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, ScheduleAfterUsesRelativeDelay) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunAreFired) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(1.0, [&] {
+    ++count;
+    sim.ScheduleAfter(1.0, [&] { ++count; });
+  });
+  sim.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelIsIdempotentAndSafeAfterFiring) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle handle = sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // Must not crash or double-fire.
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, EmptyHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilFiresEventExactlyAtDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.ScheduleAt(5.0, [&] { fired = true; });
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, StepFiresOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, FiredEventsExcludesCancelled) {
+  Simulation sim;
+  sim.ScheduleAt(1.0, [] {});
+  EventHandle handle = sim.ScheduleAt(2.0, [] {});
+  handle.Cancel();
+  sim.Run();
+  EXPECT_EQ(sim.fired_events(), 1u);
+}
+
+}  // namespace
+}  // namespace monosim

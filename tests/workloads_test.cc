@@ -1,0 +1,192 @@
+// Tests for the workload generators: spec validity and calibration invariants.
+#include <gtest/gtest.h>
+
+#include "src/framework/environment.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+#include "src/workloads/bdb.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/ml.h"
+#include "src/workloads/pagerank.h"
+#include "src/workloads/read_compute.h"
+#include "src/workloads/sort.h"
+
+namespace monoload {
+namespace {
+
+using monoutil::GiB;
+using monoutil::MiB;
+
+TEST(SortWorkloadTest, RecordBytesAndCpuModel) {
+  EXPECT_EQ(SortRecordBytes(1), 16);
+  EXPECT_EQ(SortRecordBytes(10), 88);
+  // Smaller records -> more CPU per byte.
+  EXPECT_GT(SortCpuSeconds(GiB(1), 10), SortCpuSeconds(GiB(1), 50));
+  // CPU scales linearly in bytes.
+  EXPECT_NEAR(SortCpuSeconds(GiB(2), 20), 2 * SortCpuSeconds(GiB(1), 20), 1e-9);
+}
+
+TEST(SortWorkloadTest, JobSpecIsValidAndBalanced) {
+  monosim::DfsSim dfs(20, 2, 1, 1);
+  SortParams params;
+  params.total_bytes = GiB(100);
+  params.num_map_tasks = 400;
+  params.num_reduce_tasks = 300;
+  const monosim::JobSpec job = MakeSortJob(&dfs, params);
+  job.Validate();
+  ASSERT_EQ(job.stages.size(), 2u);
+  EXPECT_EQ(job.stages[0].num_tasks, 400);
+  EXPECT_EQ(job.stages[1].num_tasks, 300);
+  EXPECT_EQ(job.stages[0].shuffle_bytes, GiB(100));
+  EXPECT_EQ(job.stages[1].output_bytes, GiB(100));
+  EXPECT_TRUE(dfs.HasFile("sort.input"));
+}
+
+TEST(SortWorkloadTest, InMemoryVariantSkipsDfsAndDeser) {
+  monosim::DfsSim dfs(20, 2, 1, 1);
+  SortParams params;
+  params.input_in_memory = true;
+  params.num_map_tasks = 100;
+  const monosim::JobSpec job = MakeSortJob(&dfs, params);
+  job.Validate();
+  EXPECT_EQ(job.stages[0].input, monosim::InputSource::kMemory);
+  EXPECT_DOUBLE_EQ(job.stages[0].deser_fraction, 0.0);
+  EXPECT_FALSE(dfs.HasFile("sort.input"));
+  // The cached-deserialized variant does strictly less CPU work per map task.
+  SortParams on_disk = params;
+  on_disk.input_in_memory = false;
+  const monosim::JobSpec disk_job = MakeSortJob(&dfs, on_disk);
+  EXPECT_LT(job.stages[0].cpu_seconds_per_task, disk_job.stages[0].cpu_seconds_per_task);
+}
+
+TEST(BdbWorkloadTest, AllQueriesValidate) {
+  monosim::SimEnvironment env(BdbClusterConfig());
+  for (BdbQuery query : AllBdbQueries()) {
+    const monosim::JobSpec job = MakeBdbQueryJob(&env.dfs(), query);
+    job.Validate();
+    EXPECT_FALSE(job.name.empty());
+  }
+}
+
+TEST(BdbWorkloadTest, QueryShapes) {
+  monosim::SimEnvironment env(BdbClusterConfig());
+  EXPECT_EQ(MakeBdbQueryJob(&env.dfs(), BdbQuery::k1a).stages.size(), 1u);
+  EXPECT_EQ(MakeBdbQueryJob(&env.dfs(), BdbQuery::k2b).stages.size(), 2u);
+  EXPECT_EQ(MakeBdbQueryJob(&env.dfs(), BdbQuery::k3c).stages.size(), 3u);
+  EXPECT_EQ(MakeBdbQueryJob(&env.dfs(), BdbQuery::k4).stages.size(), 2u);
+}
+
+TEST(BdbWorkloadTest, VariantsScaleResultSizes) {
+  monosim::SimEnvironment env(BdbClusterConfig());
+  const auto q1a = MakeBdbQueryJob(&env.dfs(), BdbQuery::k1a);
+  const auto q1c = MakeBdbQueryJob(&env.dfs(), BdbQuery::k1c);
+  EXPECT_LT(q1a.stages[0].output_bytes, q1c.stages[0].output_bytes);
+  const auto q2a = MakeBdbQueryJob(&env.dfs(), BdbQuery::k2a);
+  const auto q2c = MakeBdbQueryJob(&env.dfs(), BdbQuery::k2c);
+  EXPECT_LT(q2a.stages[0].shuffle_bytes, q2c.stages[0].shuffle_bytes);
+}
+
+TEST(BdbWorkloadTest, TablesAreSharedAcrossQueries) {
+  monosim::SimEnvironment env(BdbClusterConfig());
+  MakeBdbQueryJob(&env.dfs(), BdbQuery::k2a);
+  MakeBdbQueryJob(&env.dfs(), BdbQuery::k2b);  // Must not recreate "bdb.uservisits".
+  EXPECT_TRUE(env.dfs().HasFile("bdb.uservisits"));
+}
+
+TEST(BdbWorkloadTest, QueryNames) {
+  EXPECT_EQ(BdbQueryName(BdbQuery::k1a), "1a");
+  EXPECT_EQ(BdbQueryName(BdbQuery::k4), "4");
+  EXPECT_EQ(AllBdbQueries().size(), 10u);
+}
+
+TEST(MlWorkloadTest, StagesAreInMemoryAndNetworkHeavy) {
+  const monosim::JobSpec job = MakeMlJob();
+  job.Validate();
+  EXPECT_EQ(job.stages.size(), 6u);
+  EXPECT_EQ(job.stages[0].input, monosim::InputSource::kMemory);
+  for (size_t s = 0; s + 1 < job.stages.size(); ++s) {
+    EXPECT_TRUE(job.stages[s].shuffle_to_memory);
+    EXPECT_GT(job.stages[s].shuffle_bytes, 0);
+  }
+  // Last stage has no shuffle output.
+  EXPECT_EQ(job.stages.back().output, monosim::OutputSink::kNone);
+}
+
+TEST(ReadComputeWorkloadTest, SingleStageWithDfsInput) {
+  monosim::DfsSim dfs(20, 2, 1, 1);
+  ReadComputeParams params;
+  params.num_tasks = 320;
+  const monosim::JobSpec job = MakeReadComputeJob(&dfs, params);
+  job.Validate();
+  ASSERT_EQ(job.stages.size(), 1u);
+  EXPECT_EQ(job.stages[0].num_tasks, 320);
+  EXPECT_TRUE(dfs.HasFile("readcompute.input"));
+}
+
+TEST(ClusterPresetsTest, MatchPaperSetups) {
+  const auto sort = SortClusterConfig();
+  EXPECT_EQ(sort.num_machines, 20);
+  EXPECT_EQ(sort.machine.disks.size(), 2u);
+  EXPECT_EQ(sort.machine.disks[0].type, monosim::DiskType::kHdd);
+
+  const auto bdb = BdbClusterConfig();
+  EXPECT_EQ(bdb.num_machines, 5);
+
+  const auto bdb_ssd = BdbClusterConfig(/*ssd=*/true);
+  EXPECT_EQ(bdb_ssd.machine.disks[0].type, monosim::DiskType::kSsd);
+
+  const auto ml = MlClusterConfig();
+  EXPECT_EQ(ml.num_machines, 15);
+  EXPECT_EQ(ml.machine.disks[0].type, monosim::DiskType::kSsd);
+}
+
+
+TEST(PageRankWorkloadTest, BuildsTwoStagesPerIteration) {
+  monosim::DfsSim dfs(20, 2, 1, 1);
+  PageRankParams params;
+  params.iterations = 3;
+  const monosim::JobSpec job = MakePageRankJob(&dfs, params);
+  job.Validate();
+  EXPECT_EQ(job.stages.size(), 6u);
+  // All intermediate shuffles live in memory; only the final ranks hit the DFS.
+  for (size_t s = 0; s + 1 < job.stages.size(); ++s) {
+    if (job.stages[s].output == monosim::OutputSink::kShuffle) {
+      EXPECT_TRUE(job.stages[s].shuffle_to_memory);
+    }
+  }
+  EXPECT_EQ(job.stages.back().output, monosim::OutputSink::kDfs);
+}
+
+TEST(PageRankWorkloadTest, UncachedVariantReadsEdgesFromDfs) {
+  monosim::DfsSim dfs(20, 2, 1, 1);
+  PageRankParams params;
+  params.edges_in_memory = false;
+  params.iterations = 2;
+  const monosim::JobSpec job = MakePageRankJob(&dfs, params);
+  job.Validate();
+  EXPECT_EQ(job.stages[0].input, monosim::InputSource::kDfs);
+  EXPECT_TRUE(dfs.HasFile("pagerank.edges"));
+}
+
+TEST(PageRankWorkloadTest, RunsToCompletionUnderBothExecutors) {
+  PageRankParams params;
+  params.num_vertices = 1'000'000;
+  params.num_edges = 10'000'000;
+  params.iterations = 2;
+  params.tasks_per_stage = 32;
+  for (const bool monotasks : {false, true}) {
+    monosim::SimEnvironment env(
+        monosim::ClusterConfig::Of(4, monosim::MachineConfig::HddWorker(2)));
+    monosim::SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), {});
+    monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+    env.AttachExecutor(monotasks ? static_cast<monosim::ExecutorSim*>(&mono)
+                                 : static_cast<monosim::ExecutorSim*>(&spark));
+    const monosim::JobResult result =
+        env.driver().RunJob(MakePageRankJob(&env.dfs(), params));
+    EXPECT_EQ(result.stages.size(), 4u);
+    EXPECT_GT(result.duration(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace monoload

@@ -10,14 +10,18 @@
 #include "src/framework/environment.h"
 #include "src/monotask/mono_executor.h"
 #include "src/multitask/spark_executor.h"
+#include "src/simcore/audit.h"
 
 namespace monobench {
 
 // Runs `make_job(env)` under the Spark-baseline executor and returns the result.
+// Setting the MONO_SIM_AUDIT environment variable runs the simulation under the
+// invariant audit (audit.h) and aborts on any violation.
 inline monosim::JobResult RunSpark(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::SparkConfig config = {}, bool trace = false) {
+  monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
   if (trace) {
     env.cluster().EnableTrace();
@@ -28,10 +32,12 @@ inline monosim::JobResult RunSpark(
 }
 
 // Runs `make_job(env)` under the monotasks executor and returns the result.
+// MONO_SIM_AUDIT enables the invariant audit, as in RunSpark.
 inline monosim::JobResult RunMonotasks(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::MonoConfig config = {}, bool trace = false) {
+  monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
   if (trace) {
     env.cluster().EnableTrace();

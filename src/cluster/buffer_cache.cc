@@ -1,6 +1,7 @@
 #include "src/cluster/buffer_cache.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -23,6 +24,107 @@ BufferCacheSim::BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
   MONO_CHECK(!disks_.empty());
   MONO_CHECK(config_.dirty_limit > 0);
   MONO_CHECK(config_.memory_bandwidth > 0);
+  sim_->RegisterAuditable(this);
+}
+
+BufferCacheSim::~BufferCacheSim() {
+  sim_->UnregisterAuditable(this);
+}
+
+void BufferCacheSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = "buffer-cache";
+
+  Bytes dirty_sum = 0;
+  Bytes flushed_sum = 0;
+  int flushes_in_flight = 0;
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    dirty_sum += dirty_per_disk_[d];
+    flushed_sum += flushed_per_disk_[d];
+    if (flush_in_flight_[d]) {
+      ++flushes_in_flight;
+    }
+    audit.ExpectLazy(dirty_per_disk_[d] >= 0, now, source, "dirty-non-negative", [&] {
+      std::ostringstream out;
+      out << "disk " << d << " dirty " << dirty_per_disk_[d];
+      return out.str();
+    });
+    // Conservation: every byte ever submitted for this disk is either still dirty
+    // in the cache or has been flushed through the disk.
+    audit.ExpectLazy(
+        submitted_per_disk_[d] == flushed_per_disk_[d] + dirty_per_disk_[d], now,
+        source, "byte-conservation", [&] {
+          std::ostringstream out;
+          out << "disk " << d << ": submitted " << submitted_per_disk_[d]
+              << " != flushed " << flushed_per_disk_[d] << " + dirty "
+              << dirty_per_disk_[d];
+          return out.str();
+        });
+    // Sync waiters are queued in submission order, so their durability thresholds
+    // must ascend, and a waiter whose threshold has been reached must already have
+    // been released.
+    Bytes previous_threshold = flushed_per_disk_[d];
+    for (const SyncWaiter& waiter : sync_waiters_[d]) {
+      audit.ExpectLazy(waiter.flushed_threshold > flushed_per_disk_[d], now, source,
+                       "sync-waiter-released", [&] {
+                         std::ostringstream out;
+                         out << "disk " << d << " waiter threshold "
+                             << waiter.flushed_threshold << " already flushed ("
+                             << flushed_per_disk_[d] << ") but not released";
+                         return out.str();
+                       });
+      audit.ExpectLazy(waiter.flushed_threshold >= previous_threshold, now, source,
+                       "sync-waiter-order", [&] {
+                         std::ostringstream out;
+                         out << "disk " << d << " waiter thresholds out of order: "
+                             << waiter.flushed_threshold << " after "
+                             << previous_threshold;
+                         return out.str();
+                       });
+      previous_threshold = waiter.flushed_threshold;
+    }
+  }
+  audit.ExpectLazy(total_dirty_ == dirty_sum, now, source, "dirty-total", [&] {
+    std::ostringstream out;
+    out << "total_dirty " << total_dirty_ << " != per-disk sum " << dirty_sum;
+    return out.str();
+  });
+  audit.ExpectLazy(total_flushed_ == flushed_sum, now, source, "flushed-total", [&] {
+    std::ostringstream out;
+    out << "total_flushed " << total_flushed_ << " != per-disk sum " << flushed_sum;
+    return out.str();
+  });
+  audit.ExpectLazy(active_flushes_ == flushes_in_flight, now, source,
+                   "flusher-bookkeeping", [&] {
+                     std::ostringstream out;
+                     out << "active_flushes " << active_flushes_ << " != in-flight "
+                         << flushes_in_flight;
+                     return out.str();
+                   });
+
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(total_dirty_ == 0, now, source, "drained-dirty", [&] {
+      std::ostringstream out;
+      out << total_dirty_ << " dirty byte(s) left after the event queue drained";
+      return out.str();
+    });
+    audit.ExpectLazy(blocked_writes_.empty(), now, source, "drained-blocked-writers",
+                     [&] {
+                       std::ostringstream out;
+                       out << blocked_writes_.size()
+                           << " blocked writer(s) left after the event queue drained";
+                       return out.str();
+                     });
+    size_t waiters = 0;
+    for (const auto& queue : sync_waiters_) {
+      waiters += queue.size();
+    }
+    audit.ExpectLazy(waiters == 0, now, source, "drained-sync-waiters", [&] {
+      std::ostringstream out;
+      out << waiters << " sync waiter(s) left after the event queue drained";
+      return out.str();
+    });
+  }
 }
 
 void BufferCacheSim::Write(int disk_index, Bytes bytes, std::function<void()> done) {

@@ -24,15 +24,17 @@
 
 #include "src/cluster/cluster_config.h"
 #include "src/cluster/disk.h"
+#include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
 
-class BufferCacheSim {
+class BufferCacheSim : public Auditable {
  public:
   // `disks` must outlive the cache. One flusher state is kept per disk.
   BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
                  std::vector<DiskSim*> disks);
+  ~BufferCacheSim() override;
 
   BufferCacheSim(const BufferCacheSim&) = delete;
   BufferCacheSim& operator=(const BufferCacheSim&) = delete;
@@ -54,6 +56,12 @@ class BufferCacheSim {
 
   // True if background writeback is actively issuing disk writes.
   bool flushing() const { return active_flushes_ > 0; }
+
+  // Invariant auditing (audit.h): byte conservation (per disk, submitted ==
+  // flushed + dirty; total_dirty == Σ per-disk dirty), flusher bookkeeping
+  // consistent, sync-waiter thresholds ascending and not yet reached, and no
+  // dirty bytes, blocked writers, or sync waiters left when the simulation drains.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
   struct PendingWrite {

@@ -1,5 +1,6 @@
 #include "src/cluster/disk.h"
 
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -28,8 +29,34 @@ double NominalBandwidth(const DiskConfig& config) {
 }  // namespace
 
 DiskSim::DiskSim(Simulation* sim, std::string name, const DiskConfig& config)
-    : config_(config), server_(sim, std::move(name), MakeCapacity(config)) {
+    : sim_(sim), config_(config), server_(sim, std::move(name), MakeCapacity(config)) {
   server_.set_nominal_capacity(NominalBandwidth(config));
+  sim_->RegisterAuditable(this);
+}
+
+DiskSim::~DiskSim() {
+  sim_->UnregisterAuditable(this);
+}
+
+void DiskSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = server_.name().c_str();
+  audit.Expect(bytes_read_ >= 0 && bytes_written_ >= 0, now, source,
+               "byte-counters-non-negative", "cumulative read/write bytes went negative");
+  audit.ExpectLazy(active_reads_ >= 0 && active_reads_ <= server_.active(), now, source,
+                   "active-read-bookkeeping", [&] {
+                     std::ostringstream d;
+                     d << "active_reads " << active_reads_ << " outside [0, "
+                       << server_.active() << "]";
+                     return d.str();
+                   });
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(active_reads_ == 0, now, source, "drained", [&] {
+      std::ostringstream d;
+      d << active_reads_ << " read(s) still in flight after the event queue drained";
+      return d.str();
+    });
+  }
 }
 
 void DiskSim::Read(monoutil::Bytes bytes, std::function<void()> done) {
@@ -42,7 +69,7 @@ void DiskSim::Read(monoutil::Bytes bytes, std::function<void()> done) {
         --active_reads_;
         done();
       },
-      config_.read_contention_weight);
+      config_.read_contention_weight, /*share_weight=*/1.0);
 }
 
 void DiskSim::Write(monoutil::Bytes bytes, std::function<void()> done) {
@@ -51,9 +78,16 @@ void DiskSim::Write(monoutil::Bytes bytes, std::function<void()> done) {
   // A write interleaved with reads thrashes the head; writes alone are batched by
   // the elevator and close to free. The weight is fixed at submission, which is a
   // fair approximation because writes are issued in bounded chunks.
+  //
+  // The contention weights model what a request *costs* the device, not how the
+  // elevator prioritizes it — a mixed write destroys sequential bandwidth but does
+  // not get served 24x faster than a read. All disk requests therefore carry share
+  // weight 1 (equal bandwidth split), which is also what the contention weights
+  // were calibrated against.
   const double weight = active_reads_ > 0 ? config_.write_contention_weight_mixed
                                           : config_.write_contention_weight_solo;
-  server_.Submit(static_cast<double>(bytes), std::move(done), weight);
+  server_.Submit(static_cast<double>(bytes), std::move(done), weight,
+                 /*share_weight=*/1.0);
 }
 
 }  // namespace monosim

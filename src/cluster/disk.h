@@ -12,14 +12,16 @@
 #include <string>
 
 #include "src/cluster/cluster_config.h"
+#include "src/simcore/audit.h"
 #include "src/simcore/fluid_server.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
 
-class DiskSim {
+class DiskSim : public Auditable {
  public:
   DiskSim(Simulation* sim, std::string name, const DiskConfig& config);
+  ~DiskSim() override;
 
   DiskSim(const DiskSim&) = delete;
   DiskSim& operator=(const DiskSim&) = delete;
@@ -49,7 +51,13 @@ class DiskSim {
 
   const std::string& name() const { return server_.name(); }
 
+  // Invariant auditing (audit.h): read bookkeeping consistent with the device's
+  // active set; no reads left in flight when the simulation drains. The underlying
+  // FluidServer audits its own rate and conservation invariants.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
+
  private:
+  Simulation* sim_;
   DiskConfig config_;
   FluidServer server_;
   monoutil::Bytes bytes_read_ = 0;

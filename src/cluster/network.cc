@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -28,6 +29,79 @@ NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(num_machines >= 1);
   MONO_CHECK(nic_bandwidth > 0);
+  sim_->RegisterAuditable(this);
+}
+
+NetworkFabricSim::~NetworkFabricSim() {
+  sim_->UnregisterAuditable(this);
+}
+
+void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = "network-fabric";
+  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+
+  size_t listed_ingress = 0;
+  for (int m = 0; m < num_machines(); ++m) {
+    const auto& ingress = ingress_flows_[static_cast<size_t>(m)];
+    const auto& egress = egress_flows_[static_cast<size_t>(m)];
+    listed_ingress += ingress.size();
+    audit.ExpectLazy(ingress_count_[static_cast<size_t>(m)] ==
+                             static_cast<int>(ingress.size()) &&
+                         egress_count_[static_cast<size_t>(m)] ==
+                             static_cast<int>(egress.size()),
+                     now, source, "flow-count-bookkeeping", [&] {
+                       std::ostringstream d;
+                       d << "machine " << m << ": counts (" << ingress_count_[static_cast<size_t>(m)]
+                         << ", " << egress_count_[static_cast<size_t>(m)]
+                         << ") != list sizes (" << ingress.size() << ", "
+                         << egress.size() << ")";
+                       return d.str();
+                     });
+    double ingress_rate = 0.0;
+    for (const Flow* flow : ingress) {
+      ingress_rate += flow->rate;
+      audit.ExpectLazy(flow->rate >= 0.0, now, source, "flow-rate-non-negative", [&] {
+        std::ostringstream d;
+        d << "flow " << flow->id << " has rate " << flow->rate;
+        return d.str();
+      });
+    }
+    double egress_rate = 0.0;
+    for (const Flow* flow : egress) {
+      egress_rate += flow->rate;
+    }
+    // Each NIC is full duplex: the flows it carries in each direction cannot
+    // together exceed its bandwidth.
+    audit.ExpectLazy(ingress_rate <= nic_bandwidth_ + eps, now, source,
+                     "ingress-within-bandwidth", [&] {
+                       std::ostringstream d;
+                       d << "machine " << m << " ingress rate " << ingress_rate
+                         << " exceeds NIC bandwidth " << nic_bandwidth_;
+                       return d.str();
+                     });
+    audit.ExpectLazy(egress_rate <= nic_bandwidth_ + eps, now, source,
+                     "egress-within-bandwidth", [&] {
+                       std::ostringstream d;
+                       d << "machine " << m << " egress rate " << egress_rate
+                         << " exceeds NIC bandwidth " << nic_bandwidth_;
+                       return d.str();
+                     });
+  }
+  audit.ExpectLazy(listed_ingress == flows_.size(), now, source, "flow-registry", [&] {
+    std::ostringstream d;
+    d << "per-machine ingress lists hold " << listed_ingress << " flows, registry holds "
+      << flows_.size();
+    return d.str();
+  });
+
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(flows_.empty(), now, source, "drained", [&] {
+      std::ostringstream d;
+      d << flows_.size() << " flow(s) still active after the event queue drained";
+      return d.str();
+    });
+  }
 }
 
 double NetworkFabricSim::ShareFor(const Flow& flow) const {

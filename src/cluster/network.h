@@ -16,17 +16,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/simcore/audit.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
 
-class NetworkFabricSim {
+class NetworkFabricSim : public Auditable {
  public:
   // All NICs share one bandwidth (each direction). `request_latency` is the one-way
   // delay for small control messages (shuffle data requests).
   NetworkFabricSim(Simulation* sim, int num_machines, monoutil::BytesPerSecond nic_bandwidth,
                    monoutil::SimTime request_latency = monoutil::Millis(1));
+  ~NetworkFabricSim() override;
 
   NetworkFabricSim(const NetworkFabricSim&) = delete;
   NetworkFabricSim& operator=(const NetworkFabricSim&) = delete;
@@ -54,6 +56,11 @@ class NetworkFabricSim {
   void EnableTrace();
   const RateTrace& ingress_trace(int machine) const;
   double MeanIngressUtilization(int machine, SimTime from, SimTime to) const;
+
+  // Invariant auditing (audit.h): flow counts consistent with the per-machine flow
+  // lists, per-NIC ingress/egress rate sums within the NIC bandwidth, flow rates
+  // non-negative, and no flows left when the simulation drains.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
   struct Flow {

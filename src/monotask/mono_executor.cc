@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -40,9 +41,54 @@ MonotasksExecutorSim::MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster,
     }
     worker.network = std::make_unique<NetworkSchedulerSim>(config_.network_multitask_limit);
   }
+  sim_->RegisterAuditable(this);
 }
 
-MonotasksExecutorSim::~MonotasksExecutorSim() = default;
+MonotasksExecutorSim::~MonotasksExecutorSim() {
+  sim_->UnregisterAuditable(this);
+}
+
+void MonotasksExecutorSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = "mono-executor";
+  int active_total = 0;
+  for (const WorkerState& worker : workers_) {
+    active_total += worker.active_multitasks;
+    audit.Expect(worker.active_multitasks >= 0 && worker.buffered_bytes >= 0, now,
+                 source, "worker-bookkeeping",
+                 "negative active multitask count or buffered bytes");
+  }
+  audit.ExpectLazy(active_total == static_cast<int>(running_.size()), now, source,
+                   "multitask-bookkeeping", [&] {
+                     std::ostringstream d;
+                     d << "per-machine active multitasks sum to " << active_total
+                       << " but the running registry holds " << running_.size();
+                     return d.str();
+                   });
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(running_.empty(), now, source, "drained-multitasks", [&] {
+      std::ostringstream d;
+      d << running_.size() << " multitask(s) still running after the event queue drained";
+      return d.str();
+    });
+    for (size_t m = 0; m < workers_.size(); ++m) {
+      const WorkerState& worker = workers_[m];
+      const bool idle =
+          worker.cpu->queue_length() == 0 && worker.cpu->running() == 0 &&
+          worker.network->queue_length() == 0 && worker.network->active() == 0;
+      bool disks_idle = true;
+      for (const auto& disk : worker.disks) {
+        disks_idle = disks_idle && disk->queue_length() == 0 && disk->running() == 0;
+      }
+      audit.ExpectLazy(idle && disks_idle, now, source, "drained-schedulers", [&] {
+        std::ostringstream d;
+        d << "machine " << m
+          << " has queued or running monotasks after the event queue drained";
+        return d.str();
+      });
+    }
+  }
+}
 
 int MonotasksExecutorSim::MultitaskLimit(int machine) const {
   // §3.4: enough multitasks for every resource scheduler to be at its concurrency

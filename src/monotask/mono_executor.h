@@ -28,6 +28,7 @@
 #include "src/framework/task.h"
 #include "src/framework/task_pool.h"
 #include "src/monotask/resource_schedulers.h"
+#include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
@@ -59,7 +60,7 @@ struct MonoConfig {
   monoutil::SimTime task_launch_overhead = monoutil::Millis(5);
 };
 
-class MonotasksExecutorSim : public ExecutorSim {
+class MonotasksExecutorSim : public ExecutorSim, public Auditable {
  public:
   MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPool* pool,
                        MonoConfig config = {});
@@ -91,6 +92,10 @@ class MonotasksExecutorSim : public ExecutorSim {
   // Enables queue-length tracing on every per-resource scheduler (§3.1: contention
   // is visible as queue length). Call before submitting jobs.
   void EnableQueueTraces();
+
+  // Invariant auditing (audit.h): per-machine multitask counts match the running
+  // registry; at drain every scheduler queue is empty and no multitask is left.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
   friend class MonoMultitaskSim;

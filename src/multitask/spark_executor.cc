@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -20,9 +21,50 @@ SparkExecutorSim::SparkExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPoo
   MONO_CHECK(config_.chunk_bytes > 0);
   MONO_CHECK(config_.readahead_chunks >= 1);
   MONO_CHECK(config_.max_parallel_fetches >= 1);
+  sim_->RegisterAuditable(this);
 }
 
-SparkExecutorSim::~SparkExecutorSim() = default;
+SparkExecutorSim::~SparkExecutorSim() {
+  sim_->UnregisterAuditable(this);
+}
+
+void SparkExecutorSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = "spark-executor";
+  int busy_total = 0;
+  for (const MachineState& state : machines_) {
+    busy_total += state.busy_slots;
+    audit.Expect(state.busy_slots >= 0 && state.active_serve_reads >= 0 &&
+                     state.buffered_bytes >= 0,
+                 now, source, "machine-bookkeeping",
+                 "negative slot, serve-read, or buffered-byte count");
+  }
+  audit.ExpectLazy(busy_total == static_cast<int>(running_.size()), now, source,
+                   "slot-bookkeeping", [&] {
+                     std::ostringstream d;
+                     d << "busy slots sum to " << busy_total
+                       << " but the running registry holds " << running_.size();
+                     return d.str();
+                   });
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(running_.empty(), now, source, "drained-tasks", [&] {
+      std::ostringstream d;
+      d << running_.size() << " task(s) still running after the event queue drained";
+      return d.str();
+    });
+    for (size_t m = 0; m < machines_.size(); ++m) {
+      const MachineState& state = machines_[m];
+      audit.ExpectLazy(state.active_serve_reads == 0 && state.serve_read_queue.empty(),
+                       now, source, "drained-serve-reads", [&] {
+                         std::ostringstream d;
+                         d << "machine " << m << " has " << state.active_serve_reads
+                           << " active and " << state.serve_read_queue.size()
+                           << " queued serve read(s) after the event queue drained";
+                         return d.str();
+                       });
+    }
+  }
+}
 
 int SparkExecutorSim::SlotsFor(int machine) const {
   if (config_.slots_per_machine > 0) {

@@ -26,6 +26,7 @@
 #include "src/framework/executor.h"
 #include "src/framework/task.h"
 #include "src/framework/task_pool.h"
+#include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
@@ -55,7 +56,7 @@ struct SparkConfig {
   double chunk_cpu_jitter_cv = 0.0;
 };
 
-class SparkExecutorSim : public ExecutorSim {
+class SparkExecutorSim : public ExecutorSim, public Auditable {
  public:
   SparkExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPool* pool,
                    SparkConfig config = {});
@@ -65,6 +66,10 @@ class SparkExecutorSim : public ExecutorSim {
   monoutil::Bytes peak_buffered_bytes() const override { return peak_buffered_; }
 
   const SparkConfig& config() const { return config_; }
+
+  // Invariant auditing (audit.h): per-machine busy-slot counts match the running
+  // registry; at drain no task, serve read, or queued serve request is left.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
   friend class SparkTaskSim;

@@ -1,0 +1,161 @@
+// SimAudit: runtime invariant auditing for the discrete-event simulator.
+//
+// The simulator's value rests on its resource accounting being correct: a server
+// that silently hands out the wrong shares produces plausible-looking but wrong
+// contention results (the weighted-fair-sharing bug this subsystem was built to
+// catch). SimAudit lets every simulated component verify conservation and sanity
+// invariants while a simulation runs:
+//
+//   * FluidServer     — rates non-negative, per-request cap respected, total rate
+//                       within instantaneous capacity, shares proportional to
+//                       weights, served work bounded by capacity × elapsed time;
+//   * BufferCacheSim  — byte conservation (submitted == flushed + dirty per disk,
+//                       total_dirty == Σ per-disk dirty), sync-waiter thresholds
+//                       ascending, no blocked writers or waiters left at drain;
+//   * NetworkFabricSim— per-NIC ingress/egress rate sums within bandwidth, flow
+//                       bookkeeping consistent, no flows left at drain;
+//   * executors       — in-flight task bookkeeping consistent, queues empty and no
+//                       running multitasks when the simulation drains;
+//   * Simulation      — clock monotonicity across fired events.
+//
+// Checks are hooked in two ways. Components call SimAudit::current() inline at
+// their own mutation points (where a transiently-wrong state is actually visible),
+// and they register as `Auditable` with their Simulation, which re-checks them
+// after every fired event (kEventBoundary) and when the event queue empties
+// (kDrain). All hooks are no-ops unless an audit is installed, so simulation code
+// pays one branch per hook in normal runs.
+//
+// Tests opt in with one line (`ScopedAudit audit;`); the test suite additionally
+// installs a report-mode audit around every test via a gtest listener. Benches
+// enable auditing by setting the MONO_SIM_AUDIT environment variable (see
+// bench_util.h).
+#ifndef MONOTASKS_SRC_SIMCORE_AUDIT_H_
+#define MONOTASKS_SRC_SIMCORE_AUDIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace monosim {
+
+class SimAudit;
+
+// When a registered component is asked to verify itself.
+enum class AuditPhase {
+  kEventBoundary,  // After a simulation event fired.
+  kDrain,          // The event queue emptied inside Run()/RunUntil().
+};
+
+// A component that can verify its own invariants. Implementations register with
+// their Simulation (RegisterAuditable / UnregisterAuditable); the check runs only
+// while a SimAudit is installed.
+class Auditable {
+ public:
+  virtual ~Auditable() = default;
+
+  // Verifies invariants, reporting failures to `audit`. Must not mutate
+  // simulation state.
+  virtual void AuditInvariants(SimAudit& audit, AuditPhase phase) const = 0;
+};
+
+// One recorded invariant violation.
+struct AuditViolation {
+  monoutil::SimTime time = 0.0;
+  std::string source;     // Component name, e.g. "disk0" or "buffer-cache".
+  std::string invariant;  // Stable identifier, e.g. "weighted-share".
+  std::string detail;     // Human-readable specifics (observed vs expected).
+};
+
+class SimAudit {
+ public:
+  SimAudit() = default;
+  SimAudit(const SimAudit&) = delete;
+  SimAudit& operator=(const SimAudit&) = delete;
+
+  // The installed audit, or nullptr when auditing is off. Hook sites do:
+  //   if (SimAudit* audit = SimAudit::current()) { ... }
+  static SimAudit* current() { return current_; }
+
+  // Records a violation of `invariant` observed at virtual time `time`.
+  void Report(monoutil::SimTime time, std::string source, std::string invariant,
+              std::string detail);
+
+  // Counts the check; records a violation when `ok` is false. Takes C strings so
+  // the passing path (every event boundary) performs no allocation.
+  void Expect(bool ok, monoutil::SimTime time, const char* source, const char* invariant,
+              const char* detail);
+
+  // Like Expect, but `detail_fn() -> std::string` runs only on failure, so call
+  // sites can build rich observed-vs-expected messages off the hot path.
+  template <typename DetailFn>
+  void ExpectLazy(bool ok, monoutil::SimTime time, const char* source,
+                  const char* invariant, DetailFn&& detail_fn) {
+    ++checks_;
+    if (!ok) {
+      Report(time, source, invariant, detail_fn());
+    }
+  }
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+
+  // Checks evaluated so far (passing and failing); lets tests assert the audit
+  // actually looked at something.
+  uint64_t checks_run() const { return checks_; }
+
+  // One line per violation (capped), or "audit clean" — suitable for assertion
+  // messages.
+  std::string Summary() const;
+
+ private:
+  friend class ScopedAudit;
+  static SimAudit* current_;
+
+  std::vector<AuditViolation> violations_;
+  uint64_t checks_ = 0;
+};
+
+// Installs a SimAudit for the enclosing scope. Nests: the innermost audit
+// receives the checks, and the previous one is restored on destruction.
+class ScopedAudit {
+ public:
+  enum Mode {
+    kFatal,   // Destructor aborts (MONO_CHECK) if any violation was recorded.
+    kReport,  // Violations are only collected; the owner inspects audit().
+  };
+
+  explicit ScopedAudit(Mode mode = kFatal);
+  ~ScopedAudit();
+
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+  SimAudit& audit() { return audit_; }
+  const SimAudit& audit() const { return audit_; }
+
+ private:
+  Mode mode_;
+  SimAudit audit_;
+  SimAudit* previous_;
+};
+
+// True if the MONO_SIM_AUDIT environment variable is set to a non-empty value
+// other than "0" — the opt-in used by the benches.
+bool AuditRequestedByEnv();
+
+// Installs a fatal ScopedAudit when MONO_SIM_AUDIT asks for one; otherwise inert.
+// Declare one at the top of a bench run so every simulation in scope is audited.
+class EnvScopedAudit {
+ public:
+  EnvScopedAudit();
+
+ private:
+  std::optional<ScopedAudit> audit_;
+};
+
+}  // namespace monosim
+
+#endif  // MONOTASKS_SRC_SIMCORE_AUDIT_H_

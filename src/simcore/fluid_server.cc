@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -23,19 +24,29 @@ FluidServer::FluidServer(Simulation* sim, std::string name, CapacityFn capacity,
       capacity_(std::move(capacity)),
       per_request_cap_(per_request_cap),
       nominal_capacity_(capacity_(1)),
-      last_update_(sim->now()) {
+      last_update_(sim->now()),
+      created_at_(sim->now()) {
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK_MSG(capacity_(1) > 0, "server capacity must be positive");
+  sim_->RegisterAuditable(this);
+}
+
+FluidServer::~FluidServer() {
+  sim_->UnregisterAuditable(this);
 }
 
 FluidServer::RequestId FluidServer::Submit(double amount, std::function<void()> done,
-                                           double weight) {
+                                           double weight, double share_weight) {
   MONO_CHECK(amount >= 0);
   MONO_CHECK(done != nullptr);
   MONO_CHECK(weight > 0);
+  if (share_weight == kSameAsWeight) {
+    share_weight = weight;
+  }
+  MONO_CHECK(share_weight > 0);
   AdvanceProgress();
   const RequestId id = next_id_++;
-  active_.push_back(Request{id, amount, weight, 0.0, std::move(done)});
+  active_.push_back(Request{id, amount, weight, share_weight, 0.0, std::move(done)});
   Reschedule();
   return id;
 }
@@ -78,17 +89,72 @@ void FluidServer::Reschedule() {
     }
     const double cap = capacity_(total_weight);
     MONO_CHECK_MSG(cap > 0, "capacity function must be positive for active requests");
-    double share = cap / static_cast<double>(n);
-    if (per_request_cap_ != kUnlimited) {
-      share = std::min(share, per_request_cap_);
+    last_capacity_ = cap;
+    max_capacity_seen_ = std::max(max_capacity_seen_, cap);
+    if (share_policy_ == SharePolicy::kEqualSplitLegacy) {
+      // The historical bug: weights feed the capacity function but the split
+      // ignores them. Kept (test-only) so the audit layer can be shown to catch it.
+      double share = cap / static_cast<double>(n);
+      if (per_request_cap_ != kUnlimited) {
+        share = std::min(share, per_request_cap_);
+      }
+      for (auto& req : active_) {
+        req.rate = share;
+      }
+    } else {
+      // Weighted fair sharing with a per-request ceiling: start from shares
+      // proportional to share weight and water-fill. A request whose proportional
+      // share reaches the cap is pinned to it and drops out; the capacity it leaves
+      // behind is re-split (again by share weight) among the rest. Every pass pins
+      // at least one request or terminates, so the loop runs at most n times.
+      std::vector<Request*> open;
+      open.reserve(active_.size());
+      for (auto& req : active_) {
+        open.push_back(&req);
+      }
+      double remaining_cap = cap;
+      while (!open.empty()) {
+        double open_weight = 0.0;
+        for (const Request* req : open) {
+          open_weight += req->share_weight;
+        }
+        const double pass_cap = remaining_cap;
+        bool pinned_any = false;
+        for (auto it = open.begin(); it != open.end();) {
+          const double proportional = pass_cap * (*it)->share_weight / open_weight;
+          if (per_request_cap_ != kUnlimited && proportional >= per_request_cap_) {
+            (*it)->rate = per_request_cap_;
+            remaining_cap -= per_request_cap_;
+            it = open.erase(it);
+            pinned_any = true;
+          } else {
+            ++it;
+          }
+        }
+        if (!pinned_any) {
+          for (Request* req : open) {
+            req->rate = pass_cap * req->share_weight / open_weight;
+          }
+          break;
+        }
+      }
     }
-    for (auto& req : active_) {
-      req.rate = share;
-      total_rate += share;
+    for (const auto& req : active_) {
+      total_rate += req.rate;
     }
+  } else {
+    last_capacity_ = 0.0;
   }
   if (trace_enabled_) {
-    rate_trace_.Record(last_update_, total_rate);
+    // Forced: every Reschedule is an active-set change, which is a real trace
+    // point even when the total rate happens to come out unchanged (e.g. a cancel
+    // under a constant-capacity server).
+    rate_trace_.Record(last_update_, total_rate, /*force_point=*/true);
+  }
+  // The states visible between events (where contention bugs live) can only be
+  // checked here, not from the simulation's event-boundary sweep.
+  if (SimAudit* audit = SimAudit::current()) {
+    AuditInvariants(*audit, AuditPhase::kEventBoundary);
   }
 
   // Schedule (or clear) the single completion event for the earliest finisher.
@@ -147,6 +213,81 @@ void FluidServer::EnableTrace() {
 double FluidServer::MeanUtilization(SimTime from, SimTime to) const {
   MONO_CHECK(trace_enabled_);
   return rate_trace_.MeanUtilization(from, to, nominal_capacity_);
+}
+
+void FluidServer::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  const SimTime now = sim_->now();
+  const char* source = name_.c_str();
+  const double cap = last_capacity_;
+  const double eps = 1e-9 * std::max(1.0, cap);
+
+  double total_rate = 0.0;
+  double reference_ratio = -1.0;
+  for (const auto& req : active_) {
+    total_rate += req.rate;
+    audit.ExpectLazy(req.rate >= 0.0, now, source, "rate-non-negative", [&] {
+      std::ostringstream d;
+      d << "request " << req.id << " has rate " << req.rate;
+      return d.str();
+    });
+    const bool capped =
+        per_request_cap_ != kUnlimited && req.rate >= per_request_cap_ - eps;
+    if (per_request_cap_ != kUnlimited) {
+      audit.ExpectLazy(req.rate <= per_request_cap_ + eps, now, source,
+                       "per-request-cap", [&] {
+                         std::ostringstream d;
+                         d << "request " << req.id << " rate " << req.rate
+                           << " exceeds cap " << per_request_cap_;
+                         return d.str();
+                       });
+    }
+    if (!capped) {
+      // Weighted fairness: every request not pinned at the per-request cap must
+      // receive rate proportional to its share weight (equal rate/share ratios).
+      const double ratio = req.rate / req.share_weight;
+      if (reference_ratio < 0.0) {
+        reference_ratio = ratio;
+      } else {
+        const bool proportional =
+            std::abs(ratio - reference_ratio) <=
+            1e-6 * std::max(ratio, reference_ratio) + eps;
+        audit.ExpectLazy(proportional, now, source, "weighted-share", [&] {
+          std::ostringstream d;
+          d << "request " << req.id << " rate/weight " << ratio
+            << " != reference " << reference_ratio
+            << " (shares not proportional to weights)";
+          return d.str();
+        });
+      }
+    }
+  }
+  if (!active_.empty()) {
+    audit.ExpectLazy(total_rate <= cap + eps, now, source, "rate-conservation", [&] {
+      std::ostringstream d;
+      d << "total rate " << total_rate << " exceeds instantaneous capacity " << cap;
+      return d.str();
+    });
+  }
+
+  // Served work can never exceed the largest capacity ever granted × elapsed time.
+  const double elapsed = now - created_at_;
+  const double bound = std::max(nominal_capacity_, max_capacity_seen_) * elapsed;
+  const double served = total_served();
+  audit.ExpectLazy(served <= bound + 1e-6 * std::max(1.0, bound), now, source,
+                   "served-conservation", [&] {
+                     std::ostringstream d;
+                     d << "served " << served << " exceeds capacity bound " << bound
+                       << " over " << elapsed << "s";
+                     return d.str();
+                   });
+
+  if (phase == AuditPhase::kDrain) {
+    audit.ExpectLazy(active_.empty(), now, source, "drained", [&] {
+      std::ostringstream d;
+      d << active_.size() << " request(s) still active after the event queue drained";
+      return d.str();
+    });
+  }
 }
 
 CapacityFn ConstantCapacity(double capacity) {

@@ -3,10 +3,11 @@
 //
 // A FluidServer serves requests measured in abstract work units (CPU-seconds for a
 // compute core pool, bytes for a disk). All admitted requests progress simultaneously;
-// capacity is split equally among them, optionally capped per request (a single task
-// thread cannot use more than one core). Total capacity may itself depend on the number
-// of active requests — this is how HDD seek degradation under concurrent streams and
-// SSD channel parallelism are expressed:
+// capacity is split in proportion to the requests' weights (weighted fair sharing),
+// optionally capped per request (a single task thread cannot use more than one core) —
+// capacity freed by capped requests is redistributed among the uncapped ones. Total
+// capacity may itself depend on the number of active requests — this is how HDD seek
+// degradation under concurrent streams and SSD channel parallelism are expressed:
 //
 //   * CPU pool of c cores:  capacity(n) = c,       per-request cap = 1 core
 //   * HDD:                  capacity(n) = B / (1 + alpha * (n - 1))   (seek penalty)
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/simcore/audit.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
 
@@ -37,7 +39,7 @@ namespace monosim {
 // it carries a fractional weight.
 using CapacityFn = std::function<double(double active_weight)>;
 
-class FluidServer {
+class FluidServer : public Auditable {
  public:
   // `per_request_cap` limits the rate any single request may receive; pass
   // kUnlimited for none. `name` is used in traces and error messages.
@@ -45,19 +47,41 @@ class FluidServer {
 
   FluidServer(Simulation* sim, std::string name, CapacityFn capacity,
               double per_request_cap = kUnlimited);
+  ~FluidServer() override;
 
   FluidServer(const FluidServer&) = delete;
   FluidServer& operator=(const FluidServer&) = delete;
 
+  // How capacity is divided among active requests. kWeightedFair is the model;
+  // kEqualSplitLegacy reinstates the historical `cap / n` bug (weights ignored at
+  // the split) so tests can demonstrate that the audit layer detects it.
+  enum class SharePolicy {
+    kWeightedFair,
+    kEqualSplitLegacy,
+  };
+  void set_share_policy_for_test(SharePolicy policy) { share_policy_ = policy; }
+
   // Identifies an in-service request.
   using RequestId = uint64_t;
+
+  // `share_weight` sentinel for Submit: share capacity in proportion to `weight`.
+  static constexpr double kSameAsWeight = -1.0;
 
   // Admits a request for `amount` work units; `done` fires (as a simulation event)
   // when the request completes. Requests are serviced immediately — queueing policy
   // belongs to the schedulers layered above this class. `amount` may be zero, in which
-  // case `done` fires at the current time. `weight` (default 1) is the request's
-  // contention weight passed to the capacity function.
-  RequestId Submit(double amount, std::function<void()> done, double weight = 1.0);
+  // case `done` fires at the current time.
+  //
+  // `weight` (default 1) is the request's contention weight passed to the capacity
+  // function — how much device capacity the request's presence costs. `share_weight`
+  // is its weight in the fair split of that capacity — how much of it the request
+  // receives relative to the others — and defaults to `weight`. They are separate
+  // because cost and priority differ on real devices: a write interleaved with reads
+  // costs an HDD most of its bandwidth (high contention weight) but the elevator
+  // still serves both streams about equally (share weight 1), which is how DiskSim
+  // submits it.
+  RequestId Submit(double amount, std::function<void()> done, double weight = 1.0,
+                   double share_weight = kSameAsWeight);
 
   // Aborts an in-service request; its `done` callback never fires. Returns the
   // remaining (unserved) work.
@@ -88,11 +112,18 @@ class FluidServer {
 
   const std::string& name() const { return name_; }
 
+  // Invariant auditing (audit.h): rates non-negative and within the per-request
+  // cap, total rate within the instantaneous capacity, uncapped shares proportional
+  // to weights, served work bounded by capacity × elapsed, and no requests left
+  // active when the simulation drains.
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
+
  private:
   struct Request {
     RequestId id;
     double remaining;
-    double weight = 1.0;
+    double weight = 1.0;        // Contention weight (capacity-function input).
+    double share_weight = 1.0;  // Fair-share weight (capacity-split input).
     double rate = 0.0;
     std::function<void()> done;
   };
@@ -118,6 +149,15 @@ class FluidServer {
   SimTime last_update_ = 0.0;
   double served_ = 0.0;
   EventHandle completion_event_;
+  SharePolicy share_policy_ = SharePolicy::kWeightedFair;
+
+  // Audit bookkeeping: when the server was created, the capacity in effect for the
+  // current active set, and the largest capacity ever granted (the conservation
+  // bound — an SSD's capacity can exceed capacity(1), so nominal alone is too
+  // tight a ceiling).
+  SimTime created_at_ = 0.0;
+  double last_capacity_ = 0.0;
+  double max_capacity_seen_ = 0.0;
 
   bool trace_enabled_ = false;
   RateTrace rate_trace_;

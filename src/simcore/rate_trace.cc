@@ -8,14 +8,14 @@ namespace monosim {
 
 using monoutil::SimTime;
 
-void RateTrace::Record(SimTime time, double rate) {
+void RateTrace::Record(SimTime time, double rate, bool force_point) {
   if (!points_.empty()) {
     MONO_CHECK_MSG(time >= points_.back().time, "rate trace times must be non-decreasing");
     if (points_.back().time == time) {
       points_.back().rate = rate;
       return;
     }
-    if (points_.back().rate == rate) {
+    if (points_.back().rate == rate && !force_point) {
       return;  // No change; avoid unbounded growth from redundant updates.
     }
   }
@@ -58,8 +58,15 @@ std::vector<double> RateTrace::SampleWindows(SimTime from, SimTime to, SimTime s
                                              double capacity) const {
   MONO_CHECK(step > 0);
   std::vector<double> windows;
-  for (SimTime t = from; t + step <= to; t += step) {
+  SimTime t = from;
+  for (; t + step <= to; t += step) {
     windows.push_back(MeanUtilization(t, t + step, capacity));
+  }
+  // Cover the trailing partial window rather than silently dropping it. The
+  // epsilon guards against a float-residual sliver when the span is an exact
+  // multiple of the step.
+  if (to - t > 1e-9 * step) {
+    windows.push_back(MeanUtilization(t, to, capacity));
   }
   return windows;
 }

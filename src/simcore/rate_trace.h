@@ -20,8 +20,13 @@ class RateTrace {
   };
 
   // Records that the rate changed to `rate` at `time`. Times must be non-decreasing;
-  // a same-time update overwrites the previous point.
-  void Record(monoutil::SimTime time, double rate);
+  // a same-time update overwrites the previous point. A later update with an
+  // unchanged rate is dropped (redundant updates would grow the trace without
+  // bound) unless `force_point` is set — callers pass true when the update marks a
+  // real change in the underlying active set (a request completed or was cancelled
+  // and the total rate happened to come out equal), so the event stays observable
+  // in points().
+  void Record(monoutil::SimTime time, double rate, bool force_point = false);
 
   bool empty() const { return points_.empty(); }
   const std::vector<Point>& points() const { return points_; }
@@ -39,7 +44,10 @@ class RateTrace {
   double RateAt(monoutil::SimTime time) const;
 
   // Mean utilizations over consecutive windows of `step` seconds spanning [from, to),
-  // for plotting time series. The final partial window is dropped.
+  // for plotting time series. When (to - from) is not an exact multiple of `step`,
+  // the trailing partial window [k*step, to) is included as a final (shorter)
+  // window rather than silently dropped, so the series always covers the full
+  // span; callers that need equal-width windows should pass an exact multiple.
   std::vector<double> SampleWindows(monoutil::SimTime from, monoutil::SimTime to,
                                     monoutil::SimTime step, double capacity) const;
 

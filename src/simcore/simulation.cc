@@ -1,6 +1,8 @@
 #include "src/simcore/simulation.h"
 
+#include <algorithm>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "src/common/check.h"
@@ -39,12 +41,23 @@ bool Simulation::Step() {
     if (entry.record->cancelled) {
       continue;
     }
+    if (SimAudit* audit = SimAudit::current()) {
+      audit->ExpectLazy(entry.when >= last_fired_time_, now_, "simulation",
+                        "clock-monotonic", [&] {
+                          std::ostringstream detail;
+                          detail << "event at t=" << entry.when << " fired after t="
+                                 << last_fired_time_;
+                          return detail.str();
+                        });
+    }
     now_ = entry.when;
+    last_fired_time_ = entry.when;
     entry.record->fired = true;
     ++fired_;
     // Move the callback out so that captured state dies when it returns.
     std::function<void()> fn = std::move(entry.record->fn);
     fn();
+    RunAuditChecks(AuditPhase::kEventBoundary);
     return true;
   }
   return false;
@@ -53,6 +66,7 @@ bool Simulation::Step() {
 void Simulation::Run() {
   while (Step()) {
   }
+  RunAuditChecks(AuditPhase::kDrain);
 }
 
 void Simulation::RunUntil(SimTime deadline) {
@@ -69,7 +83,30 @@ void Simulation::RunUntil(SimTime deadline) {
     }
     Step();
   }
+  if (queue_.empty()) {
+    RunAuditChecks(AuditPhase::kDrain);
+  }
   now_ = deadline;
+}
+
+void Simulation::RegisterAuditable(const Auditable* auditable) {
+  MONO_CHECK(auditable != nullptr);
+  auditables_.push_back(auditable);
+}
+
+void Simulation::UnregisterAuditable(const Auditable* auditable) {
+  auditables_.erase(std::remove(auditables_.begin(), auditables_.end(), auditable),
+                    auditables_.end());
+}
+
+void Simulation::RunAuditChecks(AuditPhase phase) {
+  SimAudit* audit = SimAudit::current();
+  if (audit == nullptr) {
+    return;
+  }
+  for (const Auditable* auditable : auditables_) {
+    auditable->AuditInvariants(*audit, phase);
+  }
 }
 
 }  // namespace monosim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/simcore/audit.h"
 
 namespace monosim {
 
@@ -73,7 +74,16 @@ class Simulation {
   // Number of (non-cancelled) events fired so far.
   uint64_t fired_events() const { return fired_; }
 
+  // Invariant auditing (see audit.h). Registered components are re-checked after
+  // every fired event and when the queue drains, whenever a SimAudit is installed.
+  // Components must unregister before they are destroyed.
+  void RegisterAuditable(const Auditable* auditable);
+  void UnregisterAuditable(const Auditable* auditable);
+
  private:
+  // Runs every registered component's checks, plus the kernel's own clock
+  // monotonicity check. No-op when no audit is installed.
+  void RunAuditChecks(AuditPhase phase);
   struct QueueEntry {
     SimTime when;
     uint64_t seq;
@@ -91,7 +101,9 @@ class Simulation {
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t fired_ = 0;
+  SimTime last_fired_time_ = 0.0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<const Auditable*> auditables_;
 };
 
 }  // namespace monosim

@@ -1,0 +1,42 @@
+// Installs a report-mode SimAudit (audit.h) around every test in the suite, so
+// each simulation any test runs is continuously checked against the component
+// invariants and the test fails if any are violated. Tests that deliberately
+// provoke violations install their own nested ScopedAudit and inspect it; the
+// nested audit absorbs the checks, so this listener still sees a clean run.
+//
+// Registered from a static initializer (the googletest sample10 LeakChecker
+// pattern) because the suite links GTest::gtest_main and has no main() to edit.
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/audit.h"
+
+namespace monosim {
+namespace {
+
+class SimAuditListener : public ::testing::EmptyTestEventListener {
+ private:
+  void OnTestStart(const ::testing::TestInfo& /*info*/) override {
+    audit_.emplace(ScopedAudit::kReport);
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& /*info*/) override {
+    if (!audit_.has_value()) {
+      return;
+    }
+    EXPECT_TRUE(audit_->audit().ok())
+        << "simulation invariant audit: " << audit_->audit().Summary();
+    audit_.reset();
+  }
+
+  std::optional<ScopedAudit> audit_;
+};
+
+[[maybe_unused]] const bool kListenerInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SimAuditListener);
+  return true;
+}();
+
+}  // namespace
+}  // namespace monosim

@@ -1,0 +1,105 @@
+#include "src/simcore/audit.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/fluid_server.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+TEST(SimAuditTest, SuiteListenerInstallsAuditAroundEveryTest) {
+  // audit_listener.cc installs a report-mode audit before each test runs; if this
+  // fails, the rest of the suite is running unaudited.
+  EXPECT_NE(SimAudit::current(), nullptr);
+}
+
+TEST(SimAuditTest, CleanRunReportsNoViolationsButCountsChecks) {
+  ScopedAudit scoped(ScopedAudit::kReport);
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  server.Submit(25.0, [] {}, /*weight=*/1.0);
+  server.Submit(75.0, [] {}, /*weight=*/3.0);
+  sim.Run();
+  EXPECT_TRUE(scoped.audit().ok()) << scoped.audit().Summary();
+  // The audit must actually have evaluated invariants, not vacuously passed.
+  EXPECT_GT(scoped.audit().checks_run(), 0u);
+}
+
+TEST(SimAuditTest, DetectsLegacyEqualSplit) {
+  // Reinstate the historical bug — weights feed the capacity function but the
+  // split ignores them — and verify the audit layer catches it. This is the bug
+  // class SimAudit exists for: every simulation completes and every total is
+  // plausible; only the share proportions are wrong.
+  ScopedAudit scoped(ScopedAudit::kReport);
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  server.set_share_policy_for_test(FluidServer::SharePolicy::kEqualSplitLegacy);
+  server.Submit(25.0, [] {}, /*weight=*/1.0);
+  server.Submit(75.0, [] {}, /*weight=*/3.0);
+  sim.Run();
+  ASSERT_FALSE(scoped.audit().ok());
+  bool weighted_share_flagged = false;
+  for (const AuditViolation& violation : scoped.audit().violations()) {
+    if (violation.invariant == "weighted-share") {
+      weighted_share_flagged = true;
+      EXPECT_EQ(violation.source, "disk");
+    }
+  }
+  EXPECT_TRUE(weighted_share_flagged) << scoped.audit().Summary();
+}
+
+TEST(SimAuditTest, EqualWeightsMaskTheLegacyBug) {
+  // With equal weights the equal split *is* the weighted split, so the audit
+  // stays clean — which is why the bug survived: every equal-weight test passed.
+  ScopedAudit scoped(ScopedAudit::kReport);
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  server.set_share_policy_for_test(FluidServer::SharePolicy::kEqualSplitLegacy);
+  server.Submit(50.0, [] {});
+  server.Submit(50.0, [] {});
+  sim.Run();
+  EXPECT_TRUE(scoped.audit().ok()) << scoped.audit().Summary();
+}
+
+TEST(SimAuditTest, NestedAuditReceivesChecksAndRestoresOuter) {
+  ScopedAudit outer(ScopedAudit::kReport);
+  const uint64_t outer_checks_before = outer.audit().checks_run();
+  {
+    ScopedAudit inner(ScopedAudit::kReport);
+    EXPECT_EQ(SimAudit::current(), &inner.audit());
+    Simulation sim;
+    FluidServer server(&sim, "disk", ConstantCapacity(10.0));
+    server.Submit(10.0, [] {});
+    sim.Run();
+    EXPECT_GT(inner.audit().checks_run(), 0u);
+  }
+  EXPECT_EQ(SimAudit::current(), &outer.audit());
+  EXPECT_EQ(outer.audit().checks_run(), outer_checks_before);
+}
+
+TEST(SimAuditTest, SummaryListsViolations) {
+  SimAudit audit;  // Standalone, never installed.
+  EXPECT_TRUE(audit.ok());
+  audit.Report(1.5, "disk0", "byte-conservation", "submitted 10 != flushed 4 + dirty 5");
+  EXPECT_FALSE(audit.ok());
+  const std::string summary = audit.Summary();
+  EXPECT_NE(summary.find("byte-conservation"), std::string::npos);
+  EXPECT_NE(summary.find("disk0"), std::string::npos);
+}
+
+TEST(SimAuditTest, AuditRequestedByEnvParsesVariable) {
+  unsetenv("MONO_SIM_AUDIT");
+  EXPECT_FALSE(AuditRequestedByEnv());
+  setenv("MONO_SIM_AUDIT", "0", 1);
+  EXPECT_FALSE(AuditRequestedByEnv());
+  setenv("MONO_SIM_AUDIT", "1", 1);
+  EXPECT_TRUE(AuditRequestedByEnv());
+  unsetenv("MONO_SIM_AUDIT");
+}
+
+}  // namespace
+}  // namespace monosim

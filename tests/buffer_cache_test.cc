@@ -142,6 +142,81 @@ TEST_F(BufferCacheTest, WritebackReArmsAfterDrain) {
   EXPECT_EQ(cache_->total_flushed(), 110);
 }
 
+TEST_F(BufferCacheTest, BlockedWritesAdmitInFifoOrder) {
+  BufferCacheConfig config;
+  config.dirty_limit = 100;
+  config.writeback_delay = 1000.0;
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  cache_->Write(0, 100, [] {});  // Fills the cache; the rest throttle.
+  std::vector<int> completion_order;
+  std::vector<double> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    cache_->Write(0, 50, [&, i] {
+      completion_order.push_back(i);
+      completion_times.push_back(sim_.now());
+    });
+  }
+  sim_.Run();
+  // Throttled writers are admitted strictly in arrival order as flushing frees
+  // headroom, never reordered by size or disk state.
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order[0], 0);
+  EXPECT_EQ(completion_order[1], 1);
+  EXPECT_EQ(completion_order[2], 2);
+  EXPECT_LE(completion_times[0], completion_times[1]);
+  EXPECT_LE(completion_times[1], completion_times[2]);
+  EXPECT_EQ(cache_->total_flushed(), 250);
+}
+
+TEST_F(BufferCacheTest, SyncWaitersReleaseAcrossInterleavedWrites) {
+  BufferCacheConfig config;
+  config.dirty_limit = 1000;
+  config.writeback_delay = 1000.0;  // Sync writes force flushing themselves.
+  config.flush_chunk = 50;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config);
+  // Interleave async and sync writes to the same disk. Flushing is FIFO, so the
+  // first sync write is durable once 150 B (async 100 + its own 50) have been
+  // flushed, the second once all 250 B have.
+  double first_sync_done = -1.0;
+  double second_sync_done = -1.0;
+  cache_->Write(0, 100, [] {});
+  cache_->WriteSync(0, 50, [&] { first_sync_done = sim_.now(); });
+  cache_->Write(0, 50, [] {});
+  cache_->WriteSync(0, 50, [&] { second_sync_done = sim_.now(); });
+  sim_.Run();
+  // 100 B/s disk: 150 B flushed at t=1.5, 250 B at t=2.5 (memory copies are
+  // instantaneous at this bandwidth scale).
+  EXPECT_NEAR(first_sync_done, 1.5, 1e-6);
+  EXPECT_NEAR(second_sync_done, 2.5, 1e-6);
+  EXPECT_EQ(cache_->total_flushed(), 250);
+}
+
+TEST_F(BufferCacheTest, BytesAreConservedAfterDrain) {
+  BufferCacheConfig config;
+  config.dirty_limit = 120;
+  config.writeback_delay = 2.0;
+  config.flush_chunk = 64;
+  config.memory_bandwidth = 1e6;
+  MakeCache(config, /*num_disks=*/2);
+  // A mix of cached, throttled, and sync writes across both disks.
+  monoutil::Bytes submitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    cache_->Write(i % 2, 70, [] {});
+    submitted += 70;
+  }
+  cache_->WriteSync(0, 30, [] {});
+  submitted += 30;
+  sim_.Run();
+  // Every submitted byte must end up flushed: none lost, none duplicated.
+  EXPECT_EQ(cache_->total_flushed(), submitted);
+  EXPECT_EQ(cache_->total_dirty(), 0);
+  EXPECT_EQ(disks_[0]->bytes_written() + disks_[1]->bytes_written(), submitted);
+  EXPECT_FALSE(cache_->flushing());
+}
+
 TEST_F(BufferCacheTest, ZeroByteWriteCompletes) {
   BufferCacheConfig config;
   MakeCache(config);

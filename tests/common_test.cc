@@ -229,5 +229,31 @@ TEST(RateTraceTest, SampleWindows) {
   EXPECT_NEAR(windows[3], 0.0, 1e-12);
 }
 
+TEST(RateTraceTest, SampleWindowsIncludesTrailingPartialWindow) {
+  // [0, 1.25) with step 0.5: two full windows plus the partial [1.0, 1.25). The
+  // partial window is included (dropping it would silently truncate a job's last
+  // seconds from every utilization series) and is averaged over its own 0.25 s
+  // length, not the nominal step.
+  RateTrace trace;
+  trace.Record(0.0, 100.0);
+  trace.Record(1.125, 0.0);
+  const auto windows = trace.SampleWindows(0.0, 1.25, 0.5, 100.0);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_NEAR(windows[0], 1.0, 1e-12);
+  EXPECT_NEAR(windows[1], 1.0, 1e-12);
+  // Busy for 0.125 s of the 0.25 s partial window.
+  EXPECT_NEAR(windows[2], 0.5, 1e-12);
+}
+
+TEST(RateTraceTest, ForcedPointSurvivesEqualRateDedup) {
+  RateTrace trace;
+  trace.Record(0.0, 5.0);
+  trace.Record(1.0, 5.0);  // Redundant: coalesced.
+  trace.Record(2.0, 5.0, /*force_point=*/true);
+  ASSERT_EQ(trace.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.points()[1].time, 2.0);
+  EXPECT_DOUBLE_EQ(trace.points()[1].rate, 5.0);
+}
+
 }  // namespace
 }  // namespace monosim

@@ -1,5 +1,7 @@
 #include "src/simcore/fluid_server.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/simcore/simulation.h"
@@ -85,6 +87,91 @@ TEST(FluidServerTest, CpuPoolOversubscriptionSharesCores) {
   // 8 single-core requests on 4 cores: each runs at 0.5 cores.
   EXPECT_EQ(finished, 8);
   EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, WeightedRequestsShareInProportion) {
+  // Weights {1, 3} on a 100-unit/s server: rates must split 25/75. Amounts sized
+  // to the shares make both requests finish at exactly t=1 — only a true 1:3 rate
+  // split produces the simultaneous finish (the historical equal split served 50
+  // each, finishing the small request at t=0.5).
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double light = -1.0;
+  double heavy = -1.0;
+  server.Submit(25.0, [&] { light = sim.now(); }, /*weight=*/1.0);
+  server.Submit(75.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
+  sim.Run();
+  EXPECT_NEAR(light, 1.0, 1e-9);
+  EXPECT_NEAR(heavy, 1.0, 1e-9);
+}
+
+TEST(FluidServerTest, HeavierWeightFinishesEqualWorkFirst) {
+  Simulation sim;
+  FluidServer server(&sim, "disk", ConstantCapacity(100.0));
+  double light = -1.0;
+  double heavy = -1.0;
+  server.Submit(100.0, [&] { light = sim.now(); }, /*weight=*/1.0);
+  server.Submit(100.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
+  sim.Run();
+  // Heavy runs at 75 and finishes at 4/3; light then takes the whole server:
+  // 100 - 25 * 4/3 = 200/3 units left at 100/s -> finishes at 2.
+  EXPECT_NEAR(heavy, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(light, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, WeightedShareRedistributesCappedSurplus) {
+  // Capacity 1.5, per-request cap 1, weights {3, 1}: the heavy request's
+  // proportional share (1.125) hits the cap, and the surplus goes to the light
+  // one (0.5) instead of being wasted.
+  Simulation sim;
+  FluidServer server(&sim, "cpu", ConstantCapacity(1.5), /*per_request_cap=*/1.0);
+  double light = -1.0;
+  double heavy = -1.0;
+  server.Submit(1.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
+  server.Submit(1.0, [&] { light = sim.now(); }, /*weight=*/1.0);
+  sim.Run();
+  EXPECT_NEAR(heavy, 1.0, 1e-9);
+  // Light: 0.5 units by t=1, then alone at the cap -> 0.5 s more.
+  EXPECT_NEAR(light, 1.5, 1e-9);
+}
+
+TEST(FluidServerTest, ShareWeightOverridesContentionWeight) {
+  // An HDD-style capacity function sees the contention weights (1 + 3 = 4 ->
+  // capacity 25), but the explicit share weights split that capacity equally.
+  Simulation sim;
+  FluidServer server(&sim, "hdd", HddCapacity(100.0, 1.0));
+  double first = -1.0;
+  double second = -1.0;
+  server.Submit(25.0, [&] { first = sim.now(); }, /*weight=*/1.0, /*share_weight=*/1.0);
+  server.Submit(25.0, [&] { second = sim.now(); }, /*weight=*/3.0, /*share_weight=*/1.0);
+  sim.Run();
+  // capacity(4) = 25, split 12.5/12.5: both finish at t=2. With share weights
+  // following the contention weights the second would finish at 25/18.75 ≈ 1.33.
+  EXPECT_NEAR(first, 2.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(FluidServerTest, CancelRecordsTracePointEvenWhenRateUnchanged) {
+  // Four single-core requests on a 2-core pool: total rate is 2 before and after
+  // one of them is cancelled, so the old equal-rate dedup would silently drop the
+  // cancel from the trace. The active-set change must stay observable.
+  Simulation sim;
+  FluidServer server(&sim, "cpu", ConstantCapacity(2.0), /*per_request_cap=*/1.0);
+  server.EnableTrace();
+  std::vector<FluidServer::RequestId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(server.Submit(10.0, [] {}));
+  }
+  sim.ScheduleAt(1.0, [&] { server.CancelRequest(ids[0]); });
+  sim.Run();
+  bool cancel_point_recorded = false;
+  for (const auto& point : server.rate_trace().points()) {
+    if (point.time == 1.0) {
+      cancel_point_recorded = true;
+      EXPECT_NEAR(point.rate, 2.0, 1e-9);  // Unchanged total — the dedup trap.
+    }
+  }
+  EXPECT_TRUE(cancel_point_recorded);
 }
 
 TEST(FluidServerTest, HddCapacityDegradesWithConcurrency) {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "src/common/tracing/tracer.h"
 #include "src/framework/environment.h"
 #include "src/monotask/mono_executor.h"
 #include "src/multitask/spark_executor.h"
@@ -16,14 +17,17 @@ namespace monobench {
 
 // Runs `make_job(env)` under the Spark-baseline executor and returns the result.
 // Setting the MONO_SIM_AUDIT environment variable runs the simulation under the
-// invariant audit (audit.h) and aborts on any violation.
+// invariant audit (audit.h) and aborts on any violation. Setting
+// MONO_TRACE=<path> records every run in the process into one Chrome-trace file
+// written at exit (tracer.h).
 inline monosim::JobResult RunSpark(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::SparkConfig config = {}, bool trace = false) {
+  monotrace::InstallEnvTracerOnce();
   monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
-  if (trace) {
+  if (trace || monotrace::Tracer::current() != nullptr) {
     env.cluster().EnableTrace();
   }
   monosim::SparkExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), config);
@@ -32,14 +36,16 @@ inline monosim::JobResult RunSpark(
 }
 
 // Runs `make_job(env)` under the monotasks executor and returns the result.
-// MONO_SIM_AUDIT enables the invariant audit, as in RunSpark.
+// MONO_SIM_AUDIT enables the invariant audit and MONO_TRACE the event tracer,
+// as in RunSpark.
 inline monosim::JobResult RunMonotasks(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::MonoConfig config = {}, bool trace = false) {
+  monotrace::InstallEnvTracerOnce();
   monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
-  if (trace) {
+  if (trace || monotrace::Tracer::current() != nullptr) {
     env.cluster().EnableTrace();
   }
   monosim::MonotasksExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), config);

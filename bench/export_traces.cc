@@ -5,10 +5,17 @@
 //   fig02_spark_utilization.csv   — per-second CPU/disk utilization under Spark
 //   fig09_mono_utilization.csv    — the same stage under monotasks
 //   mono_queue_lengths.csv        — per-second scheduler queue lengths (§3.1)
+//
+// Columns adapt to the cluster: one disk column per configured disk. With
+// MONO_TRACE=<path> set, the full event trace (spans, counters, queues) is
+// additionally written as Chrome-trace JSON at exit — the CSVs are the
+// flat-file view, the trace the interactive one.
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/tracing/tracer.h"
 #include "src/workloads/bdb.h"
 #include "src/workloads/sort.h"
 
@@ -26,16 +33,25 @@ monoload::SortParams Workload() {
 void ExportUtilization(const std::string& path, monosim::SimEnvironment* env,
                        const monosim::StageResult& stage) {
   std::ofstream out(path);
-  out << "second,cpu,disk0,disk1\n";
   const auto& machine = env->cluster().machine(0);
+  out << "second,cpu";
+  for (int d = 0; d < machine.num_disks(); ++d) {
+    out << ",disk" << d;
+  }
+  out << '\n';
   const auto cpu = machine.cpu().rate_trace().SampleWindows(
       stage.start, stage.end, 1.0, static_cast<double>(machine.num_cores()));
-  const auto d0 = machine.disk(0).rate_trace().SampleWindows(
-      stage.start, stage.end, 1.0, machine.disk(0).nominal_bandwidth());
-  const auto d1 = machine.disk(1).rate_trace().SampleWindows(
-      stage.start, stage.end, 1.0, machine.disk(1).nominal_bandwidth());
+  std::vector<std::vector<double>> disks;
+  for (int d = 0; d < machine.num_disks(); ++d) {
+    disks.push_back(machine.disk(d).rate_trace().SampleWindows(
+        stage.start, stage.end, 1.0, machine.disk(d).nominal_bandwidth()));
+  }
   for (size_t i = 0; i < cpu.size(); ++i) {
-    out << i << ',' << cpu[i] << ',' << d0[i] << ',' << d1[i] << '\n';
+    out << i << ',' << cpu[i];
+    for (const auto& disk : disks) {
+      out << ',' << disk[i];
+    }
+    out << '\n';
   }
   std::printf("  wrote %s (%zu seconds)\n", path.c_str(), cpu.size());
 }
@@ -44,6 +60,7 @@ void ExportUtilization(const std::string& path, monosim::SimEnvironment* env,
 
 int main() {
   std::puts("=== Exporting raw utilization and queue-length traces as CSV ===\n");
+  monotrace::InstallEnvTracerOnce();
   const auto cluster = monoload::BdbClusterConfig();
 
   {
@@ -67,18 +84,27 @@ int main() {
     const auto result = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params));
     ExportUtilization("fig09_mono_utilization.csv", &env, result.stages[0]);
 
+    const int num_disks = mono.num_disks(0);
     std::ofstream out("mono_queue_lengths.csv");
-    out << "second,cpu_queue,disk0_queue,disk1_queue\n";
+    out << "second,cpu_queue";
+    for (int d = 0; d < num_disks; ++d) {
+      out << ",disk" << d << "_queue";
+    }
+    out << '\n';
     const auto& map = result.stages[0];
     const auto cpu_queue = mono.cpu_scheduler(0).queue_trace().SampleWindows(
         map.start, map.end, 1.0, 1.0);
-    const auto d0_queue = mono.disk_scheduler(0, 0).queue_trace().SampleWindows(
-        map.start, map.end, 1.0, 1.0);
-    const auto d1_queue = mono.disk_scheduler(0, 1).queue_trace().SampleWindows(
-        map.start, map.end, 1.0, 1.0);
+    std::vector<std::vector<double>> disk_queues;
+    for (int d = 0; d < num_disks; ++d) {
+      disk_queues.push_back(mono.disk_scheduler(0, d).queue_trace().SampleWindows(
+          map.start, map.end, 1.0, 1.0));
+    }
     for (size_t i = 0; i < cpu_queue.size(); ++i) {
-      out << i << ',' << cpu_queue[i] << ',' << d0_queue[i] << ',' << d1_queue[i]
-          << '\n';
+      out << i << ',' << cpu_queue[i];
+      for (const auto& queue : disk_queues) {
+        out << ',' << queue[i];
+      }
+      out << '\n';
     }
     std::printf("  wrote mono_queue_lengths.csv (%zu seconds)\n", cpu_queue.size());
   }

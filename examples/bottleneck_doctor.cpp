@@ -1,19 +1,22 @@
 // Bottleneck doctor: diagnose a slow analytics job the monotasks way.
 //
-// Runs a Big Data Benchmark query under both architectures and produces the kind of
-// report the paper argues should be trivial: per-stage bottlenecks, per-machine
-// utilization of the bottleneck resource, and what each architecture lets you see.
-// The Spark run can only offer aggregate device counters; the monotasks run has
-// per-monotask service times, so the doctor can say *why* the stage took as long as
-// it did and what would fix it.
+// Runs a Big Data Benchmark query under both architectures with the event
+// tracer installed and produces the kind of report the paper argues should be
+// trivial: per-stage bottlenecks with per-resource blame from the trace, the
+// §3.1 queue-length contention signal, and what each architecture lets you
+// see. The Spark run can only offer aggregate device counters; the monotasks
+// run has per-monotask spans and scheduler queues, so the doctor can say *why*
+// the stage took as long as it did and what would fix it.
 //
 // Run:  ./bottleneck_doctor [query]   (query in {1a,1b,1c,2a,2b,2c,3a,3b,3c,4};
 //                                      default 2c)
 #include <cstdio>
 #include <string>
 
+#include "src/common/tracing/tracer.h"
 #include "src/framework/environment.h"
 #include "src/model/monotasks_model.h"
+#include "src/model/trace_report.h"
 #include "src/monotask/mono_executor.h"
 #include "src/multitask/spark_executor.h"
 #include "src/workloads/bdb.h"
@@ -47,6 +50,9 @@ int main(int argc, char** argv) {
   std::printf("Diagnosing BDB query %s on 5 workers x 2 HDD...\n\n",
               monoload::BdbQueryName(query).c_str());
 
+  // Both runs record into one trace; the report below is derived from it.
+  monotrace::ScopedTracer scoped;
+
   // Run under Spark (the before picture).
   monosim::SimEnvironment spark_env(cluster);
   spark_env.cluster().EnableTrace();
@@ -61,7 +67,6 @@ int main(int argc, char** argv) {
   mono_env.cluster().EnableTrace();
   monosim::MonotasksExecutorSim mono(&mono_env.sim(), &mono_env.cluster(),
                                      &mono_env.pool(), {});
-  mono.EnableQueueTraces();
   mono_env.AttachExecutor(&mono);
   const auto mono_result =
       mono_env.driver().RunJob(monoload::MakeBdbQueryJob(&mono_env.dfs(), query));
@@ -79,34 +84,50 @@ int main(int argc, char** argv) {
   std::puts("  ...but which of that device time belongs to which work, and what would");
   std::puts("  change under new hardware, is guesswork (Figs 15-17).\n");
 
-  std::puts("What monotasks tells you (per-monotask service time, built in):");
-  const monomodel::MonotasksModel model(
-      mono_result, monomodel::HardwareProfile::FromCluster(cluster));
-  for (int s = 0; s < model.num_stages(); ++s) {
-    const auto& stage = mono_result.stages[static_cast<size_t>(s)];
-    const auto& times = stage.monotask_times;
-    const auto ideal = model.IdealTimes(s);
-    std::printf("  %-16s %6.1f s\n", stage.name.c_str(), stage.duration());
-    std::printf("      monotask seconds: compute %.0f (deser %.0f) | disk read %.0f / "
-                "write %.0f | network %.0f\n",
-                times.compute_seconds, times.compute_deser_seconds,
-                times.disk_read_seconds, times.disk_write_seconds,
-                times.network_seconds);
-    std::printf("      ideal times:      cpu %.1f s, disk %.1f s, network %.1f s  "
-                "=> bottleneck: %s\n",
-                ideal.cpu, ideal.disk, ideal.network,
-                monomodel::ResourceName(ideal.bottleneck()));
+  // The trace report: per-stage resource blame from the recorded spans, and
+  // the §3.1 signal — contention visible directly as scheduler queue length.
+  const monomodel::ParsedTrace trace =
+      monomodel::ParseChromeTrace(scoped.tracer().ToJson());
+  for (const std::string& error : trace.errors) {
+    std::fprintf(stderr, "trace problem: %s\n", error.c_str());
+  }
+  const monomodel::TraceReport report = monomodel::TraceReport::Build(trace);
+
+  std::puts("What monotasks tells you (per-monotask spans, from the trace):");
+  for (const auto& stage : report.stages()) {
+    if (stage.label.rfind("mono:", 0) != 0 || stage.blame.empty()) {
+      continue;
+    }
+    std::printf("  %-22s %6.1f s\n", stage.label.c_str(), stage.duration());
+    for (const auto& [category, blame] : stage.blame) {
+      std::printf("      %-8s busy %7.1f s over %2d lane(s), utilization %3.0f%%\n",
+                  category.c_str(), blame.busy_seconds, blame.lanes,
+                  100.0 * blame.utilization);
+    }
+    for (const auto& [series, mean] : stage.mean_queue) {
+      std::printf("      queue %-12s mean length %.1f  (Sec 3.1: contention, "
+                  "directly)\n",
+                  series.c_str(), mean);
+    }
+    std::printf("      => busiest resource: %s\n", stage.busiest().c_str());
+  }
+  if (report.untagged_busy_seconds() > 0.0) {
+    std::printf("  (plus %.1f s of device time with no stage tag — OS writeback the\n"
+                "   Spark run cannot attribute; Sec 2.2)\n",
+                report.untagged_busy_seconds());
   }
 
-  // §3.1: contention is visible as queue length — no inference required.
-  const double window = mono_result.duration();
-  std::printf("\nMean scheduler queue lengths on machine 0 (contention, directly):\n"
-              "      cpu %.1f monotasks queued | disk0 %.1f | disk1 %.1f\n",
-              mono.cpu_scheduler(0).queue_trace().Integrate(0, window) / window,
-              mono.disk_scheduler(0, 0).queue_trace().Integrate(0, window) / window,
-              mono.disk_scheduler(0, 1).queue_trace().Integrate(0, window) / window);
-
-  std::puts("\nPrescription:");
+  std::puts("\nPrescription (Sec 6 model, cross-checked against the trace):");
+  const monomodel::MonotasksModel model(
+      mono_result, monomodel::HardwareProfile::FromCluster(cluster));
+  for (const auto& entry : report.CrossCheckWithModel(model)) {
+    if (entry.stage.rfind("mono:", 0) != 0) {
+      continue;
+    }
+    std::printf("  %-22s trace: %-8s model: %-8s %s\n", entry.stage.c_str(),
+                entry.trace_verdict.c_str(), entry.model_verdict.c_str(),
+                entry.agree ? "agree" : "DISAGREE");
+  }
   const auto bottleneck = model.JobBottleneck();
   std::printf("  The job is %s-bound. Best case from optimizing it: %.1f s "
               "(currently %.1f s).\n",

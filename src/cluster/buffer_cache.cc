@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/tracer.h"
 
 namespace monosim {
 
@@ -24,7 +26,16 @@ BufferCacheSim::BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
   MONO_CHECK(!disks_.empty());
   MONO_CHECK(config_.dirty_limit > 0);
   MONO_CHECK(config_.memory_bandwidth > 0);
+  // Disk names look like "machine3.disk0"; the machine part keys our traces.
+  trace_prefix_ = disks_[0]->name().substr(0, disks_[0]->name().find('.'));
   sim_->RegisterAuditable(this);
+}
+
+void BufferCacheSim::TraceDirtyBytes() const {
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Counter("os-cache", trace_prefix_ + ".dirty-bytes", sim_->now(),
+                    static_cast<double>(total_dirty_));
+  }
 }
 
 BufferCacheSim::~BufferCacheSim() {
@@ -157,6 +168,7 @@ void BufferCacheSim::AdmitWrite(int disk_index, Bytes bytes, std::function<void(
   dirty_per_disk_[d] += bytes;
   submitted_per_disk_[d] += bytes;
   total_dirty_ += bytes;
+  TraceDirtyBytes();
   if (sync) {
     // Completion is deferred until everything submitted to this disk so far —
     // including these bytes — has been flushed. Flushing is FIFO per disk, so
@@ -211,7 +223,18 @@ void BufferCacheSim::PumpFlusher() {
     flush_in_flight_[d] = true;
     ++active_flushes_;
     const int disk_index = static_cast<int>(d);
-    disks_[d]->Write(chunk, [this, disk_index, chunk] { OnFlushDone(disk_index, chunk); });
+    const SimTime flush_start = sim_->now();
+    disks_[d]->Write(chunk, [this, disk_index, chunk, flush_start] {
+      // Deliberately stage-untagged: writeback is the "resource use outside the
+      // framework's control" of §2.2 — the trace report surfaces it as
+      // unattributed disk time.
+      if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+        tracer->CompleteOnLane("os-cache",
+                               disks_[static_cast<size_t>(disk_index)]->name() + ".flush",
+                               "writeback-flush", "disk", flush_start, sim_->now());
+      }
+      OnFlushDone(disk_index, chunk);
+    });
   }
 }
 
@@ -225,6 +248,10 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
   total_dirty_ -= bytes;
   total_flushed_ += bytes;
   MONO_CHECK(dirty_per_disk_[d] >= 0);
+  TraceDirtyBytes();
+  static monotrace::MetricCounter* flushed_metric =
+      monotrace::MetricsRegistry::Global().Get("cache.bytes_flushed");
+  flushed_metric->Add(static_cast<double>(bytes));
 
   // Release sync writers whose bytes are now durable.
   while (!sync_waiters_[d].empty() &&

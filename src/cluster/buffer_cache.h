@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_config.h"
@@ -80,10 +81,13 @@ class BufferCacheSim : public Auditable {
   void MaybeStartWriteback(bool pressure);
   void PumpFlusher();
   void OnFlushDone(int disk_index, monoutil::Bytes bytes);
+  void TraceDirtyBytes() const;
 
   Simulation* sim_;
   BufferCacheConfig config_;
   std::vector<DiskSim*> disks_;
+  // Machine prefix for trace series ("machine3", from the disks' names).
+  std::string trace_prefix_;
 
   std::vector<monoutil::Bytes> dirty_per_disk_;
   std::vector<monoutil::Bytes> submitted_per_disk_;

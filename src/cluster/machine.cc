@@ -68,6 +68,7 @@ ClusterSim::UsageCounters ClusterSim::SnapshotUsage() const {
 }
 
 void ClusterSim::EnableTrace() {
+  trace_enabled_ = true;
   for (auto& machine : machines_) {
     machine->EnableTrace();
   }

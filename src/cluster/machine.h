@@ -75,6 +75,10 @@ class ClusterSim {
   // Enables rate tracing cluster-wide (CPU, disks, NIC ingress).
   void EnableTrace();
 
+  // Whether EnableTrace() ran — lets consumers of StageUtilization distinguish
+  // "measured 0% utilization" from "utilization was never measured".
+  bool trace_enabled() const { return trace_enabled_; }
+
   // Cumulative cluster-wide device counters; subtract two snapshots to get what an
   // external observer would measure over a window.
   struct UsageCounters {
@@ -90,6 +94,7 @@ class ClusterSim {
   ClusterConfig config_;
   std::vector<std::unique_ptr<MachineSim>> machines_;
   std::unique_ptr<NetworkFabricSim> fabric_;
+  bool trace_enabled_ = false;
 };
 
 }  // namespace monosim

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/tracer.h"
 
 namespace monosim {
 namespace {
@@ -185,6 +187,16 @@ void NetworkFabricSim::RecomputeAround(int src, int dst) {
   if (trace_enabled_) {
     RecordIngressRates(touched_ingress);
   }
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    for (int machine : touched_ingress) {
+      double total = 0.0;
+      for (const Flow* flow : ingress_flows_[static_cast<size_t>(machine)]) {
+        total += flow->rate;
+      }
+      tracer->Counter("devices", "machine" + std::to_string(machine) + ".nic-in",
+                      sim_->now(), total / nic_bandwidth_);
+    }
+  }
 }
 
 void NetworkFabricSim::OnFlowComplete(FlowId id) {
@@ -214,6 +226,9 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
   flows_.erase(it);
 
   RecomputeAround(src, dst);
+  static monotrace::MetricCounter* flows_metric =
+      monotrace::MetricsRegistry::Global().Get("fabric.flows_completed");
+  flows_metric->Increment();
   done();
 }
 

@@ -1,0 +1,37 @@
+#include "src/common/tracing/metrics_registry.h"
+
+namespace monotrace {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter* MetricsRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+double MetricsRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+std::map<std::string, double> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter.value());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+}
+
+}  // namespace monotrace

@@ -1,0 +1,74 @@
+// MetricsRegistry: process-global named monotonic counters.
+//
+// Where the Tracer records *when* things happened, the registry keeps cheap
+// always-on totals — events fired, tasks completed, bytes flushed — that
+// examples and benches can print without enabling tracing. Counters are
+// doubles (byte and second totals overflow int64 semantics awkwardly) and
+// additions are lock-free CAS loops, so instrumented code may add from the
+// threaded engine's scheduler threads.
+//
+// Usage at an instrumentation site (resolve once, add many times):
+//
+//   MetricCounter* flushed = MetricsRegistry::Global().Get("cache.bytes_flushed");
+//   ...
+//   flushed->Add(chunk_bytes);
+//
+// Get() returns a stable pointer for the life of the registry; counters are
+// never removed. ResetForTest() zeroes (not removes) every counter so tests
+// can assert deltas without coordinating names.
+#ifndef MONOTASKS_SRC_COMMON_TRACING_METRICS_REGISTRY_H_
+#define MONOTASKS_SRC_COMMON_TRACING_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace monotrace {
+
+class MetricCounter {
+ public:
+  MetricCounter() = default;
+  MetricCounter(const MetricCounter&) = delete;
+  MetricCounter& operator=(const MetricCounter&) = delete;
+
+  void Add(double delta) {
+    double observed = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(observed, observed + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Increment() { Add(1.0); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the counter named `name`, creating it at zero on first use. The
+  // pointer stays valid for the registry's lifetime.
+  MetricCounter* Get(const std::string& name);
+
+  // Current value of `name` (0 if never created).
+  double Value(const std::string& name) const;
+
+  // Name -> value snapshot, sorted by name.
+  std::map<std::string, double> Snapshot() const;
+
+  // Zeroes every counter (registrations survive, cached pointers stay valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so Get()'s returned pointers survive later inserts.
+  std::map<std::string, MetricCounter> counters_;
+};
+
+}  // namespace monotrace
+
+#endif  // MONOTASKS_SRC_COMMON_TRACING_METRICS_REGISTRY_H_

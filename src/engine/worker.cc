@@ -1,6 +1,7 @@
 #include "src/engine/worker.h"
 
 #include "src/common/check.h"
+#include "src/common/tracing/tracer.h"
 
 namespace monotasks {
 namespace {
@@ -58,6 +59,8 @@ void Worker::Route(Monotask* task) {
 }
 
 void Worker::OnComplete(Monotask* task, double service_seconds) {
+  const char* category = "cpu";
+  std::string lane = "cpu";
   switch (task->resource()) {
     case ResourceType::kCpu:
       AtomicAdd(&counters_.cpu_seconds, service_seconds);
@@ -66,11 +69,22 @@ void Worker::OnComplete(Monotask* task, double service_seconds) {
     case ResourceType::kDisk:
       AtomicAdd(&counters_.disk_seconds, service_seconds);
       ++counters_.disk_count;
+      category = "disk";
+      lane = "disk" + std::to_string(task->disk_index);
       break;
     case ResourceType::kNetwork:
       AtomicAdd(&counters_.network_seconds, service_seconds);
       ++counters_.network_count;
+      category = "network";
+      lane = "net";
       break;
+  }
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    // Threaded engine: spans use the tracer's wall clock (seconds since tracer
+    // creation), so they land on the same timeline as any other engine events.
+    const double end = tracer->WallNow();
+    tracer->CompleteOnLane("worker" + std::to_string(id_), lane, task->label(),
+                           category, end - service_seconds, end);
   }
   dag_->OnMonotaskComplete(task);
 }

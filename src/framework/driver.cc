@@ -24,6 +24,14 @@ void JobDriver::SubmitJob(JobSpec spec, DoneCallback done) {
   job->result.start = sim_->now();
   JobState* raw = job.get();
   jobs_.push_back(std::move(job));
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    // One driver track per submission; the executor tag keeps a Spark run and a
+    // monotasks run of the same job apart in a shared trace file.
+    raw->trace_track = tracer->Track(
+        "driver", std::string(executor_->trace_name()) + ":" + raw->spec.name + "#" +
+                      std::to_string(jobs_.size() - 1));
+    tracer->BeginSpan(raw->trace_track, raw->spec.name, "job", sim_->now());
+  }
   ActivateNextStage(raw);
 }
 
@@ -50,6 +58,13 @@ void JobDriver::ActivateNextStage(JobState* job) {
   StageExecution* raw = stage.get();
   job->stages.push_back(std::move(stage));
   raw->set_on_complete([this, job, raw] { OnStageComplete(job, raw); });
+  raw->set_trace_label(std::string(executor_->trace_name()) + ":" + raw->spec().name);
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    if (job->trace_track.valid()) {
+      tracer->BeginSpan(job->trace_track, raw->spec().name, "stage", sim_->now(),
+                        raw->trace_label());
+    }
+  }
   raw->Activate(sim_->now());
   job->stage_start_counters = cluster_->SnapshotUsage();
   pool_->AddStage(raw);
@@ -69,6 +84,14 @@ void JobDriver::OnStageComplete(JobState* job, StageExecution* stage) {
   measured.disk_write_bytes = end.disk_write_bytes - start.disk_write_bytes;
   measured.network_bytes = end.network_bytes - start.network_bytes;
   job->result.stages.push_back(stage->result());
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    if (job->trace_track.valid()) {
+      tracer->EndSpan(job->trace_track, sim_->now());  // stage span
+      if (job->next_stage >= job->spec.stages.size()) {
+        tracer->EndSpan(job->trace_track, sim_->now());  // job span
+      }
+    }
+  }
 
   if (job->next_stage < job->spec.stages.size()) {
     ActivateNextStage(job);
@@ -87,10 +110,10 @@ void JobDriver::OnStageComplete(JobState* job, StageExecution* stage) {
 }
 
 void JobDriver::FillUtilization(StageResult* result) const {
-  const MachineSim& first = cluster_->machine(0);
-  if (!first.cpu().trace_enabled() || result->end <= result->start) {
+  if (!cluster_->trace_enabled() || result->end <= result->start) {
     return;
   }
+  result->utilization.measured = true;
   const monoutil::SimTime from = result->start;
   const monoutil::SimTime to = result->end;
   for (int m = 0; m < cluster_->num_machines(); ++m) {

@@ -13,6 +13,7 @@
 
 #include "src/cluster/machine.h"
 #include "src/common/rng.h"
+#include "src/common/tracing/tracer.h"
 #include "src/framework/executor.h"
 #include "src/framework/job_spec.h"
 #include "src/framework/metrics.h"
@@ -51,6 +52,9 @@ class JobDriver {
     size_t next_stage = 0;
     JobResult result;
     ClusterSim::UsageCounters stage_start_counters;
+    // Driver-timeline trace track for this job; stage spans nest inside the job
+    // span on it. Invalid when tracing was off at submit.
+    monotrace::TrackRef trace_track;
   };
 
   void ActivateNextStage(JobState* job);

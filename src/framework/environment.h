@@ -34,6 +34,11 @@ class SimEnvironment {
   // environment does not take ownership.
   void AttachExecutor(ExecutorSim* executor);
 
+  // Whether cluster device tracing was enabled for this run. When false, the
+  // StageUtilization vectors in job results are empty and `measured` is false —
+  // "not measured", not "0% utilized".
+  bool cluster_trace_enabled() const { return cluster_->trace_enabled(); }
+
  private:
   Simulation sim_;
   std::unique_ptr<ClusterSim> cluster_;

@@ -21,6 +21,10 @@ class ExecutorSim {
 
   // Peak bytes of task data buffered in application memory on any single machine.
   virtual monoutil::Bytes peak_buffered_bytes() const { return 0; }
+
+  // Short architecture tag used to prefix trace stage labels ("spark:map" vs
+  // "mono:map"), so one trace file can hold both executors' runs of the same job.
+  virtual const char* trace_name() const { return "executor"; }
 };
 
 }  // namespace monosim

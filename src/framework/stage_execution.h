@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -72,6 +73,11 @@ class StageExecution {
   StageResult& result() { return result_; }
   const StageResult& result() const { return result_; }
 
+  // Trace attribution label ("mono:map"), set by the driver at activation; every
+  // span the executors emit for this stage's work carries it.
+  void set_trace_label(std::string label) { trace_label_ = std::move(label); }
+  const std::string& trace_label() const { return trace_label_; }
+
  private:
   struct TaskParams {
     // DFS input replicas (empty: no locality preference). Any replica holder can
@@ -103,6 +109,7 @@ class StageExecution {
   std::vector<monoutil::Bytes> shuffle_on_machine_;
   std::function<void()> on_complete_;
   StageResult result_;
+  std::string trace_label_;
 };
 
 }  // namespace monosim

@@ -1,0 +1,624 @@
+#include "src/model/trace_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace monomodel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser. It accepts general JSON (tests use
+// it as a well-formedness check on the tracer's output) but keeps only what
+// the report needs.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after the top-level value");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream msg;
+      msg << "JSON parse error at byte " << pos_ << ": " << what;
+      error_ = msg.str();
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto match = [this](const char* word) {
+      const std::size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    Fail("invalid literal");
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return false;
+    }
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      Fail("invalid number");
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          if (std::sscanf(text_.substr(pos_, 4).c_str(), "%4x", &code) != 1) {
+            Fail("invalid \\u escape");
+            return false;
+          }
+          pos_ += 4;
+          // The tracer only emits \u00xx control escapes; keep it simple.
+          *out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default:
+          Fail("invalid escape");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        Fail("expected ',' or ']' in array");
+        return false;
+      }
+      SkipWhitespace();
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return false;
+      }
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        Fail("expected ',' or '}' in object");
+        return false;
+      }
+      SkipWhitespace();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+double NumberField(const JsonValue& obj, const char* key, double fallback = 0.0) {
+  const JsonValue* v = obj.Find(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number : fallback;
+}
+
+std::string StringField(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kString) ? v->str : std::string();
+}
+
+// Time-weighted mean of a step-function counter over [start, end]. The counter
+// holds 0 before its first sample and holds each sample's value until the next.
+double StepMean(const std::vector<std::pair<double, double>>& samples, double start,
+                double end) {
+  if (end <= start) {
+    return 0.0;
+  }
+  double weighted = 0.0;
+  double prev_ts = start;
+  double prev_value = 0.0;
+  for (const auto& [ts, value] : samples) {
+    if (ts <= start) {
+      prev_value = value;
+      continue;
+    }
+    if (ts >= end) {
+      break;
+    }
+    weighted += prev_value * (ts - prev_ts);
+    prev_ts = ts;
+    prev_value = value;
+  }
+  weighted += prev_value * (end - prev_ts);
+  return weighted / (end - start);
+}
+
+bool IsResourceCategory(const std::string& category) {
+  return category == "cpu" || category == "disk" || category == "network" ||
+         category == "cache";
+}
+
+}  // namespace
+
+ParsedTrace ParseChromeTrace(const std::string& json) {
+  ParsedTrace trace;
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root)) {
+    trace.errors.push_back(parser.error());
+    return trace;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    trace.errors.push_back("top-level value is not an object");
+    return trace;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    trace.errors.push_back("missing traceEvents array");
+    return trace;
+  }
+
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> track_names;
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    std::string stage;
+    double start = 0.0;
+  };
+  std::map<std::pair<int, int>, std::vector<OpenSpan>> open;  // B/E stacks per track.
+  double last_ts = -1.0;
+
+  for (const JsonValue& event : events->array) {
+    if (event.kind != JsonValue::Kind::kObject) {
+      trace.errors.push_back("traceEvents element is not an object");
+      continue;
+    }
+    const std::string phase = StringField(event, "ph");
+    const int pid = static_cast<int>(NumberField(event, "pid", -1));
+    const int tid = static_cast<int>(NumberField(event, "tid", -1));
+    if (phase == "M") {
+      const JsonValue* args = event.Find("args");
+      const std::string meta_name = StringField(event, "name");
+      if (args != nullptr) {
+        if (meta_name == "process_name") {
+          process_names[pid] = StringField(*args, "name");
+        } else if (meta_name == "thread_name") {
+          track_names[{pid, tid}] = StringField(*args, "name");
+        }
+      }
+      continue;
+    }
+
+    const double ts = NumberField(event, "ts") / 1e6;  // micros -> seconds
+    if (last_ts >= 0.0 && ts < last_ts - 1e-12) {
+      trace.timestamps_monotonic = false;
+    }
+    last_ts = std::max(last_ts, ts);
+
+    auto process_of = [&](int p) {
+      auto it = process_names.find(p);
+      return it != process_names.end() ? it->second : std::string();
+    };
+    auto track_of = [&](int p, int t) {
+      auto it = track_names.find({p, t});
+      return it != track_names.end() ? it->second : std::string();
+    };
+
+    if (phase == "X") {
+      TraceSpan span;
+      span.process = process_of(pid);
+      span.track = track_of(pid, tid);
+      span.name = StringField(event, "name");
+      span.category = StringField(event, "cat");
+      span.start = ts;
+      span.end = ts + NumberField(event, "dur") / 1e6;
+      if (const JsonValue* args = event.Find("args")) {
+        span.stage = StringField(*args, "stage");
+      }
+      trace.spans.push_back(std::move(span));
+    } else if (phase == "B") {
+      OpenSpan opened;
+      opened.name = StringField(event, "name");
+      opened.category = StringField(event, "cat");
+      opened.start = ts;
+      if (const JsonValue* args = event.Find("args")) {
+        opened.stage = StringField(*args, "stage");
+      }
+      open[{pid, tid}].push_back(std::move(opened));
+    } else if (phase == "E") {
+      auto& stack = open[{pid, tid}];
+      if (stack.empty()) {
+        std::ostringstream msg;
+        msg << "'E' with no open 'B' on pid " << pid << " tid " << tid;
+        trace.errors.push_back(msg.str());
+        continue;
+      }
+      OpenSpan opened = std::move(stack.back());
+      stack.pop_back();
+      TraceSpan span;
+      span.process = process_of(pid);
+      span.track = track_of(pid, tid);
+      span.name = std::move(opened.name);
+      span.category = std::move(opened.category);
+      span.stage = std::move(opened.stage);
+      span.start = opened.start;
+      span.end = ts;
+      trace.spans.push_back(std::move(span));
+    } else if (phase == "C") {
+      TraceCounterSample sample;
+      sample.process = process_of(pid);
+      sample.series = StringField(event, "name");
+      sample.ts = ts;
+      if (const JsonValue* args = event.Find("args")) {
+        sample.value = NumberField(*args, "value");
+      }
+      trace.counters.push_back(std::move(sample));
+    } else if (phase == "i") {
+      TraceInstant instant;
+      instant.process = process_of(pid);
+      instant.track = track_of(pid, tid);
+      instant.name = StringField(event, "name");
+      instant.ts = ts;
+      if (const JsonValue* args = event.Find("args")) {
+        instant.detail = StringField(*args, "detail");
+      }
+      trace.instants.push_back(std::move(instant));
+    } else {
+      trace.errors.push_back("unknown event phase '" + phase + "'");
+    }
+  }
+
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) {
+      std::ostringstream msg;
+      msg << stack.size() << " unclosed 'B' span(s) on pid " << track.first << " tid "
+          << track.second << " (innermost: \"" << stack.back().name << "\")";
+      trace.errors.push_back(msg.str());
+    }
+  }
+  return trace;
+}
+
+std::string StageTraceSummary::busiest() const {
+  std::string best;
+  double best_utilization = -1.0;
+  for (const auto& [category, resource] : blame) {
+    if (category != "cpu" && category != "disk" && category != "network") {
+      continue;  // "cache" writes are memory copies, not a device bottleneck.
+    }
+    if (resource.utilization > best_utilization) {
+      best = category;
+      best_utilization = resource.utilization;
+    }
+  }
+  return best;
+}
+
+TraceReport TraceReport::Build(const ParsedTrace& trace) {
+  TraceReport report;
+
+  // Stage windows: the driver's category-"stage" spans, keyed by their stage
+  // label (which is also the label every resource span carries).
+  for (const TraceSpan& span : trace.spans) {
+    if (span.category != "stage" || span.stage.empty()) {
+      continue;
+    }
+    StageTraceSummary summary;
+    summary.label = span.stage;
+    const auto colon = span.stage.find(':');
+    summary.name = colon == std::string::npos ? span.stage : span.stage.substr(colon + 1);
+    summary.start = span.start;
+    summary.end = span.end;
+    report.stages_.push_back(std::move(summary));
+  }
+
+  auto find_stage = [&report](const std::string& label) -> StageTraceSummary* {
+    for (StageTraceSummary& stage : report.stages_) {
+      if (stage.label == label) {
+        return &stage;
+      }
+    }
+    return nullptr;
+  };
+
+  // Resource blame: spans fold into their stage by label; lane counts come from
+  // the distinct rows each category's spans occupied.
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> lanes_used;
+  for (const TraceSpan& span : trace.spans) {
+    if (!IsResourceCategory(span.category)) {
+      continue;
+    }
+    if (span.stage.empty()) {
+      report.untagged_busy_seconds_ += span.end - span.start;
+      continue;
+    }
+    StageTraceSummary* stage = find_stage(span.stage);
+    if (stage == nullptr) {
+      continue;
+    }
+    ResourceBlame& blame = stage->blame[span.category];
+    blame.busy_seconds += span.end - span.start;
+    ++blame.span_count;
+    lanes_used[{span.stage, span.category}].insert(span.process + "\t" + span.track);
+  }
+  for (StageTraceSummary& stage : report.stages_) {
+    for (auto& [category, blame] : stage.blame) {
+      blame.lanes = static_cast<int>(lanes_used[{stage.label, category}].size());
+      const double capacity = blame.lanes * stage.duration();
+      blame.utilization = capacity > 0.0 ? blame.busy_seconds / capacity : 0.0;
+    }
+  }
+
+  // §3.1 queue-length contention signal: per-scheduler counter series emitted
+  // by the monotasks executor, averaged over each stage's window and across
+  // machines. (The Spark baseline has no per-resource queues to report.)
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<double, double>>>
+      counter_samples;
+  for (const TraceCounterSample& sample : trace.counters) {
+    counter_samples[{sample.process, sample.series}].emplace_back(sample.ts, sample.value);
+  }
+  for (StageTraceSummary& stage : report.stages_) {
+    if (stage.label.rfind("mono:", 0) != 0) {
+      continue;
+    }
+    std::map<std::string, std::pair<double, int>> sums;  // series -> (sum, machines)
+    for (auto& [key, samples] : counter_samples) {
+      const auto& [process, series] = key;
+      if (process.rfind("mono:m", 0) != 0 ||
+          series.size() < 6 || series.compare(series.size() - 6, 6, "-queue") != 0) {
+        continue;
+      }
+      std::sort(samples.begin(), samples.end());
+      auto& [sum, machines] = sums[series];
+      sum += StepMean(samples, stage.start, stage.end);
+      ++machines;
+    }
+    for (const auto& [series, sum_and_count] : sums) {
+      stage.mean_queue[series] = sum_and_count.first / sum_and_count.second;
+    }
+  }
+
+  for (const TraceInstant& instant : trace.instants) {
+    if (instant.process == "audit") {
+      report.audit_violations_.push_back(instant);
+    }
+  }
+  return report;
+}
+
+const StageTraceSummary* TraceReport::FindStage(const std::string& label) const {
+  for (const StageTraceSummary& stage : stages_) {
+    if (stage.label == label) {
+      return &stage;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<CrossCheckEntry> TraceReport::CrossCheckWithModel(
+    const MonotasksModel& model) const {
+  std::vector<CrossCheckEntry> entries;
+  for (int i = 0; i < model.num_stages(); ++i) {
+    const std::string& name = model.stage_input(i).name;
+    for (const StageTraceSummary& stage : stages_) {
+      if (stage.name != name || stage.blame.empty()) {
+        continue;
+      }
+      CrossCheckEntry entry;
+      entry.stage = stage.label;
+      entry.trace_verdict = stage.busiest();
+      entry.model_verdict = ResourceName(model.IdealTimes(i).bottleneck());
+      entry.agree = entry.trace_verdict == entry.model_verdict;
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+std::string TraceReport::ToString() const {
+  std::ostringstream out;
+  out << "Trace bottleneck report\n";
+  out << "=======================\n";
+  for (const StageTraceSummary& stage : stages_) {
+    out << "stage " << stage.label << "  [" << stage.start << "s .. " << stage.end
+        << "s, " << stage.duration() << "s]\n";
+    for (const auto& [category, blame] : stage.blame) {
+      out << "  " << category << ": busy " << blame.busy_seconds << "s over "
+          << blame.lanes << " lane(s), utilization "
+          << static_cast<int>(100.0 * blame.utilization + 0.5) << "% ("
+          << blame.span_count << " spans)\n";
+    }
+    for (const auto& [series, mean] : stage.mean_queue) {
+      out << "  queue " << series << ": mean length " << mean << "\n";
+    }
+    const std::string verdict = stage.busiest();
+    if (!verdict.empty()) {
+      out << "  => busiest resource: " << verdict << "\n";
+    }
+  }
+  if (untagged_busy_seconds_ > 0.0) {
+    out << "unattributed busy time (no stage tag, e.g. OS writeback): "
+        << untagged_busy_seconds_ << "s\n";
+  }
+  if (!audit_violations_.empty()) {
+    out << audit_violations_.size() << " audit violation instant(s) in trace\n";
+  }
+  return out.str();
+}
+
+}  // namespace monomodel

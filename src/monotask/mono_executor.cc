@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/tracer.h"
 #include "src/framework/stage_execution.h"
 #include "src/monotask/mono_multitask.h"
 
@@ -26,12 +28,15 @@ MonotasksExecutorSim::MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster,
     WorkerState& worker = workers_[static_cast<size_t>(m)];
     MachineSim& machine = cluster_->machine(m);
     worker.cpu = std::make_unique<CpuSchedulerSim>(sim_, &machine);
+    worker.cpu->SetTraceSeries(TraceProcess(m), "cpu-queue");
     for (int d = 0; d < machine.num_disks(); ++d) {
       const int outstanding = machine.disk(d).config().type == DiskType::kHdd
                                   ? config_.hdd_outstanding
                                   : config_.ssd_outstanding;
       worker.disks.push_back(std::make_unique<DiskSchedulerSim>(
           sim_, &machine.disk(d), outstanding, config_.fifo_disk_queues));
+      worker.disks.back()->SetTraceSeries(TraceProcess(m),
+                                          "disk" + std::to_string(d) + "-queue");
       if (config_.memory_pressure_threshold > 0) {
         WorkerState* state = &worker;
         const monoutil::Bytes threshold = config_.memory_pressure_threshold;
@@ -39,7 +44,9 @@ MonotasksExecutorSim::MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster,
             [state, threshold] { return state->buffered_bytes > threshold; });
       }
     }
-    worker.network = std::make_unique<NetworkSchedulerSim>(config_.network_multitask_limit);
+    worker.network =
+        std::make_unique<NetworkSchedulerSim>(config_.network_multitask_limit, sim_);
+    worker.network->SetTraceSeries(TraceProcess(m), "net-queue");
   }
   sim_->RegisterAuditable(this);
 }
@@ -162,6 +169,15 @@ void MonotasksExecutorSim::OnMultitaskComplete(MonoMultitaskSim* multitask) {
   const int machine = assignment.machine;
   StageExecution* stage = assignment.stage;
   const int task_index = assignment.task_index;
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->CompleteOnLane(TraceProcess(machine), "multitask",
+                           stage->spec().name + "/t" + std::to_string(task_index),
+                           "task", multitask->start_time(), sim_->now(),
+                           stage->trace_label());
+  }
+  static monotrace::MetricCounter* tasks_metric =
+      monotrace::MetricsRegistry::Global().Get("mono.multitasks_completed");
+  tasks_metric->Increment();
 
   WorkerState& worker = workers_[static_cast<size_t>(machine)];
   MONO_CHECK(worker.active_multitasks > 0);
@@ -219,11 +235,19 @@ void MonotasksExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
   WorkerState& worker = workers_[static_cast<size_t>(machine)];
   worker.buffered_bytes += bytes;
   peak_buffered_ = std::max(peak_buffered_, worker.buffered_bytes);
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
+                    static_cast<double>(worker.buffered_bytes));
+  }
 }
 
 void MonotasksExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
   WorkerState& worker = workers_[static_cast<size_t>(machine)];
   worker.buffered_bytes = std::max<monoutil::Bytes>(0, worker.buffered_bytes - bytes);
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
+                    static_cast<double>(worker.buffered_bytes));
+  }
 }
 
 }  // namespace monosim

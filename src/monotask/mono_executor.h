@@ -20,6 +20,7 @@
 #define MONOTASKS_SRC_MONOTASK_MONO_EXECUTOR_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +69,7 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
 
   void OnWorkAvailable() override;
   monoutil::Bytes peak_buffered_bytes() const override { return peak_buffered_; }
+  const char* trace_name() const override { return "mono"; }
 
   const MonoConfig& config() const { return config_; }
 
@@ -88,6 +90,11 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
 
   void AddBuffered(int machine, monoutil::Bytes bytes);
   void RemoveBuffered(int machine, monoutil::Bytes bytes);
+
+  // Trace process group for a machine's work under this executor.
+  std::string TraceProcess(int machine) const {
+    return "mono:m" + std::to_string(machine);
+  }
 
   // Enables queue-length tracing on every per-resource scheduler (§3.1: contention
   // is visible as queue length). Call before submitting jobs.

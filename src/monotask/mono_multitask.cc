@@ -1,9 +1,11 @@
 #include "src/monotask/mono_multitask.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/tracing/tracer.h"
 #include "src/framework/shuffle_layout.h"
 #include "src/framework/stage_execution.h"
 #include "src/monotask/mono_executor.h"
@@ -25,12 +27,23 @@ void RecordDiskService(monosim::MonotaskTimes* times, int machine, double servic
 
 MonoMultitaskSim::MonoMultitaskSim(MonotasksExecutorSim* executor,
                                    TaskAssignment assignment)
-    : executor_(executor), assignment_(std::move(assignment)) {
+    : executor_(executor), assignment_(std::move(assignment)),
+      start_time_(executor->sim_->now()) {
   const StageSpec& spec = assignment_.stage->spec();
   write_total_ = assignment_.shuffle_write_bytes + assignment_.output_bytes;
   const bool shuffle_in_memory =
       spec.output == OutputSink::kShuffle && spec.shuffle_to_memory;
   write_is_io_ = write_total_ > 0 && !shuffle_in_memory;
+}
+
+void MonoMultitaskSim::TraceSpan(int machine, const std::string& lane_base,
+                                 const char* name, const char* category,
+                                 monoutil::SimTime start) {
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->CompleteOnLane(executor_->TraceProcess(machine), lane_base, name,
+                           category, start, executor_->sim_->now(),
+                           assignment_.stage->trace_label());
+  }
 }
 
 void MonoMultitaskSim::Start() {
@@ -84,6 +97,10 @@ void MonoMultitaskSim::StartInputPhase() {
                          ++times.disk_count;
                          RecordDiskService(&times, assignment_.machine, service,
                                            assignment_.input_bytes);
+                         TraceSpan(assignment_.machine,
+                                   "disk" + std::to_string(assignment_.input_disk),
+                                   "disk-read", "disk",
+                                   executor_->sim_->now() - service);
                          OnInputPieceDone();
                        });
     } else {
@@ -101,6 +118,10 @@ void MonoMultitaskSim::StartInputPhase() {
                         ++times.disk_count;
                         RecordDiskService(&times, assignment_.input_machine, service,
                                           assignment_.input_bytes);
+                        TraceSpan(assignment_.input_machine,
+                                  "disk" + std::to_string(assignment_.input_disk),
+                                  "serve-read", "disk",
+                                  executor_->sim_->now() - service);
                         const SimTime flow_start = executor_->sim_->now();
                         fabric.StartFlow(assignment_.input_machine, assignment_.machine,
                                          assignment_.input_bytes,
@@ -108,6 +129,8 @@ void MonoMultitaskSim::StartInputPhase() {
                                            times.network_seconds +=
                                                executor_->sim_->now() - flow_start;
                                            ++times.network_count;
+                                           TraceSpan(assignment_.machine, "net-in",
+                                                     "block-flow", "network", flow_start);
                                            executor_->network_scheduler(assignment_.machine)
                                                .Release();
                                            network_slot_held_ = false;
@@ -145,10 +168,12 @@ void MonoMultitaskSim::StartInputPhase() {
       const int disk = executor_->PickServeDisk(assignment_.machine);
       executor_->disk_scheduler(assignment_.machine, disk)
           .EnqueueRead(DiskPhase::kRead, local_bytes,
-                       [this, &times, local_bytes](double service) {
+                       [this, &times, local_bytes, disk](double service) {
             times.disk_read_seconds += service;
             ++times.disk_count;
             RecordDiskService(&times, assignment_.machine, service, local_bytes);
+            TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
+                      "shuffle-read", "disk", executor_->sim_->now() - service);
             OnInputPieceDone();
           });
     } else {
@@ -188,6 +213,8 @@ void MonoMultitaskSim::StartInputPhase() {
                                        times.network_seconds +=
                                            executor_->sim_->now() - flow_start;
                                        ++times.network_count;
+                                       TraceSpan(assignment_.machine, "net-in",
+                                                 "shuffle-fetch", "network", flow_start);
                                        piece_done();
                                      });
                   };
@@ -195,11 +222,15 @@ void MonoMultitaskSim::StartInputPhase() {
                     const int disk = executor_->PickServeDisk(portion.src_machine);
                     executor_->disk_scheduler(portion.src_machine, disk)
                         .EnqueueRead(DiskPhase::kServe, portion.bytes,
-                                     [send_back, &times, portion](double service) {
+                                     [this, send_back, &times, portion, disk](double service) {
                                        times.disk_read_seconds += service;
                                        ++times.disk_count;
                                        RecordDiskService(&times, portion.src_machine,
                                                          service, portion.bytes);
+                                       TraceSpan(portion.src_machine,
+                                                 "disk" + std::to_string(disk),
+                                                 "serve-read", "disk",
+                                                 executor_->sim_->now() - service);
                                        send_back();
                                      });
                   } else {
@@ -226,6 +257,8 @@ void MonoMultitaskSim::StartComputePhase() {
         times.compute_deser_seconds += assignment_.deser_cpu_seconds;
         times.compute_decompress_seconds += assignment_.decompress_cpu_seconds;
         ++times.compute_count;
+        TraceSpan(assignment_.machine, "cpu", "compute", "cpu",
+                  executor_->sim_->now() - service);
         // Input buffers are released once compute has transformed them; the output
         // buffer exists until the write monotask retires it.
         executor_->RemoveBuffered(assignment_.machine, assignment_.input_bytes);
@@ -243,10 +276,12 @@ void MonoMultitaskSim::StartWritePhase() {
   auto& times = assignment_.stage->result().monotask_times;
   const int disk = executor_->PickWriteDisk(assignment_.machine);
   executor_->disk_scheduler(assignment_.machine, disk)
-      .EnqueueWrite(write_total_, [this, &times](double service) {
+      .EnqueueWrite(write_total_, [this, &times, disk](double service) {
         times.disk_write_seconds += service;
         ++times.disk_count;
         RecordDiskService(&times, assignment_.machine, service, write_total_);
+        TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
+                  "disk-write", "disk", executor_->sim_->now() - service);
         executor_->RemoveBuffered(assignment_.machine, write_total_);
         Finish();
       });

@@ -16,6 +16,8 @@
 #ifndef MONOTASKS_SRC_MONOTASK_MONO_MULTITASK_H_
 #define MONOTASKS_SRC_MONOTASK_MONO_MULTITASK_H_
 
+#include <string>
+
 #include "src/framework/task.h"
 
 namespace monosim {
@@ -34,6 +36,9 @@ class MonoMultitaskSim {
 
   const TaskAssignment& assignment() const { return assignment_; }
 
+  // When the multitask was dispatched (set at construction).
+  monoutil::SimTime start_time() const { return start_time_; }
+
  private:
   void StartInputPhase();
   void OnInputPieceDone();
@@ -41,8 +46,15 @@ class MonoMultitaskSim {
   void StartWritePhase();
   void Finish();
 
+  // Records a completed monotask span ending now on `machine`'s lane group
+  // `lane_base`, tagged with this multitask's stage label. One branch when
+  // tracing is off.
+  void TraceSpan(int machine, const std::string& lane_base, const char* name,
+                 const char* category, monoutil::SimTime start);
+
   MonotasksExecutorSim* executor_;
   TaskAssignment assignment_;
+  monoutil::SimTime start_time_ = 0.0;
 
   int pending_input_pieces_ = 0;
   bool network_slot_held_ = false;

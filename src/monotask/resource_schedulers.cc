@@ -110,7 +110,8 @@ void DiskSchedulerSim::Dispatch() {
   }
 }
 
-NetworkSchedulerSim::NetworkSchedulerSim(int multitask_limit) : limit_(multitask_limit) {
+NetworkSchedulerSim::NetworkSchedulerSim(int multitask_limit, Simulation* sim)
+    : limit_(multitask_limit), sim_(sim) {
   MONO_CHECK(multitask_limit >= 1);
 }
 
@@ -122,6 +123,7 @@ void NetworkSchedulerSim::Acquire(std::function<void()> granted) {
     return;
   }
   waiting_.push_back(std::move(granted));
+  RecordQueue();
 }
 
 void NetworkSchedulerSim::Release() {
@@ -129,6 +131,7 @@ void NetworkSchedulerSim::Release() {
   if (!waiting_.empty()) {
     auto granted = std::move(waiting_.front());
     waiting_.pop_front();
+    RecordQueue();
     granted();  // Slot transfers directly to the next waiter.
     return;
   }

@@ -20,9 +20,12 @@
 #include <array>
 #include <deque>
 #include <functional>
+#include <string>
+#include <utility>
 
 #include "src/cluster/disk.h"
 #include "src/cluster/machine.h"
+#include "src/common/tracing/tracer.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
 
@@ -51,6 +54,13 @@ class CpuSchedulerSim {
   void EnableQueueTrace() { queue_trace_.Record(sim_->now(), 0.0); trace_on_ = true; }
   const RateTrace& queue_trace() const { return queue_trace_; }
 
+  // Names the queue-length counter track this scheduler emits into the event
+  // tracer (§3.1's contention signal rendered in Perfetto).
+  void SetTraceSeries(std::string process, std::string series) {
+    trace_process_ = std::move(process);
+    trace_series_ = std::move(series);
+  }
+
  private:
   struct Item {
     double cpu_seconds;
@@ -61,9 +71,17 @@ class CpuSchedulerSim {
     if (trace_on_) {
       queue_trace_.Record(sim_->now(), static_cast<double>(queue_.size()));
     }
+    if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+      if (!trace_series_.empty()) {
+        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+                        static_cast<double>(queue_.size()));
+      }
+    }
   }
   bool trace_on_ = false;
   RateTrace queue_trace_;
+  std::string trace_process_;
+  std::string trace_series_;
 
   Simulation* sim_;
   MachineSim* machine_;
@@ -110,6 +128,12 @@ class DiskSchedulerSim {
   void EnableQueueTrace() { queue_trace_.Record(sim_->now(), 0.0); trace_on_ = true; }
   const RateTrace& queue_trace() const { return queue_trace_; }
 
+  // See CpuSchedulerSim::SetTraceSeries.
+  void SetTraceSeries(std::string process, std::string series) {
+    trace_process_ = std::move(process);
+    trace_series_ = std::move(series);
+  }
+
  private:
   struct Item {
     bool is_read;
@@ -121,9 +145,17 @@ class DiskSchedulerSim {
     if (trace_on_) {
       queue_trace_.Record(sim_->now(), static_cast<double>(queue_length()));
     }
+    if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+      if (!trace_series_.empty()) {
+        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+                        static_cast<double>(queue_length()));
+      }
+    }
   }
   bool trace_on_ = false;
   RateTrace queue_trace_;
+  std::string trace_process_;
+  std::string trace_series_;
 
   Simulation* sim_;
   DiskSim* disk_;
@@ -140,7 +172,9 @@ class DiskSchedulerSim {
 // utilization against pipelining with compute monotasks).
 class NetworkSchedulerSim {
  public:
-  explicit NetworkSchedulerSim(int multitask_limit);
+  // `sim` is only needed for queue-length trace timestamps; pass nullptr when the
+  // scheduler is used standalone (tests) and no counter track is named.
+  explicit NetworkSchedulerSim(int multitask_limit, Simulation* sim = nullptr);
 
   NetworkSchedulerSim(const NetworkSchedulerSim&) = delete;
   NetworkSchedulerSim& operator=(const NetworkSchedulerSim&) = delete;
@@ -154,10 +188,28 @@ class NetworkSchedulerSim {
   int queue_length() const { return static_cast<int>(waiting_.size()); }
   int max_concurrency() const { return limit_; }
 
+  // See CpuSchedulerSim::SetTraceSeries. Requires a non-null `sim`.
+  void SetTraceSeries(std::string process, std::string series) {
+    trace_process_ = std::move(process);
+    trace_series_ = std::move(series);
+  }
+
  private:
+  void RecordQueue() {
+    if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+      if (sim_ != nullptr && !trace_series_.empty()) {
+        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+                        static_cast<double>(waiting_.size()));
+      }
+    }
+  }
+
   int limit_;
+  Simulation* sim_;
   int active_ = 0;
   std::deque<std::function<void()>> waiting_;
+  std::string trace_process_;
+  std::string trace_series_;
 };
 
 }  // namespace monosim

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/tracer.h"
 #include "src/framework/stage_execution.h"
 #include "src/multitask/spark_task.h"
 
@@ -118,6 +120,17 @@ void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
   const int machine = assignment.machine;
   StageExecution* stage = assignment.stage;
   const int task_index = assignment.task_index;
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    // One span per multitask on the machine's slot lanes; spans start when the
+    // slot was claimed, so launch overhead is inside the span.
+    tracer->CompleteOnLane(TraceProcess(machine), "slot",
+                           stage->spec().name + "/t" + std::to_string(task_index),
+                           "task", task->start_time(), sim_->now(),
+                           stage->trace_label());
+  }
+  static monotrace::MetricCounter* tasks_metric =
+      monotrace::MetricsRegistry::Global().Get("spark.tasks_completed");
+  tasks_metric->Increment();
   MachineState& state = machines_[static_cast<size_t>(machine)];
   MONO_CHECK(state.busy_slots > 0);
   --state.busy_slots;
@@ -185,11 +198,19 @@ void SparkExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
   MachineState& state = machines_[static_cast<size_t>(machine)];
   state.buffered_bytes += bytes;
   peak_buffered_ = std::max(peak_buffered_, state.buffered_bytes);
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
+                    static_cast<double>(state.buffered_bytes));
+  }
 }
 
 void SparkExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
   MachineState& state = machines_[static_cast<size_t>(machine)];
   state.buffered_bytes = std::max<monoutil::Bytes>(0, state.buffered_bytes - bytes);
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
+                    static_cast<double>(state.buffered_bytes));
+  }
 }
 
 }  // namespace monosim

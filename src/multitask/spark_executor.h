@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,7 @@ class SparkExecutorSim : public ExecutorSim, public Auditable {
 
   void OnWorkAvailable() override;
   monoutil::Bytes peak_buffered_bytes() const override { return peak_buffered_; }
+  const char* trace_name() const override { return "spark"; }
 
   const SparkConfig& config() const { return config_; }
 
@@ -94,6 +96,10 @@ class SparkExecutorSim : public ExecutorSim, public Auditable {
   void ServeRead(int machine, monoutil::Bytes bytes, std::function<void()> done);
   void AddBuffered(int machine, monoutil::Bytes bytes);
   void RemoveBuffered(int machine, monoutil::Bytes bytes);
+  // Trace process group for a machine's work under this executor.
+  std::string TraceProcess(int machine) const {
+    return "spark:m" + std::to_string(machine);
+  }
   // Multiplicative factor applied to one chunk's CPU time (mean 1; see
   // chunk_cpu_jitter_cv).
   double ChunkCpuFactor();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/tracer.h"
 #include "src/framework/shuffle_layout.h"
 #include "src/framework/stage_execution.h"
 #include "src/multitask/spark_executor.h"
@@ -14,7 +15,9 @@ namespace monosim {
 using monoutil::Bytes;
 
 SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment)
-    : executor_(executor), assignment_(std::move(assignment)) {
+    : executor_(executor),
+      assignment_(std::move(assignment)),
+      start_time_(executor->sim_->now()) {
   const StageSpec& spec = assignment_.stage->spec();
   const Bytes chunk = executor_->config().chunk_bytes;
 
@@ -37,6 +40,16 @@ SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment
   chunk_cpu_seconds_ = assignment_.cpu_seconds / static_cast<double>(total_chunks_);
   chunk_write_bytes_ =
       static_cast<double>(write_total) / static_cast<double>(total_chunks_);
+}
+
+void SparkTaskSim::TraceChunkSpan(int machine, const std::string& lane_base,
+                                  const char* name, const char* category,
+                                  monoutil::SimTime start) {
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->CompleteOnLane(executor_->TraceProcess(machine), lane_base, name, category,
+                           start, executor_->sim_->now(),
+                           assignment_.stage->trace_label());
+  }
 }
 
 void SparkTaskSim::Start() {
@@ -126,10 +139,14 @@ void SparkTaskSim::IssueBlockRead() {
     ++reads_issued_;
     ++reads_in_flight_;
     const double bytes = chunk_input_bytes_;
+    const SimTime read_start = executor_->sim_->now();
     DiskSim& disk =
         executor_->cluster_->machine(assignment_.input_machine).disk(assignment_.input_disk);
     if (assignment_.input_local) {
-      disk.Read(static_cast<Bytes>(bytes), [this, bytes] {
+      disk.Read(static_cast<Bytes>(bytes), [this, bytes, read_start] {
+        TraceChunkSpan(assignment_.input_machine,
+                       "disk" + std::to_string(assignment_.input_disk), "block-read",
+                       "disk", read_start);
         --reads_in_flight_;
         if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
           reader_done_ = true;
@@ -138,10 +155,16 @@ void SparkTaskSim::IssueBlockRead() {
       });
     } else {
       // Remote block: disk read on the block's home machine, then a network flow.
-      disk.Read(static_cast<Bytes>(bytes), [this, bytes] {
+      disk.Read(static_cast<Bytes>(bytes), [this, bytes, read_start] {
+        TraceChunkSpan(assignment_.input_machine,
+                       "disk" + std::to_string(assignment_.input_disk), "block-read",
+                       "disk", read_start);
+        const SimTime flow_start = executor_->sim_->now();
         executor_->cluster_->fabric().StartFlow(
             assignment_.input_machine, assignment_.machine, static_cast<Bytes>(bytes),
-            [this, bytes] {
+            [this, bytes, flow_start] {
+              TraceChunkSpan(assignment_.machine, "net-in", "block-flow", "network",
+                             flow_start);
               --reads_in_flight_;
               if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
                 reader_done_ = true;
@@ -175,8 +198,13 @@ void SparkTaskSim::StartNextFetch() {
       if (serve_from_disk_) {
         usage.disk_read_bytes += portion.bytes;
         const int disk = executor_->PickServeDisk(assignment_.machine);
+        const SimTime read_start = executor_->sim_->now();
         executor_->cluster_->machine(assignment_.machine).disk(disk).Read(
-            portion.bytes, std::move(delivered));
+            portion.bytes, [this, disk, read_start, delivered = std::move(delivered)] {
+              TraceChunkSpan(assignment_.machine, "disk" + std::to_string(disk),
+                             "shuffle-read", "disk", read_start);
+              delivered();
+            });
       } else {
         executor_->sim_->ScheduleAfter(0.0, std::move(delivered));
       }
@@ -190,10 +218,22 @@ void SparkTaskSim::StartNextFetch() {
     // machine through the shuffle service's bounded I/O pool, then the bulk flow back.
     executor_->cluster_->fabric().SendControl(
         assignment_.machine, portion.src_machine, [this, portion, delivered] {
-          auto send = [this, portion, delivered] {
-            executor_->cluster_->fabric().StartFlow(portion.src_machine,
-                                                    assignment_.machine, portion.bytes,
-                                                    delivered);
+          // The serve-read span starts when the request reaches the serving
+          // machine, so shuffle-service queueing is visible inside it.
+          const SimTime serve_start = executor_->sim_->now();
+          auto send = [this, portion, delivered, serve_start] {
+            if (serve_from_disk_) {
+              TraceChunkSpan(portion.src_machine, "serve", "serve-read", "disk",
+                             serve_start);
+            }
+            const SimTime flow_start = executor_->sim_->now();
+            executor_->cluster_->fabric().StartFlow(
+                portion.src_machine, assignment_.machine, portion.bytes,
+                [this, delivered, flow_start] {
+                  TraceChunkSpan(assignment_.machine, "net-in", "shuffle-fetch",
+                                 "network", flow_start);
+                  delivered();
+                });
           };
           if (serve_from_disk_) {
             executor_->ServeRead(portion.src_machine, portion.bytes, std::move(send));
@@ -224,8 +264,14 @@ void SparkTaskSim::AdvanceCompute() {
     return;
   }
   compute_busy_ = true;
+  const SimTime compute_start = executor_->sim_->now();
   executor_->cluster_->machine(assignment_.machine)
-      .RunCompute(chunk_cpu_seconds_ * executor_->ChunkCpuFactor(), [this] {
+      .RunCompute(chunk_cpu_seconds_ * executor_->ChunkCpuFactor(),
+                  [this, compute_start] {
+        // Span covers submission to completion, so CPU-pool contention (which
+        // Spark cannot separate from compute) is inside it.
+        TraceChunkSpan(assignment_.machine, "compute", "chunk-compute", "cpu",
+                       compute_start);
         compute_busy_ = false;
         ++chunks_computed_;
         if (has_input_io_) {
@@ -247,7 +293,11 @@ void SparkTaskSim::AdvanceWriter() {
   writer_busy_ = true;
   const Bytes bytes = static_cast<Bytes>(chunk_write_bytes_);
   const int disk = executor_->PickWriteDisk(assignment_.machine);
-  auto done = [this] {
+  const SimTime write_start = executor_->sim_->now();
+  auto done = [this, write_start] {
+    // Category "cache", not "disk": the write completes into the buffer cache
+    // at memory speed; the disk work appears later as an untagged flush span.
+    TraceChunkSpan(assignment_.machine, "write", "chunk-write", "cache", write_start);
     writer_busy_ = false;
     ++chunks_written_;
     Pump();

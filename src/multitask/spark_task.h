@@ -15,6 +15,7 @@
 #define MONOTASKS_SRC_MULTITASK_SPARK_TASK_H_
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "src/framework/task.h"
@@ -35,6 +36,9 @@ class SparkTaskSim {
 
   const TaskAssignment& assignment() const { return assignment_; }
 
+  // When the task claimed its slot (set at construction, i.e. dispatch time).
+  monoutil::SimTime start_time() const { return start_time_; }
+
  private:
   // Pipeline drivers: each checks whether its lane can advance and issues the next
   // resource request if so. Called after every completion event.
@@ -51,8 +55,15 @@ class SparkTaskSim {
 
   int chunks_ready() const;
 
+  // Records a completed chunk-phase span ending now on `machine`'s lane group
+  // `lane_base`, tagged with this task's stage label. One branch when tracing
+  // is off.
+  void TraceChunkSpan(int machine, const std::string& lane_base, const char* name,
+                      const char* category, monoutil::SimTime start);
+
   SparkExecutorSim* executor_;
   TaskAssignment assignment_;
+  monoutil::SimTime start_time_ = 0.0;
 
   // Chunk geometry.
   int total_chunks_ = 1;

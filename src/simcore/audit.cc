@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/tracer.h"
 
 namespace monosim {
 
@@ -12,6 +13,11 @@ SimAudit* SimAudit::current_ = nullptr;
 
 void SimAudit::Report(monoutil::SimTime time, std::string source, std::string invariant,
                       std::string detail) {
+  // Land the violation on the trace timeline where it occurred, so a broken
+  // invariant can be eyeballed next to the spans that triggered it.
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    tracer->Instant("audit", source, invariant, time, detail);
+  }
   violations_.push_back(
       AuditViolation{time, std::move(source), std::move(invariant), std::move(detail)});
 }

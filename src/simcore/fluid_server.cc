@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/tracer.h"
 
 namespace monosim {
 namespace {
@@ -150,6 +151,10 @@ void FluidServer::Reschedule() {
     // point even when the total rate happens to come out unchanged (e.g. a cancel
     // under a constant-capacity server).
     rate_trace_.Record(last_update_, total_rate, /*force_point=*/true);
+  }
+  if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
+    const double denom = nominal_capacity_ > 0 ? nominal_capacity_ : 1.0;
+    tracer->Counter("devices", name_, last_update_, total_rate / denom);
   }
   // The states visible between events (where contention bugs live) can only be
   // checked here, not from the simulation's event-boundary sweep.

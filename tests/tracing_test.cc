@@ -1,0 +1,370 @@
+// Tests for the event-tracing subsystem: tracer JSON well-formedness, span
+// pairing and lane non-overlap, timestamp ordering, span-time conservation
+// against the executors' MonotaskTimes accounting, metrics, and the
+// tracer-off zero-allocation guarantee.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/tracer.h"
+#include "src/framework/environment.h"
+#include "src/model/monotasks_model.h"
+#include "src/model/trace_report.h"
+#include "src/monotask/mono_executor.h"
+#include "src/multitask/spark_executor.h"
+#include "src/simcore/audit.h"
+#include "src/workloads/clusters.h"
+#include "src/workloads/sort.h"
+
+// The zero-allocation test counts global operator new calls. Sanitizers
+// intercept the allocator themselves, so the replacement (and the test) are
+// compiled out under them.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MONO_TRACING_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MONO_TRACING_TEST_SANITIZED 1
+#endif
+#endif
+
+#ifndef MONO_TRACING_TEST_SANITIZED
+namespace {
+std::atomic<long>& AllocationCount() {
+  static std::atomic<long> count{0};
+  return count;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++AllocationCount();
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // MONO_TRACING_TEST_SANITIZED
+
+namespace {
+
+using monomodel::ParseChromeTrace;
+using monomodel::ParsedTrace;
+using monomodel::TraceReport;
+using monoutil::GiB;
+
+monoload::SortParams DiskBoundSort() {
+  monoload::SortParams params;
+  params.total_bytes = GiB(8);
+  params.values_per_key = 50;  // Disk-bound on 2-HDD workers.
+  params.num_map_tasks = 32;
+  params.num_reduce_tasks = 32;
+  return params;
+}
+
+// One traced reference run shared by the structural tests: the disk-bound sort
+// under both executors, recorded into a single trace (as MONO_TRACE would).
+struct TracedRun {
+  monosim::JobResult spark;
+  monosim::JobResult mono;
+  std::string json;
+  std::map<std::string, double> metrics;
+};
+
+const TracedRun& GetTracedRun() {
+  static const TracedRun* run = [] {
+    auto* r = new TracedRun();
+    monotrace::MetricsRegistry::Global().ResetForTest();
+    monotrace::ScopedTracer scoped;
+    const auto cluster = monoload::SmallHddClusterConfig();
+    {
+      monosim::SimEnvironment env(cluster);
+      env.cluster().EnableTrace();
+      monosim::SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), {});
+      env.AttachExecutor(&spark);
+      r->spark = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), DiskBoundSort()));
+    }
+    {
+      monosim::SimEnvironment env(cluster);
+      env.cluster().EnableTrace();
+      monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+      env.AttachExecutor(&mono);
+      r->mono = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), DiskBoundSort()));
+    }
+    r->json = scoped.tracer().ToJson();
+    r->metrics = monotrace::MetricsRegistry::Global().Snapshot();
+    return r;
+  }();
+  return *run;
+}
+
+const ParsedTrace& GetParsedRun() {
+  static const ParsedTrace* trace = new ParsedTrace(ParseChromeTrace(GetTracedRun().json));
+  return *trace;
+}
+
+TEST(TracerTest, RoundTripsSpansCountersAndInstants) {
+  monotrace::Tracer tracer;
+  const monotrace::TrackRef track = tracer.Track("proc", "row \"1\"\n");
+  tracer.BeginSpan(track, "outer", "job", 1.0);
+  tracer.BeginSpan(track, "inner", "stage", 1.5, "mono:map");
+  tracer.EndSpan(track, 2.0);
+  tracer.EndSpan(track, 3.0);
+  tracer.CompleteOnLane("proc", "cpu", "first", "cpu", 0.0, 1.0);
+  tracer.CompleteOnLane("proc", "cpu", "second", "cpu", 0.5, 1.5);  // Overlaps.
+  tracer.Counter("proc", "queue", 0.25, 3.0);
+  tracer.Instant("audit", "fluid", "weighted-share", 0.75, "observed 2 expected 1");
+
+  const ParsedTrace trace = ParseChromeTrace(tracer.ToJson());
+  ASSERT_TRUE(trace.ok()) << trace.errors.front();
+  EXPECT_TRUE(trace.timestamps_monotonic);
+  ASSERT_EQ(trace.spans.size(), 4u);
+  ASSERT_EQ(trace.counters.size(), 1u);
+  ASSERT_EQ(trace.instants.size(), 1u);
+
+  // The overlapping lane spans land on distinct rows.
+  std::string first_track;
+  std::string second_track;
+  for (const auto& span : trace.spans) {
+    if (span.name == "first") first_track = span.track;
+    if (span.name == "second") second_track = span.track;
+  }
+  EXPECT_EQ(first_track, "cpu#0");
+  EXPECT_EQ(second_track, "cpu#1");
+
+  // B/E pairs resolve with their names, stages, and the escaped track name.
+  bool found_inner = false;
+  for (const auto& span : trace.spans) {
+    if (span.name == "inner") {
+      found_inner = true;
+      EXPECT_EQ(span.stage, "mono:map");
+      EXPECT_EQ(span.track, "row \"1\"\n");
+      EXPECT_DOUBLE_EQ(span.start, 1.5);
+      EXPECT_DOUBLE_EQ(span.end, 2.0);
+    }
+  }
+  EXPECT_TRUE(found_inner);
+  EXPECT_DOUBLE_EQ(trace.counters[0].value, 3.0);
+  EXPECT_EQ(trace.instants[0].process, "audit");
+  EXPECT_EQ(trace.instants[0].detail, "observed 2 expected 1");
+}
+
+TEST(TracerTest, UnbalancedSpansAreParseErrors) {
+  monotrace::Tracer tracer;
+  const monotrace::TrackRef track = tracer.Track("proc", "row");
+  tracer.BeginSpan(track, "open-forever", "job", 1.0);
+  const ParsedTrace trace = ParseChromeTrace(tracer.ToJson());
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.errors.front().find("unclosed"), std::string::npos);
+}
+
+TEST(TracedSortTest, TraceIsWellFormedJson) {
+  const ParsedTrace& trace = GetParsedRun();
+  ASSERT_TRUE(trace.ok()) << trace.errors.front();
+  EXPECT_TRUE(trace.timestamps_monotonic);
+  EXPECT_GT(trace.spans.size(), 100u);
+  EXPECT_GT(trace.counters.size(), 100u);
+}
+
+TEST(TracedSortTest, LaneSpansNeverOverlapWithinATrack) {
+  const ParsedTrace& trace = GetParsedRun();
+  // Lane-allocated rows are named "<base>#<k>"; spans on one row must not
+  // overlap (that is the point of the lane allocator).
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<double, double>>>
+      by_track;
+  for (const auto& span : trace.spans) {
+    // Driver tracks hold deliberately-nested job/stage spans; every other
+    // '#'-suffixed track is a lane-allocator row.
+    if (span.process != "driver" && span.track.find('#') != std::string::npos) {
+      by_track[{span.process, span.track}].emplace_back(span.start, span.end);
+    }
+  }
+  EXPECT_GT(by_track.size(), 10u);
+  for (auto& [track, intervals] : by_track) {
+    std::sort(intervals.begin(), intervals.end());
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      // Abutting spans may share a lane; JSON stores microseconds to 3 decimal
+      // places, so allow the 1 ns of rounding that serialization can introduce.
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 2e-9)
+          << "overlap on " << track.first << "/" << track.second;
+    }
+  }
+}
+
+TEST(TracedSortTest, DriverSpansNestStagesInsideJobs) {
+  const ParsedTrace& trace = GetParsedRun();
+  std::vector<const monomodel::TraceSpan*> jobs;
+  std::vector<const monomodel::TraceSpan*> stages;
+  for (const auto& span : trace.spans) {
+    if (span.process != "driver") {
+      continue;
+    }
+    if (span.category == "job") {
+      jobs.push_back(&span);
+    } else if (span.category == "stage") {
+      stages.push_back(&span);
+    }
+  }
+  ASSERT_EQ(jobs.size(), 2u);    // One job per executor run.
+  ASSERT_EQ(stages.size(), 4u);  // Map + reduce, twice.
+  for (const auto* stage : stages) {
+    bool contained = false;
+    for (const auto* job : jobs) {
+      contained = contained || (stage->start >= job->start - 1e-9 &&
+                                stage->end <= job->end + 1e-9);
+    }
+    EXPECT_TRUE(contained) << "stage span " << stage->name
+                           << " not inside any job span";
+  }
+}
+
+TEST(TracedSortTest, MonotaskSpanDurationsMatchMonotaskTimes) {
+  const ParsedTrace& trace = GetParsedRun();
+  const TracedRun& run = GetTracedRun();
+  // Per mono stage: span seconds by category must reproduce the executor's
+  // MonotaskTimes accounting (same service intervals, independent plumbing).
+  for (const auto& stage : run.mono.stages) {
+    const std::string label = "mono:" + stage.name;
+    double cpu = 0.0;
+    double disk = 0.0;
+    double network = 0.0;
+    for (const auto& span : trace.spans) {
+      if (span.stage != label) {
+        continue;
+      }
+      if (span.category == "cpu") {
+        cpu += span.end - span.start;
+      } else if (span.category == "disk") {
+        disk += span.end - span.start;
+      } else if (span.category == "network") {
+        network += span.end - span.start;
+      }
+    }
+    const auto& times = stage.monotask_times;
+    EXPECT_NEAR(cpu, times.compute_seconds, 1e-3) << label;
+    EXPECT_NEAR(disk, times.disk_read_seconds + times.disk_write_seconds, 1e-3)
+        << label;
+    EXPECT_NEAR(network, times.network_seconds, 1e-3) << label;
+  }
+}
+
+TEST(TracedSortTest, QueueAndDeviceCountersArePresent) {
+  const ParsedTrace& trace = GetParsedRun();
+  std::set<std::pair<std::string, std::string>> series;
+  for (const auto& counter : trace.counters) {
+    series.insert({counter.process, counter.series});
+  }
+  // §3.1 scheduler queues (monotasks executor only).
+  EXPECT_TRUE(series.count({"mono:m0", "cpu-queue"}));
+  EXPECT_TRUE(series.count({"mono:m0", "disk0-queue"}));
+  EXPECT_TRUE(series.count({"mono:m0", "net-queue"}));
+  // Device utilization and cache dirty bytes.
+  EXPECT_TRUE(series.count({"devices", "machine0.disk0"}));
+  EXPECT_TRUE(series.count({"devices", "machine0.cpu"}));
+  EXPECT_TRUE(series.count({"devices", "machine0.nic-in"}));
+  EXPECT_TRUE(series.count({"os-cache", "machine0.dirty-bytes"}));
+  // Both executors report buffered bytes.
+  EXPECT_TRUE(series.count({"spark:m0", "buffered-bytes"}));
+  EXPECT_TRUE(series.count({"mono:m0", "buffered-bytes"}));
+}
+
+TEST(TracedSortTest, ReportBlamesDiskAndAgreesWithModel) {
+  const ParsedTrace& trace = GetParsedRun();
+  const TracedRun& run = GetTracedRun();
+  const TraceReport report = TraceReport::Build(trace);
+  ASSERT_EQ(report.stages().size(), 4u);
+
+  const auto* map_stage = report.FindStage("mono:" + run.mono.stages[0].name);
+  ASSERT_NE(map_stage, nullptr);
+  EXPECT_EQ(map_stage->busiest(), "disk");  // values_per_key=50 => disk-bound.
+  EXPECT_FALSE(map_stage->mean_queue.empty());
+
+  const monomodel::MonotasksModel model(
+      run.mono, monomodel::HardwareProfile::FromCluster(monoload::SmallHddClusterConfig()));
+  int mono_entries = 0;
+  for (const auto& entry : report.CrossCheckWithModel(model)) {
+    if (entry.stage.rfind("mono:", 0) != 0) {
+      continue;
+    }
+    ++mono_entries;
+    EXPECT_TRUE(entry.agree) << entry.stage << ": trace " << entry.trace_verdict
+                             << " vs model " << entry.model_verdict;
+  }
+  EXPECT_EQ(mono_entries, 2);
+
+  // The Spark run's writeback flushes are visible but unattributable (§2.2).
+  EXPECT_GT(report.untagged_busy_seconds(), 0.0);
+}
+
+TEST(TracedSortTest, MetricsCountCompletedWork) {
+  const TracedRun& run = GetTracedRun();
+  EXPECT_DOUBLE_EQ(run.metrics.at("spark.tasks_completed"), 64.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("mono.multitasks_completed"), 64.0);
+  EXPECT_GT(run.metrics.at("cache.bytes_flushed"), 0.0);
+}
+
+TEST(TracedSortTest, UtilizationMeasuredFlagTracksClusterTrace) {
+  const TracedRun& run = GetTracedRun();
+  EXPECT_TRUE(run.spark.stages[0].utilization.measured);
+  EXPECT_TRUE(run.mono.stages[0].utilization.measured);
+
+  // Without EnableTrace the utilization columns are all zero *because nothing
+  // measured them* — and the flag now says so.
+  monosim::SimEnvironment env(monoload::SmallHddClusterConfig());
+  monosim::SparkExecutorSim spark(&env.sim(), &env.cluster(), &env.pool(), {});
+  env.AttachExecutor(&spark);
+  monoload::SortParams params = DiskBoundSort();
+  params.total_bytes = GiB(1);
+  params.num_map_tasks = 8;
+  params.num_reduce_tasks = 8;
+  const auto result = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params));
+  EXPECT_FALSE(result.stages[0].utilization.measured);
+}
+
+TEST(TracingTest, AuditViolationsBecomeInstants) {
+  monotrace::ScopedTracer scoped;
+  monosim::ScopedAudit audit(monosim::ScopedAudit::kReport);
+  audit.audit().Report(1.5, "fluid:disk0", "weighted-share", "observed 2 expected 1");
+  const ParsedTrace trace = ParseChromeTrace(scoped.tracer().ToJson());
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.instants.size(), 1u);
+  EXPECT_EQ(trace.instants[0].process, "audit");
+  EXPECT_EQ(trace.instants[0].track, "fluid:disk0");
+  EXPECT_EQ(trace.instants[0].name, "weighted-share");
+
+  const TraceReport report = TraceReport::Build(trace);
+  ASSERT_EQ(report.audit_violations().size(), 1u);
+}
+
+#ifndef MONO_TRACING_TEST_SANITIZED
+TEST(TracingTest, DisabledTracerHookSitesDoNotAllocate) {
+  ASSERT_EQ(monotrace::Tracer::current(), nullptr)
+      << "unset MONO_TRACE when running the test suite";
+  monosim::SimEnvironment env(monoload::SmallHddClusterConfig());
+  monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
+  env.AttachExecutor(&mono);
+
+  const long before = AllocationCount().load();
+  for (int i = 0; i < 1000; ++i) {
+    // Instrumented hot paths: with no tracer installed each hook is one
+    // relaxed atomic load and a branch.
+    mono.AddBuffered(0, 64);
+    mono.RemoveBuffered(0, 64);
+  }
+  EXPECT_EQ(AllocationCount().load() - before, 0);
+}
+#endif  // MONO_TRACING_TEST_SANITIZED
+
+}  // namespace

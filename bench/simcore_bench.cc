@@ -1,0 +1,165 @@
+// Simcore/fabric microbenchmark: the perf baseline for the simulator's two hot
+// paths — the event queue (schedule/cancel/fire) and the network fabric's rate
+// recomputation. Emits BENCH_simcore.json so perf work is measured, not asserted.
+//
+// The cancel-churn scenarios run the same workload with tombstone compaction
+// disabled ("before": cancelled entries sit in the heap until their virtual time,
+// the behavior of the pre-compaction queue) and enabled ("after"), so the JSON
+// records events/sec before vs. after as a durable record of the change. The
+// fabric scenarios do the same for the legacy min-share model vs. the
+// work-conserving max-min fabric, pricing the fidelity fix.
+//
+// Usage: simcore_bench [output.json]   (default ./BENCH_simcore.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/network.h"
+#include "src/common/rng.h"
+#include "src/simcore/simulation.h"
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  uint64_t events;        // Simulation events fired (or churn ops, see ops_label).
+  double seconds;         // Wall-clock seconds.
+  double events_per_sec;  // events / seconds.
+  uint64_t max_queue;     // Peak live-plus-tombstone queue size observed.
+};
+
+double Elapsed(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Pure schedule+fire throughput with no cancellations: the floor every other
+// scenario pays on top of.
+Scenario BenchScheduleFire() {
+  constexpr int kEvents = 2000000;
+  monosim::Simulation sim;
+  const auto start = std::chrono::steady_clock::now();
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    sim.ScheduleAt(static_cast<double>(i % 9973), [&fired] { ++fired; });
+  }
+  sim.Run();
+  const double seconds = Elapsed(start);
+  return Scenario{"event_queue_schedule_fire", static_cast<uint64_t>(fired), seconds,
+                  fired / seconds, kEvents};
+}
+
+// The fabric's signature pattern: every recompute cancels a pending completion
+// and schedules a replacement, so almost every queue entry dies as a tombstone.
+// With compaction disabled this is the pre-compaction queue: tombstones for the
+// far-future horizon accumulate until the run ends.
+Scenario BenchCancelChurn(bool compaction, const char* name) {
+  constexpr int kChurn = 1000000;
+  monosim::Simulation sim;
+  sim.set_compaction_enabled(compaction);
+  monosim::EventHandle pending;
+  size_t max_queue = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kChurn; ++i) {
+    pending.Cancel();
+    pending = sim.ScheduleAt(1e9 + i, [] {});
+    if (sim.queue_size() > max_queue) {
+      max_queue = sim.queue_size();
+    }
+  }
+  pending.Cancel();
+  sim.Run();  // Drains whatever tombstones remain.
+  const double seconds = Elapsed(start);
+  return Scenario{name, static_cast<uint64_t>(kChurn), seconds, kChurn / seconds,
+                  static_cast<uint64_t>(max_queue)};
+}
+
+// Continuous flow churn through the fabric: every completion starts a replacement
+// flow, so rates are recomputed (and completion events rescheduled) constantly.
+// This is the shuffle inner loop of the figure benches.
+Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
+                          const char* name) {
+  constexpr int kMachines = 16;
+  constexpr int kLanes = 64;
+  constexpr int kFlowsPerLane = 400;
+  monosim::Simulation sim;
+  monosim::NetworkFabricSim fabric(&sim, kMachines, /*nic_bandwidth=*/1e8);
+  fabric.set_share_policy_for_test(policy);
+  monoutil::Rng rng(7);
+  size_t max_queue = 0;
+  int completed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::function<void(int)> launch = [&](int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    const int src = static_cast<int>(rng.NextBelow(kMachines));
+    int dst = static_cast<int>(rng.NextBelow(kMachines - 1));
+    if (dst >= src) {
+      ++dst;
+    }
+    const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(1 << 20));
+    fabric.StartFlow(src, dst, bytes, [&, remaining] {
+      ++completed;
+      if (sim.queue_size() > max_queue) {
+        max_queue = sim.queue_size();
+      }
+      launch(remaining - 1);
+    });
+  };
+  for (int lane = 0; lane < kLanes; ++lane) {
+    launch(kFlowsPerLane);
+  }
+  sim.Run();
+  const double seconds = Elapsed(start);
+  const auto events = sim.fired_events();
+  return Scenario{name, events, seconds, events / seconds,
+                  static_cast<uint64_t>(max_queue)};
+}
+
+void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"simcore\",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": %.4f, "
+                  "\"events_per_sec\": %.0f, \"max_queue\": %llu}%s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.events),
+                  s.seconds, s.events_per_sec,
+                  static_cast<unsigned long long>(s.max_queue),
+                  i + 1 < scenarios.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_simcore.json";
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(BenchScheduleFire());
+  scenarios.push_back(
+      BenchCancelChurn(/*compaction=*/false, "cancel_churn_before_compaction"));
+  scenarios.push_back(
+      BenchCancelChurn(/*compaction=*/true, "cancel_churn_after_compaction"));
+  scenarios.push_back(BenchFabricChurn(
+      monosim::NetworkFabricSim::SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare"));
+  scenarios.push_back(BenchFabricChurn(
+      monosim::NetworkFabricSim::SharePolicy::kMaxMinFair, "fabric_churn_maxmin"));
+  WriteJson(out_path, scenarios);
+  for (const Scenario& s : scenarios) {
+    std::cout << s.name << ": " << static_cast<uint64_t>(s.events_per_sec)
+              << " events/s (" << s.events << " events, max queue " << s.max_queue
+              << ")\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -43,11 +43,19 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   const char* source = "network-fabric";
   const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
 
+  // Per-NIC-side rate sums and maxima, reused below by the bandwidth checks and
+  // the max-min bottleneck certification.
+  const size_t machines = static_cast<size_t>(num_machines());
+  std::vector<double> ingress_sum(machines, 0.0), ingress_max(machines, 0.0);
+  std::vector<double> egress_sum(machines, 0.0), egress_max(machines, 0.0);
+
   size_t listed_ingress = 0;
+  size_t listed_egress = 0;
   for (int m = 0; m < num_machines(); ++m) {
     const auto& ingress = ingress_flows_[static_cast<size_t>(m)];
     const auto& egress = egress_flows_[static_cast<size_t>(m)];
     listed_ingress += ingress.size();
+    listed_egress += egress.size();
     audit.ExpectLazy(ingress_count_[static_cast<size_t>(m)] ==
                              static_cast<int>(ingress.size()) &&
                          egress_count_[static_cast<size_t>(m)] ==
@@ -60,32 +68,32 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
                          << egress.size() << ")";
                        return d.str();
                      });
-    double ingress_rate = 0.0;
     for (const Flow* flow : ingress) {
-      ingress_rate += flow->rate;
+      ingress_sum[static_cast<size_t>(m)] += flow->rate;
+      ingress_max[static_cast<size_t>(m)] = std::max(ingress_max[static_cast<size_t>(m)], flow->rate);
       audit.ExpectLazy(flow->rate >= 0.0, now, source, "flow-rate-non-negative", [&] {
         std::ostringstream d;
         d << "flow " << flow->id << " has rate " << flow->rate;
         return d.str();
       });
     }
-    double egress_rate = 0.0;
     for (const Flow* flow : egress) {
-      egress_rate += flow->rate;
+      egress_sum[static_cast<size_t>(m)] += flow->rate;
+      egress_max[static_cast<size_t>(m)] = std::max(egress_max[static_cast<size_t>(m)], flow->rate);
     }
     // Each NIC is full duplex: the flows it carries in each direction cannot
     // together exceed its bandwidth.
-    audit.ExpectLazy(ingress_rate <= nic_bandwidth_ + eps, now, source,
+    audit.ExpectLazy(ingress_sum[static_cast<size_t>(m)] <= nic_bandwidth_ + eps, now, source,
                      "ingress-within-bandwidth", [&] {
                        std::ostringstream d;
-                       d << "machine " << m << " ingress rate " << ingress_rate
+                       d << "machine " << m << " ingress rate " << ingress_sum[static_cast<size_t>(m)]
                          << " exceeds NIC bandwidth " << nic_bandwidth_;
                        return d.str();
                      });
-    audit.ExpectLazy(egress_rate <= nic_bandwidth_ + eps, now, source,
+    audit.ExpectLazy(egress_sum[static_cast<size_t>(m)] <= nic_bandwidth_ + eps, now, source,
                      "egress-within-bandwidth", [&] {
                        std::ostringstream d;
-                       d << "machine " << m << " egress rate " << egress_rate
+                       d << "machine " << m << " egress rate " << egress_sum[static_cast<size_t>(m)]
                          << " exceeds NIC bandwidth " << nic_bandwidth_;
                        return d.str();
                      });
@@ -96,6 +104,37 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
       << flows_.size();
     return d.str();
   });
+  audit.ExpectLazy(listed_egress == flows_.size(), now, source, "flow-registry-egress", [&] {
+    std::ostringstream d;
+    d << "per-machine egress lists hold " << listed_egress << " flows, registry holds "
+      << flows_.size();
+    return d.str();
+  });
+
+  // Max-min certification: an allocation is max-min fair iff every flow crosses at
+  // least one saturated NIC side on which it has a maximal share. This bounds the
+  // rates from *below* — the bandwidth checks above only bound them from above, so
+  // a work-conservation bug (stranded capacity) passes them silently.
+  for (const auto& [id, flow] : flows_) {
+    const size_t src = static_cast<size_t>(flow->src);
+    const size_t dst = static_cast<size_t>(flow->dst);
+    const bool egress_bottleneck = egress_sum[src] >= nic_bandwidth_ - eps &&
+                                   flow->rate >= egress_max[src] - eps;
+    const bool ingress_bottleneck = ingress_sum[dst] >= nic_bandwidth_ - eps &&
+                                    flow->rate >= ingress_max[dst] - eps;
+    audit.ExpectLazy(egress_bottleneck || ingress_bottleneck, now, source,
+                     "max-min-bottleneck", [&, id = id] {
+                       std::ostringstream d;
+                       d << "flow " << id << " (" << flow->src << "->" << flow->dst
+                         << ") rate " << flow->rate
+                         << " is not bottlenecked at a saturated NIC (egress sum "
+                         << egress_sum[src] << " max " << egress_max[src]
+                         << ", ingress sum " << ingress_sum[dst] << " max "
+                         << ingress_max[dst] << ", bandwidth " << nic_bandwidth_
+                         << "): capacity is stranded";
+                       return d.str();
+                     });
+  }
 
   if (phase == AuditPhase::kDrain) {
     audit.ExpectLazy(flows_.empty(), now, source, "drained", [&] {
@@ -106,7 +145,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   }
 }
 
-double NetworkFabricSim::ShareFor(const Flow& flow) const {
+double NetworkFabricSim::LegacyMinShare(const Flow& flow) const {
   const double egress_share =
       nic_bandwidth_ / static_cast<double>(egress_count_[static_cast<size_t>(flow.src)]);
   const double ingress_share =
@@ -139,7 +178,7 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil:
   ingress_flows_[static_cast<size_t>(dst)].push_back(raw);
   total_bytes_ += bytes;
 
-  RecomputeAround(src, dst);
+  RecomputeAffected(src, dst);
   return id;
 }
 
@@ -149,7 +188,117 @@ void NetworkFabricSim::SendControl(int src, int dst, std::function<void()> deliv
   sim_->ScheduleAfter(request_latency_, std::move(deliver));
 }
 
-void NetworkFabricSim::UpdateFlowRate(Flow* flow) {
+std::vector<NetworkFabricSim::Flow*> NetworkFabricSim::CollectComponent(int src, int dst) {
+  ++visit_epoch_;
+  std::vector<Flow*> component;
+  // NIC sides encoded 2m (egress of machine m) / 2m+1 (ingress of m). A flow links
+  // its source's egress side to its destination's ingress side; the component is
+  // the transitive closure over those links.
+  std::vector<char> side_seen(static_cast<size_t>(2 * num_machines()), 0);
+  std::vector<int> pending_sides;
+  auto push_side = [&](int key) {
+    if (!side_seen[static_cast<size_t>(key)]) {
+      side_seen[static_cast<size_t>(key)] = 1;
+      pending_sides.push_back(key);
+    }
+  };
+  push_side(2 * src);
+  push_side(2 * dst + 1);
+  while (!pending_sides.empty()) {
+    const int key = pending_sides.back();
+    pending_sides.pop_back();
+    const auto& list = (key % 2 == 0) ? egress_flows_[static_cast<size_t>(key / 2)]
+                                      : ingress_flows_[static_cast<size_t>(key / 2)];
+    for (Flow* flow : list) {
+      if (flow->visit_epoch == visit_epoch_) {
+        continue;
+      }
+      flow->visit_epoch = visit_epoch_;
+      component.push_back(flow);
+      push_side(2 * flow->src);
+      push_side(2 * flow->dst + 1);
+    }
+  }
+  return component;
+}
+
+void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
+                                   std::vector<double>* new_rates) const {
+  const size_t n = component.size();
+  new_rates->assign(n, 0.0);
+  if (n == 0) {
+    return;
+  }
+  // Dense table of just the NIC sides this component touches. Progressive filling:
+  // raise all unfrozen flows' common level until the most-constrained side
+  // saturates, freeze that side's flows at the level reached, redistribute the
+  // rest. Every round saturates at least one side, so it terminates in at most
+  // #sides rounds.
+  struct Side {
+    double residual;
+    int unfrozen;
+  };
+  std::vector<Side> sides;
+  std::unordered_map<int, int> slot_of;
+  std::vector<int> egress_slot(n), ingress_slot(n);
+  auto slot = [&](int key) {
+    auto [it, inserted] = slot_of.emplace(key, static_cast<int>(sides.size()));
+    if (inserted) {
+      sides.push_back(Side{nic_bandwidth_, 0});
+    }
+    return it->second;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    egress_slot[i] = slot(2 * component[i]->src);
+    ingress_slot[i] = slot(2 * component[i]->dst + 1);
+    ++sides[static_cast<size_t>(egress_slot[i])].unfrozen;
+    ++sides[static_cast<size_t>(ingress_slot[i])].unfrozen;
+  }
+
+  const double eps = 1e-12 * nic_bandwidth_;
+  std::vector<char> frozen(n, 0);
+  size_t remaining = n;
+  double level = 0.0;
+  while (remaining > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const Side& side : sides) {
+      if (side.unfrozen > 0) {
+        delta = std::min(delta, side.residual / side.unfrozen);
+      }
+    }
+    MONO_CHECK_MSG(std::isfinite(delta) && delta > 0.0, "progressive filling stalled");
+    level += delta;
+    for (Side& side : sides) {
+      if (side.unfrozen > 0) {
+        side.residual -= delta * side.unfrozen;
+      }
+    }
+    size_t froze = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      if (sides[static_cast<size_t>(egress_slot[i])].residual <= eps ||
+          sides[static_cast<size_t>(ingress_slot[i])].residual <= eps) {
+        frozen[i] = 1;
+        (*new_rates)[i] = level;
+        --sides[static_cast<size_t>(egress_slot[i])].unfrozen;
+        --sides[static_cast<size_t>(ingress_slot[i])].unfrozen;
+        ++froze;
+      }
+    }
+    MONO_CHECK_MSG(froze > 0, "progressive filling made no progress");
+    remaining -= froze;
+  }
+}
+
+void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
+  MONO_CHECK(new_rate > 0);
+  if (new_rate == flow->rate && flow->completion.pending()) {
+    // Unchanged rate: progress stays linear and the pending completion event is
+    // still exact, so leave the flow untouched (no event-queue churn).
+    return;
+  }
   // Advance progress under the old rate, then apply the new share.
   const SimTime now = sim_->now();
   const double dt = now - flow->last_update;
@@ -157,31 +306,33 @@ void NetworkFabricSim::UpdateFlowRate(Flow* flow) {
     flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
   }
   flow->last_update = now;
-  flow->rate = ShareFor(*flow);
+  flow->rate = new_rate;
 
   flow->completion.Cancel();
-  MONO_CHECK(flow->rate > 0);
   const SimTime finish_in = flow->remaining / flow->rate;
   const FlowId id = flow->id;
   flow->completion = sim_->ScheduleAfter(finish_in, [this, id] { OnFlowComplete(id); });
 }
 
-void NetworkFabricSim::RecomputeAround(int src, int dst) {
-  // Flows touching either endpoint may have a new share. Collect unique flows (a flow
-  // can appear in both lists) and the machines whose ingress rate changes.
-  std::vector<Flow*> affected;
-  for (Flow* flow : egress_flows_[static_cast<size_t>(src)]) {
-    affected.push_back(flow);
-  }
-  for (Flow* flow : ingress_flows_[static_cast<size_t>(dst)]) {
-    if (flow->src != src) {
-      affected.push_back(flow);
+void NetworkFabricSim::RecomputeAffected(int src, int dst) {
+  // Rates can only change inside the connected component(s) of the flow-sharing
+  // graph that touch the changed endpoints; everything else keeps its allocation.
+  std::vector<Flow*> component = CollectComponent(src, dst);
+  if (share_policy_ == SharePolicy::kMinShareLegacy) {
+    for (Flow* flow : component) {
+      ApplyRate(flow, LegacyMinShare(*flow));
+    }
+  } else {
+    std::vector<double> rates;
+    SolveMaxMin(component, &rates);
+    for (size_t i = 0; i < component.size(); ++i) {
+      ApplyRate(component[i], rates[i]);
     }
   }
+
   std::vector<int> touched_ingress;
   touched_ingress.push_back(dst);  // Record even when the last flow just departed.
-  for (Flow* flow : affected) {
-    UpdateFlowRate(flow);
+  for (const Flow* flow : component) {
     touched_ingress.push_back(flow->dst);
   }
   if (trace_enabled_) {
@@ -196,6 +347,11 @@ void NetworkFabricSim::RecomputeAround(int src, int dst) {
       tracer->Counter("devices", "machine" + std::to_string(machine) + ".nic-in",
                       sim_->now(), total / nic_bandwidth_);
     }
+  }
+  // The allocations visible between events (where stranded-capacity bugs live)
+  // can only be checked here, not from the simulation's event-boundary sweep.
+  if (SimAudit* audit = SimAudit::current()) {
+    AuditInvariants(*audit, AuditPhase::kEventBoundary);
   }
 }
 
@@ -225,7 +381,7 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
   --ingress_count_[static_cast<size_t>(dst)];
   flows_.erase(it);
 
-  RecomputeAround(src, dst);
+  RecomputeAffected(src, dst);
   static monotrace::MetricCounter* flows_metric =
       monotrace::MetricsRegistry::Global().Get("fabric.flows_completed");
   flows_metric->Increment();
@@ -240,6 +396,23 @@ int NetworkFabricSim::ingress_flows(int machine) const {
 int NetworkFabricSim::egress_flows(int machine) const {
   MONO_CHECK(machine >= 0 && machine < num_machines());
   return egress_count_[static_cast<size_t>(machine)];
+}
+
+double NetworkFabricSim::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  MONO_CHECK_MSG(it != flows_.end(), "flow_rate: unknown or completed flow");
+  return it->second->rate;
+}
+
+std::vector<NetworkFabricSim::FlowInfo> NetworkFabricSim::ActiveFlows() const {
+  std::vector<FlowInfo> infos;
+  infos.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    infos.push_back(FlowInfo{id, flow->src, flow->dst, flow->rate});
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const FlowInfo& a, const FlowInfo& b) { return a.id < b.id; });
+  return infos;
 }
 
 void NetworkFabricSim::EnableTrace() {

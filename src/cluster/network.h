@@ -1,12 +1,28 @@
 // NetworkFabricSim: a full-bisection fabric connecting the machines' NICs.
 //
-// Each machine has a full-duplex NIC; a flow from src to dst receives
-// min(egress share at src, ingress share at dst), with each NIC splitting its
-// bandwidth equally among the flows it carries. This equal-split model is exact for
-// the symmetric all-to-all shuffles the paper's network-heavy workloads produce, and
-// errs (conservatively) toward under-utilization in asymmetric cases; it avoids the
-// cost of full max-min water-filling while preserving the receiver-side bottleneck
-// behaviour that the monotasks network scheduler is designed around (§3.3).
+// Each machine has a full-duplex NIC whose ingress and egress sides are separate
+// bandwidth constraints. Flow rates are the max-min fair allocation over those
+// constraints, computed by progressive filling (water-filling): all flows' rates
+// rise together until some NIC side saturates, the flows crossing it freeze at
+// their fair share, and the remaining flows keep rising through the residual
+// capacity until every flow is bottlenecked at some saturated NIC. The allocation
+// is therefore work-conserving: capacity one flow cannot use (because it is
+// bottlenecked elsewhere) is redistributed to the flows that can.
+//
+// The previous model gave each flow min(egress share at src, ingress share at dst)
+// with each NIC splitting equally among the flows it carries. That is exact for
+// symmetric all-to-all shuffles but strands capacity under asymmetric fan-in/out —
+// with flows m0→m1, m0→m1, m0→m2, m4→m2 it gave the fourth flow bw/2 where max-min
+// gives 2bw/3 — distorting exactly the asymmetric shuffle-fetch patterns that
+// distinguish Spark's many-concurrent-fetch behaviour from the monotasks
+// receiver-driven scheduler (§3.4). It is kept, test-only, as
+// SharePolicy::kMinShareLegacy so the audit layer can demonstrate catching it.
+//
+// Rates are recomputed when a flow starts or completes, over the affected closure:
+// every flow transitively sharing a NIC side with the changed endpoints (rates
+// outside that connected component cannot change). Each recompute cancels and
+// reschedules completion events, which the Simulation's tombstone compaction keeps
+// cheap.
 #ifndef MONOTASKS_SRC_CLUSTER_NETWORK_H_
 #define MONOTASKS_SRC_CLUSTER_NETWORK_H_
 
@@ -35,6 +51,16 @@ class NetworkFabricSim : public Auditable {
 
   using FlowId = uint64_t;
 
+  // How NIC bandwidth is divided among flows. kMaxMinFair is the model;
+  // kMinShareLegacy reinstates the historical min-of-equal-shares shortcut (which
+  // strands capacity under asymmetric fan-in) so tests can demonstrate that the
+  // max-min-bottleneck audit detects it.
+  enum class SharePolicy {
+    kMaxMinFair,
+    kMinShareLegacy,
+  };
+  void set_share_policy_for_test(SharePolicy policy) { share_policy_ = policy; }
+
   // Starts a bulk data flow of `bytes` from machine `src` to machine `dst` (src !=
   // dst); `done` fires when the last byte arrives.
   FlowId StartFlow(int src, int dst, monoutil::Bytes bytes, std::function<void()> done);
@@ -50,6 +76,19 @@ class NetworkFabricSim : public Auditable {
   int ingress_flows(int machine) const;
   int egress_flows(int machine) const;
 
+  // Current rate of an active flow (bytes/second).
+  double flow_rate(FlowId id) const;
+
+  // Snapshot of the active flow set, for the property tests that compare the
+  // incremental allocation against a reference max-min solver.
+  struct FlowInfo {
+    FlowId id;
+    int src;
+    int dst;
+    double rate;
+  };
+  std::vector<FlowInfo> ActiveFlows() const;
+
   monoutil::Bytes total_bytes_transferred() const { return total_bytes_; }
 
   // Per-machine ingress rate trace (enabled for all machines by EnableTrace).
@@ -58,8 +97,10 @@ class NetworkFabricSim : public Auditable {
   double MeanIngressUtilization(int machine, SimTime from, SimTime to) const;
 
   // Invariant auditing (audit.h): flow counts consistent with the per-machine flow
-  // lists, per-NIC ingress/egress rate sums within the NIC bandwidth, flow rates
-  // non-negative, and no flows left when the simulation drains.
+  // lists (both directions), per-NIC ingress/egress rate sums within the NIC
+  // bandwidth, flow rates non-negative, every flow's rate certified max-min fair
+  // (it touches at least one saturated NIC side where no flow has a larger share),
+  // and no flows left when the simulation drains.
   void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
@@ -72,14 +113,28 @@ class NetworkFabricSim : public Auditable {
     SimTime last_update;
     std::function<void()> done;
     EventHandle completion;
+    uint64_t visit_epoch = 0;  // Closure-collection stamp (RecomputeAffected).
   };
 
-  // Re-derives the rate of every flow touching `src` or `dst` (after a flow set
-  // change at those machines), updating progress and completion events.
-  void RecomputeAround(int src, int dst);
-  void UpdateFlowRate(Flow* flow);
+  // Re-derives the rate of every flow in the connected component(s) of the
+  // flow-sharing graph touching `src`'s egress or `dst`'s ingress side (after a
+  // flow set change at those machines), updating progress and completion events.
+  void RecomputeAffected(int src, int dst);
+
+  // All flows transitively sharing a NIC side with the two seed sides.
+  std::vector<Flow*> CollectComponent(int src, int dst);
+
+  // Progressive-filling max-min rates for `component`, written into `new_rates`
+  // (parallel to `component`).
+  void SolveMaxMin(const std::vector<Flow*>& component, std::vector<double>* new_rates) const;
+
+  // Advances `flow`'s progress under its old rate, then installs `new_rate` and
+  // reschedules its completion event. Skips flows whose rate is unchanged, so
+  // symmetric recomputes do not churn the event queue.
+  void ApplyRate(Flow* flow, double new_rate);
+
   void OnFlowComplete(FlowId id);
-  double ShareFor(const Flow& flow) const;
+  double LegacyMinShare(const Flow& flow) const;
   void RecordIngressRates(const std::vector<int>& machines);
 
   Simulation* sim_;
@@ -93,6 +148,8 @@ class NetworkFabricSim : public Auditable {
   std::vector<std::vector<Flow*>> egress_flows_;
   FlowId next_id_ = 1;
   monoutil::Bytes total_bytes_ = 0;
+  SharePolicy share_policy_ = SharePolicy::kMaxMinFair;
+  uint64_t visit_epoch_ = 0;
 
   bool trace_enabled_ = false;
   std::vector<RateTrace> ingress_traces_;

@@ -117,6 +117,10 @@ StageIdealTimes MonotasksModel::IdealTimes(int stage, const HardwareProfile& har
   ideal.cpu = cpu_seconds / static_cast<double>(hardware.total_cores());
   ideal.disk = static_cast<double>(read_bytes + input.disk_write_bytes) /
                hardware.total_disk_bandwidth();
+  // Independent of how the fabric shares bandwidth between flows: max-min fair
+  // sharing (work-conserving) moves simulated shuffles *toward* this bound,
+  // whereas the old min-of-shares model could strand NIC capacity and sit
+  // arbitrarily above it on asymmetric fan-in.
   ideal.network =
       static_cast<double>(input.network_bytes) / hardware.total_nic_bandwidth();
   return ideal;

@@ -13,7 +13,11 @@
 //                       total_dirty == Σ per-disk dirty), sync-waiter thresholds
 //                       ascending, no blocked writers or waiters left at drain;
 //   * NetworkFabricSim— per-NIC ingress/egress rate sums within bandwidth, flow
-//                       bookkeeping consistent, no flows left at drain;
+//                       bookkeeping consistent (both ingress and egress lists
+//                       reconciled against the registry), every flow bottlenecked
+//                       at a saturated NIC side where its share is maximal (the
+//                       max-min certification — bounds rates from below, so
+//                       stranded capacity is caught), no flows left at drain;
 //   * executors       — in-flight task bookkeeping consistent, queues empty and no
 //                       running multitasks when the simulation drains;
 //   * Simulation      — clock monotonicity across fired events.

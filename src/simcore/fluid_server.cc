@@ -71,8 +71,12 @@ void FluidServer::AdvanceProgress() {
   const double dt = now - last_update_;
   if (dt > 0) {
     for (auto& req : active_) {
-      const double served = req.rate * dt;
-      req.remaining = std::max(0.0, req.remaining - served);
+      // Clamp exactly as total_served() does for its between-events extrapolation:
+      // a completion event can fire a rounding error past a request's finish time,
+      // and crediting the overshoot would let served_ drift past the
+      // served-conservation bound over long runs.
+      const double served = std::min(req.remaining, req.rate * dt);
+      req.remaining -= served;
       served_ += served;
     }
   }

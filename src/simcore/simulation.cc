@@ -10,9 +10,12 @@
 namespace monosim {
 
 void EventHandle::Cancel() {
-  if (record_ != nullptr && !record_->fired) {
+  if (record_ != nullptr && !record_->fired && !record_->cancelled) {
     record_->cancelled = true;
     record_->fn = nullptr;  // Release captured state promptly.
+    if (record_->queued_tombstones != nullptr) {
+      ++*record_->queued_tombstones;
+    }
   }
 }
 
@@ -25,7 +28,10 @@ EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
   MONO_CHECK(fn != nullptr);
   auto record = std::make_shared<EventHandle::Record>();
   record->fn = std::move(fn);
-  queue_.push(QueueEntry{when, next_seq_++, record});
+  record->queued_tombstones = tombstones_;
+  queue_.push_back(QueueEntry{when, next_seq_++, record});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  MaybeCompact();
   return EventHandle(std::move(record));
 }
 
@@ -34,10 +40,32 @@ EventHandle Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+Simulation::QueueEntry Simulation::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  QueueEntry entry = std::move(queue_.back());
+  queue_.pop_back();
+  if (entry.record->cancelled) {
+    MONO_CHECK(*tombstones_ > 0);
+    --*tombstones_;
+  }
+  return entry;
+}
+
+void Simulation::MaybeCompact() {
+  if (!compaction_enabled_ || queue_.size() < kCompactionMinQueueSize ||
+      *tombstones_ * 2 <= queue_.size()) {
+    return;
+  }
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [](const QueueEntry& e) { return e.record->cancelled; }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  *tombstones_ = 0;
+}
+
 bool Simulation::Step() {
   while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
+    QueueEntry entry = PopTop();
     if (entry.record->cancelled) {
       continue;
     }
@@ -72,10 +100,12 @@ void Simulation::Run() {
 void Simulation::RunUntil(SimTime deadline) {
   MONO_CHECK(deadline >= now_);
   while (!queue_.empty()) {
-    // Peek past cancelled entries without firing live ones beyond the deadline.
-    const QueueEntry& top = queue_.top();
+    // Discard tombstones regardless of their virtual time — a remainder of
+    // cancelled entries past the deadline must still count as drained — but never
+    // fire a live event beyond the deadline.
+    const QueueEntry& top = queue_.front();
     if (top.record->cancelled) {
-      queue_.pop();
+      PopTop();
       continue;
     }
     if (top.when > deadline) {
@@ -83,10 +113,10 @@ void Simulation::RunUntil(SimTime deadline) {
     }
     Step();
   }
+  now_ = deadline;
   if (queue_.empty()) {
     RunAuditChecks(AuditPhase::kDrain);
   }
-  now_ = deadline;
 }
 
 void Simulation::RegisterAuditable(const Auditable* auditable) {

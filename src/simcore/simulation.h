@@ -4,13 +4,22 @@
 // at absolute virtual times; ties are broken by insertion order so runs are fully
 // deterministic. Everything in the cluster simulator (devices, schedulers, tasks) is
 // driven by this kernel — no wall-clock time or threads are involved.
+//
+// Cancellation is lazy: Cancel() marks the queued record as a tombstone, which is
+// discarded when it reaches the front of the queue. Cancel-heavy components (the
+// network fabric cancels and reschedules a completion event on every rate change)
+// would otherwise grow the queue with dead entries whose virtual times lie far in
+// the future, so the queue compacts itself — dropping all tombstones and
+// re-heapifying — whenever tombstones outnumber live events (and the queue is big
+// enough for the rebuild to pay off). This bounds the queue to at most twice the
+// live event count plus a constant.
 #ifndef MONOTASKS_SRC_SIMCORE_SIMULATION_H_
 #define MONOTASKS_SRC_SIMCORE_SIMULATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/units.h"
@@ -40,6 +49,9 @@ class EventHandle {
     std::function<void()> fn;
     bool cancelled = false;
     bool fired = false;
+    // Counts tombstones still sitting in the owning Simulation's queue; shared so
+    // Cancel() stays safe even if the handle outlives the Simulation.
+    std::shared_ptr<uint64_t> queued_tombstones;
   };
   explicit EventHandle(std::shared_ptr<Record> record) : record_(std::move(record)) {}
   std::shared_ptr<Record> record_;
@@ -64,8 +76,10 @@ class Simulation {
   // Runs until the event queue is empty.
   void Run();
 
-  // Runs until the queue is empty or the next event lies beyond `deadline`; the clock
-  // is advanced to `deadline` if the run was cut short.
+  // Runs until the queue is empty or the next *live* event lies beyond `deadline`;
+  // the clock is advanced to `deadline` if the run was cut short. A remainder made
+  // up entirely of cancelled tombstones counts as drained (the drain-phase audit
+  // checks run), exactly as if the queue were empty.
   void RunUntil(SimTime deadline);
 
   // Fires at most one event (skipping cancelled ones). Returns false when empty.
@@ -73,6 +87,18 @@ class Simulation {
 
   // Number of (non-cancelled) events fired so far.
   uint64_t fired_events() const { return fired_; }
+
+  // Queue introspection (tests, benches): total entries including tombstones, and
+  // the tombstones among them. queue_size() - queued_tombstones() is the live count.
+  size_t queue_size() const { return queue_.size(); }
+  uint64_t queued_tombstones() const { return *tombstones_; }
+
+  // Compaction is on by default; benches switch it off to measure its effect.
+  void set_compaction_enabled(bool enabled) { compaction_enabled_ = enabled; }
+
+  // Queues smaller than this never compact: scanning a handful of entries costs
+  // more in bookkeeping than the tombstones cost in memory.
+  static constexpr size_t kCompactionMinQueueSize = 64;
 
   // Invariant auditing (see audit.h). Registered components are re-checked after
   // every fired event and when the queue drains, whenever a SimAudit is installed.
@@ -98,11 +124,22 @@ class Simulation {
     }
   };
 
+  // Removes and returns the earliest entry (live or tombstone), maintaining the
+  // tombstone count. The queue must not be empty.
+  QueueEntry PopTop();
+
+  // Drops every tombstone and re-heapifies when tombstones outnumber live entries.
+  void MaybeCompact();
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t fired_ = 0;
   SimTime last_fired_time_ = 0.0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  // Binary heap ordered by Later (std::push_heap/std::pop_heap); a plain vector so
+  // compaction can filter it in place, which std::priority_queue cannot.
+  std::vector<QueueEntry> queue_;
+  std::shared_ptr<uint64_t> tombstones_ = std::make_shared<uint64_t>(0);
+  bool compaction_enabled_ = true;
   std::vector<const Auditable*> auditables_;
 };
 

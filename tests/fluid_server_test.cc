@@ -1,5 +1,6 @@
 #include "src/simcore/fluid_server.h"
 
+#include <map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -229,6 +230,48 @@ TEST(FluidServerTest, TotalServedIntegratesWork) {
   server.Submit(50.0, [] {});
   sim.Run();
   EXPECT_NEAR(server.total_served(), 150.0, 1e-6);
+}
+
+TEST(FluidServerTest, ServedWorkConservesSubmittedWorkUnderChurn) {
+  // Regression for the served_ accounting drift: AdvanceProgress used to credit
+  // rate*dt unclamped while total_served() clamped with min(remaining, rate*dt),
+  // so a completion event firing a rounding error past a request's finish time
+  // overcounted. Drive many irregular amounts through an HDD-style (nonlinear)
+  // capacity with staggered arrivals and cancels, then check served work equals
+  // submitted work minus work returned by cancels — and never exceeds it.
+  Simulation sim;
+  FluidServer server(&sim, "disk", HddCapacity(97.0, 0.35));
+  double submitted = 0.0;
+  double returned = 0.0;
+  std::map<int, FluidServer::RequestId> live_cancellable;  // keyed by arrival index
+  for (int i = 0; i < 200; ++i) {
+    const double amount = 1.0 + 0.37 * i + (i % 7) * 0.013;
+    submitted += amount;
+    const double at = 0.05 * i;
+    sim.ScheduleAt(at, [&server, &live_cancellable, amount, i] {
+      if (i % 9 != 0) {
+        server.Submit(amount, [] {});
+        return;
+      }
+      // Done callbacks only fire from later events, so the map insert below
+      // always happens before a completion can erase it.
+      const auto id =
+          server.Submit(amount, [&live_cancellable, i] { live_cancellable.erase(i); });
+      live_cancellable[i] = id;
+    });
+  }
+  sim.ScheduleAt(3.3, [&] {
+    const std::map<int, FluidServer::RequestId> to_cancel = live_cancellable;
+    for (const auto& [i, id] : to_cancel) {
+      returned += server.CancelRequest(id);
+      live_cancellable.erase(i);
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(server.active(), 0);
+  const double expected = submitted - returned;
+  EXPECT_NEAR(server.total_served(), expected, 1e-6 * expected);
+  EXPECT_LE(server.total_served(), expected * (1.0 + 1e-9));
 }
 
 TEST(FluidServerTest, UtilizationTraceMeasuresBusyFraction) {

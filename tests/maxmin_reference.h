@@ -1,0 +1,85 @@
+// Reference max-min fair solver for the network fabric property tests.
+//
+// A deliberately simple, global (non-incremental) progressive-filling
+// implementation: raise every flow's rate in lockstep; whenever a NIC side
+// (ingress or egress) saturates, freeze the flows crossing it; repeat until every
+// flow is frozen. NetworkFabricSim computes the same allocation incrementally over
+// affected components; the property tests check both agree on randomized flow
+// sets, so a bug would have to appear identically in two independently-structured
+// implementations to slip through.
+#ifndef MONOTASKS_TESTS_MAXMIN_REFERENCE_H_
+#define MONOTASKS_TESTS_MAXMIN_REFERENCE_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace monosim {
+namespace testutil {
+
+struct ReferenceFlow {
+  uint64_t id;
+  int src;
+  int dst;
+};
+
+// Returns the max-min fair rate for every flow, keyed by flow id. `bandwidth` is
+// the per-direction NIC bandwidth shared by all machines.
+inline std::unordered_map<uint64_t, double> SolveMaxMinReference(
+    const std::vector<ReferenceFlow>& flows, int num_machines, double bandwidth) {
+  std::vector<double> egress_residual(static_cast<size_t>(num_machines), bandwidth);
+  std::vector<double> ingress_residual(static_cast<size_t>(num_machines), bandwidth);
+  std::vector<int> egress_unfrozen(static_cast<size_t>(num_machines), 0);
+  std::vector<int> ingress_unfrozen(static_cast<size_t>(num_machines), 0);
+  for (const ReferenceFlow& flow : flows) {
+    ++egress_unfrozen[static_cast<size_t>(flow.src)];
+    ++ingress_unfrozen[static_cast<size_t>(flow.dst)];
+  }
+
+  const double eps = 1e-12 * bandwidth;
+  std::unordered_map<uint64_t, double> rates;
+  std::vector<char> frozen(flows.size(), 0);
+  size_t remaining = flows.size();
+  double level = 0.0;
+  while (remaining > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (int m = 0; m < num_machines; ++m) {
+      if (egress_unfrozen[static_cast<size_t>(m)] > 0) {
+        delta = std::min(delta, egress_residual[static_cast<size_t>(m)] /
+                                    egress_unfrozen[static_cast<size_t>(m)]);
+      }
+      if (ingress_unfrozen[static_cast<size_t>(m)] > 0) {
+        delta = std::min(delta, ingress_residual[static_cast<size_t>(m)] /
+                                    ingress_unfrozen[static_cast<size_t>(m)]);
+      }
+    }
+    level += delta;
+    for (int m = 0; m < num_machines; ++m) {
+      egress_residual[static_cast<size_t>(m)] -=
+          delta * egress_unfrozen[static_cast<size_t>(m)];
+      ingress_residual[static_cast<size_t>(m)] -=
+          delta * ingress_unfrozen[static_cast<size_t>(m)];
+    }
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) {
+        continue;
+      }
+      const auto src = static_cast<size_t>(flows[i].src);
+      const auto dst = static_cast<size_t>(flows[i].dst);
+      if (egress_residual[src] <= eps || ingress_residual[dst] <= eps) {
+        frozen[i] = 1;
+        rates[flows[i].id] = level;
+        --egress_unfrozen[src];
+        --ingress_unfrozen[dst];
+        --remaining;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace testutil
+}  // namespace monosim
+
+#endif  // MONOTASKS_TESTS_MAXMIN_REFERENCE_H_

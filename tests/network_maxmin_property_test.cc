@@ -1,0 +1,113 @@
+// Property tests for the fabric's incremental max-min allocation.
+//
+// The fabric recomputes rates incrementally, only over the connected component of
+// flows sharing a NIC side with a changed endpoint. These tests drive randomized
+// flow arrival/departure sequences through a fabric and, at every event boundary,
+// compare every active flow's rate against the independent global reference solver
+// (maxmin_reference.h). Departures are the completions the byte sizes induce, so
+// each sequence exercises both directions of the incremental update.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/network.h"
+#include "src/common/rng.h"
+#include "src/simcore/simulation.h"
+#include "tests/maxmin_reference.h"
+
+namespace monosim {
+namespace {
+
+// Every flow's rate must equal its reference max-min rate (relative tolerance
+// covering the two implementations' different accumulation orders).
+void ExpectRatesMatchReference(const NetworkFabricSim& fabric, double bandwidth,
+                               int num_machines, SimTime now) {
+  std::vector<testutil::ReferenceFlow> reference_flows;
+  for (const NetworkFabricSim::FlowInfo& info : fabric.ActiveFlows()) {
+    reference_flows.push_back({info.id, info.src, info.dst});
+  }
+  const auto reference =
+      testutil::SolveMaxMinReference(reference_flows, num_machines, bandwidth);
+  for (const NetworkFabricSim::FlowInfo& info : fabric.ActiveFlows()) {
+    const double want = reference.at(info.id);
+    ASSERT_NEAR(info.rate, want, 1e-6 * want)
+        << "flow " << info.id << " (" << info.src << "->" << info.dst << ") at t="
+        << now << " with " << reference_flows.size() << " active flows";
+  }
+}
+
+TEST(NetworkMaxMinPropertyTest, IncrementalRatesMatchReferenceSolverOnRandomChurn) {
+  constexpr int kSequences = 120;
+  constexpr double kBandwidth = 100.0;
+  for (uint64_t seed = 0; seed < kSequences; ++seed) {
+    monoutil::Rng rng(seed + 1);
+    const int machines = 2 + static_cast<int>(rng.NextBelow(7));  // 2..8
+    const int arrivals = 8 + static_cast<int>(rng.NextBelow(25));  // 8..32
+
+    Simulation sim;
+    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    int completed = 0;
+    for (int i = 0; i < arrivals; ++i) {
+      const int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
+      int dst = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines - 1)));
+      if (dst >= src) {
+        ++dst;
+      }
+      const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(500));
+      const SimTime at = rng.Uniform(0.0, 5.0);
+      sim.ScheduleAt(at, [&fabric, &completed, src, dst, bytes] {
+        fabric.StartFlow(src, dst, bytes, [&completed] { ++completed; });
+      });
+    }
+    while (sim.Step()) {
+      ExpectRatesMatchReference(fabric, kBandwidth, machines, sim.now());
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+    EXPECT_EQ(completed, arrivals) << "seed " << seed;
+  }
+}
+
+TEST(NetworkMaxMinPropertyTest, HeavyFanInSequencesStayWorkConserving) {
+  // Skewed sequences: most flows converge on one hot receiver (Spark's
+  // many-concurrent-fetch shuffle pattern), the rest are scattered — the shape the
+  // legacy min-share model distorted. Work conservation here means every flow is
+  // bottlenecked at a saturated NIC, which ExpectRatesMatchReference implies
+  // (reference rates are max-min, hence work-conserving).
+  constexpr double kBandwidth = 100.0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    monoutil::Rng rng(1000 + seed);
+    const int machines = 4 + static_cast<int>(rng.NextBelow(5));  // 4..8
+    const int hot = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
+
+    Simulation sim;
+    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    for (int i = 0; i < 24; ++i) {
+      const bool to_hot = rng.NextDouble() < 0.7;
+      int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
+      int dst = hot;
+      if (!to_hot || src == hot) {
+        dst = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines - 1)));
+        if (dst >= src) {
+          ++dst;
+        }
+      }
+      const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(300));
+      const SimTime at = rng.Uniform(0.0, 2.0);
+      sim.ScheduleAt(at, [&fabric, src, dst, bytes] {
+        fabric.StartFlow(src, dst, bytes, [] {});
+      });
+    }
+    while (sim.Step()) {
+      ExpectRatesMatchReference(fabric, kBandwidth, machines, sim.now());
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monosim

@@ -1,7 +1,11 @@
 #include "src/cluster/network.h"
 
+#include <algorithm>
+#include <functional>
+
 #include <gtest/gtest.h>
 
+#include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace monosim {
@@ -49,6 +53,111 @@ TEST(NetworkFabricTest, DisjointFlowsDoNotInterfere) {
   sim.Run();
   EXPECT_EQ(finished, 2);
   EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(NetworkFabricTest, StrandedCapacityIsRedistributedMaxMinFairly) {
+  // The asymmetric fan-in shape the legacy min-of-shares model got wrong. Flows
+  // m0->m1, m0->m1, m0->m2 are bottlenecked at m0's egress (100/3 each); flow
+  // m4->m2 then deserves everything m2's ingress has left: 100 - 100/3 = 200/3.
+  // The legacy model handed it min(100/1 egress, 100/2 ingress) = 50, stranding
+  // 100/6 of m2's ingress capacity, so its 200 bytes took 4 s instead of 3 s.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 5, 100.0);
+  double done_at = -1.0;
+  fabric.StartFlow(0, 1, 1000, [] {});
+  fabric.StartFlow(0, 1, 1000, [] {});
+  fabric.StartFlow(0, 2, 1000, [] {});
+  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, 200, [&] {
+    done_at = sim.now();
+  });
+  EXPECT_NEAR(fabric.flow_rate(fan_in), 200.0 / 3.0, 1e-6);
+  sim.Run();
+  EXPECT_NEAR(done_at, 3.0, 1e-6);
+}
+
+TEST(NetworkFabricTest, StrandedEgressCapacityIsRedistributedToo) {
+  // Mirror image of the fan-in case: m0's ingress is the shared bottleneck
+  // (three flows at 100/3), so flow m2->m4 gets the rest of m2's egress
+  // (100 - 100/3 = 200/3), not the legacy equal egress split of 50.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 5, 100.0);
+  fabric.StartFlow(1, 0, 1000, [] {});
+  fabric.StartFlow(1, 0, 1000, [] {});
+  fabric.StartFlow(2, 0, 1000, [] {});
+  const NetworkFabricSim::FlowId fan_out = fabric.StartFlow(2, 4, 200, [] {});
+  EXPECT_NEAR(fabric.flow_rate(fan_out), 200.0 / 3.0, 1e-6);
+  sim.Run();
+}
+
+TEST(NetworkFabricTest, LegacyMinSharePolicyReproducesTheStrandedRate) {
+  // Documents what the old model computed for the same flow set (and pins the
+  // test-only policy the audit demonstration in audit_test.cc relies on).
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 5, 100.0);
+  fabric.set_share_policy_for_test(NetworkFabricSim::SharePolicy::kMinShareLegacy);
+  ScopedAudit absorb(ScopedAudit::kReport);  // Absorb the max-min violations.
+  fabric.StartFlow(0, 1, 1000, [] {});
+  fabric.StartFlow(0, 1, 1000, [] {});
+  fabric.StartFlow(0, 2, 1000, [] {});
+  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, 200, [] {});
+  EXPECT_NEAR(fabric.flow_rate(fan_in), 50.0, 1e-9);
+  sim.Run();
+}
+
+TEST(NetworkFabricTest, CascadedRedistributionBottomsOutEveryFlow) {
+  // Two levels of filling: e0 saturates first (A,B,C at 30); the freed ingress
+  // capacity at m2 then lets D rise until e3/i4 saturate, dragging E and F with
+  // it. Every flow ends pinned to a saturated NIC side.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 6, 90.0);
+  const auto a = fabric.StartFlow(0, 1, 1000, [] {});
+  const auto b = fabric.StartFlow(0, 1, 1000, [] {});
+  const auto c = fabric.StartFlow(0, 2, 1000, [] {});
+  const auto d = fabric.StartFlow(3, 2, 1000, [] {});
+  const auto e = fabric.StartFlow(3, 4, 1000, [] {});
+  const auto f = fabric.StartFlow(5, 4, 1000, [] {});
+  EXPECT_NEAR(fabric.flow_rate(a), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(b), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(c), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(d), 45.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(e), 45.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(f), 45.0, 1e-9);
+  sim.Run();
+}
+
+TEST(NetworkFabricTest, FabricChurnKeepsEventQueueCompact) {
+  // Max-min recomputation cancels and reschedules completion events on every flow
+  // set change; the simulation's tombstone compaction must keep the queue bounded
+  // by the live event count, not the cancellation count.
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, 8, 100.0);
+  constexpr int kLanes = 64;
+  constexpr int kFlowsPerLane = 50;
+  size_t max_queue = 0;
+  int completed = 0;
+  std::function<void(int, int)> launch = [&](int lane, int remaining) {
+    if (remaining == 0) {
+      return;
+    }
+    const int src = lane % 8;
+    int dst = (lane * 3 + 1) % 8;
+    if (dst == src) {
+      dst = (dst + 1) % 8;
+    }
+    fabric.StartFlow(src, dst, 64 + lane, [&, lane, remaining] {
+      ++completed;
+      max_queue = std::max(max_queue, sim.queue_size());
+      launch(lane, remaining - 1);
+    });
+  };
+  for (int lane = 0; lane < kLanes; ++lane) {
+    launch(lane, kFlowsPerLane);
+  }
+  sim.Run();
+  EXPECT_EQ(completed, kLanes * kFlowsPerLane);
+  // At most kLanes live completion events exist at once; compaction bounds the
+  // queue to twice the live count plus the compaction floor.
+  EXPECT_LE(max_queue, 2 * kLanes + Simulation::kCompactionMinQueueSize);
 }
 
 TEST(NetworkFabricTest, FlowRateIsMinOfEndpointShares) {

@@ -1,11 +1,34 @@
 #include "src/simcore/simulation.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/simcore/audit.h"
+
 namespace monosim {
 namespace {
+
+// Test double that records which audit phases the kernel swept it through.
+class PhaseRecorder : public Auditable {
+ public:
+  explicit PhaseRecorder(Simulation* sim) : sim_(sim) { sim_->RegisterAuditable(this); }
+  ~PhaseRecorder() override { sim_->UnregisterAuditable(this); }
+
+  void AuditInvariants(SimAudit& audit, AuditPhase phase) const override {
+    audit.Expect(true, sim_->now(), "phase-recorder", "noop", "");
+    if (phase == AuditPhase::kDrain) {
+      ++drain_sweeps_;
+    }
+  }
+
+  int drain_sweeps() const { return drain_sweeps_; }
+
+ private:
+  Simulation* sim_;
+  mutable int drain_sweeps_ = 0;
+};
 
 TEST(SimulationTest, StartsAtTimeZero) {
   Simulation sim;
@@ -122,6 +145,113 @@ TEST(SimulationTest, FiredEventsExcludesCancelled) {
   handle.Cancel();
   sim.Run();
   EXPECT_EQ(sim.fired_events(), 1u);
+}
+
+TEST(SimulationTest, RunUntilTreatsCancelledOnlyRemainderAsDrained) {
+  // Regression: a queue whose only remaining entries are cancelled tombstones
+  // past the deadline must count as drained — the drain-phase audit sweeps run
+  // exactly as if the queue were empty. (A naive deadline check that breaks
+  // before discarding tombstones skips them.)
+  ScopedAudit scoped(ScopedAudit::kReport);
+  Simulation sim;
+  PhaseRecorder recorder(&sim);
+  bool fired = false;
+  sim.ScheduleAt(1.0, [&] { fired = true; });
+  EventHandle beyond = sim.ScheduleAt(10.0, [] { FAIL() << "cancelled event fired"; });
+  beyond.Cancel();
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.queue_size(), 0u);
+  EXPECT_GE(recorder.drain_sweeps(), 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_TRUE(scoped.audit().ok()) << scoped.audit().Summary();
+}
+
+TEST(SimulationTest, RunUntilStillSkipsDrainWhileLiveEventsRemain) {
+  ScopedAudit scoped(ScopedAudit::kReport);
+  Simulation sim;
+  PhaseRecorder recorder(&sim);
+  sim.ScheduleAt(10.0, [] {});
+  sim.RunUntil(5.0);
+  EXPECT_EQ(recorder.drain_sweeps(), 0);
+  sim.Run();
+  EXPECT_GE(recorder.drain_sweeps(), 1);
+}
+
+TEST(SimulationTest, TombstoneCountTracksCancelledQueueEntries) {
+  Simulation sim;
+  EventHandle a = sim.ScheduleAt(1.0, [] {});
+  EventHandle b = sim.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(sim.queued_tombstones(), 0u);
+  a.Cancel();
+  a.Cancel();  // Idempotent: must not double-count.
+  EXPECT_EQ(sim.queued_tombstones(), 1u);
+  EXPECT_EQ(sim.queue_size(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.queued_tombstones(), 0u);
+  EXPECT_EQ(sim.queue_size(), 0u);
+  b.Cancel();  // Already fired: not a tombstone.
+  EXPECT_EQ(sim.queued_tombstones(), 0u);
+}
+
+TEST(SimulationTest, CompactionBoundsQueueUnderCancelHeavyChurn) {
+  // The fabric's recompute pattern: every state change cancels the pending
+  // completion event and schedules a replacement. Without compaction the queue
+  // holds every tombstone until its virtual time arrives.
+  Simulation sim;
+  constexpr int kChurn = 100000;
+  size_t max_queue = 0;
+  EventHandle pending;
+  for (int i = 0; i < kChurn; ++i) {
+    pending.Cancel();
+    pending = sim.ScheduleAt(1e9 + i, [] {});
+    max_queue = std::max(max_queue, sim.queue_size());
+  }
+  // One live event; everything else must have been compacted away.
+  EXPECT_LE(max_queue, Simulation::kCompactionMinQueueSize + 2);
+  EXPECT_LE(sim.queued_tombstones(), sim.queue_size());
+}
+
+TEST(SimulationTest, CompactionCanBeDisabledForMeasurement) {
+  Simulation sim;
+  sim.set_compaction_enabled(false);
+  EventHandle pending;
+  for (int i = 0; i < 1000; ++i) {
+    pending.Cancel();
+    pending = sim.ScheduleAt(1e9 + i, [] {});
+  }
+  EXPECT_EQ(sim.queue_size(), 1000u);
+  EXPECT_EQ(sim.queued_tombstones(), 999u);
+}
+
+TEST(SimulationTest, CompactionPreservesEventOrderAndPendingEvents) {
+  // Force compactions while live events are interleaved with tombstones and
+  // check nothing live is lost, reordered, or fired twice.
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 500; ++i) {
+    sim.ScheduleAt(2.0 * i, [&order, i] { order.push_back(i); });
+  }
+  // More tombstones than live events, so the next schedule crosses the
+  // tombstones-outnumber-live threshold and compacts.
+  for (int i = 0; i < 600; ++i) {
+    doomed.push_back(sim.ScheduleAt(1500.0 + i, [] { FAIL() << "cancelled event fired"; }));
+  }
+  for (EventHandle& handle : doomed) {
+    handle.Cancel();
+  }
+  // Trigger compaction via new schedules now that tombstones dominate.
+  for (int i = 0; i < 4; ++i) {
+    sim.ScheduleAt(1000.0 + i, [] {});
+  }
+  EXPECT_LT(sim.queue_size(), 600u);  // Tombstones were dropped.
+  sim.Run();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(sim.fired_events(), 504u);
 }
 
 }  // namespace

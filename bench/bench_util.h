@@ -1,6 +1,12 @@
 // Shared helpers for the experiment benches. Each bench binary regenerates one
 // figure or table from the paper; these helpers run a job spec under a chosen
 // executor on a fresh simulated cluster and return the results.
+//
+// Determinism contract (DESIGN §10): all bench entropy flows through
+// monoutil::Rng seeded from the JobSpec — never std::random_device, rand(), or
+// the wall clock (mono_lint enforces this for bench/ sources). The returned
+// JobResult carries the run's event-stream digest (JobResult::sim_digest), so a
+// bench's output records which schedule produced it.
 #ifndef MONOTASKS_BENCH_BENCH_UTIL_H_
 #define MONOTASKS_BENCH_BENCH_UTIL_H_
 

@@ -5,6 +5,7 @@
 // Spark, tasks independently deciding when to use resources leave the CPU at 75-83%,
 // stalled behind disk at some instants.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -16,6 +17,7 @@ struct MapStageCpu {
   double min_util = 1.0;
   double max_util = 0.0;
   double mean_util = 0.0;
+  uint64_t digest = 0;  // Run digest: same build + same seed must reproduce it.
 };
 
 MapStageCpu Measure(bool monotasks) {
@@ -39,6 +41,7 @@ MapStageCpu Measure(bool monotasks) {
     total += util;
   }
   out.mean_util = total / static_cast<double>(map.utilization.cpu.size());
+  out.digest = result.sim_digest;
   return out;
 }
 
@@ -54,5 +57,8 @@ int main() {
               100 * spark.mean_util, 100 * spark.min_util, 100 * spark.max_util);
   std::printf("  MonoSpark CPU utilization: mean %.1f%%  (min %.1f%%, max %.1f%%)\n",
               100 * mono.mean_util, 100 * mono.min_util, 100 * mono.max_util);
+  std::printf("  run digests: spark %016llx, mono %016llx\n",
+              static_cast<unsigned long long>(spark.digest),
+              static_cast<unsigned long long>(mono.digest));
   return 0;
 }

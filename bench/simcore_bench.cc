@@ -31,6 +31,7 @@ struct Scenario {
   double seconds;         // Wall-clock seconds.
   double events_per_sec;  // events / seconds.
   uint64_t max_queue;     // Peak live-plus-tombstone queue size observed.
+  uint64_t digest;        // Simulation::digest(): must match across same-build runs.
 };
 
 double Elapsed(std::chrono::steady_clock::time_point start) {
@@ -51,7 +52,7 @@ Scenario BenchScheduleFire() {
   sim.Run();
   const double seconds = Elapsed(start);
   return Scenario{"event_queue_schedule_fire", static_cast<uint64_t>(fired), seconds,
-                  fired / seconds, kEvents};
+                  fired / seconds, kEvents, sim.digest()};
 }
 
 // The fabric's signature pattern: every recompute cancels a pending completion
@@ -76,7 +77,7 @@ Scenario BenchCancelChurn(bool compaction, const char* name) {
   sim.Run();  // Drains whatever tombstones remain.
   const double seconds = Elapsed(start);
   return Scenario{name, static_cast<uint64_t>(kChurn), seconds, kChurn / seconds,
-                  static_cast<uint64_t>(max_queue)};
+                  static_cast<uint64_t>(max_queue), sim.digest()};
 }
 
 // Continuous flow churn through the fabric: every completion starts a replacement
@@ -119,7 +120,7 @@ Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
   const double seconds = Elapsed(start);
   const auto events = sim.fired_events();
   return Scenario{name, events, seconds, events / seconds,
-                  static_cast<uint64_t>(max_queue)};
+                  static_cast<uint64_t>(max_queue), sim.digest()};
 }
 
 void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) {
@@ -130,10 +131,12 @@ void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) 
     char line[512];
     std::snprintf(line, sizeof(line),
                   "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": %.4f, "
-                  "\"events_per_sec\": %.0f, \"max_queue\": %llu}%s\n",
+                  "\"events_per_sec\": %.0f, \"max_queue\": %llu, "
+                  "\"digest\": \"%016llx\"}%s\n",
                   s.name.c_str(), static_cast<unsigned long long>(s.events),
                   s.seconds, s.events_per_sec,
                   static_cast<unsigned long long>(s.max_queue),
+                  static_cast<unsigned long long>(s.digest),
                   i + 1 < scenarios.size() ? "," : "");
     out << line;
   }

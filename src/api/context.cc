@@ -72,7 +72,15 @@ MonoContext::MonoContext(EngineConfig config) : config_(config) {
   }
 }
 
-MonoContext::~MonoContext() = default;
+MonoContext::~MonoContext() {
+  // Quiesce every worker's scheduler threads before any worker is destroyed:
+  // shuffle serves (SubmitDetached) let one worker's threads submit into
+  // another worker's schedulers, so destruction must not start while any
+  // engine thread is alive (Worker::Shutdown).
+  for (auto& worker : workers_) {
+    worker->Shutdown();
+  }
+}
 
 int MonoContext::CreateSource(const std::string& name, std::vector<Buffer> partitions) {
   const std::lock_guard<std::mutex> lock(catalog_mutex_);
@@ -356,8 +364,14 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
   std::vector<Monotask*> inputs;
 
   if (plan_.reads_source) {
-    const SourceBlock& block =
-        ctx_->sources_.at(plan_.source_name)[static_cast<size_t>(task)];
+    // Copied under the catalog lock: disk-write completions of this very stage
+    // insert the save-target key into sources_ concurrently (tree rebalance),
+    // so even reads of a pre-existing key must synchronize.
+    SourceBlock block;
+    {
+      const std::lock_guard<std::mutex> lock(ctx_->catalog_mutex_);
+      block = ctx_->sources_.at(plan_.source_name)[static_cast<size_t>(task)];
+    }
     if (block.disk == SourceBlock::kInMemory) {
       if (block.worker == worker_index) {
         // Cached locally: no input monotask at all; hand the buffer to compute.
@@ -366,7 +380,7 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
         // Cached on another worker: a network monotask pays only the transfer.
         auto fetch = std::make_unique<FunctionMonotask>(
             ResourceType::kNetwork, "fetch-cached:" + block.block_id,
-            [this, data, worker_index, &block] {
+            [this, data, worker_index, block] {
               const auto start = std::chrono::steady_clock::now();
               ctx_->fabric_->Transfer(block.worker, worker_index,
                                       static_cast<monoutil::Bytes>(block.cached->size()));
@@ -641,8 +655,13 @@ void MonoContext::StageRunner::LaunchTaskThread(int task, int worker_index) {
         // ---- Input ----
         Buffer current;
         if (plan_.reads_source) {
-          const SourceBlock& block =
-              ctx_->sources_.at(plan_.source_name)[static_cast<size_t>(task)];
+          // Copied under the catalog lock, as in the monotask path: concurrent
+          // save-target inserts rebalance the sources_ tree.
+          SourceBlock block;
+          {
+            const std::lock_guard<std::mutex> lock(ctx_->catalog_mutex_);
+            block = ctx_->sources_.at(plan_.source_name)[static_cast<size_t>(task)];
+          }
           const auto start = std::chrono::steady_clock::now();
           if (block.disk == SourceBlock::kInMemory) {
             current = *block.cached;

@@ -178,7 +178,7 @@ void BufferCacheSim::AdmitWrite(int disk_index, Bytes bytes, std::function<void(
     return;
   }
   const SimTime copy_time = static_cast<double>(bytes) / config_.memory_bandwidth;
-  sim_->ScheduleAfter(copy_time, std::move(done));
+  sim_->ScheduleAfter(copy_time, std::move(done), "cache-copy");
   MaybeStartWriteback(/*pressure=*/total_dirty_ >= config_.dirty_limit);
 }
 
@@ -195,13 +195,16 @@ void BufferCacheSim::MaybeStartWriteback(bool pressure) {
   }
   if (!writeback_armed_) {
     writeback_armed_ = true;
-    writeback_timer_ = sim_->ScheduleAfter(config_.writeback_delay, [this] {
-      writeback_armed_ = false;
-      if (total_dirty_ > 0) {
-        writeback_running_ = true;
-        PumpFlusher();
-      }
-    });
+    writeback_timer_ = sim_->ScheduleAfter(
+        config_.writeback_delay,
+        [this] {
+          writeback_armed_ = false;
+          if (total_dirty_ > 0) {
+            writeback_running_ = true;
+            PumpFlusher();
+          }
+        },
+        "cache-writeback");
   }
 }
 

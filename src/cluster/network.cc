@@ -185,7 +185,7 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil:
 void NetworkFabricSim::SendControl(int src, int dst, std::function<void()> deliver) {
   MONO_CHECK(src >= 0 && src < num_machines());
   MONO_CHECK(dst >= 0 && dst < num_machines());
-  sim_->ScheduleAfter(request_latency_, std::move(deliver));
+  sim_->ScheduleAfter(request_latency_, std::move(deliver), "net-request");
 }
 
 std::vector<NetworkFabricSim::Flow*> NetworkFabricSim::CollectComponent(int src, int dst) {
@@ -311,7 +311,8 @@ void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
   flow->completion.Cancel();
   const SimTime finish_in = flow->remaining / flow->rate;
   const FlowId id = flow->id;
-  flow->completion = sim_->ScheduleAfter(finish_in, [this, id] { OnFlowComplete(id); });
+  flow->completion =
+      sim_->ScheduleAfter(finish_in, [this, id] { OnFlowComplete(id); }, "flow-complete");
 }
 
 void NetworkFabricSim::RecomputeAffected(int src, int dst) {

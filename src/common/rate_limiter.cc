@@ -17,7 +17,7 @@ RateLimiter::RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes)
 
 void RateLimiter::set_time_scale(double factor) {
   MONO_CHECK(factor > 0);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   time_scale_ = factor;
 }
 
@@ -27,7 +27,7 @@ void RateLimiter::Consume(Bytes n) {
   while (remaining > 0) {
     double wait_seconds = 0.0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const monoutil::MutexLock lock(mutex_);
       const auto now = Clock::now();
       const double elapsed = std::chrono::duration<double>(now - last_fill_).count();
       last_fill_ = now;

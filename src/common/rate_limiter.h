@@ -8,8 +8,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace monoutil {
@@ -21,7 +22,7 @@ class RateLimiter {
   explicit RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes = 0);
 
   // Blocks the calling thread until `n` bytes are admitted. Thread-safe.
-  void Consume(Bytes n);
+  void Consume(Bytes n) EXCLUDES(mutex_);
 
   // Returns the configured rate.
   BytesPerSecond rate() const { return rate_; }
@@ -29,18 +30,18 @@ class RateLimiter {
   // Scales simulated device time: with factor f, a transfer that would take t seconds
   // of device time blocks the caller for t/f wall seconds. Used by tests and examples
   // to run "10 seconds of disk" in milliseconds while preserving relative timing.
-  void set_time_scale(double factor);
+  void set_time_scale(double factor) EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  BytesPerSecond rate_;
-  Bytes burst_;
-  double time_scale_ = 1.0;
+  const BytesPerSecond rate_;
+  const Bytes burst_;
 
-  std::mutex mutex_;
-  double available_ = 0.0;      // Bytes currently in the bucket.
-  Clock::time_point last_fill_;
+  Mutex mutex_;
+  double time_scale_ GUARDED_BY(mutex_) = 1.0;
+  double available_ GUARDED_BY(mutex_) = 0.0;  // Bytes currently in the bucket.
+  Clock::time_point last_fill_ GUARDED_BY(mutex_);
 };
 
 }  // namespace monoutil

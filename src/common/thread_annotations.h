@@ -1,0 +1,75 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// These macros attach Clang's capability attributes to mutexes, guarded data
+// members, and locking functions so the locking contracts of the threaded
+// execution engine are checked at compile time: accessing a GUARDED_BY member
+// without holding its mutex, or calling a REQUIRES function unlocked, is a
+// compiler warning (an error under the `tsan`/CI configurations, which pass
+// -Werror=thread-safety). On compilers without the attributes (GCC) every macro
+// expands to nothing, so the annotations are free documentation.
+//
+// libstdc++'s std::mutex carries no capability annotations, so the analysis
+// cannot see its lock()/unlock() calls; use monoutil::Mutex / MutexLock /
+// CondVar (src/common/mutex.h), which wrap std::mutex with annotated entry
+// points.
+#ifndef MONOTASKS_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define MONOTASKS_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MONO_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MONO_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+// Marks a class as a lockable capability (e.g. a mutex type).
+#define CAPABILITY(x) MONO_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY MONO_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data member may only be read or written while holding the given capability.
+#define GUARDED_BY(x) MONO_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) MONO_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Function may only be called while holding the given capabilities.
+#define REQUIRES(...) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+// Function may only be called while holding the capabilities shared.
+#define REQUIRES_SHARED(...) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+// Function attempts to acquire the capability; first argument is the return
+// value that signals success.
+#define TRY_ACQUIRE(...) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called while holding the given capabilities (deadlock
+// prevention for non-reentrant mutexes).
+#define EXCLUDES(...) MONO_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Asserts at runtime that the capability is held (and tells the analysis so).
+#define ASSERT_CAPABILITY(x) \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) MONO_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Turns the analysis off for one function (constructors of objects handed to
+// other threads, intentional lock-free reads, etc.). Use sparingly, with a
+// comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MONO_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // MONOTASKS_SRC_COMMON_THREAD_ANNOTATIONS_H_

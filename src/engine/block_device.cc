@@ -27,14 +27,14 @@ void SimulatedBlockDevice::Write(const std::string& block_id, Buffer data) {
   const auto bytes = static_cast<monoutil::Bytes>(data.size());
   ConsumeWithContention(bytes);  // Pay the transfer time before the data is durable.
   bytes_written_ += bytes;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   blocks_[block_id] = std::move(data);
 }
 
 Buffer SimulatedBlockDevice::Read(const std::string& block_id) {
   Buffer data;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const monoutil::MutexLock lock(mutex_);
     auto it = blocks_.find(block_id);
     MONO_CHECK_MSG(it != blocks_.end(), "read of missing block");
     data = it->second;
@@ -49,7 +49,7 @@ Buffer SimulatedBlockDevice::ReadRange(const std::string& block_id, size_t offse
                                        size_t length) {
   Buffer data;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const monoutil::MutexLock lock(mutex_);
     auto it = blocks_.find(block_id);
     MONO_CHECK_MSG(it != blocks_.end(), "read of missing block");
     MONO_CHECK_MSG(offset + length <= it->second.size(), "read range out of bounds");
@@ -63,19 +63,19 @@ Buffer SimulatedBlockDevice::ReadRange(const std::string& block_id, size_t offse
 }
 
 bool SimulatedBlockDevice::HasBlock(const std::string& block_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   return blocks_.find(block_id) != blocks_.end();
 }
 
 size_t SimulatedBlockDevice::BlockSize(const std::string& block_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   auto it = blocks_.find(block_id);
   MONO_CHECK_MSG(it != blocks_.end(), "BlockSize of missing block");
   return it->second.size();
 }
 
 void SimulatedBlockDevice::DeleteBlock(const std::string& block_id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   blocks_.erase(block_id);
 }
 

@@ -11,12 +11,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/rate_limiter.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace monotasks {
@@ -70,8 +71,8 @@ class SimulatedBlockDevice {
   monoutil::RateLimiter limiter_;
   double seek_alpha_;
   std::atomic<int> active_ops_{0};
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Buffer> blocks_;
+  mutable monoutil::Mutex mutex_;
+  std::unordered_map<std::string, Buffer> blocks_ GUARDED_BY(mutex_);
   std::atomic<monoutil::Bytes> bytes_read_{0};
   std::atomic<monoutil::Bytes> bytes_written_{0};
   std::atomic<monoutil::Bytes> charged_bytes_{0};

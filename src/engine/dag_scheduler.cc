@@ -17,7 +17,7 @@ void LocalDagScheduler::SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
   MONO_CHECK(!tasks.empty());
   std::vector<Monotask*> ready;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const monoutil::MutexLock lock(mutex_);
     auto dag = std::make_unique<DagState>();
     dag->remaining = static_cast<int>(tasks.size());
     dag->on_all_done = std::move(on_all_done);
@@ -26,19 +26,19 @@ void LocalDagScheduler::SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
     for (const auto& task : tasks) {
       TaskState state;
       state.dag = dag_ptr;
-      auto [it, inserted] = task_states_.emplace(task.get(), std::move(state));
+      auto [it, inserted] = task_states_.emplace(task->id(), std::move(state));
       MONO_CHECK_MSG(inserted, "monotask registered twice");
     }
     for (const auto& [from, to] : edges) {
-      auto from_it = task_states_.find(from);
-      auto to_it = task_states_.find(to);
+      auto from_it = task_states_.find(from->id());
+      auto to_it = task_states_.find(to->id());
       MONO_CHECK_MSG(from_it != task_states_.end() && to_it != task_states_.end(),
                      "dependency edge references a task outside the DAG");
       from_it->second.dependents.push_back(to);
       ++to_it->second.unmet_dependencies;
     }
     for (const auto& task : tasks) {
-      if (task_states_[task.get()].unmet_dependencies == 0) {
+      if (task_states_[task->id()].unmet_dependencies == 0) {
         ready.push_back(task.get());
       }
     }
@@ -57,15 +57,15 @@ void LocalDagScheduler::OnMonotaskComplete(Monotask* task) {
   std::function<void()> dag_done;
   std::vector<std::unique_ptr<Monotask>> to_destroy;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    auto it = task_states_.find(task);
+    const monoutil::MutexLock lock(mutex_);
+    auto it = task_states_.find(task->id());
     MONO_CHECK_MSG(it != task_states_.end(), "completion for unknown monotask");
     TaskState state = std::move(it->second);
     task_states_.erase(it);
     --pending_;
 
     for (Monotask* dependent : state.dependents) {
-      auto dep_it = task_states_.find(dependent);
+      auto dep_it = task_states_.find(dependent->id());
       MONO_CHECK(dep_it != task_states_.end());
       if (--dep_it->second.unmet_dependencies == 0) {
         newly_ready.push_back(dependent);
@@ -95,7 +95,7 @@ void LocalDagScheduler::OnMonotaskComplete(Monotask* task) {
 }
 
 int LocalDagScheduler::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const monoutil::MutexLock lock(mutex_);
   return pending_;
 }
 

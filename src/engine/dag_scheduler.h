@@ -10,10 +10,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/monotask.h"
 
 namespace monotasks {
@@ -36,10 +37,10 @@ class LocalDagScheduler {
                  std::function<void()> on_all_done);
 
   // Called by the worker when a resource scheduler reports completion.
-  void OnMonotaskComplete(Monotask* task);
+  void OnMonotaskComplete(Monotask* task) EXCLUDES(mutex_);
 
   // Monotasks registered but not yet completed (diagnostic).
-  int pending() const;
+  int pending() const EXCLUDES(mutex_);
 
  private:
   struct DagState {
@@ -54,10 +55,12 @@ class LocalDagScheduler {
   };
 
   std::function<void(Monotask*)> submit_;
-  mutable std::mutex mutex_;
-  std::unordered_map<Monotask*, TaskState> task_states_;
-  std::vector<std::unique_ptr<DagState>> dags_;
-  int pending_ = 0;
+  mutable monoutil::Mutex mutex_;
+  // Keyed by the monotask's stable id, not its address: no scheduling decision
+  // may depend on where the heap placed a task (determinism contract, DESIGN §10).
+  std::unordered_map<Monotask::Id, TaskState> task_states_ GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<DagState>> dags_ GUARDED_BY(mutex_);
+  int pending_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace monotasks

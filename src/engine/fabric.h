@@ -32,6 +32,9 @@ class InProcessFabric {
   monoutil::Bytes total_bytes() const { return total_bytes_.load(); }
 
  private:
+  // Thread safety: the limiter vectors are immutable after construction (each
+  // RateLimiter locks internally, see rate_limiter.h); the only mutable state
+  // here is atomic.
   std::vector<std::unique_ptr<monoutil::RateLimiter>> egress_;
   std::vector<std::unique_ptr<monoutil::RateLimiter>> ingress_;
   std::atomic<monoutil::Bytes> total_bytes_{0};

@@ -5,6 +5,9 @@
 #include "src/common/check.h"
 
 namespace monotasks {
+
+using monoutil::MutexLock;
+
 namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
@@ -22,14 +25,18 @@ CpuScheduler::CpuScheduler(int num_threads, CompletionCallback on_complete)
   }
 }
 
-CpuScheduler::~CpuScheduler() {
+CpuScheduler::~CpuScheduler() { Shutdown(); }
+
+void CpuScheduler::Shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& thread : threads_) {
-    thread.join();
+    if (thread.joinable()) {
+      thread.join();
+    }
   }
 }
 
@@ -37,23 +44,30 @@ void CpuScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kCpu);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(task);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 int CpuScheduler::queue_length() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<int>(queue_.size());
+}
+
+int CpuScheduler::running() const {
+  const MutexLock lock(mutex_);
+  return running_;
 }
 
 void CpuScheduler::WorkerLoop() {
   while (true) {
     Monotask* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(mutex_);
+      }
       if (shutdown_) {
         return;
       }
@@ -66,7 +80,7 @@ void CpuScheduler::WorkerLoop() {
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --running_;
     }
     on_complete_(task, service);
@@ -82,14 +96,18 @@ DiskScheduler::DiskScheduler(int max_outstanding, CompletionCallback on_complete
   }
 }
 
-DiskScheduler::~DiskScheduler() {
+DiskScheduler::~DiskScheduler() { Shutdown(); }
+
+void DiskScheduler::Shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& thread : threads_) {
-    thread.join();
+    if (thread.joinable()) {
+      thread.join();
+    }
   }
 }
 
@@ -97,14 +115,14 @@ void DiskScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kDisk);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queues_[static_cast<size_t>(task->disk_queue)].push_back(task);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 int DiskScheduler::queue_length() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   int total = 0;
   for (const auto& queue : queues_) {
     total += static_cast<int>(queue.size());
@@ -113,8 +131,22 @@ int DiskScheduler::queue_length() const {
 }
 
 int DiskScheduler::queued_writes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<int>(queues_[static_cast<size_t>(DiskQueue::kWrite)].size());
+}
+
+int DiskScheduler::running() const {
+  const MutexLock lock(mutex_);
+  return running_;
+}
+
+bool DiskScheduler::AnyQueuedLocked() const {
+  for (const auto& queue : queues_) {
+    if (!queue.empty()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Monotask* DiskScheduler::PopNextLocked() {
@@ -137,18 +169,10 @@ void DiskScheduler::WorkerLoop() {
   while (true) {
     Monotask* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        if (shutdown_) {
-          return true;
-        }
-        for (const auto& queue : queues_) {
-          if (!queue.empty()) {
-            return true;
-          }
-        }
-        return false;
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && !AnyQueuedLocked()) {
+        cv_.Wait(mutex_);
+      }
       if (shutdown_) {
         return;
       }
@@ -163,7 +187,7 @@ void DiskScheduler::WorkerLoop() {
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --running_;
     }
     on_complete_(task, service);
@@ -181,14 +205,18 @@ NetworkScheduler::NetworkScheduler(int multitask_limit, int num_threads,
   }
 }
 
-NetworkScheduler::~NetworkScheduler() {
+NetworkScheduler::~NetworkScheduler() { Shutdown(); }
+
+void NetworkScheduler::Shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& thread : threads_) {
-    thread.join();
+    if (thread.joinable()) {
+      thread.join();
+    }
   }
 }
 
@@ -196,26 +224,31 @@ void NetworkScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kNetwork);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(task);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 int NetworkScheduler::queue_length() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<int>(queue_.size());
+}
+
+int NetworkScheduler::active() const {
+  const MutexLock lock(mutex_);
+  return running_;
 }
 
 void NetworkScheduler::WorkerLoop() {
   while (true) {
     Monotask* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // Admission: at most `limit_` fetch sets outstanding at once.
-      cv_.wait(lock, [this] {
-        return shutdown_ || (!queue_.empty() && running_ < limit_);
-      });
+      while (!shutdown_ && (queue_.empty() || running_ >= limit_)) {
+        cv_.Wait(mutex_);
+      }
       if (shutdown_) {
         return;
       }
@@ -228,10 +261,10 @@ void NetworkScheduler::WorkerLoop() {
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --running_;
     }
-    cv_.notify_one();  // A slot freed; admit the next waiter.
+    cv_.NotifyOne();  // A slot freed; admit the next waiter.
     on_complete_(task, service);
   }
 }

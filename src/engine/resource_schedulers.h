@@ -10,14 +10,14 @@
 #define MONOTASKS_SRC_ENGINE_RESOURCE_SCHEDULERS_H_
 
 #include <array>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/engine/monotask.h"
 
 namespace monotasks {
@@ -35,21 +35,29 @@ class CpuScheduler {
   CpuScheduler(const CpuScheduler&) = delete;
   CpuScheduler& operator=(const CpuScheduler&) = delete;
 
-  void Submit(Monotask* task);
+  void Submit(Monotask* task) EXCLUDES(mutex_);
 
-  int queue_length() const;
-  int running() const { return running_; }
+  // Stops and joins the worker threads; idempotent, but must only be called by
+  // the owning thread. The destructor calls it; Worker::Shutdown calls it
+  // earlier so every scheduler's threads are joined before any scheduler is
+  // destroyed (a completion callback on one scheduler's thread may still be
+  // inside Submit()/notify on another).
+  void Shutdown() EXCLUDES(mutex_);
+
+  int queue_length() const EXCLUDES(mutex_);
+  int running() const EXCLUDES(mutex_);
   int max_concurrency() const { return static_cast<int>(threads_.size()); }
 
  private:
   void WorkerLoop();
 
   CompletionCallback on_complete_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Monotask*> queue_;
-  int running_ = 0;
-  bool shutdown_ = false;
+  mutable monoutil::Mutex mutex_;
+  monoutil::CondVar cv_;
+  std::deque<Monotask*> queue_ GUARDED_BY(mutex_);
+  int running_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  // Immutable after construction (joined in Shutdown only).
   std::vector<std::thread> threads_;
 };
 
@@ -63,24 +71,30 @@ class DiskScheduler {
   DiskScheduler(const DiskScheduler&) = delete;
   DiskScheduler& operator=(const DiskScheduler&) = delete;
 
-  void Submit(Monotask* task);  // Uses task->disk_queue to pick the phase queue.
+  // Uses task->disk_queue to pick the phase queue.
+  void Submit(Monotask* task) EXCLUDES(mutex_);
 
-  int queue_length() const;
-  int queued_writes() const;
-  int running() const { return running_; }
+  // Stops and joins the worker threads; idempotent (see CpuScheduler::Shutdown).
+  void Shutdown() EXCLUDES(mutex_);
+
+  int queue_length() const EXCLUDES(mutex_);
+  int queued_writes() const EXCLUDES(mutex_);
+  int running() const EXCLUDES(mutex_);
   int max_concurrency() const { return static_cast<int>(threads_.size()); }
 
  private:
   void WorkerLoop();
-  Monotask* PopNextLocked();
+  Monotask* PopNextLocked() REQUIRES(mutex_);
+  bool AnyQueuedLocked() const REQUIRES(mutex_);
 
   CompletionCallback on_complete_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::array<std::deque<Monotask*>, 3> queues_;
-  int rr_cursor_ = 0;
-  int running_ = 0;
-  bool shutdown_ = false;
+  mutable monoutil::Mutex mutex_;
+  monoutil::CondVar cv_;
+  std::array<std::deque<Monotask*>, 3> queues_ GUARDED_BY(mutex_);
+  int rr_cursor_ GUARDED_BY(mutex_) = 0;
+  int running_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  // Immutable after construction (joined in Shutdown only).
   std::vector<std::thread> threads_;
 };
 
@@ -97,22 +111,26 @@ class NetworkScheduler {
 
   // Submits the network monotask of one multitask (it performs that multitask's
   // whole fetch set). Admission is gated by the multitask limit.
-  void Submit(Monotask* task);
+  void Submit(Monotask* task) EXCLUDES(mutex_);
 
-  int queue_length() const;
-  int active() const { return running_; }
+  // Stops and joins the worker threads; idempotent (see CpuScheduler::Shutdown).
+  void Shutdown() EXCLUDES(mutex_);
+
+  int queue_length() const EXCLUDES(mutex_);
+  int active() const EXCLUDES(mutex_);
   int max_concurrency() const { return limit_; }
 
  private:
   void WorkerLoop();
 
   CompletionCallback on_complete_;
-  int limit_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Monotask*> queue_;
-  int running_ = 0;
-  bool shutdown_ = false;
+  const int limit_;
+  mutable monoutil::Mutex mutex_;
+  monoutil::CondVar cv_;
+  std::deque<Monotask*> queue_ GUARDED_BY(mutex_);
+  int running_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  // Immutable after construction (joined in Shutdown only).
   std::vector<std::thread> threads_;
 };
 

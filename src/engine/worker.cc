@@ -42,6 +42,20 @@ Worker::Worker(int id, const EngineConfig& config, InProcessFabric* fabric)
   dag_ = std::make_unique<LocalDagScheduler>([this](Monotask* task) { Route(task); });
 }
 
+Worker::~Worker() { Shutdown(); }
+
+void Worker::Shutdown() {
+  // Join the CPU threads first — their completion callbacks are the ones most
+  // often still inside Submit()/notify on the disk and network schedulers —
+  // then the rest. After this, no thread of this worker can touch any
+  // scheduler, so the member destructors run against quiescent objects.
+  cpu_->Shutdown();
+  network_->Shutdown();
+  for (auto& disk : disk_schedulers_) {
+    disk->Shutdown();
+  }
+}
+
 void Worker::Route(Monotask* task) {
   switch (task->resource()) {
     case ResourceType::kCpu:

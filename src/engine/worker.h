@@ -64,9 +64,17 @@ struct WorkerCounters {
 class Worker {
  public:
   Worker(int id, const EngineConfig& config, InProcessFabric* fabric);
+  ~Worker();
 
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
+
+  // Joins every scheduler's threads (idempotent). Called by the destructor, but
+  // a multi-worker owner must call it on ALL workers before destroying ANY of
+  // them: a completion callback running on one worker's scheduler thread can
+  // still be inside Submit()/notify on another worker's scheduler (shuffle
+  // serves), and pthread_cond_signal racing pthread_cond_destroy is undefined.
+  void Shutdown();
 
   int id() const { return id_; }
   const EngineConfig& config() const { return config_; }
@@ -102,6 +110,9 @@ class Worker {
   void Route(Monotask* task);
   void OnComplete(Monotask* task, double service_seconds);
 
+  // Thread safety: everything below is either immutable after construction or
+  // atomic; all mutex-protected state lives inside the owned schedulers,
+  // devices, and the DAG scheduler (annotated in their own headers).
   int id_;
   EngineConfig config_;
   InProcessFabric* fabric_;

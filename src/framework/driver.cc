@@ -99,13 +99,16 @@ void JobDriver::OnStageComplete(JobState* job, StageExecution* stage) {
   }
   job->result.end = sim_->now();
   job->result.peak_buffered_bytes = executor_->peak_buffered_bytes();
+  // Digest of every event fired up to job completion; the determinism witness
+  // for this run (metrics.h).
+  job->result.sim_digest = sim_->digest();
   if (job->done) {
     // Deliver via an event so the callback does not run inside executor frames.
     auto done = std::move(job->done);
     auto result = job->result;
     sim_->ScheduleAfter(0.0, [done = std::move(done), result = std::move(result)] {
       done(result);
-    });
+    }, "job-done");
   }
 }
 

@@ -150,9 +150,10 @@ bool MonotasksExecutorSim::DispatchOne(int machine) {
   }
   ++worker.active_multitasks;
   assignment->stage->OnTaskStarted(assignment->task_index, sim_->now());
-  auto multitask = std::make_unique<MonoMultitaskSim>(this, *assignment);
+  auto multitask =
+      std::make_unique<MonoMultitaskSim>(this, *assignment, next_dispatch_id_++);
   MonoMultitaskSim* raw = multitask.get();
-  running_.emplace(raw, std::move(multitask));
+  running_.emplace(raw->dispatch_id(), std::move(multitask));
   // The leading compute monotask that deserializes the task description and builds
   // the DAG (Fig 4 caption) is modeled as a fixed launch delay.
   sim_->ScheduleAfter(config_.task_launch_overhead, [raw] { raw->Start(); });
@@ -183,7 +184,7 @@ void MonotasksExecutorSim::OnMultitaskComplete(MonoMultitaskSim* multitask) {
   MONO_CHECK(worker.active_multitasks > 0);
   --worker.active_multitasks;
 
-  auto it = running_.find(multitask);
+  auto it = running_.find(multitask->dispatch_id());
   MONO_CHECK(it != running_.end());
   // Deferred destruction: this is called from inside the multitask's own frames.
   sim_->ScheduleAfter(0.0,

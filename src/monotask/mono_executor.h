@@ -127,7 +127,11 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
   MonoConfig config_;
 
   std::vector<WorkerState> workers_;
-  std::unordered_map<MonoMultitaskSim*, std::unique_ptr<MonoMultitaskSim>> running_;
+  // Running registry keyed by the executor-assigned dispatch id, not the
+  // multitask's address: no schedule decision may depend on heap layout
+  // (determinism contract, DESIGN §10).
+  std::unordered_map<uint64_t, std::unique_ptr<MonoMultitaskSim>> running_;
+  uint64_t next_dispatch_id_ = 0;
   monoutil::Bytes peak_buffered_ = 0;
 };
 

@@ -26,9 +26,9 @@ void RecordDiskService(monosim::MonotaskTimes* times, int machine, double servic
 }  // namespace
 
 MonoMultitaskSim::MonoMultitaskSim(MonotasksExecutorSim* executor,
-                                   TaskAssignment assignment)
+                                   TaskAssignment assignment, uint64_t dispatch_id)
     : executor_(executor), assignment_(std::move(assignment)),
-      start_time_(executor->sim_->now()) {
+      dispatch_id_(dispatch_id), start_time_(executor->sim_->now()) {
   const StageSpec& spec = assignment_.stage->spec();
   write_total_ = assignment_.shuffle_write_bytes + assignment_.output_bytes;
   const bool shuffle_in_memory =

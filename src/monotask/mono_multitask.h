@@ -26,7 +26,10 @@ class MonotasksExecutorSim;
 
 class MonoMultitaskSim {
  public:
-  MonoMultitaskSim(MonotasksExecutorSim* executor, TaskAssignment assignment);
+  // `dispatch_id` is the executor-assigned stable identity of this dispatch
+  // (the key of the executor's running registry; never a heap address).
+  MonoMultitaskSim(MonotasksExecutorSim* executor, TaskAssignment assignment,
+                   uint64_t dispatch_id);
 
   MonoMultitaskSim(const MonoMultitaskSim&) = delete;
   MonoMultitaskSim& operator=(const MonoMultitaskSim&) = delete;
@@ -34,6 +37,7 @@ class MonoMultitaskSim {
   // Begins execution: enqueues the input-phase monotasks.
   void Start();
 
+  uint64_t dispatch_id() const { return dispatch_id_; }
   const TaskAssignment& assignment() const { return assignment_; }
 
   // When the multitask was dispatched (set at construction).
@@ -54,6 +58,7 @@ class MonoMultitaskSim {
 
   MonotasksExecutorSim* executor_;
   TaskAssignment assignment_;
+  uint64_t dispatch_id_;
   monoutil::SimTime start_time_ = 0.0;
 
   int pending_input_pieces_ = 0;

@@ -101,9 +101,9 @@ bool SparkExecutorSim::DispatchOne(int machine) {
   }
   ++state.busy_slots;
   assignment->stage->OnTaskStarted(assignment->task_index, sim_->now());
-  auto task = std::make_unique<SparkTaskSim>(this, *assignment);
+  auto task = std::make_unique<SparkTaskSim>(this, *assignment, next_dispatch_id_++);
   SparkTaskSim* raw = task.get();
-  running_.emplace(raw, std::move(task));
+  running_.emplace(raw->dispatch_id(), std::move(task));
   // The launch overhead (task deserialization on the executor) occupies the slot
   // before the pipeline starts.
   sim_->ScheduleAfter(config_.task_launch_overhead, [raw] { raw->Start(); });
@@ -136,7 +136,7 @@ void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
   --state.busy_slots;
   // OnTaskComplete is called from inside the task's own frames, so destruction is
   // deferred to a zero-delay event that runs after the current event unwinds.
-  auto it = running_.find(task);
+  auto it = running_.find(task->dispatch_id());
   MONO_CHECK(it != running_.end());
   // shared_ptr because std::function requires a copyable callable.
   sim_->ScheduleAfter(0.0, [owned = std::shared_ptr<SparkTaskSim>(std::move(it->second))] {});

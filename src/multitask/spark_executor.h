@@ -110,7 +110,11 @@ class SparkExecutorSim : public ExecutorSim, public Auditable {
   SparkConfig config_;
 
   std::vector<MachineState> machines_;
-  std::unordered_map<SparkTaskSim*, std::unique_ptr<SparkTaskSim>> running_;
+  // Running registry keyed by the executor-assigned dispatch id, not the
+  // task's address: no schedule decision may depend on heap layout
+  // (determinism contract, DESIGN §10).
+  std::unordered_map<uint64_t, std::unique_ptr<SparkTaskSim>> running_;
+  uint64_t next_dispatch_id_ = 0;
   monoutil::Bytes peak_buffered_ = 0;
   monoutil::Rng rng_{20171028};  // Drives chunk jitter only.
 };

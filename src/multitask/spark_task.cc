@@ -14,9 +14,11 @@ namespace monosim {
 
 using monoutil::Bytes;
 
-SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment)
+SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment,
+                           uint64_t dispatch_id)
     : executor_(executor),
       assignment_(std::move(assignment)),
+      dispatch_id_(dispatch_id),
       start_time_(executor->sim_->now()) {
   const StageSpec& spec = assignment_.stage->spec();
   const Bytes chunk = executor_->config().chunk_bytes;

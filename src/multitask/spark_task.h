@@ -26,7 +26,10 @@ class SparkExecutorSim;
 
 class SparkTaskSim {
  public:
-  SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment);
+  // `dispatch_id` is the executor-assigned stable identity of this dispatch
+  // (the key of the executor's running registry; never a heap address).
+  SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment,
+               uint64_t dispatch_id);
 
   SparkTaskSim(const SparkTaskSim&) = delete;
   SparkTaskSim& operator=(const SparkTaskSim&) = delete;
@@ -34,6 +37,7 @@ class SparkTaskSim {
   // Begins execution (after the launch overhead has been paid by the executor).
   void Start();
 
+  uint64_t dispatch_id() const { return dispatch_id_; }
   const TaskAssignment& assignment() const { return assignment_; }
 
   // When the task claimed its slot (set at construction, i.e. dispatch time).
@@ -63,6 +67,7 @@ class SparkTaskSim {
 
   SparkExecutorSim* executor_;
   TaskAssignment assignment_;
+  uint64_t dispatch_id_;
   monoutil::SimTime start_time_ = 0.0;
 
   // Chunk geometry.

@@ -178,7 +178,8 @@ void FluidServer::Reschedule() {
     }
   }
   MONO_CHECK_MSG(std::isfinite(min_time), "active request with zero rate would never finish");
-  completion_event_ = sim_->ScheduleAfter(min_time, [this] { OnCompletionEvent(); });
+  completion_event_ =
+      sim_->ScheduleAfter(min_time, [this] { OnCompletionEvent(); }, "fluid-complete");
 }
 
 void FluidServer::OnCompletionEvent() {

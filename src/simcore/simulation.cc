@@ -1,6 +1,7 @@
 #include "src/simcore/simulation.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,23 @@
 #include "src/common/check.h"
 
 namespace monosim {
+
+namespace {
+
+SimDigestTrail*& CurrentTrailSlot() {
+  static SimDigestTrail* current = nullptr;
+  return current;
+}
+
+}  // namespace
+
+SimDigestTrail::SimDigestTrail() : previous_(CurrentTrailSlot()) {
+  CurrentTrailSlot() = this;
+}
+
+SimDigestTrail::~SimDigestTrail() { CurrentTrailSlot() = previous_; }
+
+SimDigestTrail* SimDigestTrail::current() { return CurrentTrailSlot(); }
 
 void EventHandle::Cancel() {
   if (record_ != nullptr && !record_->fired && !record_->cancelled) {
@@ -23,21 +41,46 @@ bool EventHandle::pending() const {
   return record_ != nullptr && !record_->fired && !record_->cancelled;
 }
 
-EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+Simulation::~Simulation() {
+  if (SimDigestTrail* trail = SimDigestTrail::current()) {
+    trail->Record(fired_, digest_);
+  }
+}
+
+EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn,
+                                   const char* tag) {
   MONO_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
   MONO_CHECK(fn != nullptr);
+  MONO_CHECK(tag != nullptr);
   auto record = std::make_shared<EventHandle::Record>();
   record->fn = std::move(fn);
   record->queued_tombstones = tombstones_;
-  queue_.push_back(QueueEntry{when, next_seq_++, record});
+  queue_.push_back(QueueEntry{when, next_seq_++, tag, record});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
   MaybeCompact();
   return EventHandle(std::move(record));
 }
 
-EventHandle Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+EventHandle Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn,
+                                      const char* tag) {
   MONO_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleAt(now_ + delay, std::move(fn), tag);
+}
+
+void Simulation::MixDigest(SimTime when, uint64_t seq, const char* tag) {
+  constexpr uint64_t kFnvPrime = 1099511628211ULL;
+  const auto mix_bytes = [this](const unsigned char* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      digest_ ^= data[i];
+      digest_ *= kFnvPrime;
+    }
+  };
+  static_assert(sizeof(SimTime) == sizeof(uint64_t));
+  uint64_t when_bits = 0;
+  std::memcpy(&when_bits, &when, sizeof(when_bits));
+  mix_bytes(reinterpret_cast<const unsigned char*>(&when_bits), sizeof(when_bits));
+  mix_bytes(reinterpret_cast<const unsigned char*>(&seq), sizeof(seq));
+  mix_bytes(reinterpret_cast<const unsigned char*>(tag), std::strlen(tag));
 }
 
 Simulation::QueueEntry Simulation::PopTop() {
@@ -82,6 +125,7 @@ bool Simulation::Step() {
     last_fired_time_ = entry.when;
     entry.record->fired = true;
     ++fired_;
+    MixDigest(entry.when, entry.seq, entry.tag);
     // Move the callback out so that captured state dies when it returns.
     std::function<void()> fn = std::move(entry.record->fn);
     fn();

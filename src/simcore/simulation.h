@@ -57,9 +57,40 @@ class EventHandle {
   std::shared_ptr<Record> record_;
 };
 
+// Collects the (fired_events, digest) pair of every Simulation destroyed while
+// the trail is installed, in destruction order. The determinism test listener
+// (tests/digest_listener.cc) installs one per test and compares trails across
+// repeated runs: same seed must mean same schedule, byte for byte. Trails nest
+// SimAudit-style; the innermost installed trail records.
+class SimDigestTrail {
+ public:
+  struct Entry {
+    uint64_t fired = 0;
+    uint64_t digest = 0;
+    bool operator==(const Entry&) const = default;
+  };
+
+  SimDigestTrail();
+  ~SimDigestTrail();
+
+  SimDigestTrail(const SimDigestTrail&) = delete;
+  SimDigestTrail& operator=(const SimDigestTrail&) = delete;
+
+  // The innermost installed trail, or nullptr.
+  static SimDigestTrail* current();
+
+  void Record(uint64_t fired, uint64_t digest) { entries_.push_back({fired, digest}); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  SimDigestTrail* previous_;
+  std::vector<Entry> entries_;
+};
+
 class Simulation {
  public:
   Simulation() = default;
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -68,10 +99,14 @@ class Simulation {
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run at absolute virtual time `when` (must be >= now()).
-  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+  // `tag` labels the event in the run digest; it must point at storage that
+  // outlives the event (pass a string literal).
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn,
+                         const char* tag = "");
 
   // Schedules `fn` to run `delay` seconds from now (delay must be >= 0).
-  EventHandle ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventHandle ScheduleAfter(SimTime delay, std::function<void()> fn,
+                            const char* tag = "");
 
   // Runs until the event queue is empty.
   void Run();
@@ -87,6 +122,15 @@ class Simulation {
 
   // Number of (non-cancelled) events fired so far.
   uint64_t fired_events() const { return fired_; }
+
+  // Rolling FNV-1a hash over every fired event's (time, sequence, tag) tuple —
+  // a compact witness of the whole schedule. Two runs with the same seed and
+  // the same code must produce identical digests; any dependence on heap
+  // addresses, wall clock, or uncontrolled entropy shows up as a digest
+  // mismatch. Cancelled events never contribute (they did not shape the run);
+  // the sequence numbers of fired events do, so the *scheduling* order is
+  // covered transitively.
+  uint64_t digest() const { return digest_; }
 
   // Queue introspection (tests, benches): total entries including tombstones, and
   // the tombstones among them. queue_size() - queued_tombstones() is the live count.
@@ -113,6 +157,7 @@ class Simulation {
   struct QueueEntry {
     SimTime when;
     uint64_t seq;
+    const char* tag;
     std::shared_ptr<EventHandle::Record> record;
   };
   struct Later {
@@ -131,9 +176,13 @@ class Simulation {
   // Drops every tombstone and re-heapifies when tombstones outnumber live entries.
   void MaybeCompact();
 
+  // Folds a fired event's identity into the run digest.
+  void MixDigest(SimTime when, uint64_t seq, const char* tag);
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t fired_ = 0;
+  uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis.
   SimTime last_fired_time_ = 0.0;
   // Binary heap ordered by Later (std::push_heap/std::pop_heap); a plain vector so
   // compaction can filter it in place, which std::priority_queue cannot.

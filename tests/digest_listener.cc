@@ -1,0 +1,80 @@
+// Installs a SimDigestTrail (simulation.h) around every test in the suite and
+// compares the trail — the (fired_events, digest) pair of every Simulation the
+// test destroyed — across --gtest_repeat iterations. Any test whose simulations
+// fire a different event stream on a rerun inside the same process fails, which
+// catches schedule nondeterminism (pointer-ordered containers, wall-clock or
+// entropy leaks) wherever a test exercises it, without each test opting in.
+// The `determinism_repeat` CTest entry runs the suite with --gtest_repeat=2 so
+// this comparison fires in CI.
+//
+// Tests that deliberately run address-dependent schedules install their own
+// nested SimDigestTrail; the nested trail absorbs those recordings, so this
+// listener only sees the test's deterministic simulations (the same absorption
+// pattern as the SimAudit listener in audit_listener.cc).
+//
+// Registered from a static initializer (the googletest sample10 LeakChecker
+// pattern) because the suite links GTest::gtest_main and has no main() to edit.
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+class SimDigestListener : public ::testing::EmptyTestEventListener {
+ private:
+  void OnTestStart(const ::testing::TestInfo& /*info*/) override {
+    trail_.emplace();
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!trail_.has_value()) {
+      return;
+    }
+    std::vector<SimDigestTrail::Entry> entries = trail_->entries();
+    trail_.reset();
+    const std::string key =
+        std::string(info.test_suite_name()) + "." + info.name();
+    const auto it = first_run_.find(key);
+    if (it == first_run_.end()) {
+      first_run_.emplace(key, std::move(entries));
+      return;
+    }
+    if (entries.empty() || it->second.empty()) {
+      // Tests that cache an expensive run in a function-local static (e.g. the
+      // traced-sort fixture in tracing_test.cc) simulate only on the first
+      // in-process run; an empty side has nothing to compare.
+      return;
+    }
+    EXPECT_EQ(it->second.size(), entries.size())
+        << key << ": rerun destroyed a different number of simulations";
+    const size_t n = std::min(it->second.size(), entries.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(it->second[i].fired, entries[i].fired)
+          << key << ": simulation #" << i << " fired a different event count "
+          << "on rerun — the schedule is nondeterministic";
+      EXPECT_EQ(it->second[i].digest, entries[i].digest)
+          << key << ": simulation #" << i << " produced a different "
+          << "event-stream digest on rerun — the schedule depends on heap "
+          << "addresses, wall clock, or uncontrolled entropy";
+    }
+  }
+
+  std::optional<SimDigestTrail> trail_;
+  // Trail of each test's first in-process run, keyed by "<suite>.<test>".
+  std::map<std::string, std::vector<SimDigestTrail::Entry>> first_run_;
+};
+
+[[maybe_unused]] const bool kListenerInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SimDigestListener);
+  return true;
+}();
+
+}  // namespace
+}  // namespace monosim

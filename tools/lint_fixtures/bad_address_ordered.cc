@@ -1,0 +1,21 @@
+// mono_lint fixture: address-ordered containers/comparators in simulation
+// code. Every marked line must be flagged by the `address-ordered` rule.
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace monosim {
+
+class TaskSim;
+
+class WaitQueue {
+ private:
+  std::set<TaskSim*> waiters_;            // BAD: ordered by address
+  std::map<TaskSim*, double> deadlines_;  // BAD: ordered by address
+  std::priority_queue<TaskSim*, std::vector<TaskSim*>, std::less<TaskSim*>>
+      heap_;                              // BAD: std::less over pointers
+};
+
+}  // namespace monosim

@@ -1,0 +1,16 @@
+// mono_lint fixture: forbidden entropy sources in simulation code. Every
+// marked line must be flagged by the `entropy` rule.
+#include <cstdlib>
+#include <random>
+
+namespace monosim {
+
+int UnreproducibleDraws() {
+  std::random_device device;            // BAD: non-reproducible seed
+  std::mt19937_64 engine(device());     // BAD: platform-varying engine
+  std::uniform_int_distribution<int> dist(0, 9);  // BAD: stdlib-varying
+  srand(42);                            // BAD: hidden global state
+  return dist(engine) + rand();         // BAD: rand()
+}
+
+}  // namespace monosim

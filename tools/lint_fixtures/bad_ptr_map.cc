@@ -1,0 +1,26 @@
+// mono_lint fixture: pointer-keyed unordered containers in simulation code.
+// Every marked declaration must be flagged by the `ptr-keyed-container` rule.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace monosim {
+
+class TaskSim;
+
+class Registry {
+ public:
+  int Total() const {
+    int total = 0;
+    for (const auto& [task, weight] : weights_) {  // Heap-ordered iteration!
+      (void)task;
+      total += weight;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<TaskSim*, int> weights_;  // BAD: pointer-keyed map
+  std::unordered_set<const TaskSim*> seen_;    // BAD: pointer-keyed set
+};
+
+}  // namespace monosim

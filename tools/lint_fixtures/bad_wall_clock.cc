@@ -1,0 +1,19 @@
+// mono_lint fixture: wall-clock use inside simulation code. Every marked line
+// must be flagged by the `wall-clock` rule (mono_lint_test.py asserts it).
+#include <chrono>
+#include <ctime>
+
+namespace monosim {
+
+double SimulatedServiceTime() {
+  const auto start = std::chrono::steady_clock::now();  // BAD: wall-clock
+  const auto wall = std::chrono::system_clock::now();   // BAD: wall-clock
+  (void)wall;
+  const auto t = time(nullptr);  // BAD: wall-clock
+  (void)t;
+  return std::chrono::duration<double>(std::chrono::high_resolution_clock::now() -
+                                       start)
+      .count();  // BAD: wall-clock (high_resolution_clock)
+}
+
+}  // namespace monosim

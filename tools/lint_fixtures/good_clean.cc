@@ -1,0 +1,39 @@
+// mono_lint fixture: determinism-clean simulation code, including every
+// sanctioned suppression form. mono_lint_test.py asserts zero violations.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace monosim {
+
+class TaskSim;
+
+class Registry {
+ public:
+  explicit Registry(uint64_t seed) : rng_(seed) {}
+
+  uint64_t Draw() { return rng_.NextU64(); }
+
+ private:
+  monoutil::Rng rng_;  // The one sanctioned entropy source.
+
+  // Stable-id keys: iteration order is value order, not heap order.
+  std::unordered_map<uint64_t, int> weights_by_id_;
+  // String keys are fine too; mentioning steady_clock in a comment is fine.
+  std::unordered_map<std::string, int> by_name_;
+  // Point-lookup-only registry, audited by hand:
+  // mono_lint: iteration-free
+  std::unordered_map<TaskSim*, int> lookup_only_;
+  std::unordered_map<TaskSim*, int> also_ok_;  // mono_lint: iteration-free
+  // Wall-clock measurement gated out of simulation builds, reviewed:
+  // mono_lint: allow(wall-clock)
+  double epoch_ = 0;  // would hold std::chrono::steady_clock::now() readings
+};
+
+inline const char* Describe() {
+  return "calls rand() and std::random_device in a string literal";
+}
+
+}  // namespace monosim

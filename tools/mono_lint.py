@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""mono_lint: repo-specific determinism static analysis.
+
+The cluster simulator's contract is "same seed => same schedule => same
+figures" (DESIGN.md, "Determinism contract & static enforcement"). This linter
+enforces the source-level rules that contract rests on, over the simulation
+directories (src/simcore, src/cluster, src/monotask, src/multitask, src/model,
+src/framework, src/storage, src/workloads):
+
+  wall-clock      No std::chrono::{system,steady,high_resolution}_clock,
+                  time(), gettimeofday(), or clock_gettime() in simulation
+                  code. Virtual time comes from Simulation::now() only. The
+                  real-time engine (src/engine, src/api) legitimately measures
+                  wall time and is out of scope.
+
+  entropy         No std::random_device, rand()/srand(), std::mt19937 or other
+                  <random> engines/distributions (their outputs differ across
+                  standard libraries), or std::random_shuffle. monoutil::Rng
+                  (SplitMix64-seeded xoshiro256**) is the only entropy source.
+
+  ptr-keyed-container
+                  No unordered_map/unordered_set keyed by a pointer in
+                  simulation code: iteration order follows the heap layout, so
+                  any schedule decision derived from it silently depends on
+                  allocator behaviour. Flagged at the container declaration.
+                  If every access is a point lookup (find/emplace/erase, never
+                  iteration), tag the declaration `// mono_lint: iteration-free`
+                  -- but prefer keying by a stable id.
+
+  address-ordered No std::map/std::set keyed by a pointer and no
+                  std::less<T*>/std::greater<T*> comparators: address order is
+                  allocation order, which is not reproducible.
+
+Benchmark sources (bench/) are additionally checked against the entropy rule
+only: benches measure wall time legitimately, but must seed exclusively through
+monoutil::Rng so the run digest recorded in BENCH_*.json is same-schedule.
+
+Suppressions, on the flagged line or the line directly above it:
+  // mono_lint: iteration-free        (ptr-keyed-container only)
+  // mono_lint: allow(<rule-name>)    (any rule; say why in a comment)
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
+
+Usage:
+  mono_lint.py --root <repo-root>                # lint the tree
+  mono_lint.py --root <repo-root> file.cc ...    # lint specific files with
+                                                 # the full rule set (fixtures)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, NamedTuple
+
+# Rule name -> list of (compiled regex, human message).
+RULES: dict[str, list[tuple[re.Pattern[str], str]]] = {
+    "wall-clock": [
+        (
+            re.compile(
+                r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            ),
+            "wall-clock source in simulation code; use Simulation::now()",
+        ),
+        (
+            re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
+            "wall-clock syscall in simulation code; use Simulation::now()",
+        ),
+        (
+            re.compile(r"(?<![\w:.>])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+            "time() in simulation code; use Simulation::now()",
+        ),
+    ],
+    "entropy": [
+        (
+            re.compile(r"std::random_device|\brandom_device\b"),
+            "std::random_device is non-reproducible; seed a monoutil::Rng",
+        ),
+        (
+            re.compile(r"(?<![\w:.>])s?rand\s*\("),
+            "rand()/srand() is a hidden global entropy source; use monoutil::Rng",
+        ),
+        (
+            re.compile(
+                r"\b(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+                r"ranlux\w+|knuth_b)\b"
+            ),
+            "<random> engines vary across platforms; use monoutil::Rng",
+        ),
+        (
+            re.compile(
+                r"\b(uniform_int_distribution|uniform_real_distribution|"
+                r"normal_distribution|exponential_distribution|"
+                r"bernoulli_distribution|poisson_distribution)\b"
+            ),
+            "<random> distributions vary across standard libraries; "
+            "use monoutil::Rng's distribution helpers",
+        ),
+        (
+            re.compile(r"\brandom_shuffle\s*\("),
+            "std::random_shuffle uses unspecified entropy; "
+            "shuffle with monoutil::Rng::NextBelow",
+        ),
+    ],
+    "ptr-keyed-container": [
+        (
+            re.compile(r"\bunordered_(map|set)\s*<\s*(const\s+)?[\w:]+\s*\*"),
+            "pointer-keyed unordered container: iteration order is heap order; "
+            "key by a stable id, or tag `// mono_lint: iteration-free` if it is "
+            "never iterated",
+        ),
+    ],
+    "address-ordered": [
+        (
+            re.compile(r"\bstd::(map|set)\s*<\s*(const\s+)?[\w:]+\s*\*"),
+            "std::map/std::set keyed by a pointer orders by address, which is "
+            "allocation order; key by a stable id",
+        ),
+        (
+            re.compile(r"\bstd::(less|greater)\s*<\s*(const\s+)?[\w:]+\s*\*"),
+            "address-ordered comparator; compare stable ids instead",
+        ),
+    ],
+}
+
+ALL_RULES = tuple(RULES)
+
+# Directories linted with the full rule set, relative to --root.
+SIM_DIRS = (
+    "src/simcore",
+    "src/cluster",
+    "src/monotask",
+    "src/multitask",
+    "src/model",
+    "src/framework",
+    "src/storage",
+    "src/workloads",
+)
+
+# Directories linted with a reduced rule set (wall time is legitimate there,
+# entropy is not).
+BENCH_DIRS = ("bench",)
+BENCH_RULES = ("entropy",)
+
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
+
+SUPPRESS_ALLOW = re.compile(r"//\s*mono_lint:\s*allow\(([\w,\- ]+)\)")
+SUPPRESS_ITERFREE = re.compile(r"//\s*mono_lint:\s*iteration-free\b")
+
+
+class Violation(NamedTuple):
+    path: pathlib.Path
+    line_number: int  # 1-based
+    rule: str
+    message: str
+    line: str
+
+
+def strip_code_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Returns `line` with comments and string/char literal contents blanked.
+
+    Keeps column positions stable (replaced with spaces). `in_block_comment`
+    carries /* ... */ state across lines.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                out.append(" " * (n - i))
+                i = n
+            else:
+                out.append(" " * (end + 2 - i))
+                i = end + 2
+                in_block_comment = False
+            continue
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            out.append(" " * (n - i))
+            i = n
+        elif ch == "/" and nxt == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                elif line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                else:
+                    out.append(" ")
+                    i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), in_block_comment
+
+
+def suppressions(raw_line: str) -> set[str]:
+    """Rules suppressed by directives on `raw_line` (comment text included)."""
+    allowed: set[str] = set()
+    match = SUPPRESS_ALLOW.search(raw_line)
+    if match:
+        allowed.update(part.strip() for part in match.group(1).split(","))
+    if SUPPRESS_ITERFREE.search(raw_line):
+        allowed.add("ptr-keyed-container")
+    return allowed
+
+
+def lint_file(path: pathlib.Path, rules: Iterable[str]) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        raise SystemExit(f"mono_lint: cannot read {path}: {err}")
+    violations: list[Violation] = []
+    in_block = False
+    previous_raw = ""
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        code, in_block = strip_code_line(raw, in_block)
+        active_suppressions = suppressions(raw) | suppressions(previous_raw)
+        previous_raw = raw
+        for rule in rules:
+            if rule in active_suppressions:
+                continue
+            for pattern, message in RULES[rule]:
+                if pattern.search(code):
+                    violations.append(
+                        Violation(path, line_number, rule, message, raw.strip())
+                    )
+                    break  # One report per rule per line.
+    return violations
+
+
+def iter_sources(root: pathlib.Path, directory: str) -> Iterable[pathlib.Path]:
+    base = root / directory
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            yield path
+
+
+def lint_tree(root: pathlib.Path) -> list[Violation]:
+    violations: list[Violation] = []
+    for directory in SIM_DIRS:
+        for path in iter_sources(root, directory):
+            violations.extend(lint_file(path, ALL_RULES))
+    for directory in BENCH_DIRS:
+        for path in iter_sources(root, directory):
+            violations.extend(lint_file(path, BENCH_RULES))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", required=True, type=pathlib.Path,
+                        help="repository root")
+    parser.add_argument("--rules", default=",".join(ALL_RULES),
+                        help="comma-separated rule subset (explicit files only)")
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="lint these files (full rule set) instead of the tree")
+    args = parser.parse_args(argv)
+
+    rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    for rule in rules:
+        if rule not in RULES:
+            parser.error(f"unknown rule {rule!r}; known: {', '.join(ALL_RULES)}")
+
+    if args.files:
+        violations = []
+        for path in args.files:
+            violations.extend(lint_file(path, rules))
+    else:
+        violations = lint_tree(args.root)
+
+    for v in violations:
+        try:
+            shown = v.path.resolve().relative_to(args.root.resolve())
+        except ValueError:
+            shown = v.path
+        print(f"{shown}:{v.line_number}: [{v.rule}] {v.message}")
+        print(f"    {v.line}")
+    if violations:
+        print(f"mono_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

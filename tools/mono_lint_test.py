@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Unit tests for mono_lint: each rule class must fire on its fixture and stay
+quiet on clean/suppressed code. Run by CTest as `mono_lint_unit`."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import mono_lint  # noqa: E402
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def rules_found(name: str, rules=mono_lint.ALL_RULES) -> list[str]:
+    return [v.rule for v in mono_lint.lint_file(FIXTURES / name, rules)]
+
+
+class WallClockRuleTest(unittest.TestCase):
+    def test_flags_every_wall_clock_source(self) -> None:
+        found = rules_found("bad_wall_clock.cc")
+        self.assertEqual(set(found), {"wall-clock"})
+        # steady_clock, system_clock, time(), high_resolution_clock.
+        self.assertEqual(len(found), 4)
+
+
+class EntropyRuleTest(unittest.TestCase):
+    def test_flags_every_entropy_source(self) -> None:
+        found = rules_found("bad_entropy.cc")
+        self.assertEqual(set(found), {"entropy"})
+        # random_device, mt19937_64, distribution, srand, rand.
+        self.assertEqual(len(found), 5)
+
+    def test_rand_only_flagged_as_a_call(self) -> None:
+        violations = mono_lint.lint_file(FIXTURES / "bad_entropy.cc", ["entropy"])
+        self.assertTrue(any("rand" in v.line for v in violations))
+
+
+class PtrKeyedContainerRuleTest(unittest.TestCase):
+    def test_flags_pointer_keyed_unordered_containers(self) -> None:
+        found = rules_found("bad_ptr_map.cc")
+        self.assertEqual(set(found), {"ptr-keyed-container"})
+        self.assertEqual(len(found), 2)  # One map, one set.
+
+
+class AddressOrderedRuleTest(unittest.TestCase):
+    def test_flags_address_ordered_containers_and_comparators(self) -> None:
+        found = rules_found("bad_address_ordered.cc")
+        self.assertEqual(set(found), {"address-ordered"})
+        self.assertEqual(len(found), 3)  # set, map, std::less comparator.
+
+
+class CleanCodeTest(unittest.TestCase):
+    def test_clean_fixture_has_no_violations(self) -> None:
+        self.assertEqual(rules_found("good_clean.cc"), [])
+
+    def test_suppression_is_rule_specific(self) -> None:
+        # `iteration-free` must not silence other rules on the same line.
+        path = FIXTURES / "bad_ptr_map.cc"
+        violations = mono_lint.lint_file(path, ["wall-clock"])
+        self.assertEqual(violations, [])
+
+
+class RuleSubsetTest(unittest.TestCase):
+    def test_bench_rule_subset_ignores_wall_clock(self) -> None:
+        # bench/ sources are linted with the entropy rule only; a bench-style
+        # wall-clock fixture must pass under that subset.
+        found = rules_found("bad_wall_clock.cc", mono_lint.BENCH_RULES)
+        self.assertEqual(found, [])
+
+    def test_tree_scope_excludes_engine_and_api(self) -> None:
+        for directory in mono_lint.SIM_DIRS:
+            self.assertNotIn("engine", directory)
+            self.assertNotIn("api", directory)
+
+
+class CommentAndStringStrippingTest(unittest.TestCase):
+    def test_matches_in_comments_and_strings_are_ignored(self) -> None:
+        code, in_block = mono_lint.strip_code_line(
+            'Log("rand() seeded");  // via std::random_device', False
+        )
+        self.assertFalse(in_block)
+        self.assertNotIn("rand", code)
+        self.assertNotIn("random_device", code)
+
+    def test_block_comment_state_carries_across_lines(self) -> None:
+        _, in_block = mono_lint.strip_code_line("/* begin rand(", False)
+        self.assertTrue(in_block)
+        code, in_block = mono_lint.strip_code_line("still rand() */ x = 1;", True)
+        self.assertFalse(in_block)
+        self.assertNotIn("rand", code)
+        self.assertIn("x = 1;", code)
+
+
+class TreeIsCleanTest(unittest.TestCase):
+    def test_repository_tree_passes(self) -> None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        violations = mono_lint.lint_tree(root)
+        self.assertEqual(
+            [f"{v.path}:{v.line_number} [{v.rule}]" for v in violations], []
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -9,18 +9,30 @@
 // fabric scenarios do the same for the legacy min-share model vs. the
 // work-conserving max-min fabric, pricing the fidelity fix.
 //
+// Each fabric scenario runs twice: bare, and with the invariant audit installed
+// (the "_audit" variants, equivalent to MONO_SIM_AUDIT=report). The audit sweeps
+// every epoch boundary, so solver speedups must be read off the variant they were
+// measured under — the env var alone used to be silently ignored here, masking
+// the audit's share of the cost. Fabric scenarios also record the incremental
+// solver's own counters (solves, flows touched, rate changes, patched/batched
+// deltas) so a throughput change can be attributed to solver work, not guessed.
+//
 // Usage: simcore_bench [output.json]   (default ./BENCH_simcore.json)
+// MONO_BENCH_FILTER=<substring> runs only matching scenarios (profiling aid).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/network.h"
 #include "src/common/rng.h"
+#include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace {
@@ -32,6 +44,8 @@ struct Scenario {
   double events_per_sec;  // events / seconds.
   uint64_t max_queue;     // Peak live-plus-tombstone queue size observed.
   uint64_t digest;        // Simulation::digest(): must match across same-build runs.
+  bool has_solver_stats = false;  // Fabric scenarios carry the solver counters.
+  monosim::NetworkFabricSim::SolverStats solver;
 };
 
 double Elapsed(std::chrono::steady_clock::time_point start) {
@@ -82,12 +96,18 @@ Scenario BenchCancelChurn(bool compaction, const char* name) {
 
 // Continuous flow churn through the fabric: every completion starts a replacement
 // flow, so rates are recomputed (and completion events rescheduled) constantly.
-// This is the shuffle inner loop of the figure benches.
+// This is the shuffle inner loop of the figure benches. With `audited` the full
+// invariant audit (including the max-min bottleneck certification) sweeps every
+// epoch boundary, as under MONO_SIM_AUDIT=report; a violation fails the bench.
 Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
-                          const char* name) {
+                          const char* name, bool audited) {
   constexpr int kMachines = 16;
   constexpr int kLanes = 64;
   constexpr int kFlowsPerLane = 400;
+  std::unique_ptr<monosim::ScopedAudit> audit;
+  if (audited) {
+    audit = std::make_unique<monosim::ScopedAudit>(monosim::ScopedAudit::kReport);
+  }
   monosim::Simulation sim;
   monosim::NetworkFabricSim fabric(&sim, kMachines, /*nic_bandwidth=*/1e8);
   fabric.set_share_policy_for_test(policy);
@@ -119,8 +139,18 @@ Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
   sim.Run();
   const double seconds = Elapsed(start);
   const auto events = sim.fired_events();
-  return Scenario{name, events, seconds, events / seconds,
-                  static_cast<uint64_t>(max_queue), sim.digest()};
+  // The legacy policy is *expected* to fail the max-min certification; only the
+  // max-min policy's audited run must come back clean.
+  if (audited && policy == monosim::NetworkFabricSim::SharePolicy::kMaxMinFair &&
+      !audit->audit().ok()) {
+    std::cerr << name << ": audit violations\n" << audit->audit().Summary() << "\n";
+    std::exit(1);
+  }
+  Scenario s{name, events, seconds, events / seconds,
+             static_cast<uint64_t>(max_queue), sim.digest()};
+  s.has_solver_stats = true;
+  s.solver = fabric.solver_stats();
+  return s;
 }
 
 void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) {
@@ -128,17 +158,32 @@ void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) 
   out << "{\n  \"bench\": \"simcore\",\n  \"scenarios\": [\n";
   for (size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
-    char line[512];
+    char line[768];
     std::snprintf(line, sizeof(line),
                   "    {\"name\": \"%s\", \"events\": %llu, \"seconds\": %.4f, "
                   "\"events_per_sec\": %.0f, \"max_queue\": %llu, "
-                  "\"digest\": \"%016llx\"}%s\n",
+                  "\"digest\": \"%016llx\"",
                   s.name.c_str(), static_cast<unsigned long long>(s.events),
                   s.seconds, s.events_per_sec,
                   static_cast<unsigned long long>(s.max_queue),
-                  static_cast<unsigned long long>(s.digest),
-                  i + 1 < scenarios.size() ? "," : "");
+                  static_cast<unsigned long long>(s.digest));
     out << line;
+    if (s.has_solver_stats) {
+      std::snprintf(line, sizeof(line),
+                    ", \"solves\": %llu, \"flows_touched\": %llu, "
+                    "\"rate_changes\": %llu, \"epochs_flushed\": %llu, "
+                    "\"batched_changes\": %llu, \"patched_arrivals\": %llu, "
+                    "\"patched_departures\": %llu",
+                    static_cast<unsigned long long>(s.solver.solves),
+                    static_cast<unsigned long long>(s.solver.flows_touched),
+                    static_cast<unsigned long long>(s.solver.rate_changes),
+                    static_cast<unsigned long long>(s.solver.epochs_flushed),
+                    static_cast<unsigned long long>(s.solver.batched_changes),
+                    static_cast<unsigned long long>(s.solver.patched_arrivals),
+                    static_cast<unsigned long long>(s.solver.patched_departures));
+      out << line;
+    }
+    out << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -147,21 +192,53 @@ void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) 
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_simcore.json";
+  const char* filter_env = std::getenv("MONO_BENCH_FILTER");
+  const std::string filter = filter_env != nullptr ? filter_env : "";
+  const auto wanted = [&](const char* name) {
+    return filter.empty() || std::string(name).find(filter) != std::string::npos;
+  };
+  using SharePolicy = monosim::NetworkFabricSim::SharePolicy;
   std::vector<Scenario> scenarios;
-  scenarios.push_back(BenchScheduleFire());
-  scenarios.push_back(
-      BenchCancelChurn(/*compaction=*/false, "cancel_churn_before_compaction"));
-  scenarios.push_back(
-      BenchCancelChurn(/*compaction=*/true, "cancel_churn_after_compaction"));
-  scenarios.push_back(BenchFabricChurn(
-      monosim::NetworkFabricSim::SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare"));
-  scenarios.push_back(BenchFabricChurn(
-      monosim::NetworkFabricSim::SharePolicy::kMaxMinFair, "fabric_churn_maxmin"));
+  if (wanted("event_queue_schedule_fire")) {
+    scenarios.push_back(BenchScheduleFire());
+  }
+  if (wanted("cancel_churn_before_compaction")) {
+    scenarios.push_back(
+        BenchCancelChurn(/*compaction=*/false, "cancel_churn_before_compaction"));
+  }
+  if (wanted("cancel_churn_after_compaction")) {
+    scenarios.push_back(
+        BenchCancelChurn(/*compaction=*/true, "cancel_churn_after_compaction"));
+  }
+  struct FabricVariant {
+    SharePolicy policy;
+    const char* name;
+    bool audited;
+  };
+  const FabricVariant fabric_variants[] = {
+      {SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare", false},
+      {SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare_audit", true},
+      {SharePolicy::kMaxMinFair, "fabric_churn_maxmin", false},
+      {SharePolicy::kMaxMinFair, "fabric_churn_maxmin_audit", true},
+  };
+  for (const FabricVariant& v : fabric_variants) {
+    if (wanted(v.name)) {
+      scenarios.push_back(BenchFabricChurn(v.policy, v.name, v.audited));
+    }
+  }
   WriteJson(out_path, scenarios);
   for (const Scenario& s : scenarios) {
     std::cout << s.name << ": " << static_cast<uint64_t>(s.events_per_sec)
               << " events/s (" << s.events << " events, max queue " << s.max_queue
-              << ")\n";
+              << ")";
+    if (s.has_solver_stats) {
+      std::cout << " [solves " << s.solver.solves << ", flows touched "
+                << s.solver.flows_touched << ", rate changes "
+                << s.solver.rate_changes << ", batched " << s.solver.batched_changes
+                << ", patched " << s.solver.patched_arrivals << "+"
+                << s.solver.patched_departures << "]";
+    }
+    std::cout << "\n";
   }
   std::cout << "wrote " << out_path << "\n";
   return 0;

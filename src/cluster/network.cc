@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <numeric>
 #include <sstream>
 #include <utility>
 
@@ -15,7 +17,59 @@ namespace {
 
 constexpr double kCompletionEpsilonSeconds = 1e-9;
 
+// After this many boundary-expansion rounds the affected-set solve gives up and
+// re-solves the full closure: each round is a fresh sub-solve, so a cascade that
+// keeps pulling flows in costs more re-solved than collected outright. One
+// round means "try the seed set once": in a saturated fabric an expansion
+// almost always cascades through the whole component, so iterating sub-solves
+// loses to cutting straight to the full closure.
+constexpr int kMaxExpandRounds = 1;
+
+// How many fallback flushes may reuse a spanning closure before it is
+// re-collected (see FlushPending): long enough to amortize the walk away,
+// short enough that a fabric that splits into components soon stops paying
+// for full-width solves.
+constexpr int kSpanningRevalidateInterval = 63;
+
 }  // namespace
+
+void NetworkFabricSim::SideIndex::Erase(double rate, FlowId id) {
+  const auto entry = std::make_pair(rate, id);
+  auto it = std::lower_bound(shares.begin(), shares.end(), entry);
+  MONO_CHECK(it != shares.end() && *it == entry);
+  shares.erase(it);
+  rate_sum -= rate;
+}
+
+void NetworkFabricSim::SideIndex::Move(double old_rate, double new_rate, FlowId id) {
+  const auto old_entry = std::make_pair(old_rate, id);
+  const auto new_entry = std::make_pair(new_rate, id);
+  const auto it = std::lower_bound(shares.begin(), shares.end(), old_entry);
+  MONO_CHECK(it != shares.end() && *it == old_entry);
+  // Linear destination scan plus a one-slot shift: the shift pays O(span)
+  // regardless, most re-keys move an entry past only a neighbor or two, and a
+  // plain move_backward/move compiles to a memmove where the general-purpose
+  // std::rotate would run its cycle-chasing loop.
+  if (new_entry < old_entry) {
+    auto dest = it;
+    while (dest != shares.begin() && *(dest - 1) > new_entry) {
+      --dest;
+    }
+    std::move_backward(dest, it, it + 1);
+    *dest = new_entry;
+  } else {
+    auto dest = it + 1;
+    while (dest != shares.end() && *dest < new_entry) {
+      ++dest;
+    }
+    std::move(it + 1, dest, it);
+    *(dest - 1) = new_entry;
+  }
+  // Same two operations Erase+Insert performed, so the incrementally-held sum
+  // stays bit-identical with the historical maintenance.
+  rate_sum -= old_rate;
+  rate_sum += new_rate;
+}
 
 NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
                                    monoutil::BytesPerSecond nic_bandwidth,
@@ -27,6 +81,12 @@ NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
       egress_count_(static_cast<size_t>(num_machines), 0),
       ingress_flows_(static_cast<size_t>(num_machines)),
       egress_flows_(static_cast<size_t>(num_machines)),
+      sides_(static_cast<size_t>(2 * num_machines)),
+      side_visit_stamp_(static_cast<size_t>(2 * num_machines), 0),
+      slot_stamp_(static_cast<size_t>(2 * num_machines), 0),
+      slot_of_(static_cast<size_t>(2 * num_machines), 0),
+      side_dirty_stamp_(static_cast<size_t>(2 * num_machines), 0),
+      alive_(std::make_shared<bool>(true)),
       ingress_traces_(static_cast<size_t>(num_machines)) {
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(num_machines >= 1);
@@ -35,114 +95,330 @@ NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
 }
 
 NetworkFabricSim::~NetworkFabricSim() {
+  // A still-registered end-of-epoch flush holds `this`; the shared flag turns it
+  // into a no-op if the simulation outlives the fabric.
+  *alive_ = false;
   sim_->UnregisterAuditable(this);
 }
 
 void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
+  // Certify the batched solution, never the mid-epoch transient: any still-pending
+  // arrivals/departures are solved first (no-op when the fabric is clean, which is
+  // always the case when the simulation's end-of-epoch sweep gets here).
+  FlushPendingConst();
   const SimTime now = sim_->now();
   const char* source = "network-fabric";
   const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
 
   // Per-NIC-side rate sums and maxima, reused below by the bandwidth checks and
-  // the max-min bottleneck certification.
+  // the max-min bottleneck certification. Recomputed from the flow lists — the
+  // audit cross-checks the incrementally-maintained share indexes against this
+  // ground truth, so it must not read them. The sweep runs every epoch; the
+  // scratch members are persistent so it costs a fill, not four allocations.
   const size_t machines = static_cast<size_t>(num_machines());
-  std::vector<double> ingress_sum(machines, 0.0), ingress_max(machines, 0.0);
-  std::vector<double> egress_sum(machines, 0.0), egress_max(machines, 0.0);
+  std::vector<double>& ingress_sum = audit_ingress_sum_;
+  std::vector<double>& ingress_max = audit_ingress_max_;
+  std::vector<double>& egress_sum = audit_egress_sum_;
+  std::vector<double>& egress_max = audit_egress_max_;
+  ingress_sum.resize(machines);
+  ingress_max.resize(machines);
+  egress_sum.resize(machines);
+  egress_max.resize(machines);
+  std::fill(ingress_sum.begin(), ingress_sum.end(), 0.0);
+  std::fill(ingress_max.begin(), ingress_max.end(), 0.0);
+  std::fill(egress_sum.begin(), egress_sum.end(), 0.0);
+  std::fill(egress_max.begin(), egress_max.end(), 0.0);
 
+  // One contiguous walk over the id-ordered flow list recomputes every
+  // per-side aggregate and evaluates the per-flow predicates; each flow is
+  // dereferenced once. The predicates are folded into one boolean per
+  // invariant, reported through a single ExpectLazy whose detail lambda
+  // re-walks to name an offender — the sweep runs every epoch, so the passing
+  // path must stay a tight loop, while the failing path can afford a second
+  // pass. The per-machine bookkeeping checks below compare against these
+  // ground truths without walking the per-machine lists again.
+  // 64-bit multiset fingerprint of the (rate, id) entries each NIC side should
+  // be indexing: commutative sum of a splitmix64-mixed encoding, so it can be
+  // accumulated in flow order during the single ground-truth walk and compared
+  // against the same sum taken over the sorted share index. Exact equality of
+  // the multisets is what the check is after; a collision needs two different
+  // entry multisets whose mixed sums match — with a full-avalanche mixer that
+  // is a 2^-64 accident, far below any plausible failure rate of the exact
+  // size/sum/order checks that accompany it. The failure path re-walks with
+  // exact membership probes to name an offender.
+  const auto entry_fp = [](double rate, FlowId id) {
+    uint64_t x;
+    std::memcpy(&x, &rate, sizeof(x));
+    x ^= id * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  };
+  audit_side_fp_.resize(sides_.size());
+  std::fill(audit_side_fp_.begin(), audit_side_fp_.end(), 0ULL);
   size_t listed_ingress = 0;
   size_t listed_egress = 0;
-  for (int m = 0; m < num_machines(); ++m) {
-    const auto& ingress = ingress_flows_[static_cast<size_t>(m)];
-    const auto& egress = egress_flows_[static_cast<size_t>(m)];
-    listed_ingress += ingress.size();
-    listed_egress += egress.size();
-    audit.ExpectLazy(ingress_count_[static_cast<size_t>(m)] ==
-                             static_cast<int>(ingress.size()) &&
-                         egress_count_[static_cast<size_t>(m)] ==
-                             static_cast<int>(egress.size()),
-                     now, source, "flow-count-bookkeeping", [&] {
-                       std::ostringstream d;
-                       d << "machine " << m << ": counts (" << ingress_count_[static_cast<size_t>(m)]
-                         << ", " << egress_count_[static_cast<size_t>(m)]
-                         << ") != list sizes (" << ingress.size() << ", "
-                         << egress.size() << ")";
-                       return d.str();
-                     });
-    for (const Flow* flow : ingress) {
-      ingress_sum[static_cast<size_t>(m)] += flow->rate;
-      ingress_max[static_cast<size_t>(m)] = std::max(ingress_max[static_cast<size_t>(m)], flow->rate);
-      audit.ExpectLazy(flow->rate >= 0.0, now, source, "flow-rate-non-negative", [&] {
-        std::ostringstream d;
-        d << "flow " << flow->id << " has rate " << flow->rate;
-        return d.str();
-      });
-    }
-    for (const Flow* flow : egress) {
-      egress_sum[static_cast<size_t>(m)] += flow->rate;
-      egress_max[static_cast<size_t>(m)] = std::max(egress_max[static_cast<size_t>(m)], flow->rate);
-    }
-    // Each NIC is full duplex: the flows it carries in each direction cannot
-    // together exceed its bandwidth.
-    audit.ExpectLazy(ingress_sum[static_cast<size_t>(m)] <= nic_bandwidth_ + eps, now, source,
-                     "ingress-within-bandwidth", [&] {
-                       std::ostringstream d;
-                       d << "machine " << m << " ingress rate " << ingress_sum[static_cast<size_t>(m)]
-                         << " exceeds NIC bandwidth " << nic_bandwidth_;
-                       return d.str();
-                     });
-    audit.ExpectLazy(egress_sum[static_cast<size_t>(m)] <= nic_bandwidth_ + eps, now, source,
-                     "egress-within-bandwidth", [&] {
-                       std::ostringstream d;
-                       d << "machine " << m << " egress rate " << egress_sum[static_cast<size_t>(m)]
-                         << " exceeds NIC bandwidth " << nic_bandwidth_;
-                       return d.str();
-                     });
+  bool ids_ordered = true;
+  bool rates_nonneg = true;
+  FlowId last_id = 0;
+  for (const Flow* flow : flows_by_id_) {
+    ids_ordered = ids_ordered && flow->id > last_id;
+    last_id = flow->id;
+    const size_t src = static_cast<size_t>(flow->src);
+    const size_t dst = static_cast<size_t>(flow->dst);
+    const double rate = flow->rate;
+    egress_sum[src] += rate;
+    egress_max[src] = std::max(egress_max[src], rate);
+    ingress_sum[dst] += rate;
+    ingress_max[dst] = std::max(ingress_max[dst], rate);
+    rates_nonneg = rates_nonneg && rate >= 0.0;
+    // The share indexes — which the pruning patches and the incremental solver
+    // take their decisions from — must hold exactly this flow's (rate, id)
+    // entry on both its sides: fold it into both sides' expected fingerprints
+    // (the entry is identical on both, so it is mixed once).
+    const uint64_t fp = entry_fp(rate, flow->id);
+    audit_side_fp_[static_cast<size_t>(EgressKey(flow->src))] += fp;
+    audit_side_fp_[static_cast<size_t>(IngressKey(flow->dst))] += fp;
   }
-  audit.ExpectLazy(listed_ingress == flows_.size(), now, source, "flow-registry", [&] {
+  // Compare each side's actual index against the expected fingerprint, and
+  // fold in strict (rate, id) ordering — the solver's base derivation and the
+  // patches' maximal-share probes both read the indexes positionally.
+  bool indexed_everywhere = true;
+  for (size_t k = 0; k < sides_.size(); ++k) {
+    const std::vector<std::pair<double, FlowId>>& shares = sides_[k].shares;
+    uint64_t acc = 0;
+    bool sorted = true;
+    for (size_t i = 0; i < shares.size(); ++i) {
+      acc += entry_fp(shares[i].first, shares[i].second);
+      sorted = sorted && (i == 0 || shares[i - 1] < shares[i]);
+    }
+    indexed_everywhere =
+        indexed_everywhere && sorted && acc == audit_side_fp_[k];
+  }
+  audit.ExpectLazy(rates_nonneg, now, source, "flow-rate-non-negative", [&] {
     std::ostringstream d;
-    d << "per-machine ingress lists hold " << listed_ingress << " flows, registry holds "
-      << flows_.size();
+    for (const Flow* flow : flows_by_id_) {
+      if (flow->rate < 0.0) {
+        d << "flow " << flow->id << " has rate " << flow->rate;
+        break;
+      }
+    }
     return d.str();
   });
-  audit.ExpectLazy(listed_egress == flows_.size(), now, source, "flow-registry-egress", [&] {
+  audit.ExpectLazy(indexed_everywhere, now, source, "share-index-consistent", [&] {
+    std::ostringstream d;
+    for (const Flow* flow : flows_by_id_) {
+      if (!sides_[static_cast<size_t>(EgressKey(flow->src))].Contains(flow->rate,
+                                                                      flow->id) ||
+          !sides_[static_cast<size_t>(IngressKey(flow->dst))].Contains(flow->rate,
+                                                                       flow->id)) {
+        d << "flow " << flow->id << " (" << flow->src << "->" << flow->dst
+          << ") rate " << flow->rate << " is missing from a side's share index";
+        return d.str();
+      }
+    }
+    for (size_t k = 0; k < sides_.size(); ++k) {
+      const std::vector<std::pair<double, FlowId>>& shares = sides_[k].shares;
+      if (!std::is_sorted(shares.begin(), shares.end())) {
+        d << (k % 2 == 0 ? "egress" : "ingress") << " share index of machine "
+          << k / 2 << " is out of (rate, id) order";
+        return d.str();
+      }
+    }
+    d << "a share index holds an entry for no active flow (fingerprint mismatch)";
+    return d.str();
+  });
+  audit.ExpectLazy(ids_ordered, now, source, "flow-list-ordered", [&] {
+    std::ostringstream d;
+    d << "flow registry (" << flows_by_id_.size()
+      << " entries) is not in strictly ascending id order";
+    return d.str();
+  });
+  bool counts_ok = true;
+  bool ingress_within = true;
+  bool egress_within = true;
+  bool index_sizes_ok = true;
+  bool index_sums_ok = true;
+  for (int m = 0; m < num_machines(); ++m) {
+    const auto mu = static_cast<size_t>(m);
+    const auto& ingress = ingress_flows_[mu];
+    const auto& egress = egress_flows_[mu];
+    listed_ingress += ingress.size();
+    listed_egress += egress.size();
+    counts_ok = counts_ok && ingress_count_[mu] == static_cast<int>(ingress.size()) &&
+                egress_count_[mu] == static_cast<int>(egress.size());
+    // Each NIC is full duplex: the flows it carries in each direction cannot
+    // together exceed its bandwidth.
+    ingress_within = ingress_within && ingress_sum[mu] <= nic_bandwidth_ + eps;
+    egress_within = egress_within && egress_sum[mu] <= nic_bandwidth_ + eps;
+    const SideIndex& egress_side = sides_[static_cast<size_t>(EgressKey(m))];
+    const SideIndex& ingress_side = sides_[static_cast<size_t>(IngressKey(m))];
+    // Entry count plus per-flow membership (above) pins the indexes' contents;
+    // the incrementally-maintained rate sums must also match the recomputed
+    // ground truth, or the solver's bases and the patches' decisions drift.
+    index_sizes_ok = index_sizes_ok && egress_side.shares.size() == egress.size() &&
+                     ingress_side.shares.size() == ingress.size();
+    index_sums_ok = index_sums_ok &&
+                    std::abs(egress_side.rate_sum - egress_sum[mu]) <= eps &&
+                    std::abs(ingress_side.rate_sum - ingress_sum[mu]) <= eps;
+  }
+  audit.ExpectLazy(counts_ok, now, source, "flow-count-bookkeeping", [&] {
+    std::ostringstream d;
+    for (int m = 0; m < num_machines(); ++m) {
+      const auto mu = static_cast<size_t>(m);
+      if (ingress_count_[mu] != static_cast<int>(ingress_flows_[mu].size()) ||
+          egress_count_[mu] != static_cast<int>(egress_flows_[mu].size())) {
+        d << "machine " << m << ": counts (" << ingress_count_[mu] << ", "
+          << egress_count_[mu] << ") != list sizes (" << ingress_flows_[mu].size()
+          << ", " << egress_flows_[mu].size() << ")";
+        break;
+      }
+    }
+    return d.str();
+  });
+  audit.ExpectLazy(ingress_within, now, source, "ingress-within-bandwidth", [&] {
+    std::ostringstream d;
+    for (int m = 0; m < num_machines(); ++m) {
+      if (ingress_sum[static_cast<size_t>(m)] > nic_bandwidth_ + eps) {
+        d << "machine " << m << " ingress rate " << ingress_sum[static_cast<size_t>(m)]
+          << " exceeds NIC bandwidth " << nic_bandwidth_;
+        break;
+      }
+    }
+    return d.str();
+  });
+  audit.ExpectLazy(egress_within, now, source, "egress-within-bandwidth", [&] {
+    std::ostringstream d;
+    for (int m = 0; m < num_machines(); ++m) {
+      if (egress_sum[static_cast<size_t>(m)] > nic_bandwidth_ + eps) {
+        d << "machine " << m << " egress rate " << egress_sum[static_cast<size_t>(m)]
+          << " exceeds NIC bandwidth " << nic_bandwidth_;
+        break;
+      }
+    }
+    return d.str();
+  });
+  audit.ExpectLazy(index_sizes_ok, now, source, "share-index-size", [&] {
+    std::ostringstream d;
+    for (int m = 0; m < num_machines(); ++m) {
+      const SideIndex& egress_side = sides_[static_cast<size_t>(EgressKey(m))];
+      const SideIndex& ingress_side = sides_[static_cast<size_t>(IngressKey(m))];
+      if (egress_side.shares.size() != egress_flows_[static_cast<size_t>(m)].size() ||
+          ingress_side.shares.size() != ingress_flows_[static_cast<size_t>(m)].size()) {
+        d << "machine " << m << ": share index (" << egress_side.shares.size()
+          << " egress, " << ingress_side.shares.size()
+          << " ingress entries) does not mirror the flow lists ("
+          << egress_flows_[static_cast<size_t>(m)].size() << ", "
+          << ingress_flows_[static_cast<size_t>(m)].size() << ")";
+        break;
+      }
+    }
+    return d.str();
+  });
+  audit.ExpectLazy(index_sums_ok, now, source, "share-index-rate-sum", [&] {
+    std::ostringstream d;
+    for (int m = 0; m < num_machines(); ++m) {
+      const auto mu = static_cast<size_t>(m);
+      const SideIndex& egress_side = sides_[static_cast<size_t>(EgressKey(m))];
+      const SideIndex& ingress_side = sides_[static_cast<size_t>(IngressKey(m))];
+      if (std::abs(egress_side.rate_sum - egress_sum[mu]) > eps ||
+          std::abs(ingress_side.rate_sum - ingress_sum[mu]) > eps) {
+        d << "machine " << m << ": indexed rate sums (" << egress_side.rate_sum
+          << " egress, " << ingress_side.rate_sum << " ingress) drifted from totals ("
+          << egress_sum[mu] << ", " << ingress_sum[mu] << ")";
+        break;
+      }
+    }
+    return d.str();
+  });
+  audit.ExpectLazy(listed_ingress == flows_by_id_.size(), now, source, "flow-registry", [&] {
+    std::ostringstream d;
+    d << "per-machine ingress lists hold " << listed_ingress << " flows, registry holds "
+      << flows_by_id_.size();
+    return d.str();
+  });
+  audit.ExpectLazy(listed_egress == flows_by_id_.size(), now, source, "flow-registry-egress", [&] {
     std::ostringstream d;
     d << "per-machine egress lists hold " << listed_egress << " flows, registry holds "
-      << flows_.size();
+      << flows_by_id_.size();
     return d.str();
   });
 
   // Max-min certification: an allocation is max-min fair iff every flow crosses at
   // least one saturated NIC side on which it has a maximal share. This bounds the
   // rates from *below* — the bandwidth checks above only bound them from above, so
-  // a work-conservation bug (stranded capacity) passes them silently.
-  for (const auto& [id, flow] : flows_) {
-    const size_t src = static_cast<size_t>(flow->src);
-    const size_t dst = static_cast<size_t>(flow->dst);
-    const bool egress_bottleneck = egress_sum[src] >= nic_bandwidth_ - eps &&
-                                   flow->rate >= egress_max[src] - eps;
-    const bool ingress_bottleneck = ingress_sum[dst] >= nic_bandwidth_ - eps &&
-                                    flow->rate >= ingress_max[dst] - eps;
-    audit.ExpectLazy(egress_bottleneck || ingress_bottleneck, now, source,
-                     "max-min-bottleneck", [&, id = id] {
-                       std::ostringstream d;
-                       d << "flow " << id << " (" << flow->src << "->" << flow->dst
-                         << ") rate " << flow->rate
-                         << " is not bottlenecked at a saturated NIC (egress sum "
-                         << egress_sum[src] << " max " << egress_max[src]
-                         << ", ingress sum " << ingress_sum[dst] << " max "
-                         << ingress_max[dst] << ", bandwidth " << nic_bandwidth_
-                         << "): capacity is stranded";
-                       return d.str();
-                     });
+  // a work-conservation bug (stranded capacity) passes them silently. Batched and
+  // patched solutions alike must pass: a patch is only taken when it provably
+  // leaves every flow pinned to a saturated side (see TryPatchArrival /
+  // CanPatchDeparture), so this certification is what pins the pruning logic.
+  const auto certified = [&](const Flow& flow) {
+    const size_t src = static_cast<size_t>(flow.src);
+    const size_t dst = static_cast<size_t>(flow.dst);
+    return (egress_sum[src] >= nic_bandwidth_ - eps &&
+            flow.rate >= egress_max[src] - eps) ||
+           (ingress_sum[dst] >= nic_bandwidth_ - eps &&
+            flow.rate >= ingress_max[dst] - eps);
+  };
+  bool all_certified = true;
+  for (const Flow* flow : flows_by_id_) {
+    all_certified = all_certified && certified(*flow);
   }
+  audit.ExpectLazy(all_certified, now, source, "max-min-bottleneck", [&] {
+    std::ostringstream d;
+    for (const Flow* flow : flows_by_id_) {
+      if (!certified(*flow)) {
+        const size_t src = static_cast<size_t>(flow->src);
+        const size_t dst = static_cast<size_t>(flow->dst);
+        d << "flow " << flow->id << " (" << flow->src << "->" << flow->dst
+          << ") rate " << flow->rate
+          << " is not bottlenecked at a saturated NIC (egress sum "
+          << egress_sum[src] << " max " << egress_max[src] << ", ingress sum "
+          << ingress_sum[dst] << " max " << ingress_max[dst] << ", bandwidth "
+          << nic_bandwidth_ << "): capacity is stranded";
+        break;
+      }
+    }
+    return d.str();
+  });
 
   if (phase == AuditPhase::kDrain) {
-    audit.ExpectLazy(flows_.empty(), now, source, "drained", [&] {
+    audit.ExpectLazy(flows_by_id_.empty(), now, source, "drained", [&] {
       std::ostringstream d;
-      d << flows_.size() << " flow(s) still active after the event queue drained";
+      d << flows_by_id_.size() << " flow(s) still active after the event queue drained";
       return d.str();
     });
   }
+}
+
+NetworkFabricSim::Flow* NetworkFabricSim::AllocFlow() {
+  if (free_flows_.empty()) {
+    constexpr size_t kFlowsPerBlock = 128;
+    flow_blocks_.push_back(std::make_unique<Flow[]>(kFlowsPerBlock));
+    Flow* block = flow_blocks_.back().get();
+    // Pushed back-to-front so the LIFO free list hands them out in address
+    // order within the block (pure locality; no ordering depends on it).
+    for (size_t i = kFlowsPerBlock; i > 0; --i) {
+      free_flows_.push_back(&block[i - 1]);
+    }
+  }
+  Flow* flow = free_flows_.back();
+  free_flows_.pop_back();
+  // Reset what recycling could leak into solver decisions: the stamp (so a
+  // stale membership mark can never alias a live flush), the completion key
+  // (negative = not yet indexed), and the rate the progress math starts from.
+  flow->rate = 0.0;
+  flow->predicted_done = -1.0;
+  flow->visit_stamp = 0;
+  return flow;
+}
+
+NetworkFabricSim::Flow* NetworkFabricSim::FindFlow(FlowId id) const {
+  const auto it = std::lower_bound(flows_by_id_.begin(), flows_by_id_.end(), id,
+                                   [](const Flow* f, FlowId v) { return f->id < v; });
+  return (it != flows_by_id_.end() && (*it)->id == id) ? *it : nullptr;
 }
 
 double NetworkFabricSim::LegacyMinShare(const Flow& flow) const {
@@ -162,23 +438,31 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil:
   MONO_CHECK(done != nullptr);
 
   const FlowId id = next_id_++;
-  auto flow = std::make_unique<Flow>();
-  flow->id = id;
-  flow->src = src;
-  flow->dst = dst;
-  flow->remaining = static_cast<double>(bytes);
-  flow->last_update = sim_->now();
-  flow->done = std::move(done);
-  Flow* raw = flow.get();
-  flows_.emplace(id, std::move(flow));
+  Flow* raw = AllocFlow();
+  raw->id = id;
+  raw->src = src;
+  raw->dst = dst;
+  raw->remaining = static_cast<double>(bytes);
+  raw->last_update = sim_->now();
+  raw->done = std::move(done);
+  flows_by_id_.push_back(raw);  // Ids are monotonic: the back keeps the order.
 
   ++egress_count_[static_cast<size_t>(src)];
   ++ingress_count_[static_cast<size_t>(dst)];
   egress_flows_[static_cast<size_t>(src)].push_back(raw);
   ingress_flows_[static_cast<size_t>(dst)].push_back(raw);
+  sides_[static_cast<size_t>(EgressKey(src))].Insert(0.0, id);
+  sides_[static_cast<size_t>(IngressKey(dst))].Insert(0.0, id);
   total_bytes_ += bytes;
 
-  RecomputeAffected(src, dst);
+  if (share_policy_ == SharePolicy::kMinShareLegacy) {
+    RecomputeAffected(src, dst);
+  } else if (TryPatchArrival(raw)) {
+    ++stats_.patched_arrivals;
+  } else {
+    ++stats_.batched_changes;
+    MarkDirty(src, dst);
+  }
   return id;
 }
 
@@ -188,115 +472,373 @@ void NetworkFabricSim::SendControl(int src, int dst, std::function<void()> deliv
   sim_->ScheduleAfter(request_latency_, std::move(deliver), "net-request");
 }
 
-std::vector<NetworkFabricSim::Flow*> NetworkFabricSim::CollectComponent(int src, int dst) {
-  ++visit_epoch_;
-  std::vector<Flow*> component;
-  // NIC sides encoded 2m (egress of machine m) / 2m+1 (ingress of m). A flow links
-  // its source's egress side to its destination's ingress side; the component is
-  // the transitive closure over those links.
-  std::vector<char> side_seen(static_cast<size_t>(2 * num_machines()), 0);
-  std::vector<int> pending_sides;
-  auto push_side = [&](int key) {
-    if (!side_seen[static_cast<size_t>(key)]) {
-      side_seen[static_cast<size_t>(key)] = 1;
-      pending_sides.push_back(key);
-    }
-  };
-  push_side(2 * src);
-  push_side(2 * dst + 1);
-  while (!pending_sides.empty()) {
-    const int key = pending_sides.back();
-    pending_sides.pop_back();
-    const auto& list = (key % 2 == 0) ? egress_flows_[static_cast<size_t>(key / 2)]
-                                      : ingress_flows_[static_cast<size_t>(key / 2)];
-    for (Flow* flow : list) {
-      if (flow->visit_epoch == visit_epoch_) {
-        continue;
+void NetworkFabricSim::MarkDirty(int src, int dst) {
+  MarkSideDirty(EgressKey(src));
+  MarkSideDirty(IngressKey(dst));
+  if (!flush_registered_) {
+    flush_registered_ = true;
+    sim_->AtEpochEnd([this, alive = alive_] {
+      if (!*alive) {
+        return;
       }
-      flow->visit_epoch = visit_epoch_;
-      component.push_back(flow);
-      push_side(2 * flow->src);
-      push_side(2 * flow->dst + 1);
+      flush_registered_ = false;
+      FlushPending();
+    });
+  }
+}
+
+void NetworkFabricSim::MarkSideDirty(int side_key) {
+  if (side_dirty_stamp_[static_cast<size_t>(side_key)] != dirty_stamp_) {
+    side_dirty_stamp_[static_cast<size_t>(side_key)] = dirty_stamp_;
+    dirty_sides_.push_back(side_key);
+  }
+}
+
+bool NetworkFabricSim::TryPatchArrival(Flow* flow) {
+  if (!dirty_sides_.empty()) {
+    return false;  // Rates are stale mid-epoch; local reasoning would be unsound.
+  }
+  const SideIndex& egress = sides_[static_cast<size_t>(EgressKey(flow->src))];
+  const SideIndex& ingress = sides_[static_cast<size_t>(IngressKey(flow->dst))];
+  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  const double free_egress = nic_bandwidth_ - egress.rate_sum;
+  const double free_ingress = nic_bandwidth_ - ingress.rate_sum;
+  const double rate = std::min(free_egress, free_ingress);
+  if (rate <= eps) {
+    return false;  // A side is already saturated: its flows would re-level.
+  }
+  // The new flow saturates each side whose free capacity it consumes entirely; on
+  // such a side it must not be out-ranked, or max-min would shrink the larger
+  // flow in its favor (and cascade through that flow's other side). A side left
+  // unsaturated carried no bottlenecked flow (it had free capacity), so raising
+  // its sum constrains nobody. The patched flow itself ends at the top of a
+  // saturated side, exactly what the max-min-bottleneck audit certifies.
+  if (free_egress <= rate + eps && egress.max_share() > rate + eps) {
+    return false;
+  }
+  if (free_ingress <= rate + eps && ingress.max_share() > rate + eps) {
+    return false;
+  }
+  ApplyRate(flow, rate);
+  UpdateCompletionTimer();
+  RecordIngressTouched({flow->dst});
+  return true;
+}
+
+bool NetworkFabricSim::CanPatchDeparture(const Flow& flow) const {
+  if (!dirty_sides_.empty()) {
+    return false;  // Rates are stale mid-epoch; local reasoning would be unsound.
+  }
+  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  for (const int key : {EgressKey(flow.src), IngressKey(flow.dst)}) {
+    const SideIndex& side = sides_[static_cast<size_t>(key)];
+    if (side.rate_sum < nic_bandwidth_ - eps) {
+      continue;  // Unsaturated side: nobody is pinned here, freeing more changes nothing.
+    }
+    // Saturated side: the departure is invisible only if every remaining flow has
+    // a strictly smaller share — each is then bottlenecked (maximal) at its
+    // *other*, still-saturated side and cannot rise into the freed capacity.
+    size_t top = side.shares.size() - 1;
+    if (side.shares[top] == std::make_pair(flow.rate, flow.id)) {
+      if (top == 0) {
+        continue;  // The departing flow was alone on the side.
+      }
+      --top;  // The departing flow holds the top share; examine the runner-up.
+    }
+    if (side.shares[top].first >= flow.rate - eps) {
+      return false;
     }
   }
-  return component;
+  return true;
+}
+
+void NetworkFabricSim::CollectFromSides(const std::vector<int>& seed_sides,
+                                        std::vector<Flow*>* component) {
+  ++visit_stamp_;
+  component->clear();
+  // A flow links its source's egress side to its destination's ingress side; the
+  // component is the transitive closure over those links, seeded from every dirty
+  // side. Stamps (not per-call bitmaps) keep repeat collections allocation-light.
+  pending_sides_.clear();
+  auto push_side = [&](int key) {
+    if (side_visit_stamp_[static_cast<size_t>(key)] != visit_stamp_) {
+      side_visit_stamp_[static_cast<size_t>(key)] = visit_stamp_;
+      pending_sides_.push_back(key);
+    }
+  };
+  for (const int key : seed_sides) {
+    push_side(key);
+  }
+  while (!pending_sides_.empty()) {
+    const int key = pending_sides_.back();
+    pending_sides_.pop_back();
+    for (Flow* flow : SideFlows(key)) {
+      if (flow->visit_stamp == visit_stamp_) {
+        continue;
+      }
+      flow->visit_stamp = visit_stamp_;
+      component->push_back(flow);
+      push_side(EgressKey(flow->src));
+      push_side(IngressKey(flow->dst));
+    }
+  }
 }
 
 void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
-                                   std::vector<double>* new_rates) const {
+                                   std::vector<double>* new_rates,
+                                   bool identity_slots) {
   const size_t n = component.size();
-  new_rates->assign(n, 0.0);
+  new_rates->resize(n);
+  std::fill(new_rates->begin(), new_rates->end(), 0.0);
   if (n == 0) {
     return;
   }
-  // Dense table of just the NIC sides this component touches. Progressive filling:
-  // raise all unfrozen flows' common level until the most-constrained side
-  // saturates, freeze that side's flows at the level reached, redistribute the
-  // rest. Every round saturates at least one side, so it terminates in at most
-  // #sides rounds.
-  struct Side {
-    double residual;
-    int unfrozen;
-  };
-  std::vector<Side> sides;
-  std::unordered_map<int, int> slot_of;
-  std::vector<int> egress_slot(n), ingress_slot(n);
-  auto slot = [&](int key) {
-    auto [it, inserted] = slot_of.emplace(key, static_cast<int>(sides.size()));
-    if (inserted) {
-      sides.push_back(Side{nic_bandwidth_, 0});
+  // Dense table of just the NIC sides this component touches, slots numbered in
+  // first-seen component order. The side-key -> slot map is stamped per solve and
+  // each slot's flow list keeps its capacity, so repeat solves allocate nothing.
+  ++solve_stamp_;
+  int num_slots = 0;
+  egress_slot_.resize(n);
+  ingress_slot_.resize(n);
+  const auto grow_slot_arrays = [&](size_t needed) {
+    if (needed > slot_consumed_.size()) {
+      slot_consumed_.resize(needed);
+      slot_unfrozen_.resize(needed);
+      slot_cap_.resize(needed);
+      slot_base_.resize(needed);
+      slot_unaffected_max_.resize(needed);
+      slot_level_.resize(needed);
+      slot_total_.resize(needed);
+      slot_max_affected_.resize(needed);
+      slot_keys_.resize(needed);
     }
-    return it->second;
   };
+  if (identity_slots) {
+    // Spanning solve over the whole fabric (the caller vouches `component`
+    // holds every live flow): each NIC side is its own slot, slot == side key,
+    // so the stamped side->slot map and both per-flow lookups drop out in
+    // favor of straight key arithmetic. Sides with no flows cost nothing
+    // beyond their array entry: a zero degree parks their cap at +inf
+    // ((bandwidth - 0) / 0 in IEEE terms), so the bottleneck scan skips them
+    // the same way it skips exhausted slots.
+    num_slots = static_cast<int>(sides_.size());
+    const auto ns = static_cast<size_t>(num_slots);
+    grow_slot_arrays(ns);
+    std::fill(slot_unfrozen_.begin(), slot_unfrozen_.begin() + num_slots, 0);
+    std::fill(slot_base_.begin(), slot_base_.begin() + num_slots, 0.0);
+    std::iota(slot_keys_.begin(), slot_keys_.begin() + num_slots, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto e = static_cast<size_t>(EgressKey(component[i]->src));
+      const auto g = static_cast<size_t>(IngressKey(component[i]->dst));
+      egress_slot_[i] = static_cast<int>(e);
+      ingress_slot_[i] = static_cast<int>(g);
+      const double rate = component[i]->rate;
+      ++slot_unfrozen_[e];
+      slot_base_[e] += rate;
+      ++slot_unfrozen_[g];
+      slot_base_[g] += rate;
+    }
+  } else {
+    auto slot = [&](int key) {
+      const auto k = static_cast<size_t>(key);
+      if (slot_stamp_[k] != solve_stamp_) {
+        slot_stamp_[k] = solve_stamp_;
+        const int s = num_slots++;
+        slot_of_[k] = s;
+        grow_slot_arrays(static_cast<size_t>(num_slots));
+        slot_unfrozen_[static_cast<size_t>(s)] = 0;
+        slot_base_[static_cast<size_t>(s)] = 0.0;  // Affected-rate sum until the base pass below.
+        slot_level_[static_cast<size_t>(s)] = std::numeric_limits<double>::infinity();
+        slot_keys_[static_cast<size_t>(s)] = key;
+      }
+      return slot_of_[k];
+    };
+    for (size_t i = 0; i < n; ++i) {
+      egress_slot_[i] = slot(EgressKey(component[i]->src));
+      ingress_slot_[i] = slot(IngressKey(component[i]->dst));
+      for (const int s : {egress_slot_[i], ingress_slot_[i]}) {
+        ++slot_unfrozen_[static_cast<size_t>(s)];
+        slot_base_[static_cast<size_t>(s)] += component[i]->rate;
+      }
+    }
+  }
+  // Slot -> flow-index adjacency in CSR form (offsets plus one flat array) —
+  // the freeze loop below walks it side by side, and a flat span beats a
+  // vector-of-vectors walk. Built with a counting pass already done above
+  // (slot_unfrozen_ holds the degrees), a prefix sum, and a fill pass that
+  // re-derives each flow's slots from the per-flow arrays.
+  slot_adj_offset_.resize(static_cast<size_t>(num_slots) + 1);
+  slot_adj_offset_[0] = 0;
+  for (int s = 0; s < num_slots; ++s) {
+    slot_adj_offset_[static_cast<size_t>(s) + 1] =
+        slot_adj_offset_[static_cast<size_t>(s)] + slot_unfrozen_[static_cast<size_t>(s)];
+  }
+  slot_adj_.resize(2 * n);
+  slot_cursor_.assign(slot_adj_offset_.begin(), slot_adj_offset_.end() - 1);
   for (size_t i = 0; i < n; ++i) {
-    egress_slot[i] = slot(2 * component[i]->src);
-    ingress_slot[i] = slot(2 * component[i]->dst + 1);
-    ++sides[static_cast<size_t>(egress_slot[i])].unfrozen;
-    ++sides[static_cast<size_t>(ingress_slot[i])].unfrozen;
+    slot_adj_[static_cast<size_t>(slot_cursor_[static_cast<size_t>(egress_slot_[i])]++)] =
+        static_cast<int>(i);
+    slot_adj_[static_cast<size_t>(slot_cursor_[static_cast<size_t>(ingress_slot_[i])]++)] =
+        static_cast<int>(i);
+  }
+  // Flows outside the component keep their current rates: they reduce the
+  // capacity the progressive fill distributes through their side. Their sum is
+  // derived from the side's incrementally-maintained rate sum minus the
+  // component flows' (still-old) rates, so no flow outside the component is
+  // ever dereferenced here. A side the component covers completely gets a base
+  // of exactly 0.0 — not the FP residue of the subtraction — so a full-closure
+  // solve reproduces a from-scratch pass bit for bit (and ApplyRate's
+  // skip-unchanged test keeps working across re-solves).
+  for (int s = 0; s < num_slots; ++s) {
+    const auto su = static_cast<size_t>(s);
+    const SideIndex& side = sides_[static_cast<size_t>(slot_keys_[su])];
+    const double base =
+        side.shares.size() ==
+                static_cast<size_t>(slot_adj_offset_[su + 1] - slot_adj_offset_[su])
+            ? 0.0
+            : std::max(0.0, side.rate_sum - slot_base_[su]);
+    slot_base_[su] = base;
+    slot_consumed_[su] = base;
   }
 
-  const double eps = 1e-12 * nic_bandwidth_;
-  std::vector<char> frozen(n, 0);
+  // Progressive filling: each side carries the common fill level at which it
+  // would saturate, cached in slot_cap_ and re-derived only when a frozen flow
+  // changes its consumption. Each round scans the flat cap array for the
+  // minimum (cap, slot) — the next bottleneck — and freezes that side's
+  // remaining flows at the running level. With dozens of sides the scan is a
+  // handful of cache lines, and it selects exactly what an ordered frontier
+  // would pop, so the freeze order (and every FP result) is as deterministic.
+  // Exhausted slots park their cap at infinity, keeping the scan a bare
+  // load-and-compare.
+  for (int s = 0; s < num_slots; ++s) {
+    slot_cap_[static_cast<size_t>(s)] =
+        (nic_bandwidth_ - slot_consumed_[static_cast<size_t>(s)]) /
+        slot_unfrozen_[static_cast<size_t>(s)];
+  }
+  frozen_.resize(n);
+  std::fill(frozen_.begin(), frozen_.end(), 0);
   size_t remaining = n;
   double level = 0.0;
   while (remaining > 0) {
-    double delta = std::numeric_limits<double>::infinity();
-    for (const Side& side : sides) {
-      if (side.unfrozen > 0) {
-        delta = std::min(delta, side.residual / side.unfrozen);
+    // Two-stride argmin: each stride keeps its own first strict minimum, so
+    // the two chains run independently of each other's comparison results;
+    // the merge picks the lower cap and breaks ties toward the smaller slot,
+    // which is exactly the single-pass first-strict-min this replaces.
+    int s0 = -1;
+    int s1 = -1;
+    double best0 = std::numeric_limits<double>::infinity();
+    double best1 = std::numeric_limits<double>::infinity();
+    for (int c = 0; c + 1 < num_slots; c += 2) {
+      if (slot_cap_[static_cast<size_t>(c)] < best0) {
+        best0 = slot_cap_[static_cast<size_t>(c)];
+        s0 = c;
+      }
+      if (slot_cap_[static_cast<size_t>(c) + 1] < best1) {
+        best1 = slot_cap_[static_cast<size_t>(c) + 1];
+        s1 = c + 1;
       }
     }
-    MONO_CHECK_MSG(std::isfinite(delta) && delta > 0.0, "progressive filling stalled");
-    level += delta;
-    for (Side& side : sides) {
-      if (side.unfrozen > 0) {
-        side.residual -= delta * side.unfrozen;
-      }
+    if ((num_slots & 1) != 0 &&
+        slot_cap_[static_cast<size_t>(num_slots) - 1] < best0) {
+      best0 = slot_cap_[static_cast<size_t>(num_slots) - 1];
+      s0 = num_slots - 1;
     }
-    size_t froze = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (frozen[i]) {
+    const bool take1 = best1 < best0 || (best1 == best0 && s1 >= 0 && s1 < s0);
+    const int s = take1 ? s1 : s0;
+    const double best = take1 ? best1 : best0;
+    MONO_CHECK_MSG(s >= 0, "progressive filling stalled");
+    // Caps are non-decreasing as flows freeze elsewhere, so the chosen side
+    // saturates at cap >= level; the max() only guards FP rounding.
+    level = std::max(level, best);
+    slot_level_[static_cast<size_t>(s)] = level;
+    for (int a = slot_adj_offset_[static_cast<size_t>(s)];
+         a < slot_adj_offset_[static_cast<size_t>(s) + 1]; ++a) {
+      const int idx = slot_adj_[static_cast<size_t>(a)];
+      if (frozen_[static_cast<size_t>(idx)]) {
         continue;
       }
-      if (sides[static_cast<size_t>(egress_slot[i])].residual <= eps ||
-          sides[static_cast<size_t>(ingress_slot[i])].residual <= eps) {
-        frozen[i] = 1;
-        (*new_rates)[i] = level;
-        --sides[static_cast<size_t>(egress_slot[i])].unfrozen;
-        --sides[static_cast<size_t>(ingress_slot[i])].unfrozen;
-        ++froze;
-      }
+      frozen_[static_cast<size_t>(idx)] = 1;
+      (*new_rates)[static_cast<size_t>(idx)] = level;
+      --remaining;
+      // The frozen flow now consumes `level` of its other side for good; that
+      // side saturates later (or empties), so re-derive its cached cap.
+      const int other =
+          (egress_slot_[static_cast<size_t>(idx)] == s) ? ingress_slot_[static_cast<size_t>(idx)]
+                                                        : egress_slot_[static_cast<size_t>(idx)];
+      const auto o = static_cast<size_t>(other);
+      slot_consumed_[o] += level;
+      --slot_unfrozen_[o];
+      slot_cap_[o] = slot_unfrozen_[o] > 0
+                         ? (nic_bandwidth_ - slot_consumed_[o]) / slot_unfrozen_[o]
+                         : std::numeric_limits<double>::infinity();
     }
-    MONO_CHECK_MSG(froze > 0, "progressive filling made no progress");
-    remaining -= froze;
+    slot_unfrozen_[static_cast<size_t>(s)] = 0;
+    slot_cap_[static_cast<size_t>(s)] = std::numeric_limits<double>::infinity();
+  }
+}
+
+void NetworkFabricSim::RecordSlotTotals(const std::vector<double>& new_rates) {
+  // Leave each side's post-solve totals behind for the boundary expansion
+  // check: base consumption plus the freshly solved rates, and the top solved
+  // share. Only the affected-set path pays for this — fallback solves have no
+  // boundary to check. Slots are numbered densely in first-seen order, so the
+  // solve's slot count is the max slot index any flow carries, plus one.
+  const size_t n = new_rates.size();
+  int num_slots = 0;
+  for (size_t i = 0; i < n; ++i) {
+    num_slots = std::max({num_slots, egress_slot_[i] + 1, ingress_slot_[i] + 1});
+  }
+  for (int s = 0; s < num_slots; ++s) {
+    slot_total_[static_cast<size_t>(s)] = slot_base_[static_cast<size_t>(s)];
+    slot_max_affected_[static_cast<size_t>(s)] = 0.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double rate = new_rates[i];
+    for (const int s : {egress_slot_[i], ingress_slot_[i]}) {
+      slot_total_[static_cast<size_t>(s)] += rate;
+      slot_max_affected_[static_cast<size_t>(s)] =
+          std::max(slot_max_affected_[static_cast<size_t>(s)], rate);
+    }
+  }
+}
+
+bool NetworkFabricSim::CertifiedAfterSolve(const Flow& flow, double eps) const {
+  for (const int key : {EgressKey(flow.src), IngressKey(flow.dst)}) {
+    const auto k = static_cast<size_t>(key);
+    double sum;
+    double top;
+    if (slot_stamp_[k] == solve_stamp_) {
+      const auto s = static_cast<size_t>(slot_of_[k]);
+      sum = slot_total_[s];
+      top = std::max(slot_max_affected_[s], slot_unaffected_max_[s]);
+    } else {
+      const SideIndex& side = sides_[k];
+      sum = side.rate_sum;
+      top = side.max_share();
+    }
+    if (sum >= nic_bandwidth_ - eps && flow.rate >= top - eps) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetworkFabricSim::SortByFlowId(std::vector<Flow*>* flows) {
+  sort_scratch_.clear();
+  for (Flow* flow : *flows) {
+    sort_scratch_.emplace_back(flow->id, flow);
+  }
+  std::sort(sort_scratch_.begin(), sort_scratch_.end());
+  for (size_t i = 0; i < flows->size(); ++i) {
+    (*flows)[i] = sort_scratch_[i].second;
   }
 }
 
 void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
   MONO_CHECK(new_rate > 0);
-  if (new_rate == flow->rate && flow->completion.pending()) {
-    // Unchanged rate: progress stays linear and the pending completion event is
-    // still exact, so leave the flow untouched (no event-queue churn).
+  if (new_rate == flow->rate && flow->predicted_done >= 0) {
+    // Unchanged rate: progress stays linear and the indexed completion time is
+    // still exact, so leave the flow untouched.
     return;
   }
   // Advance progress under the old rate, then apply the new share.
@@ -306,41 +848,343 @@ void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
     flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
   }
   flow->last_update = now;
-  flow->rate = new_rate;
+  if (new_rate != flow->rate) {
+    ++stats_.rate_changes;
+    // Re-key the flow in both sides' share indexes.
+    for (const int key : {EgressKey(flow->src), IngressKey(flow->dst)}) {
+      sides_[static_cast<size_t>(key)].Move(flow->rate, new_rate, flow->id);
+    }
+    flow->rate = new_rate;
+  }
 
-  flow->completion.Cancel();
-  const SimTime finish_in = flow->remaining / flow->rate;
-  const FlowId id = flow->id;
-  flow->completion =
-      sim_->ScheduleAfter(finish_in, [this, id] { OnFlowComplete(id); }, "flow-complete");
+  // Re-key the predicted completion; the caller refreshes the single timer
+  // event once its batch of rate changes is applied.
+  const double done_at = now + flow->remaining / flow->rate;
+  if (flow->predicted_done >= 0) {
+    MoveCompletion(flow->predicted_done, done_at, flow->id);
+  } else {
+    InsertCompletion(done_at, flow->id);
+  }
+  flow->predicted_done = done_at;
 }
 
-void NetworkFabricSim::RecomputeAffected(int src, int dst) {
-  // Rates can only change inside the connected component(s) of the flow-sharing
-  // graph that touch the changed endpoints; everything else keeps its allocation.
-  std::vector<Flow*> component = CollectComponent(src, dst);
-  if (share_policy_ == SharePolicy::kMinShareLegacy) {
-    for (Flow* flow : component) {
-      ApplyRate(flow, LegacyMinShare(*flow));
+void NetworkFabricSim::InsertCompletion(double at, FlowId id) {
+  const auto entry = std::make_pair(at, id);
+  completions_.insert(std::upper_bound(completions_.begin(), completions_.end(),
+                                       entry, std::greater<>()),
+                      entry);
+}
+
+void NetworkFabricSim::EraseCompletion(double at, FlowId id) {
+  const auto entry = std::make_pair(at, id);
+  auto it = std::lower_bound(completions_.begin(), completions_.end(), entry,
+                             std::greater<>());
+  MONO_CHECK(it != completions_.end() && *it == entry);
+  completions_.erase(it);
+}
+
+void NetworkFabricSim::MoveCompletion(double from, double to, FlowId id) {
+  const auto old_entry = std::make_pair(from, id);
+  const auto new_entry = std::make_pair(to, id);
+  const auto it = std::lower_bound(completions_.begin(), completions_.end(),
+                                   old_entry, std::greater<>());
+  MONO_CHECK(it != completions_.end() && *it == old_entry);
+  // Descending order: larger keys live nearer the front. One shift moves only
+  // the entries *between* the old and new positions, where erase+insert would
+  // move everything from the smaller position to the end twice. The destination
+  // is found by scanning linearly from the old position: the shift already
+  // pays O(span), so the scan adds nothing asymptotically, and a re-levelled
+  // flow's completion usually lands within a couple of neighbors — a span far
+  // shorter than a binary search over the whole index.
+  if (new_entry > old_entry) {
+    auto dest = it;
+    while (dest != completions_.begin() && *(dest - 1) < new_entry) {
+      --dest;
     }
+    std::move_backward(dest, it, it + 1);
+    *dest = new_entry;
   } else {
-    std::vector<double> rates;
-    SolveMaxMin(component, &rates);
-    for (size_t i = 0; i < component.size(); ++i) {
-      ApplyRate(component[i], rates[i]);
+    auto dest = it + 1;
+    while (dest != completions_.end() && *dest > new_entry) {
+      ++dest;
+    }
+    std::move(it + 1, dest, it);
+    *(dest - 1) = new_entry;
+  }
+}
+
+void NetworkFabricSim::UpdateCompletionTimer() {
+  const double want = completions_.empty() ? -1.0 : completions_.back().first;
+  if (want == next_completion_time_ && (want < 0 || next_completion_.pending())) {
+    return;  // The timer already points at the minimum.
+  }
+  next_completion_.Cancel();
+  next_completion_time_ = want;
+  if (want >= 0) {
+    next_completion_ = sim_->ScheduleAt(
+        want,
+        [this, alive = alive_] {
+          if (*alive) {
+            OnNextCompletion();
+          }
+        },
+        "flow-complete");
+  }
+}
+
+void NetworkFabricSim::OnNextCompletion() {
+  // Complete every flow due now, earliest (time, id) first. Completion callbacks
+  // may start replacement flows whose patches insert new entries mid-loop, so
+  // the minimum is re-read from the index each iteration.
+  const SimTime now = sim_->now();
+  while (!completions_.empty() && completions_.back().first <= now) {
+    const FlowId id = completions_.back().second;
+    completions_.pop_back();
+    OnFlowComplete(id);
+  }
+  UpdateCompletionTimer();
+}
+
+void NetworkFabricSim::FlushPending() {
+  if (dirty_sides_.empty()) {
+    return;
+  }
+  ++stats_.epochs_flushed;
+  touched_scratch_.clear();
+  for (const int key : dirty_sides_) {
+    if (key % 2 == 1) {
+      touched_scratch_.push_back(key / 2);  // Recorded even if the side is now empty.
     }
   }
 
+  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  // Cascade gate, checked before any seeding work: when a changed side is
+  // saturated, the batched arrivals and departures re-level it, every flow
+  // crossing it adjusts, and the adjustment propagates through those flows'
+  // other sides — in a loaded fabric the whole component re-solves and the
+  // affected-set attempt is a wasted round. Only genuinely local changes
+  // (every dirty side running below capacity, so existing shares can stand)
+  // pay for seeding an affected set; saturated-side churn goes straight to
+  // the full-closure solve without stamping a single flow. A dirty side's
+  // *neighbors* may still be saturated — the sub-solve handles that (flows
+  // pinned there hold their level) and the boundary check keeps it honest.
+  bool try_local = true;
+  for (const int key : dirty_sides_) {
+    if (sides_[static_cast<size_t>(key)].rate_sum >= nic_bandwidth_ - eps) {
+      try_local = false;
+      break;
+    }
+  }
+
+  std::vector<Flow*>& affected = component_scratch_;
+  affected.clear();
+  bool solved = false;
+  if (try_local) {
+    // Seed the affected set with every flow on a changed side: those are the
+    // only flows a batched arrival or departure constrains directly. Everything
+    // else is presumed to keep its rate until the boundary check below proves
+    // otherwise. Membership is tracked by one visit stamp per flush, shared
+    // between flows and sides, so joining is O(1) and nothing needs clearing.
+    ++visit_stamp_;
+    affected_sides_.clear();
+    auto add_side = [&](int key) {
+      if (side_visit_stamp_[static_cast<size_t>(key)] != visit_stamp_) {
+        side_visit_stamp_[static_cast<size_t>(key)] = visit_stamp_;
+        affected_sides_.push_back(key);
+      }
+    };
+    auto add_flow = [&](Flow* flow) {
+      if (flow->visit_stamp != visit_stamp_) {
+        flow->visit_stamp = visit_stamp_;
+        affected.push_back(flow);
+        add_side(EgressKey(flow->src));
+        add_side(IngressKey(flow->dst));
+      }
+    };
+    for (const int key : dirty_sides_) {
+      add_side(key);
+      for (Flow* flow : SideFlows(key)) {
+        add_flow(flow);
+      }
+    }
+    // Second gate, over the seeded flows' *other* sides: a saturated neighbor
+    // pins the seeded flows at its level, and re-leveling it drags its own
+    // flows along — the sub-solve would expand and fall back anyway, so skip
+    // straight there rather than paying a doomed round.
+    for (const int key : affected_sides_) {
+      if (sides_[static_cast<size_t>(key)].rate_sum >= nic_bandwidth_ - eps) {
+        try_local = false;
+        break;
+      }
+    }
+    for (int round = 0; try_local && round < kMaxExpandRounds &&
+                        2 * affected.size() <= flows_by_id_.size();
+         ++round) {
+      // Canonical order: rates are solved — and below, applied and their
+      // completion events rescheduled — in ascending flow id, so the event
+      // schedule (and the run digest) depends only on the flow set, never on
+      // the traversal order that discovered it. Sorting the solve input also
+      // canonicalizes the solver's floating-point evaluation order, which is
+      // what lets a re-solve of an unchanged sub-structure reproduce rates
+      // bit-for-bit (and ApplyRate skip them).
+      SortByFlowId(&affected);
+      SolveMaxMin(affected, &rates_scratch_);
+      RecordSlotTotals(rates_scratch_);
+      ++stats_.solves;
+      stats_.flows_touched += affected.size();
+
+      // Boundary expansion: the sub-solve is the true max-min allocation only
+      // if every fixed flow stays certified. A fixed flow must join the set
+      // when it out-ranks the new level of a side that froze flows (the solve
+      // wrongly treated its over-sized share as immovable), or when no side
+      // certifies its rate any more (capacity it should claim was freed, or
+      // the side whose level pinned it moved). Joined flows make their sides
+      // affected too; the next round re-solves the grown set. No join means
+      // the allocation passes exactly the certification the audit sweep
+      // checks, so the fixpoint is sound by the same iff-characterization of
+      // max-min fairness.
+      //
+      // Both passes walk the sides' contiguous (rate, id) share indexes and
+      // classify entries against the id-sorted solve input (sort_scratch_), so
+      // fixed flows that stay certified — the common case — are never
+      // dereferenced. Affected flows' index entries still carry their
+      // pre-solve rates; only the entries classified as fixed are read.
+      const auto is_affected = [&](FlowId id) {
+        const auto it = std::lower_bound(
+            sort_scratch_.begin(), sort_scratch_.end(), id,
+            [](const std::pair<FlowId, Flow*>& e, FlowId v) { return e.first < v; });
+        return it != sort_scratch_.end() && it->first == id;
+      };
+      const size_t sides_at_solve = affected_sides_.size();
+      for (size_t si = 0; si < sides_at_solve; ++si) {
+        const int key = affected_sides_[si];
+        if (slot_stamp_[static_cast<size_t>(key)] != solve_stamp_) {
+          continue;  // A changed side no flow crosses any more (e.g. emptied by a departure).
+        }
+        const auto s = static_cast<size_t>(slot_of_[static_cast<size_t>(key)]);
+        double unaffected_max = 0.0;
+        for (const auto& [rate, id] : sides_[static_cast<size_t>(key)].shares) {
+          if (!is_affected(id)) {
+            unaffected_max = std::max(unaffected_max, rate);
+          }
+        }
+        slot_unaffected_max_[s] = unaffected_max;
+      }
+      bool expanded = false;
+      for (size_t si = 0; si < sides_at_solve; ++si) {
+        const int key = affected_sides_[si];
+        if (slot_stamp_[static_cast<size_t>(key)] != solve_stamp_) {
+          continue;
+        }
+        const auto s = static_cast<size_t>(slot_of_[static_cast<size_t>(key)]);
+        const double level = slot_level_[s];
+        const bool saturated = slot_total_[s] >= nic_bandwidth_ - eps;
+        const double top = std::max(slot_max_affected_[s], slot_unaffected_max_[s]);
+        for (const auto& [rate, id] : sides_[static_cast<size_t>(key)].shares) {
+          if (is_affected(id)) {
+            continue;
+          }
+          if (rate <= level + eps && saturated && rate >= top - eps) {
+            continue;  // Certified at this side without touching the flow.
+          }
+          Flow* flow = FindFlow(id);
+          if (flow->visit_stamp == visit_stamp_) {
+            continue;  // Joined through another side this round.
+          }
+          if (rate > level + eps || !CertifiedAfterSolve(*flow, eps)) {
+            add_flow(flow);
+            expanded = true;
+          }
+        }
+      }
+      if (!expanded) {
+        solved = true;
+        break;
+      }
+    }
+  }
+  if (!solved) {
+    // The affected set cascaded (or the gate said it would): one full-closure
+    // solve costs less than further expansion rounds, and is always sufficient
+    // (rates outside the connected component of the changed sides cannot
+    // move — and the closure from the dirty sides equals the closure from any
+    // expanded side set, since joined sides are reached through shared flows).
+    // When the last collected closure spanned every live flow — a loaded
+    // fabric is usually one connected component — later fallbacks skip the
+    // collection walk and solve the full flow list directly: a superset solve
+    // is always correct (disjoint components fill independently under the
+    // global-min bottleneck selection, and unchanged rates are skipped on
+    // apply), it is just wasted width if the fabric has since split, so the
+    // closure is re-collected every few dozen flushes to revalidate.
+    bool spanning = false;
+    if (spanning_revalidate_ > 0) {
+      --spanning_revalidate_;
+      affected.assign(flows_by_id_.begin(), flows_by_id_.end());
+      spanning = true;
+    } else {
+      CollectFromSides(dirty_sides_, &affected);
+      if (affected.size() == flows_by_id_.size()) {
+        spanning_revalidate_ = kSpanningRevalidateInterval;
+        affected.assign(flows_by_id_.begin(), flows_by_id_.end());
+        spanning = true;
+      } else {
+        SortByFlowId(&affected);
+      }
+    }
+    SolveMaxMin(affected, &rates_scratch_, /*identity_slots=*/spanning);
+    ++stats_.solves;
+    stats_.flows_touched += affected.size();
+  }
+  dirty_sides_.clear();
+  ++dirty_stamp_;
+
+  for (size_t i = 0; i < affected.size(); ++i) {
+    Flow* flow = affected[i];
+    // Same skip ApplyRate makes, hoisted: most of a re-solved component keeps
+    // its rates bit-for-bit, so the call itself is the cost worth dodging.
+    if (rates_scratch_[i] == flow->rate && flow->predicted_done >= 0) {
+      continue;
+    }
+    ApplyRate(flow, rates_scratch_[i]);
+  }
+  UpdateCompletionTimer();
+  if (trace_enabled_ || monotrace::Tracer::current() != nullptr) {
+    for (const Flow* flow : affected) {
+      touched_scratch_.push_back(flow->dst);
+    }
+    RecordIngressTouched(touched_scratch_);
+  }
+}
+
+void NetworkFabricSim::RecomputeAffected(int src, int dst) {
+  // Eager legacy-policy path: rates can only change inside the connected
+  // component(s) of the flow-sharing graph that touch the changed endpoints.
+  std::vector<Flow*> component;
+  CollectFromSides({EgressKey(src), IngressKey(dst)}, &component);
+  for (Flow* flow : component) {
+    ApplyRate(flow, LegacyMinShare(*flow));
+  }
+  UpdateCompletionTimer();
   std::vector<int> touched_ingress;
   touched_ingress.push_back(dst);  // Record even when the last flow just departed.
   for (const Flow* flow : component) {
     touched_ingress.push_back(flow->dst);
   }
+  RecordIngressTouched(touched_ingress);
+  // Audit eagerly, as the eager path historically did: the allocations this
+  // policy strands exist *between* a change and the next epoch boundary (the
+  // epoch-boundary sweep only sees the state after in-flight departures).
+  if (SimAudit* audit = SimAudit::current()) {
+    AuditInvariants(*audit, AuditPhase::kEventBoundary);
+  }
+}
+
+void NetworkFabricSim::RecordIngressTouched(const std::vector<int>& machines) {
   if (trace_enabled_) {
-    RecordIngressRates(touched_ingress);
+    RecordIngressRates(machines);
   }
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    for (int machine : touched_ingress) {
+    for (const int machine : machines) {
       double total = 0.0;
       for (const Flow* flow : ingress_flows_[static_cast<size_t>(machine)]) {
         total += flow->rate;
@@ -349,17 +1193,14 @@ void NetworkFabricSim::RecomputeAffected(int src, int dst) {
                       sim_->now(), total / nic_bandwidth_);
     }
   }
-  // The allocations visible between events (where stranded-capacity bugs live)
-  // can only be checked here, not from the simulation's event-boundary sweep.
-  if (SimAudit* audit = SimAudit::current()) {
-    AuditInvariants(*audit, AuditPhase::kEventBoundary);
-  }
 }
 
 void NetworkFabricSim::OnFlowComplete(FlowId id) {
-  auto it = flows_.find(id);
-  MONO_CHECK(it != flows_.end());
-  Flow* flow = it->second.get();
+  const auto by_id = std::lower_bound(
+      flows_by_id_.begin(), flows_by_id_.end(), id,
+      [](const Flow* f, FlowId v) { return f->id < v; });
+  MONO_CHECK(by_id != flows_by_id_.end() && (*by_id)->id == id);
+  Flow* flow = *by_id;
 
   // Guard against firing while a rate change left residual bytes.
   const SimTime now = sim_->now();
@@ -371,7 +1212,12 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
 
   const int src = flow->src;
   const int dst = flow->dst;
+  const double rate = flow->rate;
   std::function<void()> done = std::move(flow->done);
+  // Decide on the local patch while the departing flow's index entries still
+  // exist (the decision reads its sides' sums and top shares).
+  const bool patched =
+      share_policy_ == SharePolicy::kMaxMinFair && CanPatchDeparture(*flow);
 
   auto erase_from = [](std::vector<Flow*>& list, Flow* target) {
     list.erase(std::remove(list.begin(), list.end(), target), list.end());
@@ -380,9 +1226,23 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
   erase_from(ingress_flows_[static_cast<size_t>(dst)], flow);
   --egress_count_[static_cast<size_t>(src)];
   --ingress_count_[static_cast<size_t>(dst)];
-  flows_.erase(it);
+  sides_[static_cast<size_t>(EgressKey(src))].Erase(rate, id);
+  sides_[static_cast<size_t>(IngressKey(dst))].Erase(rate, id);
+  flows_by_id_.erase(by_id);
+  // Recycle before `done()` runs: the callback may start a replacement flow,
+  // which is welcome to reuse this very slot (everything it needs was copied
+  // into locals above).
+  FreeFlow(flow);
 
-  RecomputeAffected(src, dst);
+  if (share_policy_ == SharePolicy::kMinShareLegacy) {
+    RecomputeAffected(src, dst);
+  } else if (patched) {
+    ++stats_.patched_departures;
+    RecordIngressTouched({dst});
+  } else {
+    ++stats_.batched_changes;
+    MarkDirty(src, dst);
+  }
   static monotrace::MetricCounter* flows_metric =
       monotrace::MetricsRegistry::Global().Get("fabric.flows_completed");
   flows_metric->Increment();
@@ -400,19 +1260,20 @@ int NetworkFabricSim::egress_flows(int machine) const {
 }
 
 double NetworkFabricSim::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  MONO_CHECK_MSG(it != flows_.end(), "flow_rate: unknown or completed flow");
-  return it->second->rate;
+  FlushPendingConst();
+  const Flow* flow = FindFlow(id);
+  MONO_CHECK_MSG(flow != nullptr, "flow_rate: unknown or completed flow");
+  return flow->rate;
 }
 
 std::vector<NetworkFabricSim::FlowInfo> NetworkFabricSim::ActiveFlows() const {
+  FlushPendingConst();
   std::vector<FlowInfo> infos;
-  infos.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) {
-    infos.push_back(FlowInfo{id, flow->src, flow->dst, flow->rate});
+  infos.reserve(flows_by_id_.size());
+  // The registry is already in ascending id order — the snapshot inherits it.
+  for (const Flow* flow : flows_by_id_) {
+    infos.push_back(FlowInfo{flow->id, flow->src, flow->dst, flow->rate});
   }
-  std::sort(infos.begin(), infos.end(),
-            [](const FlowInfo& a, const FlowInfo& b) { return a.id < b.id; });
   return infos;
 }
 
@@ -437,6 +1298,7 @@ void NetworkFabricSim::RecordIngressRates(const std::vector<int>& machines) {
 
 const RateTrace& NetworkFabricSim::ingress_trace(int machine) const {
   MONO_CHECK(machine >= 0 && machine < num_machines());
+  FlushPendingConst();
   return ingress_traces_[static_cast<size_t>(machine)];
 }
 

@@ -18,18 +18,52 @@
 // receiver-driven scheduler (§3.4). It is kept, test-only, as
 // SharePolicy::kMinShareLegacy so the audit layer can demonstrate catching it.
 //
-// Rates are recomputed when a flow starts or completes, over the affected closure:
-// every flow transitively sharing a NIC side with the changed endpoints (rates
-// outside that connected component cannot change). Each recompute cancels and
-// reschedules completion events, which the Simulation's tombstone compaction keeps
-// cheap.
+// Incremental solving is organised around three mechanisms (DESIGN §4):
+//
+//  * Epoch batching. All flow arrivals and departures carrying one simulation
+//    timestamp are coalesced into a single progressive-filling pass, run from the
+//    Simulation's end-of-epoch hook (Simulation::AtEpochEnd) just before the
+//    clock advances — one solve per timestamp instead of one per event. Rate
+//    queries (flow_rate, ActiveFlows, the audit) flush pending work first, so
+//    callers never observe the transient mid-epoch state.
+//  * Sorted share indexes. Every NIC side keeps its flows ordered by current
+//    share (rate-keyed with flow-id tie-breaks), giving O(log n) access to a
+//    side's rate sum, maximum and runner-up share.
+//  * Bottleneck-set pruning. A single arrival or departure whose delta provably
+//    cannot change the saturated-side structure is absorbed by an O(log n) local
+//    patch instead of any re-solve: an arrival that fits the free capacity of
+//    both its sides without out-ranking any flow on a side it saturates, or a
+//    departure whose rate strictly out-ranks every remaining flow on each of its
+//    saturated sides (so nobody was bottlenecked behind it). When a re-solve is
+//    needed it is still pruned to the *affected set*, not the whole connected
+//    component: the flows on the changed sides are re-solved as a sub-problem in
+//    which every other flow is fixed consumption, and the boundary is then
+//    checked against the max-min certification — any fixed flow that the new
+//    levels prove mis-ranked (it out-ranks a saturated side's new level, or no
+//    side certifies its rate any more) joins the set and the sub-solve repeats.
+//    The fixpoint is exactly the audit's bottleneck certification, so pruned
+//    solutions are certified by construction — see DESIGN §4 and §8. If the set
+//    keeps growing the solver falls back to the full closure (every flow
+//    transitively sharing a NIC side with a changed endpoint — rates outside
+//    that component cannot change, so the fallback is always sufficient).
+//
+// Completion events go through a fabric-owned index rather than the simulation
+// queue: each flow's predicted completion time lives in a sorted (time, id)
+// vector and a single "next completion" event tracks the minimum. A rate change
+// then re-keys two doubles in that index instead of cancelling and rescheduling
+// a per-flow simulation event — the dominant cost of churn once solving itself
+// is pruned, since a max-min cascade re-times many completions per delta. Rates
+// are solved and applied in ascending flow-id order, and the index orders by
+// (time, id), so the event schedule (and the run digest) never depends on
+// traversal order.
 #ifndef MONOTASKS_SRC_CLUSTER_NETWORK_H_
 #define MONOTASKS_SRC_CLUSTER_NETWORK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/simcore/audit.h"
@@ -54,7 +88,9 @@ class NetworkFabricSim : public Auditable {
   // How NIC bandwidth is divided among flows. kMaxMinFair is the model;
   // kMinShareLegacy reinstates the historical min-of-equal-shares shortcut (which
   // strands capacity under asymmetric fan-in) so tests can demonstrate that the
-  // max-min-bottleneck audit detects it.
+  // max-min-bottleneck audit detects it. The legacy policy re-solves eagerly per
+  // change (no batching or pruning), preserving the historical cost profile the
+  // benches compare against.
   enum class SharePolicy {
     kMaxMinFair,
     kMinShareLegacy,
@@ -76,11 +112,12 @@ class NetworkFabricSim : public Auditable {
   int ingress_flows(int machine) const;
   int egress_flows(int machine) const;
 
-  // Current rate of an active flow (bytes/second).
+  // Current rate of an active flow (bytes/second). Flushes pending epoch work.
   double flow_rate(FlowId id) const;
 
   // Snapshot of the active flow set, for the property tests that compare the
-  // incremental allocation against a reference max-min solver.
+  // incremental allocation against a reference max-min solver. Flushes pending
+  // epoch work.
   struct FlowInfo {
     FlowId id;
     int src;
@@ -91,16 +128,33 @@ class NetworkFabricSim : public Auditable {
 
   monoutil::Bytes total_bytes_transferred() const { return total_bytes_; }
 
+  // Solver instrumentation, reset-free counters for the benches: how often the
+  // progressive-filling solver actually ran, how many flows it touched, and how
+  // much work the batching/pruning layers absorbed. `flows_touched` counts flows
+  // per solve, so touched/solves is the mean re-solved component size.
+  struct SolverStats {
+    uint64_t solves = 0;             // Progressive-filling passes run.
+    uint64_t flows_touched = 0;      // Σ component sizes across those passes.
+    uint64_t rate_changes = 0;       // Rate installs that actually changed a rate.
+    uint64_t epochs_flushed = 0;     // End-of-epoch flushes that found dirty state.
+    uint64_t batched_changes = 0;    // Arrivals/departures coalesced into flushes.
+    uint64_t patched_arrivals = 0;   // Arrivals absorbed by the local patch.
+    uint64_t patched_departures = 0; // Departures absorbed by the local patch.
+  };
+  const SolverStats& solver_stats() const { return stats_; }
+
   // Per-machine ingress rate trace (enabled for all machines by EnableTrace).
   void EnableTrace();
   const RateTrace& ingress_trace(int machine) const;
   double MeanIngressUtilization(int machine, SimTime from, SimTime to) const;
 
   // Invariant auditing (audit.h): flow counts consistent with the per-machine flow
-  // lists (both directions), per-NIC ingress/egress rate sums within the NIC
-  // bandwidth, flow rates non-negative, every flow's rate certified max-min fair
-  // (it touches at least one saturated NIC side where no flow has a larger share),
-  // and no flows left when the simulation drains.
+  // lists (both directions), the sorted share indexes consistent with the flow
+  // lists, per-NIC ingress/egress rate sums within the NIC bandwidth, flow rates
+  // non-negative, every flow's rate certified max-min fair (it touches at least
+  // one saturated NIC side where no flow has a larger share), and no flows left
+  // when the simulation drains. Pending epoch work is flushed first, so the audit
+  // always certifies the batched solution, never the mid-epoch transient.
   void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
@@ -112,28 +166,159 @@ class NetworkFabricSim : public Auditable {
     double rate = 0.0;
     SimTime last_update;
     std::function<void()> done;
-    EventHandle completion;
-    uint64_t visit_epoch = 0;  // Closure-collection stamp (RecomputeAffected).
+    // Absolute predicted completion time, mirrored in the completion index;
+    // negative while the flow has not been assigned a rate yet.
+    double predicted_done = -1.0;
+    uint64_t visit_stamp = 0;  // Affected-set membership stamp (one stamp per flush).
   };
 
+  // One NIC side's persistent share index: the flows crossing the side ordered by
+  // current rate, ties broken by flow id so the order never depends on addresses.
+  // Maintained by ApplyRate and flow add/remove; gives the pruning patches (and
+  // consistency audits) the side's rate sum and top shares in O(log n). Kept as a
+  // sorted vector rather than a tree: a NIC side carries few flows, so a binary
+  // search plus a short memmove beats node allocation on every re-key. Sides are
+  // keyed 2m (egress of machine m) / 2m+1 (ingress of m).
+  struct SideIndex {
+    double rate_sum = 0.0;
+    std::vector<std::pair<double, FlowId>> shares;  // Ascending (rate, id).
+
+    double max_share() const { return shares.empty() ? 0.0 : shares.back().first; }
+    void Insert(double rate, FlowId id) {
+      shares.insert(std::upper_bound(shares.begin(), shares.end(),
+                                     std::make_pair(rate, id)),
+                    {rate, id});
+      rate_sum += rate;
+    }
+    void Erase(double rate, FlowId id);  // The entry must exist.
+    // Re-keys an existing entry in place: one rotate over the span between the
+    // old and new positions instead of an erase+insert pair of memmoves.
+    void Move(double old_rate, double new_rate, FlowId id);
+    bool Contains(double rate, FlowId id) const {
+      const auto entry = std::make_pair(rate, id);
+      if (shares.size() <= 16) {
+        // A NIC side usually carries a handful of flows: a predictable linear
+        // scan beats a binary search's data-dependent branches.
+        for (const auto& e : shares) {
+          if (e == entry) {
+            return true;
+          }
+        }
+        return false;
+      }
+      return std::binary_search(shares.begin(), shares.end(), entry);
+    }
+  };
+
+  static int EgressKey(int machine) { return 2 * machine; }
+  static int IngressKey(int machine) { return 2 * machine + 1; }
+
+  // Marks both endpoint sides of a change dirty and registers the end-of-epoch
+  // flush with the simulation (once per open epoch).
+  void MarkDirty(int src, int dst);
+  void MarkSideDirty(int side_key);
+
+  // Runs the deferred epoch work, if any: seeds the affected set from the dirty
+  // sides, sub-solves it (unaffected flows held as fixed consumption), expands
+  // the set through the certification boundary check until it reaches a
+  // fixpoint (or falls back to the full closure), applies the rates in
+  // ascending flow-id order, and records the touched ingress traces.
+  // Idempotent; no-op when clean.
+  void FlushPending();
+  // Const-context flush for the rate queries and the audit: pending epoch work is
+  // deferred evaluation of state the caller is about to read, not a logical
+  // mutation, so flushing from const observers is sound.
+  void FlushPendingConst() const { const_cast<NetworkFabricSim*>(this)->FlushPending(); }
+
+  // Local absorption of a single change while the fabric is clean (no dirty
+  // sides). TryPatchArrival gives the new flow min(free egress, free ingress)
+  // when that cannot disturb the existing bottleneck structure; returns false if
+  // a full re-solve is needed. CanPatchDeparture says whether removing `flow`
+  // provably leaves every remaining rate unchanged.
+  bool TryPatchArrival(Flow* flow);
+  bool CanPatchDeparture(const Flow& flow) const;
+
   // Re-derives the rate of every flow in the connected component(s) of the
-  // flow-sharing graph touching `src`'s egress or `dst`'s ingress side (after a
-  // flow set change at those machines), updating progress and completion events.
+  // flow-sharing graph touching `src`'s egress or `dst`'s ingress side, eagerly.
+  // Legacy-policy path only; the max-min policy batches via MarkDirty/FlushPending.
   void RecomputeAffected(int src, int dst);
 
-  // All flows transitively sharing a NIC side with the two seed sides.
-  std::vector<Flow*> CollectComponent(int src, int dst);
+  // All flows transitively sharing a NIC side with the seed sides, appended to
+  // `component` (which is cleared first).
+  void CollectFromSides(const std::vector<int>& seed_sides, std::vector<Flow*>* component);
+
+  // The flows crossing one NIC side (egress list for even keys, ingress for odd).
+  const std::vector<Flow*>& SideFlows(int key) const {
+    return (key % 2 == 0) ? egress_flows_[static_cast<size_t>(key / 2)]
+                          : ingress_flows_[static_cast<size_t>(key / 2)];
+  }
+
+  // Reorders `flows` into ascending flow-id order (the canonical order rates are
+  // solved and applied in). Sorting (id, ptr) pairs keeps the comparisons out of
+  // the flows' cache lines.
+  void SortByFlowId(std::vector<Flow*>* flows);
 
   // Progressive-filling max-min rates for `component`, written into `new_rates`
-  // (parallel to `component`).
-  void SolveMaxMin(const std::vector<Flow*>& component, std::vector<double>* new_rates) const;
+  // (parallel to `component`). Flows *not* in `component` (those not carrying
+  // the current visit stamp) are held at their existing rates: each slot's
+  // capacity is reduced by their consumption, which is what lets FlushPending
+  // solve a pruned affected set instead of the whole closure. A full-closure
+  // component has no such flows on any of its sides, so its base reductions are
+  // exactly zero and the solve is identical to a from-scratch pass. The next
+  // bottleneck side is found through an ordered frontier of (saturation level,
+  // side) candidates, re-keyed in O(log n) as flows freeze, rather than
+  // rescanning the component per round. Non-const: the slot table and frontier
+  // live in persistent scratch members so the per-epoch solve does not pay a
+  // fresh round of allocations; the per-slot levels, totals and maxima are left
+  // behind for the boundary expansion check. With `identity_slots` the caller
+  // vouches that `component` spans every live flow; slots are then the side
+  // keys themselves and the stamped side->slot map is skipped entirely.
+  void SolveMaxMin(const std::vector<Flow*>& component, std::vector<double>* new_rates,
+                   bool identity_slots = false);
 
-  // Advances `flow`'s progress under its old rate, then installs `new_rate` and
-  // reschedules its completion event. Skips flows whose rate is unchanged, so
-  // symmetric recomputes do not churn the event queue.
+  // Fills slot_total_ / slot_max_affected_ from the last solve's rates, for the
+  // boundary expansion check. Split out of SolveMaxMin so fallback solves —
+  // which have no boundary to check — skip it.
+  void RecordSlotTotals(const std::vector<double>& new_rates);
+
+  // After a sub-solve: true if some side of `flow` still certifies its (fixed)
+  // rate — saturated, with `flow` holding a maximal share. Sides in the solve
+  // are read from the solver's per-slot results, untouched sides from their
+  // share index (which the solve cannot have changed).
+  bool CertifiedAfterSolve(const Flow& flow, double eps) const;
+
+  // Advances `flow`'s progress under its old rate, then installs `new_rate`,
+  // updates the share indexes, and re-keys the flow in the completion index.
+  // Skips flows whose rate is unchanged, so symmetric recomputes cost nothing.
   void ApplyRate(Flow* flow, double new_rate);
 
+  // Completion index maintenance: the sorted (time, id) entries, the single
+  // simulation event tracking their minimum, and the handler that completes
+  // every flow due at the fired timestamp.
+  void InsertCompletion(double at, FlowId id);
+  void EraseCompletion(double at, FlowId id);
+  // Re-keys an indexed completion in place: one rotate over the span between
+  // the old and new positions, instead of an erase (memmove to the end) plus an
+  // insert (another). Rate perturbations move a completion a short distance, so
+  // the rotated span is usually a handful of entries.
+  void MoveCompletion(double from, double to, FlowId id);
+  void UpdateCompletionTimer();
+  void OnNextCompletion();
+
+  // Records the ingress rate trace and tracer counters for `machines` (deduped
+  // by the caller where it matters; harmless when repeated).
+  void RecordIngressTouched(const std::vector<int>& machines);
+
   void OnFlowComplete(FlowId id);
+
+  // Arena allocation: pop the free list (growing it by a block when empty) and
+  // reset the recycled struct's solver-visible fields; completed flows go back
+  // on the list. The live flow with `id`, found by binary search on the
+  // id-ordered registry; nullptr when absent.
+  Flow* AllocFlow();
+  void FreeFlow(Flow* flow) { free_flows_.push_back(flow); }
+  Flow* FindFlow(FlowId id) const;
+
   double LegacyMinShare(const Flow& flow) const;
   void RecordIngressRates(const std::vector<int>& machines);
 
@@ -141,18 +326,110 @@ class NetworkFabricSim : public Auditable {
   monoutil::BytesPerSecond nic_bandwidth_;
   monoutil::SimTime request_latency_;
 
-  std::unordered_map<FlowId, std::unique_ptr<Flow>> flows_;
+  // Flow registry: every live flow in ascending id order — the canonical solve
+  // order. Ids are assigned monotonically, so arrival is a push_back; departure
+  // (and lookup) is a binary search. Full-component solves (the common case in
+  // a loaded fabric) take this list verbatim instead of re-sorting the
+  // collected set. The structs themselves come from a pooled arena below.
+  std::vector<Flow*> flows_by_id_;
+  // Flow arena: fixed-size blocks and a LIFO free list. Pooling keeps the
+  // structs clustered in a few pages, so the solver's and audit's walks don't
+  // chase one heap allocation per flow; recycling makes steady-state churn
+  // allocation-free. Only flows_by_id_ decides identity and order — pointers
+  // never do (recycled addresses would otherwise leak into the schedule).
+  std::vector<std::unique_ptr<Flow[]>> flow_blocks_;
+  std::vector<Flow*> free_flows_;
   std::vector<int> ingress_count_;
   std::vector<int> egress_count_;
   std::vector<std::vector<Flow*>> ingress_flows_;
   std::vector<std::vector<Flow*>> egress_flows_;
+  std::vector<SideIndex> sides_;  // Indexed by EgressKey/IngressKey.
+  // Predicted completion times, sorted *descending* by (time, id): the earliest
+  // completion sits at the back, so firing it is a pop_back and re-keying an
+  // imminent completion moves little memory. One simulation event tracks the
+  // minimum; per-flow events would pay a queue cancel+reschedule for every rate
+  // change a cascade re-times.
+  std::vector<std::pair<double, FlowId>> completions_;
+  EventHandle next_completion_;
+  SimTime next_completion_time_ = -1.0;
   FlowId next_id_ = 1;
   monoutil::Bytes total_bytes_ = 0;
   SharePolicy share_policy_ = SharePolicy::kMaxMinFair;
-  uint64_t visit_epoch_ = 0;
+
+  // Closure-collection scratch (CollectFromSides), reused across calls: flows and
+  // sides are marked visited by stamp so nothing needs clearing between runs.
+  uint64_t visit_stamp_ = 0;
+  std::vector<uint64_t> side_visit_stamp_;
+  std::vector<int> pending_sides_;
+
+  // Solver scratch (SolveMaxMin): the side-key -> slot map is stamped per solve,
+  // per-slot state keeps its capacity across solves, and the bottleneck frontier
+  // is a binary min-heap with lazy invalidation (an entry is stale once its
+  // slot's version moved on). All persistent so the steady-state solve allocates
+  // nothing.
+  uint64_t solve_stamp_ = 0;
+  std::vector<uint64_t> slot_stamp_;  // Side key -> last solve that used it.
+  std::vector<int> slot_of_;          // Side key -> slot within that solve.
+  std::vector<double> slot_consumed_;
+  std::vector<int> slot_unfrozen_;
+  std::vector<double> slot_cap_;  // Fill level at which the slot saturates.
+  // Slot -> component-flow-index adjacency, CSR layout (slot_cursor_ is the
+  // fill pass's write cursor).
+  std::vector<int> slot_adj_offset_;
+  std::vector<int> slot_adj_;
+  std::vector<int> slot_cursor_;
+  // Per-slot sub-solve results, read by the boundary expansion check: the side
+  // key behind the slot, the fixed consumption of unaffected flows (and their
+  // top share, filled by the expansion pre-pass), the level the side froze its
+  // flows at (infinity if it never became the bottleneck), and the side's
+  // post-solve total and top affected share.
+  std::vector<int> slot_keys_;
+  std::vector<double> slot_base_;
+  std::vector<double> slot_unaffected_max_;
+  std::vector<double> slot_level_;
+  std::vector<double> slot_total_;
+  std::vector<double> slot_max_affected_;
+  std::vector<int> egress_slot_;
+  std::vector<int> ingress_slot_;
+  std::vector<char> frozen_;
+
+  // Flush scratch (FlushPending), reused across epochs. `affected_sides_` is the
+  // NIC sides crossed by the current affected set (plus the emptied dirty ones).
+  std::vector<Flow*> component_scratch_;
+  std::vector<std::pair<FlowId, Flow*>> sort_scratch_;
+  std::vector<double> rates_scratch_;
+  std::vector<int> touched_scratch_;
+  std::vector<int> affected_sides_;
+  // Fallback flushes left that may take the full flow list without re-walking
+  // the closure (armed when a collected closure spans every live flow).
+  int spanning_revalidate_ = 0;
+
+  // Epoch-batching state: the NIC sides touched by changes since the last flush,
+  // deduplicated by stamp, plus whether the end-of-epoch flush is registered.
+  std::vector<int> dirty_sides_;
+  std::vector<uint64_t> side_dirty_stamp_;
+  uint64_t dirty_stamp_ = 1;
+  bool flush_registered_ = false;
+  // Lets a registered-but-unfired end-of-epoch flush outlive the fabric safely:
+  // the callback holds a copy and no-ops once the flag is cleared.
+  std::shared_ptr<bool> alive_;
+
+  SolverStats stats_;
 
   bool trace_enabled_ = false;
   std::vector<RateTrace> ingress_traces_;
+
+  // Audit scratch: per-machine ground-truth sums/maxima recomputed by every
+  // epoch-boundary sweep. Mutable because AuditInvariants is const — the sweep
+  // reuses the buffers, it does not change observable fabric state.
+  mutable std::vector<double> audit_ingress_sum_;
+  mutable std::vector<double> audit_ingress_max_;
+  mutable std::vector<double> audit_egress_sum_;
+  mutable std::vector<double> audit_egress_max_;
+  // Ground-truth multiset fingerprint per NIC side (commutative sum of mixed
+  // (rate, id) entries), rebuilt by every sweep and compared against the same
+  // sum over the incrementally-maintained share indexes.
+  mutable std::vector<uint64_t> audit_side_fp_;
 };
 
 }  // namespace monosim

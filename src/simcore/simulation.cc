@@ -106,12 +106,45 @@ void Simulation::MaybeCompact() {
   *tombstones_ = 0;
 }
 
+void Simulation::DropLeadingTombstones() {
+  while (!queue_.empty() && queue_.front().record->cancelled) {
+    PopTop();
+  }
+}
+
+bool Simulation::NoLiveEventAtNow() {
+  DropLeadingTombstones();
+  return queue_.empty() || queue_.front().when > now_;
+}
+
+void Simulation::RunEpochTasks() {
+  // Move the batch out: callbacks may register follow-up epoch work, which then
+  // belongs to the (possibly re-opened) epoch and runs on the next flush.
+  std::vector<std::function<void()>> tasks = std::move(epoch_tasks_);
+  epoch_tasks_.clear();
+  for (std::function<void()>& task : tasks) {
+    task();
+  }
+}
+
+void Simulation::AtEpochEnd(std::function<void()> fn) {
+  MONO_CHECK(fn != nullptr);
+  epoch_tasks_.push_back(std::move(fn));
+}
+
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = PopTop();
-    if (entry.record->cancelled) {
+  for (;;) {
+    // Epoch work registered outside any event (e.g. flows started before Run())
+    // must flush before the clock can advance past the current time.
+    if (!epoch_tasks_.empty() && NoLiveEventAtNow()) {
+      RunEpochTasks();
       continue;
     }
+    DropLeadingTombstones();
+    if (queue_.empty()) {
+      return false;
+    }
+    QueueEntry entry = PopTop();
     if (SimAudit* audit = SimAudit::current()) {
       audit->ExpectLazy(entry.when >= last_fired_time_, now_, "simulation",
                         "clock-monotonic", [&] {
@@ -129,10 +162,18 @@ bool Simulation::Step() {
     // Move the callback out so that captured state dies when it returns.
     std::function<void()> fn = std::move(entry.record->fn);
     fn();
-    RunAuditChecks(AuditPhase::kEventBoundary);
+    // Epoch boundary: once no live event shares the current timestamp, flush the
+    // deferred epoch work (which may schedule same-time events, re-opening the
+    // epoch) and then sweep the audits. Mid-epoch, both wait: batched components
+    // are transiently stale until their end-of-epoch flush runs.
+    while (!epoch_tasks_.empty() && NoLiveEventAtNow()) {
+      RunEpochTasks();
+    }
+    if (NoLiveEventAtNow()) {
+      RunAuditChecks(AuditPhase::kEventBoundary);
+    }
     return true;
   }
-  return false;
 }
 
 void Simulation::Run() {
@@ -143,16 +184,19 @@ void Simulation::Run() {
 
 void Simulation::RunUntil(SimTime deadline) {
   MONO_CHECK(deadline >= now_);
-  while (!queue_.empty()) {
+  for (;;) {
+    // Epoch work pending at the current time must flush before the clock moves
+    // (Step handles the post-fire case; this covers work registered outside any
+    // event when the next live event lies beyond the deadline).
+    if (!epoch_tasks_.empty() && NoLiveEventAtNow()) {
+      RunEpochTasks();
+      continue;
+    }
     // Discard tombstones regardless of their virtual time — a remainder of
     // cancelled entries past the deadline must still count as drained — but never
     // fire a live event beyond the deadline.
-    const QueueEntry& top = queue_.front();
-    if (top.record->cancelled) {
-      PopTop();
-      continue;
-    }
-    if (top.when > deadline) {
+    DropLeadingTombstones();
+    if (queue_.empty() || queue_.front().when > deadline) {
       break;
     }
     Step();

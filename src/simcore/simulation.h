@@ -5,6 +5,16 @@
 // deterministic. Everything in the cluster simulator (devices, schedulers, tasks) is
 // driven by this kernel — no wall-clock time or threads are involved.
 //
+// All events sharing one timestamp form an *epoch*. Components can defer work to
+// the end of the current epoch with AtEpochEnd() — the point at which every event
+// carrying the current timestamp has fired, just before the clock would advance.
+// The network fabric uses this to coalesce all flow arrivals and departures at one
+// timestamp into a single max-min solve instead of re-solving per event. The
+// registered audit sweep consequently also runs per epoch rather than per event:
+// mid-epoch component state is transiently stale by design, and the allocations
+// that exist while the clock stands still are exactly the ones the end-of-epoch
+// sweep certifies.
+//
 // Cancellation is lazy: Cancel() marks the queued record as a tombstone, which is
 // discarded when it reaches the front of the queue. Cancel-heavy components (the
 // network fabric cancels and reschedules a completion event on every rate change)
@@ -118,7 +128,20 @@ class Simulation {
   void RunUntil(SimTime deadline);
 
   // Fires at most one event (skipping cancelled ones). Returns false when empty.
+  // When the fired event is the last one carrying the current timestamp, the
+  // pending AtEpochEnd callbacks and the epoch-boundary audit sweep run before
+  // Step returns.
   bool Step();
+
+  // Defers `fn` to the end of the current epoch: it runs once every event sharing
+  // the current timestamp has fired (equivalently, just before the clock would
+  // next advance past now()), and before the epoch-boundary audit sweep.
+  // Callbacks run in registration order, are one-shot, and may schedule new
+  // events — including at the current time, which re-opens the epoch (the sweep
+  // then waits for the new events and any re-registered callbacks). Work
+  // registered outside Run()/Step() is flushed before the next event fires, at
+  // the still-current time.
+  void AtEpochEnd(std::function<void()> fn);
 
   // Number of (non-cancelled) events fired so far.
   uint64_t fired_events() const { return fired_; }
@@ -173,6 +196,17 @@ class Simulation {
   // tombstone count. The queue must not be empty.
   QueueEntry PopTop();
 
+  // Discards cancelled entries sitting at the front of the queue, so the front
+  // (if any) is the next live event — the epoch-boundary peek needs its time.
+  void DropLeadingTombstones();
+
+  // True when no live event shares the current timestamp: the epoch is over once
+  // pending AtEpochEnd callbacks have run.
+  bool NoLiveEventAtNow();
+
+  // Runs and clears the pending epoch-end callbacks (which may register more).
+  void RunEpochTasks();
+
   // Drops every tombstone and re-heapifies when tombstones outnumber live entries.
   void MaybeCompact();
 
@@ -190,6 +224,7 @@ class Simulation {
   std::shared_ptr<uint64_t> tombstones_ = std::make_shared<uint64_t>(0);
   bool compaction_enabled_ = true;
   std::vector<const Auditable*> auditables_;
+  std::vector<std::function<void()>> epoch_tasks_;
 };
 
 }  // namespace monosim

@@ -70,6 +70,98 @@ TEST(NetworkMaxMinPropertyTest, IncrementalRatesMatchReferenceSolverOnRandomChur
   }
 }
 
+TEST(NetworkMaxMinPropertyTest, SameTimestampBurstsMatchReferenceSolver) {
+  // Epoch batching: every arrival and departure sharing one simulation
+  // timestamp must be coalesced into a single solve whose allocation matches
+  // the global reference. Bursts deliberately include duplicate
+  // (src, dst, bytes) triples — those flows receive identical rates, so their
+  // completions land on one timestamp too, exercising departure bursts and
+  // mixed arrival+departure epochs, not just arrival batching.
+  constexpr double kBandwidth = 100.0;
+  uint64_t total_batched = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    monoutil::Rng rng(5000 + seed);
+    const int machines = 3 + static_cast<int>(rng.NextBelow(6));  // 3..8
+
+    Simulation sim;
+    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    int completed = 0;
+    int launched = 0;
+    const int bursts = 2 + static_cast<int>(rng.NextBelow(3));  // 2..4
+    for (int b = 0; b < bursts; ++b) {
+      const SimTime at = 0.5 * b + rng.Uniform(0.0, 0.25);
+      const int width = 3 + static_cast<int>(rng.NextBelow(8));  // 3..10
+      int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
+      int dst = 0;
+      monoutil::Bytes bytes = 0;
+      for (int i = 0; i < width; ++i) {
+        // Roughly every other flow repeats the previous triple verbatim.
+        if (i == 0 || rng.NextBelow(2) == 0) {
+          src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
+          dst = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines - 1)));
+          if (dst >= src) {
+            ++dst;
+          }
+          bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(400));
+        }
+        ++launched;
+        sim.ScheduleAt(at, [&fabric, &completed, src, dst, bytes] {
+          fabric.StartFlow(src, dst, bytes, [&completed] { ++completed; });
+        });
+      }
+    }
+    while (sim.Step()) {
+      ExpectRatesMatchReference(fabric, kBandwidth, machines, sim.now());
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+    EXPECT_EQ(completed, launched) << "seed " << seed;
+    total_batched += fabric.solver_stats().batched_changes;
+  }
+  // The sequences must actually have exercised epoch batching: at least some
+  // epochs carried more than one arrival/departure into a single solve.
+  EXPECT_GT(total_batched, 0u);
+}
+
+TEST(NetworkMaxMinPropertyTest, PruningEligibleDeltasArePatchedAndStayCorrect) {
+  // Flows confined to disjoint machine pairs: an arrival onto a free pair and
+  // the departure of a pair's sole flow are both provably invisible to every
+  // other pair's bottleneck set, so the solver must take its local patch path
+  // — and the patched rates must still match the global reference at every
+  // event boundary.
+  constexpr double kBandwidth = 100.0;
+  constexpr int kMachines = 8;  // Pairs (0,1) (2,3) (4,5) (6,7).
+  Simulation sim;
+  NetworkFabricSim fabric(&sim, kMachines, kBandwidth);
+  monoutil::Rng rng(42);
+  int completed = 0;
+  constexpr int kArrivals = 24;
+  for (int i = 0; i < kArrivals; ++i) {
+    const int pair = i % 4;
+    const int src = 2 * pair;
+    const int dst = 2 * pair + 1;
+    const auto bytes = static_cast<monoutil::Bytes>(20 + rng.NextBelow(120));
+    // Staggered arrivals: patches only apply to a clean fabric, so each delta
+    // gets its own epoch.
+    sim.ScheduleAt(0.05 * i, [&fabric, &completed, src, dst, bytes] {
+      fabric.StartFlow(src, dst, bytes, [&completed] { ++completed; });
+    });
+  }
+  while (sim.Step()) {
+    ExpectRatesMatchReference(fabric, kBandwidth, kMachines, sim.now());
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  EXPECT_EQ(completed, kArrivals);
+  const NetworkFabricSim::SolverStats stats = fabric.solver_stats();
+  EXPECT_GT(stats.patched_arrivals, 0u)
+      << "no arrival took the patch path on a free disjoint pair";
+  EXPECT_GT(stats.patched_departures, 0u)
+      << "no departure of a pair's sole flow was patched";
+}
+
 TEST(NetworkMaxMinPropertyTest, HeavyFanInSequencesStayWorkConserving) {
   // Skewed sequences: most flows converge on one hot receiver (Spark's
   // many-concurrent-fetch shuffle pattern), the rest are scattered — the shape the

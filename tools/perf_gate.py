@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a bench JSON against the committed baseline.
+
+Each --gate NAME:MIN_RATIO asserts that scenario NAME's events_per_sec in the
+current run is at least MIN_RATIO times the committed baseline's. Ratios are
+deliberately generous (CI runners are noisy and heterogeneous): the gate exists
+to catch order-of-magnitude regressions of the kind that motivated it — the
+max-min fabric shipping at 4.8x below the legacy model — not 10% wobble.
+Scenarios without a --gate are printed for trend inspection but never fail.
+
+Usage:
+  perf_gate.py --baseline bench/baselines/BENCH_simcore.json \
+               --current BENCH_simcore.json \
+               --gate fabric_churn_maxmin:0.35 \
+               --gate fabric_churn_maxmin_audit:0.35
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scenarios(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="NAME:MIN_RATIO",
+        help="fail if current events_per_sec < MIN_RATIO * baseline's",
+    )
+    args = parser.parse_args()
+
+    baseline = load_scenarios(args.baseline)
+    current = load_scenarios(args.current)
+
+    gates = {}
+    for spec in args.gate:
+        name, _, ratio = spec.rpartition(":")
+        if not name:
+            parser.error(f"--gate {spec!r} is not NAME:MIN_RATIO")
+        gates[name] = float(ratio)
+
+    failures = []
+    width = max((len(n) for n in current), default=0)
+    for name, scenario in current.items():
+        eps = scenario["events_per_sec"]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {eps:>12,.0f} ev/s  (no baseline entry)")
+            continue
+        base_eps = base["events_per_sec"]
+        ratio = eps / base_eps if base_eps else float("inf")
+        line = f"{name:<{width}}  {eps:>12,.0f} ev/s  {ratio:6.2f}x baseline"
+        if name in gates:
+            floor = gates[name]
+            verdict = "ok" if ratio >= floor else "FAIL"
+            line += f"  [gate >= {floor:.2f}x: {verdict}]"
+            if ratio < floor:
+                failures.append(
+                    f"{name}: {eps:,.0f} ev/s is {ratio:.2f}x the baseline "
+                    f"{base_eps:,.0f} ev/s (gate requires >= {floor:.2f}x)"
+                )
+        print(line)
+
+    missing = sorted(set(gates) - set(current))
+    for name in missing:
+        failures.append(f"{name}: gated scenario missing from {args.current}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

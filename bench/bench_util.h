@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "src/common/tracing/telemetry.h"
 #include "src/common/tracing/tracer.h"
 #include "src/framework/environment.h"
 #include "src/monotask/mono_executor.h"
@@ -25,12 +26,14 @@ namespace monobench {
 // Setting the MONO_SIM_AUDIT environment variable runs the simulation under the
 // invariant audit (audit.h) and aborts on any violation. Setting
 // MONO_TRACE=<path> records every run in the process into one Chrome-trace file
-// written at exit (tracer.h).
+// written at exit (tracer.h). Setting MONO_TELEMETRY=<path> writes the
+// process's aggregated TelemetrySnapshot as JSON at exit (telemetry.h).
 inline monosim::JobResult RunSpark(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::SparkConfig config = {}, bool trace = false) {
   monotrace::InstallEnvTracerOnce();
+  monotrace::InstallEnvTelemetrySinkOnce();
   monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
   if (trace || monotrace::Tracer::current() != nullptr) {
@@ -42,13 +45,14 @@ inline monosim::JobResult RunSpark(
 }
 
 // Runs `make_job(env)` under the monotasks executor and returns the result.
-// MONO_SIM_AUDIT enables the invariant audit and MONO_TRACE the event tracer,
-// as in RunSpark.
+// MONO_SIM_AUDIT enables the invariant audit, MONO_TRACE the event tracer, and
+// MONO_TELEMETRY the exit-time telemetry snapshot, as in RunSpark.
 inline monosim::JobResult RunMonotasks(
     const monosim::ClusterConfig& cluster,
     const std::function<monosim::JobSpec(monosim::SimEnvironment*)>& make_job,
     monosim::MonoConfig config = {}, bool trace = false) {
   monotrace::InstallEnvTracerOnce();
+  monotrace::InstallEnvTelemetrySinkOnce();
   monosim::EnvScopedAudit audit;
   monosim::SimEnvironment env(cluster);
   if (trace || monotrace::Tracer::current() != nullptr) {

@@ -61,6 +61,7 @@ void ExportUtilization(const std::string& path, monosim::SimEnvironment* env,
 int main() {
   std::puts("=== Exporting raw utilization and queue-length traces as CSV ===\n");
   monotrace::InstallEnvTracerOnce();
+  monotrace::InstallEnvTelemetrySinkOnce();
   const auto cluster = monoload::BdbClusterConfig();
 
   {

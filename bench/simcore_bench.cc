@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -32,10 +33,24 @@
 
 #include "src/cluster/network.h"
 #include "src/common/rng.h"
+#include "src/common/tracing/metrics_registry.h"
 #include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
 namespace {
+
+// Runs `body` with telemetry (histograms, gauges, and — via `sim` — the flight
+// recorder) globally disabled, restoring the always-on default afterwards. The
+// *_telemetry_off scenarios price the telemetry tentpole: the paired on/off
+// digests must be identical (telemetry never schedules events) and CI gates
+// the throughput ratio at 0.95 (within 5%, ISSUE acceptance).
+template <typename Fn>
+auto WithTelemetryOff(Fn&& body) {
+  monotrace::SetTelemetryEnabled(false);
+  auto result = body();
+  monotrace::SetTelemetryEnabled(true);
+  return result;
+}
 
 struct Scenario {
   std::string name;
@@ -54,10 +69,13 @@ double Elapsed(std::chrono::steady_clock::time_point start) {
 }
 
 // Pure schedule+fire throughput with no cancellations: the floor every other
-// scenario pays on top of.
-Scenario BenchScheduleFire() {
+// scenario pays on top of. With `telemetry` off the flight recorder is also
+// disabled, so the pair isolates the always-on recording cost on the kernel's
+// hottest path.
+Scenario BenchScheduleFire(bool telemetry, const char* name) {
   constexpr int kEvents = 2000000;
   monosim::Simulation sim;
+  sim.flight_recorder().set_enabled(telemetry);
   const auto start = std::chrono::steady_clock::now();
   int fired = 0;
   for (int i = 0; i < kEvents; ++i) {
@@ -65,7 +83,7 @@ Scenario BenchScheduleFire() {
   }
   sim.Run();
   const double seconds = Elapsed(start);
-  return Scenario{"event_queue_schedule_fire", static_cast<uint64_t>(fired), seconds,
+  return Scenario{name, static_cast<uint64_t>(fired), seconds,
                   fired / seconds, kEvents, sim.digest()};
 }
 
@@ -100,7 +118,7 @@ Scenario BenchCancelChurn(bool compaction, const char* name) {
 // invariant audit (including the max-min bottleneck certification) sweeps every
 // epoch boundary, as under MONO_SIM_AUDIT=report; a violation fails the bench.
 Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
-                          const char* name, bool audited) {
+                          const char* name, bool audited, bool telemetry = true) {
   constexpr int kMachines = 16;
   constexpr int kLanes = 64;
   constexpr int kFlowsPerLane = 400;
@@ -109,6 +127,7 @@ Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
     audit = std::make_unique<monosim::ScopedAudit>(monosim::ScopedAudit::kReport);
   }
   monosim::Simulation sim;
+  sim.flight_recorder().set_enabled(telemetry);
   monosim::NetworkFabricSim fabric(&sim, kMachines, /*nic_bandwidth=*/1e8);
   fabric.set_share_policy_for_test(policy);
   monoutil::Rng rng(7);
@@ -185,12 +204,62 @@ void WriteJson(const std::string& path, const std::vector<Scenario>& scenarios) 
     }
     out << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  // Aggregation-side observability for the run itself: every counter,
+  // histogram and gauge the process accumulated (telemetry tentpole).
+  out << "  ],\n  \"telemetry\":\n"
+      << monotrace::MetricsRegistry::Global().TakeTelemetrySnapshot().ToJson(2)
+      << "\n}\n";
+}
+
+// Best-of-N for the scenarios under the tight --pair gate (0.95x): a single
+// fabric-churn measurement is ~0.2s and wobbles a few percent on shared CI
+// runners, so the pair ratio is taken over each side's best of three. The
+// workload is deterministic — repeats must produce identical digests, and a
+// mismatch here means the simulation itself lost determinism.
+Scenario BestOf(int n, const std::function<Scenario()>& run) {
+  Scenario best = run();
+  for (int i = 1; i < n; ++i) {
+    Scenario next = run();
+    if (next.digest != best.digest) {
+      std::cerr << best.name << ": digest changed across repeats (" << std::hex
+                << best.digest << " vs " << next.digest << std::dec
+                << ") — simulation is nondeterministic\n";
+      std::exit(1);
+    }
+    if (next.events_per_sec > best.events_per_sec) {
+      best = next;
+    }
+  }
+  return best;
+}
+
+// The telemetry-off variants re-run the exact workload of their "on" twins;
+// telemetry must never schedule an event, so the event-stream digests must be
+// bit-identical. Checked here (not just in tests) so every perf-smoke run is
+// also a digest-invariance regression.
+void CheckPairedDigests(const std::vector<Scenario>& scenarios) {
+  const char* suffix = "_telemetry_off";
+  for (const Scenario& off : scenarios) {
+    const size_t pos = off.name.rfind(suffix);
+    if (pos == std::string::npos || pos + std::strlen(suffix) != off.name.size()) {
+      continue;
+    }
+    const std::string on_name = off.name.substr(0, pos);
+    for (const Scenario& on : scenarios) {
+      if (on.name == on_name && on.digest != off.digest) {
+        std::cerr << "digest mismatch: " << on.name << " (" << std::hex << on.digest
+                  << ") vs " << off.name << " (" << off.digest << std::dec
+                  << ") — telemetry perturbed the schedule\n";
+        std::exit(1);
+      }
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  monotrace::InstallEnvTelemetrySinkOnce();
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_simcore.json";
   const char* filter_env = std::getenv("MONO_BENCH_FILTER");
   const std::string filter = filter_env != nullptr ? filter_env : "";
@@ -200,7 +269,15 @@ int main(int argc, char** argv) {
   using SharePolicy = monosim::NetworkFabricSim::SharePolicy;
   std::vector<Scenario> scenarios;
   if (wanted("event_queue_schedule_fire")) {
-    scenarios.push_back(BenchScheduleFire());
+    scenarios.push_back(BestOf(
+        3, [] { return BenchScheduleFire(true, "event_queue_schedule_fire"); }));
+  }
+  if (wanted("event_queue_schedule_fire_telemetry_off")) {
+    scenarios.push_back(BestOf(3, [] {
+      return WithTelemetryOff([] {
+        return BenchScheduleFire(false, "event_queue_schedule_fire_telemetry_off");
+      });
+    }));
   }
   if (wanted("cancel_churn_before_compaction")) {
     scenarios.push_back(
@@ -214,18 +291,34 @@ int main(int argc, char** argv) {
     SharePolicy policy;
     const char* name;
     bool audited;
+    bool telemetry = true;
   };
   const FabricVariant fabric_variants[] = {
       {SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare", false},
       {SharePolicy::kMinShareLegacy, "fabric_churn_legacy_minshare_audit", true},
       {SharePolicy::kMaxMinFair, "fabric_churn_maxmin", false},
       {SharePolicy::kMaxMinFair, "fabric_churn_maxmin_audit", true},
+      {SharePolicy::kMaxMinFair, "fabric_churn_maxmin_telemetry_off", false,
+       /*telemetry=*/false},
   };
   for (const FabricVariant& v : fabric_variants) {
-    if (wanted(v.name)) {
-      scenarios.push_back(BenchFabricChurn(v.policy, v.name, v.audited));
+    if (!wanted(v.name)) {
+      continue;
     }
+    // The pair-gated maxmin on/off twins get best-of-3; the rest run once
+    // (their baseline gates are generous enough for single measurements).
+    const bool paired = std::strcmp(v.name, "fabric_churn_maxmin") == 0 ||
+                        std::strcmp(v.name, "fabric_churn_maxmin_telemetry_off") == 0;
+    const auto run = [&]() -> Scenario {
+      if (v.telemetry) {
+        return BenchFabricChurn(v.policy, v.name, v.audited);
+      }
+      return WithTelemetryOff(
+          [&] { return BenchFabricChurn(v.policy, v.name, v.audited, false); });
+    };
+    scenarios.push_back(paired ? BestOf(3, run) : run());
   }
+  CheckPairedDigests(scenarios);
   WriteJson(out_path, scenarios);
   for (const Scenario& s : scenarios) {
     std::cout << s.name << ": " << static_cast<uint64_t>(s.events_per_sec)

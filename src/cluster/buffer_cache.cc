@@ -28,14 +28,44 @@ BufferCacheSim::BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
   MONO_CHECK(config_.memory_bandwidth > 0);
   // Disk names look like "machine3.disk0"; the machine part keys our traces.
   trace_prefix_ = disks_[0]->name().substr(0, disks_[0]->name().find('.'));
+  if (monotrace::TelemetryEnabled()) {
+    dirty_gauge_ = monotrace::MetricsRegistry::Global().Gauge(
+        "cache." + trace_prefix_ + ".dirty_bytes");
+    dirty_gauge_->Set(static_cast<double>(total_dirty_), sim_->now());
+  }
   sim_->RegisterAuditable(this);
 }
 
 void BufferCacheSim::TraceDirtyBytes() const {
+  if (dirty_gauge_ != nullptr && monotrace::TelemetryEnabled()) {
+    dirty_gauge_->Set(static_cast<double>(total_dirty_), sim_->now());
+  }
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     tracer->Counter("os-cache", trace_prefix_ + ".dirty-bytes", sim_->now(),
                     static_cast<double>(total_dirty_));
   }
+}
+
+void BufferCacheSim::UpdateOverLimit() {
+  const bool over = total_dirty_ >= config_.dirty_limit;
+  if (over == over_limit_) {
+    return;
+  }
+  const SimTime now = sim_->now();
+  if (over_limit_) {
+    over_limit_seconds_ += now - over_limit_since_;
+  } else {
+    over_limit_since_ = now;
+  }
+  over_limit_ = over;
+}
+
+double BufferCacheSim::over_limit_seconds() const {
+  double total = over_limit_seconds_;
+  if (over_limit_) {
+    total += sim_->now() - over_limit_since_;
+  }
+  return total;
 }
 
 BufferCacheSim::~BufferCacheSim() {
@@ -144,7 +174,8 @@ void BufferCacheSim::Write(int disk_index, Bytes bytes, std::function<void()> do
   if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
     // Over the dirty limit: throttle the writer until flushing frees headroom, and
     // make sure flushing is actually running.
-    blocked_writes_.push_back(PendingWrite{disk_index, bytes, std::move(done), false});
+    blocked_writes_.push_back(
+        PendingWrite{disk_index, bytes, std::move(done), false, sim_->now()});
     MaybeStartWriteback(/*pressure=*/true);
     return;
   }
@@ -155,7 +186,8 @@ void BufferCacheSim::WriteSync(int disk_index, Bytes bytes, std::function<void()
   MONO_CHECK(disk_index >= 0 && static_cast<size_t>(disk_index) < disks_.size());
   MONO_CHECK(bytes >= 0);
   if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
-    blocked_writes_.push_back(PendingWrite{disk_index, bytes, std::move(done), true});
+    blocked_writes_.push_back(
+        PendingWrite{disk_index, bytes, std::move(done), true, sim_->now()});
     MaybeStartWriteback(/*pressure=*/true);
     return;
   }
@@ -168,6 +200,7 @@ void BufferCacheSim::AdmitWrite(int disk_index, Bytes bytes, std::function<void(
   dirty_per_disk_[d] += bytes;
   submitted_per_disk_[d] += bytes;
   total_dirty_ += bytes;
+  UpdateOverLimit();
   TraceDirtyBytes();
   if (sync) {
     // Completion is deferred until everything submitted to this disk so far —
@@ -251,6 +284,7 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
   total_dirty_ -= bytes;
   total_flushed_ += bytes;
   MONO_CHECK(dirty_per_disk_[d] >= 0);
+  UpdateOverLimit();
   TraceDirtyBytes();
   static monotrace::MetricCounter* flushed_metric =
       monotrace::MetricsRegistry::Global().Get("cache.bytes_flushed");
@@ -271,6 +305,12 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
           total_dirty_ + blocked_writes_.front().bytes <= config_.dirty_limit)) {
     PendingWrite write = std::move(blocked_writes_.front());
     blocked_writes_.pop_front();
+    if (monotrace::TelemetryEnabled()) {
+      static monotrace::LatencyHistogram* wait_hist =
+          monotrace::MetricsRegistry::Global().Histogram(
+              "cache.blocked_write_wait_seconds");
+      wait_hist->Add(sim_->now() - write.blocked_at);
+    }
     AdmitWrite(write.disk_index, write.bytes, std::move(write.done), write.sync);
   }
   PumpFlusher();

@@ -28,6 +28,10 @@
 #include "src/simcore/audit.h"
 #include "src/simcore/simulation.h"
 
+namespace monotrace {
+class TimeWeightedGauge;
+}  // namespace monotrace
+
 namespace monosim {
 
 class BufferCacheSim : public Auditable {
@@ -58,6 +62,13 @@ class BufferCacheSim : public Auditable {
   // True if background writeback is actively issuing disk writes.
   bool flushing() const { return active_flushes_ > 0; }
 
+  // Always-on saturation integral (telemetry tentpole): virtual seconds the
+  // cache spent at or over its dirty limit — the window where writers run at
+  // disk speed instead of memory speed (§2.2's invisible contention). The
+  // companion per-writer stall distribution is the
+  // "cache.blocked_write_wait_seconds" histogram in the metrics registry.
+  double over_limit_seconds() const;
+
   // Invariant auditing (audit.h): byte conservation (per disk, submitted ==
   // flushed + dirty; total_dirty == Σ per-disk dirty), flusher bookkeeping
   // consistent, sync-waiter thresholds ascending and not yet reached, and no
@@ -70,6 +81,7 @@ class BufferCacheSim : public Auditable {
     monoutil::Bytes bytes;
     std::function<void()> done;
     bool sync = false;
+    SimTime blocked_at = 0.0;  // When the writer hit the dirty limit.
   };
   struct SyncWaiter {
     monoutil::Bytes flushed_threshold;
@@ -82,6 +94,10 @@ class BufferCacheSim : public Auditable {
   void PumpFlusher();
   void OnFlushDone(int disk_index, monoutil::Bytes bytes);
   void TraceDirtyBytes() const;
+
+  // Folds the current over-limit span into the integral on limit-crossing
+  // transitions; called after every total_dirty_ change.
+  void UpdateOverLimit();
 
   Simulation* sim_;
   BufferCacheConfig config_;
@@ -101,6 +117,14 @@ class BufferCacheSim : public Auditable {
   bool writeback_running_ = false; // Writeback keeps pumping until the cache drains.
   EventHandle writeback_timer_;
   std::deque<PendingWrite> blocked_writes_;
+
+  // Over-dirty-limit time (UpdateOverLimit / over_limit_seconds()).
+  double over_limit_seconds_ = 0.0;
+  SimTime over_limit_since_ = 0.0;
+  bool over_limit_ = false;
+
+  // Registry handles resolved once at construction (per-machine gauge name).
+  monotrace::TimeWeightedGauge* dirty_gauge_ = nullptr;
 };
 
 }  // namespace monosim

@@ -43,6 +43,11 @@ class DiskSim : public Auditable {
   // Device bandwidth for a single streaming request (the utilization denominator).
   double nominal_bandwidth() const { return server_.nominal_capacity(); }
 
+  // Always-on utilization/saturation integrals (see FluidServer): virtual
+  // seconds with any request in service, and the subset at full capacity.
+  double busy_seconds() const { return server_.busy_seconds(); }
+  double saturated_seconds() const { return server_.saturated_seconds(); }
+
   void EnableTrace() { server_.EnableTrace(); }
   const RateTrace& rate_trace() const { return server_.rate_trace(); }
   double MeanUtilization(SimTime from, SimTime to) const {

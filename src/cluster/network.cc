@@ -91,6 +91,7 @@ NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(num_machines >= 1);
   MONO_CHECK(nic_bandwidth > 0);
+  side_accum_at_ = sim_->now();
   sim_->RegisterAuditable(this);
 }
 
@@ -447,6 +448,15 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil:
   raw->done = std::move(done);
   flows_by_id_.push_back(raw);  // Ids are monotonic: the back keeps the order.
 
+  // Close out the interval ending now before the busy-side set grows. The new
+  // flow enters its share indexes at rate 0, so saturation is untouched here.
+  AccumulateSideTime(sim_->now());
+  if (egress_count_[static_cast<size_t>(src)] == 0) {
+    ++busy_side_count_;
+  }
+  if (ingress_count_[static_cast<size_t>(dst)] == 0) {
+    ++busy_side_count_;
+  }
   ++egress_count_[static_cast<size_t>(src)];
   ++ingress_count_[static_cast<size_t>(dst)];
   egress_flows_[static_cast<size_t>(src)].push_back(raw);
@@ -850,9 +860,15 @@ void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
   flow->last_update = now;
   if (new_rate != flow->rate) {
     ++stats_.rate_changes;
-    // Re-key the flow in both sides' share indexes.
+    AccumulateSideTime(now);
+    // Re-key the flow in both sides' share indexes, tracking each side's
+    // saturation transition as its rate sum moves.
     for (const int key : {EgressKey(flow->src), IngressKey(flow->dst)}) {
+      const bool was_saturated = SideSaturated(key);
       sides_[static_cast<size_t>(key)].Move(flow->rate, new_rate, flow->id);
+      if (SideSaturated(key) != was_saturated) {
+        saturated_side_count_ += was_saturated ? -1 : 1;
+      }
     }
     flow->rate = new_rate;
   }
@@ -1224,10 +1240,22 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
   };
   erase_from(egress_flows_[static_cast<size_t>(src)], flow);
   erase_from(ingress_flows_[static_cast<size_t>(dst)], flow);
+  AccumulateSideTime(now);
   --egress_count_[static_cast<size_t>(src)];
   --ingress_count_[static_cast<size_t>(dst)];
-  sides_[static_cast<size_t>(EgressKey(src))].Erase(rate, id);
-  sides_[static_cast<size_t>(IngressKey(dst))].Erase(rate, id);
+  if (egress_count_[static_cast<size_t>(src)] == 0) {
+    --busy_side_count_;
+  }
+  if (ingress_count_[static_cast<size_t>(dst)] == 0) {
+    --busy_side_count_;
+  }
+  for (const int key : {EgressKey(src), IngressKey(dst)}) {
+    const bool was_saturated = SideSaturated(key);
+    sides_[static_cast<size_t>(key)].Erase(rate, id);
+    if (SideSaturated(key) != was_saturated) {
+      saturated_side_count_ += was_saturated ? -1 : 1;
+    }
+  }
   flows_by_id_.erase(by_id);
   // Recycle before `done()` runs: the callback may start a replacement flow,
   // which is welcome to reuse this very slot (everything it needs was copied
@@ -1257,6 +1285,25 @@ int NetworkFabricSim::ingress_flows(int machine) const {
 int NetworkFabricSim::egress_flows(int machine) const {
   MONO_CHECK(machine >= 0 && machine < num_machines());
   return egress_count_[static_cast<size_t>(machine)];
+}
+
+void NetworkFabricSim::AccumulateSideTime(SimTime now) const {
+  const double dt = now - side_accum_at_;
+  if (dt > 0) {
+    busy_side_seconds_ += dt * static_cast<double>(busy_side_count_);
+    saturated_side_seconds_ += dt * static_cast<double>(saturated_side_count_);
+  }
+  side_accum_at_ = now;
+}
+
+double NetworkFabricSim::busy_side_seconds() const {
+  AccumulateSideTime(sim_->now());
+  return busy_side_seconds_;
+}
+
+double NetworkFabricSim::saturated_side_seconds() const {
+  AccumulateSideTime(sim_->now());
+  return saturated_side_seconds_;
 }
 
 double NetworkFabricSim::flow_rate(FlowId id) const {

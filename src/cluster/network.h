@@ -143,6 +143,16 @@ class NetworkFabricSim : public Auditable {
   };
   const SolverStats& solver_stats() const { return stats_; }
 
+  // Always-on utilization/saturation integrals over NIC sides (two per machine:
+  // egress and ingress), the fabric analogue of FluidServer::busy_seconds():
+  // the sum over sides of virtual seconds carrying at least one flow, and the
+  // subset during which the side's allocated rate sum consumed the full NIC
+  // bandwidth (the side was a max-min bottleneck). Dividing by 2*num_machines
+  // gives mean per-side utilization; saturated/busy is the fraction of carried
+  // time with no headroom. Both integrate up to now and need no tracing.
+  double busy_side_seconds() const;
+  double saturated_side_seconds() const;
+
   // Per-machine ingress rate trace (enabled for all machines by EnableTrace).
   void EnableTrace();
   const RateTrace& ingress_trace(int machine) const;
@@ -322,6 +332,18 @@ class NetworkFabricSim : public Auditable {
   double LegacyMinShare(const Flow& flow) const;
   void RecordIngressRates(const std::vector<int>& machines);
 
+  // Advances the side-time integrals to `now` under the current busy/saturated
+  // side counts (both constant since the last accumulation). Called before any
+  // mutation that changes a side's flow count or rate sum; the mutations in a
+  // same-timestamp batch contribute zero dt, and only the final counts survive
+  // into the next non-zero interval. Const (with mutable integrals) so the
+  // read accessors can bring the totals up to now.
+  void AccumulateSideTime(SimTime now) const;
+  bool SideSaturated(int side_key) const {
+    return sides_[static_cast<size_t>(side_key)].rate_sum >=
+           nic_bandwidth_ - 1e-9 * std::max(1.0, nic_bandwidth_);
+  }
+
   Simulation* sim_;
   monoutil::BytesPerSecond nic_bandwidth_;
   monoutil::SimTime request_latency_;
@@ -415,6 +437,16 @@ class NetworkFabricSim : public Auditable {
   std::shared_ptr<bool> alive_;
 
   SolverStats stats_;
+
+  // Utilization-telemetry state (AccumulateSideTime): the integrals, the time
+  // they are advanced to, and the side counts they advance under. busy = sides
+  // carrying >= 1 flow; saturated = sides whose rate sum consumes the NIC
+  // bandwidth, maintained incrementally at every share-index mutation.
+  mutable double busy_side_seconds_ = 0.0;
+  mutable double saturated_side_seconds_ = 0.0;
+  mutable SimTime side_accum_at_ = 0.0;
+  int busy_side_count_ = 0;
+  int saturated_side_count_ = 0;
 
   bool trace_enabled_ = false;
   std::vector<RateTrace> ingress_traces_;

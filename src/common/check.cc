@@ -1,0 +1,31 @@
+#include "src/common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace monoutil {
+
+namespace {
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_check_failure_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "MONO_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  // Fire the hook exactly once even if the hook itself trips a MONO_CHECK:
+  // exchange claims it before calling.
+  CheckFailureHook hook =
+      g_check_failure_hook.exchange(nullptr, std::memory_order_acq_rel);
+  if (hook != nullptr) {
+    hook();
+  }
+  std::abort();
+}
+
+}  // namespace monoutil

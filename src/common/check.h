@@ -7,17 +7,21 @@
 #ifndef MONOTASKS_SRC_COMMON_CHECK_H_
 #define MONOTASKS_SRC_COMMON_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace monoutil {
 
-[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
-                                     const char* msg) {
-  std::fprintf(stderr, "MONO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] != '\0' ? " — " : "", msg);
-  std::abort();
-}
+// Called after the failure message prints but before abort(). The flight
+// recorder (simcore) installs one so a crash dumps the recent event trail.
+// The hook is consumed before it runs (so a hook that itself CHECK-fails
+// cannot recurse) and must not return control flow past the failure — abort
+// still follows.
+using CheckFailureHook = void (*)();
+
+// Installs `hook`, returning the previous one (nullptr if none). Pass nullptr
+// to uninstall.
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const char* msg);
 
 }  // namespace monoutil
 

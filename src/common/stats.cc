@@ -31,26 +31,37 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
-double Percentile(std::vector<double> samples, double q) {
-  MONO_CHECK(q >= 0.0 && q <= 1.0);
-  if (samples.empty()) {
+namespace {
+
+// Percentile() on samples the caller has already sorted (no copy, no re-sort).
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
     return 0.0;
   }
-  std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> samples, double q) {
+  MONO_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  return SortedPercentile(samples, q);
 }
 
 BoxplotSummary Boxplot(const std::vector<double>& samples) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
   BoxplotSummary box;
-  box.p5 = Percentile(samples, 0.05);
-  box.p25 = Percentile(samples, 0.25);
-  box.p50 = Percentile(samples, 0.50);
-  box.p75 = Percentile(samples, 0.75);
-  box.p95 = Percentile(samples, 0.95);
+  box.p5 = SortedPercentile(sorted, 0.05);
+  box.p25 = SortedPercentile(sorted, 0.25);
+  box.p50 = SortedPercentile(sorted, 0.50);
+  box.p75 = SortedPercentile(sorted, 0.75);
+  box.p95 = SortedPercentile(sorted, 0.95);
   return box;
 }
 

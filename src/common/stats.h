@@ -44,13 +44,21 @@ struct BoxplotSummary {
 // order statistics. `samples` may be unsorted; it is copied. Returns 0 when empty.
 double Percentile(std::vector<double> samples, double q);
 
-// Computes the Fig-6-style five-number summary of `samples`.
+// Computes the Fig-6-style five-number summary of `samples` (one sort, not
+// one per percentile).
 BoxplotSummary Boxplot(const std::vector<double>& samples);
 
 // Returns the median of `samples` (0 when empty).
 double Median(const std::vector<double>& samples);
 
-// Relative error |actual - predicted| / actual. Returns 0 when actual == 0.
+// Relative error |actual - predicted| / |actual|.
+//
+// When actual == 0 the error is undefined; this returns 0 by choice (pinned by
+// a unit test): callers compare model predictions against measurements, and a
+// zero measurement means "this resource/stage didn't run here", where flagging
+// a huge error would drown real disagreements. Callers for whom predicted != 0
+// against actual == 0 IS a disagreement must special-case it themselves (as
+// CriticalPathReport::CrossCheckWithTrace does).
 double RelativeError(double predicted, double actual);
 
 }  // namespace monoutil

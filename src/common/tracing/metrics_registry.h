@@ -1,21 +1,26 @@
-// MetricsRegistry: process-global named monotonic counters.
+// MetricsRegistry: process-global named counters, histograms, and gauges.
 //
 // Where the Tracer records *when* things happened, the registry keeps cheap
-// always-on totals — events fired, tasks completed, bytes flushed — that
-// examples and benches can print without enabling tracing. Counters are
+// always-on aggregates — events fired, tasks completed, bytes flushed, and
+// (via telemetry.h) latency distributions and time-weighted occupancy — that
+// examples and benches can publish without enabling tracing. Counters are
 // doubles (byte and second totals overflow int64 semantics awkwardly) and
 // additions are lock-free CAS loops, so instrumented code may add from the
-// threaded engine's scheduler threads.
+// threaded engine's scheduler threads; histogram Adds are single relaxed
+// fetch_adds (see telemetry.h).
 //
 // Usage at an instrumentation site (resolve once, add many times):
 //
 //   MetricCounter* flushed = MetricsRegistry::Global().Get("cache.bytes_flushed");
+//   LatencyHistogram* wait =
+//       MetricsRegistry::Global().Histogram("mono.cpu.queue_wait_seconds");
 //   ...
 //   flushed->Add(chunk_bytes);
+//   wait->Add(now - enqueued);
 //
-// Get() returns a stable pointer for the life of the registry; counters are
-// never removed. ResetForTest() zeroes (not removes) every counter so tests
-// can assert deltas without coordinating names.
+// Get()/Histogram()/Gauge() return stable pointers for the life of the
+// registry; instruments are never removed. ResetForTest() zeroes (not removes)
+// everything so tests can assert deltas without coordinating names.
 #ifndef MONOTASKS_SRC_COMMON_TRACING_METRICS_REGISTRY_H_
 #define MONOTASKS_SRC_COMMON_TRACING_METRICS_REGISTRY_H_
 
@@ -23,6 +28,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+
+#include "src/common/tracing/telemetry.h"
 
 namespace monotrace {
 
@@ -54,19 +61,32 @@ class MetricsRegistry {
   // pointer stays valid for the registry's lifetime.
   MetricCounter* Get(const std::string& name);
 
+  // Returns the histogram / gauge named `name`, creating it empty on first
+  // use. Pointers stay valid for the registry's lifetime, so instrumentation
+  // sites may cache them in function-local statics.
+  LatencyHistogram* Histogram(const std::string& name);
+  TimeWeightedGauge* Gauge(const std::string& name);
+
   // Current value of `name` (0 if never created).
   double Value(const std::string& name) const;
 
-  // Name -> value snapshot, sorted by name.
+  // Name -> value snapshot of the counters only, sorted by name.
   std::map<std::string, double> Snapshot() const;
 
-  // Zeroes every counter (registrations survive, cached pointers stay valid).
+  // Full snapshot: counters plus histogram and gauge summaries. The single
+  // schema benches and examples/mono_stat publish (telemetry.h).
+  TelemetrySnapshot TakeTelemetrySnapshot() const;
+
+  // Zeroes every instrument (registrations survive, cached pointers stay
+  // valid).
   void ResetForTest();
 
  private:
   mutable std::mutex mu_;
-  // std::map: node-based, so Get()'s returned pointers survive later inserts.
+  // std::map: node-based, so returned pointers survive later inserts.
   std::map<std::string, MetricCounter> counters_;
+  std::map<std::string, LatencyHistogram> histograms_;
+  std::map<std::string, TimeWeightedGauge> gauges_;
 };
 
 }  // namespace monotrace

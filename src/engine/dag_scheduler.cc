@@ -1,10 +1,32 @@
 #include "src/engine/dag_scheduler.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
 
 namespace monotasks {
+
+namespace {
+
+// Dependency-blocked time (telemetry tentpole): registration -> submission to
+// the resource scheduler, the third leg of the lifecycle decomposition next to
+// queue wait and service (resource_schedulers.cc). DAG roots submit
+// immediately, so they contribute (near-)zeros that anchor the distribution.
+void RecordDepBlocked(Monotask* task) {
+  if (!monotrace::TelemetryEnabled() ||
+      task->registered_at == std::chrono::steady_clock::time_point{}) {
+    return;
+  }
+  static monotrace::LatencyHistogram* blocked_hist =
+      monotrace::MetricsRegistry::Global().Histogram("engine.dag.dep_blocked_seconds");
+  blocked_hist->Add(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  task->registered_at)
+                        .count());
+}
+
+}  // namespace
 
 LocalDagScheduler::LocalDagScheduler(std::function<void(Monotask*)> submit)
     : submit_(std::move(submit)) {
@@ -23,7 +45,13 @@ void LocalDagScheduler::SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
     dag->on_all_done = std::move(on_all_done);
     DagState* dag_ptr = dag.get();
 
+    const bool telemetry = monotrace::TelemetryEnabled();
+    const auto registered = telemetry ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
     for (const auto& task : tasks) {
+      if (telemetry) {
+        task->registered_at = registered;
+      }
       TaskState state;
       state.dag = dag_ptr;
       auto [it, inserted] = task_states_.emplace(task->id(), std::move(state));
@@ -48,6 +76,7 @@ void LocalDagScheduler::SubmitDag(std::vector<std::unique_ptr<Monotask>> tasks,
     dags_.push_back(std::move(dag));
   }
   for (Monotask* task : ready) {
+    RecordDepBlocked(task);
     submit_(task);
   }
 }
@@ -87,6 +116,7 @@ void LocalDagScheduler::OnMonotaskComplete(Monotask* task) {
     }
   }
   for (Monotask* ready : newly_ready) {
+    RecordDepBlocked(ready);
     submit_(ready);
   }
   if (dag_done) {

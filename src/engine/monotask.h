@@ -9,6 +9,7 @@
 #define MONOTASKS_SRC_ENGINE_MONOTASK_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -53,6 +54,19 @@ class Monotask {
   double service_seconds() const { return service_seconds_; }
   void set_service_seconds(double seconds) { service_seconds_ = seconds; }
 
+  // Time spent queued in the resource scheduler (submit -> worker pickup),
+  // valid after the task starts running.
+  double queue_wait_seconds() const { return queue_wait_seconds_; }
+  void set_queue_wait_seconds(double seconds) { queue_wait_seconds_ = seconds; }
+
+  // Lifecycle stamps (engine telemetry; only stamped while telemetry is on):
+  // when the DAG scheduler registered the task and when it was handed to its
+  // resource scheduler. registered -> submitted is dependency-blocked time,
+  // submitted -> pickup is queue wait, pickup -> done is service. A
+  // default-constructed (epoch) stamp means "not recorded".
+  std::chrono::steady_clock::time_point registered_at{};
+  std::chrono::steady_clock::time_point submitted_at{};
+
   // Disk monotasks: which disk and which phase queue. Set by the creator.
   int disk_index = 0;
   DiskQueue disk_queue = DiskQueue::kRead;
@@ -64,6 +78,7 @@ class Monotask {
   ResourceType resource_;
   std::string label_;
   double service_seconds_ = 0.0;
+  double queue_wait_seconds_ = 0.0;
 };
 
 // A monotask wrapping a closure; the common case. The closure runs on the resource

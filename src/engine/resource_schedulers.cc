@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
 
 namespace monotasks {
 
@@ -12,6 +13,29 @@ namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Lifecycle decomposition (telemetry tentpole): the same queue-wait vs. service
+// split the simulated schedulers record under mono.{cpu,disk}.*, measured here
+// with real clocks on the engine's worker threads. The histograms are lock-free,
+// so recording from every worker concurrently is safe and cheap.
+void StampSubmit(Monotask* task) {
+  if (monotrace::TelemetryEnabled()) {
+    task->submitted_at = std::chrono::steady_clock::now();
+  }
+}
+
+// Records the wait into `wait_hist` and returns it (0 when the submit stamp is
+// missing, i.e. telemetry was off at submit time).
+double RecordPickup(Monotask* task, monotrace::LatencyHistogram* wait_hist,
+                    std::chrono::steady_clock::time_point pickup) {
+  if (!monotrace::TelemetryEnabled() ||
+      task->submitted_at == std::chrono::steady_clock::time_point{}) {
+    return 0.0;
+  }
+  const double wait = std::chrono::duration<double>(pickup - task->submitted_at).count();
+  wait_hist->Add(wait);
+  return wait;
 }
 
 }  // namespace
@@ -43,6 +67,7 @@ void CpuScheduler::Shutdown() {
 void CpuScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kCpu);
+  StampSubmit(task);
   {
     const MutexLock lock(mutex_);
     queue_.push_back(task);
@@ -76,9 +101,17 @@ void CpuScheduler::WorkerLoop() {
       ++running_;
     }
     const auto start = std::chrono::steady_clock::now();
+    static monotrace::LatencyHistogram* wait_hist =
+        monotrace::MetricsRegistry::Global().Histogram("engine.cpu.queue_wait_seconds");
+    task->set_queue_wait_seconds(RecordPickup(task, wait_hist, start));
     task->Run();
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
+    if (monotrace::TelemetryEnabled()) {
+      static monotrace::LatencyHistogram* service_hist =
+          monotrace::MetricsRegistry::Global().Histogram("engine.cpu.service_seconds");
+      service_hist->Add(service);
+    }
     {
       const MutexLock lock(mutex_);
       --running_;
@@ -114,6 +147,7 @@ void DiskScheduler::Shutdown() {
 void DiskScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kDisk);
+  StampSubmit(task);
   {
     const MutexLock lock(mutex_);
     queues_[static_cast<size_t>(task->disk_queue)].push_back(task);
@@ -183,9 +217,17 @@ void DiskScheduler::WorkerLoop() {
       ++running_;
     }
     const auto start = std::chrono::steady_clock::now();
+    static monotrace::LatencyHistogram* wait_hist =
+        monotrace::MetricsRegistry::Global().Histogram("engine.disk.queue_wait_seconds");
+    task->set_queue_wait_seconds(RecordPickup(task, wait_hist, start));
     task->Run();
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
+    if (monotrace::TelemetryEnabled()) {
+      static monotrace::LatencyHistogram* service_hist =
+          monotrace::MetricsRegistry::Global().Histogram("engine.disk.service_seconds");
+      service_hist->Add(service);
+    }
     {
       const MutexLock lock(mutex_);
       --running_;
@@ -223,6 +265,7 @@ void NetworkScheduler::Shutdown() {
 void NetworkScheduler::Submit(Monotask* task) {
   MONO_CHECK(task != nullptr);
   MONO_CHECK(task->resource() == ResourceType::kNetwork);
+  StampSubmit(task);
   {
     const MutexLock lock(mutex_);
     queue_.push_back(task);
@@ -257,9 +300,19 @@ void NetworkScheduler::WorkerLoop() {
       ++running_;
     }
     const auto start = std::chrono::steady_clock::now();
+    // For the network scheduler the wait includes admission-gating time (the
+    // multitask limit), the engine analogue of mono.net.acquire_wait_seconds.
+    static monotrace::LatencyHistogram* wait_hist =
+        monotrace::MetricsRegistry::Global().Histogram("engine.net.queue_wait_seconds");
+    task->set_queue_wait_seconds(RecordPickup(task, wait_hist, start));
     task->Run();
     const double service = SecondsSince(start);
     task->set_service_seconds(service);
+    if (monotrace::TelemetryEnabled()) {
+      static monotrace::LatencyHistogram* service_hist =
+          monotrace::MetricsRegistry::Global().Histogram("engine.net.service_seconds");
+      service_hist->Add(service);
+    }
     {
       const MutexLock lock(mutex_);
       --running_;

@@ -11,6 +11,7 @@ SimEnvironment::SimEnvironment(const ClusterConfig& config, int dfs_replication)
 }
 
 void SimEnvironment::AttachExecutor(ExecutorSim* executor) {
+  executor->set_monotask_log(&monotask_log_);
   driver_->set_executor(executor);
 }
 

@@ -11,6 +11,7 @@
 #include "src/cluster/machine.h"
 #include "src/framework/driver.h"
 #include "src/framework/executor.h"
+#include "src/framework/monotask_log.h"
 #include "src/framework/task_pool.h"
 #include "src/simcore/simulation.h"
 #include "src/storage/dfs.h"
@@ -31,8 +32,16 @@ class SimEnvironment {
   JobDriver& driver() { return *driver_; }
 
   // Attaches the executor; must be called exactly once before submitting jobs. The
-  // environment does not take ownership.
+  // environment does not take ownership. The environment's MonotaskLog is
+  // handed to the executor, so monotask-granularity executors record lifecycle
+  // records into it automatically.
   void AttachExecutor(ExecutorSim* executor);
+
+  // Per-monotask lifecycle records (monotask_log.h) accumulated by the
+  // attached executor — the input of the critical-path analyzer (src/model).
+  // Empty under the Spark baseline executor.
+  MonotaskLog& monotask_log() { return monotask_log_; }
+  const MonotaskLog& monotask_log() const { return monotask_log_; }
 
   // Whether cluster device tracing was enabled for this run. When false, the
   // StageUtilization vectors in job results are empty and `measured` is false —
@@ -45,6 +54,7 @@ class SimEnvironment {
   std::unique_ptr<DfsSim> dfs_;
   TaskPool pool_;
   std::unique_ptr<JobDriver> driver_;
+  MonotaskLog monotask_log_;
 };
 
 }  // namespace monosim

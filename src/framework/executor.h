@@ -11,6 +11,8 @@
 
 namespace monosim {
 
+class MonotaskLog;
+
 class ExecutorSim {
  public:
   virtual ~ExecutorSim() = default;
@@ -18,6 +20,11 @@ class ExecutorSim {
   // Called whenever new tasks may be available in the pool (a stage was activated).
   // The executor should try to fill idle capacity on every machine.
   virtual void OnWorkAvailable() = 0;
+
+  // Attaches a per-monotask lifecycle log (monotask_log.h); the executor does
+  // not take ownership and `log` must outlive it. Executors without monotask
+  // granularity (the Spark baseline) ignore it.
+  virtual void set_monotask_log(MonotaskLog* log) { (void)log; }
 
   // Peak bytes of task data buffered in application memory on any single machine.
   virtual monoutil::Bytes peak_buffered_bytes() const { return 0; }

@@ -1,0 +1,217 @@
+#include "src/model/critical_path.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace monomodel {
+
+namespace {
+
+using monosim::MonoResource;
+using monosim::MonoResourceName;
+using monosim::MonotaskRecord;
+
+constexpr int kNumResources = 3;
+
+// One boundary in the sweep: at `when`, `service_delta` monotasks of
+// `resource` enter/leave service and `queued_delta` enter/leave a queue.
+struct SweepEvent {
+  double when = 0.0;
+  int resource = 0;
+  int service_delta = 0;
+  int queued_delta = 0;
+};
+
+// Interval sweep over one window's records (see critical_path.h). Counts are
+// integers and resources are visited in enum order, so the attribution is a
+// deterministic function of the record set.
+StageCriticalPath Sweep(int stage_index, const std::vector<const MonotaskRecord*>& records) {
+  StageCriticalPath out;
+  out.stage_index = stage_index;
+  if (records.empty()) {
+    return out;
+  }
+
+  std::vector<SweepEvent> events;
+  events.reserve(records.size() * 3);
+  out.start = records.front()->ready;
+  out.end = records.front()->done;
+  for (const MonotaskRecord* rec : records) {
+    const int r = static_cast<int>(rec->resource);
+    ResourceAttribution& attr = out.resources[MonoResourceName(rec->resource)];
+    attr.busy_seconds += rec->service();
+    attr.queue_wait_seconds += rec->queue_wait();
+    ++attr.monotasks;
+    out.start = std::min(out.start, rec->ready);
+    out.end = std::max(out.end, rec->done);
+    events.push_back({rec->ready, r, 0, +1});
+    events.push_back({rec->dispatch, r, +1, -1});
+    events.push_back({rec->done, r, -1, 0});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SweepEvent& a, const SweepEvent& b) { return a.when < b.when; });
+
+  std::array<int, kNumResources> in_service{};
+  std::array<double, kNumResources> critical{};
+  int queued = 0;
+  size_t i = 0;
+  double t = events.front().when;
+  while (i < events.size()) {
+    // Apply every boundary at time t, then attribute the segment up to the
+    // next distinct boundary.
+    while (i < events.size() && events[i].when <= t) {
+      in_service[static_cast<size_t>(events[i].resource)] += events[i].service_delta;
+      queued += events[i].queued_delta;
+      ++i;
+    }
+    if (i >= events.size()) {
+      break;
+    }
+    const double dt = events[i].when - t;
+    t = events[i].when;
+    if (dt <= 0) {
+      continue;
+    }
+    int total = 0;
+    for (int r = 0; r < kNumResources; ++r) {
+      total += in_service[static_cast<size_t>(r)];
+    }
+    if (total > 0) {
+      for (int r = 0; r < kNumResources; ++r) {
+        const int count = in_service[static_cast<size_t>(r)];
+        if (count > 0) {
+          critical[static_cast<size_t>(r)] +=
+              dt * static_cast<double>(count) / static_cast<double>(total);
+        }
+      }
+    } else if (queued > 0) {
+      out.blocked_seconds += dt;
+    } else {
+      out.idle_seconds += dt;
+    }
+  }
+  for (int r = 0; r < kNumResources; ++r) {
+    if (critical[static_cast<size_t>(r)] > 0) {
+      out.resources[MonoResourceName(static_cast<MonoResource>(r))].critical_seconds =
+          critical[static_cast<size_t>(r)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StageCriticalPath::dominant() const {
+  std::string best;
+  double best_seconds = 0.0;
+  for (const auto& [name, attr] : resources) {
+    if (attr.critical_seconds > best_seconds) {
+      best = name;
+      best_seconds = attr.critical_seconds;
+    }
+  }
+  return best;
+}
+
+CriticalPathReport CriticalPathReport::Build(const monosim::MonotaskLog& log) {
+  CriticalPathReport report;
+  report.complete_ = log.dropped() == 0;
+
+  std::map<int, std::vector<const MonotaskRecord*>> by_stage;
+  std::vector<const MonotaskRecord*> all;
+  all.reserve(log.records().size());
+  for (const MonotaskRecord& rec : log.records()) {
+    by_stage[rec.stage_index].push_back(&rec);
+    all.push_back(&rec);
+  }
+  for (const auto& [stage_index, records] : by_stage) {
+    report.stages_.push_back(Sweep(stage_index, records));
+  }
+  report.job_ = Sweep(-1, all);
+  return report;
+}
+
+const StageCriticalPath* CriticalPathReport::FindStage(int stage_index) const {
+  for (const StageCriticalPath& stage : stages_) {
+    if (stage.stage_index == stage_index) {
+      return &stage;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<CriticalPathCrossCheck> CriticalPathReport::CrossCheckWithTrace(
+    const TraceReport& trace, const std::map<int, std::string>& stage_labels,
+    double tolerance) const {
+  std::vector<CriticalPathCrossCheck> checks;
+  for (const StageCriticalPath& stage : stages_) {
+    const auto label_it = stage_labels.find(stage.stage_index);
+    if (label_it == stage_labels.end()) {
+      continue;
+    }
+    const StageTraceSummary* traced = trace.FindStage(label_it->second);
+    if (traced == nullptr) {
+      continue;
+    }
+    for (int r = 0; r < kNumResources; ++r) {
+      const char* name = monosim::MonoResourceName(static_cast<MonoResource>(r));
+      double log_busy = 0.0;
+      if (const auto it = stage.resources.find(name); it != stage.resources.end()) {
+        log_busy = it->second.busy_seconds;
+      }
+      double trace_busy = 0.0;
+      if (const auto it = traced->blame.find(name); it != traced->blame.end()) {
+        trace_busy = it->second.busy_seconds;
+      }
+      if (log_busy == 0.0 && trace_busy == 0.0) {
+        continue;
+      }
+      CriticalPathCrossCheck check;
+      check.stage = label_it->second;
+      check.resource = name;
+      check.log_busy_seconds = log_busy;
+      check.trace_busy_seconds = trace_busy;
+      check.relative_error =
+          trace_busy > 0.0 ? std::abs(log_busy - trace_busy) / trace_busy : 1.0;
+      check.agree = check.relative_error <= tolerance;
+      checks.push_back(check);
+    }
+  }
+  return checks;
+}
+
+std::string CriticalPathReport::ToString() const {
+  std::ostringstream out;
+  out << "critical-path report (" << (complete_ ? "complete" : "TRUNCATED — log dropped records")
+      << ")\n";
+  auto print = [&out](const StageCriticalPath& stage, const std::string& title) {
+    out << "  " << title << ": " << stage.duration() << "s wall";
+    const std::string dominant = stage.dominant();
+    if (!dominant.empty()) {
+      out << ", dominant " << dominant;
+    }
+    out << "\n";
+    for (const auto& [name, attr] : stage.resources) {
+      out << "    " << name << ": critical " << attr.critical_seconds << "s, busy "
+          << attr.busy_seconds << "s, queue-wait " << attr.queue_wait_seconds << "s ("
+          << attr.monotasks << " monotask(s))\n";
+    }
+    if (stage.blocked_seconds > 0) {
+      out << "    blocked (queued, nothing running): " << stage.blocked_seconds << "s\n";
+    }
+    if (stage.idle_seconds > 0) {
+      out << "    idle: " << stage.idle_seconds << "s\n";
+    }
+  };
+  print(job_, "job");
+  for (const StageCriticalPath& stage : stages_) {
+    print(stage, "stage " + std::to_string(stage.stage_index));
+  }
+  return out.str();
+}
+
+}  // namespace monomodel

@@ -1,0 +1,104 @@
+// Critical-path blame from the always-on MonotaskLog (telemetry tentpole).
+//
+// trace_report answers "which resource was busiest?" from the opt-in Chrome
+// trace; this module answers the same question from the bounded MonotaskLog
+// that every run records for free — no MONO_TRACE, no JSON round trip. Each
+// record is one monotask's lifecycle (ready -> dispatch -> done), and because
+// monotasks use exactly one resource each (§3.1), the set of records *is* the
+// executed DAG flattened to per-resource intervals: a time sweep over them
+// recovers the critical-path structure without needing explicit edges.
+//
+// Per stage (and for the job as a whole) the sweep splits wall-clock time
+// into:
+//
+//   critical_seconds[r] — slices where >= 1 monotask was in service, shared
+//                         among the busy resources in proportion to how many
+//                         monotasks each had running (the contended resource
+//                         carries the slice);
+//   blocked_seconds     — slices where work was queued but nothing ran (a
+//                         scheduler gap: all resources idle yet tasks waited);
+//   idle_seconds        — slices inside the stage window with neither.
+//
+// The per-resource busy_seconds (Σ service times) are definitionally equal to
+// the durations of the trace's resource spans, which is what CrossCheckWithTrace
+// verifies: disagreement beyond tolerance means one of the two pipelines lost
+// or double-counted work, not a modeling difference.
+#ifndef MONOTASKS_SRC_MODEL_CRITICAL_PATH_H_
+#define MONOTASKS_SRC_MODEL_CRITICAL_PATH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/framework/monotask_log.h"
+#include "src/model/trace_report.h"
+
+namespace monomodel {
+
+// Aggregate attribution for one resource within one stage window.
+struct ResourceAttribution {
+  double busy_seconds = 0.0;        // Σ service times (= trace span durations).
+  double queue_wait_seconds = 0.0;  // Σ (dispatch - ready).
+  double critical_seconds = 0.0;    // Sweep share of the wall clock (see above).
+  int monotasks = 0;
+};
+
+struct StageCriticalPath {
+  int stage_index = 0;
+  double start = 0.0;  // Earliest `ready` among the stage's records.
+  double end = 0.0;    // Latest `done`.
+  // Keyed "cpu" / "disk" / "network" (MonoResourceName, = trace categories).
+  std::map<std::string, ResourceAttribution> resources;
+  double blocked_seconds = 0.0;
+  double idle_seconds = 0.0;
+
+  double duration() const { return end > start ? end - start : 0.0; }
+  // The resource with the largest critical_seconds; empty when no records.
+  std::string dominant() const;
+};
+
+// One (stage, resource) comparison between log-derived and trace-derived blame.
+struct CriticalPathCrossCheck {
+  std::string stage;  // Executor-qualified trace label ("mono:sort-map").
+  std::string resource;
+  double log_busy_seconds = 0.0;
+  double trace_busy_seconds = 0.0;
+  double relative_error = 0.0;  // |log - trace| / trace (1 when trace is 0).
+  bool agree = false;           // relative_error <= tolerance.
+};
+
+class CriticalPathReport {
+ public:
+  // Builds per-stage and whole-job attributions from the log. Records are
+  // grouped by stage_index; the job view sweeps every record in one window.
+  static CriticalPathReport Build(const monosim::MonotaskLog& log);
+
+  const std::vector<StageCriticalPath>& stages() const { return stages_; }
+  const StageCriticalPath* FindStage(int stage_index) const;
+
+  // All records analyzed as one window (stage_index -1).
+  const StageCriticalPath& job() const { return job_; }
+
+  // False when the log hit its cap and dropped records: attributions are then
+  // lower bounds, not totals.
+  bool complete() const { return complete_; }
+
+  // Compares each stage's per-resource busy seconds against the trace report's
+  // blame. `stage_labels` maps the log's stage_index to the trace's stage
+  // label; stages missing from the map or from the trace are skipped, as are
+  // resources idle on both sides.
+  std::vector<CriticalPathCrossCheck> CrossCheckWithTrace(
+      const TraceReport& trace, const std::map<int, std::string>& stage_labels,
+      double tolerance = 0.05) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<StageCriticalPath> stages_;
+  StageCriticalPath job_;
+  bool complete_ = true;
+};
+
+}  // namespace monomodel
+
+#endif  // MONOTASKS_SRC_MODEL_CRITICAL_PATH_H_

@@ -70,6 +70,8 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
   void OnWorkAvailable() override;
   monoutil::Bytes peak_buffered_bytes() const override { return peak_buffered_; }
   const char* trace_name() const override { return "mono"; }
+  void set_monotask_log(MonotaskLog* log) override { monotask_log_ = log; }
+  MonotaskLog* monotask_log() const { return monotask_log_; }
 
   const MonoConfig& config() const { return config_; }
 
@@ -133,6 +135,7 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
   std::unordered_map<uint64_t, std::unique_ptr<MonoMultitaskSim>> running_;
   uint64_t next_dispatch_id_ = 0;
   monoutil::Bytes peak_buffered_ = 0;
+  MonotaskLog* monotask_log_ = nullptr;
 };
 
 }  // namespace monosim

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/telemetry.h"
 #include "src/common/tracing/tracer.h"
 #include "src/framework/shuffle_layout.h"
 #include "src/framework/stage_execution.h"
@@ -44,6 +46,19 @@ void MonoMultitaskSim::TraceSpan(int machine, const std::string& lane_base,
                            category, start, executor_->sim_->now(),
                            assignment_.stage->trace_label());
   }
+}
+
+void MonoMultitaskSim::LogMonotask(MonoResource resource, const char* phase,
+                                   int machine, double service, double wait) {
+  MonotaskLog* log = executor_->monotask_log();
+  if (log == nullptr) {
+    return;
+  }
+  const monoutil::SimTime done = executor_->sim_->now();
+  log->Record(MonotaskRecord{dispatch_id_,
+                             assignment_.stage->result().stage_index, machine,
+                             resource, phase, done - service - wait,
+                             done - service, done});
 }
 
 void MonoMultitaskSim::Start() {
@@ -92,11 +107,14 @@ void MonoMultitaskSim::StartInputPhase() {
     if (assignment_.input_local) {
       executor_->disk_scheduler(assignment_.machine, assignment_.input_disk)
           .EnqueueRead(DiskPhase::kRead, assignment_.input_bytes,
-                       [this, &times](double service) {
+                       [this, &times](double service, double wait) {
                          times.disk_read_seconds += service;
+                         times.disk_queue_wait_seconds += wait;
                          ++times.disk_count;
                          RecordDiskService(&times, assignment_.machine, service,
                                            assignment_.input_bytes);
+                         LogMonotask(MonoResource::kDisk, "disk-read",
+                                     assignment_.machine, service, wait);
                          TraceSpan(assignment_.machine,
                                    "disk" + std::to_string(assignment_.input_disk),
                                    "disk-read", "disk",
@@ -106,18 +124,23 @@ void MonoMultitaskSim::StartInputPhase() {
     } else {
       // Remote block: gated by the network scheduler like a one-portion fetch set.
       network_slot_held_ = true;
-      executor_->network_scheduler(assignment_.machine).Acquire([this, &times] {
+      executor_->network_scheduler(assignment_.machine)
+          .Acquire([this, &times](double acquire_wait) {
+        times.network_acquire_wait_seconds += acquire_wait;
         auto& fabric = executor_->cluster_->fabric();
         fabric.SendControl(
             assignment_.machine, assignment_.input_machine, [this, &times, &fabric] {
               executor_->disk_scheduler(assignment_.input_machine, assignment_.input_disk)
                   .EnqueueRead(
                       DiskPhase::kServe, assignment_.input_bytes,
-                      [this, &times, &fabric](double service) {
+                      [this, &times, &fabric](double service, double wait) {
                         times.disk_read_seconds += service;
+                        times.disk_queue_wait_seconds += wait;
                         ++times.disk_count;
                         RecordDiskService(&times, assignment_.input_machine, service,
                                           assignment_.input_bytes);
+                        LogMonotask(MonoResource::kDisk, "serve-read",
+                                    assignment_.input_machine, service, wait);
                         TraceSpan(assignment_.input_machine,
                                   "disk" + std::to_string(assignment_.input_disk),
                                   "serve-read", "disk",
@@ -129,6 +152,11 @@ void MonoMultitaskSim::StartInputPhase() {
                                            times.network_seconds +=
                                                executor_->sim_->now() - flow_start;
                                            ++times.network_count;
+                                           LogMonotask(
+                                               MonoResource::kNetwork, "block-flow",
+                                               assignment_.machine,
+                                               executor_->sim_->now() - flow_start,
+                                               0.0);
                                            TraceSpan(assignment_.machine, "net-in",
                                                      "block-flow", "network", flow_start);
                                            executor_->network_scheduler(assignment_.machine)
@@ -168,10 +196,14 @@ void MonoMultitaskSim::StartInputPhase() {
       const int disk = executor_->PickServeDisk(assignment_.machine);
       executor_->disk_scheduler(assignment_.machine, disk)
           .EnqueueRead(DiskPhase::kRead, local_bytes,
-                       [this, &times, local_bytes, disk](double service) {
+                       [this, &times, local_bytes, disk](double service,
+                                                         double wait) {
             times.disk_read_seconds += service;
+            times.disk_queue_wait_seconds += wait;
             ++times.disk_count;
             RecordDiskService(&times, assignment_.machine, service, local_bytes);
+            LogMonotask(MonoResource::kDisk, "shuffle-read", assignment_.machine,
+                        service, wait);
             TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
                       "shuffle-read", "disk", executor_->sim_->now() - service);
             OnInputPieceDone();
@@ -192,7 +224,9 @@ void MonoMultitaskSim::StartInputPhase() {
     // One network slot covers the whole fetch set: all of this multitask's requests
     // go out together, so its data arrives before later multitasks' data (§3.3).
     executor_->network_scheduler(assignment_.machine)
-        .Acquire([this, remote = std::move(remote), serve_from_disk, &times] {
+        .Acquire([this, remote = std::move(remote), serve_from_disk,
+                  &times](double acquire_wait) {
+          times.network_acquire_wait_seconds += acquire_wait;
           auto remaining = std::make_shared<int>(static_cast<int>(remote.size()));
           for (const ShufflePortion& portion : remote) {
             auto piece_done = [this, remaining, &times] {
@@ -213,6 +247,10 @@ void MonoMultitaskSim::StartInputPhase() {
                                        times.network_seconds +=
                                            executor_->sim_->now() - flow_start;
                                        ++times.network_count;
+                                       LogMonotask(
+                                           MonoResource::kNetwork, "shuffle-fetch",
+                                           assignment_.machine,
+                                           executor_->sim_->now() - flow_start, 0.0);
                                        TraceSpan(assignment_.machine, "net-in",
                                                  "shuffle-fetch", "network", flow_start);
                                        piece_done();
@@ -222,11 +260,15 @@ void MonoMultitaskSim::StartInputPhase() {
                     const int disk = executor_->PickServeDisk(portion.src_machine);
                     executor_->disk_scheduler(portion.src_machine, disk)
                         .EnqueueRead(DiskPhase::kServe, portion.bytes,
-                                     [this, send_back, &times, portion, disk](double service) {
+                                     [this, send_back, &times, portion,
+                                      disk](double service, double wait) {
                                        times.disk_read_seconds += service;
+                                       times.disk_queue_wait_seconds += wait;
                                        ++times.disk_count;
                                        RecordDiskService(&times, portion.src_machine,
                                                          service, portion.bytes);
+                                       LogMonotask(MonoResource::kDisk, "serve-read",
+                                                   portion.src_machine, service, wait);
                                        TraceSpan(portion.src_machine,
                                                  "disk" + std::to_string(disk),
                                                  "serve-read", "disk",
@@ -251,12 +293,25 @@ void MonoMultitaskSim::OnInputPieceDone() {
 
 void MonoMultitaskSim::StartComputePhase() {
   auto& times = assignment_.stage->result().monotask_times;
+  // Blocked-on-dependency: the compute monotask only became ready now, after
+  // the whole input phase; everything since dispatch was spent waiting on the
+  // DAG rather than in any resource queue.
+  if (monotrace::TelemetryEnabled()) {
+    static monotrace::LatencyHistogram* dep_blocked =
+        monotrace::MetricsRegistry::Global().Histogram(
+            "mono.compute.dep_blocked_seconds");
+    dep_blocked->Add(executor_->sim_->now() - start_time_);
+  }
   executor_->cpu_scheduler(assignment_.machine)
-      .Enqueue(assignment_.cpu_seconds, [this, &times](double service) {
+      .Enqueue(assignment_.cpu_seconds, [this, &times](double service,
+                                                       double wait) {
         times.compute_seconds += service;
+        times.compute_queue_wait_seconds += wait;
         times.compute_deser_seconds += assignment_.deser_cpu_seconds;
         times.compute_decompress_seconds += assignment_.decompress_cpu_seconds;
         ++times.compute_count;
+        LogMonotask(MonoResource::kCpu, "compute", assignment_.machine, service,
+                    wait);
         TraceSpan(assignment_.machine, "cpu", "compute", "cpu",
                   executor_->sim_->now() - service);
         // Input buffers are released once compute has transformed them; the output
@@ -276,10 +331,14 @@ void MonoMultitaskSim::StartWritePhase() {
   auto& times = assignment_.stage->result().monotask_times;
   const int disk = executor_->PickWriteDisk(assignment_.machine);
   executor_->disk_scheduler(assignment_.machine, disk)
-      .EnqueueWrite(write_total_, [this, &times, disk](double service) {
+      .EnqueueWrite(write_total_, [this, &times, disk](double service,
+                                                       double wait) {
         times.disk_write_seconds += service;
+        times.disk_queue_wait_seconds += wait;
         ++times.disk_count;
         RecordDiskService(&times, assignment_.machine, service, write_total_);
+        LogMonotask(MonoResource::kDisk, "disk-write", assignment_.machine,
+                    service, wait);
         TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
                   "disk-write", "disk", executor_->sim_->now() - service);
         executor_->RemoveBuffered(assignment_.machine, write_total_);

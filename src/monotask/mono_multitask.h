@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "src/framework/monotask_log.h"
 #include "src/framework/task.h"
 
 namespace monosim {
@@ -55,6 +56,12 @@ class MonoMultitaskSim {
   // tracing is off.
   void TraceSpan(int machine, const std::string& lane_base, const char* name,
                  const char* category, monoutil::SimTime start);
+
+  // Appends one lifecycle record (monotask_log.h) for a monotask of `phase`
+  // that finished now on `machine` after `service` seconds of resource use and
+  // `wait` seconds in the scheduler queue. No-op without an attached log.
+  void LogMonotask(MonoResource resource, const char* phase, int machine,
+                   double service, double wait);
 
   MonotasksExecutorSim* executor_;
   TaskAssignment assignment_;

@@ -3,8 +3,54 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/tracing/metrics_registry.h"
+#include "src/common/tracing/telemetry.h"
 
 namespace monosim {
+
+namespace {
+
+// Always-on per-resource latency decomposition (telemetry.h). Pointers resolve
+// once per process; recording is one branch plus a relaxed fetch_add when
+// telemetry is on.
+void RecordCpuTimes(double service, double wait) {
+  if (!monotrace::TelemetryEnabled()) {
+    return;
+  }
+  static monotrace::LatencyHistogram* service_hist =
+      monotrace::MetricsRegistry::Global().Histogram("mono.cpu.service_seconds");
+  static monotrace::LatencyHistogram* wait_hist =
+      monotrace::MetricsRegistry::Global().Histogram(
+          "mono.cpu.queue_wait_seconds");
+  service_hist->Add(service);
+  wait_hist->Add(wait);
+}
+
+void RecordDiskTimes(double service, double wait) {
+  if (!monotrace::TelemetryEnabled()) {
+    return;
+  }
+  static monotrace::LatencyHistogram* service_hist =
+      monotrace::MetricsRegistry::Global().Histogram(
+          "mono.disk.service_seconds");
+  static monotrace::LatencyHistogram* wait_hist =
+      monotrace::MetricsRegistry::Global().Histogram(
+          "mono.disk.queue_wait_seconds");
+  service_hist->Add(service);
+  wait_hist->Add(wait);
+}
+
+void RecordNetAcquireWait(double wait) {
+  if (!monotrace::TelemetryEnabled()) {
+    return;
+  }
+  static monotrace::LatencyHistogram* wait_hist =
+      monotrace::MetricsRegistry::Global().Histogram(
+          "mono.net.acquire_wait_seconds");
+  wait_hist->Add(wait);
+}
+
+}  // namespace
 
 CpuSchedulerSim::CpuSchedulerSim(Simulation* sim, MachineSim* machine)
     : sim_(sim), machine_(machine), cores_(machine->num_cores()) {
@@ -15,7 +61,7 @@ CpuSchedulerSim::CpuSchedulerSim(Simulation* sim, MachineSim* machine)
 void CpuSchedulerSim::Enqueue(double cpu_seconds, MonotaskDone done) {
   MONO_CHECK(cpu_seconds >= 0);
   MONO_CHECK(done != nullptr);
-  queue_.push_back(Item{cpu_seconds, std::move(done)});
+  queue_.push_back(Item{cpu_seconds, sim_->now(), std::move(done)});
   Dispatch();
   RecordQueue();
 }
@@ -27,14 +73,16 @@ void CpuSchedulerSim::Dispatch() {
     RecordQueue();
     ++running_;
     const SimTime dispatched = sim_->now();
+    const double wait = dispatched - item.enqueued;
     machine_->RunCompute(
-        item.cpu_seconds, [this, dispatched, done = std::move(item.done)] {
+        item.cpu_seconds, [this, dispatched, wait, done = std::move(item.done)] {
           --running_;
           const double service = sim_->now() - dispatched;
+          RecordCpuTimes(service, wait);
           // Admit the next monotask before reporting completion so the core never
           // idles waiting for downstream bookkeeping.
           Dispatch();
-          done(service);
+          done(service, wait);
         });
   }
 }
@@ -51,14 +99,14 @@ void DiskSchedulerSim::EnqueueRead(DiskPhase phase, monoutil::Bytes bytes,
                                    MonotaskDone done) {
   MONO_CHECK(phase == DiskPhase::kRead || phase == DiskPhase::kServe);
   const size_t queue = fifo_ ? 0 : static_cast<size_t>(phase);
-  queues_[queue].push_back(Item{true, bytes, std::move(done)});
+  queues_[queue].push_back(Item{true, bytes, sim_->now(), std::move(done)});
   Dispatch();
   RecordQueue();
 }
 
 void DiskSchedulerSim::EnqueueWrite(monoutil::Bytes bytes, MonotaskDone done) {
   const size_t queue = fifo_ ? 0 : static_cast<size_t>(DiskPhase::kWrite);
-  queues_[queue].push_back(Item{false, bytes, std::move(done)});
+  queues_[queue].push_back(Item{false, bytes, sim_->now(), std::move(done)});
   Dispatch();
   RecordQueue();
 }
@@ -96,11 +144,13 @@ void DiskSchedulerSim::Dispatch() {
     RecordQueue();
     ++running_;
     const SimTime dispatched = sim_->now();
-    auto on_done = [this, dispatched, done = std::move(item.done)] {
+    const double wait = dispatched - item.enqueued;
+    auto on_done = [this, dispatched, wait, done = std::move(item.done)] {
       --running_;
       const double service = sim_->now() - dispatched;
+      RecordDiskTimes(service, wait);
       Dispatch();
-      done(service);
+      done(service, wait);
     };
     if (item.is_read) {
       disk_->Read(item.bytes, std::move(on_done));
@@ -115,24 +165,29 @@ NetworkSchedulerSim::NetworkSchedulerSim(int multitask_limit, Simulation* sim)
   MONO_CHECK(multitask_limit >= 1);
 }
 
-void NetworkSchedulerSim::Acquire(std::function<void()> granted) {
+void NetworkSchedulerSim::Acquire(std::function<void(double)> granted) {
   MONO_CHECK(granted != nullptr);
   if (active_ < limit_) {
     ++active_;
-    granted();
+    RecordNetAcquireWait(0.0);
+    granted(0.0);
     return;
   }
-  waiting_.push_back(std::move(granted));
+  waiting_.push_back(Waiter{sim_ != nullptr ? sim_->now() : 0.0,
+                            std::move(granted)});
   RecordQueue();
 }
 
 void NetworkSchedulerSim::Release() {
   MONO_CHECK(active_ > 0);
   if (!waiting_.empty()) {
-    auto granted = std::move(waiting_.front());
+    Waiter waiter = std::move(waiting_.front());
     waiting_.pop_front();
     RecordQueue();
-    granted();  // Slot transfers directly to the next waiter.
+    const double wait =
+        sim_ != nullptr ? sim_->now() - waiter.enqueued : 0.0;
+    RecordNetAcquireWait(wait);
+    waiter.granted(wait);  // Slot transfers directly to the next waiter.
     return;
   }
   --active_;

@@ -13,7 +13,11 @@
 //                            multitasks outstanding (N = 4 in the paper).
 //
 // Every completion callback receives the monotask's *service* time (queueing
-// excluded): this is the built-in instrumentation that feeds the §6 model.
+// excluded) and its *queue wait* (ready-to-dispatch): this is the built-in
+// instrumentation that feeds the §6 model and the always-on telemetry layer.
+// Each scheduler also records both segments into the process-global
+// mono.{cpu,disk}.{queue_wait,service}_seconds histograms (telemetry.h), so
+// every run carries per-resource latency distributions without tracing.
 #ifndef MONOTASKS_SRC_MONOTASK_RESOURCE_SCHEDULERS_H_
 #define MONOTASKS_SRC_MONOTASK_RESOURCE_SCHEDULERS_H_
 
@@ -31,9 +35,11 @@
 
 namespace monosim {
 
-// Called when a monotask finishes; `service_seconds` is time spent actually using
-// the resource (dispatch to completion).
-using MonotaskDone = std::function<void(double service_seconds)>;
+// Called when a monotask finishes; `service_seconds` is time spent actually
+// using the resource (dispatch to completion), `queue_wait_seconds` the time
+// it sat in the scheduler's queue beforehand (enqueue to dispatch).
+using MonotaskDone =
+    std::function<void(double service_seconds, double queue_wait_seconds)>;
 
 class CpuSchedulerSim {
  public:
@@ -64,6 +70,7 @@ class CpuSchedulerSim {
  private:
   struct Item {
     double cpu_seconds;
+    SimTime enqueued;
     MonotaskDone done;
   };
   void Dispatch();
@@ -138,6 +145,7 @@ class DiskSchedulerSim {
   struct Item {
     bool is_read;
     monoutil::Bytes bytes;
+    SimTime enqueued;
     MonotaskDone done;
   };
   void Dispatch();
@@ -179,8 +187,11 @@ class NetworkSchedulerSim {
   NetworkSchedulerSim(const NetworkSchedulerSim&) = delete;
   NetworkSchedulerSim& operator=(const NetworkSchedulerSim&) = delete;
 
-  // Requests a fetch slot; `granted` runs (possibly immediately) when one is free.
-  void Acquire(std::function<void()> granted);
+  // Requests a fetch slot; `granted` runs (possibly immediately) when one is
+  // free, receiving the time spent waiting for admission (0 when granted
+  // immediately, and always 0 when constructed without a `sim`). The wait is
+  // also recorded into the mono.net.acquire_wait_seconds histogram.
+  void Acquire(std::function<void(double wait_seconds)> granted);
   // Releases a slot previously granted; admits the next waiter.
   void Release();
 
@@ -204,10 +215,15 @@ class NetworkSchedulerSim {
     }
   }
 
+  struct Waiter {
+    SimTime enqueued;
+    std::function<void(double)> granted;
+  };
+
   int limit_;
   Simulation* sim_;
   int active_ = 0;
-  std::deque<std::function<void()>> waiting_;
+  std::deque<Waiter> waiting_;
   std::string trace_process_;
   std::string trace_series_;
 };

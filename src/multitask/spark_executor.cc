@@ -162,10 +162,28 @@ int SparkExecutorSim::PickServeDisk(int machine) {
 void SparkExecutorSim::ServeRead(int machine, monoutil::Bytes bytes,
                                  std::function<void()> done) {
   MachineState& state = machines_[static_cast<size_t>(machine)];
-  auto start = [this, machine, bytes, done = std::move(done)]() mutable {
+  const SimTime requested = sim_->now();
+  auto start = [this, machine, bytes, requested,
+                done = std::move(done)]() mutable {
+    // Queue-wait decomposition (telemetry.h): the shuffle service's I/O pool
+    // is the Spark baseline's only explicit per-resource queue, so its wait is
+    // the comparable number to mono.disk.queue_wait_seconds.
+    if (monotrace::TelemetryEnabled()) {
+      static monotrace::LatencyHistogram* wait_hist =
+          monotrace::MetricsRegistry::Global().Histogram(
+              "spark.serve_read.queue_wait_seconds");
+      wait_hist->Add(sim_->now() - requested);
+    }
+    const SimTime dispatched = sim_->now();
     const int disk = PickServeDisk(machine);
-    cluster_->machine(machine).disk(disk).Read(bytes, [this, machine,
+    cluster_->machine(machine).disk(disk).Read(bytes, [this, machine, dispatched,
                                                        done = std::move(done)] {
+      if (monotrace::TelemetryEnabled()) {
+        static monotrace::LatencyHistogram* service_hist =
+            monotrace::MetricsRegistry::Global().Histogram(
+                "spark.serve_read.service_seconds");
+        service_hist->Add(sim_->now() - dispatched);
+      }
       MachineState& state = machines_[static_cast<size_t>(machine)];
       --state.active_serve_reads;
       if (!state.serve_read_queue.empty()) {

@@ -1,0 +1,29 @@
+#include "src/simcore/flight_recorder.h"
+
+#include <cinttypes>
+
+namespace monosim {
+
+std::vector<FlightRecorder::Entry> FlightRecorder::Trail() const {
+  std::vector<Entry> out;
+  const uint64_t retained = total_ < kCapacity ? total_ : kCapacity;
+  out.reserve(retained);
+  for (uint64_t i = total_ - retained; i < total_; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+void FlightRecorder::Dump(std::FILE* out) const {
+  const std::vector<Entry> trail = Trail();
+  std::fprintf(out,
+               "flight recorder: last %zu of %" PRIu64
+               " fired events (oldest first)\n",
+               trail.size(), total_);
+  for (const Entry& e : trail) {
+    std::fprintf(out, "  t=%-14.9g seq=%-8" PRIu64 " digest=%016" PRIx64 " %s\n",
+                 e.when, e.seq, e.digest, e.tag);
+  }
+}
+
+}  // namespace monosim

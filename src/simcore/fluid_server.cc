@@ -70,6 +70,7 @@ void FluidServer::AdvanceProgress() {
   const SimTime now = sim_->now();
   const double dt = now - last_update_;
   if (dt > 0) {
+    double rate_sum = 0.0;
     for (auto& req : active_) {
       // Clamp exactly as total_served() does for its between-events extrapolation:
       // a completion event can fire a rounding error past a request's finish time,
@@ -78,6 +79,16 @@ void FluidServer::AdvanceProgress() {
       const double served = std::min(req.remaining, req.rate * dt);
       req.remaining -= served;
       served_ += served;
+      rate_sum += req.rate;
+    }
+    // The active set and its rates were constant over [last_update_, now], so
+    // this dt is wholly busy or wholly idle, and saturated iff the granted
+    // rates consumed the instantaneous capacity.
+    if (!active_.empty()) {
+      busy_seconds_ += dt;
+      if (rate_sum >= last_capacity_ - 1e-9 * std::max(1.0, last_capacity_)) {
+        saturated_seconds_ += dt;
+      }
     }
   }
   last_update_ = now;

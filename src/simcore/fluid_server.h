@@ -93,6 +93,15 @@ class FluidServer : public Auditable {
   // Total work units served so far (integrated over time).
   double total_served() const;
 
+  // Always-on utilization/saturation accumulators (telemetry tentpole): virtual
+  // seconds with at least one active request, and the subset of those during
+  // which the granted total rate equaled the instantaneous capacity (the device
+  // had no headroom — adding work could only queue). busy - saturated is the
+  // window where the device ran but had spare capacity. Both integrate up to
+  // the last bookkeeping update; they need no tracing.
+  double busy_seconds() const { return busy_seconds_; }
+  double saturated_seconds() const { return saturated_seconds_; }
+
   // Nominal capacity used as the denominator for utilization: capacity(1) unless
   // overridden via set_nominal_capacity (e.g. a CPU pool's core count).
   double nominal_capacity() const { return nominal_capacity_; }
@@ -148,6 +157,8 @@ class FluidServer : public Auditable {
   RequestId next_id_ = 1;
   SimTime last_update_ = 0.0;
   double served_ = 0.0;
+  double busy_seconds_ = 0.0;
+  double saturated_seconds_ = 0.0;
   EventHandle completion_event_;
   SharePolicy share_policy_ = SharePolicy::kWeightedFair;
 

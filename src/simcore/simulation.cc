@@ -17,6 +17,25 @@ SimDigestTrail*& CurrentTrailSlot() {
   return current;
 }
 
+// The simulation currently inside Step(), so the MONO_CHECK failure hook can
+// dump its flight recorder. A plain stack via `previous` capture handles the
+// (rare) nested case of one simulation's event running another simulation.
+thread_local Simulation* g_stepping_sim = nullptr;
+
+void DumpSteppingSimOnCheckFailure() {
+  if (g_stepping_sim != nullptr) {
+    g_stepping_sim->DumpFlightRecorder(stderr);
+  }
+}
+
+void InstallCheckFailureDumpOnce() {
+  static const bool installed = [] {
+    monoutil::SetCheckFailureHook(&DumpSteppingSimOnCheckFailure);
+    return true;
+  }();
+  (void)installed;
+}
+
 }  // namespace
 
 SimDigestTrail::SimDigestTrail() : previous_(CurrentTrailSlot()) {
@@ -41,10 +60,23 @@ bool EventHandle::pending() const {
   return record_ != nullptr && !record_->fired && !record_->cancelled;
 }
 
+Simulation::Simulation() {
+  // The hook is global and idempotent; installing from the constructor keeps
+  // it out of the per-event path.
+  InstallCheckFailureDumpOnce();
+}
+
 Simulation::~Simulation() {
   if (SimDigestTrail* trail = SimDigestTrail::current()) {
     trail->Record(fired_, digest_);
   }
+}
+
+void Simulation::DumpFlightRecorder(std::FILE* out) const {
+  std::fprintf(out, "simulation: t=%.9g fired=%llu digest=%016llx\n", now_,
+               static_cast<unsigned long long>(fired_),
+               static_cast<unsigned long long>(digest_));
+  recorder_.Dump(out);
 }
 
 EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn,
@@ -159,6 +191,13 @@ bool Simulation::Step() {
     entry.record->fired = true;
     ++fired_;
     MixDigest(entry.when, entry.seq, entry.tag);
+    if (recorder_.enabled()) {
+      recorder_.Record(entry.when, entry.seq, entry.tag, digest_);
+    }
+    // Expose this simulation to the MONO_CHECK failure hook while its event
+    // (and the epoch/audit work below) runs.
+    Simulation* previous_stepping = g_stepping_sim;
+    g_stepping_sim = this;
     // Move the callback out so that captured state dies when it returns.
     std::function<void()> fn = std::move(entry.record->fn);
     fn();
@@ -172,6 +211,7 @@ bool Simulation::Step() {
     if (NoLiveEventAtNow()) {
       RunAuditChecks(AuditPhase::kEventBoundary);
     }
+    g_stepping_sim = previous_stepping;
     return true;
   }
 }
@@ -222,9 +262,25 @@ void Simulation::RunAuditChecks(AuditPhase phase) {
   if (audit == nullptr) {
     return;
   }
+  if (audit != last_audit_) {
+    // A different (nested or fresh) audit installed since the last sweep.
+    last_audit_ = audit;
+    audit_violations_seen_ = 0;
+  }
   for (const Auditable* auditable : auditables_) {
     auditable->AuditInvariants(*audit, phase);
   }
+  // A new violation — found by this sweep or reported inline since the last
+  // one — dumps the flight recorder once per simulation: in report mode the
+  // process keeps running and the schedule context would otherwise be lost by
+  // the time the owner inspects the audit.
+  if (audit->violations().size() > audit_violations_seen_ && !recorder_dumped_ &&
+      recorder_.enabled()) {
+    recorder_dumped_ = true;
+    std::fprintf(stderr, "audit violation — dumping flight recorder:\n");
+    DumpFlightRecorder(stderr);
+  }
+  audit_violations_seen_ = audit->violations().size();
 }
 
 }  // namespace monosim

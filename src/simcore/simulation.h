@@ -34,6 +34,7 @@
 
 #include "src/common/units.h"
 #include "src/simcore/audit.h"
+#include "src/simcore/flight_recorder.h"
 
 namespace monosim {
 
@@ -99,7 +100,7 @@ class SimDigestTrail {
 
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -173,6 +174,17 @@ class Simulation {
   void RegisterAuditable(const Auditable* auditable);
   void UnregisterAuditable(const Auditable* auditable);
 
+  // Black-box event trail (flight_recorder.h): every fired event is recorded
+  // into a bounded ring, dumped to stderr automatically the first time the
+  // epoch-boundary/drain audit sweep records a new violation, or when a
+  // MONO_CHECK fails while this simulation is stepping. Always on; the
+  // telemetry-off bench variant disables it via flight_recorder().
+  FlightRecorder& flight_recorder() { return recorder_; }
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // Writes the recorder trail plus the kernel's digest line to `out`.
+  void DumpFlightRecorder(std::FILE* out) const;
+
  private:
   // Runs every registered component's checks, plus the kernel's own clock
   // monotonicity check. No-op when no audit is installed.
@@ -225,6 +237,13 @@ class Simulation {
   bool compaction_enabled_ = true;
   std::vector<const Auditable*> auditables_;
   std::vector<std::function<void()>> epoch_tasks_;
+  FlightRecorder recorder_;
+  // The audit-violation dump fires once per simulation, not per violation.
+  bool recorder_dumped_ = false;
+  // Violation count already seen in the installed audit, so the boundary sweep
+  // also notices violations reported inline (mid-event) since the last sweep.
+  const SimAudit* last_audit_ = nullptr;
+  size_t audit_violations_seen_ = 0;
 };
 
 }  // namespace monosim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -135,10 +137,38 @@ TEST(StatsTest, BoxplotOrdersQuantiles) {
   EXPECT_NEAR(box.p50, 50.5, 1e-9);
 }
 
+TEST(StatsTest, BoxplotMatchesPercentileOnUnsortedInput) {
+  // Boxplot sorts once internally; its quantiles must equal the per-call
+  // Percentile ones regardless of input order, and the input stays untouched.
+  const std::vector<double> samples{9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0};
+  const std::vector<double> original = samples;
+  const BoxplotSummary box = Boxplot(samples);
+  EXPECT_DOUBLE_EQ(box.p5, Percentile(samples, 0.05));
+  EXPECT_DOUBLE_EQ(box.p25, Percentile(samples, 0.25));
+  EXPECT_DOUBLE_EQ(box.p50, Percentile(samples, 0.50));
+  EXPECT_DOUBLE_EQ(box.p75, Percentile(samples, 0.75));
+  EXPECT_DOUBLE_EQ(box.p95, Percentile(samples, 0.95));
+  EXPECT_EQ(samples, original);
+}
+
+TEST(StatsTest, BoxplotOfEmptyIsZero) {
+  const BoxplotSummary box = Boxplot({});
+  EXPECT_DOUBLE_EQ(box.p5, 0.0);
+  EXPECT_DOUBLE_EQ(box.p95, 0.0);
+}
+
 TEST(StatsTest, RelativeError) {
   EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
   EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+}
+
+TEST(StatsTest, RelativeErrorAgainstZeroActualIsZeroByContract) {
+  // Pins the documented choice (stats.h): actual == 0 means "didn't run",
+  // not "infinite error". Callers treating predicted != 0 vs actual == 0 as
+  // disagreement must special-case it (CrossCheckWithTrace does).
   EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_FALSE(std::isnan(RelativeError(5.0, 0.0)));
 }
 
 TEST(TableTest, FormatsAlignedTable) {

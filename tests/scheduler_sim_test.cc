@@ -35,8 +35,9 @@ TEST_F(SchedulerSimTest, CpuSchedulerRunsAtMostCoreCount) {
   EXPECT_EQ(scheduler.max_concurrency(), 2);
   int done = 0;
   for (int i = 0; i < 5; ++i) {
-    scheduler.Enqueue(1.0, [&](double service) {
+    scheduler.Enqueue(1.0, [&](double service, double wait) {
       EXPECT_NEAR(service, 1.0, 1e-9);  // Never contended: exactly the work.
+      EXPECT_GE(wait, 0.0);
       ++done;
     });
   }
@@ -51,20 +52,35 @@ TEST_F(SchedulerSimTest, CpuSchedulerRunsAtMostCoreCount) {
 TEST_F(SchedulerSimTest, CpuServiceTimeExcludesQueueing) {
   CpuSchedulerSim scheduler(&sim_, machine_.get());
   std::vector<double> services;
+  std::vector<double> waits;
   for (int i = 0; i < 4; ++i) {
-    scheduler.Enqueue(2.0, [&](double service) { services.push_back(service); });
+    scheduler.Enqueue(2.0, [&](double service, double wait) {
+      services.push_back(service);
+      waits.push_back(wait);
+    });
   }
   sim_.Run();
   for (double service : services) {
     EXPECT_NEAR(service, 2.0, 1e-9);  // The queued ones waited 2 s but served 2 s.
   }
+  // Two cores: the first pair never waited, the second pair queued for 2 s.
+  ASSERT_EQ(waits.size(), 4u);
+  EXPECT_NEAR(waits[0], 0.0, 1e-9);
+  EXPECT_NEAR(waits[1], 0.0, 1e-9);
+  EXPECT_NEAR(waits[2], 2.0, 1e-9);
+  EXPECT_NEAR(waits[3], 2.0, 1e-9);
 }
 
 TEST_F(SchedulerSimTest, DiskSchedulerRunsOneAtATimeOnHdd) {
   DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), /*max_outstanding=*/1);
   std::vector<double> services;
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double s) { services.push_back(s); });
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double s) { services.push_back(s); });
+  std::vector<double> waits;
+  auto record = [&](double s, double w) {
+    services.push_back(s);
+    waits.push_back(w);
+  };
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record);
+  scheduler.EnqueueRead(DiskPhase::kRead, 100, record);
   EXPECT_EQ(scheduler.running(), 1);
   EXPECT_EQ(scheduler.queue_length(), 1);
   sim_.Run();
@@ -73,6 +89,8 @@ TEST_F(SchedulerSimTest, DiskSchedulerRunsOneAtATimeOnHdd) {
   ASSERT_EQ(services.size(), 2u);
   EXPECT_NEAR(services[0], 1.0, 1e-9);
   EXPECT_NEAR(services[1], 1.0, 1e-9);
+  EXPECT_NEAR(waits[0], 0.0, 1e-9);
+  EXPECT_NEAR(waits[1], 1.0, 1e-9);  // Queued behind the first read.
   EXPECT_NEAR(sim_.now(), 2.0, 1e-9);
 }
 
@@ -80,7 +98,7 @@ TEST_F(SchedulerSimTest, DiskSchedulerRoundRobinsPhases) {
   DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1);
   std::vector<std::string> order;
   auto record = [&](std::string label) {
-    return [&order, label](double) { order.push_back(label); };
+    return [&order, label](double, double) { order.push_back(label); };
   };
   // Seed a running monotask, then queue writes before reads.
   scheduler.EnqueueWrite(100, record("w0"));
@@ -101,7 +119,7 @@ TEST_F(SchedulerSimTest, FifoAblationDrainsWritesFirst) {
   DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), 1, /*fifo=*/true);
   std::vector<std::string> order;
   auto record = [&](std::string label) {
-    return [&order, label](double) { order.push_back(label); };
+    return [&order, label](double, double) { order.push_back(label); };
   };
   scheduler.EnqueueWrite(100, record("w0"));
   scheduler.EnqueueWrite(100, record("w1"));
@@ -114,7 +132,7 @@ TEST_F(SchedulerSimTest, SsdSchedulerAllowsMultipleOutstanding) {
   DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), /*max_outstanding=*/4);
   int done = 0;
   for (int i = 0; i < 4; ++i) {
-    scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double) { ++done; });
+    scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double, double) { ++done; });
   }
   EXPECT_EQ(scheduler.running(), 4);
   sim_.Run();
@@ -125,7 +143,11 @@ TEST(NetworkSchedulerSimTest, GatesConcurrentFetchSets) {
   NetworkSchedulerSim scheduler(/*multitask_limit=*/2);
   int granted = 0;
   for (int i = 0; i < 5; ++i) {
-    scheduler.Acquire([&] { ++granted; });
+    // Constructed without a Simulation: the reported wait is always 0.
+    scheduler.Acquire([&](double wait) {
+      EXPECT_EQ(wait, 0.0);
+      ++granted;
+    });
   }
   EXPECT_EQ(granted, 2);
   EXPECT_EQ(scheduler.active(), 2);
@@ -209,7 +231,7 @@ TEST_F(SchedulerSimTest, MemoryPressurePrioritizesWrites) {
   scheduler.set_memory_pressure_fn([&pressure] { return pressure; });
   std::vector<std::string> order;
   auto record = [&](std::string label) {
-    return [&order, label](double) { order.push_back(label); };
+    return [&order, label](double, double) { order.push_back(label); };
   };
   // Seed the disk, then queue reads ahead of writes and raise pressure: the writes
   // must jump the round-robin rotation.
@@ -232,7 +254,7 @@ TEST_F(SchedulerSimTest, MemoryPressureOffFallsBackToRoundRobin) {
   scheduler.set_memory_pressure_fn([&pressure] { return pressure; });
   std::vector<std::string> order;
   auto record = [&](std::string label) {
-    return [&order, label](double) { order.push_back(label); };
+    return [&order, label](double, double) { order.push_back(label); };
   };
   scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
   scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r1"));

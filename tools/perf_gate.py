@@ -8,11 +8,17 @@ to catch order-of-magnitude regressions of the kind that motivated it — the
 max-min fabric shipping at 4.8x below the legacy model — not 10% wobble.
 Scenarios without a --gate are printed for trend inspection but never fail.
 
+Each --pair NAME:OTHER:MIN_RATIO compares two scenarios *within the current
+run* (immune to runner speed): NAME's events_per_sec must be at least
+MIN_RATIO times OTHER's. This is the telemetry-overhead gate: the always-on
+instrumentation build must stay within 5% of its telemetry-off twin.
+
 Usage:
   perf_gate.py --baseline bench/baselines/BENCH_simcore.json \
                --current BENCH_simcore.json \
                --gate fabric_churn_maxmin:0.35 \
-               --gate fabric_churn_maxmin_audit:0.35
+               --gate fabric_churn_maxmin_audit:0.35 \
+               --pair fabric_churn_maxmin:fabric_churn_maxmin_telemetry_off:0.95
 """
 
 import argparse
@@ -36,6 +42,13 @@ def main():
         default=[],
         metavar="NAME:MIN_RATIO",
         help="fail if current events_per_sec < MIN_RATIO * baseline's",
+    )
+    parser.add_argument(
+        "--pair",
+        action="append",
+        default=[],
+        metavar="NAME:OTHER:MIN_RATIO",
+        help="fail if current NAME's events_per_sec < MIN_RATIO * current OTHER's",
     )
     args = parser.parse_args()
 
@@ -74,6 +87,28 @@ def main():
     missing = sorted(set(gates) - set(current))
     for name in missing:
         failures.append(f"{name}: gated scenario missing from {args.current}")
+
+    for spec in args.pair:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            parser.error(f"--pair {spec!r} is not NAME:OTHER:MIN_RATIO")
+        name, other, floor = parts[0], parts[1], float(parts[2])
+        if name not in current or other not in current:
+            absent = name if name not in current else other
+            failures.append(f"{absent}: paired scenario missing from {args.current}")
+            continue
+        eps = current[name]["events_per_sec"]
+        other_eps = current[other]["events_per_sec"]
+        ratio = eps / other_eps if other_eps else float("inf")
+        verdict = "ok" if ratio >= floor else "FAIL"
+        print(
+            f"{name} vs {other}  {ratio:6.2f}x  [pair gate >= {floor:.2f}x: {verdict}]"
+        )
+        if ratio < floor:
+            failures.append(
+                f"{name}: {eps:,.0f} ev/s is {ratio:.2f}x of {other}'s "
+                f"{other_eps:,.0f} ev/s (pair gate requires >= {floor:.2f}x)"
+            )
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

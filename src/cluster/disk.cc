@@ -59,20 +59,20 @@ void DiskSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
   }
 }
 
-void DiskSim::Read(monoutil::Bytes bytes, std::function<void()> done) {
+void DiskSim::ReadImpl(monoutil::Bytes bytes, InlineCallback&& done) {
   MONO_CHECK(bytes >= 0);
   bytes_read_ += bytes;
   ++active_reads_;
   server_.Submit(
       static_cast<double>(bytes),
-      [this, done = std::move(done)] {
+      [this, done = std::move(done)]() mutable {
         --active_reads_;
         done();
       },
       config_.read_contention_weight, /*share_weight=*/1.0);
 }
 
-void DiskSim::Write(monoutil::Bytes bytes, std::function<void()> done) {
+void DiskSim::WriteImpl(monoutil::Bytes bytes, InlineCallback&& done) {
   MONO_CHECK(bytes >= 0);
   bytes_written_ += bytes;
   // A write interleaved with reads thrashes the head; writes alone are batched by

@@ -8,8 +8,9 @@
 #ifndef MONOTASKS_SRC_CLUSTER_DISK_H_
 #define MONOTASKS_SRC_CLUSTER_DISK_H_
 
-#include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "src/cluster/cluster_config.h"
 #include "src/simcore/audit.h"
@@ -26,11 +27,19 @@ class DiskSim : public Auditable {
   DiskSim(const DiskSim&) = delete;
   DiskSim& operator=(const DiskSim&) = delete;
 
-  // Starts a read of `bytes`; `done` fires when the data is in memory.
-  void Read(monoutil::Bytes bytes, std::function<void()> done);
+  // Starts a read of `bytes`; `done` (any void() callable; oversize captures
+  // draw pooled storage from the owning simulation's arena) fires when the
+  // data is in memory.
+  template <typename F>
+  void Read(monoutil::Bytes bytes, F&& done) {
+    ReadImpl(bytes, WrapCallback(std::forward<F>(done)));
+  }
 
   // Starts a write-through of `bytes`; `done` fires when the data is durable.
-  void Write(monoutil::Bytes bytes, std::function<void()> done);
+  template <typename F>
+  void Write(monoutil::Bytes bytes, F&& done) {
+    WriteImpl(bytes, WrapCallback(std::forward<F>(done)));
+  }
 
   // Number of requests currently being served by the device.
   int active_requests() const { return server_.active(); }
@@ -62,6 +71,20 @@ class DiskSim : public Auditable {
   void AuditInvariants(SimAudit& audit, AuditPhase phase) const override;
 
  private:
+  // Wraps a caller's callback against the owning simulation's arena; a
+  // ready-made InlineCallback passes through.
+  template <typename F>
+  InlineCallback WrapCallback(F&& fn) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineCallback>) {
+      return std::forward<F>(fn);
+    } else {
+      return InlineCallback(std::forward<F>(fn), sim_->callback_arena());
+    }
+  }
+
+  void ReadImpl(monoutil::Bytes bytes, InlineCallback&& done);
+  void WriteImpl(monoutil::Bytes bytes, InlineCallback&& done);
+
   Simulation* sim_;
   DiskConfig config_;
   FluidServer server_;

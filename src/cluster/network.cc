@@ -430,13 +430,14 @@ double NetworkFabricSim::LegacyMinShare(const Flow& flow) const {
   return std::min(egress_share, ingress_share);
 }
 
-NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil::Bytes bytes,
-                                                     std::function<void()> done) {
+NetworkFabricSim::FlowId NetworkFabricSim::StartFlowImpl(int src, int dst,
+                                                         monoutil::Bytes bytes,
+                                                         InlineCallback&& done) {
   MONO_CHECK(src >= 0 && src < num_machines());
   MONO_CHECK(dst >= 0 && dst < num_machines());
   MONO_CHECK_MSG(src != dst, "local transfers must not traverse the fabric");
   MONO_CHECK(bytes >= 0);
-  MONO_CHECK(done != nullptr);
+  MONO_CHECK(static_cast<bool>(done));
 
   const FlowId id = next_id_++;
   Flow* raw = AllocFlow();
@@ -476,7 +477,7 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlow(int src, int dst, monoutil:
   return id;
 }
 
-void NetworkFabricSim::SendControl(int src, int dst, std::function<void()> deliver) {
+void NetworkFabricSim::SendControlImpl(int src, int dst, InlineCallback&& deliver) {
   MONO_CHECK(src >= 0 && src < num_machines());
   MONO_CHECK(dst >= 0 && dst < num_machines());
   sim_->ScheduleAfter(request_latency_, std::move(deliver), "net-request");
@@ -1229,7 +1230,7 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
   const int src = flow->src;
   const int dst = flow->dst;
   const double rate = flow->rate;
-  std::function<void()> done = std::move(flow->done);
+  InlineCallback done = std::move(flow->done);
   // Decide on the local patch while the departing flow's index entries still
   // exist (the decision reads its sides' sums and top shares).
   const bool patched =

@@ -63,6 +63,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -98,11 +99,18 @@ class NetworkFabricSim : public Auditable {
   void set_share_policy_for_test(SharePolicy policy) { share_policy_ = policy; }
 
   // Starts a bulk data flow of `bytes` from machine `src` to machine `dst` (src !=
-  // dst); `done` fires when the last byte arrives.
-  FlowId StartFlow(int src, int dst, monoutil::Bytes bytes, std::function<void()> done);
+  // dst); `done` (any void() callable; oversize captures draw pooled storage
+  // from the owning simulation's arena) fires when the last byte arrives.
+  template <typename F>
+  FlowId StartFlow(int src, int dst, monoutil::Bytes bytes, F&& done) {
+    return StartFlowImpl(src, dst, bytes, WrapCallback(std::forward<F>(done)));
+  }
 
   // Delivers a small control message from `src` to `dst` after the request latency.
-  void SendControl(int src, int dst, std::function<void()> deliver);
+  template <typename F>
+  void SendControl(int src, int dst, F&& deliver) {
+    SendControlImpl(src, dst, WrapCallback(std::forward<F>(deliver)));
+  }
 
   int num_machines() const { return static_cast<int>(ingress_count_.size()); }
   monoutil::BytesPerSecond nic_bandwidth() const { return nic_bandwidth_; }
@@ -175,7 +183,7 @@ class NetworkFabricSim : public Auditable {
     double remaining;
     double rate = 0.0;
     SimTime last_update;
-    std::function<void()> done;
+    InlineCallback done;
     // Absolute predicted completion time, mirrored in the completion index;
     // negative while the flow has not been assigned a rate yet.
     double predicted_done = -1.0;
@@ -320,6 +328,22 @@ class NetworkFabricSim : public Auditable {
   void RecordIngressTouched(const std::vector<int>& machines);
 
   void OnFlowComplete(FlowId id);
+
+  // Wraps a caller's callback against the owning simulation's arena; a
+  // ready-made InlineCallback passes through. Shared by the StartFlow and
+  // SendControl templates.
+  template <typename F>
+  InlineCallback WrapCallback(F&& fn) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineCallback>) {
+      return std::forward<F>(fn);
+    } else {
+      return InlineCallback(std::forward<F>(fn), sim_->callback_arena());
+    }
+  }
+
+  // Out-of-line implementations behind the StartFlow/SendControl templates.
+  FlowId StartFlowImpl(int src, int dst, monoutil::Bytes bytes, InlineCallback&& done);
+  void SendControlImpl(int src, int dst, InlineCallback&& deliver);
 
   // Arena allocation: pop the free list (growing it by a block when empty) and
   // reset the recycled struct's solver-visible fields; completed flows go back

@@ -36,10 +36,10 @@ FluidServer::~FluidServer() {
   sim_->UnregisterAuditable(this);
 }
 
-FluidServer::RequestId FluidServer::Submit(double amount, std::function<void()> done,
-                                           double weight, double share_weight) {
+FluidServer::RequestId FluidServer::SubmitImpl(double amount, InlineCallback&& done,
+                                               double weight, double share_weight) {
   MONO_CHECK(amount >= 0);
-  MONO_CHECK(done != nullptr);
+  MONO_CHECK(static_cast<bool>(done));
   MONO_CHECK(weight > 0);
   if (share_weight == kSameAsWeight) {
     share_weight = weight;
@@ -57,7 +57,7 @@ double FluidServer::CancelRequest(RequestId id) {
   for (auto it = active_.begin(); it != active_.end(); ++it) {
     if (it->id == id) {
       const double remaining = it->remaining;
-      active_.erase(it);
+      active_.erase(it);  // Order-preserving; the active set stays in admission order.
       Reschedule();
       return remaining;
     }
@@ -123,7 +123,8 @@ void FluidServer::Reschedule() {
       // share reaches the cap is pinned to it and drops out; the capacity it leaves
       // behind is re-split (again by share weight) among the rest. Every pass pins
       // at least one request or terminates, so the loop runs at most n times.
-      std::vector<Request*> open;
+      std::vector<Request*>& open = reschedule_open_;
+      open.clear();
       open.reserve(active_.size());
       for (auto& req : active_) {
         open.push_back(&req);
@@ -195,21 +196,31 @@ void FluidServer::Reschedule() {
 
 void FluidServer::OnCompletionEvent() {
   AdvanceProgress();
-  // Collect completions first: `done` callbacks may re-enter Submit().
-  std::vector<std::function<void()>> done_callbacks;
-  for (auto it = active_.begin(); it != active_.end();) {
-    const double eps = std::max(it->rate, 1.0) * kCompletionEpsilonSeconds;
-    if (it->remaining <= eps) {
-      done_callbacks.push_back(std::move(it->done));
-      it = active_.erase(it);
+  // Collect completions first: `done` callbacks may re-enter Submit(). The
+  // member scratch keeps its capacity across completions; a re-entrant
+  // invocation (a done callback driving the simulation back into this server)
+  // finds it busy and falls back to a one-off local batch.
+  std::vector<InlineCallback> local;
+  std::vector<InlineCallback>& done_callbacks =
+      done_scratch_.empty() ? done_scratch_ : local;
+  size_t out = 0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    const double eps = std::max(active_[i].rate, 1.0) * kCompletionEpsilonSeconds;
+    if (active_[i].remaining <= eps) {
+      done_callbacks.push_back(std::move(active_[i].done));
     } else {
-      ++it;
+      if (out != i) {
+        active_[out] = std::move(active_[i]);
+      }
+      ++out;
     }
   }
+  active_.resize(out);
   Reschedule();
-  for (auto& done : done_callbacks) {
+  for (InlineCallback& done : done_callbacks) {
     done();
   }
+  done_callbacks.clear();
 }
 
 double FluidServer::total_served() const {

@@ -22,8 +22,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/simcore/audit.h"
@@ -37,6 +38,10 @@ namespace monosim {
 // Weights let callers express that some request types contend less: a streaming disk
 // write merged by the elevator costs less head movement than an interleaved read, so
 // it carries a fractional weight.
+//
+// Config-time only: bound once at server construction, never on the event hot
+// path, so the std::function indirection and its one-time allocation are fine.
+// mono_lint: allow(std-function-hot-path)
 using CapacityFn = std::function<double(double active_weight)>;
 
 class FluidServer : public Auditable {
@@ -67,10 +72,12 @@ class FluidServer : public Auditable {
   // `share_weight` sentinel for Submit: share capacity in proportion to `weight`.
   static constexpr double kSameAsWeight = -1.0;
 
-  // Admits a request for `amount` work units; `done` fires (as a simulation event)
-  // when the request completes. Requests are serviced immediately — queueing policy
-  // belongs to the schedulers layered above this class. `amount` may be zero, in which
-  // case `done` fires at the current time.
+  // Admits a request for `amount` work units; `done` (any void() callable — its
+  // capture draws pooled storage from the owning simulation's arena when it
+  // exceeds the inline buffer) fires when the request completes. Requests are
+  // serviced immediately — queueing policy belongs to the schedulers layered
+  // above this class. `amount` may be zero, in which case `done` fires at the
+  // current time.
   //
   // `weight` (default 1) is the request's contention weight passed to the capacity
   // function — how much device capacity the request's presence costs. `share_weight`
@@ -80,8 +87,17 @@ class FluidServer : public Auditable {
   // costs an HDD most of its bandwidth (high contention weight) but the elevator
   // still serves both streams about equally (share weight 1), which is how DiskSim
   // submits it.
-  RequestId Submit(double amount, std::function<void()> done, double weight = 1.0,
-                   double share_weight = kSameAsWeight);
+  template <typename F>
+  RequestId Submit(double amount, F&& done, double weight = 1.0,
+                   double share_weight = kSameAsWeight) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineCallback>) {
+      return SubmitImpl(amount, std::forward<F>(done), weight, share_weight);
+    } else {
+      return SubmitImpl(
+          amount, InlineCallback(std::forward<F>(done), sim_->callback_arena()),
+          weight, share_weight);
+    }
+  }
 
   // Aborts an in-service request; its `done` callback never fires. Returns the
   // remaining (unserved) work.
@@ -134,8 +150,12 @@ class FluidServer : public Auditable {
     double weight = 1.0;        // Contention weight (capacity-function input).
     double share_weight = 1.0;  // Fair-share weight (capacity-split input).
     double rate = 0.0;
-    std::function<void()> done;
+    InlineCallback done;
   };
+
+  // Shared implementation behind the Submit template.
+  RequestId SubmitImpl(double amount, InlineCallback&& done, double weight,
+                       double share_weight);
 
   // Advances all active requests to the current time, then recomputes rates and
   // reschedules the single completion event.
@@ -153,7 +173,17 @@ class FluidServer : public Auditable {
   double per_request_cap_;
   double nominal_capacity_;
 
-  std::list<Request> active_;
+  // Active requests, in admission order. A vector (not a list): submit and
+  // complete are the fabric's steady-state churn, and vector storage keeps
+  // them free of per-request node allocations once the high-water capacity is
+  // reached. Nothing holds Request pointers across events.
+  std::vector<Request> active_;
+  // Scratch for Reschedule's water-filling pass; member so its capacity
+  // persists across calls instead of reallocating per rate change.
+  std::vector<Request*> reschedule_open_;
+  // Scratch for OnCompletionEvent's harvested `done` callbacks (re-entrant
+  // invocations fall back to a local batch).
+  std::vector<InlineCallback> done_scratch_;
   RequestId next_id_ = 1;
   SimTime last_update_ = 0.0;
   double served_ = 0.0;

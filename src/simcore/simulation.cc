@@ -47,20 +47,22 @@ SimDigestTrail::~SimDigestTrail() { CurrentTrailSlot() = previous_; }
 SimDigestTrail* SimDigestTrail::current() { return CurrentTrailSlot(); }
 
 void EventHandle::Cancel() {
-  if (record_ != nullptr && !record_->fired && !record_->cancelled) {
-    record_->cancelled = true;
-    record_->fn = nullptr;  // Release captured state promptly.
-    if (record_->queued_tombstones != nullptr) {
-      ++*record_->queued_tombstones;
-    }
+  Simulation* sim = owner_ != nullptr ? *owner_ : nullptr;
+  if (sim != nullptr && record_ != nullptr) {
+    sim->CancelRecord(record_, generation_);
   }
 }
 
 bool EventHandle::pending() const {
-  return record_ != nullptr && !record_->fired && !record_->cancelled;
+  // The record pointer is only dereferenceable while the Simulation (and with
+  // it the slab pool) is alive; a matching generation means the record still
+  // belongs to this handle's event (neither fired nor recycled).
+  Simulation* sim = owner_ != nullptr ? *owner_ : nullptr;
+  return sim != nullptr && record_ != nullptr &&
+         record_->generation == generation_ && !record_->cancelled;
 }
 
-Simulation::Simulation() {
+Simulation::Simulation() : self_slot_(std::make_shared<Simulation*>(this)) {
   // The hook is global and idempotent; installing from the constructor keeps
   // it out of the per-event path.
   InstallCheckFailureDumpOnce();
@@ -70,6 +72,9 @@ Simulation::~Simulation() {
   if (SimDigestTrail* trail = SimDigestTrail::current()) {
     trail->Record(fired_, digest_);
   }
+  // Outstanding handles become inert: their Cancel()/pending() must not touch
+  // the slab pool once it is freed below.
+  *self_slot_ = nullptr;
 }
 
 void Simulation::DumpFlightRecorder(std::FILE* out) const {
@@ -79,24 +84,67 @@ void Simulation::DumpFlightRecorder(std::FILE* out) const {
   recorder_.Dump(out);
 }
 
-EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn,
-                                   const char* tag) {
-  MONO_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
-  MONO_CHECK(fn != nullptr);
-  MONO_CHECK(tag != nullptr);
-  auto record = std::make_shared<EventHandle::Record>();
-  record->fn = std::move(fn);
-  record->queued_tombstones = tombstones_;
-  queue_.push_back(QueueEntry{when, next_seq_++, tag, record});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
-  MaybeCompact();
-  return EventHandle(std::move(record));
+void Simulation::GrowRecordPool() {
+  auto slab = std::make_unique<EventRecord[]>(kRecordsPerSlab);
+  // Thread the fresh records onto the free list back to front, so the pool
+  // hands them out in slab order (stable, address-independent behaviour).
+  for (size_t i = kRecordsPerSlab; i-- > 0;) {
+    slab[i].next_free = free_records_;
+    free_records_ = &slab[i];
+  }
+  slabs_.push_back(std::move(slab));
 }
 
-EventHandle Simulation::ScheduleAfter(SimTime delay, std::function<void()> fn,
-                                      const char* tag) {
-  MONO_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn), tag);
+EventRecord* Simulation::AllocRecord() {
+  if (free_records_ == nullptr) {
+    GrowRecordPool();
+  }
+  EventRecord* record = free_records_;
+  free_records_ = record->next_free;
+  record->next_free = nullptr;
+  return record;
+}
+
+void Simulation::FreeRecord(EventRecord* record) {
+  record->fn.reset();  // Returns any arena block; captured state dies here.
+  record->cancelled = false;
+  record->tag = "";
+  // Invalidate every outstanding handle to the event this record carried.
+  ++record->generation;
+  record->next_free = free_records_;
+  free_records_ = record;
+}
+
+void Simulation::CancelRecord(EventRecord* record, uint64_t generation) {
+  if (record->generation != generation || record->cancelled) {
+    return;  // Already fired/recycled, or already a tombstone.
+  }
+  record->cancelled = true;
+  record->fn.reset();  // Release captured state promptly.
+  ++tombstones_;
+}
+
+EventHandle Simulation::ScheduleRecord(SimTime when, InlineCallback&& fn,
+                                       const char* tag) {
+  MONO_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  MONO_CHECK(static_cast<bool>(fn));
+  MONO_CHECK(tag != nullptr);
+  EventRecord* record = AllocRecord();
+  record->fn = std::move(fn);
+  record->tag = tag;
+  const uint64_t seq = next_seq_++;
+  if (BeforeLimit(when, seq)) {
+    // Due before the current batch's boundary: joins the near heap so pops
+    // interleave it correctly with the sorted batch.
+    near_heap_.push_back(QueueEntry{when, seq, record});
+    SiftUp(near_heap_.size() - 1);
+  } else {
+    // The common case — at or beyond the boundary: one unsorted append, no
+    // sift. Ordering is recovered in batch when the entry migrates near.
+    far_.push_back(QueueEntry{when, seq, record});
+  }
+  MaybeCompact();
+  return EventHandle(self_slot_, record, record->generation);
 }
 
 void Simulation::MixDigest(SimTime when, uint64_t seq, const char* tag) {
@@ -115,53 +163,196 @@ void Simulation::MixDigest(SimTime when, uint64_t seq, const char* tag) {
   mix_bytes(reinterpret_cast<const unsigned char*>(tag), std::strlen(tag));
 }
 
-Simulation::QueueEntry Simulation::PopTop() {
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  QueueEntry entry = std::move(queue_.back());
-  queue_.pop_back();
-  if (entry.record->cancelled) {
-    MONO_CHECK(*tombstones_ > 0);
-    --*tombstones_;
+void Simulation::SiftUp(size_t index) {
+  const QueueEntry item = near_heap_[index];
+  while (index > 0) {
+    const size_t parent = (index - 1) / 4;
+    if (!Earlier(item, near_heap_[parent])) {
+      break;
+    }
+    near_heap_[index] = near_heap_[parent];
+    index = parent;
   }
-  return entry;
+  near_heap_[index] = item;
 }
 
-void Simulation::MaybeCompact() {
-  if (!compaction_enabled_ || queue_.size() < kCompactionMinQueueSize ||
-      *tombstones_ * 2 <= queue_.size()) {
+void Simulation::SiftDown(size_t index) {
+  const size_t size = near_heap_.size();
+  const QueueEntry item = near_heap_[index];
+  for (;;) {
+    const size_t first_child = 4 * index + 1;
+    if (first_child >= size) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, size);
+    for (size_t child = first_child + 1; child < last_child; ++child) {
+      if (Earlier(near_heap_[child], near_heap_[best])) {
+        best = child;
+      }
+    }
+    if (!Earlier(near_heap_[best], item)) {
+      break;
+    }
+    near_heap_[index] = near_heap_[best];
+    index = best;
+  }
+  near_heap_[index] = item;
+}
+
+void Simulation::BuildHeap() {
+  if (near_heap_.size() < 2) {
     return;
   }
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [](const QueueEntry& e) { return e.record->cancelled; }),
-               queue_.end());
-  std::make_heap(queue_.begin(), queue_.end(), Later{});
-  *tombstones_ = 0;
+  // Floyd: sift down every parent, deepest first. The last parent of a 4-ary
+  // heap of n entries sits at (n - 2) / 4.
+  for (size_t index = (near_heap_.size() - 2) / 4 + 1; index-- > 0;) {
+    SiftDown(index);
+  }
 }
 
-void Simulation::DropLeadingTombstones() {
-  while (!queue_.empty() && queue_.front().record->cancelled) {
+void Simulation::MigrateFar() {
+  size_t batch = std::max(kMinMigrateBatch, far_.size() / kMigrateShrinkDivisor);
+  if (batch >= far_.size()) {
+    // Taking everything: the boundary moves just past the latest migrated
+    // key, so follow-up schedules at already-seen times stay near (they must
+    // interleave with this batch) while genuinely later ones land in far_.
+    batch = far_.size();
+    SimTime max_when = far_.front().when;
+    for (const QueueEntry& entry : far_) {
+      max_when = std::max(max_when, entry.when);
+    }
+    limit_when_ = max_when;
+    limit_seq_ = std::numeric_limits<uint64_t>::max();
+  } else {
+    // Partition so far_[0..batch) are the batch earliest entries; far_[batch]
+    // is then the earliest remaining and becomes the new boundary. Keys are
+    // unique, so the selected set is deterministic.
+    const auto nth = far_.begin() + static_cast<ptrdiff_t>(batch);
+    std::nth_element(far_.begin(), nth, far_.end(), Earlier);
+    limit_when_ = nth->when;
+    limit_seq_ = nth->seq;
+  }
+  for (size_t i = 0; i < batch; ++i) {
+    if (far_[i].record->cancelled) {
+      // Tombstones die here instead of riding along to be skipped at pop.
+      MONO_CHECK(tombstones_ > 0);
+      --tombstones_;
+      FreeRecord(far_[i].record);
+    } else {
+      near_sorted_.push_back(far_[i]);
+    }
+  }
+  far_.erase(far_.begin(), far_.begin() + static_cast<ptrdiff_t>(batch));
+  // Descending, so pops take the earliest entry from the back in O(1). One
+  // sequential sort per batch replaces a cache-missing sift per event.
+  std::sort(near_sorted_.begin(), near_sorted_.end(),
+            [](const QueueEntry& a, const QueueEntry& b) { return Earlier(b, a); });
+}
+
+Simulation::QueueEntry* Simulation::FrontRaw() {
+  for (;;) {
+    if (!near_sorted_.empty()) {
+      QueueEntry* front = &near_sorted_.back();
+      if (!near_heap_.empty() && Earlier(near_heap_.front(), *front)) {
+        front = &near_heap_.front();
+      }
+      return front;
+    }
+    if (!near_heap_.empty()) {
+      return &near_heap_.front();
+    }
+    if (far_.empty()) {
+      return nullptr;
+    }
+    MigrateFar();
+  }
+}
+
+Simulation::QueueEntry* Simulation::FrontLive() {
+  for (;;) {
+    QueueEntry* front = FrontRaw();
+    if (front == nullptr || !front->record->cancelled) {
+      return front;
+    }
     PopTop();
   }
 }
 
+Simulation::QueueEntry Simulation::PopTop() {
+  QueueEntry top;
+  if (!near_sorted_.empty() &&
+      (near_heap_.empty() || Earlier(near_sorted_.back(), near_heap_.front()))) {
+    top = near_sorted_.back();
+    near_sorted_.pop_back();
+  } else {
+    top = near_heap_.front();
+    near_heap_.front() = near_heap_.back();
+    near_heap_.pop_back();
+    if (!near_heap_.empty()) {
+      SiftDown(0);
+    }
+  }
+  if (top.record->cancelled) {
+    MONO_CHECK(tombstones_ > 0);
+    --tombstones_;
+    FreeRecord(top.record);
+    top.record = nullptr;
+  }
+  return top;
+}
+
+void Simulation::MaybeCompact() {
+  if (tombstones_ == 0) {
+    return;  // The common case on the schedule fast path: one load, no sums.
+  }
+  const size_t total = near_sorted_.size() + near_heap_.size() + far_.size();
+  if (!compaction_enabled_ || total < kCompactionMinQueueSize ||
+      tombstones_ * 2 <= total) {
+    return;
+  }
+  const auto filter = [this](std::vector<QueueEntry>& entries) {
+    size_t out = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].record->cancelled) {
+        FreeRecord(entries[i].record);
+      } else {
+        entries[out++] = entries[i];
+      }
+    }
+    entries.resize(out);
+  };
+  filter(near_sorted_);  // Stable, so the descending order survives.
+  filter(near_heap_);
+  filter(far_);
+  tombstones_ = 0;
+  BuildHeap();
+}
+
 bool Simulation::NoLiveEventAtNow() {
-  DropLeadingTombstones();
-  return queue_.empty() || queue_.front().when > now_;
+  QueueEntry* front = FrontLive();
+  return front == nullptr || front->when > now_;
 }
 
 void Simulation::RunEpochTasks() {
-  // Move the batch out: callbacks may register follow-up epoch work, which then
-  // belongs to the (possibly re-opened) epoch and runs on the next flush.
-  std::vector<std::function<void()>> tasks = std::move(epoch_tasks_);
-  epoch_tasks_.clear();
-  for (std::function<void()>& task : tasks) {
+  if (!epoch_run_buffer_.empty()) {
+    // Re-entered (an epoch task drove this simulation again, e.g. via a nested
+    // Run()): fall back to a one-off batch rather than clobbering the buffer.
+    std::vector<InlineCallback> tasks = std::move(epoch_tasks_);
+    epoch_tasks_.clear();
+    for (InlineCallback& task : tasks) {
+      task();
+    }
+    return;
+  }
+  // Swap the batch into the scratch buffer: callbacks may register follow-up
+  // epoch work, which then belongs to the (possibly re-opened) epoch and runs
+  // on the next flush. Both vectors keep their capacity across epochs.
+  std::swap(epoch_tasks_, epoch_run_buffer_);
+  for (InlineCallback& task : epoch_run_buffer_) {
     task();
   }
-}
-
-void Simulation::AtEpochEnd(std::function<void()> fn) {
-  MONO_CHECK(fn != nullptr);
-  epoch_tasks_.push_back(std::move(fn));
+  epoch_run_buffer_.clear();
 }
 
 bool Simulation::Step() {
@@ -172,11 +363,12 @@ bool Simulation::Step() {
       RunEpochTasks();
       continue;
     }
-    DropLeadingTombstones();
-    if (queue_.empty()) {
+    if (FrontLive() == nullptr) {
       return false;
     }
     QueueEntry entry = PopTop();
+    EventRecord* record = entry.record;
+    const char* tag = record->tag;
     if (SimAudit* audit = SimAudit::current()) {
       audit->ExpectLazy(entry.when >= last_fired_time_, now_, "simulation",
                         "clock-monotonic", [&] {
@@ -188,18 +380,21 @@ bool Simulation::Step() {
     }
     now_ = entry.when;
     last_fired_time_ = entry.when;
-    entry.record->fired = true;
     ++fired_;
-    MixDigest(entry.when, entry.seq, entry.tag);
+    MixDigest(entry.when, entry.seq, tag);
     if (recorder_.enabled()) {
-      recorder_.Record(entry.when, entry.seq, entry.tag, digest_);
+      recorder_.Record(entry.when, entry.seq, tag, digest_);
     }
     // Expose this simulation to the MONO_CHECK failure hook while its event
     // (and the epoch/audit work below) runs.
     Simulation* previous_stepping = g_stepping_sim;
     g_stepping_sim = this;
-    // Move the callback out so that captured state dies when it returns.
-    std::function<void()> fn = std::move(entry.record->fn);
+    // Move the callback out and recycle the record before invoking: captured
+    // state dies when fn returns, outstanding handles to this event see a
+    // bumped generation (fired), and the callback may immediately reuse the
+    // record for a follow-up schedule.
+    InlineCallback fn = std::move(record->fn);
+    FreeRecord(record);
     fn();
     // Epoch boundary: once no live event shares the current timestamp, flush the
     // deferred epoch work (which may schedule same-time events, re-opening the
@@ -235,14 +430,14 @@ void Simulation::RunUntil(SimTime deadline) {
     // Discard tombstones regardless of their virtual time — a remainder of
     // cancelled entries past the deadline must still count as drained — but never
     // fire a live event beyond the deadline.
-    DropLeadingTombstones();
-    if (queue_.empty() || queue_.front().when > deadline) {
+    QueueEntry* front = FrontLive();
+    if (front == nullptr || front->when > deadline) {
       break;
     }
     Step();
   }
   now_ = deadline;
-  if (queue_.empty()) {
+  if (queue_size() == 0) {
     RunAuditChecks(AuditPhase::kDrain);
   }
 }

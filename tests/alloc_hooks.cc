@@ -1,0 +1,51 @@
+#include "tests/alloc_hooks.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace monotest {
+
+std::atomic<long>& AllocationCount() {
+  static std::atomic<long> count{0};
+  return count;
+}
+
+}  // namespace monotest
+
+#if MONO_TEST_ALLOC_HOOKS
+
+void* operator new(std::size_t size) {
+  ++monotest::AllocationCount();
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++monotest::AllocationCount();
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t padded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, padded ? padded : a)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // MONO_TEST_ALLOC_HOOKS

@@ -1,0 +1,37 @@
+// Process-wide allocation counting for zero-allocation tests.
+//
+// alloc_hooks.cc replaces the global operator new/delete family with
+// malloc-forwarding versions that bump a counter, so any test in the binary
+// can assert "this window performed no heap allocations" by snapshotting
+// AllocationCount() before and after. Exactly one TU may define the
+// replacement operators, which is why they live here and not in the tests
+// that use them (tracing_test.cc, pooled_kernel_test.cc).
+//
+// Sanitizer builds intercept the allocator themselves; the replacements are
+// compiled out and MONO_TEST_ALLOC_HOOKS is 0 — guard zero-allocation tests
+// with it.
+#ifndef MONOTASKS_TESTS_ALLOC_HOOKS_H_
+#define MONOTASKS_TESTS_ALLOC_HOOKS_H_
+
+#include <atomic>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MONO_TEST_ALLOC_HOOKS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MONO_TEST_ALLOC_HOOKS 0
+#endif
+#endif
+#ifndef MONO_TEST_ALLOC_HOOKS
+#define MONO_TEST_ALLOC_HOOKS 1
+#endif
+
+namespace monotest {
+
+// Global operator new calls since process start (all threads, all TUs).
+// Stuck at zero when MONO_TEST_ALLOC_HOOKS is 0.
+std::atomic<long>& AllocationCount();
+
+}  // namespace monotest
+
+#endif  // MONOTASKS_TESTS_ALLOC_HOOKS_H_

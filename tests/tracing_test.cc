@@ -25,38 +25,9 @@
 #include "src/workloads/clusters.h"
 #include "src/workloads/sort.h"
 
-// The zero-allocation test counts global operator new calls. Sanitizers
-// intercept the allocator themselves, so the replacement (and the test) are
-// compiled out under them.
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define MONO_TRACING_TEST_SANITIZED 1
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define MONO_TRACING_TEST_SANITIZED 1
-#endif
-#endif
-
-#ifndef MONO_TRACING_TEST_SANITIZED
-namespace {
-std::atomic<long>& AllocationCount() {
-  static std::atomic<long> count{0};
-  return count;
-}
-}  // namespace
-
-void* operator new(std::size_t size) {
-  ++AllocationCount();
-  if (void* p = std::malloc(size ? size : 1)) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#endif  // MONO_TRACING_TEST_SANITIZED
+// The zero-allocation test counts global operator new calls via the shared
+// test-binary-wide hooks (alloc_hooks.cc); sanitizer builds compile them out.
+#include "tests/alloc_hooks.h"
 
 namespace {
 
@@ -348,7 +319,7 @@ TEST(TracingTest, AuditViolationsBecomeInstants) {
   ASSERT_EQ(report.audit_violations().size(), 1u);
 }
 
-#ifndef MONO_TRACING_TEST_SANITIZED
+#if MONO_TEST_ALLOC_HOOKS
 TEST(TracingTest, DisabledTracerHookSitesDoNotAllocate) {
   ASSERT_EQ(monotrace::Tracer::current(), nullptr)
       << "unset MONO_TRACE when running the test suite";
@@ -356,15 +327,15 @@ TEST(TracingTest, DisabledTracerHookSitesDoNotAllocate) {
   monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
   env.AttachExecutor(&mono);
 
-  const long before = AllocationCount().load();
+  const long before = monotest::AllocationCount().load();
   for (int i = 0; i < 1000; ++i) {
     // Instrumented hot paths: with no tracer installed each hook is one
     // relaxed atomic load and a branch.
     mono.AddBuffered(0, 64);
     mono.RemoveBuffered(0, 64);
   }
-  EXPECT_EQ(AllocationCount().load() - before, 0);
+  EXPECT_EQ(monotest::AllocationCount().load() - before, 0);
 }
-#endif  // MONO_TRACING_TEST_SANITIZED
+#endif  // MONO_TEST_ALLOC_HOOKS
 
 }  // namespace

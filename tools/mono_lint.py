@@ -31,6 +31,15 @@ src/framework, src/storage, src/workloads):
                   std::less<T*>/std::greater<T*> comparators: address order is
                   allocation order, which is not reproducible.
 
+  std-function-hot-path
+                  (src/simcore only) No std::function in the event kernel:
+                  capturing beyond its small-buffer bound heap-allocates on
+                  the schedule/fire path, which the pooled kernel exists to
+                  avoid. Take a template callable and wrap it in
+                  InlineCallback. Config-time uses (capacity models, setup
+                  plumbing) tag `// mono_lint: allow(std-function-hot-path)`
+                  with a comment saying why they are off the hot path.
+
 Benchmark sources (bench/) are additionally checked against the entropy rule
 only: benches measure wall time legitimately, but must seed exclusively through
 monoutil::Rng so the run digest recorded in BENCH_*.json is same-schedule.
@@ -123,6 +132,15 @@ RULES: dict[str, list[tuple[re.Pattern[str], str]]] = {
             "address-ordered comparator; compare stable ids instead",
         ),
     ],
+    "std-function-hot-path": [
+        (
+            re.compile(r"\bstd::function\s*<"),
+            "std::function in the event kernel heap-allocates per oversize "
+            "capture on the schedule/fire path; take a template callable and "
+            "wrap it in InlineCallback, or tag a config-time use "
+            "`// mono_lint: allow(std-function-hot-path)`",
+        ),
+    ],
 }
 
 ALL_RULES = tuple(RULES)
@@ -138,6 +156,11 @@ SIM_DIRS = (
     "src/storage",
     "src/workloads",
 )
+
+# The hot-path callback rule applies only to the event kernel itself; in the
+# layers above it std::function off the event hot path is legitimate.
+HOT_PATH_DIRS = ("src/simcore",)
+SIM_RULES = tuple(r for r in RULES if r != "std-function-hot-path")
 
 # Directories linted with a reduced rule set (wall time is legitimate there,
 # entropy is not).
@@ -255,8 +278,9 @@ def iter_sources(root: pathlib.Path, directory: str) -> Iterable[pathlib.Path]:
 def lint_tree(root: pathlib.Path) -> list[Violation]:
     violations: list[Violation] = []
     for directory in SIM_DIRS:
+        rules = ALL_RULES if directory in HOT_PATH_DIRS else SIM_RULES
         for path in iter_sources(root, directory):
-            violations.extend(lint_file(path, ALL_RULES))
+            violations.extend(lint_file(path, rules))
     for directory in BENCH_DIRS:
         for path in iter_sources(root, directory):
             violations.extend(lint_file(path, BENCH_RULES))

@@ -53,6 +53,23 @@ class AddressOrderedRuleTest(unittest.TestCase):
         self.assertEqual(len(found), 3)  # set, map, std::less comparator.
 
 
+class StdFunctionHotPathRuleTest(unittest.TestCase):
+    def test_flags_std_function_in_kernel_code(self) -> None:
+        found = rules_found("bad_std_function.cc")
+        self.assertEqual(set(found), {"std-function-hot-path"})
+        # Member declaration + schedule-path signature; the allow-tagged
+        # config-time alias and the comment/string mentions stay quiet.
+        self.assertEqual(len(found), 2)
+
+    def test_rule_is_scoped_to_the_event_kernel(self) -> None:
+        # Only src/simcore is linted with the rule: the layers above wrap
+        # their callbacks before they reach the kernel, and config-time
+        # std::function there is legitimate.
+        self.assertEqual(mono_lint.HOT_PATH_DIRS, ("src/simcore",))
+        self.assertNotIn("std-function-hot-path", mono_lint.SIM_RULES)
+        self.assertIn("std-function-hot-path", mono_lint.ALL_RULES)
+
+
 class CleanCodeTest(unittest.TestCase):
     def test_clean_fixture_has_no_violations(self) -> None:
         self.assertEqual(rules_found("good_clean.cc"), [])

@@ -8,10 +8,19 @@ to catch order-of-magnitude regressions of the kind that motivated it — the
 max-min fabric shipping at 4.8x below the legacy model — not 10% wobble.
 Scenarios without a --gate are printed for trend inspection but never fail.
 
-Each --pair NAME:OTHER:MIN_RATIO compares two scenarios *within the current
-run* (immune to runner speed): NAME's events_per_sec must be at least
-MIN_RATIO times OTHER's. This is the telemetry-overhead gate: the always-on
-instrumentation build must stay within 5% of its telemetry-off twin.
+Each --pair NAME:OTHER:MIN_RATIO[:MAX_RATIO] compares two scenarios *within
+the current run* (immune to runner speed): NAME's events_per_sec must be at
+least MIN_RATIO times OTHER's. This is the telemetry-overhead gate: the
+always-on instrumentation build must stay within 5% of its telemetry-off twin.
+
+Pairs are also checked for *inversion*: NAME (the instrumented side) measuring
+faster than OTHER (the stripped side) beyond MAX_RATIO is not a speedup, it is
+a broken measurement — unwarmed sides, cold-start costs landing on one side of
+the ratio, or mislabeled scenarios — and once such a measurement is committed
+as the baseline it silently devalues every later comparison against it.
+MAX_RATIO defaults to 1/MIN_RATIO (a symmetric noise band). The committed
+baseline's own pair ratio is checked against the same band, so a run that
+would freeze an inverted pair into bench/baselines/ fails before it can.
 
 Usage:
   perf_gate.py --baseline bench/baselines/BENCH_simcore.json \
@@ -47,8 +56,12 @@ def main():
         "--pair",
         action="append",
         default=[],
-        metavar="NAME:OTHER:MIN_RATIO",
-        help="fail if current NAME's events_per_sec < MIN_RATIO * current OTHER's",
+        metavar="NAME:OTHER:MIN_RATIO[:MAX_RATIO]",
+        help=(
+            "fail if current NAME's events_per_sec < MIN_RATIO * current "
+            "OTHER's, or > MAX_RATIO * OTHER's (inverted pair; default "
+            "MAX_RATIO = 1/MIN_RATIO). The baseline's pair is checked too."
+        ),
     )
     args = parser.parse_args()
 
@@ -90,24 +103,48 @@ def main():
 
     for spec in args.pair:
         parts = spec.split(":")
-        if len(parts) != 3:
-            parser.error(f"--pair {spec!r} is not NAME:OTHER:MIN_RATIO")
+        if len(parts) not in (3, 4):
+            parser.error(f"--pair {spec!r} is not NAME:OTHER:MIN_RATIO[:MAX_RATIO]")
         name, other, floor = parts[0], parts[1], float(parts[2])
-        if name not in current or other not in current:
-            absent = name if name not in current else other
-            failures.append(f"{absent}: paired scenario missing from {args.current}")
-            continue
-        eps = current[name]["events_per_sec"]
-        other_eps = current[other]["events_per_sec"]
-        ratio = eps / other_eps if other_eps else float("inf")
-        verdict = "ok" if ratio >= floor else "FAIL"
-        print(
-            f"{name} vs {other}  {ratio:6.2f}x  [pair gate >= {floor:.2f}x: {verdict}]"
-        )
-        if ratio < floor:
-            failures.append(
-                f"{name}: {eps:,.0f} ev/s is {ratio:.2f}x of {other}'s "
-                f"{other_eps:,.0f} ev/s (pair gate requires >= {floor:.2f}x)"
+        ceiling = float(parts[3]) if len(parts) == 4 else 1.0 / floor
+        if ceiling < floor:
+            parser.error(f"--pair {spec!r}: MAX_RATIO {ceiling} < MIN_RATIO {floor}")
+        for label, scenarios, path in (
+            ("current", current, args.current),
+            ("baseline", baseline, args.baseline),
+        ):
+            if name not in scenarios or other not in scenarios:
+                if label == "baseline":
+                    # A baseline may legitimately predate a scenario; only the
+                    # current run is required to carry both sides.
+                    continue
+                absent = name if name not in scenarios else other
+                failures.append(f"{absent}: paired scenario missing from {path}")
+                continue
+            eps = scenarios[name]["events_per_sec"]
+            other_eps = scenarios[other]["events_per_sec"]
+            ratio = eps / other_eps if other_eps else float("inf")
+            if ratio < floor:
+                verdict = "FAIL"
+                failures.append(
+                    f"{name} ({label}): {eps:,.0f} ev/s is {ratio:.2f}x of "
+                    f"{other}'s {other_eps:,.0f} ev/s "
+                    f"(pair gate requires >= {floor:.2f}x)"
+                )
+            elif ratio > ceiling:
+                verdict = "FAIL (inverted)"
+                failures.append(
+                    f"{name} ({label}): {eps:,.0f} ev/s is {ratio:.2f}x of "
+                    f"{other}'s {other_eps:,.0f} ev/s — the stripped variant "
+                    f"measured slower than the instrumented one (pair gate "
+                    f"allows <= {ceiling:.2f}x); this is a measurement "
+                    f"artifact (cold start / run ordering), not a speedup"
+                )
+            else:
+                verdict = "ok"
+            print(
+                f"{name} vs {other} ({label})  {ratio:6.2f}x  "
+                f"[pair gate {floor:.2f}x..{ceiling:.2f}x: {verdict}]"
             )
 
     if failures:

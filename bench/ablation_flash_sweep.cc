@@ -33,11 +33,11 @@ int main() {
     monosim::MonoConfig config;
     config.ssd_outstanding = outstanding;
     const auto result = monobench::RunMonotasks(cluster, make_job, config);
-    rows.emplace_back(outstanding, result.duration());
-    best = std::min(best, result.duration());
+    rows.emplace_back(outstanding, result.duration().seconds());
+    best = std::min(best, result.duration().seconds());
   }
   for (const auto& [outstanding, seconds] : rows) {
-    table.AddRow({std::to_string(outstanding), monoutil::FormatSeconds(seconds),
+    table.AddRow({std::to_string(outstanding), monoutil::FormatSeconds(monoutil::Seconds(seconds)),
                   monoutil::FormatDouble(seconds / best, 2) + "x"});
   }
   table.Print(std::cout);

@@ -34,12 +34,13 @@ int main() {
     monosim::MonoConfig config;
     config.network_multitask_limit = limit;
     const auto result = monobench::RunMonotasks(cluster, make_job, config);
-    rows.emplace_back(limit, result.stages[1].duration(), result.duration());
-    best = std::min(best, result.duration());
+    rows.emplace_back(limit, result.stages[1].duration().seconds(),
+                      result.duration().seconds());
+    best = std::min(best, result.duration().seconds());
   }
   for (const auto& [limit, reduce_seconds, total] : rows) {
-    table.AddRow({std::to_string(limit), monoutil::FormatSeconds(reduce_seconds),
-                  monoutil::FormatSeconds(total),
+    table.AddRow({std::to_string(limit), monoutil::FormatSeconds(monoutil::Seconds(reduce_seconds)),
+                  monoutil::FormatSeconds(monoutil::Seconds(total)),
                   monoutil::FormatDouble(total / best, 2) + "x"});
   }
   table.Print(std::cout);

@@ -40,11 +40,13 @@ void ExportUtilization(const std::string& path, monosim::SimEnvironment* env,
   }
   out << '\n';
   const auto cpu = machine.cpu().rate_trace().SampleWindows(
-      stage.start, stage.end, 1.0, static_cast<double>(machine.num_cores()));
+      stage.start, stage.end, monoutil::Seconds(1.0),
+      static_cast<double>(machine.num_cores()));
   std::vector<std::vector<double>> disks;
   for (int d = 0; d < machine.num_disks(); ++d) {
     disks.push_back(machine.disk(d).rate_trace().SampleWindows(
-        stage.start, stage.end, 1.0, machine.disk(d).nominal_bandwidth()));
+        stage.start, stage.end, monoutil::Seconds(1.0),
+        machine.disk(d).nominal_bandwidth().bps()));
   }
   for (size_t i = 0; i < cpu.size(); ++i) {
     out << i << ',' << cpu[i];
@@ -94,11 +96,11 @@ int main() {
     out << '\n';
     const auto& map = result.stages[0];
     const auto cpu_queue = mono.cpu_scheduler(0).queue_trace().SampleWindows(
-        map.start, map.end, 1.0, 1.0);
+        map.start, map.end, monoutil::Seconds(1.0), 1.0);
     std::vector<std::vector<double>> disk_queues;
     for (int d = 0; d < num_disks; ++d) {
       disk_queues.push_back(mono.disk_scheduler(0, d).queue_trace().SampleWindows(
-          map.start, map.end, 1.0, 1.0));
+          map.start, map.end, monoutil::Seconds(1.0), 1.0));
     }
     for (size_t i = 0; i < cpu_queue.size(); ++i) {
       out << i << ',' << cpu_queue[i];

@@ -35,16 +35,16 @@ int main() {
 
   // A 30-second window from the middle of the map stage, machine 0.
   const auto& map = result.stages[0];
-  const double start = map.start + map.duration() * 0.3;
-  const double end = start + 30.0;
+  const monoutil::SimTime start = map.start + map.duration() * 0.3;
+  const monoutil::SimTime end = start + monoutil::Seconds(30.0);
   const auto& machine = env.cluster().machine(0);
 
   const auto cpu = machine.cpu().rate_trace().SampleWindows(
-      start, end, 1.0, static_cast<double>(machine.num_cores()));
+      start, end, monoutil::Seconds(1.0), static_cast<double>(machine.num_cores()));
   const auto disk0 = machine.disk(0).rate_trace().SampleWindows(
-      start, end, 1.0, machine.disk(0).nominal_bandwidth());
+      start, end, monoutil::Seconds(1.0), machine.disk(0).nominal_bandwidth().bps());
   const auto disk1 = machine.disk(1).rate_trace().SampleWindows(
-      start, end, 1.0, machine.disk(1).nominal_bandwidth());
+      start, end, monoutil::Seconds(1.0), machine.disk(1).nominal_bandwidth().bps());
 
   std::puts("  t(s)   cpu%   disk0%  disk1%");
   double cpu_min = 1.0;

@@ -43,10 +43,10 @@ int main() {
     const auto actual = monobench::RunMonotasks(two_ssd, make_job);
 
     table.AddRow({std::to_string(values), monoutil::FormatSeconds(baseline.duration()),
-                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(monoutil::Seconds(predicted)),
                   monoutil::FormatSeconds(actual.duration()),
                   monoutil::FormatDouble(
-                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      100 * monoutil::RelativeError(predicted, actual.duration().seconds()), 1) +
                       "%"});
   }
   table.Print(std::cout);

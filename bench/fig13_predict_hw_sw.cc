@@ -60,10 +60,10 @@ int main() {
 
     table.AddRow(
         {std::to_string(values), monoutil::FormatSeconds(baseline.duration()),
-         monoutil::FormatSeconds(predicted), monoutil::FormatSeconds(actual.duration()),
+         monoutil::FormatSeconds(monoutil::Seconds(predicted)), monoutil::FormatSeconds(actual.duration()),
          monoutil::FormatDouble(baseline.duration() / actual.duration(), 1) + "x",
          monoutil::FormatDouble(
-             100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+             100 * monoutil::RelativeError(predicted, actual.duration().seconds()), 1) +
              "%"});
   }
   table.Print(std::cout);

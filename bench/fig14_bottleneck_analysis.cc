@@ -31,11 +31,11 @@ int main() {
     const auto result = monobench::RunMonotasks(cluster, make_job);
     const monomodel::MonotasksModel model(
         result, monomodel::HardwareProfile::FromCluster(cluster));
-    const double actual = result.duration();
+    const double actual = result.duration().seconds();
     auto fraction = [&](monomodel::Resource resource) {
       return model.PredictWithInfinitelyFast(resource) / actual;
     };
-    table.AddRow({monoload::BdbQueryName(query), monoutil::FormatSeconds(actual),
+    table.AddRow({monoload::BdbQueryName(query), monoutil::FormatSeconds(monoutil::Seconds(actual)),
                   monoutil::FormatDouble(fraction(monomodel::Resource::kDisk), 2),
                   monoutil::FormatDouble(fraction(monomodel::Resource::kNetwork), 2),
                   monoutil::FormatDouble(fraction(monomodel::Resource::kCpu), 2),

@@ -37,10 +37,10 @@ int main() {
     const auto actual = monobench::RunSpark(one_disk, make_job);
     table.AddRow({monoload::BdbQueryName(query),
                   monoutil::FormatSeconds(baseline.duration()),
-                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(monoutil::Seconds(predicted)),
                   monoutil::FormatSeconds(actual.duration()),
                   monoutil::FormatDouble(
-                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      100 * monoutil::RelativeError(predicted, actual.duration().seconds()), 1) +
                       "%"});
   }
   table.Print(std::cout);

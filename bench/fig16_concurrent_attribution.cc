@@ -41,11 +41,12 @@ double Overlap(double a0, double a1, double b0, double b1) {
 // Task-slot-seconds that `stage` contributes to the window [from, to], assuming its
 // task time is spread uniformly across its own duration.
 double TaskSecondsIn(const StageResult& stage, double from, double to) {
-  if (stage.duration() <= 0) {
+  if (stage.duration().seconds() <= 0) {
     return 0.0;
   }
-  return stage.task_seconds * Overlap(stage.start, stage.end, from, to) /
-         stage.duration();
+  return stage.task_seconds *
+         Overlap(stage.start.seconds(), stage.end.seconds(), from, to) /
+         stage.duration().seconds();
 }
 
 }  // namespace
@@ -80,15 +81,18 @@ int main() {
     for (const auto& stage : mine.stages) {
       // The measurement over this stage's window mixes both jobs' work; scale it by
       // this stage's share of the slot-seconds in the window, as a Spark user would.
-      double my_slots = TaskSecondsIn(stage, stage.start, stage.end);
+      double my_slots =
+          TaskSecondsIn(stage, stage.start.seconds(), stage.end.seconds());
       double total_slots = my_slots;
       for (const auto& other_stage : mine.stages) {
         if (&other_stage != &stage) {
-          total_slots += TaskSecondsIn(other_stage, stage.start, stage.end);
+          total_slots +=
+              TaskSecondsIn(other_stage, stage.start.seconds(), stage.end.seconds());
         }
       }
       for (const auto& other_stage : other.stages) {
-        total_slots += TaskSecondsIn(other_stage, stage.start, stage.end);
+        total_slots +=
+            TaskSecondsIn(other_stage, stage.start.seconds(), stage.end.seconds());
       }
       if (total_slots <= 0) {
         continue;
@@ -99,15 +103,16 @@ int main() {
       spark_errors.push_back(
           monoutil::RelativeError(measured.cpu_seconds * share, truth.cpu_seconds));
       const double truth_disk =
-          static_cast<double>(truth.disk_read_bytes + truth.disk_write_bytes);
-      const double est_disk = static_cast<double>(measured.disk_read_bytes +
-                                                  measured.disk_write_bytes) *
-                              share;
+          static_cast<double>((truth.disk_read_bytes + truth.disk_write_bytes).count());
+      const double est_disk =
+          static_cast<double>(
+              (measured.disk_read_bytes + measured.disk_write_bytes).count()) *
+          share;
       spark_errors.push_back(monoutil::RelativeError(est_disk, truth_disk));
-      if (truth.network_bytes > 0) {
+      if (truth.network_bytes > monoutil::Bytes(0)) {
         spark_errors.push_back(monoutil::RelativeError(
-            static_cast<double>(measured.network_bytes) * share,
-            static_cast<double>(truth.network_bytes)));
+            static_cast<double>(measured.network_bytes.count()) * share,
+            static_cast<double>(truth.network_bytes.count())));
       }
     }
   };

@@ -43,12 +43,12 @@ int main() {
       monosim::SparkConfig config;
       config.slots_per_machine = slots;
       const auto result = monobench::RunSpark(cluster, make_job, config);
-      best_spark = std::min(best_spark, result.duration());
+      best_spark = std::min(best_spark, result.duration().seconds());
       row.push_back(monoutil::FormatSeconds(result.duration()));
     }
     const auto mono = monobench::RunMonotasks(cluster, make_job);
     row.push_back(monoutil::FormatSeconds(mono.duration()));
-    row.push_back(monoutil::FormatDouble(mono.duration() / best_spark, 2));
+    row.push_back(monoutil::FormatDouble(mono.duration().seconds() / best_spark, 2));
     table.AddRow(row);
   }
   table.Print(std::cout);

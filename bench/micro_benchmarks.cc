@@ -16,7 +16,8 @@ void BM_EventQueueScheduleAndFire(benchmark::State& state) {
     monosim::Simulation sim;
     int fired = 0;
     for (int i = 0; i < state.range(0); ++i) {
-      sim.ScheduleAt(static_cast<double>(i % 97), [&fired] { ++fired; });
+      sim.ScheduleAt(monoutil::Seconds(static_cast<double>(i % 97)),
+                     [&fired] { ++fired; });
     }
     sim.Run();
     benchmark::DoNotOptimize(fired);

@@ -43,10 +43,12 @@ int main() {
   };
   const auto actual = monobench::RunMonotasks(cluster, in_memory);
 
-  std::printf("  observed (on-disk input):      %6.1f s\n", baseline.duration());
+  std::printf("  observed (on-disk input):      %6.1f s\n",
+              baseline.duration().seconds());
   std::printf("  predicted (in-memory input):   %6.1f s\n", predicted);
-  std::printf("  actual (in-memory input):      %6.1f s\n", actual.duration());
+  std::printf("  actual (in-memory input):      %6.1f s\n",
+              actual.duration().seconds());
   std::printf("  prediction error:              %6.1f%%\n",
-              100 * monoutil::RelativeError(predicted, actual.duration()));
+              100 * monoutil::RelativeError(predicted, actual.duration().seconds()));
   return 0;
 }

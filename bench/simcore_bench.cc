@@ -81,7 +81,8 @@ Scenario BenchScheduleFire(bool telemetry, const char* name) {
   const auto start = std::chrono::steady_clock::now();
   int fired = 0;
   for (int i = 0; i < kEvents; ++i) {
-    sim.ScheduleAt(static_cast<double>(i % 9973), [&fired] { ++fired; });
+    sim.ScheduleAt(monoutil::Seconds(static_cast<double>(i % 9973)),
+                   [&fired] { ++fired; });
   }
   sim.Run();
   const double seconds = Elapsed(start);
@@ -102,7 +103,7 @@ Scenario BenchCancelChurn(bool compaction, const char* name) {
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < kChurn; ++i) {
     pending.Cancel();
-    pending = sim.ScheduleAt(1e9 + i, [] {});
+    pending = sim.ScheduleAt(monoutil::Seconds(1e9 + i), [] {});
     if (sim.queue_size() > max_queue) {
       max_queue = sim.queue_size();
     }
@@ -130,7 +131,8 @@ Scenario BenchFabricChurn(monosim::NetworkFabricSim::SharePolicy policy,
   }
   monosim::Simulation sim;
   sim.flight_recorder().set_enabled(telemetry);
-  monosim::NetworkFabricSim fabric(&sim, kMachines, /*nic_bandwidth=*/1e8);
+  monosim::NetworkFabricSim fabric(&sim, kMachines,
+                                   /*nic_bandwidth=*/monoutil::BytesPerSecond(1e8));
   fabric.set_share_policy_for_test(policy);
   monoutil::Rng rng(7);
   size_t max_queue = 0;

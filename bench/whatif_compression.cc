@@ -31,8 +31,9 @@ monosim::JobSpec UncompressedVariant(monosim::DfsSim* dfs, monoload::BdbQuery qu
       const auto& original = dfs->GetFile(stage.input_file);
       dfs->CreateFileWithBlocks(
           expanded,
-          static_cast<monoutil::Bytes>(static_cast<double>(original.total_bytes()) *
-                                       stage.input_compression_ratio),
+          monoutil::Bytes(static_cast<int64_t>(
+              static_cast<double>(original.total_bytes().count()) *
+              stage.input_compression_ratio)),
           static_cast<int>(original.blocks.size()));
     }
     stage.input_file = expanded;
@@ -74,12 +75,12 @@ int main() {
 
     table.AddRow({monoload::BdbQueryName(query),
                   monoutil::FormatSeconds(baseline.duration()),
-                  monoutil::FormatSeconds(predicted),
+                  monoutil::FormatSeconds(monoutil::Seconds(predicted)),
                   monoutil::FormatSeconds(actual.duration()),
                   monoutil::FormatDouble(
-                      100 * monoutil::RelativeError(predicted, actual.duration()), 1) +
+                      100 * monoutil::RelativeError(predicted, actual.duration().seconds()), 1) +
                       "%",
-                  predicted < baseline.duration() ? "uncompress" : "keep compressed"});
+                  predicted < baseline.duration().seconds() ? "uncompress" : "keep compressed"});
   }
   table.Print(std::cout);
   return 0;

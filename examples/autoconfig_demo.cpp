@@ -25,14 +25,14 @@ double RunSpark(const monosim::ClusterConfig& cluster, const monoload::SortParam
   config.slots_per_machine = slots;
   monosim::SparkExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), config);
   env.AttachExecutor(&executor);
-  return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params)).duration();
+  return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params)).duration().seconds();
 }
 
 double RunMono(const monosim::ClusterConfig& cluster, const monoload::SortParams& params) {
   monosim::SimEnvironment env(cluster);
   monosim::MonotasksExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), {});
   env.AttachExecutor(&executor);
-  return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params)).duration();
+  return env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params)).duration().seconds();
 }
 
 }  // namespace

@@ -53,7 +53,8 @@ int main() {
     monosim::MonotasksExecutorSim mono(&env.sim(), &env.cluster(), &env.pool(), {});
     env.AttachExecutor(&mono);
     auto p = params;
-    healthy_seconds = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), p)).duration();
+    healthy_seconds =
+        env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), p)).duration().seconds();
   }
 
   // What the Spark user sees: a slower job, nothing more specific.
@@ -66,7 +67,7 @@ int main() {
       spark_env.driver().RunJob(monoload::MakeSortJob(&spark_env.dfs(), spark_params));
   std::printf("Spark:      %6.1f s (healthy cluster would take %.1f s). Something is\n"
               "            wrong, but task-level metrics mix disk, CPU, and network.\n\n",
-              spark_result.duration(), healthy_seconds);
+              spark_result.duration().seconds(), healthy_seconds);
 
   // What the monotasks user sees.
   monosim::SimEnvironment mono_env(cluster);
@@ -77,7 +78,8 @@ int main() {
   const auto mono_result =
       mono_env.driver().RunJob(monoload::MakeSortJob(&mono_env.dfs(), mono_params));
   std::printf("MonoSpark:  %6.1f s. Per-machine disk service rate from the disk\n"
-              "            monotasks of the map stage:\n\n", mono_result.duration());
+              "            monotasks of the map stage:\n\n",
+              mono_result.duration().seconds());
 
   const auto& times = mono_result.stages[0].monotask_times;
   std::puts("  machine   disk monotask rate");
@@ -88,7 +90,8 @@ int main() {
     if (seconds <= 0) {
       continue;
     }
-    const double rate = static_cast<double>(times.disk_bytes_per_machine[m]) / seconds /
+    const double rate =
+        static_cast<double>(times.disk_bytes_per_machine[m].count()) / seconds /
                         (1024.0 * 1024.0);
     std::printf("  %7zu   %6.1f MiB/s%s\n", m, rate, rate < 50 ? "   <-- DEGRADED" : "");
     if (rate < worst_rate) {

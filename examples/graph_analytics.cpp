@@ -39,7 +39,7 @@ int main() {
 
   auto answer = [&](const char* question, double predicted) {
     std::printf("  %-44s %7.1f s (%+.0f%%)\n", question, predicted,
-                100.0 * (predicted / result.duration() - 1.0));
+                100.0 * (predicted / result.duration().seconds() - 1.0));
   };
   std::puts("The debate, settled for this cluster:");
   {

@@ -51,7 +51,7 @@ int main() {
   std::puts("\nWhat-if predictions (no new runs needed):");
   auto report = [&](const char* question, double predicted) {
     std::printf("  %-52s %7.1f s  (%+5.1f%%)\n", question, predicted,
-                100.0 * (predicted / result.duration() - 1.0));
+                100.0 * (predicted / result.duration().seconds() - 1.0));
   };
   report("4 disks per machine instead of 2?",
          model.PredictJobSeconds(baseline.WithDisksPerMachine(4)));

@@ -466,7 +466,7 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
           [this, data, &worker, d, task,
            segment_ids = per_disk[static_cast<size_t>(d)]] {
             const auto start = std::chrono::steady_clock::now();
-            monoutil::Bytes bytes = 0;
+            monoutil::Bytes bytes;
             for (int m : segment_ids) {
               const ShuffleSegment& segment = SegmentAt(static_cast<size_t>(m));
               const auto [offset, length] =
@@ -523,7 +523,7 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
               pending.push_back(std::move(fetch_state));
             }
             // Collect each portion as it is served, paying the transfer time.
-            monoutil::Bytes bytes = 0;
+            monoutil::Bytes bytes;
             for (auto& fetch_state : pending) {
               fetch_state->served.get_future().wait();
               const ShuffleSegment& segment =

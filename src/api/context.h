@@ -37,9 +37,9 @@ struct EngineStageMetrics {
   double disk_read_seconds = 0.0;
   double disk_write_seconds = 0.0;
   double network_seconds = 0.0;
-  monoutil::Bytes disk_read_bytes = 0;
-  monoutil::Bytes disk_write_bytes = 0;
-  monoutil::Bytes network_bytes = 0;
+  monoutil::Bytes disk_read_bytes;
+  monoutil::Bytes disk_write_bytes;
+  monoutil::Bytes network_bytes;
   int num_tasks = 0;
 };
 

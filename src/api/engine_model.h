@@ -37,7 +37,7 @@ inline std::vector<monomodel::StageModelInput> ToModelInputs(
     input.name = stage.name;
     input.cpu_seconds = stage.compute_seconds;
     input.disk_read_bytes = stage.disk_read_bytes;
-    input.input_disk_read_bytes = 0;  // Not separated by the engine's metrics.
+    input.input_disk_read_bytes = monoutil::Bytes(0);  // Not separated by the engine's metrics.
     input.disk_write_bytes = stage.disk_write_bytes;
     input.network_bytes = stage.network_bytes;
     input.observed_seconds = stage.wall_seconds;

@@ -17,32 +17,32 @@ BufferCacheSim::BufferCacheSim(Simulation* sim, const BufferCacheConfig& config,
     : sim_(sim),
       config_(config),
       disks_(std::move(disks)),
-      dirty_per_disk_(disks_.size(), 0),
-      submitted_per_disk_(disks_.size(), 0),
-      flushed_per_disk_(disks_.size(), 0),
+      dirty_per_disk_(disks_.size(), Bytes()),
+      submitted_per_disk_(disks_.size(), Bytes()),
+      flushed_per_disk_(disks_.size(), Bytes()),
       sync_waiters_(disks_.size()),
       flush_in_flight_(disks_.size(), false) {
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(!disks_.empty());
-  MONO_CHECK(config_.dirty_limit > 0);
-  MONO_CHECK(config_.memory_bandwidth > 0);
+  MONO_CHECK(config_.dirty_limit > Bytes(0));
+  MONO_CHECK(config_.memory_bandwidth > monoutil::BytesPerSecond(0));
   // Disk names look like "machine3.disk0"; the machine part keys our traces.
   trace_prefix_ = disks_[0]->name().substr(0, disks_[0]->name().find('.'));
   if (monotrace::TelemetryEnabled()) {
     dirty_gauge_ = monotrace::MetricsRegistry::Global().Gauge(
         "cache." + trace_prefix_ + ".dirty_bytes");
-    dirty_gauge_->Set(static_cast<double>(total_dirty_), sim_->now());
+    dirty_gauge_->Set(static_cast<double>(total_dirty_.count()), sim_->now().seconds());
   }
   sim_->RegisterAuditable(this);
 }
 
 void BufferCacheSim::TraceDirtyBytes() const {
   if (dirty_gauge_ != nullptr && monotrace::TelemetryEnabled()) {
-    dirty_gauge_->Set(static_cast<double>(total_dirty_), sim_->now());
+    dirty_gauge_->Set(static_cast<double>(total_dirty_.count()), sim_->now().seconds());
   }
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Counter("os-cache", trace_prefix_ + ".dirty-bytes", sim_->now(),
-                    static_cast<double>(total_dirty_));
+    tracer->Counter("os-cache", trace_prefix_ + ".dirty-bytes", sim_->now().seconds(),
+                    static_cast<double>(total_dirty_.count()));
   }
 }
 
@@ -60,8 +60,8 @@ void BufferCacheSim::UpdateOverLimit() {
   over_limit_ = over;
 }
 
-double BufferCacheSim::over_limit_seconds() const {
-  double total = over_limit_seconds_;
+SimTime BufferCacheSim::over_limit_seconds() const {
+  SimTime total = over_limit_seconds_;
   if (over_limit_) {
     total += sim_->now() - over_limit_since_;
   }
@@ -76,8 +76,8 @@ void BufferCacheSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
   const SimTime now = sim_->now();
   const char* source = "buffer-cache";
 
-  Bytes dirty_sum = 0;
-  Bytes flushed_sum = 0;
+  Bytes dirty_sum;
+  Bytes flushed_sum;
   int flushes_in_flight = 0;
   for (size_t d = 0; d < disks_.size(); ++d) {
     dirty_sum += dirty_per_disk_[d];
@@ -85,7 +85,7 @@ void BufferCacheSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
     if (flush_in_flight_[d]) {
       ++flushes_in_flight;
     }
-    audit.ExpectLazy(dirty_per_disk_[d] >= 0, now, source, "dirty-non-negative", [&] {
+    audit.ExpectLazy(dirty_per_disk_[d] >= Bytes(0), now, source, "dirty-non-negative", [&] {
       std::ostringstream out;
       out << "disk " << d << " dirty " << dirty_per_disk_[d];
       return out.str();
@@ -144,7 +144,7 @@ void BufferCacheSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
                    });
 
   if (phase == AuditPhase::kDrain) {
-    audit.ExpectLazy(total_dirty_ == 0, now, source, "drained-dirty", [&] {
+    audit.ExpectLazy(total_dirty_ == Bytes(0), now, source, "drained-dirty", [&] {
       std::ostringstream out;
       out << total_dirty_ << " dirty byte(s) left after the event queue drained";
       return out.str();
@@ -170,8 +170,8 @@ void BufferCacheSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
 
 void BufferCacheSim::Write(int disk_index, Bytes bytes, std::function<void()> done) {
   MONO_CHECK(disk_index >= 0 && static_cast<size_t>(disk_index) < disks_.size());
-  MONO_CHECK(bytes >= 0);
-  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
+  MONO_CHECK(bytes >= Bytes(0));
+  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > Bytes(0)) {
     // Over the dirty limit: throttle the writer until flushing frees headroom, and
     // make sure flushing is actually running.
     blocked_writes_.push_back(
@@ -184,8 +184,8 @@ void BufferCacheSim::Write(int disk_index, Bytes bytes, std::function<void()> do
 
 void BufferCacheSim::WriteSync(int disk_index, Bytes bytes, std::function<void()> done) {
   MONO_CHECK(disk_index >= 0 && static_cast<size_t>(disk_index) < disks_.size());
-  MONO_CHECK(bytes >= 0);
-  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > 0) {
+  MONO_CHECK(bytes >= Bytes(0));
+  if (total_dirty_ + bytes > config_.dirty_limit && total_dirty_ > Bytes(0)) {
     blocked_writes_.push_back(
         PendingWrite{disk_index, bytes, std::move(done), true, sim_->now()});
     MaybeStartWriteback(/*pressure=*/true);
@@ -210,13 +210,13 @@ void BufferCacheSim::AdmitWrite(int disk_index, Bytes bytes, std::function<void(
     MaybeStartWriteback(/*pressure=*/true);
     return;
   }
-  const SimTime copy_time = static_cast<double>(bytes) / config_.memory_bandwidth;
+  const SimTime copy_time = bytes / config_.memory_bandwidth;
   sim_->ScheduleAfter(copy_time, std::move(done), "cache-copy");
   MaybeStartWriteback(/*pressure=*/total_dirty_ >= config_.dirty_limit);
 }
 
 void BufferCacheSim::MaybeStartWriteback(bool pressure) {
-  if (writeback_running_ || total_dirty_ == 0) {
+  if (writeback_running_ || total_dirty_ == Bytes(0)) {
     return;
   }
   if (pressure) {
@@ -232,7 +232,7 @@ void BufferCacheSim::MaybeStartWriteback(bool pressure) {
         config_.writeback_delay,
         [this] {
           writeback_armed_ = false;
-          if (total_dirty_ > 0) {
+          if (total_dirty_ > Bytes(0)) {
             writeback_running_ = true;
             PumpFlusher();
           }
@@ -245,14 +245,14 @@ void BufferCacheSim::PumpFlusher() {
   if (!writeback_running_) {
     return;
   }
-  if (total_dirty_ == 0 && active_flushes_ == 0) {
+  if (total_dirty_ == Bytes(0) && active_flushes_ == 0) {
     // Cache fully drained; future writes re-arm the delayed writeback timer.
     writeback_running_ = false;
     return;
   }
   // Issue one flush per idle disk, dirtiest disk's data first.
   for (size_t d = 0; d < disks_.size(); ++d) {
-    if (flush_in_flight_[d] || dirty_per_disk_[d] == 0) {
+    if (flush_in_flight_[d] || dirty_per_disk_[d] == Bytes(0)) {
       continue;
     }
     const Bytes chunk = std::min(dirty_per_disk_[d], config_.flush_chunk);
@@ -267,7 +267,8 @@ void BufferCacheSim::PumpFlusher() {
       if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
         tracer->CompleteOnLane("os-cache",
                                disks_[static_cast<size_t>(disk_index)]->name() + ".flush",
-                               "writeback-flush", "disk", flush_start, sim_->now());
+                               "writeback-flush", "disk", flush_start.seconds(),
+                               sim_->now().seconds());
       }
       OnFlushDone(disk_index, chunk);
     });
@@ -283,12 +284,12 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
   flushed_per_disk_[d] += bytes;
   total_dirty_ -= bytes;
   total_flushed_ += bytes;
-  MONO_CHECK(dirty_per_disk_[d] >= 0);
+  MONO_CHECK(dirty_per_disk_[d] >= Bytes(0));
   UpdateOverLimit();
   TraceDirtyBytes();
   static monotrace::MetricCounter* flushed_metric =
       monotrace::MetricsRegistry::Global().Get("cache.bytes_flushed");
-  flushed_metric->Add(static_cast<double>(bytes));
+  flushed_metric->Add(static_cast<double>(bytes.count()));
 
   // Release sync writers whose bytes are now durable.
   while (!sync_waiters_[d].empty() &&
@@ -301,7 +302,7 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
   // Admit throttled writers that now fit under the limit. A write larger than the
   // limit itself is admitted once the cache is empty (it then flushes under pressure).
   while (!blocked_writes_.empty() &&
-         (total_dirty_ == 0 ||
+         (total_dirty_ == Bytes(0) ||
           total_dirty_ + blocked_writes_.front().bytes <= config_.dirty_limit)) {
     PendingWrite write = std::move(blocked_writes_.front());
     blocked_writes_.pop_front();
@@ -309,7 +310,7 @@ void BufferCacheSim::OnFlushDone(int disk_index, Bytes bytes) {
       static monotrace::LatencyHistogram* wait_hist =
           monotrace::MetricsRegistry::Global().Histogram(
               "cache.blocked_write_wait_seconds");
-      wait_hist->Add(sim_->now() - write.blocked_at);
+      wait_hist->Add((sim_->now() - write.blocked_at).seconds());
     }
     AdmitWrite(write.disk_index, write.bytes, std::move(write.done), write.sync);
   }

@@ -62,12 +62,12 @@ class BufferCacheSim : public Auditable {
   // True if background writeback is actively issuing disk writes.
   bool flushing() const { return active_flushes_ > 0; }
 
-  // Always-on saturation integral (telemetry tentpole): virtual seconds the
+  // Always-on saturation integral (telemetry tentpole): virtual time the
   // cache spent at or over its dirty limit — the window where writers run at
   // disk speed instead of memory speed (§2.2's invisible contention). The
   // companion per-writer stall distribution is the
   // "cache.blocked_write_wait_seconds" histogram in the metrics registry.
-  double over_limit_seconds() const;
+  monoutil::SimTime over_limit_seconds() const;
 
   // Invariant auditing (audit.h): byte conservation (per disk, submitted ==
   // flushed + dirty; total_dirty == Σ per-disk dirty), flusher bookkeeping
@@ -81,7 +81,7 @@ class BufferCacheSim : public Auditable {
     monoutil::Bytes bytes;
     std::function<void()> done;
     bool sync = false;
-    SimTime blocked_at = 0.0;  // When the writer hit the dirty limit.
+    SimTime blocked_at;  // When the writer hit the dirty limit.
   };
   struct SyncWaiter {
     monoutil::Bytes flushed_threshold;
@@ -110,8 +110,8 @@ class BufferCacheSim : public Auditable {
   std::vector<monoutil::Bytes> flushed_per_disk_;
   std::vector<std::deque<SyncWaiter>> sync_waiters_;  // Per disk, thresholds ascending.
   std::vector<bool> flush_in_flight_;
-  monoutil::Bytes total_dirty_ = 0;
-  monoutil::Bytes total_flushed_ = 0;
+  monoutil::Bytes total_dirty_;
+  monoutil::Bytes total_flushed_;
   int active_flushes_ = 0;
   bool writeback_armed_ = false;   // A delayed start is scheduled.
   bool writeback_running_ = false; // Writeback keeps pumping until the cache drains.
@@ -119,8 +119,8 @@ class BufferCacheSim : public Auditable {
   std::deque<PendingWrite> blocked_writes_;
 
   // Over-dirty-limit time (UpdateOverLimit / over_limit_seconds()).
-  double over_limit_seconds_ = 0.0;
-  SimTime over_limit_since_ = 0.0;
+  SimTime over_limit_seconds_;
+  SimTime over_limit_since_;
   bool over_limit_ = false;
 
   // Registry handles resolved once at construction (per-machine gauge name).

@@ -59,7 +59,7 @@ struct BufferCacheConfig {
   // dirty_ratio applied to the ~60 GB workers of §5.1).
   monoutil::Bytes dirty_limit = monoutil::GiB(8);
   // Delay before background writeback begins flushing dirty data.
-  monoutil::SimTime writeback_delay = 30.0;
+  monoutil::SimTime writeback_delay = monoutil::Seconds(30);
   // Size of each background flush request issued to a disk.
   monoutil::Bytes flush_chunk = monoutil::MiB(16);
   // Memory copy bandwidth governing how fast a cached write "completes".

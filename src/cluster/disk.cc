@@ -11,9 +11,9 @@ namespace {
 CapacityFn MakeCapacity(const DiskConfig& config) {
   switch (config.type) {
     case DiskType::kHdd:
-      return HddCapacity(config.bandwidth, config.seek_alpha);
+      return HddCapacity(config.bandwidth.bps(), config.seek_alpha);
     case DiskType::kSsd:
-      return SsdCapacity(config.bandwidth, config.ssd_channels,
+      return SsdCapacity(config.bandwidth.bps(), config.ssd_channels,
                          config.ssd_single_stream_fraction);
   }
   MONO_CHECK_MSG(false, "unknown disk type");
@@ -22,8 +22,9 @@ CapacityFn MakeCapacity(const DiskConfig& config) {
 
 double NominalBandwidth(const DiskConfig& config) {
   // Utilization is measured against peak bandwidth, which for an SSD is only reached
-  // with several outstanding requests.
-  return config.bandwidth;
+  // with several outstanding requests. (FluidServer capacity is in generic work
+  // units per second; for a disk the work unit is one byte.)
+  return config.bandwidth.bps();
 }
 
 }  // namespace
@@ -41,7 +42,8 @@ DiskSim::~DiskSim() {
 void DiskSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
   const SimTime now = sim_->now();
   const char* source = server_.name().c_str();
-  audit.Expect(bytes_read_ >= 0 && bytes_written_ >= 0, now, source,
+  audit.Expect(bytes_read_ >= monoutil::Bytes(0) && bytes_written_ >= monoutil::Bytes(0),
+               now, source,
                "byte-counters-non-negative", "cumulative read/write bytes went negative");
   audit.ExpectLazy(active_reads_ >= 0 && active_reads_ <= server_.active(), now, source,
                    "active-read-bookkeeping", [&] {
@@ -60,11 +62,11 @@ void DiskSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
 }
 
 void DiskSim::ReadImpl(monoutil::Bytes bytes, InlineCallback&& done) {
-  MONO_CHECK(bytes >= 0);
+  MONO_CHECK(bytes >= monoutil::Bytes(0));
   bytes_read_ += bytes;
   ++active_reads_;
   server_.Submit(
-      static_cast<double>(bytes),
+      static_cast<double>(bytes.count()),
       [this, done = std::move(done)]() mutable {
         --active_reads_;
         done();
@@ -73,7 +75,7 @@ void DiskSim::ReadImpl(monoutil::Bytes bytes, InlineCallback&& done) {
 }
 
 void DiskSim::WriteImpl(monoutil::Bytes bytes, InlineCallback&& done) {
-  MONO_CHECK(bytes >= 0);
+  MONO_CHECK(bytes >= monoutil::Bytes(0));
   bytes_written_ += bytes;
   // A write interleaved with reads thrashes the head; writes alone are batched by
   // the elevator and close to free. The weight is fixed at submission, which is a
@@ -86,7 +88,7 @@ void DiskSim::WriteImpl(monoutil::Bytes bytes, InlineCallback&& done) {
   // were calibrated against.
   const double weight = active_reads_ > 0 ? config_.write_contention_weight_mixed
                                           : config_.write_contention_weight_solo;
-  server_.Submit(static_cast<double>(bytes), std::move(done), weight,
+  server_.Submit(static_cast<double>(bytes.count()), std::move(done), weight,
                  /*share_weight=*/1.0);
 }
 

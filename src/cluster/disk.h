@@ -50,12 +50,14 @@ class DiskSim : public Auditable {
   const DiskConfig& config() const { return config_; }
 
   // Device bandwidth for a single streaming request (the utilization denominator).
-  double nominal_bandwidth() const { return server_.nominal_capacity(); }
+  monoutil::BytesPerSecond nominal_bandwidth() const {
+    return monoutil::BytesPerSecond(server_.nominal_capacity());
+  }
 
   // Always-on utilization/saturation integrals (see FluidServer): virtual
-  // seconds with any request in service, and the subset at full capacity.
-  double busy_seconds() const { return server_.busy_seconds(); }
-  double saturated_seconds() const { return server_.saturated_seconds(); }
+  // time with any request in service, and the subset at full capacity.
+  monoutil::SimTime busy_seconds() const { return server_.busy_seconds(); }
+  monoutil::SimTime saturated_seconds() const { return server_.saturated_seconds(); }
 
   void EnableTrace() { server_.EnableTrace(); }
   const RateTrace& rate_trace() const { return server_.rate_trace(); }
@@ -88,8 +90,8 @@ class DiskSim : public Auditable {
   Simulation* sim_;
   DiskConfig config_;
   FluidServer server_;
-  monoutil::Bytes bytes_read_ = 0;
-  monoutil::Bytes bytes_written_ = 0;
+  monoutil::Bytes bytes_read_;
+  monoutil::Bytes bytes_written_;
   int active_reads_ = 0;  // Drives the mixed-vs-solo write contention weight.
 };
 

@@ -32,8 +32,11 @@ class MachineSim {
   int num_disks() const { return static_cast<int>(disks_.size()); }
   const MachineConfig& config() const { return config_; }
 
-  // CPU pool: submit `cpu_seconds` of single-threaded compute.
-  void RunCompute(double cpu_seconds, std::function<void()> done);
+  // CPU pool: submit `cpu_seconds` of single-threaded compute. CPU work is a
+  // FluidServer *work amount* (it stretches under contention), not a span of
+  // the simulated clock, so it is deliberately not a SimTime.
+  void RunCompute(double cpu_seconds,  // mono_lint: allow(raw-unit-double) CPU work units
+                  std::function<void()> done);
   int active_compute() const { return cpu_.active(); }
 
   DiskSim& disk(int index) { return *disks_[static_cast<size_t>(index)]; }
@@ -82,10 +85,10 @@ class ClusterSim {
   // Cumulative cluster-wide device counters; subtract two snapshots to get what an
   // external observer would measure over a window.
   struct UsageCounters {
-    double cpu_seconds = 0.0;
-    monoutil::Bytes disk_read_bytes = 0;
-    monoutil::Bytes disk_write_bytes = 0;
-    monoutil::Bytes network_bytes = 0;
+    double cpu_seconds = 0.0;  // mono_lint: allow(raw-unit-double) CPU work units
+    monoutil::Bytes disk_read_bytes;
+    monoutil::Bytes disk_write_bytes;
+    monoutil::Bytes network_bytes;
   };
   UsageCounters SnapshotUsage() const;
 

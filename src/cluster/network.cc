@@ -33,7 +33,7 @@ constexpr int kSpanningRevalidateInterval = 63;
 
 }  // namespace
 
-void NetworkFabricSim::SideIndex::Erase(double rate, FlowId id) {
+void NetworkFabricSim::SideIndex::Erase(monoutil::BytesPerSecond rate, FlowId id) {
   const auto entry = std::make_pair(rate, id);
   auto it = std::lower_bound(shares.begin(), shares.end(), entry);
   MONO_CHECK(it != shares.end() && *it == entry);
@@ -41,7 +41,8 @@ void NetworkFabricSim::SideIndex::Erase(double rate, FlowId id) {
   rate_sum -= rate;
 }
 
-void NetworkFabricSim::SideIndex::Move(double old_rate, double new_rate, FlowId id) {
+void NetworkFabricSim::SideIndex::Move(monoutil::BytesPerSecond old_rate,
+                                       monoutil::BytesPerSecond new_rate, FlowId id) {
   const auto old_entry = std::make_pair(old_rate, id);
   const auto new_entry = std::make_pair(new_rate, id);
   const auto it = std::lower_bound(shares.begin(), shares.end(), old_entry);
@@ -90,7 +91,7 @@ NetworkFabricSim::NetworkFabricSim(Simulation* sim, int num_machines,
       ingress_traces_(static_cast<size_t>(num_machines)) {
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(num_machines >= 1);
-  MONO_CHECK(nic_bandwidth > 0);
+  MONO_CHECK(nic_bandwidth > monoutil::BytesPerSecond(0));
   side_accum_at_ = sim_->now();
   sim_->RegisterAuditable(this);
 }
@@ -109,7 +110,8 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   FlushPendingConst();
   const SimTime now = sim_->now();
   const char* source = "network-fabric";
-  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  const double bw = nic_bandwidth_.bps();
+  const double eps = 1e-9 * std::max(1.0, bw);
 
   // Per-NIC-side rate sums and maxima, reused below by the bandwidth checks and
   // the max-min bottleneck certification. Recomputed from the flow lists — the
@@ -170,7 +172,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
     last_id = flow->id;
     const size_t src = static_cast<size_t>(flow->src);
     const size_t dst = static_cast<size_t>(flow->dst);
-    const double rate = flow->rate;
+    const double rate = flow->rate.bps();
     egress_sum[src] += rate;
     egress_max[src] = std::max(egress_max[src], rate);
     ingress_sum[dst] += rate;
@@ -189,11 +191,11 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   // patches' maximal-share probes both read the indexes positionally.
   bool indexed_everywhere = true;
   for (size_t k = 0; k < sides_.size(); ++k) {
-    const std::vector<std::pair<double, FlowId>>& shares = sides_[k].shares;
+    const auto& shares = sides_[k].shares;
     uint64_t acc = 0;
     bool sorted = true;
     for (size_t i = 0; i < shares.size(); ++i) {
-      acc += entry_fp(shares[i].first, shares[i].second);
+      acc += entry_fp(shares[i].first.bps(), shares[i].second);
       sorted = sorted && (i == 0 || shares[i - 1] < shares[i]);
     }
     indexed_everywhere =
@@ -202,7 +204,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   audit.ExpectLazy(rates_nonneg, now, source, "flow-rate-non-negative", [&] {
     std::ostringstream d;
     for (const Flow* flow : flows_by_id_) {
-      if (flow->rate < 0.0) {
+      if (flow->rate < monoutil::BytesPerSecond(0)) {
         d << "flow " << flow->id << " has rate " << flow->rate;
         break;
       }
@@ -222,7 +224,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
       }
     }
     for (size_t k = 0; k < sides_.size(); ++k) {
-      const std::vector<std::pair<double, FlowId>>& shares = sides_[k].shares;
+      const auto& shares = sides_[k].shares;
       if (!std::is_sorted(shares.begin(), shares.end())) {
         d << (k % 2 == 0 ? "egress" : "ingress") << " share index of machine "
           << k / 2 << " is out of (rate, id) order";
@@ -253,8 +255,8 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
                 egress_count_[mu] == static_cast<int>(egress.size());
     // Each NIC is full duplex: the flows it carries in each direction cannot
     // together exceed its bandwidth.
-    ingress_within = ingress_within && ingress_sum[mu] <= nic_bandwidth_ + eps;
-    egress_within = egress_within && egress_sum[mu] <= nic_bandwidth_ + eps;
+    ingress_within = ingress_within && ingress_sum[mu] <= bw + eps;
+    egress_within = egress_within && egress_sum[mu] <= bw + eps;
     const SideIndex& egress_side = sides_[static_cast<size_t>(EgressKey(m))];
     const SideIndex& ingress_side = sides_[static_cast<size_t>(IngressKey(m))];
     // Entry count plus per-flow membership (above) pins the indexes' contents;
@@ -263,8 +265,8 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
     index_sizes_ok = index_sizes_ok && egress_side.shares.size() == egress.size() &&
                      ingress_side.shares.size() == ingress.size();
     index_sums_ok = index_sums_ok &&
-                    std::abs(egress_side.rate_sum - egress_sum[mu]) <= eps &&
-                    std::abs(ingress_side.rate_sum - ingress_sum[mu]) <= eps;
+                    std::abs(egress_side.rate_sum.bps() - egress_sum[mu]) <= eps &&
+                    std::abs(ingress_side.rate_sum.bps() - ingress_sum[mu]) <= eps;
   }
   audit.ExpectLazy(counts_ok, now, source, "flow-count-bookkeeping", [&] {
     std::ostringstream d;
@@ -283,7 +285,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   audit.ExpectLazy(ingress_within, now, source, "ingress-within-bandwidth", [&] {
     std::ostringstream d;
     for (int m = 0; m < num_machines(); ++m) {
-      if (ingress_sum[static_cast<size_t>(m)] > nic_bandwidth_ + eps) {
+      if (ingress_sum[static_cast<size_t>(m)] > bw + eps) {
         d << "machine " << m << " ingress rate " << ingress_sum[static_cast<size_t>(m)]
           << " exceeds NIC bandwidth " << nic_bandwidth_;
         break;
@@ -294,7 +296,7 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   audit.ExpectLazy(egress_within, now, source, "egress-within-bandwidth", [&] {
     std::ostringstream d;
     for (int m = 0; m < num_machines(); ++m) {
-      if (egress_sum[static_cast<size_t>(m)] > nic_bandwidth_ + eps) {
+      if (egress_sum[static_cast<size_t>(m)] > bw + eps) {
         d << "machine " << m << " egress rate " << egress_sum[static_cast<size_t>(m)]
           << " exceeds NIC bandwidth " << nic_bandwidth_;
         break;
@@ -325,8 +327,8 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
       const auto mu = static_cast<size_t>(m);
       const SideIndex& egress_side = sides_[static_cast<size_t>(EgressKey(m))];
       const SideIndex& ingress_side = sides_[static_cast<size_t>(IngressKey(m))];
-      if (std::abs(egress_side.rate_sum - egress_sum[mu]) > eps ||
-          std::abs(ingress_side.rate_sum - ingress_sum[mu]) > eps) {
+      if (std::abs(egress_side.rate_sum.bps() - egress_sum[mu]) > eps ||
+          std::abs(ingress_side.rate_sum.bps() - ingress_sum[mu]) > eps) {
         d << "machine " << m << ": indexed rate sums (" << egress_side.rate_sum
           << " egress, " << ingress_side.rate_sum << " ingress) drifted from totals ("
           << egress_sum[mu] << ", " << ingress_sum[mu] << ")";
@@ -358,10 +360,10 @@ void NetworkFabricSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   const auto certified = [&](const Flow& flow) {
     const size_t src = static_cast<size_t>(flow.src);
     const size_t dst = static_cast<size_t>(flow.dst);
-    return (egress_sum[src] >= nic_bandwidth_ - eps &&
-            flow.rate >= egress_max[src] - eps) ||
-           (ingress_sum[dst] >= nic_bandwidth_ - eps &&
-            flow.rate >= ingress_max[dst] - eps);
+    return (egress_sum[src] >= bw - eps &&
+            flow.rate.bps() >= egress_max[src] - eps) ||
+           (ingress_sum[dst] >= bw - eps &&
+            flow.rate.bps() >= ingress_max[dst] - eps);
   };
   bool all_certified = true;
   for (const Flow* flow : flows_by_id_) {
@@ -410,8 +412,8 @@ NetworkFabricSim::Flow* NetworkFabricSim::AllocFlow() {
   // Reset what recycling could leak into solver decisions: the stamp (so a
   // stale membership mark can never alias a live flush), the completion key
   // (negative = not yet indexed), and the rate the progress math starts from.
-  flow->rate = 0.0;
-  flow->predicted_done = -1.0;
+  flow->rate = monoutil::BytesPerSecond();
+  flow->predicted_done = SimTime(-1.0);
   flow->visit_stamp = 0;
   return flow;
 }
@@ -422,10 +424,10 @@ NetworkFabricSim::Flow* NetworkFabricSim::FindFlow(FlowId id) const {
   return (it != flows_by_id_.end() && (*it)->id == id) ? *it : nullptr;
 }
 
-double NetworkFabricSim::LegacyMinShare(const Flow& flow) const {
-  const double egress_share =
+monoutil::BytesPerSecond NetworkFabricSim::LegacyMinShare(const Flow& flow) const {
+  const monoutil::BytesPerSecond egress_share =
       nic_bandwidth_ / static_cast<double>(egress_count_[static_cast<size_t>(flow.src)]);
-  const double ingress_share =
+  const monoutil::BytesPerSecond ingress_share =
       nic_bandwidth_ / static_cast<double>(ingress_count_[static_cast<size_t>(flow.dst)]);
   return std::min(egress_share, ingress_share);
 }
@@ -436,7 +438,7 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlowImpl(int src, int dst,
   MONO_CHECK(src >= 0 && src < num_machines());
   MONO_CHECK(dst >= 0 && dst < num_machines());
   MONO_CHECK_MSG(src != dst, "local transfers must not traverse the fabric");
-  MONO_CHECK(bytes >= 0);
+  MONO_CHECK(bytes >= monoutil::Bytes(0));
   MONO_CHECK(static_cast<bool>(done));
 
   const FlowId id = next_id_++;
@@ -444,7 +446,7 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlowImpl(int src, int dst,
   raw->id = id;
   raw->src = src;
   raw->dst = dst;
-  raw->remaining = static_cast<double>(bytes);
+  raw->remaining = static_cast<double>(bytes.count());
   raw->last_update = sim_->now();
   raw->done = std::move(done);
   flows_by_id_.push_back(raw);  // Ids are monotonic: the back keeps the order.
@@ -462,8 +464,8 @@ NetworkFabricSim::FlowId NetworkFabricSim::StartFlowImpl(int src, int dst,
   ++ingress_count_[static_cast<size_t>(dst)];
   egress_flows_[static_cast<size_t>(src)].push_back(raw);
   ingress_flows_[static_cast<size_t>(dst)].push_back(raw);
-  sides_[static_cast<size_t>(EgressKey(src))].Insert(0.0, id);
-  sides_[static_cast<size_t>(IngressKey(dst))].Insert(0.0, id);
+  sides_[static_cast<size_t>(EgressKey(src))].Insert(monoutil::BytesPerSecond(), id);
+  sides_[static_cast<size_t>(IngressKey(dst))].Insert(monoutil::BytesPerSecond(), id);
   total_bytes_ += bytes;
 
   if (share_policy_ == SharePolicy::kMinShareLegacy) {
@@ -511,9 +513,10 @@ bool NetworkFabricSim::TryPatchArrival(Flow* flow) {
   }
   const SideIndex& egress = sides_[static_cast<size_t>(EgressKey(flow->src))];
   const SideIndex& ingress = sides_[static_cast<size_t>(IngressKey(flow->dst))];
-  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
-  const double free_egress = nic_bandwidth_ - egress.rate_sum;
-  const double free_ingress = nic_bandwidth_ - ingress.rate_sum;
+  const double bw = nic_bandwidth_.bps();
+  const double eps = 1e-9 * std::max(1.0, bw);
+  const double free_egress = bw - egress.rate_sum.bps();
+  const double free_ingress = bw - ingress.rate_sum.bps();
   const double rate = std::min(free_egress, free_ingress);
   if (rate <= eps) {
     return false;  // A side is already saturated: its flows would re-level.
@@ -524,13 +527,13 @@ bool NetworkFabricSim::TryPatchArrival(Flow* flow) {
   // unsaturated carried no bottlenecked flow (it had free capacity), so raising
   // its sum constrains nobody. The patched flow itself ends at the top of a
   // saturated side, exactly what the max-min-bottleneck audit certifies.
-  if (free_egress <= rate + eps && egress.max_share() > rate + eps) {
+  if (free_egress <= rate + eps && egress.max_share().bps() > rate + eps) {
     return false;
   }
-  if (free_ingress <= rate + eps && ingress.max_share() > rate + eps) {
+  if (free_ingress <= rate + eps && ingress.max_share().bps() > rate + eps) {
     return false;
   }
-  ApplyRate(flow, rate);
+  ApplyRate(flow, monoutil::BytesPerSecond(rate));
   UpdateCompletionTimer();
   RecordIngressTouched({flow->dst});
   return true;
@@ -540,10 +543,11 @@ bool NetworkFabricSim::CanPatchDeparture(const Flow& flow) const {
   if (!dirty_sides_.empty()) {
     return false;  // Rates are stale mid-epoch; local reasoning would be unsound.
   }
-  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  const double bw = nic_bandwidth_.bps();
+  const double eps = 1e-9 * std::max(1.0, bw);
   for (const int key : {EgressKey(flow.src), IngressKey(flow.dst)}) {
     const SideIndex& side = sides_[static_cast<size_t>(key)];
-    if (side.rate_sum < nic_bandwidth_ - eps) {
+    if (side.rate_sum.bps() < bw - eps) {
       continue;  // Unsaturated side: nobody is pinned here, freeing more changes nothing.
     }
     // Saturated side: the departure is invisible only if every remaining flow has
@@ -556,7 +560,7 @@ bool NetworkFabricSim::CanPatchDeparture(const Flow& flow) const {
       }
       --top;  // The departing flow holds the top share; examine the runner-up.
     }
-    if (side.shares[top].first >= flow.rate - eps) {
+    if (side.shares[top].first.bps() >= flow.rate.bps() - eps) {
       return false;
     }
   }
@@ -643,7 +647,7 @@ void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
       const auto g = static_cast<size_t>(IngressKey(component[i]->dst));
       egress_slot_[i] = static_cast<int>(e);
       ingress_slot_[i] = static_cast<int>(g);
-      const double rate = component[i]->rate;
+      const double rate = component[i]->rate.bps();
       ++slot_unfrozen_[e];
       slot_base_[e] += rate;
       ++slot_unfrozen_[g];
@@ -669,7 +673,7 @@ void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
       ingress_slot_[i] = slot(IngressKey(component[i]->dst));
       for (const int s : {egress_slot_[i], ingress_slot_[i]}) {
         ++slot_unfrozen_[static_cast<size_t>(s)];
-        slot_base_[static_cast<size_t>(s)] += component[i]->rate;
+        slot_base_[static_cast<size_t>(s)] += component[i]->rate.bps();
       }
     }
   }
@@ -707,7 +711,7 @@ void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
         side.shares.size() ==
                 static_cast<size_t>(slot_adj_offset_[su + 1] - slot_adj_offset_[su])
             ? 0.0
-            : std::max(0.0, side.rate_sum - slot_base_[su]);
+            : std::max(0.0, side.rate_sum.bps() - slot_base_[su]);
     slot_base_[su] = base;
     slot_consumed_[su] = base;
   }
@@ -721,9 +725,10 @@ void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
   // would pop, so the freeze order (and every FP result) is as deterministic.
   // Exhausted slots park their cap at infinity, keeping the scan a bare
   // load-and-compare.
+  const double bw = nic_bandwidth_.bps();
   for (int s = 0; s < num_slots; ++s) {
     slot_cap_[static_cast<size_t>(s)] =
-        (nic_bandwidth_ - slot_consumed_[static_cast<size_t>(s)]) /
+        (bw - slot_consumed_[static_cast<size_t>(s)]) /
         slot_unfrozen_[static_cast<size_t>(s)];
   }
   frozen_.resize(n);
@@ -780,7 +785,7 @@ void NetworkFabricSim::SolveMaxMin(const std::vector<Flow*>& component,
       slot_consumed_[o] += level;
       --slot_unfrozen_[o];
       slot_cap_[o] = slot_unfrozen_[o] > 0
-                         ? (nic_bandwidth_ - slot_consumed_[o]) / slot_unfrozen_[o]
+                         ? (bw - slot_consumed_[o]) / slot_unfrozen_[o]
                          : std::numeric_limits<double>::infinity();
     }
     slot_unfrozen_[static_cast<size_t>(s)] = 0;
@@ -824,10 +829,10 @@ bool NetworkFabricSim::CertifiedAfterSolve(const Flow& flow, double eps) const {
       top = std::max(slot_max_affected_[s], slot_unaffected_max_[s]);
     } else {
       const SideIndex& side = sides_[k];
-      sum = side.rate_sum;
-      top = side.max_share();
+      sum = side.rate_sum.bps();
+      top = side.max_share().bps();
     }
-    if (sum >= nic_bandwidth_ - eps && flow.rate >= top - eps) {
+    if (sum >= nic_bandwidth_.bps() - eps && flow.rate.bps() >= top - eps) {
       return true;
     }
   }
@@ -845,18 +850,18 @@ void NetworkFabricSim::SortByFlowId(std::vector<Flow*>* flows) {
   }
 }
 
-void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
-  MONO_CHECK(new_rate > 0);
-  if (new_rate == flow->rate && flow->predicted_done >= 0) {
+void NetworkFabricSim::ApplyRate(Flow* flow, monoutil::BytesPerSecond new_rate) {
+  MONO_CHECK(new_rate > monoutil::BytesPerSecond(0));
+  if (new_rate == flow->rate && flow->predicted_done >= SimTime()) {
     // Unchanged rate: progress stays linear and the indexed completion time is
     // still exact, so leave the flow untouched.
     return;
   }
   // Advance progress under the old rate, then apply the new share.
   const SimTime now = sim_->now();
-  const double dt = now - flow->last_update;
-  if (dt > 0) {
-    flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
+  const SimTime dt = now - flow->last_update;
+  if (dt > SimTime()) {
+    flow->remaining = std::max(0.0, flow->remaining - flow->rate.bps() * dt.seconds());
   }
   flow->last_update = now;
   if (new_rate != flow->rate) {
@@ -876,8 +881,8 @@ void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
 
   // Re-key the predicted completion; the caller refreshes the single timer
   // event once its batch of rate changes is applied.
-  const double done_at = now + flow->remaining / flow->rate;
-  if (flow->predicted_done >= 0) {
+  const SimTime done_at = now + SimTime(flow->remaining / flow->rate.bps());
+  if (flow->predicted_done >= SimTime()) {
     MoveCompletion(flow->predicted_done, done_at, flow->id);
   } else {
     InsertCompletion(done_at, flow->id);
@@ -885,14 +890,14 @@ void NetworkFabricSim::ApplyRate(Flow* flow, double new_rate) {
   flow->predicted_done = done_at;
 }
 
-void NetworkFabricSim::InsertCompletion(double at, FlowId id) {
+void NetworkFabricSim::InsertCompletion(SimTime at, FlowId id) {
   const auto entry = std::make_pair(at, id);
   completions_.insert(std::upper_bound(completions_.begin(), completions_.end(),
                                        entry, std::greater<>()),
                       entry);
 }
 
-void NetworkFabricSim::EraseCompletion(double at, FlowId id) {
+void NetworkFabricSim::EraseCompletion(SimTime at, FlowId id) {
   const auto entry = std::make_pair(at, id);
   auto it = std::lower_bound(completions_.begin(), completions_.end(), entry,
                              std::greater<>());
@@ -900,7 +905,7 @@ void NetworkFabricSim::EraseCompletion(double at, FlowId id) {
   completions_.erase(it);
 }
 
-void NetworkFabricSim::MoveCompletion(double from, double to, FlowId id) {
+void NetworkFabricSim::MoveCompletion(SimTime from, SimTime to, FlowId id) {
   const auto old_entry = std::make_pair(from, id);
   const auto new_entry = std::make_pair(to, id);
   const auto it = std::lower_bound(completions_.begin(), completions_.end(),
@@ -931,13 +936,13 @@ void NetworkFabricSim::MoveCompletion(double from, double to, FlowId id) {
 }
 
 void NetworkFabricSim::UpdateCompletionTimer() {
-  const double want = completions_.empty() ? -1.0 : completions_.back().first;
-  if (want == next_completion_time_ && (want < 0 || next_completion_.pending())) {
+  const SimTime want = completions_.empty() ? SimTime(-1.0) : completions_.back().first;
+  if (want == next_completion_time_ && (want < SimTime() || next_completion_.pending())) {
     return;  // The timer already points at the minimum.
   }
   next_completion_.Cancel();
   next_completion_time_ = want;
-  if (want >= 0) {
+  if (want >= SimTime()) {
     next_completion_ = sim_->ScheduleAt(
         want,
         [this, alive = alive_] {
@@ -974,7 +979,8 @@ void NetworkFabricSim::FlushPending() {
     }
   }
 
-  const double eps = 1e-9 * std::max(1.0, nic_bandwidth_);
+  const double bw = nic_bandwidth_.bps();
+  const double eps = 1e-9 * std::max(1.0, bw);
   // Cascade gate, checked before any seeding work: when a changed side is
   // saturated, the batched arrivals and departures re-level it, every flow
   // crossing it adjusts, and the adjustment propagates through those flows'
@@ -987,7 +993,7 @@ void NetworkFabricSim::FlushPending() {
   // pinned there hold their level) and the boundary check keeps it honest.
   bool try_local = true;
   for (const int key : dirty_sides_) {
-    if (sides_[static_cast<size_t>(key)].rate_sum >= nic_bandwidth_ - eps) {
+    if (sides_[static_cast<size_t>(key)].rate_sum.bps() >= bw - eps) {
       try_local = false;
       break;
     }
@@ -1029,7 +1035,7 @@ void NetworkFabricSim::FlushPending() {
     // flows along — the sub-solve would expand and fall back anyway, so skip
     // straight there rather than paying a doomed round.
     for (const int key : affected_sides_) {
-      if (sides_[static_cast<size_t>(key)].rate_sum >= nic_bandwidth_ - eps) {
+      if (sides_[static_cast<size_t>(key)].rate_sum.bps() >= bw - eps) {
         try_local = false;
         break;
       }
@@ -1082,7 +1088,7 @@ void NetworkFabricSim::FlushPending() {
         double unaffected_max = 0.0;
         for (const auto& [rate, id] : sides_[static_cast<size_t>(key)].shares) {
           if (!is_affected(id)) {
-            unaffected_max = std::max(unaffected_max, rate);
+            unaffected_max = std::max(unaffected_max, rate.bps());
           }
         }
         slot_unaffected_max_[s] = unaffected_max;
@@ -1095,9 +1101,10 @@ void NetworkFabricSim::FlushPending() {
         }
         const auto s = static_cast<size_t>(slot_of_[static_cast<size_t>(key)]);
         const double level = slot_level_[s];
-        const bool saturated = slot_total_[s] >= nic_bandwidth_ - eps;
+        const bool saturated = slot_total_[s] >= bw - eps;
         const double top = std::max(slot_max_affected_[s], slot_unaffected_max_[s]);
-        for (const auto& [rate, id] : sides_[static_cast<size_t>(key)].shares) {
+        for (const auto& [share, id] : sides_[static_cast<size_t>(key)].shares) {
+          const double rate = share.bps();
           if (is_affected(id)) {
             continue;
           }
@@ -1159,10 +1166,11 @@ void NetworkFabricSim::FlushPending() {
     Flow* flow = affected[i];
     // Same skip ApplyRate makes, hoisted: most of a re-solved component keeps
     // its rates bit-for-bit, so the call itself is the cost worth dodging.
-    if (rates_scratch_[i] == flow->rate && flow->predicted_done >= 0) {
+    if (monoutil::BytesPerSecond(rates_scratch_[i]) == flow->rate &&
+        flow->predicted_done >= SimTime()) {
       continue;
     }
-    ApplyRate(flow, rates_scratch_[i]);
+    ApplyRate(flow, monoutil::BytesPerSecond(rates_scratch_[i]));
   }
   UpdateCompletionTimer();
   if (trace_enabled_ || monotrace::Tracer::current() != nullptr) {
@@ -1204,10 +1212,10 @@ void NetworkFabricSim::RecordIngressTouched(const std::vector<int>& machines) {
     for (const int machine : machines) {
       double total = 0.0;
       for (const Flow* flow : ingress_flows_[static_cast<size_t>(machine)]) {
-        total += flow->rate;
+        total += flow->rate.bps();
       }
       tracer->Counter("devices", "machine" + std::to_string(machine) + ".nic-in",
-                      sim_->now(), total / nic_bandwidth_);
+                      sim_->now().seconds(), total / nic_bandwidth_.bps());
     }
   }
 }
@@ -1221,15 +1229,16 @@ void NetworkFabricSim::OnFlowComplete(FlowId id) {
 
   // Guard against firing while a rate change left residual bytes.
   const SimTime now = sim_->now();
-  const double dt = now - flow->last_update;
-  flow->remaining = std::max(0.0, flow->remaining - flow->rate * dt);
+  const SimTime dt = now - flow->last_update;
+  flow->remaining = std::max(0.0, flow->remaining - flow->rate.bps() * dt.seconds());
   flow->last_update = now;
-  MONO_CHECK_MSG(flow->remaining <= std::max(flow->rate, 1.0) * kCompletionEpsilonSeconds,
-                 "flow completion fired early");
+  MONO_CHECK_MSG(
+      flow->remaining <= std::max(flow->rate.bps(), 1.0) * kCompletionEpsilonSeconds,
+      "flow completion fired early");
 
   const int src = flow->src;
   const int dst = flow->dst;
-  const double rate = flow->rate;
+  const monoutil::BytesPerSecond rate = flow->rate;
   InlineCallback done = std::move(flow->done);
   // Decide on the local patch while the departing flow's index entries still
   // exist (the decision reads its sides' sums and top shares).
@@ -1289,25 +1298,25 @@ int NetworkFabricSim::egress_flows(int machine) const {
 }
 
 void NetworkFabricSim::AccumulateSideTime(SimTime now) const {
-  const double dt = now - side_accum_at_;
-  if (dt > 0) {
+  const SimTime dt = now - side_accum_at_;
+  if (dt > SimTime()) {
     busy_side_seconds_ += dt * static_cast<double>(busy_side_count_);
     saturated_side_seconds_ += dt * static_cast<double>(saturated_side_count_);
   }
   side_accum_at_ = now;
 }
 
-double NetworkFabricSim::busy_side_seconds() const {
+monoutil::SimTime NetworkFabricSim::busy_side_seconds() const {
   AccumulateSideTime(sim_->now());
   return busy_side_seconds_;
 }
 
-double NetworkFabricSim::saturated_side_seconds() const {
+monoutil::SimTime NetworkFabricSim::saturated_side_seconds() const {
   AccumulateSideTime(sim_->now());
   return saturated_side_seconds_;
 }
 
-double NetworkFabricSim::flow_rate(FlowId id) const {
+monoutil::BytesPerSecond NetworkFabricSim::flow_rate(FlowId id) const {
   FlushPendingConst();
   const Flow* flow = FindFlow(id);
   MONO_CHECK_MSG(flow != nullptr, "flow_rate: unknown or completed flow");
@@ -1338,7 +1347,7 @@ void NetworkFabricSim::RecordIngressRates(const std::vector<int>& machines) {
   for (int machine : machines) {
     double total = 0.0;
     for (const Flow* flow : ingress_flows_[static_cast<size_t>(machine)]) {
-      total += flow->rate;
+      total += flow->rate.bps();
     }
     ingress_traces_[static_cast<size_t>(machine)].Record(sim_->now(), total);
   }
@@ -1352,7 +1361,7 @@ const RateTrace& NetworkFabricSim::ingress_trace(int machine) const {
 
 double NetworkFabricSim::MeanIngressUtilization(int machine, SimTime from, SimTime to) const {
   MONO_CHECK(trace_enabled_);
-  return ingress_trace(machine).MeanUtilization(from, to, nic_bandwidth_);
+  return ingress_trace(machine).MeanUtilization(from, to, nic_bandwidth_.bps());
 }
 
 }  // namespace monosim

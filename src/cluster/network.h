@@ -120,8 +120,8 @@ class NetworkFabricSim : public Auditable {
   int ingress_flows(int machine) const;
   int egress_flows(int machine) const;
 
-  // Current rate of an active flow (bytes/second). Flushes pending epoch work.
-  double flow_rate(FlowId id) const;
+  // Current rate of an active flow. Flushes pending epoch work.
+  monoutil::BytesPerSecond flow_rate(FlowId id) const;
 
   // Snapshot of the active flow set, for the property tests that compare the
   // incremental allocation against a reference max-min solver. Flushes pending
@@ -130,7 +130,7 @@ class NetworkFabricSim : public Auditable {
     FlowId id;
     int src;
     int dst;
-    double rate;
+    monoutil::BytesPerSecond rate;
   };
   std::vector<FlowInfo> ActiveFlows() const;
 
@@ -158,8 +158,8 @@ class NetworkFabricSim : public Auditable {
   // bandwidth (the side was a max-min bottleneck). Dividing by 2*num_machines
   // gives mean per-side utilization; saturated/busy is the fraction of carried
   // time with no headroom. Both integrate up to now and need no tracing.
-  double busy_side_seconds() const;
-  double saturated_side_seconds() const;
+  monoutil::SimTime busy_side_seconds() const;
+  monoutil::SimTime saturated_side_seconds() const;
 
   // Per-machine ingress rate trace (enabled for all machines by EnableTrace).
   void EnableTrace();
@@ -180,13 +180,15 @@ class NetworkFabricSim : public Auditable {
     FlowId id;
     int src;
     int dst;
-    double remaining;
-    double rate = 0.0;
+    // Bytes still to move, fractional: fluid-model progress under a rate leaves
+    // sub-byte residues mid-transfer, so this is not an exact monoutil::Bytes.
+    double remaining;  // mono_lint: allow(raw-unit-double) fluid fractional bytes
+    monoutil::BytesPerSecond rate;
     SimTime last_update;
     InlineCallback done;
     // Absolute predicted completion time, mirrored in the completion index;
     // negative while the flow has not been assigned a rate yet.
-    double predicted_done = -1.0;
+    SimTime predicted_done{-1.0};
     uint64_t visit_stamp = 0;  // Affected-set membership stamp (one stamp per flush).
   };
 
@@ -198,21 +200,27 @@ class NetworkFabricSim : public Auditable {
   // search plus a short memmove beats node allocation on every re-key. Sides are
   // keyed 2m (egress of machine m) / 2m+1 (ingress of m).
   struct SideIndex {
-    double rate_sum = 0.0;
-    std::vector<std::pair<double, FlowId>> shares;  // Ascending (rate, id).
+    monoutil::BytesPerSecond rate_sum;
+    // Ascending (rate, id). Entries are keyed by the flow's exact stored rate —
+    // bit-identical, not merely close — which the strong key type now enforces
+    // at every call site (a recomputed double cannot sneak in unconverted).
+    std::vector<std::pair<monoutil::BytesPerSecond, FlowId>> shares;
 
-    double max_share() const { return shares.empty() ? 0.0 : shares.back().first; }
-    void Insert(double rate, FlowId id) {
+    monoutil::BytesPerSecond max_share() const {
+      return shares.empty() ? monoutil::BytesPerSecond() : shares.back().first;
+    }
+    void Insert(monoutil::BytesPerSecond rate, FlowId id) {
       shares.insert(std::upper_bound(shares.begin(), shares.end(),
                                      std::make_pair(rate, id)),
                     {rate, id});
       rate_sum += rate;
     }
-    void Erase(double rate, FlowId id);  // The entry must exist.
+    void Erase(monoutil::BytesPerSecond rate, FlowId id);  // The entry must exist.
     // Re-keys an existing entry in place: one rotate over the span between the
     // old and new positions instead of an erase+insert pair of memmoves.
-    void Move(double old_rate, double new_rate, FlowId id);
-    bool Contains(double rate, FlowId id) const {
+    void Move(monoutil::BytesPerSecond old_rate, monoutil::BytesPerSecond new_rate,
+              FlowId id);
+    bool Contains(monoutil::BytesPerSecond rate, FlowId id) const {
       const auto entry = std::make_pair(rate, id);
       if (shares.size() <= 16) {
         // A NIC side usually carries a handful of flows: a predictable linear
@@ -308,18 +316,18 @@ class NetworkFabricSim : public Auditable {
   // Advances `flow`'s progress under its old rate, then installs `new_rate`,
   // updates the share indexes, and re-keys the flow in the completion index.
   // Skips flows whose rate is unchanged, so symmetric recomputes cost nothing.
-  void ApplyRate(Flow* flow, double new_rate);
+  void ApplyRate(Flow* flow, monoutil::BytesPerSecond new_rate);
 
   // Completion index maintenance: the sorted (time, id) entries, the single
   // simulation event tracking their minimum, and the handler that completes
   // every flow due at the fired timestamp.
-  void InsertCompletion(double at, FlowId id);
-  void EraseCompletion(double at, FlowId id);
+  void InsertCompletion(SimTime at, FlowId id);
+  void EraseCompletion(SimTime at, FlowId id);
   // Re-keys an indexed completion in place: one rotate over the span between
   // the old and new positions, instead of an erase (memmove to the end) plus an
   // insert (another). Rate perturbations move a completion a short distance, so
   // the rotated span is usually a handful of entries.
-  void MoveCompletion(double from, double to, FlowId id);
+  void MoveCompletion(SimTime from, SimTime to, FlowId id);
   void UpdateCompletionTimer();
   void OnNextCompletion();
 
@@ -353,7 +361,7 @@ class NetworkFabricSim : public Auditable {
   void FreeFlow(Flow* flow) { free_flows_.push_back(flow); }
   Flow* FindFlow(FlowId id) const;
 
-  double LegacyMinShare(const Flow& flow) const;
+  monoutil::BytesPerSecond LegacyMinShare(const Flow& flow) const;
   void RecordIngressRates(const std::vector<int>& machines);
 
   // Advances the side-time integrals to `now` under the current busy/saturated
@@ -364,8 +372,9 @@ class NetworkFabricSim : public Auditable {
   // read accessors can bring the totals up to now.
   void AccumulateSideTime(SimTime now) const;
   bool SideSaturated(int side_key) const {
-    return sides_[static_cast<size_t>(side_key)].rate_sum >=
-           nic_bandwidth_ - 1e-9 * std::max(1.0, nic_bandwidth_);
+    const double bw = nic_bandwidth_.bps();
+    return sides_[static_cast<size_t>(side_key)].rate_sum.bps() >=
+           bw - 1e-9 * std::max(1.0, bw);
   }
 
   Simulation* sim_;
@@ -395,11 +404,11 @@ class NetworkFabricSim : public Auditable {
   // imminent completion moves little memory. One simulation event tracks the
   // minimum; per-flow events would pay a queue cancel+reschedule for every rate
   // change a cascade re-times.
-  std::vector<std::pair<double, FlowId>> completions_;
+  std::vector<std::pair<SimTime, FlowId>> completions_;
   EventHandle next_completion_;
-  SimTime next_completion_time_ = -1.0;
+  SimTime next_completion_time_{-1.0};
   FlowId next_id_ = 1;
-  monoutil::Bytes total_bytes_ = 0;
+  monoutil::Bytes total_bytes_;
   SharePolicy share_policy_ = SharePolicy::kMaxMinFair;
 
   // Closure-collection scratch (CollectFromSides), reused across calls: flows and
@@ -466,9 +475,9 @@ class NetworkFabricSim : public Auditable {
   // they are advanced to, and the side counts they advance under. busy = sides
   // carrying >= 1 flow; saturated = sides whose rate sum consumes the NIC
   // bandwidth, maintained incrementally at every share-index mutation.
-  mutable double busy_side_seconds_ = 0.0;
-  mutable double saturated_side_seconds_ = 0.0;
-  mutable SimTime side_accum_at_ = 0.0;
+  mutable SimTime busy_side_seconds_;
+  mutable SimTime saturated_side_seconds_;
+  mutable SimTime side_accum_at_;
   int busy_side_count_ = 0;
   int saturated_side_count_ = 0;
 

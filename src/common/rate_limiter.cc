@@ -9,10 +9,12 @@ namespace monoutil {
 
 RateLimiter::RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes)
     : rate_(bytes_per_second),
-      burst_(burst_bytes > 0 ? burst_bytes
-                             : std::max<Bytes>(1, static_cast<Bytes>(bytes_per_second / 100))),
+      burst_(burst_bytes > Bytes(0)
+                 ? burst_bytes
+                 : std::max(Bytes(1),
+                            Bytes(static_cast<int64_t>(bytes_per_second.bps() / 100)))),
       last_fill_(Clock::now()) {
-  MONO_CHECK(bytes_per_second > 0);
+  MONO_CHECK(bytes_per_second > BytesPerSecond(0));
 }
 
 void RateLimiter::set_time_scale(double factor) {
@@ -22,8 +24,8 @@ void RateLimiter::set_time_scale(double factor) {
 }
 
 void RateLimiter::Consume(Bytes n) {
-  MONO_CHECK(n >= 0);
-  double remaining = static_cast<double>(n);
+  MONO_CHECK(n >= Bytes(0));
+  double remaining = static_cast<double>(n.count());
   while (remaining > 0) {
     double wait_seconds = 0.0;
     {
@@ -31,13 +33,13 @@ void RateLimiter::Consume(Bytes n) {
       const auto now = Clock::now();
       const double elapsed = std::chrono::duration<double>(now - last_fill_).count();
       last_fill_ = now;
-      available_ = std::min(static_cast<double>(burst_),
-                            available_ + elapsed * rate_ * time_scale_);
+      available_ = std::min(static_cast<double>(burst_.count()),
+                            available_ + elapsed * rate_.bps() * time_scale_);
       const double take = std::min(available_, remaining);
       available_ -= take;
       remaining -= take;
       if (remaining > 0) {
-        wait_seconds = remaining / (rate_ * time_scale_);
+        wait_seconds = remaining / (rate_.bps() * time_scale_);
         // Sleep in bounded slices so rate changes take effect promptly.
         wait_seconds = std::min(wait_seconds, 0.01);
       }

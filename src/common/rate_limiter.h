@@ -19,7 +19,7 @@ class RateLimiter {
  public:
   // `bytes_per_second` must be > 0. `burst_bytes` bounds how far the bucket can run
   // ahead; it defaults to 1/100th of a second of budget.
-  explicit RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes = 0);
+  explicit RateLimiter(BytesPerSecond bytes_per_second, Bytes burst_bytes = Bytes(0));
 
   // Blocks the calling thread until `n` bytes are admitted. Thread-safe.
   void Consume(Bytes n) EXCLUDES(mutex_);

@@ -65,7 +65,8 @@ std::string FormatDouble(double value, int digits) {
   return buf;
 }
 
-std::string FormatSeconds(double seconds) {
+std::string FormatSeconds(SimTime time) {
+  const double seconds = time.seconds();
   char buf[64];
   if (seconds < 1.0) {
     std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
@@ -77,19 +78,38 @@ std::string FormatSeconds(double seconds) {
   return buf;
 }
 
-std::string FormatBytes(double bytes) {
+std::string FormatBytes(Bytes bytes) {
+  const double value = static_cast<double>(bytes.count());
   char buf[64];
   const double kib = static_cast<double>(kKiB);
   const double mib = static_cast<double>(kMiB);
   const double gib = static_cast<double>(kGiB);
-  if (bytes < kib) {
-    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
-  } else if (bytes < mib) {
-    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / kib);
-  } else if (bytes < gib) {
-    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / mib);
+  if (value < kib) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", value);
+  } else if (value < mib) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", value / kib);
+  } else if (value < gib) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", value / mib);
   } else {
-    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / gib);
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", value / gib);
+  }
+  return buf;
+}
+
+std::string FormatRate(BytesPerSecond rate) {
+  const double value = rate.bps();
+  char buf[64];
+  const double kib = static_cast<double>(kKiB);
+  const double mib = static_cast<double>(kMiB);
+  const double gib = static_cast<double>(kGiB);
+  if (value < kib) {
+    std::snprintf(buf, sizeof(buf), "%.0f B/s", value);
+  } else if (value < mib) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB/s", value / kib);
+  } else if (value < gib) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB/s", value / mib);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", value / gib);
   }
   return buf;
 }

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/units.h"
+
 namespace monoutil {
 
 class TablePrinter {
@@ -33,11 +35,14 @@ class TablePrinter {
 // Formats `value` with `digits` places after the decimal point.
 std::string FormatDouble(double value, int digits = 2);
 
-// Formats a time in seconds with an adaptive unit (ms / s / min).
-std::string FormatSeconds(double seconds);
+// Formats a time with an adaptive unit (ms / s / min).
+std::string FormatSeconds(SimTime time);
 
 // Formats a byte count with an adaptive unit (B / KiB / MiB / GiB).
-std::string FormatBytes(double bytes);
+std::string FormatBytes(Bytes bytes);
+
+// Formats a throughput with an adaptive unit (B/s / KiB/s / MiB/s / GiB/s).
+std::string FormatRate(BytesPerSecond rate);
 
 }  // namespace monoutil
 

@@ -17,16 +17,16 @@ SimulatedBlockDevice::SimulatedBlockDevice(std::string name,
 void SimulatedBlockDevice::ConsumeWithContention(monoutil::Bytes bytes) {
   const int concurrent = active_ops_.fetch_add(1) + 1;
   const double penalty = 1.0 + seek_alpha_ * static_cast<double>(concurrent - 1);
-  const auto charged = static_cast<monoutil::Bytes>(static_cast<double>(bytes) * penalty);
-  charged_bytes_ += charged;
+  const monoutil::Bytes charged = bytes * penalty;
+  charged_bytes_ += charged.count();
   limiter_.Consume(charged);
   active_ops_.fetch_sub(1);
 }
 
 void SimulatedBlockDevice::Write(const std::string& block_id, Buffer data) {
-  const auto bytes = static_cast<monoutil::Bytes>(data.size());
+  const monoutil::Bytes bytes(static_cast<int64_t>(data.size()));
   ConsumeWithContention(bytes);  // Pay the transfer time before the data is durable.
-  bytes_written_ += bytes;
+  bytes_written_ += bytes.count();
   const monoutil::MutexLock lock(mutex_);
   blocks_[block_id] = std::move(data);
 }
@@ -39,9 +39,9 @@ Buffer SimulatedBlockDevice::Read(const std::string& block_id) {
     MONO_CHECK_MSG(it != blocks_.end(), "read of missing block");
     data = it->second;
   }
-  const auto bytes = static_cast<monoutil::Bytes>(data.size());
+  const monoutil::Bytes bytes(static_cast<int64_t>(data.size()));
   ConsumeWithContention(bytes);
-  bytes_read_ += bytes;
+  bytes_read_ += bytes.count();
   return data;
 }
 
@@ -56,9 +56,9 @@ Buffer SimulatedBlockDevice::ReadRange(const std::string& block_id, size_t offse
     data.assign(it->second.begin() + static_cast<ptrdiff_t>(offset),
                 it->second.begin() + static_cast<ptrdiff_t>(offset + length));
   }
-  const auto bytes = static_cast<monoutil::Bytes>(data.size());
+  const monoutil::Bytes bytes(static_cast<int64_t>(data.size()));
   ConsumeWithContention(bytes);
-  bytes_read_ += bytes;
+  bytes_read_ += bytes.count();
   return data;
 }
 

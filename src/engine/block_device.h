@@ -27,14 +27,16 @@ using Buffer = std::vector<uint8_t>;
 class SimulatedBlockDevice {
  public:
   // `bandwidth` applies to both reads and writes. `time_scale` > 1 makes the device
-  // proportionally faster in wall-clock terms (for tests). `seek_alpha` models head
-  // contention: an operation that overlaps n-1 others is charged
+  // proportionally faster in wall-clock terms (for tests). It has no default on
+  // purpose: EngineConfig defaults to 50.0, so a device built with a silent 1.0
+  // here would run 50x slower than its siblings and skew the §6 model bridge by
+  // the same factor — every construction must state its scale. `seek_alpha`
+  // models head contention: an operation that overlaps n-1 others is charged
   // (1 + seek_alpha * (n - 1)) times its bytes, so interleaved accessors lose
   // aggregate throughput exactly as on a real HDD — and a scheduler that runs one
   // operation at a time (the monotasks disk scheduler) never pays it.
-  explicit SimulatedBlockDevice(std::string name,
-                                monoutil::BytesPerSecond bandwidth = monoutil::MiBps(90),
-                                double time_scale = 1.0, double seek_alpha = 0.0);
+  SimulatedBlockDevice(std::string name, monoutil::BytesPerSecond bandwidth,
+                       double time_scale, double seek_alpha = 0.0);
 
   SimulatedBlockDevice(const SimulatedBlockDevice&) = delete;
   SimulatedBlockDevice& operator=(const SimulatedBlockDevice&) = delete;
@@ -54,11 +56,15 @@ class SimulatedBlockDevice {
   size_t BlockSize(const std::string& block_id) const;
   void DeleteBlock(const std::string& block_id);
 
-  monoutil::Bytes bytes_read() const { return bytes_read_.load(); }
-  monoutil::Bytes bytes_written() const { return bytes_written_.load(); }
+  monoutil::Bytes bytes_read() const { return monoutil::Bytes(bytes_read_.load()); }
+  monoutil::Bytes bytes_written() const {
+    return monoutil::Bytes(bytes_written_.load());
+  }
   // Bytes actually charged against the device's bandwidth, including the seek
   // surcharge for overlapping operations (>= bytes_read + bytes_written).
-  monoutil::Bytes charged_bytes() const { return charged_bytes_.load(); }
+  monoutil::Bytes charged_bytes() const {
+    return monoutil::Bytes(charged_bytes_.load());
+  }
   // Operations currently in service.
   int active_ops() const { return active_ops_.load(); }
   const std::string& name() const { return name_; }
@@ -73,9 +79,11 @@ class SimulatedBlockDevice {
   std::atomic<int> active_ops_{0};
   mutable monoutil::Mutex mutex_;
   std::unordered_map<std::string, Buffer> blocks_ GUARDED_BY(mutex_);
-  std::atomic<monoutil::Bytes> bytes_read_{0};
-  std::atomic<monoutil::Bytes> bytes_written_{0};
-  std::atomic<monoutil::Bytes> charged_bytes_{0};
+  // Atomic counters hold raw int64 byte counts (std::atomic<Bytes> would need
+  // the wrapper to be an atomic-friendly scalar); accessors re-wrap them.
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> charged_bytes_{0};
 };
 
 }  // namespace monotasks

@@ -18,7 +18,7 @@ InProcessFabric::InProcessFabric(int num_workers, monoutil::BytesPerSecond nic_b
 void InProcessFabric::Transfer(int src, int dst, monoutil::Bytes bytes) {
   MONO_CHECK(src >= 0 && src < num_workers());
   MONO_CHECK(dst >= 0 && dst < num_workers());
-  if (src == dst || bytes == 0) {
+  if (src == dst || bytes == monoutil::Bytes(0)) {
     return;
   }
   // Consume the sender's egress first, then the receiver's ingress. Serializing the
@@ -27,7 +27,7 @@ void InProcessFabric::Transfer(int src, int dst, monoutil::Bytes bytes) {
   // direction.
   egress_[static_cast<size_t>(src)]->Consume(bytes);
   ingress_[static_cast<size_t>(dst)]->Consume(bytes);
-  total_bytes_ += bytes;
+  total_bytes_ += bytes.count();
 }
 
 }  // namespace monotasks

@@ -18,8 +18,11 @@ namespace monotasks {
 
 class InProcessFabric {
  public:
+  // `time_scale` deliberately has no default — see SimulatedBlockDevice: the
+  // engine's config default (50.0) and a silent component default would mix
+  // wall-clock scales within one run.
   InProcessFabric(int num_workers, monoutil::BytesPerSecond nic_bandwidth,
-                  double time_scale = 1.0);
+                  double time_scale);
 
   InProcessFabric(const InProcessFabric&) = delete;
   InProcessFabric& operator=(const InProcessFabric&) = delete;
@@ -29,7 +32,7 @@ class InProcessFabric {
   void Transfer(int src, int dst, monoutil::Bytes bytes);
 
   int num_workers() const { return static_cast<int>(egress_.size()); }
-  monoutil::Bytes total_bytes() const { return total_bytes_.load(); }
+  monoutil::Bytes total_bytes() const { return monoutil::Bytes(total_bytes_.load()); }
 
  private:
   // Thread safety: the limiter vectors are immutable after construction (each
@@ -37,7 +40,7 @@ class InProcessFabric {
   // here is atomic.
   std::vector<std::unique_ptr<monoutil::RateLimiter>> egress_;
   std::vector<std::unique_ptr<monoutil::RateLimiter>> ingress_;
-  std::atomic<monoutil::Bytes> total_bytes_{0};
+  std::atomic<int64_t> total_bytes_{0};  // Raw count: atomics need a scalar.
 };
 
 }  // namespace monotasks

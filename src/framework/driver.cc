@@ -30,7 +30,7 @@ void JobDriver::SubmitJob(JobSpec spec, DoneCallback done) {
     raw->trace_track = tracer->Track(
         "driver", std::string(executor_->trace_name()) + ":" + raw->spec.name + "#" +
                       std::to_string(jobs_.size() - 1));
-    tracer->BeginSpan(raw->trace_track, raw->spec.name, "job", sim_->now());
+    tracer->BeginSpan(raw->trace_track, raw->spec.name, "job", sim_->now().seconds());
   }
   ActivateNextStage(raw);
 }
@@ -61,8 +61,8 @@ void JobDriver::ActivateNextStage(JobState* job) {
   raw->set_trace_label(std::string(executor_->trace_name()) + ":" + raw->spec().name);
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     if (job->trace_track.valid()) {
-      tracer->BeginSpan(job->trace_track, raw->spec().name, "stage", sim_->now(),
-                        raw->trace_label());
+      tracer->BeginSpan(job->trace_track, raw->spec().name, "stage",
+                        sim_->now().seconds(), raw->trace_label());
     }
   }
   raw->Activate(sim_->now());
@@ -86,9 +86,9 @@ void JobDriver::OnStageComplete(JobState* job, StageExecution* stage) {
   job->result.stages.push_back(stage->result());
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     if (job->trace_track.valid()) {
-      tracer->EndSpan(job->trace_track, sim_->now());  // stage span
+      tracer->EndSpan(job->trace_track, sim_->now().seconds());  // stage span
       if (job->next_stage >= job->spec.stages.size()) {
-        tracer->EndSpan(job->trace_track, sim_->now());  // job span
+        tracer->EndSpan(job->trace_track, sim_->now().seconds());  // job span
       }
     }
   }
@@ -106,7 +106,8 @@ void JobDriver::OnStageComplete(JobState* job, StageExecution* stage) {
     // Deliver via an event so the callback does not run inside executor frames.
     auto done = std::move(job->done);
     auto result = job->result;
-    sim_->ScheduleAfter(0.0, [done = std::move(done), result = std::move(result)] {
+    sim_->ScheduleAfter(monoutil::SimTime(),
+                        [done = std::move(done), result = std::move(result)] {
       done(result);
     }, "job-done");
   }

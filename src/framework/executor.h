@@ -27,7 +27,7 @@ class ExecutorSim {
   virtual void set_monotask_log(MonotaskLog* log) { (void)log; }
 
   // Peak bytes of task data buffered in application memory on any single machine.
-  virtual monoutil::Bytes peak_buffered_bytes() const { return 0; }
+  virtual monoutil::Bytes peak_buffered_bytes() const { return monoutil::Bytes(); }
 
   // Short architecture tag used to prefix trace stage labels ("spark:map" vs
   // "mono:map"), so one trace file can hold both executors' runs of the same job.

@@ -34,11 +34,11 @@ void JobSpec::Validate() const {
     }
     switch (stage.output) {
       case OutputSink::kShuffle:
-        MONO_CHECK_MSG(stage.shuffle_bytes > 0, "kShuffle output requires shuffle_bytes");
+        MONO_CHECK_MSG(stage.shuffle_bytes > monoutil::Bytes(0), "kShuffle output requires shuffle_bytes");
         MONO_CHECK_MSG(s + 1 < stages.size(), "last stage cannot write shuffle data");
         break;
       case OutputSink::kDfs:
-        MONO_CHECK_MSG(stage.output_bytes >= 0, "negative output bytes");
+        MONO_CHECK_MSG(stage.output_bytes >= monoutil::Bytes(0), "negative output bytes");
         break;
       case OutputSink::kNone:
         break;

@@ -38,7 +38,7 @@ struct StageSpec {
   std::string input_file;
   // For kMemory / kShuffle / kNone: total input bytes across all tasks. For kShuffle
   // this must equal the previous stage's shuffle_bytes.
-  monoutil::Bytes input_bytes = 0;
+  monoutil::Bytes input_bytes;
 
   // Total single-threaded CPU work per task, including (de)serialization and any
   // decompression.
@@ -56,8 +56,8 @@ struct StageSpec {
 
   OutputSink output = OutputSink::kNone;
   // Total bytes across all tasks for the chosen sink.
-  monoutil::Bytes shuffle_bytes = 0;
-  monoutil::Bytes output_bytes = 0;
+  monoutil::Bytes shuffle_bytes;
+  monoutil::Bytes output_bytes;
   // If true, shuffle output is kept in memory rather than written to disk (the ML
   // workload in §5.2 stores shuffle data in-memory).
   bool shuffle_to_memory = false;

@@ -48,12 +48,12 @@ struct MonotaskRecord {
   int machine = 0;           // Machine whose resource did the work.
   MonoResource resource = MonoResource::kCpu;
   const char* phase = "";    // "disk-read", "compute", "flow", ... (literal).
-  monoutil::SimTime ready = 0.0;
-  monoutil::SimTime dispatch = 0.0;
-  monoutil::SimTime done = 0.0;
+  monoutil::SimTime ready;
+  monoutil::SimTime dispatch;
+  monoutil::SimTime done;
 
-  double queue_wait() const { return dispatch - ready; }
-  double service() const { return done - dispatch; }
+  monoutil::SimTime queue_wait() const { return dispatch - ready; }
+  monoutil::SimTime service() const { return done - dispatch; }
 };
 
 class MonotaskLog {

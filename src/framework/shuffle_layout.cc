@@ -10,15 +10,15 @@ std::vector<ShufflePortion> ComputeShufflePortions(const TaskAssignment& task) {
   const StageExecution* prev = task.stage->prev();
   MONO_CHECK_MSG(prev != nullptr, "shuffle input requires a previous stage");
   const auto& on_machine = prev->shuffle_bytes_per_machine();
-  Bytes total_shuffle = 0;
+  Bytes total_shuffle;
   for (Bytes b : on_machine) {
     total_shuffle += b;
   }
-  MONO_CHECK_MSG(total_shuffle > 0, "previous stage wrote no shuffle data");
+  MONO_CHECK_MSG(total_shuffle > Bytes(0), "previous stage wrote no shuffle data");
 
   const int num_machines = static_cast<int>(on_machine.size());
   std::vector<ShufflePortion> portions;
-  Bytes assigned = 0;
+  Bytes assigned;
   const int start = task.task_index % num_machines;
   for (int i = 0; i < num_machines; ++i) {
     const int src = (start + i) % num_machines;
@@ -26,13 +26,13 @@ std::vector<ShufflePortion> ComputeShufflePortions(const TaskAssignment& task) {
     if (i == num_machines - 1) {
       portion = task.input_bytes - assigned;
     } else {
-      portion = static_cast<Bytes>(
-          static_cast<double>(task.input_bytes) *
-          static_cast<double>(on_machine[static_cast<size_t>(src)]) /
-          static_cast<double>(total_shuffle));
+      portion = Bytes(static_cast<int64_t>(
+          static_cast<double>(task.input_bytes.count()) *
+          static_cast<double>(on_machine[static_cast<size_t>(src)].count()) /
+          static_cast<double>(total_shuffle.count())));
     }
     assigned += portion;
-    if (portion > 0) {
+    if (portion > Bytes(0)) {
       portions.push_back(ShufflePortion{src, portion});
     }
   }

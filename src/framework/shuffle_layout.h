@@ -18,7 +18,7 @@ namespace monosim {
 
 struct ShufflePortion {
   int src_machine = 0;
-  monoutil::Bytes bytes = 0;
+  monoutil::Bytes bytes;
 };
 
 // Computes the fetch portions for `task` (whose stage reads shuffle data). Portions

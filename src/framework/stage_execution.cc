@@ -17,7 +17,7 @@ StageExecution::StageExecution(const JobSpec& job, int stage_index, int num_mach
       prev_(prev),
       num_machines_(num_machines),
       local_queue_(static_cast<size_t>(num_machines)),
-      shuffle_on_machine_(static_cast<size_t>(num_machines), 0) {
+      shuffle_on_machine_(static_cast<size_t>(num_machines), Bytes()) {
   MONO_CHECK(num_machines >= 1);
   MONO_CHECK(rng != nullptr);
   result_.name = spec_.name;
@@ -26,12 +26,12 @@ StageExecution::StageExecution(const JobSpec& job, int stage_index, int num_mach
   result_.monotask_times.disk_seconds_per_machine.assign(
       static_cast<size_t>(num_machines), 0.0);
   result_.monotask_times.disk_bytes_per_machine.assign(
-      static_cast<size_t>(num_machines), 0);
+      static_cast<size_t>(num_machines), Bytes());
 
   const int n = spec_.num_tasks;
   tasks_.resize(static_cast<size_t>(n));
   taken_.assign(static_cast<size_t>(n), false);
-  task_start_.assign(static_cast<size_t>(n), 0.0);
+  task_start_.assign(static_cast<size_t>(n), SimTime());
 
   // Draw correlated jitter factors and normalize them to mean 1 so stage totals are
   // exactly as specified regardless of the draw.
@@ -69,10 +69,10 @@ StageExecution::StageExecution(const JobSpec& job, int stage_index, int num_mach
   }
   auto share = [&](Bytes total, int t) -> Bytes {
     const double denom = prefix[static_cast<size_t>(n)];
-    const auto lo = static_cast<Bytes>(static_cast<double>(total) *
-                                       prefix[static_cast<size_t>(t)] / denom);
-    const auto hi = static_cast<Bytes>(static_cast<double>(total) *
-                                       prefix[static_cast<size_t>(t) + 1] / denom);
+    const auto lo = Bytes(static_cast<int64_t>(static_cast<double>(total.count()) *
+                                               prefix[static_cast<size_t>(t)] / denom));
+    const auto hi = Bytes(static_cast<int64_t>(static_cast<double>(total.count()) *
+                                               prefix[static_cast<size_t>(t) + 1] / denom));
     return hi - lo;
   };
 
@@ -196,7 +196,8 @@ void StageExecution::OnTaskStarted(int task_index, SimTime now) {
 
 void StageExecution::OnTaskFinished(int task_index, SimTime now) {
   MONO_CHECK(finished_ < spec_.num_tasks);
-  result_.task_seconds += now - task_start_[static_cast<size_t>(task_index)];
+  result_.task_seconds +=
+      (now - task_start_[static_cast<size_t>(task_index)]).seconds();
   ++finished_;
   if (finished_ == spec_.num_tasks) {
     result_.end = now;

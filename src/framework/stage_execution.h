@@ -83,12 +83,12 @@ class StageExecution {
     // DFS input replicas (empty: no locality preference). Any replica holder can
     // read the block locally; a non-holder reads remotely from the primary.
     std::vector<DfsBlock::Replica> replicas;
-    monoutil::Bytes input_bytes = 0;
+    monoutil::Bytes input_bytes;
     double cpu_seconds = 0.0;
     double deser_cpu_seconds = 0.0;
     double decompress_cpu_seconds = 0.0;
-    monoutil::Bytes shuffle_write_bytes = 0;
-    monoutil::Bytes output_bytes = 0;
+    monoutil::Bytes shuffle_write_bytes;
+    monoutil::Bytes output_bytes;
   };
 
   TaskAssignment MakeAssignment(int task_index, int machine) const;

@@ -21,12 +21,12 @@ struct TaskAssignment {
   int input_machine = 0;
   int input_disk = 0;
 
-  monoutil::Bytes input_bytes = 0;
+  monoutil::Bytes input_bytes;
   double cpu_seconds = 0.0;
   double deser_cpu_seconds = 0.0;
   double decompress_cpu_seconds = 0.0;
-  monoutil::Bytes shuffle_write_bytes = 0;
-  monoutil::Bytes output_bytes = 0;
+  monoutil::Bytes shuffle_write_bytes;
+  monoutil::Bytes output_bytes;
 };
 
 }  // namespace monosim

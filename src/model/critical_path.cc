@@ -20,7 +20,7 @@ constexpr int kNumResources = 3;
 // One boundary in the sweep: at `when`, `service_delta` monotasks of
 // `resource` enter/leave service and `queued_delta` enter/leave a queue.
 struct SweepEvent {
-  double when = 0.0;
+  monoutil::SimTime when;
   int resource = 0;
   int service_delta = 0;
   int queued_delta = 0;
@@ -43,8 +43,8 @@ StageCriticalPath Sweep(int stage_index, const std::vector<const MonotaskRecord*
   for (const MonotaskRecord* rec : records) {
     const int r = static_cast<int>(rec->resource);
     ResourceAttribution& attr = out.resources[MonoResourceName(rec->resource)];
-    attr.busy_seconds += rec->service();
-    attr.queue_wait_seconds += rec->queue_wait();
+    attr.busy_seconds += rec->service().seconds();
+    attr.queue_wait_seconds += rec->queue_wait().seconds();
     ++attr.monotasks;
     out.start = std::min(out.start, rec->ready);
     out.end = std::max(out.end, rec->done);
@@ -59,7 +59,7 @@ StageCriticalPath Sweep(int stage_index, const std::vector<const MonotaskRecord*
   std::array<double, kNumResources> critical{};
   int queued = 0;
   size_t i = 0;
-  double t = events.front().when;
+  monoutil::SimTime t = events.front().when;
   while (i < events.size()) {
     // Apply every boundary at time t, then attribute the segment up to the
     // next distinct boundary.
@@ -71,7 +71,7 @@ StageCriticalPath Sweep(int stage_index, const std::vector<const MonotaskRecord*
     if (i >= events.size()) {
       break;
     }
-    const double dt = events[i].when - t;
+    const double dt = (events[i].when - t).seconds();
     t = events[i].when;
     if (dt <= 0) {
       continue;
@@ -189,7 +189,7 @@ std::string CriticalPathReport::ToString() const {
   out << "critical-path report (" << (complete_ ? "complete" : "TRUNCATED — log dropped records")
       << ")\n";
   auto print = [&out](const StageCriticalPath& stage, const std::string& title) {
-    out << "  " << title << ": " << stage.duration() << "s wall";
+    out << "  " << title << ": " << stage.duration().seconds() << "s wall";
     const std::string dominant = stage.dominant();
     if (!dominant.empty()) {
       out << ", dominant " << dominant;

@@ -45,14 +45,16 @@ struct ResourceAttribution {
 
 struct StageCriticalPath {
   int stage_index = 0;
-  double start = 0.0;  // Earliest `ready` among the stage's records.
-  double end = 0.0;    // Latest `done`.
+  monoutil::SimTime start;  // Earliest `ready` among the stage's records.
+  monoutil::SimTime end;    // Latest `done`.
   // Keyed "cpu" / "disk" / "network" (MonoResourceName, = trace categories).
   std::map<std::string, ResourceAttribution> resources;
   double blocked_seconds = 0.0;
   double idle_seconds = 0.0;
 
-  double duration() const { return end > start ? end - start : 0.0; }
+  monoutil::SimTime duration() const {
+    return end > start ? end - start : monoutil::SimTime();
+  }
   // The resource with the largest critical_seconds; empty when no records.
   std::string dominant() const;
 };

@@ -14,16 +14,16 @@ struct HardwareProfile {
   int cores_per_machine = 0;
   int disks_per_machine = 0;
   // Per-disk streaming bandwidth (the rate a well-behaved monotask achieves).
-  monoutil::BytesPerSecond disk_bandwidth = 0;
+  monoutil::BytesPerSecond disk_bandwidth;
   // Per-machine, per-direction NIC bandwidth.
-  monoutil::BytesPerSecond nic_bandwidth = 0;
+  monoutil::BytesPerSecond nic_bandwidth;
 
   int total_cores() const { return num_machines * cores_per_machine; }
   int total_disks() const { return num_machines * disks_per_machine; }
-  double total_disk_bandwidth() const {
+  monoutil::BytesPerSecond total_disk_bandwidth() const {
     return static_cast<double>(total_disks()) * disk_bandwidth;
   }
-  double total_nic_bandwidth() const {
+  monoutil::BytesPerSecond total_nic_bandwidth() const {
     return static_cast<double>(num_machines) * nic_bandwidth;
   }
 
@@ -33,7 +33,8 @@ struct HardwareProfile {
     profile.cores_per_machine = config.machine.cores;
     profile.disks_per_machine = static_cast<int>(config.machine.disks.size());
     profile.disk_bandwidth =
-        config.machine.disks.empty() ? 0 : config.machine.disks[0].bandwidth;
+        config.machine.disks.empty() ? monoutil::BytesPerSecond()
+                                     : config.machine.disks[0].bandwidth;
     profile.nic_bandwidth = config.machine.nic_bandwidth;
     return profile;
   }

@@ -70,7 +70,7 @@ std::vector<StageModelInput> ExtractInputs(const monosim::JobResult& result) {
     input.input_uncompressed_bytes = stage.usage.input_uncompressed_bytes;
     input.disk_write_bytes = stage.usage.disk_write_bytes;
     input.network_bytes = stage.usage.network_bytes;
-    input.observed_seconds = stage.duration();
+    input.observed_seconds = stage.duration().seconds();
     inputs.push_back(std::move(input));
   }
   return inputs;
@@ -86,8 +86,8 @@ MonotasksModel::MonotasksModel(std::vector<StageModelInput> stages,
     : stages_(std::move(stages)), baseline_(baseline) {
   MONO_CHECK(!stages_.empty());
   MONO_CHECK(baseline_.total_cores() > 0);
-  MONO_CHECK(baseline_.total_disk_bandwidth() > 0);
-  MONO_CHECK(baseline_.total_nic_bandwidth() > 0);
+  MONO_CHECK(baseline_.total_disk_bandwidth() > monoutil::BytesPerSecond(0));
+  MONO_CHECK(baseline_.total_nic_bandwidth() > monoutil::BytesPerSecond(0));
 }
 
 const StageModelInput& MonotasksModel::stage_input(int stage) const {
@@ -115,14 +115,15 @@ StageIdealTimes MonotasksModel::IdealTimes(int stage, const HardwareProfile& har
     read_bytes += input.input_uncompressed_bytes - input.input_disk_read_bytes;
   }
   ideal.cpu = cpu_seconds / static_cast<double>(hardware.total_cores());
-  ideal.disk = static_cast<double>(read_bytes + input.disk_write_bytes) /
-               hardware.total_disk_bandwidth();
+  ideal.disk = ((read_bytes + input.disk_write_bytes) /
+                hardware.total_disk_bandwidth())
+                   .seconds();
   // Independent of how the fabric shares bandwidth between flows: max-min fair
   // sharing (work-conserving) moves simulated shuffles *toward* this bound,
   // whereas the old min-of-shares model could strand NIC capacity and sit
   // arbitrarily above it on asymmetric fan-in.
   ideal.network =
-      static_cast<double>(input.network_bytes) / hardware.total_nic_bandwidth();
+      (input.network_bytes / hardware.total_nic_bandwidth()).seconds();
   return ideal;
 }
 

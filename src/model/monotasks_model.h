@@ -40,12 +40,12 @@ struct StageModelInput {
   double cpu_seconds = 0.0;        // Total compute monotask time.
   double deser_cpu_seconds = 0.0;  // Portion spent deserializing input.
   double decompress_cpu_seconds = 0.0;  // Portion spent decompressing input.
-  monoutil::Bytes disk_read_bytes = 0;
-  monoutil::Bytes input_disk_read_bytes = 0;  // Part of the reads that fetched input.
+  monoutil::Bytes disk_read_bytes;
+  monoutil::Bytes input_disk_read_bytes;  // Part of the reads that fetched input.
   // Size the input reads would have if stored uncompressed.
-  monoutil::Bytes input_uncompressed_bytes = 0;
-  monoutil::Bytes disk_write_bytes = 0;
-  monoutil::Bytes network_bytes = 0;
+  monoutil::Bytes input_uncompressed_bytes;
+  monoutil::Bytes disk_write_bytes;
+  monoutil::Bytes network_bytes;
   double observed_seconds = 0.0;   // The stage's actual duration.
 };
 

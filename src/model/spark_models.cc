@@ -9,7 +9,7 @@ SlotBasedModel::SlotBasedModel(const monosim::JobResult& result,
     : baseline_slots_(baseline_slots_per_machine) {
   MONO_CHECK(baseline_slots_per_machine > 0);
   for (const auto& stage : result.stages) {
-    stage_observed_.push_back(stage.duration());
+    stage_observed_.push_back(stage.duration().seconds());
   }
 }
 
@@ -41,10 +41,11 @@ MonotasksModel ModelFromMeasuredUsage(const monosim::JobResult& result,
     input.cpu_seconds = stage.measured.cpu_seconds;
     input.deser_cpu_seconds = 0.0;  // Not measurable in Spark (§6.3).
     input.disk_read_bytes = stage.measured.disk_read_bytes;
-    input.input_disk_read_bytes = 0;  // Indistinguishable from other reads.
+    // Indistinguishable from other reads.
+    input.input_disk_read_bytes = monoutil::Bytes(0);
     input.disk_write_bytes = stage.measured.disk_write_bytes;
     input.network_bytes = stage.measured.network_bytes;
-    input.observed_seconds = stage.duration();
+    input.observed_seconds = stage.duration().seconds();
     inputs.push_back(std::move(input));
   }
   return MonotasksModel(std::move(inputs), baseline);

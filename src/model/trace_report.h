@@ -91,6 +91,9 @@ struct StageTraceSummary {
   // monotasks stages — the §3.1 contention signal the baseline cannot emit.
   std::map<std::string, double> mean_queue;
 
+  // Trace-ingestion boundary: start/end are parsed from monotrace JSON,
+  // which is raw seconds by design.
+  // mono_lint: allow(raw-unit-double)
   double duration() const { return end > start ? end - start : 0.0; }
   // The resource category ("cpu"/"disk"/"network") with the highest
   // utilization; empty when the stage recorded no resource spans.

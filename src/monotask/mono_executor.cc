@@ -37,7 +37,7 @@ MonotasksExecutorSim::MonotasksExecutorSim(Simulation* sim, ClusterSim* cluster,
           sim_, &machine.disk(d), outstanding, config_.fifo_disk_queues));
       worker.disks.back()->SetTraceSeries(TraceProcess(m),
                                           "disk" + std::to_string(d) + "-queue");
-      if (config_.memory_pressure_threshold > 0) {
+      if (config_.memory_pressure_threshold > monoutil::Bytes(0)) {
         WorkerState* state = &worker;
         const monoutil::Bytes threshold = config_.memory_pressure_threshold;
         worker.disks.back()->set_memory_pressure_fn(
@@ -61,7 +61,8 @@ void MonotasksExecutorSim::AuditInvariants(SimAudit& audit, AuditPhase phase) co
   int active_total = 0;
   for (const WorkerState& worker : workers_) {
     active_total += worker.active_multitasks;
-    audit.Expect(worker.active_multitasks >= 0 && worker.buffered_bytes >= 0, now,
+    audit.Expect(worker.active_multitasks >= 0 &&
+                     worker.buffered_bytes >= monoutil::Bytes(0), now,
                  source, "worker-bookkeeping",
                  "negative active multitask count or buffered bytes");
   }
@@ -173,7 +174,8 @@ void MonotasksExecutorSim::OnMultitaskComplete(MonoMultitaskSim* multitask) {
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     tracer->CompleteOnLane(TraceProcess(machine), "multitask",
                            stage->spec().name + "/t" + std::to_string(task_index),
-                           "task", multitask->start_time(), sim_->now(),
+                           "task", multitask->start_time().seconds(),
+                           sim_->now().seconds(),
                            stage->trace_label());
   }
   static monotrace::MetricCounter* tasks_metric =
@@ -187,7 +189,7 @@ void MonotasksExecutorSim::OnMultitaskComplete(MonoMultitaskSim* multitask) {
   auto it = running_.find(multitask->dispatch_id());
   MONO_CHECK(it != running_.end());
   // Deferred destruction: this is called from inside the multitask's own frames.
-  sim_->ScheduleAfter(0.0,
+  sim_->ScheduleAfter(SimTime(),
                       [owned = std::shared_ptr<MonoMultitaskSim>(std::move(it->second))] {});
   running_.erase(it);
 
@@ -237,17 +239,18 @@ void MonotasksExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
   worker.buffered_bytes += bytes;
   peak_buffered_ = std::max(peak_buffered_, worker.buffered_bytes);
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
-                    static_cast<double>(worker.buffered_bytes));
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now().seconds(),
+                    static_cast<double>(worker.buffered_bytes.count()));
   }
 }
 
 void MonotasksExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
   WorkerState& worker = workers_[static_cast<size_t>(machine)];
-  worker.buffered_bytes = std::max<monoutil::Bytes>(0, worker.buffered_bytes - bytes);
+  worker.buffered_bytes =
+      std::max(monoutil::Bytes(0), worker.buffered_bytes - bytes);
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
-                    static_cast<double>(worker.buffered_bytes));
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now().seconds(),
+                    static_cast<double>(worker.buffered_bytes.count()));
   }
 }
 

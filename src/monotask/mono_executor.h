@@ -55,7 +55,7 @@ struct MonoConfig {
   // §3.5 memory regulation: when a machine's buffered task data exceeds this many
   // bytes, its disk schedulers prioritize write monotasks (clearing output buffers
   // out of memory) over reads. 0 disables the policy (the paper's implementation).
-  monoutil::Bytes memory_pressure_threshold = 0;
+  monoutil::Bytes memory_pressure_threshold;
   // Fixed cost of the leading compute monotask that deserializes the task
   // description and builds the monotask DAG.
   monoutil::SimTime task_launch_overhead = monoutil::Millis(5);
@@ -116,7 +116,7 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
     int active_multitasks = 0;
     int next_write_disk = 0;
     int next_serve_disk = 0;
-    monoutil::Bytes buffered_bytes = 0;
+    monoutil::Bytes buffered_bytes;
   };
 
   void TryDispatch(int machine);
@@ -134,7 +134,7 @@ class MonotasksExecutorSim : public ExecutorSim, public Auditable {
   // (determinism contract, DESIGN §10).
   std::unordered_map<uint64_t, std::unique_ptr<MonoMultitaskSim>> running_;
   uint64_t next_dispatch_id_ = 0;
-  monoutil::Bytes peak_buffered_ = 0;
+  monoutil::Bytes peak_buffered_;
   MonotaskLog* monotask_log_ = nullptr;
 };
 

@@ -35,7 +35,7 @@ MonoMultitaskSim::MonoMultitaskSim(MonotasksExecutorSim* executor,
   write_total_ = assignment_.shuffle_write_bytes + assignment_.output_bytes;
   const bool shuffle_in_memory =
       spec.output == OutputSink::kShuffle && spec.shuffle_to_memory;
-  write_is_io_ = write_total_ > 0 && !shuffle_in_memory;
+  write_is_io_ = write_total_ > Bytes(0) && !shuffle_in_memory;
 }
 
 void MonoMultitaskSim::TraceSpan(int machine, const std::string& lane_base,
@@ -43,7 +43,7 @@ void MonoMultitaskSim::TraceSpan(int machine, const std::string& lane_base,
                                  monoutil::SimTime start) {
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     tracer->CompleteOnLane(executor_->TraceProcess(machine), lane_base, name,
-                           category, start, executor_->sim_->now(),
+                           category, start.seconds(), executor_->sim_->now().seconds(),
                            assignment_.stage->trace_label());
   }
 }
@@ -57,8 +57,10 @@ void MonoMultitaskSim::LogMonotask(MonoResource resource, const char* phase,
   const monoutil::SimTime done = executor_->sim_->now();
   log->Record(MonotaskRecord{dispatch_id_,
                              assignment_.stage->result().stage_index, machine,
-                             resource, phase, done - service - wait,
-                             done - service, done});
+                             resource, phase,
+                             done - monoutil::Seconds(service) -
+                                 monoutil::Seconds(wait),
+                             done - monoutil::Seconds(service), done});
 }
 
 void MonoMultitaskSim::Start() {
@@ -71,8 +73,8 @@ void MonoMultitaskSim::Start() {
   if (spec.input == InputSource::kDfs) {
     usage.disk_read_bytes += assignment_.input_bytes;
     usage.input_disk_read_bytes += assignment_.input_bytes;
-    usage.input_uncompressed_bytes += static_cast<Bytes>(
-        static_cast<double>(assignment_.input_bytes) * spec.input_compression_ratio);
+    usage.input_uncompressed_bytes +=
+        assignment_.input_bytes * spec.input_compression_ratio;
     if (!assignment_.input_local) {
       usage.network_bytes += assignment_.input_bytes;
     }
@@ -96,7 +98,7 @@ void MonoMultitaskSim::StartInputPhase() {
 
   const bool has_input_io =
       (spec.input == InputSource::kDfs || spec.input == InputSource::kShuffle) &&
-      assignment_.input_bytes > 0;
+      assignment_.input_bytes > Bytes(0);
   if (!has_input_io) {
     StartComputePhase();
     return;
@@ -118,7 +120,7 @@ void MonoMultitaskSim::StartInputPhase() {
                          TraceSpan(assignment_.machine,
                                    "disk" + std::to_string(assignment_.input_disk),
                                    "disk-read", "disk",
-                                   executor_->sim_->now() - service);
+                                   executor_->sim_->now() - monoutil::Seconds(service));
                          OnInputPieceDone();
                        });
     } else {
@@ -144,18 +146,20 @@ void MonoMultitaskSim::StartInputPhase() {
                         TraceSpan(assignment_.input_machine,
                                   "disk" + std::to_string(assignment_.input_disk),
                                   "serve-read", "disk",
-                                  executor_->sim_->now() - service);
+                                  executor_->sim_->now() - monoutil::Seconds(service));
                         const SimTime flow_start = executor_->sim_->now();
                         fabric.StartFlow(assignment_.input_machine, assignment_.machine,
                                          assignment_.input_bytes,
                                          [this, &times, flow_start] {
                                            times.network_seconds +=
-                                               executor_->sim_->now() - flow_start;
+                                               (executor_->sim_->now() - flow_start)
+                                                   .seconds();
                                            ++times.network_count;
                                            LogMonotask(
                                                MonoResource::kNetwork, "block-flow",
                                                assignment_.machine,
-                                               executor_->sim_->now() - flow_start,
+                                               (executor_->sim_->now() - flow_start)
+                                                   .seconds(),
                                                0.0);
                                            TraceSpan(assignment_.machine, "net-in",
                                                      "block-flow", "network", flow_start);
@@ -175,7 +179,7 @@ void MonoMultitaskSim::StartInputPhase() {
   // receiver-admitted fetch set.
   const bool serve_from_disk = !stage->prev()->spec().shuffle_to_memory;
   std::vector<ShufflePortion> remote;
-  Bytes local_bytes = 0;
+  Bytes local_bytes;
   for (const ShufflePortion& portion : ComputeShufflePortions(assignment_)) {
     if (portion.src_machine == assignment_.machine) {
       local_bytes += portion.bytes;
@@ -184,13 +188,13 @@ void MonoMultitaskSim::StartInputPhase() {
     }
   }
   auto& usage = stage->result().usage;
-  pending_input_pieces_ = (local_bytes > 0 ? 1 : 0) + static_cast<int>(remote.size());
+  pending_input_pieces_ = (local_bytes > Bytes(0) ? 1 : 0) + static_cast<int>(remote.size());
   if (pending_input_pieces_ == 0) {
     StartComputePhase();
     return;
   }
 
-  if (local_bytes > 0) {
+  if (local_bytes > Bytes(0)) {
     if (serve_from_disk) {
       usage.disk_read_bytes += local_bytes;
       const int disk = executor_->PickServeDisk(assignment_.machine);
@@ -205,11 +209,11 @@ void MonoMultitaskSim::StartInputPhase() {
             LogMonotask(MonoResource::kDisk, "shuffle-read", assignment_.machine,
                         service, wait);
             TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
-                      "shuffle-read", "disk", executor_->sim_->now() - service);
+                      "shuffle-read", "disk", executor_->sim_->now() - monoutil::Seconds(service));
             OnInputPieceDone();
           });
     } else {
-      executor_->sim_->ScheduleAfter(0.0, [this] { OnInputPieceDone(); });
+      executor_->sim_->ScheduleAfter(SimTime(), [this] { OnInputPieceDone(); });
     }
   }
 
@@ -245,12 +249,15 @@ void MonoMultitaskSim::StartInputPhase() {
                     fabric.StartFlow(portion.src_machine, assignment_.machine,
                                      portion.bytes, [piece_done, flow_start, &times, this] {
                                        times.network_seconds +=
-                                           executor_->sim_->now() - flow_start;
+                                           (executor_->sim_->now() - flow_start)
+                                               .seconds();
                                        ++times.network_count;
                                        LogMonotask(
                                            MonoResource::kNetwork, "shuffle-fetch",
                                            assignment_.machine,
-                                           executor_->sim_->now() - flow_start, 0.0);
+                                           (executor_->sim_->now() - flow_start)
+                                               .seconds(),
+                                           0.0);
                                        TraceSpan(assignment_.machine, "net-in",
                                                  "shuffle-fetch", "network", flow_start);
                                        piece_done();
@@ -272,7 +279,7 @@ void MonoMultitaskSim::StartInputPhase() {
                                        TraceSpan(portion.src_machine,
                                                  "disk" + std::to_string(disk),
                                                  "serve-read", "disk",
-                                                 executor_->sim_->now() - service);
+                                                 executor_->sim_->now() - monoutil::Seconds(service));
                                        send_back();
                                      });
                   } else {
@@ -300,7 +307,7 @@ void MonoMultitaskSim::StartComputePhase() {
     static monotrace::LatencyHistogram* dep_blocked =
         monotrace::MetricsRegistry::Global().Histogram(
             "mono.compute.dep_blocked_seconds");
-    dep_blocked->Add(executor_->sim_->now() - start_time_);
+    dep_blocked->Add((executor_->sim_->now() - start_time_).seconds());
   }
   executor_->cpu_scheduler(assignment_.machine)
       .Enqueue(assignment_.cpu_seconds, [this, &times](double service,
@@ -313,7 +320,7 @@ void MonoMultitaskSim::StartComputePhase() {
         LogMonotask(MonoResource::kCpu, "compute", assignment_.machine, service,
                     wait);
         TraceSpan(assignment_.machine, "cpu", "compute", "cpu",
-                  executor_->sim_->now() - service);
+                  executor_->sim_->now() - monoutil::Seconds(service));
         // Input buffers are released once compute has transformed them; the output
         // buffer exists until the write monotask retires it.
         executor_->RemoveBuffered(assignment_.machine, assignment_.input_bytes);
@@ -340,7 +347,7 @@ void MonoMultitaskSim::StartWritePhase() {
         LogMonotask(MonoResource::kDisk, "disk-write", assignment_.machine,
                     service, wait);
         TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
-                  "disk-write", "disk", executor_->sim_->now() - service);
+                  "disk-write", "disk", executor_->sim_->now() - monoutil::Seconds(service));
         executor_->RemoveBuffered(assignment_.machine, write_total_);
         Finish();
       });

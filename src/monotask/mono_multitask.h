@@ -66,11 +66,11 @@ class MonoMultitaskSim {
   MonotasksExecutorSim* executor_;
   TaskAssignment assignment_;
   uint64_t dispatch_id_;
-  monoutil::SimTime start_time_ = 0.0;
+  monoutil::SimTime start_time_;
 
   int pending_input_pieces_ = 0;
   bool network_slot_held_ = false;
-  monoutil::Bytes write_total_ = 0;
+  monoutil::Bytes write_total_;
   bool write_is_io_ = false;
 };
 

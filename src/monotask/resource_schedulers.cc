@@ -73,11 +73,11 @@ void CpuSchedulerSim::Dispatch() {
     RecordQueue();
     ++running_;
     const SimTime dispatched = sim_->now();
-    const double wait = dispatched - item.enqueued;
+    const double wait = (dispatched - item.enqueued).seconds();
     machine_->RunCompute(
         item.cpu_seconds, [this, dispatched, wait, done = std::move(item.done)] {
           --running_;
-          const double service = sim_->now() - dispatched;
+          const double service = (sim_->now() - dispatched).seconds();
           RecordCpuTimes(service, wait);
           // Admit the next monotask before reporting completion so the core never
           // idles waiting for downstream bookkeeping.
@@ -144,10 +144,10 @@ void DiskSchedulerSim::Dispatch() {
     RecordQueue();
     ++running_;
     const SimTime dispatched = sim_->now();
-    const double wait = dispatched - item.enqueued;
+    const double wait = (dispatched - item.enqueued).seconds();
     auto on_done = [this, dispatched, wait, done = std::move(item.done)] {
       --running_;
-      const double service = sim_->now() - dispatched;
+      const double service = (sim_->now() - dispatched).seconds();
       RecordDiskTimes(service, wait);
       Dispatch();
       done(service, wait);
@@ -173,7 +173,7 @@ void NetworkSchedulerSim::Acquire(std::function<void(double)> granted) {
     granted(0.0);
     return;
   }
-  waiting_.push_back(Waiter{sim_ != nullptr ? sim_->now() : 0.0,
+  waiting_.push_back(Waiter{sim_ != nullptr ? sim_->now() : SimTime(),
                             std::move(granted)});
   RecordQueue();
 }
@@ -185,7 +185,7 @@ void NetworkSchedulerSim::Release() {
     waiting_.pop_front();
     RecordQueue();
     const double wait =
-        sim_ != nullptr ? sim_->now() - waiter.enqueued : 0.0;
+        sim_ != nullptr ? (sim_->now() - waiter.enqueued).seconds() : 0.0;
     RecordNetAcquireWait(wait);
     waiter.granted(wait);  // Slot transfers directly to the next waiter.
     return;

@@ -80,7 +80,7 @@ class CpuSchedulerSim {
     }
     if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
       if (!trace_series_.empty()) {
-        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+        tracer->Counter(trace_process_, trace_series_, sim_->now().seconds(),
                         static_cast<double>(queue_.size()));
       }
     }
@@ -155,7 +155,7 @@ class DiskSchedulerSim {
     }
     if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
       if (!trace_series_.empty()) {
-        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+        tracer->Counter(trace_process_, trace_series_, sim_->now().seconds(),
                         static_cast<double>(queue_length()));
       }
     }
@@ -209,7 +209,7 @@ class NetworkSchedulerSim {
   void RecordQueue() {
     if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
       if (sim_ != nullptr && !trace_series_.empty()) {
-        tracer->Counter(trace_process_, trace_series_, sim_->now(),
+        tracer->Counter(trace_process_, trace_series_, sim_->now().seconds(),
                         static_cast<double>(waiting_.size()));
       }
     }

@@ -20,7 +20,7 @@ SparkExecutorSim::SparkExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPoo
   MONO_CHECK(sim_ != nullptr);
   MONO_CHECK(cluster_ != nullptr);
   MONO_CHECK(pool_ != nullptr);
-  MONO_CHECK(config_.chunk_bytes > 0);
+  MONO_CHECK(config_.chunk_bytes > monoutil::Bytes(0));
   MONO_CHECK(config_.readahead_chunks >= 1);
   MONO_CHECK(config_.max_parallel_fetches >= 1);
   sim_->RegisterAuditable(this);
@@ -37,7 +37,7 @@ void SparkExecutorSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const 
   for (const MachineState& state : machines_) {
     busy_total += state.busy_slots;
     audit.Expect(state.busy_slots >= 0 && state.active_serve_reads >= 0 &&
-                     state.buffered_bytes >= 0,
+                     state.buffered_bytes >= monoutil::Bytes(0),
                  now, source, "machine-bookkeeping",
                  "negative slot, serve-read, or buffered-byte count");
   }
@@ -125,8 +125,8 @@ void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
     // slot was claimed, so launch overhead is inside the span.
     tracer->CompleteOnLane(TraceProcess(machine), "slot",
                            stage->spec().name + "/t" + std::to_string(task_index),
-                           "task", task->start_time(), sim_->now(),
-                           stage->trace_label());
+                           "task", task->start_time().seconds(),
+                           sim_->now().seconds(), stage->trace_label());
   }
   static monotrace::MetricCounter* tasks_metric =
       monotrace::MetricsRegistry::Global().Get("spark.tasks_completed");
@@ -139,7 +139,8 @@ void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
   auto it = running_.find(task->dispatch_id());
   MONO_CHECK(it != running_.end());
   // shared_ptr because std::function requires a copyable callable.
-  sim_->ScheduleAfter(0.0, [owned = std::shared_ptr<SparkTaskSim>(std::move(it->second))] {});
+  sim_->ScheduleAfter(SimTime(),
+                      [owned = std::shared_ptr<SparkTaskSim>(std::move(it->second))] {});
   running_.erase(it);
   stage->OnTaskFinished(task_index, sim_->now());
   TryDispatch(machine);
@@ -172,7 +173,7 @@ void SparkExecutorSim::ServeRead(int machine, monoutil::Bytes bytes,
       static monotrace::LatencyHistogram* wait_hist =
           monotrace::MetricsRegistry::Global().Histogram(
               "spark.serve_read.queue_wait_seconds");
-      wait_hist->Add(sim_->now() - requested);
+      wait_hist->Add((sim_->now() - requested).seconds());
     }
     const SimTime dispatched = sim_->now();
     const int disk = PickServeDisk(machine);
@@ -182,7 +183,7 @@ void SparkExecutorSim::ServeRead(int machine, monoutil::Bytes bytes,
         static monotrace::LatencyHistogram* service_hist =
             monotrace::MetricsRegistry::Global().Histogram(
                 "spark.serve_read.service_seconds");
-        service_hist->Add(sim_->now() - dispatched);
+        service_hist->Add((sim_->now() - dispatched).seconds());
       }
       MachineState& state = machines_[static_cast<size_t>(machine)];
       --state.active_serve_reads;
@@ -217,17 +218,17 @@ void SparkExecutorSim::AddBuffered(int machine, monoutil::Bytes bytes) {
   state.buffered_bytes += bytes;
   peak_buffered_ = std::max(peak_buffered_, state.buffered_bytes);
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
-                    static_cast<double>(state.buffered_bytes));
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now().seconds(),
+                    static_cast<double>(state.buffered_bytes.count()));
   }
 }
 
 void SparkExecutorSim::RemoveBuffered(int machine, monoutil::Bytes bytes) {
   MachineState& state = machines_[static_cast<size_t>(machine)];
-  state.buffered_bytes = std::max<monoutil::Bytes>(0, state.buffered_bytes - bytes);
+  state.buffered_bytes = std::max(monoutil::Bytes(0), state.buffered_bytes - bytes);
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now(),
-                    static_cast<double>(state.buffered_bytes));
+    tracer->Counter(TraceProcess(machine), "buffered-bytes", sim_->now().seconds(),
+                    static_cast<double>(state.buffered_bytes.count()));
   }
 }
 

@@ -80,7 +80,7 @@ class SparkExecutorSim : public ExecutorSim, public Auditable {
     int busy_slots = 0;
     int next_write_disk = 0;
     int next_serve_disk = 0;
-    monoutil::Bytes buffered_bytes = 0;
+    monoutil::Bytes buffered_bytes;
     int active_serve_reads = 0;
     std::deque<std::function<void()>> serve_read_queue;
   };
@@ -115,7 +115,7 @@ class SparkExecutorSim : public ExecutorSim, public Auditable {
   // (determinism contract, DESIGN §10).
   std::unordered_map<uint64_t, std::unique_ptr<SparkTaskSim>> running_;
   uint64_t next_dispatch_id_ = 0;
-  monoutil::Bytes peak_buffered_ = 0;
+  monoutil::Bytes peak_buffered_;
   monoutil::Rng rng_{20171028};  // Drives chunk jitter only.
 };
 

@@ -24,24 +24,27 @@ SparkTaskSim::SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment
   const Bytes chunk = executor_->config().chunk_bytes;
 
   has_input_io_ = (spec.input == InputSource::kDfs || spec.input == InputSource::kShuffle) &&
-                  assignment_.input_bytes > 0;
+                  assignment_.input_bytes > Bytes(0);
   const Bytes write_total = assignment_.shuffle_write_bytes + assignment_.output_bytes;
   const bool shuffle_in_memory =
       spec.output == OutputSink::kShuffle && spec.shuffle_to_memory;
-  has_output_io_ = write_total > 0 && !shuffle_in_memory;
+  has_output_io_ = write_total > Bytes(0) && !shuffle_in_memory;
 
-  if (assignment_.input_bytes > 0) {
-    total_chunks_ = static_cast<int>((assignment_.input_bytes + chunk - 1) / chunk);
-  } else if (write_total > 0) {
-    total_chunks_ = static_cast<int>((write_total + chunk - 1) / chunk);
+  if (assignment_.input_bytes > Bytes(0)) {
+    total_chunks_ = static_cast<int>(
+        (assignment_.input_bytes + chunk - Bytes(1)).count() / chunk.count());
+  } else if (write_total > Bytes(0)) {
+    total_chunks_ =
+        static_cast<int>((write_total + chunk - Bytes(1)).count() / chunk.count());
   } else {
     total_chunks_ = 1;
   }
   chunk_input_bytes_ =
-      static_cast<double>(assignment_.input_bytes) / static_cast<double>(total_chunks_);
+      static_cast<double>(assignment_.input_bytes.count()) /
+      static_cast<double>(total_chunks_);
   chunk_cpu_seconds_ = assignment_.cpu_seconds / static_cast<double>(total_chunks_);
   chunk_write_bytes_ =
-      static_cast<double>(write_total) / static_cast<double>(total_chunks_);
+      static_cast<double>(write_total.count()) / static_cast<double>(total_chunks_);
 }
 
 void SparkTaskSim::TraceChunkSpan(int machine, const std::string& lane_base,
@@ -49,7 +52,7 @@ void SparkTaskSim::TraceChunkSpan(int machine, const std::string& lane_base,
                                   monoutil::SimTime start) {
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     tracer->CompleteOnLane(executor_->TraceProcess(machine), lane_base, name, category,
-                           start, executor_->sim_->now(),
+                           start.seconds(), executor_->sim_->now().seconds(),
                            assignment_.stage->trace_label());
   }
 }
@@ -65,8 +68,8 @@ void SparkTaskSim::Start() {
   if (spec.input == InputSource::kDfs) {
     usage.disk_read_bytes += assignment_.input_bytes;
     usage.input_disk_read_bytes += assignment_.input_bytes;
-    usage.input_uncompressed_bytes += static_cast<Bytes>(
-        static_cast<double>(assignment_.input_bytes) * spec.input_compression_ratio);
+    usage.input_uncompressed_bytes +=
+        assignment_.input_bytes * spec.input_compression_ratio;
     if (!assignment_.input_local) {
       usage.network_bytes += assignment_.input_bytes;
     }
@@ -84,7 +87,7 @@ void SparkTaskSim::Start() {
   // Set up the reader.
   if (!has_input_io_) {
     reader_done_ = true;
-    delivered_bytes_ = static_cast<double>(assignment_.input_bytes);
+    delivered_bytes_ = static_cast<double>(assignment_.input_bytes.count());
   } else if (spec.input == InputSource::kShuffle) {
     for (const ShufflePortion& portion : ComputeShufflePortions(assignment_)) {
       fetch_queue_.push_back(FetchPortion{portion.src_machine, portion.bytes});
@@ -145,7 +148,7 @@ void SparkTaskSim::IssueBlockRead() {
     DiskSim& disk =
         executor_->cluster_->machine(assignment_.input_machine).disk(assignment_.input_disk);
     if (assignment_.input_local) {
-      disk.Read(static_cast<Bytes>(bytes), [this, bytes, read_start] {
+      disk.Read(Bytes(static_cast<int64_t>(bytes)), [this, bytes, read_start] {
         TraceChunkSpan(assignment_.input_machine,
                        "disk" + std::to_string(assignment_.input_disk), "block-read",
                        "disk", read_start);
@@ -153,17 +156,17 @@ void SparkTaskSim::IssueBlockRead() {
         if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
           reader_done_ = true;
         }
-        OnChunkDelivered(static_cast<Bytes>(bytes));
+        OnChunkDelivered(Bytes(static_cast<int64_t>(bytes)));
       });
     } else {
       // Remote block: disk read on the block's home machine, then a network flow.
-      disk.Read(static_cast<Bytes>(bytes), [this, bytes, read_start] {
+      disk.Read(Bytes(static_cast<int64_t>(bytes)), [this, bytes, read_start] {
         TraceChunkSpan(assignment_.input_machine,
                        "disk" + std::to_string(assignment_.input_disk), "block-read",
                        "disk", read_start);
         const SimTime flow_start = executor_->sim_->now();
         executor_->cluster_->fabric().StartFlow(
-            assignment_.input_machine, assignment_.machine, static_cast<Bytes>(bytes),
+            assignment_.input_machine, assignment_.machine, Bytes(static_cast<int64_t>(bytes)),
             [this, bytes, flow_start] {
               TraceChunkSpan(assignment_.machine, "net-in", "block-flow", "network",
                              flow_start);
@@ -171,7 +174,7 @@ void SparkTaskSim::IssueBlockRead() {
               if (reads_issued_ == total_chunks_ && reads_in_flight_ == 0) {
                 reader_done_ = true;
               }
-              OnChunkDelivered(static_cast<Bytes>(bytes));
+              OnChunkDelivered(Bytes(static_cast<int64_t>(bytes)));
             });
       });
     }
@@ -208,7 +211,7 @@ void SparkTaskSim::StartNextFetch() {
               delivered();
             });
       } else {
-        executor_->sim_->ScheduleAfter(0.0, std::move(delivered));
+        executor_->sim_->ScheduleAfter(SimTime(), std::move(delivered));
       }
       continue;
     }
@@ -247,7 +250,7 @@ void SparkTaskSim::StartNextFetch() {
 }
 
 void SparkTaskSim::OnChunkDelivered(Bytes bytes) {
-  delivered_bytes_ += static_cast<double>(bytes);
+  delivered_bytes_ += static_cast<double>(bytes.count());
   executor_->AddBuffered(assignment_.machine, bytes);
   Pump();
 }
@@ -278,7 +281,7 @@ void SparkTaskSim::AdvanceCompute() {
         ++chunks_computed_;
         if (has_input_io_) {
           executor_->RemoveBuffered(assignment_.machine,
-                                    static_cast<Bytes>(chunk_input_bytes_));
+                                    Bytes(static_cast<int64_t>(chunk_input_bytes_)));
         }
         Pump();
       });
@@ -293,7 +296,7 @@ void SparkTaskSim::AdvanceWriter() {
     return;
   }
   writer_busy_ = true;
-  const Bytes bytes = static_cast<Bytes>(chunk_write_bytes_);
+  const Bytes bytes = Bytes(static_cast<int64_t>(chunk_write_bytes_));
   const int disk = executor_->PickWriteDisk(assignment_.machine);
   const SimTime write_start = executor_->sim_->now();
   auto done = [this, write_start] {

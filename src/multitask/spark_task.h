@@ -68,12 +68,16 @@ class SparkTaskSim {
   SparkExecutorSim* executor_;
   TaskAssignment assignment_;
   uint64_t dispatch_id_;
-  monoutil::SimTime start_time_ = 0.0;
+  monoutil::SimTime start_time_;
 
   // Chunk geometry.
   int total_chunks_ = 1;
+  // Fractional per-chunk amounts (input_bytes / total_chunks): rounding to
+  // whole bytes per chunk would drift the pipeline schedule and digests.
+  // mono_lint: allow(raw-unit-double)
   double chunk_input_bytes_ = 0.0;
   double chunk_cpu_seconds_ = 0.0;
+  // mono_lint: allow(raw-unit-double) -- fractional, see above.
   double chunk_write_bytes_ = 0.0;
   bool has_input_io_ = false;
   bool has_output_io_ = false;
@@ -81,12 +85,13 @@ class SparkTaskSim {
   // Reader state.
   int reads_issued_ = 0;       // Block reader: chunks issued.
   int reads_in_flight_ = 0;
+  // mono_lint: allow(raw-unit-double) -- accumulates fractional chunks.
   double delivered_bytes_ = 0.0;
   bool reader_done_ = false;
   // Shuffle fetch engine state.
   struct FetchPortion {
     int src_machine = 0;
-    monoutil::Bytes bytes = 0;
+    monoutil::Bytes bytes;
   };
   std::deque<FetchPortion> fetch_queue_;
   int active_fetches_ = 0;

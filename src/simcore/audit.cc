@@ -16,7 +16,7 @@ void SimAudit::Report(monoutil::SimTime time, std::string source, std::string in
   // Land the violation on the trace timeline where it occurred, so a broken
   // invariant can be eyeballed next to the spans that triggered it.
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
-    tracer->Instant("audit", source, invariant, time, detail);
+    tracer->Instant("audit", source, invariant, time.seconds(), detail);
   }
   violations_.push_back(
       AuditViolation{time, std::move(source), std::move(invariant), std::move(detail)});

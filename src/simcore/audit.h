@@ -67,7 +67,7 @@ class Auditable {
 
 // One recorded invariant violation.
 struct AuditViolation {
-  monoutil::SimTime time = 0.0;
+  monoutil::SimTime time;
   std::string source;     // Component name, e.g. "disk0" or "buffer-cache".
   std::string invariant;  // Stable identifier, e.g. "weighted-share".
   std::string detail;     // Human-readable specifics (observed vs expected).

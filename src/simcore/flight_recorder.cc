@@ -22,7 +22,7 @@ void FlightRecorder::Dump(std::FILE* out) const {
                trail.size(), total_);
   for (const Entry& e : trail) {
     std::fprintf(out, "  t=%-14.9g seq=%-8" PRIu64 " digest=%016" PRIx64 " %s\n",
-                 e.when, e.seq, e.digest, e.tag);
+                 e.when.seconds(), e.seq, e.digest, e.tag);
   }
 }
 

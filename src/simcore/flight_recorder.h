@@ -32,7 +32,7 @@ class FlightRecorder {
   static constexpr size_t kCapacity = 256;
 
   struct Entry {
-    monoutil::SimTime when = 0.0;
+    monoutil::SimTime when;
     uint64_t seq = 0;
     const char* tag = "";     // Points at the event's literal; never owned.
     uint64_t digest = 0;      // Rolling run digest after mixing this event.

@@ -68,15 +68,15 @@ double FluidServer::CancelRequest(RequestId id) {
 
 void FluidServer::AdvanceProgress() {
   const SimTime now = sim_->now();
-  const double dt = now - last_update_;
-  if (dt > 0) {
+  const SimTime dt = now - last_update_;
+  if (dt > SimTime()) {
     double rate_sum = 0.0;
     for (auto& req : active_) {
       // Clamp exactly as total_served() does for its between-events extrapolation:
       // a completion event can fire a rounding error past a request's finish time,
       // and crediting the overshoot would let served_ drift past the
       // served-conservation bound over long runs.
-      const double served = std::min(req.remaining, req.rate * dt);
+      const double served = std::min(req.remaining, req.rate * dt.seconds());
       req.remaining -= served;
       served_ += served;
       rate_sum += req.rate;
@@ -170,7 +170,7 @@ void FluidServer::Reschedule() {
   }
   if (monotrace::Tracer* tracer = monotrace::Tracer::current()) {
     const double denom = nominal_capacity_ > 0 ? nominal_capacity_ : 1.0;
-    tracer->Counter("devices", name_, last_update_, total_rate / denom);
+    tracer->Counter("devices", name_, last_update_.seconds(), total_rate / denom);
   }
   // The states visible between events (where contention bugs live) can only be
   // checked here, not from the simulation's event-boundary sweep.
@@ -183,13 +183,14 @@ void FluidServer::Reschedule() {
   if (n == 0) {
     return;
   }
-  double min_time = std::numeric_limits<double>::infinity();
+  SimTime min_time{std::numeric_limits<double>::infinity()};
   for (const auto& req : active_) {
     if (req.rate > 0) {
-      min_time = std::min(min_time, req.remaining / req.rate);
+      min_time = std::min(min_time, SimTime(req.remaining / req.rate));
     }
   }
-  MONO_CHECK_MSG(std::isfinite(min_time), "active request with zero rate would never finish");
+  MONO_CHECK_MSG(std::isfinite(min_time.seconds()),
+                 "active request with zero rate would never finish");
   completion_event_ =
       sim_->ScheduleAfter(min_time, [this] { OnCompletionEvent(); }, "fluid-complete");
 }
@@ -226,10 +227,10 @@ void FluidServer::OnCompletionEvent() {
 double FluidServer::total_served() const {
   // Include progress accrued since the last bookkeeping update.
   double extra = 0.0;
-  const double dt = sim_->now() - last_update_;
-  if (dt > 0) {
+  const SimTime dt = sim_->now() - last_update_;
+  if (dt > SimTime()) {
     for (const auto& req : active_) {
-      extra += std::min(req.remaining, req.rate * dt);
+      extra += std::min(req.remaining, req.rate * dt.seconds());
     }
   }
   return served_ + extra;
@@ -302,7 +303,7 @@ void FluidServer::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
   }
 
   // Served work can never exceed the largest capacity ever granted × elapsed time.
-  const double elapsed = now - created_at_;
+  const double elapsed = (now - created_at_).seconds();
   const double bound = std::max(nominal_capacity_, max_capacity_seen_) * elapsed;
   const double served = total_served();
   audit.ExpectLazy(served <= bound + 1e-6 * std::max(1.0, bound), now, source,

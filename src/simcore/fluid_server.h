@@ -115,8 +115,8 @@ class FluidServer : public Auditable {
   // had no headroom — adding work could only queue). busy - saturated is the
   // window where the device ran but had spare capacity. Both integrate up to
   // the last bookkeeping update; they need no tracing.
-  double busy_seconds() const { return busy_seconds_; }
-  double saturated_seconds() const { return saturated_seconds_; }
+  SimTime busy_seconds() const { return busy_seconds_; }
+  SimTime saturated_seconds() const { return saturated_seconds_; }
 
   // Nominal capacity used as the denominator for utilization: capacity(1) unless
   // overridden via set_nominal_capacity (e.g. a CPU pool's core count).
@@ -149,6 +149,9 @@ class FluidServer : public Auditable {
     double remaining;
     double weight = 1.0;        // Contention weight (capacity-function input).
     double share_weight = 1.0;  // Fair-share weight (capacity-split input).
+    // Unit-agnostic: the server drains abstract work (bytes for disks,
+    // core-seconds for CPU).
+    // mono_lint: allow(raw-unit-double)
     double rate = 0.0;
     InlineCallback done;
   };
@@ -185,10 +188,10 @@ class FluidServer : public Auditable {
   // invocations fall back to a local batch).
   std::vector<InlineCallback> done_scratch_;
   RequestId next_id_ = 1;
-  SimTime last_update_ = 0.0;
-  double served_ = 0.0;
-  double busy_seconds_ = 0.0;
-  double saturated_seconds_ = 0.0;
+  SimTime last_update_;
+  double served_ = 0.0;  // Work units, not a unit-bearing quantity.
+  SimTime busy_seconds_;
+  SimTime saturated_seconds_;
   EventHandle completion_event_;
   SharePolicy share_policy_ = SharePolicy::kWeightedFair;
 
@@ -196,7 +199,7 @@ class FluidServer : public Auditable {
   // current active set, and the largest capacity ever granted (the conservation
   // bound — an SSD's capacity can exceed capacity(1), so nominal alone is too
   // tight a ceiling).
-  SimTime created_at_ = 0.0;
+  SimTime created_at_;
   double last_capacity_ = 0.0;
   double max_capacity_seen_ = 0.0;
 
@@ -211,10 +214,14 @@ CapacityFn ConstantCapacity(double capacity);
 
 // HDD model: full bandwidth for one stream-weight, degrading as
 // 1 / (1 + alpha * (w - 1)) with total contention weight w.
+// Capacity models are in the server's abstract work units per second; disk
+// call sites unwrap BytesPerSecond via .bps().
+// mono_lint: allow(raw-unit-double)
 CapacityFn HddCapacity(double bandwidth, double alpha);
 
 // SSD model: bandwidth scales up with outstanding requests until `channels` worth of
 // weight are busy; `single_stream_fraction` of peak is available to a lone request.
+// mono_lint: allow(raw-unit-double) -- same abstract work units as above.
 CapacityFn SsdCapacity(double bandwidth, int channels, double single_stream_fraction);
 
 }  // namespace monosim

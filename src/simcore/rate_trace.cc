@@ -31,7 +31,7 @@ double RateTrace::Integrate(SimTime from, SimTime to) const {
     const SimTime lo = std::max(seg_start, from);
     const SimTime hi = std::min(std::max(seg_end, seg_start), to);
     if (hi > lo) {
-      total += points_[i].rate * (hi - lo);
+      total += points_[i].rate * (hi - lo).seconds();
     }
   }
   return total;
@@ -40,7 +40,7 @@ double RateTrace::Integrate(SimTime from, SimTime to) const {
 double RateTrace::MeanUtilization(SimTime from, SimTime to, double capacity) const {
   MONO_CHECK(to > from);
   MONO_CHECK(capacity > 0);
-  return Integrate(from, to) / (capacity * (to - from));
+  return Integrate(from, to) / (capacity * (to - from).seconds());
 }
 
 double RateTrace::RateAt(SimTime time) const {
@@ -56,7 +56,7 @@ double RateTrace::RateAt(SimTime time) const {
 
 std::vector<double> RateTrace::SampleWindows(SimTime from, SimTime to, SimTime step,
                                              double capacity) const {
-  MONO_CHECK(step > 0);
+  MONO_CHECK(step > SimTime());
   std::vector<double> windows;
   SimTime t = from;
   for (; t + step <= to; t += step) {

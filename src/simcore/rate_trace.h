@@ -16,6 +16,9 @@ class RateTrace {
  public:
   struct Point {
     monoutil::SimTime time;
+    // Unit-agnostic: traces record fractions-of-capacity (CPU cores) as
+    // well as byte rates.
+    // mono_lint: allow(raw-unit-double)
     double rate;
   };
 
@@ -26,6 +29,7 @@ class RateTrace {
   // real change in the underlying active set (a request completed or was cancelled
   // and the total rate happened to come out equal), so the event stays observable
   // in points().
+  // mono_lint: allow(raw-unit-double) -- unit-agnostic rate, see Point.
   void Record(monoutil::SimTime time, double rate, bool force_point = false);
 
   bool empty() const { return points_.empty(); }

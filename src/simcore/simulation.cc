@@ -78,7 +78,7 @@ Simulation::~Simulation() {
 }
 
 void Simulation::DumpFlightRecorder(std::FILE* out) const {
-  std::fprintf(out, "simulation: t=%.9g fired=%llu digest=%016llx\n", now_,
+  std::fprintf(out, "simulation: t=%.9g fired=%llu digest=%016llx\n", now_.seconds(),
                static_cast<unsigned long long>(fired_),
                static_cast<unsigned long long>(digest_));
   recorder_.Dump(out);
@@ -156,8 +156,9 @@ void Simulation::MixDigest(SimTime when, uint64_t seq, const char* tag) {
     }
   };
   static_assert(sizeof(SimTime) == sizeof(uint64_t));
+  const double when_seconds = when.seconds();
   uint64_t when_bits = 0;
-  std::memcpy(&when_bits, &when, sizeof(when_bits));
+  std::memcpy(&when_bits, &when_seconds, sizeof(when_bits));
   mix_bytes(reinterpret_cast<const unsigned char*>(&when_bits), sizeof(when_bits));
   mix_bytes(reinterpret_cast<const unsigned char*>(&seq), sizeof(seq));
   mix_bytes(reinterpret_cast<const unsigned char*>(tag), std::strlen(tag));

@@ -164,7 +164,7 @@ class Simulation {
   // Schedules `fn` to run `delay` seconds from now (delay must be >= 0).
   template <typename F>
   EventHandle ScheduleAfter(SimTime delay, F&& fn, const char* tag = "") {
-    MONO_CHECK(delay >= 0);
+    MONO_CHECK(delay >= SimTime());
     return ScheduleRecord(now_ + delay, Wrap(std::forward<F>(fn)), tag);
   }
 
@@ -363,11 +363,11 @@ class Simulation {
   // Liveness slot shared with every handle; the destructor nulls it.
   std::shared_ptr<Simulation*> self_slot_;
 
-  SimTime now_ = 0.0;
+  SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t fired_ = 0;
   uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis.
-  SimTime last_fired_time_ = 0.0;
+  SimTime last_fired_time_;
   // Two-level event queue. near_sorted_ (descending by (when, seq), popped
   // from the back) and near_heap_ (flat 4-ary min-heap for entries scheduled
   // after the current batch was carved) hold every entry ordered before the
@@ -378,7 +378,7 @@ class Simulation {
   std::vector<QueueEntry> near_sorted_;
   std::vector<QueueEntry> near_heap_;
   std::vector<QueueEntry> far_;
-  SimTime limit_when_ = -std::numeric_limits<double>::infinity();
+  SimTime limit_when_{-std::numeric_limits<double>::infinity()};
   uint64_t limit_seq_ = 0;
   uint64_t tombstones_ = 0;
   bool compaction_enabled_ = true;

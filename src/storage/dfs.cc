@@ -9,7 +9,7 @@ namespace monosim {
 using monoutil::Bytes;
 
 Bytes DfsFile::total_bytes() const {
-  Bytes total = 0;
+  Bytes total;
   for (const auto& block : blocks) {
     total += block.size;
   }
@@ -30,22 +30,22 @@ DfsSim::DfsSim(int num_machines, int disks_per_machine, int replication, uint64_
 
 const DfsFile& DfsSim::CreateFile(const std::string& name, Bytes total_bytes,
                                   Bytes block_size) {
-  MONO_CHECK(block_size > 0);
-  const int num_blocks =
-      static_cast<int>((total_bytes + block_size - 1) / block_size);
+  MONO_CHECK(block_size > Bytes(0));
+  const int num_blocks = static_cast<int>(
+      (total_bytes + block_size - Bytes(1)).count() / block_size.count());
   return PlaceFile(name, total_bytes, block_size, num_blocks);
 }
 
 const DfsFile& DfsSim::CreateFileWithBlocks(const std::string& name, Bytes total_bytes,
                                             int num_blocks) {
   MONO_CHECK(num_blocks >= 1);
-  const Bytes block_size = (total_bytes + num_blocks - 1) / num_blocks;
+  const Bytes block_size = (total_bytes + Bytes(num_blocks - 1)) / num_blocks;
   return PlaceFile(name, total_bytes, block_size, num_blocks);
 }
 
 const DfsFile& DfsSim::PlaceFile(const std::string& name, Bytes total_bytes,
                                  Bytes block_size, int num_blocks) {
-  MONO_CHECK(total_bytes >= 0);
+  MONO_CHECK(total_bytes >= Bytes(0));
   MONO_CHECK_MSG(files_.find(name) == files_.end(), "file already exists");
 
   DfsFile file;
@@ -65,7 +65,7 @@ const DfsFile& DfsSim::PlaceFile(const std::string& name, Bytes total_bytes,
     }
     file.blocks.push_back(std::move(block));
   }
-  MONO_CHECK_MSG(remaining == 0, "blocks do not cover the file");
+  MONO_CHECK_MSG(remaining == Bytes(0), "blocks do not cover the file");
   auto [it, inserted] = files_.emplace(name, std::move(file));
   MONO_CHECK(inserted);
   return it->second;

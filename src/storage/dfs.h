@@ -19,7 +19,7 @@
 namespace monosim {
 
 struct DfsBlock {
-  monoutil::Bytes size = 0;
+  monoutil::Bytes size;
   // Machine/disk of each replica; replicas[0] is the primary.
   struct Replica {
     int machine = 0;
@@ -30,7 +30,7 @@ struct DfsBlock {
 
 struct DfsFile {
   std::string name;
-  monoutil::Bytes block_size = 0;
+  monoutil::Bytes block_size;
   std::vector<DfsBlock> blocks;
 
   monoutil::Bytes total_bytes() const;

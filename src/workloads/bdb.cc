@@ -38,7 +38,7 @@ constexpr double kPythonCpuNsPerByte = 150.0;     // Q4 external-script map.
 constexpr double kDeserFraction = 0.25;
 
 double CpuSeconds(Bytes bytes, double ns_per_byte) {
-  return static_cast<double>(bytes) * ns_per_byte * 1e-9;
+  return static_cast<double>(bytes.count()) * ns_per_byte * 1e-9;
 }
 
 void EnsureFile(monosim::DfsSim* dfs, const std::string& name, Bytes bytes, int blocks) {
@@ -127,7 +127,7 @@ JobSpec MakeQ3(monosim::DfsSim* dfs, Bytes shuffle_bytes, const std::string& nam
       CpuSeconds(shuffle_bytes, kJoinCpuNsPerByte) / join.num_tasks;
   join.deser_fraction = kDeserFraction;
   join.output = OutputSink::kShuffle;
-  join.shuffle_bytes = static_cast<Bytes>(static_cast<double>(shuffle_bytes) * 0.3);
+  join.shuffle_bytes = shuffle_bytes * 0.3;
 
   StageSpec agg;
   agg.name = name + ".agg";

@@ -25,9 +25,8 @@ JobSpec MakeMlJob(const MlParams& params) {
   job.seed = params.seed;
 
   const double stage_cpu =
-      static_cast<double>(params.stage_bytes) * params.cpu_ns_per_byte * 1e-9;
-  const Bytes shuffle = static_cast<Bytes>(static_cast<double>(params.stage_bytes) *
-                                           params.shuffle_fraction);
+      static_cast<double>(params.stage_bytes.count()) * params.cpu_ns_per_byte * 1e-9;
+  const Bytes shuffle = params.stage_bytes * params.shuffle_fraction;
 
   for (int s = 0; s < params.num_stages; ++s) {
     StageSpec stage;

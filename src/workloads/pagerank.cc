@@ -13,8 +13,8 @@ using monoutil::Bytes;
 JobSpec MakePageRankJob(monosim::DfsSim* dfs, const PageRankParams& params) {
   MONO_CHECK(dfs != nullptr);
   MONO_CHECK(params.iterations >= 1);
-  const Bytes edge_bytes = 16 * params.num_edges;
-  const Bytes rank_bytes = 12 * params.num_vertices;  // vertex id + rank.
+  const Bytes edge_bytes = Bytes(16 * params.num_edges);
+  const Bytes rank_bytes = Bytes(12 * params.num_vertices);  // vertex id + rank.
 
   const std::string edges_file = "pagerank.edges";
   if (!params.edges_in_memory && !dfs->HasFile(edges_file)) {
@@ -25,9 +25,9 @@ JobSpec MakePageRankJob(monosim::DfsSim* dfs, const PageRankParams& params) {
   job.name = "pagerank";
   job.seed = params.seed;
   const double contrib_cpu =
-      static_cast<double>(edge_bytes) * params.cpu_ns_per_byte * 1e-9;
+      static_cast<double>(edge_bytes.count()) * params.cpu_ns_per_byte * 1e-9;
   const double agg_cpu =
-      static_cast<double>(rank_bytes) * params.cpu_ns_per_byte * 2e-9;
+      static_cast<double>(rank_bytes.count()) * params.cpu_ns_per_byte * 2e-9;
 
   for (int i = 0; i < params.iterations; ++i) {
     // Contributions: scan the adjacency structure, emit a contribution per edge,

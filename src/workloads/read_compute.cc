@@ -22,7 +22,7 @@ JobSpec MakeReadComputeJob(monosim::DfsSim* dfs, const ReadComputeParams& params
   stage.num_tasks = params.num_tasks;
   stage.input = InputSource::kDfs;
   stage.input_file = input_file;
-  stage.cpu_seconds_per_task = static_cast<double>(params.total_bytes) *
+  stage.cpu_seconds_per_task = static_cast<double>(params.total_bytes.count()) *
                                params.cpu_ns_per_byte * 1e-9 /
                                static_cast<double>(params.num_tasks);
   stage.deser_fraction = 0.3;

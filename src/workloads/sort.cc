@@ -13,22 +13,24 @@ using monoutil::MiB;
 
 Bytes SortRecordBytes(int values_per_key) {
   MONO_CHECK(values_per_key >= 1);
-  return 8 + 8 * static_cast<Bytes>(values_per_key);
+  return Bytes(8 + 8 * static_cast<int64_t>(values_per_key));
 }
 
 double SortCpuSeconds(Bytes bytes, int values_per_key) {
-  const double record = static_cast<double>(SortRecordBytes(values_per_key));
+  const double record =
+      static_cast<double>(SortRecordBytes(values_per_key).count());
   const double ns_per_byte = kSortCpuPerRecordNs / record + kSortCpuPerByteNs;
-  return static_cast<double>(bytes) * ns_per_byte * 1e-9;
+  return static_cast<double>(bytes.count()) * ns_per_byte * 1e-9;
 }
 
 JobSpec MakeSortJob(monosim::DfsSim* dfs, const SortParams& params) {
   MONO_CHECK(dfs != nullptr);
-  MONO_CHECK(params.total_bytes > 0);
+  MONO_CHECK(params.total_bytes > Bytes(0));
 
   int map_tasks = params.num_map_tasks;
   if (map_tasks == 0) {
-    map_tasks = static_cast<int>((params.total_bytes + MiB(128) - 1) / MiB(128));
+    map_tasks = static_cast<int>((params.total_bytes + MiB(128) - Bytes(1)).count() /
+                                 MiB(128).count());
   }
   const int reduce_tasks =
       params.num_reduce_tasks > 0 ? params.num_reduce_tasks : map_tasks;

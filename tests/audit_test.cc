@@ -75,12 +75,12 @@ TEST(SimAuditTest, DetectsLegacyMinShareNetworkModel) {
   // share, which the stranded m4->m2 flow (50 instead of 200/3) does not.
   ScopedAudit scoped(ScopedAudit::kReport);
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 5, 100.0);
+  NetworkFabricSim fabric(&sim, 5, monoutil::BytesPerSecond(100.0));
   fabric.set_share_policy_for_test(NetworkFabricSim::SharePolicy::kMinShareLegacy);
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 2, 1000, [] {});
-  fabric.StartFlow(4, 2, 200, [] {});
+  fabric.StartFlow(0, 1, monoutil::Bytes(1000), [] {});
+  fabric.StartFlow(0, 1, monoutil::Bytes(1000), [] {});
+  fabric.StartFlow(0, 2, monoutil::Bytes(1000), [] {});
+  fabric.StartFlow(4, 2, monoutil::Bytes(200), [] {});
   sim.Run();
   ASSERT_FALSE(scoped.audit().ok());
   bool bottleneck_flagged = false;
@@ -100,14 +100,14 @@ TEST(SimAuditTest, SymmetricShufflesMaskTheLegacyNetworkBug) {
   // (The flows are started under an absorbed audit: the asymmetric *prefixes* on
   // the way to all-to-all are legitimately flagged, which is the previous test.)
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   fabric.set_share_policy_for_test(NetworkFabricSim::SharePolicy::kMinShareLegacy);
   {
     ScopedAudit absorb(ScopedAudit::kReport);
     for (int src = 0; src < 4; ++src) {
       for (int dst = 0; dst < 4; ++dst) {
         if (src != dst) {
-          fabric.StartFlow(src, dst, 300, [] {});
+          fabric.StartFlow(src, dst, monoutil::Bytes(300), [] {});
         }
       }
     }
@@ -137,7 +137,7 @@ TEST(SimAuditTest, NestedAuditReceivesChecksAndRestoresOuter) {
 TEST(SimAuditTest, SummaryListsViolations) {
   SimAudit audit;  // Standalone, never installed.
   EXPECT_TRUE(audit.ok());
-  audit.Report(1.5, "disk0", "byte-conservation", "submitted 10 != flushed 4 + dirty 5");
+  audit.Report(monoutil::Seconds(1.5), "disk0", "byte-conservation", "submitted 10 != flushed 4 + dirty 5");
   EXPECT_FALSE(audit.ok());
   const std::string summary = audit.Summary();
   EXPECT_NE(summary.find("byte-conservation"), std::string::npos);

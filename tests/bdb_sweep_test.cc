@@ -42,13 +42,15 @@ TEST_P(BdbQuerySweepTest, MonotaskDiskSecondsConsistentWithBytes) {
     const auto& times = stage.monotask_times;
     const monoutil::Bytes moved =
         stage.usage.disk_read_bytes + stage.usage.disk_write_bytes;
-    if (moved == 0) {
+    if (moved == monoutil::Bytes(0)) {
       continue;
     }
     // One monotask per disk at a time: bytes / service time equals device bandwidth.
     const double rate =
-        static_cast<double>(moved) / (times.disk_read_seconds + times.disk_write_seconds);
-    EXPECT_NEAR(rate, monoutil::MiBps(90), monoutil::MiBps(90) * 0.02) << stage.name;
+        static_cast<double>(moved.count()) /
+        (times.disk_read_seconds + times.disk_write_seconds);
+    EXPECT_NEAR(rate, monoutil::MiBps(90).bps(), monoutil::MiBps(90).bps() * 0.02)
+        << stage.name;
   }
 }
 
@@ -58,8 +60,8 @@ TEST_P(BdbQuerySweepTest, ModelIdentityPredictionMatchesObserved) {
       result, monomodel::HardwareProfile::FromCluster(SmallBdbCluster()));
   // Predicting for the hardware the job already ran on must return the observed
   // runtime exactly (the §6.2 scaling anchor).
-  EXPECT_NEAR(model.PredictJobSeconds(model.baseline()), result.duration(),
-              result.duration() * 1e-9);
+  EXPECT_NEAR(model.PredictJobSeconds(model.baseline()), result.duration().seconds(),
+              result.duration().seconds() * 1e-9);
 }
 
 TEST_P(BdbQuerySweepTest, ExecutorsAgreeOnStageStructure) {

@@ -17,7 +17,7 @@ class BufferCacheTest : public ::testing::Test {
   void MakeCache(BufferCacheConfig config, int num_disks = 1) {
     DiskConfig disk_config;
     disk_config.type = DiskType::kHdd;
-    disk_config.bandwidth = 100.0;  // 100 B/s for easy arithmetic.
+    disk_config.bandwidth = monoutil::BytesPerSecond(100.0);  // 100 B/s for easy arithmetic.
     disk_config.seek_alpha = 0.0;
     std::vector<DiskSim*> raw;
     for (int d = 0; d < num_disks; ++d) {
@@ -35,76 +35,76 @@ class BufferCacheTest : public ::testing::Test {
 
 TEST_F(BufferCacheTest, SmallWriteCompletesAtMemorySpeed) {
   BufferCacheConfig config;
-  config.dirty_limit = 1000;
-  config.writeback_delay = 30.0;
-  config.memory_bandwidth = 1000.0;
+  config.dirty_limit = Bytes(1000);
+  config.writeback_delay = monoutil::Seconds(30.0);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1000.0);
   MakeCache(config);
   double done_at = -1.0;
-  cache_->Write(0, 100, [&] { done_at = sim_.now(); });
-  sim_.RunUntil(1.0);
+  cache_->Write(0, Bytes(100), [&] { done_at = sim_.now().seconds(); });
+  sim_.RunUntil(monoutil::Seconds(1.0));
   // 100 B at 1000 B/s of memory bandwidth = 0.1 s; far faster than the 1 s the disk
   // would need.
   EXPECT_NEAR(done_at, 0.1, 1e-9);
-  EXPECT_EQ(disks_[0]->bytes_written(), 0);  // Nothing flushed yet.
+  EXPECT_EQ(disks_[0]->bytes_written(), Bytes(0));  // Nothing flushed yet.
 }
 
 TEST_F(BufferCacheTest, WritebackFlushesAfterDelay) {
   BufferCacheConfig config;
-  config.dirty_limit = 1000;
-  config.writeback_delay = 5.0;
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(1000);
+  config.writeback_delay = monoutil::Seconds(5.0);
+  config.flush_chunk = Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
-  cache_->Write(0, 100, [] {});
-  sim_.RunUntil(4.9);
-  EXPECT_EQ(cache_->total_flushed(), 0);
+  cache_->Write(0, Bytes(100), [] {});
+  sim_.RunUntil(monoutil::Seconds(4.9));
+  EXPECT_EQ(cache_->total_flushed(), Bytes(0));
   sim_.Run();
-  EXPECT_EQ(cache_->total_flushed(), 100);
-  EXPECT_EQ(cache_->total_dirty(), 0);
-  EXPECT_EQ(disks_[0]->bytes_written(), 100);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(100));
+  EXPECT_EQ(cache_->total_dirty(), Bytes(0));
+  EXPECT_EQ(disks_[0]->bytes_written(), Bytes(100));
 }
 
 TEST_F(BufferCacheTest, PressureStartsFlushingImmediately) {
   BufferCacheConfig config;
-  config.dirty_limit = 100;
-  config.writeback_delay = 1000.0;  // Would never fire in this test.
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(100);
+  config.writeback_delay = monoutil::Seconds(1000.0);  // Would never fire in this test.
+  config.flush_chunk = Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
-  cache_->Write(0, 100, [] {});  // Exactly at the limit: flushing must start.
-  sim_.RunUntil(2.0);
-  EXPECT_GT(cache_->total_flushed(), 0);
+  cache_->Write(0, Bytes(100), [] {});  // Exactly at the limit: flushing must start.
+  sim_.RunUntil(monoutil::Seconds(2.0));
+  EXPECT_GT(cache_->total_flushed(), Bytes(0));
 }
 
 TEST_F(BufferCacheTest, OverLimitWritesBlockUntilFlushed) {
   BufferCacheConfig config;
-  config.dirty_limit = 100;
-  config.writeback_delay = 1000.0;
-  config.flush_chunk = 100;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(100);
+  config.writeback_delay = monoutil::Seconds(1000.0);
+  config.flush_chunk = Bytes(100);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
   double first_done = -1.0;
   double second_done = -1.0;
-  cache_->Write(0, 100, [&] { first_done = sim_.now(); });
-  cache_->Write(0, 100, [&] { second_done = sim_.now(); });
+  cache_->Write(0, Bytes(100), [&] { first_done = sim_.now().seconds(); });
+  cache_->Write(0, Bytes(100), [&] { second_done = sim_.now().seconds(); });
   sim_.Run();
   EXPECT_GE(first_done, 0.0);
   // The second write had to wait for the first 100 B flush (1 s at 100 B/s).
   EXPECT_GE(second_done, 1.0);
-  EXPECT_EQ(cache_->total_flushed(), 200);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(200));
 }
 
 TEST_F(BufferCacheTest, FlushContendsWithForegroundReads) {
   BufferCacheConfig config;
-  config.dirty_limit = 50;
-  config.writeback_delay = 1000.0;
-  config.flush_chunk = 100;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(50);
+  config.writeback_delay = monoutil::Seconds(1000.0);
+  config.flush_chunk = Bytes(100);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
   // Fill the cache beyond the limit so flushing starts, then issue a read.
-  cache_->Write(0, 200, [] {});
+  cache_->Write(0, Bytes(200), [] {});
   double read_done = -1.0;
-  disks_[0]->Read(100, [&](/*no args*/) { read_done = sim_.now(); });
+  disks_[0]->Read(Bytes(100), [&](/*no args*/) { read_done = sim_.now().seconds(); });
   sim_.Run();
   // Alone, the read would take 1 s; sharing the disk with flush writes it must take
   // measurably longer.
@@ -113,49 +113,49 @@ TEST_F(BufferCacheTest, FlushContendsWithForegroundReads) {
 
 TEST_F(BufferCacheTest, FlusherDrainsMultipleDisks) {
   BufferCacheConfig config;
-  config.dirty_limit = 10;  // Immediate pressure.
-  config.writeback_delay = 1000.0;
-  config.flush_chunk = 100;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(10);  // Immediate pressure.
+  config.writeback_delay = monoutil::Seconds(1000.0);
+  config.flush_chunk = Bytes(100);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config, /*num_disks=*/2);
-  cache_->Write(0, 300, [] {});
-  cache_->Write(1, 300, [] {});
+  cache_->Write(0, Bytes(300), [] {});
+  cache_->Write(1, Bytes(300), [] {});
   sim_.Run();
-  EXPECT_EQ(disks_[0]->bytes_written(), 300);
-  EXPECT_EQ(disks_[1]->bytes_written(), 300);
-  EXPECT_EQ(cache_->total_dirty(), 0);
+  EXPECT_EQ(disks_[0]->bytes_written(), Bytes(300));
+  EXPECT_EQ(disks_[1]->bytes_written(), Bytes(300));
+  EXPECT_EQ(cache_->total_dirty(), Bytes(0));
 }
 
 TEST_F(BufferCacheTest, WritebackReArmsAfterDrain) {
   BufferCacheConfig config;
-  config.dirty_limit = 1000;
-  config.writeback_delay = 1.0;
-  config.flush_chunk = 100;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(1000);
+  config.writeback_delay = monoutil::Seconds(1.0);
+  config.flush_chunk = Bytes(100);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
-  cache_->Write(0, 50, [] {});
+  cache_->Write(0, Bytes(50), [] {});
   sim_.Run();
-  EXPECT_EQ(cache_->total_flushed(), 50);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(50));
   // A later write must get its own delayed writeback, not be stranded.
-  cache_->Write(0, 60, [] {});
+  cache_->Write(0, Bytes(60), [] {});
   sim_.Run();
-  EXPECT_EQ(cache_->total_flushed(), 110);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(110));
 }
 
 TEST_F(BufferCacheTest, BlockedWritesAdmitInFifoOrder) {
   BufferCacheConfig config;
-  config.dirty_limit = 100;
-  config.writeback_delay = 1000.0;
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(100);
+  config.writeback_delay = monoutil::Seconds(1000.0);
+  config.flush_chunk = Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
-  cache_->Write(0, 100, [] {});  // Fills the cache; the rest throttle.
+  cache_->Write(0, Bytes(100), [] {});  // Fills the cache; the rest throttle.
   std::vector<int> completion_order;
   std::vector<double> completion_times;
   for (int i = 0; i < 3; ++i) {
-    cache_->Write(0, 50, [&, i] {
+    cache_->Write(0, Bytes(50), [&, i] {
       completion_order.push_back(i);
-      completion_times.push_back(sim_.now());
+      completion_times.push_back(sim_.now().seconds());
     });
   }
   sim_.Run();
@@ -167,52 +167,52 @@ TEST_F(BufferCacheTest, BlockedWritesAdmitInFifoOrder) {
   EXPECT_EQ(completion_order[2], 2);
   EXPECT_LE(completion_times[0], completion_times[1]);
   EXPECT_LE(completion_times[1], completion_times[2]);
-  EXPECT_EQ(cache_->total_flushed(), 250);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(250));
 }
 
 TEST_F(BufferCacheTest, SyncWaitersReleaseAcrossInterleavedWrites) {
   BufferCacheConfig config;
-  config.dirty_limit = 1000;
-  config.writeback_delay = 1000.0;  // Sync writes force flushing themselves.
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(1000);
+  config.writeback_delay = monoutil::Seconds(1000.0);  // Sync writes force flushing themselves.
+  config.flush_chunk = Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config);
   // Interleave async and sync writes to the same disk. Flushing is FIFO, so the
   // first sync write is durable once 150 B (async 100 + its own 50) have been
   // flushed, the second once all 250 B have.
   double first_sync_done = -1.0;
   double second_sync_done = -1.0;
-  cache_->Write(0, 100, [] {});
-  cache_->WriteSync(0, 50, [&] { first_sync_done = sim_.now(); });
-  cache_->Write(0, 50, [] {});
-  cache_->WriteSync(0, 50, [&] { second_sync_done = sim_.now(); });
+  cache_->Write(0, Bytes(100), [] {});
+  cache_->WriteSync(0, Bytes(50), [&] { first_sync_done = sim_.now().seconds(); });
+  cache_->Write(0, Bytes(50), [] {});
+  cache_->WriteSync(0, Bytes(50), [&] { second_sync_done = sim_.now().seconds(); });
   sim_.Run();
   // 100 B/s disk: 150 B flushed at t=1.5, 250 B at t=2.5 (memory copies are
   // instantaneous at this bandwidth scale).
   EXPECT_NEAR(first_sync_done, 1.5, 1e-6);
   EXPECT_NEAR(second_sync_done, 2.5, 1e-6);
-  EXPECT_EQ(cache_->total_flushed(), 250);
+  EXPECT_EQ(cache_->total_flushed(), Bytes(250));
 }
 
 TEST_F(BufferCacheTest, BytesAreConservedAfterDrain) {
   BufferCacheConfig config;
-  config.dirty_limit = 120;
-  config.writeback_delay = 2.0;
-  config.flush_chunk = 64;
-  config.memory_bandwidth = 1e6;
+  config.dirty_limit = Bytes(120);
+  config.writeback_delay = monoutil::Seconds(2.0);
+  config.flush_chunk = Bytes(64);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e6);
   MakeCache(config, /*num_disks=*/2);
   // A mix of cached, throttled, and sync writes across both disks.
-  monoutil::Bytes submitted = 0;
+  monoutil::Bytes submitted;
   for (int i = 0; i < 4; ++i) {
-    cache_->Write(i % 2, 70, [] {});
-    submitted += 70;
+    cache_->Write(i % 2, Bytes(70), [] {});
+    submitted += Bytes(70);
   }
-  cache_->WriteSync(0, 30, [] {});
-  submitted += 30;
+  cache_->WriteSync(0, Bytes(30), [] {});
+  submitted += Bytes(30);
   sim_.Run();
   // Every submitted byte must end up flushed: none lost, none duplicated.
   EXPECT_EQ(cache_->total_flushed(), submitted);
-  EXPECT_EQ(cache_->total_dirty(), 0);
+  EXPECT_EQ(cache_->total_dirty(), Bytes(0));
   EXPECT_EQ(disks_[0]->bytes_written() + disks_[1]->bytes_written(), submitted);
   EXPECT_FALSE(cache_->flushing());
 }
@@ -221,7 +221,7 @@ TEST_F(BufferCacheTest, ZeroByteWriteCompletes) {
   BufferCacheConfig config;
   MakeCache(config);
   bool done = false;
-  cache_->Write(0, 0, [&] { done = true; });
+  cache_->Write(0, Bytes(0), [&] { done = true; });
   sim_.Run();
   EXPECT_TRUE(done);
 }

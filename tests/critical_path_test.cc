@@ -28,9 +28,9 @@ MonotaskRecord Rec(int stage, MonoResource resource, double ready, double dispat
   rec.stage_index = stage;
   rec.resource = resource;
   rec.phase = "test";
-  rec.ready = ready;
-  rec.dispatch = dispatch;
-  rec.done = done;
+  rec.ready = monoutil::Seconds(ready);
+  rec.dispatch = monoutil::Seconds(dispatch);
+  rec.done = monoutil::Seconds(done);
   return rec;
 }
 
@@ -42,7 +42,7 @@ TEST(CriticalPathTest, SequentialPhasesGetFullSlices) {
   const CriticalPathReport report = CriticalPathReport::Build(log);
   ASSERT_EQ(report.stages().size(), 1u);
   const StageCriticalPath& stage = report.stages()[0];
-  EXPECT_DOUBLE_EQ(stage.duration(), 14.0);
+  EXPECT_DOUBLE_EQ(stage.duration().seconds(), 14.0);
   EXPECT_DOUBLE_EQ(stage.resources.at("cpu").critical_seconds, 10.0);
   EXPECT_DOUBLE_EQ(stage.resources.at("disk").critical_seconds, 4.0);
   EXPECT_DOUBLE_EQ(stage.resources.at("disk").queue_wait_seconds, 10.0);
@@ -85,10 +85,10 @@ TEST(CriticalPathTest, JobViewSpansAllStages) {
   log.Record(Rec(1, MonoResource::kNetwork, 10.0, 10.0, 25.0));
   const CriticalPathReport report = CriticalPathReport::Build(log);
   EXPECT_EQ(report.stages().size(), 2u);
-  EXPECT_DOUBLE_EQ(report.job().duration(), 25.0);
+  EXPECT_DOUBLE_EQ(report.job().duration().seconds(), 25.0);
   EXPECT_EQ(report.job().dominant(), "network");
   ASSERT_NE(report.FindStage(1), nullptr);
-  EXPECT_DOUBLE_EQ(report.FindStage(1)->duration(), 15.0);
+  EXPECT_DOUBLE_EQ(report.FindStage(1)->duration().seconds(), 15.0);
   EXPECT_EQ(report.FindStage(7), nullptr);
 }
 
@@ -107,7 +107,7 @@ TEST(CriticalPathTest, EmptyLogYieldsEmptyReport) {
   const CriticalPathReport report = CriticalPathReport::Build(log);
   EXPECT_TRUE(report.stages().empty());
   EXPECT_TRUE(report.complete());
-  EXPECT_DOUBLE_EQ(report.job().duration(), 0.0);
+  EXPECT_DOUBLE_EQ(report.job().duration().seconds(), 0.0);
 }
 
 // The ISSUE acceptance check: on a traced sort run, the blame derived from the

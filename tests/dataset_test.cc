@@ -183,11 +183,11 @@ TEST(DatasetTest, MetricsExposeMonotaskTimes) {
   const auto& map_stage = metrics.stages[0];
   EXPECT_EQ(map_stage.num_tasks, 4);
   EXPECT_GT(map_stage.compute_seconds, 0.0);
-  EXPECT_GT(map_stage.disk_read_bytes, 0);   // Source blocks read from disk.
-  EXPECT_GT(map_stage.disk_write_bytes, 0);  // Shuffle data written to disk.
+  EXPECT_GT(map_stage.disk_read_bytes, monoutil::Bytes(0));   // Source blocks read from disk.
+  EXPECT_GT(map_stage.disk_write_bytes, monoutil::Bytes(0));  // Shuffle data written to disk.
   const auto& reduce_stage = metrics.stages[1];
-  EXPECT_GT(reduce_stage.disk_read_bytes, 0);  // Shuffle served from disk.
-  EXPECT_GT(reduce_stage.network_bytes, 0);    // Cross-worker portions.
+  EXPECT_GT(reduce_stage.disk_read_bytes, monoutil::Bytes(0));  // Shuffle served from disk.
+  EXPECT_GT(reduce_stage.network_bytes, monoutil::Bytes(0));    // Cross-worker portions.
   EXPECT_GT(metrics.wall_seconds, 0.0);
 }
 
@@ -246,7 +246,7 @@ TEST(DatasetTest, CacheSkipsDiskOnReRead) {
   auto cached = client.Parallelize<int64_t>(input, 4).Cache();
 
   // Record device counters, then run a job over the cached data.
-  monoutil::Bytes reads_before = 0;
+  monoutil::Bytes reads_before;
   for (int w = 0; w < client.context().num_workers(); ++w) {
     for (int d = 0; d < client.context().worker(w).num_disks(); ++d) {
       reads_before += client.context().worker(w).disk(d).bytes_read();
@@ -254,7 +254,7 @@ TEST(DatasetTest, CacheSkipsDiskOnReRead) {
   }
   const int64_t total = cached.Map<int64_t>([](const int64_t& x) { return x; }).Count();
   EXPECT_EQ(total, 4000);
-  monoutil::Bytes reads_after = 0;
+  monoutil::Bytes reads_after;
   for (int w = 0; w < client.context().num_workers(); ++w) {
     for (int d = 0; d < client.context().worker(w).num_disks(); ++d) {
       reads_after += client.context().worker(w).disk(d).bytes_read();

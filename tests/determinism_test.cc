@@ -60,11 +60,11 @@ RunWitness RunSort(bool monotasks, uint64_t seed, int values_per_key) {
   if (monotasks) {
     MonotasksExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), {});
     env.AttachExecutor(&executor);
-    witness.duration = env.driver().RunJob(std::move(job)).duration();
+    witness.duration = env.driver().RunJob(std::move(job)).duration().seconds();
   } else {
     SparkExecutorSim executor(&env.sim(), &env.cluster(), &env.pool(), {});
     env.AttachExecutor(&executor);
-    witness.duration = env.driver().RunJob(std::move(job)).duration();
+    witness.duration = env.driver().RunJob(std::move(job)).duration().seconds();
   }
   witness.digest = env.sim().digest();
   witness.fired = env.sim().fired_events();
@@ -96,7 +96,8 @@ TEST(DeterminismTest, SameSeedFabricBurstChurnProducesIdenticalDigests) {
   // produce bit-identical event-stream digests across runs.
   const auto run_churn = [](uint64_t seed) {
     Simulation sim;
-    NetworkFabricSim fabric(&sim, /*num_machines=*/8, /*nic_bandwidth=*/1e8);
+    NetworkFabricSim fabric(&sim, /*num_machines=*/8,
+                            /*nic_bandwidth=*/monoutil::BytesPerSecond(1e8));
     monoutil::Rng rng(seed);
     int completed = 0;
     // Six bursts of eight same-timestamp arrivals; every completion launches a
@@ -111,14 +112,14 @@ TEST(DeterminismTest, SameSeedFabricBurstChurnProducesIdenticalDigests) {
       if (dst >= src) {
         ++dst;
       }
-      const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(1 << 16));
+      const auto bytes = monoutil::Bytes(static_cast<int64_t>(1 + rng.NextBelow(1 << 16)));
       fabric.StartFlow(src, dst, bytes, [&, remaining] {
         ++completed;
         relaunch(remaining - 1);
       });
     };
     for (int burst = 0; burst < 6; ++burst) {
-      sim.ScheduleAt(0.01 * burst, [&relaunch] {
+      sim.ScheduleAt(monoutil::Seconds(0.01 * burst), [&relaunch] {
         for (int i = 0; i < 8; ++i) {
           relaunch(4);
         }
@@ -139,6 +140,33 @@ TEST(DeterminismTest, SameSeedFabricBurstChurnProducesIdenticalDigests) {
       << "the seed does not reach the fabric schedule";
 }
 
+TEST(DeterminismTest, StrongUnitTypesPreservePreRefactorDigests) {
+  // Oracle digests harvested from the raw-typedef units (pre strong-type
+  // promotion). The wrappers hold exactly the representation the typedefs had
+  // and every arithmetic expression was preserved operation-for-operation, so
+  // the event schedule -- and therefore the digest -- must be bit-identical.
+  struct Oracle {
+    bool monotasks;
+    int values_per_key;
+    uint64_t digest;
+    uint64_t fired;
+  };
+  static constexpr Oracle kOracles[] = {
+      {false, 10, 18221792197980647928ull, 518},
+      {false, 50, 17075344493688085432ull, 518},
+      {true, 10, 11245428799122378917ull, 181},
+      {true, 50, 6531501486197293149ull, 181},
+  };
+  for (const Oracle& oracle : kOracles) {
+    const RunWitness witness = RunSort(oracle.monotasks, 7, oracle.values_per_key);
+    EXPECT_EQ(witness.digest, oracle.digest)
+        << (oracle.monotasks ? "monotasks" : "spark") << " sort, "
+        << oracle.values_per_key
+        << " values/key: schedule drifted from the pre-refactor oracle";
+    EXPECT_EQ(witness.fired, oracle.fired);
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsProduceDifferentDigests) {
   // Task-size jitter (job_spec.h) draws from the job Rng, so the seed reaches
   // event times and therefore the digest.
@@ -156,7 +184,7 @@ TEST(DeterminismTest, DigestIsOrderSensitiveNotJustASet) {
   const auto run_in_order = [](const std::array<int, 3>& order) {
     Simulation sim;
     for (const int i : order) {
-      sim.ScheduleAt(1.0, [] {}, kTags[i]);
+      sim.ScheduleAt(monoutil::Seconds(1.0), [] {}, kTags[i]);
     }
     sim.Run();
     return sim.digest();
@@ -192,7 +220,7 @@ TEST(DeterminismTest, PointerOrderedScheduleChangesDigest) {
   const auto run_in_order = [&](const std::vector<Node*>& order) {
     Simulation sim;
     for (Node* node : order) {
-      sim.ScheduleAt(1.0, [] {}, kTags[node->index]);
+      sim.ScheduleAt(monoutil::Seconds(1.0), [] {}, kTags[node->index]);
     }
     sim.Run();
     return sim.digest();
@@ -222,7 +250,7 @@ TEST(DeterminismTest, DigestTrailRecordsEachSimulationDestruction) {
     SimDigestTrail trail;
     {
       Simulation sim;
-      sim.ScheduleAt(0.5, [] {}, "only");
+      sim.ScheduleAt(monoutil::Seconds(0.5), [] {}, "only");
       sim.Run();
       digest = sim.digest();
     }

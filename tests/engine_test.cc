@@ -28,8 +28,8 @@ TEST(BlockDeviceTest, WriteThenReadRoundTrips) {
   EXPECT_TRUE(device.HasBlock("block"));
   EXPECT_EQ(device.BlockSize("block"), 4096u);
   EXPECT_EQ(device.Read("block"), data);
-  EXPECT_EQ(device.bytes_written(), 4096);
-  EXPECT_EQ(device.bytes_read(), 4096);
+  EXPECT_EQ(device.bytes_written(), monoutil::Bytes(4096));
+  EXPECT_EQ(device.bytes_read(), monoutil::Bytes(4096));
 }
 
 TEST(BlockDeviceTest, ReadRangeReturnsSlice) {
@@ -64,24 +64,52 @@ TEST(BlockDeviceTest, TransfersTakeTimeAtConfiguredRate) {
   EXPECT_LT(elapsed, 0.2);
 }
 
+TEST(BlockDeviceTest, AccountingIsTimeScaleInvariant) {
+  // Regression for the time-scale unit mix-up: EngineConfig defaults to
+  // time_scale 50 while the components once defaulted to a silent 1.0, so a
+  // device built without forwarding the config's scale ran 50x slower than its
+  // siblings. The constructors now require the scale; this pins the other half
+  // of the contract — byte accounting (the model bridge's input) never depends
+  // on it, so a scale mismatch can only ever distort timing, not totals.
+  SimulatedBlockDevice fast("fast", monoutil::MiBps(100), /*time_scale=*/4000.0);
+  SimulatedBlockDevice slow("slow", monoutil::MiBps(100), /*time_scale=*/1000.0);
+  const Buffer data = MakeBuffer(1 << 16);
+  fast.Write("b", data);
+  slow.Write("b", data);
+  fast.Read("b");
+  slow.Read("b");
+  EXPECT_EQ(fast.bytes_written(), slow.bytes_written());
+  EXPECT_EQ(fast.bytes_read(), slow.bytes_read());
+  EXPECT_EQ(fast.charged_bytes(), slow.charged_bytes());
+}
+
+TEST(FabricTest, AccountingIsTimeScaleInvariant) {
+  InProcessFabric fast(2, monoutil::MiBps(100), /*time_scale=*/4000.0);
+  InProcessFabric slow(2, monoutil::MiBps(100), /*time_scale=*/1000.0);
+  fast.Transfer(0, 1, monoutil::MiB(1));
+  slow.Transfer(0, 1, monoutil::MiB(1));
+  EXPECT_EQ(fast.total_bytes(), slow.total_bytes());
+  EXPECT_EQ(fast.total_bytes(), monoutil::MiB(1));
+}
+
 TEST(FabricTest, LocalTransfersAreFree) {
   InProcessFabric fabric(2, monoutil::MiBps(1), /*time_scale=*/1.0);
   const auto start = std::chrono::steady_clock::now();
-  fabric.Transfer(0, 0, 10 << 20);
+  fabric.Transfer(0, 0, monoutil::Bytes(10 << 20));
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   EXPECT_LT(elapsed, 0.05);
-  EXPECT_EQ(fabric.total_bytes(), 0);
+  EXPECT_EQ(fabric.total_bytes(), monoutil::Bytes(0));
 }
 
 TEST(FabricTest, RemoteTransfersAreRateLimitedAndCounted) {
   InProcessFabric fabric(2, monoutil::MiBps(10), /*time_scale=*/10.0);
   const auto start = std::chrono::steady_clock::now();
-  fabric.Transfer(0, 1, 1 << 20);
+  fabric.Transfer(0, 1, monoutil::Bytes(1 << 20));
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   EXPECT_GT(elapsed, 0.005);
-  EXPECT_EQ(fabric.total_bytes(), 1 << 20);
+  EXPECT_EQ(fabric.total_bytes(), monoutil::Bytes(1 << 20));
 }
 
 TEST(CpuSchedulerTest, RunsAllTasksAndReportsServiceTime) {

@@ -66,7 +66,7 @@ TEST(ExecutorIntegrationTest, SparkRunsMapReduceToCompletion) {
   SimEnvironment env(SmallCluster());
   const JobResult result = RunWithSpark(&env, MapReduceJob(&env));
   ASSERT_EQ(result.stages.size(), 2u);
-  EXPECT_GT(result.duration(), 0.0);
+  EXPECT_GT(result.duration(), monoutil::SimTime());
   EXPECT_EQ(result.stages[0].num_tasks, 8);
   EXPECT_EQ(result.stages[1].num_tasks, 8);
   // Stages execute with a barrier.
@@ -78,7 +78,7 @@ TEST(ExecutorIntegrationTest, MonotasksRunsMapReduceToCompletion) {
   SimEnvironment env(SmallCluster());
   const JobResult result = RunWithMonotasks(&env, MapReduceJob(&env));
   ASSERT_EQ(result.stages.size(), 2u);
-  EXPECT_GT(result.duration(), 0.0);
+  EXPECT_GT(result.duration(), monoutil::SimTime());
   EXPECT_GE(result.stages[1].start, result.stages[0].end);
 }
 
@@ -140,8 +140,8 @@ TEST(ExecutorIntegrationTest, MonotaskDiskServiceTimesAreIdeal) {
   SimEnvironment env(SmallCluster());
   const JobResult result = RunWithMonotasks(&env, MapReduceJob(&env));
   const auto& map_times = result.stages[0].monotask_times;
-  const double bandwidth = SmallCluster().machine.disks[0].bandwidth;
-  const double ideal_read_seconds = static_cast<double>(MiB(512)) / bandwidth;
+  const double bandwidth = SmallCluster().machine.disks[0].bandwidth.bps();
+  const double ideal_read_seconds = static_cast<double>(MiB(512).count()) / bandwidth;
   EXPECT_NEAR(map_times.disk_read_seconds, ideal_read_seconds,
               ideal_read_seconds * 0.02);
 }
@@ -161,8 +161,8 @@ TEST(ExecutorIntegrationTest, DeterministicAcrossRuns) {
   const JobResult r1 = RunWithMonotasks(&env1, MapReduceJob(&env1));
   SimEnvironment env2(SmallCluster());
   const JobResult r2 = RunWithMonotasks(&env2, MapReduceJob(&env2));
-  EXPECT_DOUBLE_EQ(r1.duration(), r2.duration());
-  EXPECT_DOUBLE_EQ(r1.stages[0].end, r2.stages[0].end);
+  EXPECT_DOUBLE_EQ(r1.duration().seconds(), r2.duration().seconds());
+  EXPECT_DOUBLE_EQ(r1.stages[0].end.seconds(), r2.stages[0].end.seconds());
 }
 
 TEST(ExecutorIntegrationTest, SparkWriteThroughIsSlowerForWriteHeavyJobs) {
@@ -204,7 +204,7 @@ TEST(ExecutorIntegrationTest, InMemoryInputSkipsDiskReads) {
   stage.cpu_seconds_per_task = 0.2;
   job.stages = {stage};
   const JobResult result = RunWithMonotasks(&env, job);
-  EXPECT_EQ(result.stages[0].usage.disk_read_bytes, 0);
+  EXPECT_EQ(result.stages[0].usage.disk_read_bytes, monoutil::Bytes(0));
   EXPECT_EQ(result.stages[0].monotask_times.disk_count, 0);
   EXPECT_EQ(result.stages[0].monotask_times.compute_count, 8);
 }
@@ -230,9 +230,9 @@ TEST(ExecutorIntegrationTest, ShuffleToMemorySkipsDiskEntirely) {
   reduce.cpu_seconds_per_task = 0.2;
   job.stages = {map, reduce};
   const JobResult result = RunWithMonotasks(&env, job);
-  EXPECT_EQ(result.stages[0].usage.disk_write_bytes, 0);
-  EXPECT_EQ(result.stages[1].usage.disk_read_bytes, 0);
-  EXPECT_GT(result.stages[1].usage.network_bytes, 0);
+  EXPECT_EQ(result.stages[0].usage.disk_write_bytes, monoutil::Bytes(0));
+  EXPECT_EQ(result.stages[1].usage.disk_read_bytes, monoutil::Bytes(0));
+  EXPECT_GT(result.stages[1].usage.network_bytes, monoutil::Bytes(0));
 }
 
 TEST(ExecutorIntegrationTest, UtilizationFilledWhenTracingEnabled) {

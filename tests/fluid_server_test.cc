@@ -14,7 +14,7 @@ TEST(FluidServerTest, SingleRequestTakesAmountOverCapacity) {
   Simulation sim;
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double done_at = -1.0;
-  server.Submit(250.0, [&] { done_at = sim.now(); });
+  server.Submit(250.0, [&] { done_at = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(done_at, 2.5, 1e-9);
 }
@@ -23,7 +23,7 @@ TEST(FluidServerTest, ZeroAmountCompletesImmediately) {
   Simulation sim;
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double done_at = -1.0;
-  server.Submit(0.0, [&] { done_at = sim.now(); });
+  server.Submit(0.0, [&] { done_at = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(done_at, 0.0, 1e-12);
 }
@@ -33,8 +33,8 @@ TEST(FluidServerTest, TwoEqualRequestsShareCapacity) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double first = -1.0;
   double second = -1.0;
-  server.Submit(100.0, [&] { first = sim.now(); });
-  server.Submit(100.0, [&] { second = sim.now(); });
+  server.Submit(100.0, [&] { first = sim.now().seconds(); });
+  server.Submit(100.0, [&] { second = sim.now().seconds(); });
   sim.Run();
   // Each gets 50 units/s; both finish at t=2.
   EXPECT_NEAR(first, 2.0, 1e-9);
@@ -46,8 +46,8 @@ TEST(FluidServerTest, LateArrivalSlowsExistingRequest) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double first = -1.0;
   double second = -1.0;
-  server.Submit(100.0, [&] { first = sim.now(); });
-  sim.ScheduleAt(0.5, [&] { server.Submit(100.0, [&] { second = sim.now(); }); });
+  server.Submit(100.0, [&] { first = sim.now().seconds(); });
+  sim.ScheduleAt(monoutil::Seconds(0.5), [&] { server.Submit(100.0, [&] { second = sim.now().seconds(); }); });
   sim.Run();
   // First does 50 units alone in 0.5s, then shares: 50 more at 50/s -> finishes at 1.5.
   EXPECT_NEAR(first, 1.5, 1e-9);
@@ -60,7 +60,7 @@ TEST(FluidServerTest, PerRequestCapLimitsLoneRequest) {
   // A 4-core CPU pool: a single-threaded task cannot exceed 1 core.
   FluidServer server(&sim, "cpu", ConstantCapacity(4.0), /*per_request_cap=*/1.0);
   double done_at = -1.0;
-  server.Submit(2.0, [&] { done_at = sim.now(); });
+  server.Submit(2.0, [&] { done_at = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(done_at, 2.0, 1e-9);
 }
@@ -74,7 +74,7 @@ TEST(FluidServerTest, CpuPoolRunsUpToCoresAtFullSpeed) {
   }
   sim.Run();
   EXPECT_EQ(finished, 4);
-  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+  EXPECT_NEAR(sim.now().seconds(), 1.0, 1e-9);
 }
 
 TEST(FluidServerTest, CpuPoolOversubscriptionSharesCores) {
@@ -87,7 +87,7 @@ TEST(FluidServerTest, CpuPoolOversubscriptionSharesCores) {
   sim.Run();
   // 8 single-core requests on 4 cores: each runs at 0.5 cores.
   EXPECT_EQ(finished, 8);
-  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+  EXPECT_NEAR(sim.now().seconds(), 2.0, 1e-9);
 }
 
 TEST(FluidServerTest, WeightedRequestsShareInProportion) {
@@ -99,8 +99,8 @@ TEST(FluidServerTest, WeightedRequestsShareInProportion) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double light = -1.0;
   double heavy = -1.0;
-  server.Submit(25.0, [&] { light = sim.now(); }, /*weight=*/1.0);
-  server.Submit(75.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
+  server.Submit(25.0, [&] { light = sim.now().seconds(); }, /*weight=*/1.0);
+  server.Submit(75.0, [&] { heavy = sim.now().seconds(); }, /*weight=*/3.0);
   sim.Run();
   EXPECT_NEAR(light, 1.0, 1e-9);
   EXPECT_NEAR(heavy, 1.0, 1e-9);
@@ -111,8 +111,8 @@ TEST(FluidServerTest, HeavierWeightFinishesEqualWorkFirst) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double light = -1.0;
   double heavy = -1.0;
-  server.Submit(100.0, [&] { light = sim.now(); }, /*weight=*/1.0);
-  server.Submit(100.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
+  server.Submit(100.0, [&] { light = sim.now().seconds(); }, /*weight=*/1.0);
+  server.Submit(100.0, [&] { heavy = sim.now().seconds(); }, /*weight=*/3.0);
   sim.Run();
   // Heavy runs at 75 and finishes at 4/3; light then takes the whole server:
   // 100 - 25 * 4/3 = 200/3 units left at 100/s -> finishes at 2.
@@ -128,8 +128,8 @@ TEST(FluidServerTest, WeightedShareRedistributesCappedSurplus) {
   FluidServer server(&sim, "cpu", ConstantCapacity(1.5), /*per_request_cap=*/1.0);
   double light = -1.0;
   double heavy = -1.0;
-  server.Submit(1.0, [&] { heavy = sim.now(); }, /*weight=*/3.0);
-  server.Submit(1.0, [&] { light = sim.now(); }, /*weight=*/1.0);
+  server.Submit(1.0, [&] { heavy = sim.now().seconds(); }, /*weight=*/3.0);
+  server.Submit(1.0, [&] { light = sim.now().seconds(); }, /*weight=*/1.0);
   sim.Run();
   EXPECT_NEAR(heavy, 1.0, 1e-9);
   // Light: 0.5 units by t=1, then alone at the cap -> 0.5 s more.
@@ -143,8 +143,8 @@ TEST(FluidServerTest, ShareWeightOverridesContentionWeight) {
   FluidServer server(&sim, "hdd", HddCapacity(100.0, 1.0));
   double first = -1.0;
   double second = -1.0;
-  server.Submit(25.0, [&] { first = sim.now(); }, /*weight=*/1.0, /*share_weight=*/1.0);
-  server.Submit(25.0, [&] { second = sim.now(); }, /*weight=*/3.0, /*share_weight=*/1.0);
+  server.Submit(25.0, [&] { first = sim.now().seconds(); }, /*weight=*/1.0, /*share_weight=*/1.0);
+  server.Submit(25.0, [&] { second = sim.now().seconds(); }, /*weight=*/3.0, /*share_weight=*/1.0);
   sim.Run();
   // capacity(4) = 25, split 12.5/12.5: both finish at t=2. With share weights
   // following the contention weights the second would finish at 25/18.75 ≈ 1.33.
@@ -163,11 +163,11 @@ TEST(FluidServerTest, CancelRecordsTracePointEvenWhenRateUnchanged) {
   for (int i = 0; i < 4; ++i) {
     ids.push_back(server.Submit(10.0, [] {}));
   }
-  sim.ScheduleAt(1.0, [&] { server.CancelRequest(ids[0]); });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { server.CancelRequest(ids[0]); });
   sim.Run();
   bool cancel_point_recorded = false;
   for (const auto& point : server.rate_trace().points()) {
-    if (point.time == 1.0) {
+    if (point.time == monoutil::Seconds(1.0)) {
       cancel_point_recorded = true;
       EXPECT_NEAR(point.rate, 2.0, 1e-9);  // Unchanged total — the dedup trap.
     }
@@ -188,8 +188,8 @@ TEST(FluidServerTest, HddConcurrentRequestsSlowerThanSequential) {
   Simulation sim;
   FluidServer server(&sim, "hdd", HddCapacity(100.0, 1.0));
   double last = -1.0;
-  server.Submit(100.0, [&] { last = sim.now(); });
-  server.Submit(100.0, [&] { last = sim.now(); });
+  server.Submit(100.0, [&] { last = sim.now().seconds(); });
+  server.Submit(100.0, [&] { last = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(last, 4.0, 1e-9);
 }
@@ -214,7 +214,7 @@ TEST(FluidServerTest, CancelReturnsRemainingWork) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   bool done = false;
   auto id = server.Submit(100.0, [&] { done = true; });
-  sim.ScheduleAt(0.25, [&] {
+  sim.ScheduleAt(monoutil::Seconds(0.25), [&] {
     const double remaining = server.CancelRequest(id);
     EXPECT_NEAR(remaining, 75.0, 1e-9);
   });
@@ -248,7 +248,7 @@ TEST(FluidServerTest, ServedWorkConservesSubmittedWorkUnderChurn) {
     const double amount = 1.0 + 0.37 * i + (i % 7) * 0.013;
     submitted += amount;
     const double at = 0.05 * i;
-    sim.ScheduleAt(at, [&server, &live_cancellable, amount, i] {
+    sim.ScheduleAt(monoutil::Seconds(at), [&server, &live_cancellable, amount, i] {
       if (i % 9 != 0) {
         server.Submit(amount, [] {});
         return;
@@ -260,7 +260,7 @@ TEST(FluidServerTest, ServedWorkConservesSubmittedWorkUnderChurn) {
       live_cancellable[i] = id;
     });
   }
-  sim.ScheduleAt(3.3, [&] {
+  sim.ScheduleAt(monoutil::Seconds(3.3), [&] {
     const std::map<int, FluidServer::RequestId> to_cancel = live_cancellable;
     for (const auto& [i, id] : to_cancel) {
       returned += server.CancelRequest(id);
@@ -280,10 +280,10 @@ TEST(FluidServerTest, UtilizationTraceMeasuresBusyFraction) {
   server.EnableTrace();
   server.Submit(100.0, [] {});  // Busy during [0, 1].
   sim.Run();
-  sim.ScheduleAt(2.0, [] {});  // Idle during [1, 2].
+  sim.ScheduleAt(monoutil::Seconds(2.0), [] {});  // Idle during [1, 2].
   sim.Run();
-  EXPECT_NEAR(server.MeanUtilization(0.0, 1.0), 1.0, 1e-9);
-  EXPECT_NEAR(server.MeanUtilization(0.0, 2.0), 0.5, 1e-9);
+  EXPECT_NEAR(server.MeanUtilization(monoutil::Seconds(0.0), monoutil::Seconds(1.0)), 1.0, 1e-9);
+  EXPECT_NEAR(server.MeanUtilization(monoutil::Seconds(0.0), monoutil::Seconds(2.0)), 0.5, 1e-9);
 }
 
 TEST(FluidServerTest, DoneCallbackCanResubmit) {
@@ -291,7 +291,7 @@ TEST(FluidServerTest, DoneCallbackCanResubmit) {
   FluidServer server(&sim, "disk", ConstantCapacity(100.0));
   double second_done = -1.0;
   server.Submit(100.0, [&] {
-    server.Submit(100.0, [&] { second_done = sim.now(); });
+    server.Submit(100.0, [&] { second_done = sim.now().seconds(); });
   });
   sim.Run();
   EXPECT_NEAR(second_done, 2.0, 1e-9);

@@ -75,7 +75,7 @@ class StageExecutionTest : public ::testing::Test {
 
 TEST_F(StageExecutionTest, TaskSizesSumToSpecTotals) {
   StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
-  monoutil::Bytes shuffle_total = 0;
+  monoutil::Bytes shuffle_total;
   double cpu_total = 0.0;
   for (int m = 0; m < 4; ++m) {
     while (auto task = stage.TakeTask(m)) {
@@ -119,20 +119,20 @@ TEST_F(StageExecutionTest, CompletionCallbackFiresAfterLastTask) {
   StageExecution stage(job_, 0, 4, &dfs_, nullptr, &rng_);
   bool complete = false;
   stage.set_on_complete([&] { complete = true; });
-  stage.Activate(0.0);
+  stage.Activate(monoutil::Seconds(0.0));
   for (int i = 0; i < 8; ++i) {
     auto task = stage.TakeTask(i % 4);
-    stage.OnTaskStarted(task->task_index, 1.0);
+    stage.OnTaskStarted(task->task_index, monoutil::Seconds(1.0));
   }
   for (int i = 0; i < 8; ++i) {
     EXPECT_FALSE(complete);
-    stage.OnTaskFinished(i, 2.0 + i);
+    stage.OnTaskFinished(i, monoutil::Seconds(2.0 + i));
   }
   EXPECT_TRUE(complete);
   EXPECT_TRUE(stage.AllTasksFinished());
   EXPECT_NEAR(stage.result().task_seconds, 8 * 1.0 + (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7),
               1e-9);
-  EXPECT_NEAR(stage.result().end, 9.0, 1e-12);
+  EXPECT_NEAR(stage.result().end.seconds(), 9.0, 1e-12);
 }
 
 TEST_F(StageExecutionTest, ShuffleBytesTrackedPerMachine) {
@@ -142,7 +142,7 @@ TEST_F(StageExecutionTest, ShuffleBytesTrackedPerMachine) {
   stage.RecordShuffleWrite(3, MiB(128));
   EXPECT_EQ(stage.shuffle_bytes_per_machine()[0], MiB(128));
   EXPECT_EQ(stage.shuffle_bytes_per_machine()[3], MiB(128));
-  EXPECT_EQ(stage.shuffle_bytes_per_machine()[1], 0);
+  EXPECT_EQ(stage.shuffle_bytes_per_machine()[1], monoutil::Bytes(0));
 }
 
 TEST_F(StageExecutionTest, ShufflePortionsProportionalAndExact) {
@@ -154,8 +154,8 @@ TEST_F(StageExecutionTest, ShufflePortionsProportionalAndExact) {
   auto task = reduce_stage.TakeTask(0);
   ASSERT_TRUE(task.has_value());
   const auto portions = ComputeShufflePortions(*task);
-  monoutil::Bytes total = 0;
-  monoutil::Bytes from_zero = 0;
+  monoutil::Bytes total;
+  monoutil::Bytes from_zero;
   for (const auto& portion : portions) {
     total += portion.bytes;
     if (portion.src_machine == 0) {
@@ -164,7 +164,7 @@ TEST_F(StageExecutionTest, ShufflePortionsProportionalAndExact) {
   }
   EXPECT_EQ(total, task->input_bytes);  // Exact, despite proportional rounding.
   // Machine 0 holds half the shuffle data, so roughly half the fetch comes from it.
-  EXPECT_NEAR(static_cast<double>(from_zero) / static_cast<double>(total), 0.5, 0.02);
+  EXPECT_NEAR(from_zero / total, 0.5, 0.02);
   // Machine 3 wrote nothing: no portion from it.
   for (const auto& portion : portions) {
     EXPECT_NE(portion.src_machine, 3);

@@ -55,13 +55,14 @@ TEST(HeterogeneousClusterTest, DegradedDiskShowsInPerMachineMonotaskRates) {
   const auto& times = result.stages[0].monotask_times;
   ASSERT_EQ(times.disk_seconds_per_machine.size(), 4u);
   auto rate = [&](int machine) {
-    return static_cast<double>(times.disk_bytes_per_machine[static_cast<size_t>(machine)]) /
+    return static_cast<double>(
+               times.disk_bytes_per_machine[static_cast<size_t>(machine)].count()) /
            times.disk_seconds_per_machine[static_cast<size_t>(machine)];
   };
   // The degraded machine's disk monotasks run at exactly its device rate (one at a
   // time => no contention blurs the measurement), a third of its peers'.
-  EXPECT_NEAR(rate(1), MiBps(30), MiBps(30) * 0.01);
-  EXPECT_NEAR(rate(0), MiBps(90), MiBps(90) * 0.01);
+  EXPECT_NEAR(rate(1), MiBps(30).bps(), MiBps(30).bps() * 0.01);
+  EXPECT_NEAR(rate(0), MiBps(90).bps(), MiBps(90).bps() * 0.01);
   EXPECT_NEAR(rate(1) / rate(0), 1.0 / 3.0, 0.01);
 }
 
@@ -190,9 +191,9 @@ TEST(QueueVisibilityTest, ContentionShowsAsQueueLength) {
 
   const auto& disk_queue = mono.disk_scheduler(0, 0).queue_trace();
   const auto& cpu_queue = mono.cpu_scheduler(0).queue_trace();
-  const double window = result.duration();
-  const double mean_disk_queue = disk_queue.Integrate(0, window) / window;
-  const double mean_cpu_queue = cpu_queue.Integrate(0, window) / window;
+  const double window = result.duration().seconds();
+  const double mean_disk_queue = disk_queue.Integrate(monoutil::SimTime(), monoutil::Seconds(window)) / window;
+  const double mean_cpu_queue = cpu_queue.Integrate(monoutil::SimTime(), monoutil::Seconds(window)) / window;
   EXPECT_GT(mean_disk_queue, 1.0);             // The bottleneck has a real queue...
   EXPECT_LT(mean_cpu_queue, mean_disk_queue);  // ...and the CPU does not.
 }

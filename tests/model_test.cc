@@ -27,7 +27,7 @@ StageModelInput CpuBoundStage() {
   stage.deser_cpu_seconds = 2000.0;
   stage.disk_read_bytes = GiB(100);  // 51.2 s over 2 GB/s of disk.
   stage.input_disk_read_bytes = GiB(100);
-  stage.disk_write_bytes = 0;
+  stage.disk_write_bytes = monoutil::Bytes(0);
   stage.network_bytes = GiB(10);
   stage.observed_seconds = 110.0;
   return stage;
@@ -37,16 +37,16 @@ TEST(HardwareProfileTest, Totals) {
   const HardwareProfile hw = TestHardware();
   EXPECT_EQ(hw.total_cores(), 80);
   EXPECT_EQ(hw.total_disks(), 20);
-  EXPECT_NEAR(hw.total_disk_bandwidth(), 20 * 100.0 * 1024 * 1024, 1);
-  EXPECT_NEAR(hw.total_nic_bandwidth(), 10 * 125.0 * 1024 * 1024, 1);
+  EXPECT_NEAR(hw.total_disk_bandwidth().bps(), 20 * 100.0 * 1024 * 1024, 1);
+  EXPECT_NEAR(hw.total_nic_bandwidth().bps(), 10 * 125.0 * 1024 * 1024, 1);
 }
 
 TEST(HardwareProfileTest, Transformations) {
   const HardwareProfile hw = TestHardware();
   EXPECT_EQ(hw.WithDisksPerMachine(4).total_disks(), 40);
   EXPECT_EQ(hw.WithMachines(20).total_cores(), 160);
-  EXPECT_NEAR(hw.WithDiskBandwidth(monoutil::MiBps(450)).disk_bandwidth,
-              monoutil::MiBps(450), 1);
+  EXPECT_NEAR(hw.WithDiskBandwidth(monoutil::MiBps(450)).disk_bandwidth.bps(),
+              monoutil::MiBps(450).bps(), 1);
   // The original is untouched.
   EXPECT_EQ(hw.disks_per_machine, 2);
 }
@@ -55,9 +55,9 @@ TEST(MonotasksModelTest, IdealTimesMatchHandComputation) {
   MonotasksModel model({CpuBoundStage()}, TestHardware());
   const StageIdealTimes ideal = model.IdealTimes(0);
   EXPECT_NEAR(ideal.cpu, 100.0, 1e-9);
-  EXPECT_NEAR(ideal.disk, static_cast<double>(GiB(100)) / (20 * 100.0 * 1024 * 1024),
+  EXPECT_NEAR(ideal.disk, static_cast<double>(GiB(100).count()) / (20 * 100.0 * 1024 * 1024),
               1e-9);
-  EXPECT_NEAR(ideal.network, static_cast<double>(GiB(10)) / (10 * 125.0 * 1024 * 1024),
+  EXPECT_NEAR(ideal.network, static_cast<double>(GiB(10).count()) / (10 * 125.0 * 1024 * 1024),
               1e-9);
   EXPECT_EQ(ideal.bottleneck(), Resource::kCpu);
 }
@@ -101,7 +101,7 @@ TEST(MonotasksModelTest, InfinitelyFastResource) {
   MonotasksModel model({CpuBoundStage()}, TestHardware());
   // Without CPU, the stage is disk-bound at 51.2 s (modeled), scaled by observed.
   const double no_cpu = model.PredictWithInfinitelyFast(Resource::kCpu);
-  const double disk_ideal = static_cast<double>(GiB(100)) / (20 * 100.0 * 1024 * 1024);
+  const double disk_ideal = static_cast<double>(GiB(100).count()) / (20 * 100.0 * 1024 * 1024);
   EXPECT_NEAR(no_cpu, 110.0 * disk_ideal / 100.0, 1e-6);
   // Disk and network aren't the bottleneck: removing them changes nothing.
   EXPECT_NEAR(model.PredictWithInfinitelyFast(Resource::kDisk), 110.0, 1e-9);
@@ -144,8 +144,8 @@ TEST(MonotasksModelTest, ZeroWorkStageFallsBackToObserved) {
 TEST(SlotBasedModelTest, ScalesBySlotRatio) {
   monosim::JobResult result;
   monosim::StageResult stage;
-  stage.start = 0.0;
-  stage.end = 100.0;
+  stage.start = monoutil::Seconds(0.0);
+  stage.end = monoutil::Seconds(100.0);
   result.stages.push_back(stage);
   SlotBasedModel model(result, /*baseline_slots_per_machine=*/8);
   EXPECT_NEAR(model.PredictJobSeconds(8), 100.0, 1e-9);
@@ -158,8 +158,8 @@ TEST(SparkMeasuredModelTest, BuildsFromMeasuredUsage) {
   monosim::JobResult result;
   monosim::StageResult stage;
   stage.name = "s";
-  stage.start = 0.0;
-  stage.end = 50.0;
+  stage.start = monoutil::Seconds(0.0);
+  stage.end = monoutil::Seconds(50.0);
   stage.measured.cpu_seconds = 1000.0;
   stage.measured.disk_read_bytes = GiB(10);
   stage.measured.disk_write_bytes = GiB(2);
@@ -171,7 +171,7 @@ TEST(SparkMeasuredModelTest, BuildsFromMeasuredUsage) {
   EXPECT_EQ(input.disk_read_bytes, GiB(10));
   // Deserialization is not measurable in Spark.
   EXPECT_NEAR(input.deser_cpu_seconds, 0.0, 1e-12);
-  EXPECT_EQ(input.input_disk_read_bytes, 0);
+  EXPECT_EQ(input.input_disk_read_bytes, monoutil::Bytes(0));
 }
 
 
@@ -185,7 +185,7 @@ TEST(MonotasksModelTest, UncompressedInputTradesCpuForReads) {
   const StageIdealTimes ideal = model.IdealTimes(0, TestHardware(), software);
   EXPECT_NEAR(ideal.cpu, (8000.0 - 1600.0) / 80.0, 1e-9);
   EXPECT_NEAR(ideal.disk,
-              static_cast<double>(GiB(250)) / (20 * 100.0 * 1024 * 1024), 1e-9);
+              static_cast<double>(GiB(250).count()) / (20 * 100.0 * 1024 * 1024), 1e-9);
 }
 
 TEST(MonotasksModelTest, InMemoryAlsoRemovesDecompression) {

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: constructing a SimulatedBlockDevice without stating its
+// time_scale. The parameter used to default to 1.0 while EngineConfig defaults
+// to 50.0 — a device built through the default silently ran 50x slower than
+// its siblings and skewed the model bridge by the same factor. The default was
+// removed; this target pins that it stays removed. CTest builds it WILL_FAIL.
+#include "src/common/units.h"
+#include "src/engine/block_device.h"
+
+int main() {
+  // error: no matching constructor — time_scale must be stated.
+  monotasks::SimulatedBlockDevice device("d0", monoutil::MiBps(90));
+  return device.bytes_read() == monoutil::Bytes(0) ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE: implicit conversion from a raw double into SimTime. The
+// constructors are explicit on purpose — a bare `3.5` carries no unit, so call
+// sites must say Seconds(3.5) / Millis(3.5) and make the unit part of the
+// code. CTest builds this target with WILL_FAIL.
+#include "src/common/units.h"
+
+namespace {
+void Sleep(monoutil::SimTime duration) { (void)duration; }
+}  // namespace
+
+int main() {
+  // error: explicit constructor — no implicit double -> SimTime.
+  monoutil::SimTime t = 3.5;
+  // error: same, at a call boundary (milliseconds? seconds? the type refuses
+  // to guess).
+  Sleep(3.5);
+  return static_cast<int>(t.seconds());
+}

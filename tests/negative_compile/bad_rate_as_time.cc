@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: passing a throughput where a time span is expected. This
+// is the historical shape of the time_scale/bandwidth mix-up: both were bare
+// doubles, so a swapped argument type-checked and quietly skewed the model by
+// orders of magnitude. CTest builds this target with WILL_FAIL.
+#include "src/common/units.h"
+
+namespace {
+double ChargeWindow(monoutil::SimTime window) { return window.seconds(); }
+}  // namespace
+
+int main() {
+  monoutil::BytesPerSecond link = monoutil::Gbps(1.0);
+  // error: BytesPerSecond is not convertible to SimTime.
+  return static_cast<int>(ChargeWindow(link));
+}

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE: adding a time to a byte count is dimensionally meaningless.
+// Under the old `using SimTime = double; using Bytes = int64_t;` typedefs this
+// was a silent double addition — the exact class of bug the strong types exist
+// to stop. CTest builds this target with WILL_FAIL: a successful compile is
+// the test failure.
+#include "src/common/units.h"
+
+int main() {
+  monoutil::SimTime deadline = monoutil::Seconds(3.0);
+  monoutil::Bytes payload = monoutil::MiB(1);
+  // error: no operator+ for (SimTime, Bytes).
+  auto nonsense = deadline + payload;
+  return static_cast<int>(nonsense.seconds());
+}

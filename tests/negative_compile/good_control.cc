@@ -1,0 +1,35 @@
+// Control for the negative-compilation harness: this file uses the strong unit
+// types the *intended* way and must compile. If this target ever fails to
+// build, the harness itself is broken (bad include path, missing header, flag
+// drift) — and every WILL_FAIL sibling would be "passing" for the wrong
+// reason. CTest runs this target without WILL_FAIL to catch exactly that.
+#include "src/common/units.h"
+#include "src/engine/block_device.h"
+
+namespace {
+
+// The closed algebra: every conversion the §6 model performs, spelled with
+// types. All constexpr so the compiler proves them without running anything.
+constexpr monoutil::Bytes kData = monoutil::MiB(64);
+constexpr monoutil::BytesPerSecond kDisk = monoutil::MiBps(128);
+constexpr monoutil::SimTime kTransfer = kData / kDisk;            // Bytes / Rate -> Time
+constexpr monoutil::BytesPerSecond kObserved = kData / kTransfer;  // Bytes / Time -> Rate
+constexpr monoutil::Bytes kMoved = kDisk * kTransfer;              // Rate * Time -> Bytes
+constexpr double kRatio = kTransfer / monoutil::Seconds(1.0);      // Time / Time -> scalar
+
+static_assert(kTransfer.seconds() == 0.5);
+static_assert(kMoved == kData);
+static_assert(kObserved == kDisk);
+static_assert(kRatio == 0.5);
+
+// Constructing a device with every unit stated explicitly compiles.
+monotasks::SimulatedBlockDevice MakeDevice() {
+  return {"d0", monoutil::MiBps(90), /*time_scale=*/50.0};
+}
+
+}  // namespace
+
+int main() {
+  auto device = MakeDevice();
+  return device.bytes_written() == monoutil::Bytes(0) ? 0 : 1;
+}

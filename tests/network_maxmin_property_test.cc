@@ -31,7 +31,7 @@ void ExpectRatesMatchReference(const NetworkFabricSim& fabric, double bandwidth,
       testutil::SolveMaxMinReference(reference_flows, num_machines, bandwidth);
   for (const NetworkFabricSim::FlowInfo& info : fabric.ActiveFlows()) {
     const double want = reference.at(info.id);
-    ASSERT_NEAR(info.rate, want, 1e-6 * want)
+    ASSERT_NEAR(info.rate.bps(), want, 1e-6 * want)
         << "flow " << info.id << " (" << info.src << "->" << info.dst << ") at t="
         << now << " with " << reference_flows.size() << " active flows";
   }
@@ -46,7 +46,7 @@ TEST(NetworkMaxMinPropertyTest, IncrementalRatesMatchReferenceSolverOnRandomChur
     const int arrivals = 8 + static_cast<int>(rng.NextBelow(25));  // 8..32
 
     Simulation sim;
-    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    NetworkFabricSim fabric(&sim, machines, monoutil::BytesPerSecond(kBandwidth));
     int completed = 0;
     for (int i = 0; i < arrivals; ++i) {
       const int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
@@ -55,7 +55,7 @@ TEST(NetworkMaxMinPropertyTest, IncrementalRatesMatchReferenceSolverOnRandomChur
         ++dst;
       }
       const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(500));
-      const SimTime at = rng.Uniform(0.0, 5.0);
+      const SimTime at = monoutil::Seconds(rng.Uniform(0.0, 5.0));
       sim.ScheduleAt(at, [&fabric, &completed, src, dst, bytes] {
         fabric.StartFlow(src, dst, bytes, [&completed] { ++completed; });
       });
@@ -84,16 +84,16 @@ TEST(NetworkMaxMinPropertyTest, SameTimestampBurstsMatchReferenceSolver) {
     const int machines = 3 + static_cast<int>(rng.NextBelow(6));  // 3..8
 
     Simulation sim;
-    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    NetworkFabricSim fabric(&sim, machines, monoutil::BytesPerSecond(kBandwidth));
     int completed = 0;
     int launched = 0;
     const int bursts = 2 + static_cast<int>(rng.NextBelow(3));  // 2..4
     for (int b = 0; b < bursts; ++b) {
-      const SimTime at = 0.5 * b + rng.Uniform(0.0, 0.25);
+      const SimTime at = monoutil::Seconds(0.5 * b + rng.Uniform(0.0, 0.25));
       const int width = 3 + static_cast<int>(rng.NextBelow(8));  // 3..10
       int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
       int dst = 0;
-      monoutil::Bytes bytes = 0;
+      monoutil::Bytes bytes;
       for (int i = 0; i < width; ++i) {
         // Roughly every other flow repeats the previous triple verbatim.
         if (i == 0 || rng.NextBelow(2) == 0) {
@@ -133,7 +133,7 @@ TEST(NetworkMaxMinPropertyTest, PruningEligibleDeltasArePatchedAndStayCorrect) {
   constexpr double kBandwidth = 100.0;
   constexpr int kMachines = 8;  // Pairs (0,1) (2,3) (4,5) (6,7).
   Simulation sim;
-  NetworkFabricSim fabric(&sim, kMachines, kBandwidth);
+  NetworkFabricSim fabric(&sim, kMachines, monoutil::BytesPerSecond(kBandwidth));
   monoutil::Rng rng(42);
   int completed = 0;
   constexpr int kArrivals = 24;
@@ -144,7 +144,7 @@ TEST(NetworkMaxMinPropertyTest, PruningEligibleDeltasArePatchedAndStayCorrect) {
     const auto bytes = static_cast<monoutil::Bytes>(20 + rng.NextBelow(120));
     // Staggered arrivals: patches only apply to a clean fabric, so each delta
     // gets its own epoch.
-    sim.ScheduleAt(0.05 * i, [&fabric, &completed, src, dst, bytes] {
+    sim.ScheduleAt(monoutil::Seconds(0.05 * i), [&fabric, &completed, src, dst, bytes] {
       fabric.StartFlow(src, dst, bytes, [&completed] { ++completed; });
     });
   }
@@ -175,7 +175,7 @@ TEST(NetworkMaxMinPropertyTest, HeavyFanInSequencesStayWorkConserving) {
     const int hot = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
 
     Simulation sim;
-    NetworkFabricSim fabric(&sim, machines, kBandwidth);
+    NetworkFabricSim fabric(&sim, machines, monoutil::BytesPerSecond(kBandwidth));
     for (int i = 0; i < 24; ++i) {
       const bool to_hot = rng.NextDouble() < 0.7;
       int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(machines)));
@@ -187,7 +187,7 @@ TEST(NetworkMaxMinPropertyTest, HeavyFanInSequencesStayWorkConserving) {
         }
       }
       const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(300));
-      const SimTime at = rng.Uniform(0.0, 2.0);
+      const SimTime at = monoutil::Seconds(rng.Uniform(0.0, 2.0));
       sim.ScheduleAt(at, [&fabric, src, dst, bytes] {
         fabric.StartFlow(src, dst, bytes, [] {});
       });

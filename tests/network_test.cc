@@ -15,44 +15,44 @@ using monoutil::Bytes;
 
 TEST(NetworkFabricTest, SingleFlowRunsAtLinkRate) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, /*nic_bandwidth=*/100.0);
+  NetworkFabricSim fabric(&sim, 4, /*nic_bandwidth=*/monoutil::BytesPerSecond(100.0));
   double done_at = -1.0;
-  fabric.StartFlow(0, 1, 200, [&] { done_at = sim.now(); });
+  fabric.StartFlow(0, 1, Bytes(200), [&] { done_at = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(done_at, 2.0, 1e-9);
 }
 
 TEST(NetworkFabricTest, TwoFlowsToSameReceiverShareIngress) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   int finished = 0;
-  fabric.StartFlow(0, 2, 100, [&] { ++finished; });
-  fabric.StartFlow(1, 2, 100, [&] { ++finished; });
+  fabric.StartFlow(0, 2, Bytes(100), [&] { ++finished; });
+  fabric.StartFlow(1, 2, Bytes(100), [&] { ++finished; });
   sim.Run();
   EXPECT_EQ(finished, 2);
-  EXPECT_NEAR(sim.now(), 2.0, 1e-9);  // Each got 50 B/s.
+  EXPECT_NEAR(sim.now().seconds(), 2.0, 1e-9);  // Each got 50 B/s.
 }
 
 TEST(NetworkFabricTest, TwoFlowsFromSameSenderShareEgress) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   int finished = 0;
-  fabric.StartFlow(0, 1, 100, [&] { ++finished; });
-  fabric.StartFlow(0, 2, 100, [&] { ++finished; });
+  fabric.StartFlow(0, 1, Bytes(100), [&] { ++finished; });
+  fabric.StartFlow(0, 2, Bytes(100), [&] { ++finished; });
   sim.Run();
   EXPECT_EQ(finished, 2);
-  EXPECT_NEAR(sim.now(), 2.0, 1e-9);
+  EXPECT_NEAR(sim.now().seconds(), 2.0, 1e-9);
 }
 
 TEST(NetworkFabricTest, DisjointFlowsDoNotInterfere) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   int finished = 0;
-  fabric.StartFlow(0, 1, 100, [&] { ++finished; });
-  fabric.StartFlow(2, 3, 100, [&] { ++finished; });
+  fabric.StartFlow(0, 1, Bytes(100), [&] { ++finished; });
+  fabric.StartFlow(2, 3, Bytes(100), [&] { ++finished; });
   sim.Run();
   EXPECT_EQ(finished, 2);
-  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+  EXPECT_NEAR(sim.now().seconds(), 1.0, 1e-9);
 }
 
 TEST(NetworkFabricTest, StrandedCapacityIsRedistributedMaxMinFairly) {
@@ -62,15 +62,15 @@ TEST(NetworkFabricTest, StrandedCapacityIsRedistributedMaxMinFairly) {
   // The legacy model handed it min(100/1 egress, 100/2 ingress) = 50, stranding
   // 100/6 of m2's ingress capacity, so its 200 bytes took 4 s instead of 3 s.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 5, 100.0);
+  NetworkFabricSim fabric(&sim, 5, monoutil::BytesPerSecond(100.0));
   double done_at = -1.0;
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 2, 1000, [] {});
-  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, 200, [&] {
-    done_at = sim.now();
+  fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  fabric.StartFlow(0, 2, Bytes(1000), [] {});
+  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, Bytes(200), [&] {
+    done_at = sim.now().seconds();
   });
-  EXPECT_NEAR(fabric.flow_rate(fan_in), 200.0 / 3.0, 1e-6);
+  EXPECT_NEAR(fabric.flow_rate(fan_in).bps(), 200.0 / 3.0, 1e-6);
   sim.Run();
   EXPECT_NEAR(done_at, 3.0, 1e-6);
 }
@@ -80,12 +80,12 @@ TEST(NetworkFabricTest, StrandedEgressCapacityIsRedistributedToo) {
   // (three flows at 100/3), so flow m2->m4 gets the rest of m2's egress
   // (100 - 100/3 = 200/3), not the legacy equal egress split of 50.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 5, 100.0);
-  fabric.StartFlow(1, 0, 1000, [] {});
-  fabric.StartFlow(1, 0, 1000, [] {});
-  fabric.StartFlow(2, 0, 1000, [] {});
-  const NetworkFabricSim::FlowId fan_out = fabric.StartFlow(2, 4, 200, [] {});
-  EXPECT_NEAR(fabric.flow_rate(fan_out), 200.0 / 3.0, 1e-6);
+  NetworkFabricSim fabric(&sim, 5, monoutil::BytesPerSecond(100.0));
+  fabric.StartFlow(1, 0, Bytes(1000), [] {});
+  fabric.StartFlow(1, 0, Bytes(1000), [] {});
+  fabric.StartFlow(2, 0, Bytes(1000), [] {});
+  const NetworkFabricSim::FlowId fan_out = fabric.StartFlow(2, 4, Bytes(200), [] {});
+  EXPECT_NEAR(fabric.flow_rate(fan_out).bps(), 200.0 / 3.0, 1e-6);
   sim.Run();
 }
 
@@ -93,14 +93,14 @@ TEST(NetworkFabricTest, LegacyMinSharePolicyReproducesTheStrandedRate) {
   // Documents what the old model computed for the same flow set (and pins the
   // test-only policy the audit demonstration in audit_test.cc relies on).
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 5, 100.0);
+  NetworkFabricSim fabric(&sim, 5, monoutil::BytesPerSecond(100.0));
   fabric.set_share_policy_for_test(NetworkFabricSim::SharePolicy::kMinShareLegacy);
   ScopedAudit absorb(ScopedAudit::kReport);  // Absorb the max-min violations.
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 1, 1000, [] {});
-  fabric.StartFlow(0, 2, 1000, [] {});
-  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, 200, [] {});
-  EXPECT_NEAR(fabric.flow_rate(fan_in), 50.0, 1e-9);
+  fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  fabric.StartFlow(0, 2, Bytes(1000), [] {});
+  const NetworkFabricSim::FlowId fan_in = fabric.StartFlow(4, 2, Bytes(200), [] {});
+  EXPECT_NEAR(fabric.flow_rate(fan_in).bps(), 50.0, 1e-9);
   sim.Run();
 }
 
@@ -109,19 +109,19 @@ TEST(NetworkFabricTest, CascadedRedistributionBottomsOutEveryFlow) {
   // capacity at m2 then lets D rise until e3/i4 saturate, dragging E and F with
   // it. Every flow ends pinned to a saturated NIC side.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 6, 90.0);
-  const auto a = fabric.StartFlow(0, 1, 1000, [] {});
-  const auto b = fabric.StartFlow(0, 1, 1000, [] {});
-  const auto c = fabric.StartFlow(0, 2, 1000, [] {});
-  const auto d = fabric.StartFlow(3, 2, 1000, [] {});
-  const auto e = fabric.StartFlow(3, 4, 1000, [] {});
-  const auto f = fabric.StartFlow(5, 4, 1000, [] {});
-  EXPECT_NEAR(fabric.flow_rate(a), 30.0, 1e-9);
-  EXPECT_NEAR(fabric.flow_rate(b), 30.0, 1e-9);
-  EXPECT_NEAR(fabric.flow_rate(c), 30.0, 1e-9);
-  EXPECT_NEAR(fabric.flow_rate(d), 45.0, 1e-9);
-  EXPECT_NEAR(fabric.flow_rate(e), 45.0, 1e-9);
-  EXPECT_NEAR(fabric.flow_rate(f), 45.0, 1e-9);
+  NetworkFabricSim fabric(&sim, 6, monoutil::BytesPerSecond(90.0));
+  const auto a = fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  const auto b = fabric.StartFlow(0, 1, Bytes(1000), [] {});
+  const auto c = fabric.StartFlow(0, 2, Bytes(1000), [] {});
+  const auto d = fabric.StartFlow(3, 2, Bytes(1000), [] {});
+  const auto e = fabric.StartFlow(3, 4, Bytes(1000), [] {});
+  const auto f = fabric.StartFlow(5, 4, Bytes(1000), [] {});
+  EXPECT_NEAR(fabric.flow_rate(a).bps(), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(b).bps(), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(c).bps(), 30.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(d).bps(), 45.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(e).bps(), 45.0, 1e-9);
+  EXPECT_NEAR(fabric.flow_rate(f).bps(), 45.0, 1e-9);
   sim.Run();
 }
 
@@ -130,7 +130,7 @@ TEST(NetworkFabricTest, FabricChurnKeepsEventQueueCompact) {
   // set change; the simulation's tombstone compaction must keep the queue bounded
   // by the live event count, not the cancellation count.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 8, 100.0);
+  NetworkFabricSim fabric(&sim, 8, monoutil::BytesPerSecond(100.0));
   constexpr int kLanes = 64;
   constexpr int kFlowsPerLane = 50;
   size_t max_queue = 0;
@@ -144,7 +144,7 @@ TEST(NetworkFabricTest, FabricChurnKeepsEventQueueCompact) {
     if (dst == src) {
       dst = (dst + 1) % 8;
     }
-    fabric.StartFlow(src, dst, 64 + lane, [&, lane, remaining] {
+    fabric.StartFlow(src, dst, Bytes(64 + lane), [&, lane, remaining] {
       ++completed;
       max_queue = std::max(max_queue, sim.queue_size());
       launch(lane, remaining - 1);
@@ -165,22 +165,22 @@ TEST(NetworkFabricTest, FlowRateIsMinOfEndpointShares) {
   // plus another egress flow, so 0->3 also gets 50 from the sender side. Flow 1->3
   // is receiver-limited at 50 even though its sender is idle otherwise.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   double flow_1_3_done = -1.0;
-  fabric.StartFlow(0, 3, 1000, [] {});
-  fabric.StartFlow(0, 2, 1000, [] {});
-  fabric.StartFlow(1, 3, 100, [&] { flow_1_3_done = sim.now(); });
+  fabric.StartFlow(0, 3, Bytes(1000), [] {});
+  fabric.StartFlow(0, 2, Bytes(1000), [] {});
+  fabric.StartFlow(1, 3, Bytes(100), [&] { flow_1_3_done = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(flow_1_3_done, 2.0, 1e-6);
 }
 
 TEST(NetworkFabricTest, CompletionFreesBandwidthForRemainingFlows) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   double small_done = -1.0;
   double large_done = -1.0;
-  fabric.StartFlow(0, 2, 50, [&] { small_done = sim.now(); });
-  fabric.StartFlow(1, 2, 150, [&] { large_done = sim.now(); });
+  fabric.StartFlow(0, 2, Bytes(50), [&] { small_done = sim.now().seconds(); });
+  fabric.StartFlow(1, 2, Bytes(150), [&] { large_done = sim.now().seconds(); });
   sim.Run();
   // Both at 50 B/s; small finishes at t=1 (50 B). Large has 100 B left, now alone at
   // 100 B/s -> finishes at t=2.
@@ -190,49 +190,50 @@ TEST(NetworkFabricTest, CompletionFreesBandwidthForRemainingFlows) {
 
 TEST(NetworkFabricTest, ZeroByteFlowCompletes) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 2, 100.0);
+  NetworkFabricSim fabric(&sim, 2, monoutil::BytesPerSecond(100.0));
   bool done = false;
-  fabric.StartFlow(0, 1, 0, [&] { done = true; });
+  fabric.StartFlow(0, 1, Bytes(0), [&] { done = true; });
   sim.Run();
   EXPECT_TRUE(done);
 }
 
 TEST(NetworkFabricTest, ControlMessageTakesRequestLatency) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 2, 100.0, /*request_latency=*/0.25);
+  NetworkFabricSim fabric(&sim, 2, monoutil::BytesPerSecond(100.0),
+                          /*request_latency=*/monoutil::Seconds(0.25));
   double delivered_at = -1.0;
-  fabric.SendControl(0, 1, [&] { delivered_at = sim.now(); });
+  fabric.SendControl(0, 1, [&] { delivered_at = sim.now().seconds(); });
   sim.Run();
   EXPECT_NEAR(delivered_at, 0.25, 1e-12);
 }
 
 TEST(NetworkFabricTest, TracksTotalBytes) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 3, 100.0);
-  fabric.StartFlow(0, 1, 100, [] {});
-  fabric.StartFlow(1, 2, 300, [] {});
+  NetworkFabricSim fabric(&sim, 3, monoutil::BytesPerSecond(100.0));
+  fabric.StartFlow(0, 1, Bytes(100), [] {});
+  fabric.StartFlow(1, 2, Bytes(300), [] {});
   sim.Run();
-  EXPECT_EQ(fabric.total_bytes_transferred(), 400);
+  EXPECT_EQ(fabric.total_bytes_transferred(), Bytes(400));
 }
 
 TEST(NetworkFabricTest, IngressTraceMeasuresUtilization) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 2, 100.0);
+  NetworkFabricSim fabric(&sim, 2, monoutil::BytesPerSecond(100.0));
   fabric.EnableTrace();
-  fabric.StartFlow(0, 1, 100, [] {});  // Saturates machine 1's ingress for 1s.
+  fabric.StartFlow(0, 1, Bytes(100), [] {});  // Saturates machine 1's ingress for 1s.
   sim.Run();
-  sim.ScheduleAt(2.0, [] {});
+  sim.ScheduleAt(monoutil::Seconds(2.0), [] {});
   sim.Run();
-  EXPECT_NEAR(fabric.MeanIngressUtilization(1, 0.0, 1.0), 1.0, 1e-9);
-  EXPECT_NEAR(fabric.MeanIngressUtilization(1, 0.0, 2.0), 0.5, 1e-9);
-  EXPECT_NEAR(fabric.MeanIngressUtilization(0, 0.0, 2.0), 0.0, 1e-9);
+  EXPECT_NEAR(fabric.MeanIngressUtilization(1, monoutil::Seconds(0.0), monoutil::Seconds(1.0)), 1.0, 1e-9);
+  EXPECT_NEAR(fabric.MeanIngressUtilization(1, monoutil::Seconds(0.0), monoutil::Seconds(2.0)), 0.5, 1e-9);
+  EXPECT_NEAR(fabric.MeanIngressUtilization(0, monoutil::Seconds(0.0), monoutil::Seconds(2.0)), 0.0, 1e-9);
 }
 
 TEST(NetworkFabricTest, FlowCountsTrackActiveFlows) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 3, 100.0);
-  fabric.StartFlow(0, 1, 100, [] {});
-  fabric.StartFlow(2, 1, 100, [] {});
+  NetworkFabricSim fabric(&sim, 3, monoutil::BytesPerSecond(100.0));
+  fabric.StartFlow(0, 1, Bytes(100), [] {});
+  fabric.StartFlow(2, 1, Bytes(100), [] {});
   EXPECT_EQ(fabric.ingress_flows(1), 2);
   EXPECT_EQ(fabric.egress_flows(0), 1);
   sim.Run();
@@ -244,18 +245,18 @@ TEST(NetworkFabricTest, AllToAllShuffleIsSymmetric) {
   // 4 machines, everyone sends 300 B to everyone else. Each NIC carries 3 ingress
   // flows of 300 B at 100/3 B/s -> 9 s total.
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 4, 100.0);
+  NetworkFabricSim fabric(&sim, 4, monoutil::BytesPerSecond(100.0));
   int finished = 0;
   for (int src = 0; src < 4; ++src) {
     for (int dst = 0; dst < 4; ++dst) {
       if (src != dst) {
-        fabric.StartFlow(src, dst, 300, [&] { ++finished; });
+        fabric.StartFlow(src, dst, Bytes(300), [&] { ++finished; });
       }
     }
   }
   sim.Run();
   EXPECT_EQ(finished, 12);
-  EXPECT_NEAR(sim.now(), 9.0, 1e-6);
+  EXPECT_NEAR(sim.now().seconds(), 9.0, 1e-6);
 }
 
 }  // namespace

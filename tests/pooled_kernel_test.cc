@@ -48,7 +48,7 @@ TEST(PooledKernelDigest, ScheduleFireSweepMatchesPreChangeKernel) {
   Simulation sim;
   int fired = 0;
   for (int i = 0; i < 50000; ++i) {
-    sim.ScheduleAt(static_cast<double>(i % 997), [&fired] { ++fired; }, "sweep");
+    sim.ScheduleAt(monoutil::Seconds(static_cast<double>(i % 997)), [&fired] { ++fired; }, "sweep");
   }
   sim.Run();
   EXPECT_EQ(50000, fired);
@@ -62,9 +62,9 @@ TEST(PooledKernelDigest, CancelChurnMatchesPreChangeKernel) {
   int fired = 0;
   for (int i = 0; i < 20000; ++i) {
     pending.Cancel();
-    pending = sim.ScheduleAt(1e6 + i, [] {}, "doomed");
+    pending = sim.ScheduleAt(monoutil::Seconds(1e6 + i), [] {}, "doomed");
     if (i % 3 == 0) {
-      sim.ScheduleAt(static_cast<double>(i), [&fired] { ++fired; }, "live");
+      sim.ScheduleAt(monoutil::Seconds(static_cast<double>(i)), [&fired] { ++fired; }, "live");
     }
   }
   pending.Cancel();
@@ -76,7 +76,7 @@ TEST(PooledKernelDigest, CancelChurnMatchesPreChangeKernel) {
 
 TEST(PooledKernelDigest, FabricBurstChurnMatchesPreChangeKernel) {
   Simulation sim;
-  NetworkFabricSim fabric(&sim, 8, 1e8);
+  NetworkFabricSim fabric(&sim, 8, monoutil::BytesPerSecond(1e8));
   monoutil::Rng rng(21);
   int completed = 0;
   std::function<void(int)> relaunch = [&](int remaining) {
@@ -88,14 +88,14 @@ TEST(PooledKernelDigest, FabricBurstChurnMatchesPreChangeKernel) {
     if (dst >= src) {
       ++dst;
     }
-    const auto bytes = static_cast<monoutil::Bytes>(1 + rng.NextBelow(1 << 16));
+    const auto bytes = monoutil::Bytes(static_cast<int64_t>(1 + rng.NextBelow(1 << 16)));
     fabric.StartFlow(src, dst, bytes, [&, remaining] {
       ++completed;
       relaunch(remaining - 1);
     });
   };
   for (int burst = 0; burst < 6; ++burst) {
-    sim.ScheduleAt(0.01 * burst, [&relaunch] {
+    sim.ScheduleAt(monoutil::Seconds(0.01 * burst), [&relaunch] {
       for (int i = 0; i < 8; ++i) {
         relaunch(4);
       }
@@ -137,7 +137,7 @@ struct Chain {
     if (remaining-- <= 0) {
       return;
     }
-    sim->ScheduleAfter(period, [this] {
+    sim->ScheduleAfter(monoutil::Seconds(period), [this] {
       ++*fired;
       Arm();
     }, "chain");
@@ -158,9 +158,9 @@ struct Churner {
       return;
     }
     doomed.Cancel();
-    doomed = sim->ScheduleAt(1e9 + remaining, [] {}, "doomed");
+    doomed = sim->ScheduleAt(monoutil::Seconds(1e9 + remaining), [] {}, "doomed");
     char pad[64] = {1};  // Forces the outline (arena) callback path.
-    sim->ScheduleAfter(0.25, [this, pad] {
+    sim->ScheduleAfter(monoutil::Seconds(0.25), [this, pad] {
       ++*fired;
       (void)pad;
       sim->AtEpochEnd([this] { ++*fired; });
@@ -253,7 +253,7 @@ TEST(PooledKernelHandles, HandleOutlivesSimulation) {
   EventHandle handle;
   {
     Simulation sim;
-    handle = sim.ScheduleAt(5.0, [] {}, "orphan");
+    handle = sim.ScheduleAt(monoutil::Seconds(5.0), [] {}, "orphan");
     EXPECT_TRUE(handle.pending());
   }
   // The records (and their slabs) are gone; the handle must be inert, not a
@@ -269,7 +269,7 @@ TEST(PooledKernelHandles, CancelAfterCompactionRecycledTheRecord) {
   // and the queue exceeds the compaction floor).
   std::vector<EventHandle> doomed;
   for (int i = 0; i < 200; ++i) {
-    doomed.push_back(sim.ScheduleAt(1000.0 + i, [] {}, "doomed"));
+    doomed.push_back(sim.ScheduleAt(monoutil::Seconds(1000.0 + i), [] {}, "doomed"));
   }
   for (EventHandle& handle : doomed) {
     handle.Cancel();
@@ -277,11 +277,11 @@ TEST(PooledKernelHandles, CancelAfterCompactionRecycledTheRecord) {
   // This schedule triggers compaction, freeing every cancelled record back to
   // the pool; the next schedules below reuse exactly those records.
   int fired = 0;
-  sim.ScheduleAt(1.0, [&fired] { ++fired; }, "live");
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&fired] { ++fired; }, "live");
   ASSERT_EQ(0u, sim.queued_tombstones());
   std::vector<EventHandle> fresh;
   for (int i = 0; i < 200; ++i) {
-    fresh.push_back(sim.ScheduleAt(2000.0 + i, [&fired] { ++fired; }, "fresh"));
+    fresh.push_back(sim.ScheduleAt(monoutil::Seconds(2000.0 + i), [&fired] { ++fired; }, "fresh"));
   }
   // Stale handles point at recycled records now hosting fresh events: their
   // generation no longer matches, so cancelling must not kill the new
@@ -300,11 +300,11 @@ TEST(PooledKernelHandles, CancelAfterCompactionRecycledTheRecord) {
 TEST(PooledKernelHandles, CancelAfterFireIsInert) {
   Simulation sim;
   int fired = 0;
-  EventHandle first = sim.ScheduleAt(1.0, [&fired] { ++fired; }, "first");
+  EventHandle first = sim.ScheduleAt(monoutil::Seconds(1.0), [&fired] { ++fired; }, "first");
   ASSERT_TRUE(sim.Step());
   EXPECT_FALSE(first.pending());
   // The fired record is the pool's next free record; this schedule reuses it.
-  EventHandle second = sim.ScheduleAt(2.0, [&fired] { ++fired; }, "second");
+  EventHandle second = sim.ScheduleAt(monoutil::Seconds(2.0), [&fired] { ++fired; }, "second");
   first.Cancel();  // Stale generation: must not cancel `second`.
   EXPECT_TRUE(second.pending());
   sim.Run();
@@ -314,7 +314,7 @@ TEST(PooledKernelHandles, CancelAfterFireIsInert) {
 TEST(PooledKernelHandles, CopiedHandlesShareCancellation) {
   Simulation sim;
   int fired = 0;
-  EventHandle a = sim.ScheduleAt(1.0, [&fired] { ++fired; }, "shared");
+  EventHandle a = sim.ScheduleAt(monoutil::Seconds(1.0), [&fired] { ++fired; }, "shared");
   EventHandle b = a;
   b.Cancel();
   EXPECT_FALSE(a.pending());

@@ -68,9 +68,9 @@ TEST_P(ExecutorSweepTest, BothExecutorsCompleteWithSameGroundTruthWork) {
                 1e-6);
     // Network bytes depend slightly on task placement (which reduce task lands on
     // which machine changes the local/remote shuffle split), so compare loosely.
-    EXPECT_NEAR(static_cast<double>(spark.stages[s].usage.network_bytes),
-                static_cast<double>(mono.stages[s].usage.network_bytes),
-                0.05 * static_cast<double>(mono.stages[s].usage.network_bytes) + 1.0);
+    EXPECT_NEAR(static_cast<double>(spark.stages[s].usage.network_bytes.count()),
+                static_cast<double>(mono.stages[s].usage.network_bytes.count()),
+                0.05 * static_cast<double>(mono.stages[s].usage.network_bytes.count()) + 1.0);
   }
 }
 
@@ -81,7 +81,7 @@ TEST_P(ExecutorSweepTest, RuntimeIsNoLessThanTheModeledIdeal) {
   for (int s = 0; s < model.num_stages(); ++s) {
     const double ideal = model.IdealTimes(s).bottleneck_seconds();
     // Real execution can only be slower than the perfectly-parallel ideal.
-    EXPECT_GE(mono.stages[static_cast<size_t>(s)].duration(), ideal * 0.999);
+    EXPECT_GE(mono.stages[static_cast<size_t>(s)].duration().seconds(), ideal * 0.999);
   }
 }
 
@@ -98,10 +98,10 @@ TEST_P(ExecutorSweepTest, MonotaskComputeTimeMatchesGroundTruth) {
 TEST_P(ExecutorSweepTest, DeterministicAcrossRepeatedRuns) {
   const JobResult first = Run(true);
   const JobResult second = Run(true);
-  EXPECT_DOUBLE_EQ(first.duration(), second.duration());
+  EXPECT_DOUBLE_EQ(first.duration().seconds(), second.duration().seconds());
   const JobResult spark_first = Run(false);
   const JobResult spark_second = Run(false);
-  EXPECT_DOUBLE_EQ(spark_first.duration(), spark_second.duration());
+  EXPECT_DOUBLE_EQ(spark_first.duration().seconds(), spark_second.duration().seconds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ExecutorSweepTest,
@@ -145,7 +145,7 @@ TEST_P(SlotSweepTest, SparkCompletesUnderAnySlotCount) {
   params.num_reduce_tasks = 32;
   const JobResult result = env.driver().RunJob(monoload::MakeSortJob(&env.dfs(), params));
   EXPECT_EQ(result.stages[0].num_tasks, 32);
-  EXPECT_GT(result.duration(), 0.0);
+  EXPECT_GT(result.duration(), monoutil::SimTime());
 }
 
 INSTANTIATE_TEST_SUITE_P(Slots, SlotSweepTest, ::testing::Values(1, 2, 4, 8, 16, 64));
@@ -170,13 +170,13 @@ TEST_P(SeedSweepTest, JitterPreservesTotals) {
   job.stages = {spec};
 
   StageExecution stage(job, 0, 4, &dfs, nullptr, &rng);
-  monoutil::Bytes input_total = 0;
-  monoutil::Bytes output_total = 0;
+  monoutil::Bytes input_total;
+  monoutil::Bytes output_total;
   for (int m = 0; m < 4; ++m) {
     while (auto task = stage.TakeTask(m)) {
       input_total += task->input_bytes;
       output_total += task->output_bytes;
-      EXPECT_GE(task->input_bytes, 0);
+      EXPECT_GE(task->input_bytes, monoutil::Bytes(0));
     }
   }
   EXPECT_EQ(input_total, MiB(999));

@@ -20,7 +20,7 @@ class SchedulerSimTest : public ::testing::Test {
     MachineConfig config;
     config.cores = 2;
     DiskConfig disk;
-    disk.bandwidth = 100.0;  // 100 B/s.
+    disk.bandwidth = monoutil::BytesPerSecond(100.0);  // 100 B/s.
     disk.seek_alpha = 0.5;
     config.disks = {disk, disk};
     machine_ = std::make_unique<MachineSim>(&sim_, 0, config);
@@ -46,7 +46,7 @@ TEST_F(SchedulerSimTest, CpuSchedulerRunsAtMostCoreCount) {
   sim_.Run();
   EXPECT_EQ(done, 5);
   // 5 monotasks of 1 s on 2 cores: 3 serial rounds.
-  EXPECT_NEAR(sim_.now(), 3.0, 1e-9);
+  EXPECT_NEAR(sim_.now().seconds(), 3.0, 1e-9);
 }
 
 TEST_F(SchedulerSimTest, CpuServiceTimeExcludesQueueing) {
@@ -79,8 +79,8 @@ TEST_F(SchedulerSimTest, DiskSchedulerRunsOneAtATimeOnHdd) {
     services.push_back(s);
     waits.push_back(w);
   };
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record);
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record);
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record);
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record);
   EXPECT_EQ(scheduler.running(), 1);
   EXPECT_EQ(scheduler.queue_length(), 1);
   sim_.Run();
@@ -91,7 +91,7 @@ TEST_F(SchedulerSimTest, DiskSchedulerRunsOneAtATimeOnHdd) {
   EXPECT_NEAR(services[1], 1.0, 1e-9);
   EXPECT_NEAR(waits[0], 0.0, 1e-9);
   EXPECT_NEAR(waits[1], 1.0, 1e-9);  // Queued behind the first read.
-  EXPECT_NEAR(sim_.now(), 2.0, 1e-9);
+  EXPECT_NEAR(sim_.now().seconds(), 2.0, 1e-9);
 }
 
 TEST_F(SchedulerSimTest, DiskSchedulerRoundRobinsPhases) {
@@ -101,11 +101,11 @@ TEST_F(SchedulerSimTest, DiskSchedulerRoundRobinsPhases) {
     return [&order, label](double, double) { order.push_back(label); };
   };
   // Seed a running monotask, then queue writes before reads.
-  scheduler.EnqueueWrite(100, record("w0"));
-  scheduler.EnqueueWrite(100, record("w1"));
-  scheduler.EnqueueWrite(100, record("w2"));
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
-  scheduler.EnqueueRead(DiskPhase::kServe, 100, record("s0"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w0"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w1"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w2"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kServe, monoutil::Bytes(100), record("s0"));
   sim_.Run();
   ASSERT_EQ(order.size(), 5u);
   // After w0, the round-robin must visit the read and serve queues before draining
@@ -121,9 +121,9 @@ TEST_F(SchedulerSimTest, FifoAblationDrainsWritesFirst) {
   auto record = [&](std::string label) {
     return [&order, label](double, double) { order.push_back(label); };
   };
-  scheduler.EnqueueWrite(100, record("w0"));
-  scheduler.EnqueueWrite(100, record("w1"));
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w0"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w1"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r0"));
   sim_.Run();
   EXPECT_EQ(order, (std::vector<std::string>{"w0", "w1", "r0"}));
 }
@@ -132,7 +132,7 @@ TEST_F(SchedulerSimTest, SsdSchedulerAllowsMultipleOutstanding) {
   DiskSchedulerSim scheduler(&sim_, &machine_->disk(0), /*max_outstanding=*/4);
   int done = 0;
   for (int i = 0; i < 4; ++i) {
-    scheduler.EnqueueRead(DiskPhase::kRead, 100, [&](double, double) { ++done; });
+    scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), [&](double, double) { ++done; });
   }
   EXPECT_EQ(scheduler.running(), 4);
   sim_.Run();
@@ -166,58 +166,58 @@ TEST(NetworkSchedulerSimTest, GatesConcurrentFetchSets) {
 TEST(BufferCacheSyncTest, WriteSyncCompletesOnlyWhenDurable) {
   Simulation sim;
   DiskConfig disk_config;
-  disk_config.bandwidth = 100.0;
+  disk_config.bandwidth = monoutil::BytesPerSecond(100.0);
   disk_config.seek_alpha = 0.0;
   DiskSim disk(&sim, "d0", disk_config);
   BufferCacheConfig config;
   config.dirty_limit = MiB(1);
-  config.flush_chunk = 100;
-  config.memory_bandwidth = 1e9;
+  config.flush_chunk = monoutil::Bytes(100);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e9);
   BufferCacheSim cache(&sim, config, {&disk});
 
   double done_at = -1.0;
-  cache.WriteSync(0, 200, [&] { done_at = sim.now(); });
+  cache.WriteSync(0, monoutil::Bytes(200), [&] { done_at = sim.now().seconds(); });
   sim.Run();
   // 200 B at 100 B/s must take >= 2 s even though it went through the cache.
   EXPECT_GE(done_at, 2.0 - 1e-9);
-  EXPECT_EQ(disk.bytes_written(), 200);
+  EXPECT_EQ(disk.bytes_written(), monoutil::Bytes(200));
 }
 
 TEST(BufferCacheSyncTest, SyncWritersCompleteInOrderPerDisk) {
   Simulation sim;
   DiskConfig disk_config;
-  disk_config.bandwidth = 100.0;
+  disk_config.bandwidth = monoutil::BytesPerSecond(100.0);
   disk_config.seek_alpha = 0.0;
   DiskSim disk(&sim, "d0", disk_config);
   BufferCacheConfig config;
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e9;
+  config.flush_chunk = monoutil::Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e9);
   BufferCacheSim cache(&sim, config, {&disk});
 
   std::vector<int> order;
-  cache.WriteSync(0, 100, [&] { order.push_back(1); });
-  cache.WriteSync(0, 100, [&] { order.push_back(2); });
+  cache.WriteSync(0, monoutil::Bytes(100), [&] { order.push_back(1); });
+  cache.WriteSync(0, monoutil::Bytes(100), [&] { order.push_back(2); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
-  EXPECT_EQ(cache.total_flushed(), 200);
+  EXPECT_EQ(cache.total_flushed(), monoutil::Bytes(200));
 }
 
 TEST(BufferCacheSyncTest, AsyncAndSyncWritesCoexist) {
   Simulation sim;
   DiskConfig disk_config;
-  disk_config.bandwidth = 100.0;
+  disk_config.bandwidth = monoutil::BytesPerSecond(100.0);
   disk_config.seek_alpha = 0.0;
   DiskSim disk(&sim, "d0", disk_config);
   BufferCacheConfig config;
-  config.flush_chunk = 50;
-  config.memory_bandwidth = 1e9;
-  config.writeback_delay = 1000.0;
+  config.flush_chunk = monoutil::Bytes(50);
+  config.memory_bandwidth = monoutil::BytesPerSecond(1e9);
+  config.writeback_delay = monoutil::Seconds(1000.0);
   BufferCacheSim cache(&sim, config, {&disk});
 
   double async_done = -1.0;
   double sync_done = -1.0;
-  cache.Write(0, 100, [&] { async_done = sim.now(); });
-  cache.WriteSync(0, 100, [&] { sync_done = sim.now(); });
+  cache.Write(0, monoutil::Bytes(100), [&] { async_done = sim.now().seconds(); });
+  cache.WriteSync(0, monoutil::Bytes(100), [&] { sync_done = sim.now().seconds(); });
   sim.Run();
   EXPECT_LT(async_done, 0.1);  // Memory speed.
   // The sync write waits for both its own bytes and the earlier dirty bytes.
@@ -235,11 +235,11 @@ TEST_F(SchedulerSimTest, MemoryPressurePrioritizesWrites) {
   };
   // Seed the disk, then queue reads ahead of writes and raise pressure: the writes
   // must jump the round-robin rotation.
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r1"));
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r2"));
-  scheduler.EnqueueWrite(100, record("w0"));
-  scheduler.EnqueueWrite(100, record("w1"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r1"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r2"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w0"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w1"));
   pressure = true;
   sim_.Run();
   ASSERT_EQ(order.size(), 5u);
@@ -256,9 +256,9 @@ TEST_F(SchedulerSimTest, MemoryPressureOffFallsBackToRoundRobin) {
   auto record = [&](std::string label) {
     return [&order, label](double, double) { order.push_back(label); };
   };
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r0"));
-  scheduler.EnqueueRead(DiskPhase::kRead, 100, record("r1"));
-  scheduler.EnqueueWrite(100, record("w0"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r0"));
+  scheduler.EnqueueRead(DiskPhase::kRead, monoutil::Bytes(100), record("r1"));
+  scheduler.EnqueueWrite(monoutil::Bytes(100), record("w0"));
   sim_.Run();
   // Without pressure the rotation interleaves: r0, w0, r1.
   EXPECT_EQ(order, (std::vector<std::string>{"r0", "w0", "r1"}));

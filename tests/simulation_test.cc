@@ -32,26 +32,26 @@ class PhaseRecorder : public Auditable {
 
 TEST(SimulationTest, StartsAtTimeZero) {
   Simulation sim;
-  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 0.0);
 }
 
 TEST(SimulationTest, FiresEventsInTimeOrder) {
   Simulation sim;
   std::vector<int> order;
-  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
-  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
-  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(monoutil::Seconds(2.0), [&] { order.push_back(2); });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { order.push_back(1); });
+  sim.ScheduleAt(monoutil::Seconds(3.0), [&] { order.push_back(3); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 3.0);
 }
 
 TEST(SimulationTest, TiesBreakByInsertionOrder) {
   Simulation sim;
   std::vector<int> order;
-  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
-  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
-  sim.ScheduleAt(1.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { order.push_back(1); });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { order.push_back(2); });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { order.push_back(3); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -59,8 +59,8 @@ TEST(SimulationTest, TiesBreakByInsertionOrder) {
 TEST(SimulationTest, ScheduleAfterUsesRelativeDelay) {
   Simulation sim;
   double fired_at = -1.0;
-  sim.ScheduleAt(5.0, [&] {
-    sim.ScheduleAfter(2.5, [&] { fired_at = sim.now(); });
+  sim.ScheduleAt(monoutil::Seconds(5.0), [&] {
+    sim.ScheduleAfter(monoutil::Seconds(2.5), [&] { fired_at = sim.now().seconds(); });
   });
   sim.Run();
   EXPECT_DOUBLE_EQ(fired_at, 7.5);
@@ -69,9 +69,9 @@ TEST(SimulationTest, ScheduleAfterUsesRelativeDelay) {
 TEST(SimulationTest, EventsScheduledDuringRunAreFired) {
   Simulation sim;
   int count = 0;
-  sim.ScheduleAt(1.0, [&] {
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] {
     ++count;
-    sim.ScheduleAfter(1.0, [&] { ++count; });
+    sim.ScheduleAfter(monoutil::Seconds(1.0), [&] { ++count; });
   });
   sim.Run();
   EXPECT_EQ(count, 2);
@@ -80,7 +80,7 @@ TEST(SimulationTest, EventsScheduledDuringRunAreFired) {
 TEST(SimulationTest, CancelPreventsFiring) {
   Simulation sim;
   bool fired = false;
-  EventHandle handle = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EventHandle handle = sim.ScheduleAt(monoutil::Seconds(1.0), [&] { fired = true; });
   EXPECT_TRUE(handle.pending());
   handle.Cancel();
   EXPECT_FALSE(handle.pending());
@@ -91,7 +91,7 @@ TEST(SimulationTest, CancelPreventsFiring) {
 TEST(SimulationTest, CancelIsIdempotentAndSafeAfterFiring) {
   Simulation sim;
   int fired = 0;
-  EventHandle handle = sim.ScheduleAt(1.0, [&] { ++fired; });
+  EventHandle handle = sim.ScheduleAt(monoutil::Seconds(1.0), [&] { ++fired; });
   sim.Run();
   EXPECT_EQ(fired, 1);
   EXPECT_FALSE(handle.pending());
@@ -109,11 +109,11 @@ TEST(SimulationTest, EmptyHandleIsInert) {
 TEST(SimulationTest, RunUntilStopsAtDeadline) {
   Simulation sim;
   int fired = 0;
-  sim.ScheduleAt(1.0, [&] { ++fired; });
-  sim.ScheduleAt(10.0, [&] { ++fired; });
-  sim.RunUntil(5.0);
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { ++fired; });
+  sim.ScheduleAt(monoutil::Seconds(10.0), [&] { ++fired; });
+  sim.RunUntil(monoutil::Seconds(5.0));
   EXPECT_EQ(fired, 1);
-  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 5.0);
   sim.Run();
   EXPECT_EQ(fired, 2);
 }
@@ -121,16 +121,16 @@ TEST(SimulationTest, RunUntilStopsAtDeadline) {
 TEST(SimulationTest, RunUntilFiresEventExactlyAtDeadline) {
   Simulation sim;
   bool fired = false;
-  sim.ScheduleAt(5.0, [&] { fired = true; });
-  sim.RunUntil(5.0);
+  sim.ScheduleAt(monoutil::Seconds(5.0), [&] { fired = true; });
+  sim.RunUntil(monoutil::Seconds(5.0));
   EXPECT_TRUE(fired);
 }
 
 TEST(SimulationTest, StepFiresOneEvent) {
   Simulation sim;
   int fired = 0;
-  sim.ScheduleAt(1.0, [&] { ++fired; });
-  sim.ScheduleAt(2.0, [&] { ++fired; });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { ++fired; });
+  sim.ScheduleAt(monoutil::Seconds(2.0), [&] { ++fired; });
   EXPECT_TRUE(sim.Step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.Step());
@@ -140,8 +140,8 @@ TEST(SimulationTest, StepFiresOneEvent) {
 
 TEST(SimulationTest, FiredEventsExcludesCancelled) {
   Simulation sim;
-  sim.ScheduleAt(1.0, [] {});
-  EventHandle handle = sim.ScheduleAt(2.0, [] {});
+  sim.ScheduleAt(monoutil::Seconds(1.0), [] {});
+  EventHandle handle = sim.ScheduleAt(monoutil::Seconds(2.0), [] {});
   handle.Cancel();
   sim.Run();
   EXPECT_EQ(sim.fired_events(), 1u);
@@ -156,14 +156,14 @@ TEST(SimulationTest, RunUntilTreatsCancelledOnlyRemainderAsDrained) {
   Simulation sim;
   PhaseRecorder recorder(&sim);
   bool fired = false;
-  sim.ScheduleAt(1.0, [&] { fired = true; });
-  EventHandle beyond = sim.ScheduleAt(10.0, [] { FAIL() << "cancelled event fired"; });
+  sim.ScheduleAt(monoutil::Seconds(1.0), [&] { fired = true; });
+  EventHandle beyond = sim.ScheduleAt(monoutil::Seconds(10.0), [] { FAIL() << "cancelled event fired"; });
   beyond.Cancel();
-  sim.RunUntil(5.0);
+  sim.RunUntil(monoutil::Seconds(5.0));
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.queue_size(), 0u);
   EXPECT_GE(recorder.drain_sweeps(), 1);
-  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 5.0);
   EXPECT_TRUE(scoped.audit().ok()) << scoped.audit().Summary();
 }
 
@@ -171,8 +171,8 @@ TEST(SimulationTest, RunUntilStillSkipsDrainWhileLiveEventsRemain) {
   ScopedAudit scoped(ScopedAudit::kReport);
   Simulation sim;
   PhaseRecorder recorder(&sim);
-  sim.ScheduleAt(10.0, [] {});
-  sim.RunUntil(5.0);
+  sim.ScheduleAt(monoutil::Seconds(10.0), [] {});
+  sim.RunUntil(monoutil::Seconds(5.0));
   EXPECT_EQ(recorder.drain_sweeps(), 0);
   sim.Run();
   EXPECT_GE(recorder.drain_sweeps(), 1);
@@ -180,8 +180,8 @@ TEST(SimulationTest, RunUntilStillSkipsDrainWhileLiveEventsRemain) {
 
 TEST(SimulationTest, TombstoneCountTracksCancelledQueueEntries) {
   Simulation sim;
-  EventHandle a = sim.ScheduleAt(1.0, [] {});
-  EventHandle b = sim.ScheduleAt(2.0, [] {});
+  EventHandle a = sim.ScheduleAt(monoutil::Seconds(1.0), [] {});
+  EventHandle b = sim.ScheduleAt(monoutil::Seconds(2.0), [] {});
   EXPECT_EQ(sim.queued_tombstones(), 0u);
   a.Cancel();
   a.Cancel();  // Idempotent: must not double-count.
@@ -204,7 +204,7 @@ TEST(SimulationTest, CompactionBoundsQueueUnderCancelHeavyChurn) {
   EventHandle pending;
   for (int i = 0; i < kChurn; ++i) {
     pending.Cancel();
-    pending = sim.ScheduleAt(1e9 + i, [] {});
+    pending = sim.ScheduleAt(monoutil::Seconds(1e9 + i), [] {});
     max_queue = std::max(max_queue, sim.queue_size());
   }
   // One live event; everything else must have been compacted away.
@@ -218,7 +218,7 @@ TEST(SimulationTest, CompactionCanBeDisabledForMeasurement) {
   EventHandle pending;
   for (int i = 0; i < 1000; ++i) {
     pending.Cancel();
-    pending = sim.ScheduleAt(1e9 + i, [] {});
+    pending = sim.ScheduleAt(monoutil::Seconds(1e9 + i), [] {});
   }
   EXPECT_EQ(sim.queue_size(), 1000u);
   EXPECT_EQ(sim.queued_tombstones(), 999u);
@@ -231,19 +231,19 @@ TEST(SimulationTest, CompactionPreservesEventOrderAndPendingEvents) {
   std::vector<int> order;
   std::vector<EventHandle> doomed;
   for (int i = 0; i < 500; ++i) {
-    sim.ScheduleAt(2.0 * i, [&order, i] { order.push_back(i); });
+    sim.ScheduleAt(monoutil::Seconds(2.0 * i), [&order, i] { order.push_back(i); });
   }
   // More tombstones than live events, so the next schedule crosses the
   // tombstones-outnumber-live threshold and compacts.
   for (int i = 0; i < 600; ++i) {
-    doomed.push_back(sim.ScheduleAt(1500.0 + i, [] { FAIL() << "cancelled event fired"; }));
+    doomed.push_back(sim.ScheduleAt(monoutil::Seconds(1500.0 + i), [] { FAIL() << "cancelled event fired"; }));
   }
   for (EventHandle& handle : doomed) {
     handle.Cancel();
   }
   // Trigger compaction via new schedules now that tombstones dominate.
   for (int i = 0; i < 4; ++i) {
-    sim.ScheduleAt(1000.0 + i, [] {});
+    sim.ScheduleAt(monoutil::Seconds(1000.0 + i), [] {});
   }
   EXPECT_LT(sim.queue_size(), 600u);  // Tombstones were dropped.
   sim.Run();

@@ -39,7 +39,7 @@ TEST(SparkExecutorTest, SlotCountBoundsConcurrency) {
     config.slots_per_machine = slots;
     const JobResult result = RunSort(TinyCluster(), config);
     for (const auto& stage : result.stages) {
-      const double capacity = static_cast<double>(slots) * 2 * stage.duration();
+      const double capacity = static_cast<double>(slots) * 2 * stage.duration().seconds();
       EXPECT_LE(stage.task_seconds, capacity * 1.001)
           << "slots=" << slots << " stage=" << stage.name;
     }
@@ -51,8 +51,8 @@ TEST(SparkExecutorTest, FewerSlotsSlowCpuBoundJobs) {
   one_slot.slots_per_machine = 1;
   SparkConfig four_slots;
   four_slots.slots_per_machine = 4;
-  const double slow = RunSort(TinyCluster(), one_slot).duration();
-  const double fast = RunSort(TinyCluster(), four_slots).duration();
+  const double slow = RunSort(TinyCluster(), one_slot).duration().seconds();
+  const double fast = RunSort(TinyCluster(), four_slots).duration().seconds();
   EXPECT_GT(slow, fast * 1.5);
 }
 
@@ -74,7 +74,7 @@ TEST(SparkExecutorTest, LazyWritesStayInCacheWhenSmall) {
     // Sample the device counters at *job completion*: the OS flushes the cache
     // eventually (the simulation drains those events afterwards), but by then the
     // job's runtime was already unaffected — exactly the §5.3 visibility gap.
-    monoutil::Bytes written_at_completion = 0;
+    monoutil::Bytes written_at_completion;
     env.driver().SubmitJob(job, [&](JobResult) {
       for (int m = 0; m < env.cluster().num_machines(); ++m) {
         for (int d = 0; d < env.cluster().machine(m).num_disks(); ++d) {
@@ -85,9 +85,10 @@ TEST(SparkExecutorTest, LazyWritesStayInCacheWhenSmall) {
     env.sim().Run();
     return written_at_completion;
   };
-  EXPECT_EQ(disk_writes(false), 0);  // Absorbed by the cache (the 1c effect).
+  EXPECT_EQ(disk_writes(false), monoutil::Bytes(0));  // Absorbed by the cache (the 1c effect).
   // Forced to disk (chunked writes truncate a few fractional bytes per chunk).
-  EXPECT_NEAR(static_cast<double>(disk_writes(true)), static_cast<double>(MiB(64)),
+  EXPECT_NEAR(static_cast<double>(disk_writes(true).count()),
+              static_cast<double>(MiB(64).count()),
               1024.0);
 }
 
@@ -95,8 +96,8 @@ TEST(SparkExecutorTest, WriteThroughIsNeverFasterForWriteHeavyJobs) {
   SparkConfig lazy;
   SparkConfig flush;
   flush.write_through = true;
-  const double lazy_seconds = RunSort(TinyCluster(), lazy, GiB(4), 32).duration();
-  const double flush_seconds = RunSort(TinyCluster(), flush, GiB(4), 32).duration();
+  const double lazy_seconds = RunSort(TinyCluster(), lazy, GiB(4), 32).duration().seconds();
+  const double flush_seconds = RunSort(TinyCluster(), flush, GiB(4), 32).duration().seconds();
   EXPECT_GE(flush_seconds, lazy_seconds * 0.999);
 }
 
@@ -104,8 +105,8 @@ TEST(SparkExecutorTest, ChunkJitterPreservesMeanRuntime) {
   SparkConfig smooth;
   SparkConfig jittery;
   jittery.chunk_cpu_jitter_cv = 0.5;
-  const double base = RunSort(TinyCluster(), smooth).duration();
-  const double jittered = RunSort(TinyCluster(), jittery).duration();
+  const double base = RunSort(TinyCluster(), smooth).duration().seconds();
+  const double jittered = RunSort(TinyCluster(), jittery).duration().seconds();
   // Lognormal with mean 1: runtime within ~15% of the deterministic run.
   EXPECT_NEAR(jittered, base, base * 0.15);
 }
@@ -117,16 +118,16 @@ TEST(SparkExecutorTest, ServeConcurrencyCapLimitsShuffleServiceThrash) {
   bounded.serve_read_concurrency = 4;
   SparkConfig unbounded;
   unbounded.serve_read_concurrency = 64;
-  const double with_cap = RunSort(TinyCluster(4), bounded, GiB(4), 64).duration();
-  const double without = RunSort(TinyCluster(4), unbounded, GiB(4), 64).duration();
+  const double with_cap = RunSort(TinyCluster(4), bounded, GiB(4), 64).duration().seconds();
+  const double without = RunSort(TinyCluster(4), unbounded, GiB(4), 64).duration().seconds();
   EXPECT_LE(with_cap, without * 1.02);
 }
 
 TEST(SparkExecutorTest, DeterministicWithJitterSeed) {
   SparkConfig config;
   config.chunk_cpu_jitter_cv = 0.5;
-  const double first = RunSort(TinyCluster(), config).duration();
-  const double second = RunSort(TinyCluster(), config).duration();
+  const double first = RunSort(TinyCluster(), config).duration().seconds();
+  const double second = RunSort(TinyCluster(), config).duration().seconds();
   EXPECT_DOUBLE_EQ(first, second);
 }
 

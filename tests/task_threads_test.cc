@@ -120,11 +120,11 @@ TEST(BlockDeviceContentionTest, OverlappingOpsPayTheSeekPenalty) {
   const monoutil::Bytes charged =
       device.charged_bytes() - charged_after_writes;
   // big (started alone: 8 MiB) + small (overlapped: 2 MiB) = 10 MiB.
-  EXPECT_EQ(charged, (8 << 20) + (2 << 20));
+  EXPECT_EQ(charged, monoutil::Bytes((8 << 20) + (2 << 20)));
   // Serialized operations are never surcharged.
   const monoutil::Bytes before = device.charged_bytes();
   device.Read("small");
-  EXPECT_EQ(device.charged_bytes() - before, 1 << 20);
+  EXPECT_EQ(device.charged_bytes() - before, monoutil::Bytes(1 << 20));
 }
 
 
@@ -134,15 +134,15 @@ TEST(EngineModelTest, ConvertsMetricsToModelInputs) {
   stage.name = "s0";
   stage.wall_seconds = 1.5;
   stage.compute_seconds = 4.0;
-  stage.disk_read_bytes = 1 << 20;
-  stage.disk_write_bytes = 1 << 19;
-  stage.network_bytes = 1 << 18;
+  stage.disk_read_bytes = monoutil::Bytes(1 << 20);
+  stage.disk_write_bytes = monoutil::Bytes(1 << 19);
+  stage.network_bytes = monoutil::Bytes(1 << 18);
   metrics.stages.push_back(stage);
   const auto inputs = ToModelInputs(metrics);
   ASSERT_EQ(inputs.size(), 1u);
   EXPECT_EQ(inputs[0].name, "s0");
   EXPECT_NEAR(inputs[0].cpu_seconds, 4.0, 1e-12);
-  EXPECT_EQ(inputs[0].disk_read_bytes, 1 << 20);
+  EXPECT_EQ(inputs[0].disk_read_bytes, monoutil::Bytes(1 << 20));
   EXPECT_NEAR(inputs[0].observed_seconds, 1.5, 1e-12);
 }
 

@@ -179,7 +179,7 @@ TEST(MetricsRegistryTest, DisabledTelemetryStillCountsExplicitAdds) {
 TEST(FlightRecorderTest, RingKeepsNewestEntries) {
   monosim::FlightRecorder recorder;
   for (uint64_t i = 0; i < monosim::FlightRecorder::kCapacity + 10; ++i) {
-    recorder.Record(static_cast<double>(i), i, "evt", i);
+    recorder.Record(monoutil::SimTime(static_cast<double>(i)), i, "evt", i);
   }
   EXPECT_EQ(recorder.total_recorded(),
             monosim::FlightRecorder::kCapacity + 10);
@@ -192,7 +192,7 @@ TEST(FlightRecorderTest, RingKeepsNewestEntries) {
 
 TEST(FlightRecorderTest, ClearEmptiesTrail) {
   monosim::FlightRecorder recorder;
-  recorder.Record(1.0, 1, "evt", 42);
+  recorder.Record(monoutil::Seconds(1.0), 1, "evt", 42);
   recorder.Clear();
   EXPECT_EQ(recorder.total_recorded(), 0u);
   EXPECT_TRUE(recorder.Trail().empty());

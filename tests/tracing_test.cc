@@ -307,7 +307,7 @@ TEST(TracedSortTest, UtilizationMeasuredFlagTracksClusterTrace) {
 TEST(TracingTest, AuditViolationsBecomeInstants) {
   monotrace::ScopedTracer scoped;
   monosim::ScopedAudit audit(monosim::ScopedAudit::kReport);
-  audit.audit().Report(1.5, "fluid:disk0", "weighted-share", "observed 2 expected 1");
+  audit.audit().Report(monoutil::Seconds(1.5), "fluid:disk0", "weighted-share", "observed 2 expected 1");
   const ParsedTrace trace = ParseChromeTrace(scoped.tracer().ToJson());
   ASSERT_TRUE(trace.ok());
   ASSERT_EQ(trace.instants.size(), 1u);
@@ -331,8 +331,8 @@ TEST(TracingTest, DisabledTracerHookSitesDoNotAllocate) {
   for (int i = 0; i < 1000; ++i) {
     // Instrumented hot paths: with no tracer installed each hook is one
     // relaxed atomic load and a branch.
-    mono.AddBuffered(0, 64);
-    mono.RemoveBuffered(0, 64);
+    mono.AddBuffered(0, monoutil::Bytes(64));
+    mono.RemoveBuffered(0, monoutil::Bytes(64));
   }
   EXPECT_EQ(monotest::AllocationCount().load() - before, 0);
 }

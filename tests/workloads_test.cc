@@ -18,8 +18,8 @@ using monoutil::GiB;
 using monoutil::MiB;
 
 TEST(SortWorkloadTest, RecordBytesAndCpuModel) {
-  EXPECT_EQ(SortRecordBytes(1), 16);
-  EXPECT_EQ(SortRecordBytes(10), 88);
+  EXPECT_EQ(SortRecordBytes(1), monoutil::Bytes(16));
+  EXPECT_EQ(SortRecordBytes(10), monoutil::Bytes(88));
   // Smaller records -> more CPU per byte.
   EXPECT_GT(SortCpuSeconds(GiB(1), 10), SortCpuSeconds(GiB(1), 50));
   // CPU scales linearly in bytes.
@@ -106,7 +106,7 @@ TEST(MlWorkloadTest, StagesAreInMemoryAndNetworkHeavy) {
   EXPECT_EQ(job.stages[0].input, monosim::InputSource::kMemory);
   for (size_t s = 0; s + 1 < job.stages.size(); ++s) {
     EXPECT_TRUE(job.stages[s].shuffle_to_memory);
-    EXPECT_GT(job.stages[s].shuffle_bytes, 0);
+    EXPECT_GT(job.stages[s].shuffle_bytes, monoutil::Bytes(0));
   }
   // Last stage has no shuffle output.
   EXPECT_EQ(job.stages.back().output, monosim::OutputSink::kNone);
@@ -184,7 +184,7 @@ TEST(PageRankWorkloadTest, RunsToCompletionUnderBothExecutors) {
     const monosim::JobResult result =
         env.driver().RunJob(MakePageRankJob(&env.dfs(), params));
     EXPECT_EQ(result.stages.size(), 4u);
-    EXPECT_GT(result.duration(), 0.0);
+    EXPECT_GT(result.duration(), monoutil::SimTime());
   }
 }
 

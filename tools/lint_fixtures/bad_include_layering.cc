@@ -1,0 +1,12 @@
+// Fixture: include-layering must flag edges that leave the declared layer DAG
+// when this file is linted as a member of src/simcore (--layer src/simcore).
+// The simulation stack must never reach into the wall-clock world.
+#include "src/simcore/simulation.h"   // OK: own layer.
+#include "src/common/units.h"         // OK: declared dependency.
+#include "src/engine/worker.h"        // VIOLATION: sim -> engine.
+#include "src/api/context.h"          // VIOLATION: sim -> api.
+#include "src/cluster/network.h"      // VIOLATION: simcore is below cluster.
+#include <vector>                     // OK: system headers are out of scope.
+
+// An include mentioned in a comment stays quiet:
+//   #include "src/engine/fabric.h"

@@ -1,0 +1,39 @@
+// Fixture: raw-unit-double must flag unit-bearing double/int64_t declarations
+// in a simulation header — members, parameters (including multi-line parameter
+// lists), and accessors — and stay quiet on exempt names, tagged lines, and
+// mentions inside comments or strings.
+#ifndef MONO_LINT_FIXTURE_BAD_RAW_UNIT_DOUBLE_H_
+#define MONO_LINT_FIXTURE_BAD_RAW_UNIT_DOUBLE_H_
+
+#include <cstdint>
+
+struct FlowStats {
+  double latency;            // VIOLATION: a time quantity as a bare double.
+  int64_t total_bytes = 0;   // VIOLATION: a byte count as a bare int64_t.
+  double cpu_seconds = 0.0;  // OK: the name spells the unit (sanctioned raw boundary).
+  double load_fraction;      // OK: dimensionless.
+  double time_scale = 1.0;   // OK: dimensionless multiplier.
+  // Unit-agnostic by design: this trace records fractions-of-capacity too.
+  // mono_lint: allow(raw-unit-double)
+  double rate = 0.0;         // OK: tagged with the reason above.
+};
+
+// VIOLATION x2: `bandwidth` parameter and `duration` on the continuation line.
+void Configure(double bandwidth,
+               double duration);
+
+class Device {
+ public:
+  double bandwidth() const;  // VIOLATION: accessor returning a raw rate.
+  double seconds() const;    // OK: explicit-unit escape hatch.
+
+ private:
+  // `static_cast<double>(x)` and `std::function<double(double)>`-style
+  // template mentions must not match: "double" is not declaring a name there.
+  int64_t count_ = static_cast<int64_t>(0);
+};
+
+// A comment saying double latency; and a string "double timeout;" stay quiet.
+inline const char* kLabel = "double timeout;";
+
+#endif  // MONO_LINT_FIXTURE_BAD_RAW_UNIT_DOUBLE_H_

@@ -40,6 +40,28 @@ src/framework, src/storage, src/workloads):
                   plumbing) tag `// mono_lint: allow(std-function-hot-path)`
                   with a comment saying why they are off the hot path.
 
+  raw-unit-double (token-aware; simulation headers only) No new `double` or
+                  `int64_t` parameter, member, or accessor whose name reads
+                  like a time/rate/byte quantity (`latency`, `delay`,
+                  `timeout`, `duration`, `*_time`, `*_bytes`, `bandwidth`,
+                  `rate`, ...) in a simulation-dir API. Those quantities are
+                  strong types now (monoutil::SimTime / Bytes /
+                  BytesPerSecond, src/common/units.h); a raw double can be
+                  swapped with any other double silently. Names that spell
+                  their unit (`*_seconds`) and dimensionless shapes
+                  (`*_fraction`, `*_ratio`, `*_scale`, `*_factor`) stay raw
+                  by convention. Deliberately unit-agnostic APIs (FluidServer
+                  work rates, RateTrace) tag
+                  `// mono_lint: allow(raw-unit-double)` with the reason.
+
+  include-layering
+                  (token-aware; all of src/) #include edges must follow the
+                  declared layer DAG (LAYER_DEPS below). In particular the
+                  simulation stack must never include src/engine or src/api:
+                  the simulator is deterministic virtual time, the engine is
+                  wall clock, and an include edge from sim to engine would
+                  let wall-clock types leak into schedule decisions.
+
 Benchmark sources (bench/) are additionally checked against the entropy rule
 only: benches measure wall time legitimately, but must seed exclusively through
 monoutil::Rng so the run digest recorded in BENCH_*.json is same-schedule.
@@ -143,7 +165,73 @@ RULES: dict[str, list[tuple[re.Pattern[str], str]]] = {
     ],
 }
 
-ALL_RULES = tuple(RULES)
+# Token-aware rules (implemented as passes over the token stream rather than
+# line regexes) and their messages.
+TOKEN_RULES = {
+    "raw-unit-double": (
+        "raw double/int64_t carries a unit-bearing name in a simulation API; "
+        "use monoutil::SimTime / Bytes / BytesPerSecond (src/common/units.h), "
+        "spell the unit in the name (*_seconds), or tag "
+        "`// mono_lint: allow(raw-unit-double)` with the reason"
+    ),
+    "include-layering": (
+        "include edge violates the layer DAG"
+    ),
+}
+
+ALL_RULES = tuple(RULES) + tuple(TOKEN_RULES)
+
+# ---------------------------------------------------------------------------
+# raw-unit-double: name classification.
+# ---------------------------------------------------------------------------
+
+# A declaration name that implies a unit-bearing quantity. Matched against the
+# lower-cased identifier.
+UNIT_NAME = re.compile(
+    r"(^|_)bytes($|_)|bytes_per_second|"
+    r"(^|_)bandwidth$|(^|_)rate$|_bps$|"
+    r"latency|(^|_)delay$|deadline|timeout|duration|(^|_)interval$|(^|_)time$"
+)
+
+# Names that are allowed to stay raw: the unit is spelled out (`*_seconds` is
+# the sanctioned raw boundary for work amounts and telemetry aggregates), or
+# the quantity is dimensionless.
+UNIT_NAME_EXEMPT = re.compile(
+    r"seconds|_scale$|(^|_)fraction(s)?$|(^|_)ratio(s)?$|(^|_)factor(s)?$|_cv$")
+
+# Tokens that may follow `double <name>` in a parameter, member, or accessor
+# declaration. Anything else (e.g. `>` in a template argument) is not a
+# declaration of a named quantity.
+DECLARATION_FOLLOWERS = frozenset({",", ";", "=", ")", "{", "("})
+
+TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|::|[0-9][\w.+-]*|\S")
+
+# ---------------------------------------------------------------------------
+# include-layering: the declared layer DAG.
+# ---------------------------------------------------------------------------
+
+# Layer -> layers it may #include (besides itself and non-src system headers).
+# src/engine and src/api are the wall-clock world; nothing in the simulation
+# stack may depend on them.
+LAYER_DEPS: dict[str, tuple[str, ...]] = {
+    "src/common": (),
+    "src/simcore": ("src/common",),
+    "src/storage": ("src/common",),
+    "src/cluster": ("src/common", "src/simcore"),
+    "src/framework": ("src/common", "src/simcore", "src/storage", "src/cluster"),
+    "src/model": ("src/common", "src/simcore", "src/cluster", "src/framework"),
+    "src/monotask": (
+        "src/common", "src/simcore", "src/storage", "src/cluster", "src/framework"),
+    "src/multitask": (
+        "src/common", "src/simcore", "src/storage", "src/cluster", "src/framework"),
+    "src/workloads": (
+        "src/common", "src/simcore", "src/storage", "src/cluster", "src/framework"),
+    "src/engine": ("src/common",),
+    "src/api": ("src/common", "src/engine", "src/model", "src/cluster",
+                "src/framework", "src/simcore", "src/storage"),
+}
+
+INCLUDE_DIRECTIVE = re.compile(r'^\s*#\s*include\s*"(src/[\w./-]+)"')
 
 # Directories linted with the full rule set, relative to --root.
 SIM_DIRS = (
@@ -160,7 +248,12 @@ SIM_DIRS = (
 # The hot-path callback rule applies only to the event kernel itself; in the
 # layers above it std::function off the event hot path is legitimate.
 HOT_PATH_DIRS = ("src/simcore",)
-SIM_RULES = tuple(r for r in RULES if r != "std-function-hot-path")
+SIM_RULES = tuple(r for r in RULES if r != "std-function-hot-path") + tuple(TOKEN_RULES)
+
+# Directories outside the simulation stack that still participate in the layer
+# DAG: only the include-layering rule applies there (the engine and api layers
+# legitimately use wall clock, std::function, and raw doubles).
+LAYER_ONLY_DIRS = ("src/common", "src/engine", "src/api")
 
 # Directories linted with a reduced rule set (wall time is legitimate there,
 # entropy is not).
@@ -242,20 +335,108 @@ def suppressions(raw_line: str) -> set[str]:
     return allowed
 
 
-def lint_file(path: pathlib.Path, rules: Iterable[str]) -> list[Violation]:
+def tokenize(code_lines: list[str]) -> list[tuple[str, int]]:
+    """Flattens comment/string-stripped lines into (token, 1-based line)."""
+    tokens: list[tuple[str, int]] = []
+    for line_number, code in enumerate(code_lines, start=1):
+        for match in TOKEN_PATTERN.finditer(code):
+            tokens.append((match.group(0), line_number))
+    return tokens
+
+
+def layer_of(path: pathlib.Path) -> str | None:
+    """The `src/<dir>` layer `path` belongs to, or None outside src/."""
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1):
+        if parts[i] == "src":
+            layer = f"src/{parts[i + 1]}"
+            if layer in LAYER_DEPS:
+                return layer
+    return None
+
+
+def check_raw_unit_double(
+    path: pathlib.Path,
+    code_lines: list[str],
+    raw_lines: list[str],
+    suppressed: list[set[str]],
+) -> list[Violation]:
+    """Token pass: `double`/`int64_t` declarations with unit-bearing names."""
+    violations: list[Violation] = []
+    tokens = tokenize(code_lines)
+    for i, (token, _) in enumerate(tokens):
+        if token not in ("double", "int64_t") or i + 2 > len(tokens) - 1:
+            continue
+        name, name_line = tokens[i + 1]
+        follower = tokens[i + 2][0]
+        if not re.match(r"[A-Za-z_]", name) or follower not in DECLARATION_FOLLOWERS:
+            continue
+        ident = name.lower()
+        if not UNIT_NAME.search(ident) or UNIT_NAME_EXEMPT.search(ident):
+            continue
+        if "raw-unit-double" in suppressed[name_line - 1]:
+            continue
+        violations.append(
+            Violation(path, name_line, "raw-unit-double",
+                      f"`{token} {name}`: " + TOKEN_RULES["raw-unit-double"],
+                      raw_lines[name_line - 1].strip()))
+    return violations
+
+
+def check_include_layering(
+    path: pathlib.Path,
+    raw_lines: list[str],
+    layer: str,
+    suppressed: list[set[str]],
+) -> list[Violation]:
+    """#include edges must stay inside the declared layer DAG."""
+    violations: list[Violation] = []
+    allowed = {layer, *LAYER_DEPS[layer]}
+    for line_number, raw in enumerate(raw_lines, start=1):
+        match = INCLUDE_DIRECTIVE.match(raw)
+        if not match:
+            continue
+        include_layer = "/".join(match.group(1).split("/")[:2])
+        if include_layer in allowed or include_layer not in LAYER_DEPS:
+            continue
+        if "include-layering" in suppressed[line_number - 1]:
+            continue
+        violations.append(
+            Violation(path, line_number, "include-layering",
+                      f"{layer} may not include {include_layer} "
+                      f"(allowed: {', '.join(sorted(allowed))})",
+                      raw.strip()))
+    return violations
+
+
+def lint_file(
+    path: pathlib.Path,
+    rules: Iterable[str],
+    layer: str | None = None,
+) -> list[Violation]:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
         raise SystemExit(f"mono_lint: cannot read {path}: {err}")
-    violations: list[Violation] = []
+    rules = tuple(rules)
+    raw_lines = text.splitlines()
+
+    # Comment/string-stripped view plus the per-line suppression sets (a
+    # directive suppresses its own line and the one below it).
+    code_lines: list[str] = []
+    suppressed: list[set[str]] = []
     in_block = False
     previous_raw = ""
-    for line_number, raw in enumerate(text.splitlines(), start=1):
+    for raw in raw_lines:
         code, in_block = strip_code_line(raw, in_block)
-        active_suppressions = suppressions(raw) | suppressions(previous_raw)
+        code_lines.append(code)
+        suppressed.append(suppressions(raw) | suppressions(previous_raw))
         previous_raw = raw
+
+    violations: list[Violation] = []
+    for line_number, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
         for rule in rules:
-            if rule in active_suppressions:
+            if rule not in RULES or rule in suppressed[line_number - 1]:
                 continue
             for pattern, message in RULES[rule]:
                 if pattern.search(code):
@@ -263,6 +444,15 @@ def lint_file(path: pathlib.Path, rules: Iterable[str]) -> list[Violation]:
                         Violation(path, line_number, rule, message, raw.strip())
                     )
                     break  # One report per rule per line.
+
+    if "raw-unit-double" in rules and path.suffix in (".h", ".hpp"):
+        violations.extend(
+            check_raw_unit_double(path, code_lines, raw_lines, suppressed))
+    if "include-layering" in rules:
+        file_layer = layer if layer is not None else layer_of(path)
+        if file_layer is not None:
+            violations.extend(
+                check_include_layering(path, raw_lines, file_layer, suppressed))
     return violations
 
 
@@ -284,6 +474,9 @@ def lint_tree(root: pathlib.Path) -> list[Violation]:
     for directory in BENCH_DIRS:
         for path in iter_sources(root, directory):
             violations.extend(lint_file(path, BENCH_RULES))
+    for directory in LAYER_ONLY_DIRS:
+        for path in iter_sources(root, directory):
+            violations.extend(lint_file(path, ("include-layering",)))
     return violations
 
 
@@ -293,19 +486,25 @@ def main(argv: list[str]) -> int:
                         help="repository root")
     parser.add_argument("--rules", default=",".join(ALL_RULES),
                         help="comma-separated rule subset (explicit files only)")
+    parser.add_argument("--layer", default=None,
+                        help="treat explicit files as members of this layer "
+                             "(include-layering; e.g. src/simcore)")
     parser.add_argument("files", nargs="*", type=pathlib.Path,
                         help="lint these files (full rule set) instead of the tree")
     args = parser.parse_args(argv)
 
     rules = tuple(r.strip() for r in args.rules.split(",") if r.strip())
     for rule in rules:
-        if rule not in RULES:
+        if rule not in ALL_RULES:
             parser.error(f"unknown rule {rule!r}; known: {', '.join(ALL_RULES)}")
+    if args.layer is not None and args.layer not in LAYER_DEPS:
+        parser.error(f"unknown layer {args.layer!r}; "
+                     f"known: {', '.join(LAYER_DEPS)}")
 
     if args.files:
         violations = []
         for path in args.files:
-            violations.extend(lint_file(path, rules))
+            violations.extend(lint_file(path, rules, layer=args.layer))
     else:
         violations = lint_tree(args.root)
 

@@ -70,6 +70,85 @@ class StdFunctionHotPathRuleTest(unittest.TestCase):
         self.assertIn("std-function-hot-path", mono_lint.ALL_RULES)
 
 
+class RawUnitDoubleRuleTest(unittest.TestCase):
+    def test_flags_unit_named_raw_declarations(self) -> None:
+        violations = mono_lint.lint_file(
+            FIXTURES / "bad_raw_unit_double.h", ["raw-unit-double"])
+        self.assertEqual({v.rule for v in violations}, {"raw-unit-double"})
+        # latency member, total_bytes member, bandwidth parameter, duration
+        # parameter (on a continuation line — token-aware, not line-regex),
+        # and the bandwidth() accessor.
+        self.assertEqual(len(violations), 5)
+        flagged = {v.line.split(";")[0].strip() for v in violations}
+        self.assertIn("double latency", flagged)
+        self.assertIn("int64_t total_bytes = 0", flagged)
+
+    def test_exempt_names_and_tags_stay_quiet(self) -> None:
+        violations = mono_lint.lint_file(
+            FIXTURES / "bad_raw_unit_double.h", ["raw-unit-double"])
+        quiet = ("cpu_seconds", "load_fraction", "time_scale", "rate = 0.0",
+                 "seconds()", "count_")
+        for v in violations:
+            for name in quiet:
+                self.assertNotIn(name, v.line)
+
+    def test_rule_is_scoped_to_headers(self) -> None:
+        # The API boundary is headers; .cc locals routinely unwrap via
+        # .bps()/.seconds()/.count() and are not flagged.
+        fixture = FIXTURES / "bad_raw_unit_double.h"
+        renamed = fixture.read_text()
+        cc_twin = FIXTURES / "bad_raw_unit_double_twin.cc"
+        try:
+            cc_twin.write_text(renamed)
+            self.assertEqual(
+                mono_lint.lint_file(cc_twin, ["raw-unit-double"]), [])
+        finally:
+            cc_twin.unlink()
+
+
+class IncludeLayeringRuleTest(unittest.TestCase):
+    def test_flags_edges_outside_the_layer_dag(self) -> None:
+        violations = mono_lint.lint_file(
+            FIXTURES / "bad_include_layering.cc", ["include-layering"],
+            layer="src/simcore")
+        self.assertEqual({v.rule for v in violations}, {"include-layering"})
+        # engine, api, and cluster are all unreachable from simcore.
+        self.assertEqual(len(violations), 3)
+        flagged = "".join(v.line for v in violations)
+        self.assertIn("src/engine/worker.h", flagged)
+        self.assertIn("src/api/context.h", flagged)
+        self.assertIn("src/cluster/network.h", flagged)
+
+    def test_no_sim_layer_may_reach_engine_or_api(self) -> None:
+        for layer, deps in mono_lint.LAYER_DEPS.items():
+            if layer in ("src/engine", "src/api"):
+                continue
+            self.assertNotIn("src/engine", deps, layer)
+            self.assertNotIn("src/api", deps, layer)
+
+    def test_declared_dag_is_acyclic(self) -> None:
+        seen: dict[str, int] = {}  # 0 = visiting, 1 = done.
+
+        def visit(layer: str) -> None:
+            state = seen.get(layer)
+            self.assertNotEqual(state, 0, f"cycle through {layer}")
+            if state == 1:
+                return
+            seen[layer] = 0
+            for dep in mono_lint.LAYER_DEPS[layer]:
+                visit(dep)
+            seen[layer] = 1
+
+        for layer in mono_lint.LAYER_DEPS:
+            visit(layer)
+
+    def test_files_outside_src_have_no_layer(self) -> None:
+        self.assertIsNone(mono_lint.layer_of(FIXTURES / "good_clean.cc"))
+        self.assertEqual(
+            mono_lint.layer_of(pathlib.Path("src/simcore/simulation.h")),
+            "src/simcore")
+
+
 class CleanCodeTest(unittest.TestCase):
     def test_clean_fixture_has_no_violations(self) -> None:
         self.assertEqual(rules_found("good_clean.cc"), [])
@@ -92,6 +171,16 @@ class RuleSubsetTest(unittest.TestCase):
         for directory in mono_lint.SIM_DIRS:
             self.assertNotIn("engine", directory)
             self.assertNotIn("api", directory)
+
+    def test_new_rules_are_active_in_sim_dirs(self) -> None:
+        self.assertIn("raw-unit-double", mono_lint.SIM_RULES)
+        self.assertIn("include-layering", mono_lint.SIM_RULES)
+        self.assertIn("raw-unit-double", mono_lint.ALL_RULES)
+        self.assertIn("include-layering", mono_lint.ALL_RULES)
+
+    def test_engine_and_api_are_layer_checked_only(self) -> None:
+        self.assertEqual(mono_lint.LAYER_ONLY_DIRS,
+                         ("src/common", "src/engine", "src/api"))
 
 
 class CommentAndStringStrippingTest(unittest.TestCase):

@@ -427,6 +427,7 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
                 });
             serve->disk_index = block.disk;
             serve->disk_queue = DiskQueue::kServe;
+            // mono_lint: allow(escaping-capture) -- this frame blocks on the future below until the callback fires.
             home.SubmitDetached(std::move(serve), [&served] { served.set_value(); });
             served.get_future().wait();
             ctx_->fabric_->Transfer(block.worker, worker_index,
@@ -640,6 +641,7 @@ void MonoContext::StageRunner::LaunchTask(int task, int worker_index) {
   }
 
   worker.dag_scheduler().SubmitDag(std::move(tasks), edges,
+                                   // mono_lint: allow(escaping-capture) -- the runner joins every task before it is destroyed.
                                    [this, worker_index] { OnTaskDone(worker_index); });
 }
 
@@ -777,6 +779,7 @@ void MonoContext::StageRunner::LaunchTaskThread(int task, int worker_index) {
         }
       });
   worker.SubmitDetached(std::move(body),
+                        // mono_lint: allow(escaping-capture) -- the runner joins every task before it is destroyed.
                         [this, worker_index] { OnTaskDone(worker_index); });
 }
 

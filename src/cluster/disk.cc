@@ -62,6 +62,7 @@ void DiskSim::AuditInvariants(SimAudit& audit, AuditPhase phase) const {
 }
 
 void DiskSim::ReadImpl(monoutil::Bytes bytes, InlineCallback&& done) {
+  MONO_DOMAIN_MUTATION();
   MONO_CHECK(bytes >= monoutil::Bytes(0));
   bytes_read_ += bytes;
   ++active_reads_;
@@ -75,6 +76,7 @@ void DiskSim::ReadImpl(monoutil::Bytes bytes, InlineCallback&& done) {
 }
 
 void DiskSim::WriteImpl(monoutil::Bytes bytes, InlineCallback&& done) {
+  MONO_DOMAIN_MUTATION();
   MONO_CHECK(bytes >= monoutil::Bytes(0));
   bytes_written_ += bytes;
   // A write interleaved with reads thrashes the head; writes alone are batched by

@@ -15,6 +15,7 @@
 #include "src/cluster/cluster_config.h"
 #include "src/cluster/disk.h"
 #include "src/cluster/network.h"
+#include "src/common/domain.h"
 #include "src/simcore/fluid_server.h"
 #include "src/simcore/simulation.h"
 
@@ -22,6 +23,8 @@ namespace monosim {
 
 class MachineSim {
  public:
+  MONO_DOMAIN("machine");
+
   MachineSim(Simulation* sim, int machine_id, const MachineConfig& config);
 
   MachineSim(const MachineSim&) = delete;
@@ -35,7 +38,7 @@ class MachineSim {
   // CPU pool: submit `cpu_seconds` of single-threaded compute. CPU work is a
   // FluidServer *work amount* (it stretches under contention), not a span of
   // the simulated clock, so it is deliberately not a SimTime.
-  void RunCompute(double cpu_seconds,  // mono_lint: allow(raw-unit-double) CPU work units
+  void RunCompute(double cpu_seconds,  // CPU work units, not a SimTime span.
                   std::function<void()> done);
   int active_compute() const { return cpu_.active(); }
 
@@ -59,6 +62,10 @@ class MachineSim {
 
 class ClusterSim {
  public:
+  // The cluster object is central wiring owned by the driver-side environment;
+  // its machine()/fabric() accessors are pass-throughs into other domains.
+  MONO_DOMAIN("driver");
+
   ClusterSim(Simulation* sim, const ClusterConfig& config);
 
   ClusterSim(const ClusterSim&) = delete;
@@ -85,7 +92,7 @@ class ClusterSim {
   // Cumulative cluster-wide device counters; subtract two snapshots to get what an
   // external observer would measure over a window.
   struct UsageCounters {
-    double cpu_seconds = 0.0;  // mono_lint: allow(raw-unit-double) CPU work units
+    double cpu_seconds = 0.0;  // CPU work units, not a SimTime span.
     monoutil::Bytes disk_read_bytes;
     monoutil::Bytes disk_write_bytes;
     monoutil::Bytes network_bytes;

@@ -67,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/simcore/audit.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
@@ -75,6 +76,13 @@ namespace monosim {
 
 class NetworkFabricSim : public Auditable {
  public:
+  // The fabric is its own ownership domain: flows and control messages are the
+  // sanctioned channel between machines. Owned by ClusterSim, which outlives
+  // the simulation run, so `this` captures into its own schedule sites cannot
+  // dangle (the alive_ guard additionally covers mid-run teardown).
+  MONO_DOMAIN("fabric");
+  MONO_SIM_OWNED;
+
   // All NICs share one bandwidth (each direction). `request_latency` is the one-way
   // delay for small control messages (shuffle data requests).
   NetworkFabricSim(Simulation* sim, int num_machines, monoutil::BytesPerSecond nic_bandwidth,
@@ -182,7 +190,7 @@ class NetworkFabricSim : public Auditable {
     int dst;
     // Bytes still to move, fractional: fluid-model progress under a rate leaves
     // sub-byte residues mid-transfer, so this is not an exact monoutil::Bytes.
-    double remaining;  // mono_lint: allow(raw-unit-double) fluid fractional bytes
+    double remaining;
     monoutil::BytesPerSecond rate;
     SimTime last_update;
     InlineCallback done;

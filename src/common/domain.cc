@@ -1,0 +1,44 @@
+#include "src/common/domain.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace monodomain {
+
+namespace internal {
+
+std::atomic<int> g_checks_enabled{0};
+thread_local const char* tls_current_domain = nullptr;
+
+void DieCrossDomain(const char* current, const char* entered,
+                    const char* function) {
+  char message[256];
+  std::snprintf(message, sizeof(message),
+                "cross-domain mutation: %s() owns domain \"%s\" but was "
+                "entered from domain \"%s\" without a sanctioned channel "
+                "(scheduled event, fabric control message, or audit)",
+                function, entered, current);
+  MONO_CHECK_MSG(false, message);
+  std::abort();  // MONO_CHECK_MSG does not return; keep [[noreturn]] honest.
+}
+
+}  // namespace internal
+
+void EnableDomainChecks() {
+  internal::g_checks_enabled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DisableDomainChecks() {
+  const int previous =
+      internal::g_checks_enabled.fetch_sub(1, std::memory_order_relaxed);
+  MONO_CHECK_MSG(previous > 0, "DisableDomainChecks without a matching enable");
+}
+
+bool DomainMutationScope::SameDomain(const char* a, const char* b) {
+  return a == b || std::strcmp(a, b) == 0;
+}
+
+}  // namespace monodomain

@@ -1,0 +1,180 @@
+// Ownership-domain annotations and their runtime cross-check.
+//
+// The sharded simulation core (ROADMAP) partitions components into ownership
+// domains — "machine", "fabric", "driver", "storage" — and requires that state
+// in one domain is only mutated from another through sanctioned channels
+// (scheduled events, fabric control messages, the audit layer). mono_lint's
+// domain-ownership rule enforces that matrix statically from the MONO_DOMAIN
+// annotations below; this header supplies the annotations plus a dynamic
+// cross-check so a stale annotation turns the test suite red instead of
+// rotting:
+//
+//   * MONO_DOMAIN("machine")   — declares the class's owning domain. Pure
+//     metadata at runtime (a constexpr string member the scope macros read);
+//     mono_lint parses it to build the cross-file access matrix.
+//   * MONO_SIM_OWNED           — declares that the class's lifetime is tied to
+//     its Simulation: no scheduled callback capturing `this` can fire after
+//     destruction (the destructor cancels pending events, or the object
+//     outlives the simulation by construction). mono_lint's escaping-capture
+//     rule only permits `this` captures into deferring APIs for such classes.
+//   * MONO_DOMAIN_MUTATION()   — first line of an externally-callable mutation
+//     entry point. When checks are enabled and the calling context already
+//     carries a *different* domain, MONO_CHECK-aborts: that is exactly the
+//     cross-shard mutation the sharded core cannot allow. Then enters this
+//     class's domain for the dynamic extent of the call.
+//   * MONO_DOMAIN_CHANNEL()    — a sanctioned cross-domain entry point (the
+//     runtime twin of the linter's sanctioned-channel list): enters this
+//     class's domain without checking the caller's.
+//   * MONO_DOMAIN_NEUTRAL()    — erases the current domain for a scope. Placed
+//     where ownership is genuinely handed off: the event kernel invoking a
+//     scheduled callback, and components invoking stored user continuations
+//     (completion callbacks). Work running under a neutral scope may enter any
+//     domain.
+//
+// The check is audit-gated, not build-type-gated: ScopedAudit (src/simcore)
+// enables it on installation, so the gtest audit listener arms it for every
+// test while production runs pay one relaxed atomic load per scope. The state
+// is thread-local, touches nothing the event digest folds, and therefore
+// cannot perturb schedules.
+#ifndef MONOTASKS_SRC_COMMON_DOMAIN_H_
+#define MONOTASKS_SRC_COMMON_DOMAIN_H_
+
+#include <atomic>
+
+namespace monodomain {
+
+namespace internal {
+
+extern std::atomic<int> g_checks_enabled;
+extern thread_local const char* tls_current_domain;
+
+// Aborts via MONO_CHECK with a cross-domain-mutation message. Out of line so
+// this header stays free of check.h and <cstdio>.
+[[noreturn]] void DieCrossDomain(const char* current, const char* entered,
+                                 const char* function);
+
+}  // namespace internal
+
+// True while at least one enabler (a ScopedAudit, or a test holding
+// ScopedDomainChecks) is installed.
+inline bool DomainChecksEnabled() {
+  return internal::g_checks_enabled.load(std::memory_order_relaxed) > 0;
+}
+
+// Reference-counted enable/disable, called by ScopedAudit's ctor/dtor.
+void EnableDomainChecks();
+void DisableDomainChecks();
+
+// The domain of the code currently executing on this thread, or nullptr when
+// no domain scope is active (neutral). Exposed for tests and audits.
+inline const char* CurrentDomain() { return internal::tls_current_domain; }
+
+// RAII enable for tests that want the check without a full ScopedAudit.
+class ScopedDomainChecks {
+ public:
+  ScopedDomainChecks() { EnableDomainChecks(); }
+  ~ScopedDomainChecks() { DisableDomainChecks(); }
+  ScopedDomainChecks(const ScopedDomainChecks&) = delete;
+  ScopedDomainChecks& operator=(const ScopedDomainChecks&) = delete;
+};
+
+// Enters `domain` after checking the caller's context (MONO_DOMAIN_MUTATION).
+class DomainMutationScope {
+ public:
+  DomainMutationScope(const char* domain, const char* function)
+      : active_(DomainChecksEnabled()) {
+    if (!active_) {
+      return;
+    }
+    previous_ = internal::tls_current_domain;
+    if (previous_ != nullptr && domain != nullptr &&
+        !SameDomain(previous_, domain)) {
+      internal::DieCrossDomain(previous_, domain, function);
+    }
+    internal::tls_current_domain = domain;
+  }
+  ~DomainMutationScope() {
+    if (active_) {
+      internal::tls_current_domain = previous_;
+    }
+  }
+  DomainMutationScope(const DomainMutationScope&) = delete;
+  DomainMutationScope& operator=(const DomainMutationScope&) = delete;
+
+ private:
+  // The annotations are string literals, so identical domains may still have
+  // distinct addresses across translation units; compare contents.
+  static bool SameDomain(const char* a, const char* b);
+
+  bool active_;
+  const char* previous_ = nullptr;
+};
+
+// Enters `domain` without checking the caller (MONO_DOMAIN_CHANNEL).
+class DomainChannelScope {
+ public:
+  explicit DomainChannelScope(const char* domain)
+      : active_(DomainChecksEnabled()) {
+    if (!active_) {
+      return;
+    }
+    previous_ = internal::tls_current_domain;
+    internal::tls_current_domain = domain;
+  }
+  ~DomainChannelScope() {
+    if (active_) {
+      internal::tls_current_domain = previous_;
+    }
+  }
+  DomainChannelScope(const DomainChannelScope&) = delete;
+  DomainChannelScope& operator=(const DomainChannelScope&) = delete;
+
+ private:
+  bool active_;
+  const char* previous_ = nullptr;
+};
+
+// Erases the domain for a scope (MONO_DOMAIN_NEUTRAL).
+class DomainNeutralScope {
+ public:
+  DomainNeutralScope() : active_(DomainChecksEnabled()) {
+    if (!active_) {
+      return;
+    }
+    previous_ = internal::tls_current_domain;
+    internal::tls_current_domain = nullptr;
+  }
+  ~DomainNeutralScope() {
+    if (active_) {
+      internal::tls_current_domain = previous_;
+    }
+  }
+  DomainNeutralScope(const DomainNeutralScope&) = delete;
+  DomainNeutralScope& operator=(const DomainNeutralScope&) = delete;
+
+ private:
+  bool active_;
+  const char* previous_ = nullptr;
+};
+
+}  // namespace monodomain
+
+// Class-level annotations (inside the class body, public or private).
+#define MONO_DOMAIN(name) static constexpr const char* kMonoDomain = (name)
+#define MONO_SIM_OWNED static constexpr bool kMonoSimOwned = true
+
+#define MONO_DOMAIN_CONCAT_INNER(a, b) a##b
+#define MONO_DOMAIN_CONCAT(a, b) MONO_DOMAIN_CONCAT_INNER(a, b)
+
+// Method-level scopes. MUTATION/CHANNEL read the enclosing class's kMonoDomain,
+// so the class must carry MONO_DOMAIN.
+#define MONO_DOMAIN_MUTATION()                                      \
+  ::monodomain::DomainMutationScope MONO_DOMAIN_CONCAT(             \
+      mono_domain_scope_, __LINE__)(kMonoDomain, __func__)
+#define MONO_DOMAIN_CHANNEL()                           \
+  ::monodomain::DomainChannelScope MONO_DOMAIN_CONCAT(  \
+      mono_domain_scope_, __LINE__)(kMonoDomain)
+#define MONO_DOMAIN_NEUTRAL() \
+  ::monodomain::DomainNeutralScope MONO_DOMAIN_CONCAT(mono_domain_neutral_, __LINE__)
+
+#endif  // MONOTASKS_SRC_COMMON_DOMAIN_H_

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/engine/monotask.h"
@@ -29,6 +30,11 @@ using CompletionCallback = std::function<void(Monotask*, double service_seconds)
 // monotask per core.
 class CpuScheduler {
  public:
+  // Machine side of the threaded engine; applies to all three schedulers in
+  // this header. Static annotation only — cross-thread discipline is enforced
+  // by thread_annotations.h, not the runtime domain tracker.
+  MONO_DOMAIN("machine");
+
   CpuScheduler(int num_threads, CompletionCallback on_complete);
   ~CpuScheduler();
 
@@ -65,6 +71,8 @@ class CpuScheduler {
 // phase queues (read / write / serve) in round-robin order.
 class DiskScheduler {
  public:
+  MONO_DOMAIN("machine");
+
   DiskScheduler(int max_outstanding, CompletionCallback on_complete);
   ~DiskScheduler();
 
@@ -103,6 +111,8 @@ class DiskScheduler {
 // (the flows are rate-limited by the fabric, so threads mostly sleep in limiters).
 class NetworkScheduler {
  public:
+  MONO_DOMAIN("machine");
+
   NetworkScheduler(int multitask_limit, int num_threads, CompletionCallback on_complete);
   ~NetworkScheduler();
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/cluster/machine.h"
+#include "src/common/domain.h"
 #include "src/common/rng.h"
 #include "src/common/tracing/tracer.h"
 #include "src/framework/executor.h"
@@ -26,6 +27,8 @@ namespace monosim {
 
 class JobDriver {
  public:
+  MONO_DOMAIN("driver");
+
   JobDriver(Simulation* sim, ClusterSim* cluster, DfsSim* dfs, TaskPool* pool);
 
   JobDriver(const JobDriver&) = delete;

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/framework/stage_execution.h"
 #include "src/framework/task.h"
 
@@ -16,6 +17,8 @@ namespace monosim {
 
 class TaskPool {
  public:
+  MONO_DOMAIN("driver");
+
   void AddStage(StageExecution* stage);
   void RemoveStage(StageExecution* stage);
 

@@ -93,7 +93,7 @@ struct StageTraceSummary {
 
   // Trace-ingestion boundary: start/end are parsed from monotrace JSON,
   // which is raw seconds by design.
-  // mono_lint: allow(raw-unit-double)
+  // mono_lint: allow(raw-unit-double) -- parsed straight from monotrace JSON.
   double duration() const { return end > start ? end - start : 0.0; }
   // The resource category ("cpu"/"disk"/"network") with the highest
   // utilization; empty when the stage recorded no resource spans.

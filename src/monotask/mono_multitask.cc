@@ -94,7 +94,10 @@ void MonoMultitaskSim::Start() {
 void MonoMultitaskSim::StartInputPhase() {
   StageExecution* stage = assignment_.stage;
   const StageSpec& spec = stage->spec();
-  auto& times = stage->result().monotask_times;
+  // Captured by value into every monotask callback: the stage (and with it
+  // this result struct) outlives the multitask, while a by-reference capture
+  // of a local alias would not survive this frame.
+  MonotaskTimes* times = &stage->result().monotask_times;
 
   const bool has_input_io =
       (spec.input == InputSource::kDfs || spec.input == InputSource::kShuffle) &&
@@ -109,11 +112,12 @@ void MonoMultitaskSim::StartInputPhase() {
     if (assignment_.input_local) {
       executor_->disk_scheduler(assignment_.machine, assignment_.input_disk)
           .EnqueueRead(DiskPhase::kRead, assignment_.input_bytes,
-                       [this, &times](double service, double wait) {
-                         times.disk_read_seconds += service;
-                         times.disk_queue_wait_seconds += wait;
-                         ++times.disk_count;
-                         RecordDiskService(&times, assignment_.machine, service,
+                       // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                       [this, times](double service, double wait) {
+                         times->disk_read_seconds += service;
+                         times->disk_queue_wait_seconds += wait;
+                         ++times->disk_count;
+                         RecordDiskService(times, assignment_.machine, service,
                                            assignment_.input_bytes);
                          LogMonotask(MonoResource::kDisk, "disk-read",
                                      assignment_.machine, service, wait);
@@ -127,19 +131,25 @@ void MonoMultitaskSim::StartInputPhase() {
       // Remote block: gated by the network scheduler like a one-portion fetch set.
       network_slot_held_ = true;
       executor_->network_scheduler(assignment_.machine)
-          .Acquire([this, &times](double acquire_wait) {
-        times.network_acquire_wait_seconds += acquire_wait;
-        auto& fabric = executor_->cluster_->fabric();
-        fabric.SendControl(
-            assignment_.machine, assignment_.input_machine, [this, &times, &fabric] {
+          // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+          .Acquire([this, times](double acquire_wait) {
+        times->network_acquire_wait_seconds += acquire_wait;
+        // Value-captured below: the fabric belongs to the cluster and outlives
+        // every flow; the spelled-out type keeps the pointee lintable.
+        NetworkFabricSim* fabric = &executor_->cluster_->fabric();
+        fabric->SendControl(
+            assignment_.machine, assignment_.input_machine,
+            // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+            [this, times, fabric] {
               executor_->disk_scheduler(assignment_.input_machine, assignment_.input_disk)
                   .EnqueueRead(
                       DiskPhase::kServe, assignment_.input_bytes,
-                      [this, &times, &fabric](double service, double wait) {
-                        times.disk_read_seconds += service;
-                        times.disk_queue_wait_seconds += wait;
-                        ++times.disk_count;
-                        RecordDiskService(&times, assignment_.input_machine, service,
+                      // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                      [this, times, fabric](double service, double wait) {
+                        times->disk_read_seconds += service;
+                        times->disk_queue_wait_seconds += wait;
+                        ++times->disk_count;
+                        RecordDiskService(times, assignment_.input_machine, service,
                                           assignment_.input_bytes);
                         LogMonotask(MonoResource::kDisk, "serve-read",
                                     assignment_.input_machine, service, wait);
@@ -148,26 +158,27 @@ void MonoMultitaskSim::StartInputPhase() {
                                   "serve-read", "disk",
                                   executor_->sim_->now() - monoutil::Seconds(service));
                         const SimTime flow_start = executor_->sim_->now();
-                        fabric.StartFlow(assignment_.input_machine, assignment_.machine,
-                                         assignment_.input_bytes,
-                                         [this, &times, flow_start] {
-                                           times.network_seconds +=
-                                               (executor_->sim_->now() - flow_start)
-                                                   .seconds();
-                                           ++times.network_count;
-                                           LogMonotask(
-                                               MonoResource::kNetwork, "block-flow",
-                                               assignment_.machine,
-                                               (executor_->sim_->now() - flow_start)
-                                                   .seconds(),
-                                               0.0);
-                                           TraceSpan(assignment_.machine, "net-in",
-                                                     "block-flow", "network", flow_start);
-                                           executor_->network_scheduler(assignment_.machine)
-                                               .Release();
-                                           network_slot_held_ = false;
-                                           OnInputPieceDone();
-                                         });
+                        fabric->StartFlow(assignment_.input_machine, assignment_.machine,
+                                          assignment_.input_bytes,
+                                          // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                                          [this, times, flow_start] {
+                                            times->network_seconds +=
+                                                (executor_->sim_->now() - flow_start)
+                                                    .seconds();
+                                            ++times->network_count;
+                                            LogMonotask(
+                                                MonoResource::kNetwork, "block-flow",
+                                                assignment_.machine,
+                                                (executor_->sim_->now() - flow_start)
+                                                    .seconds(),
+                                                0.0);
+                                            TraceSpan(assignment_.machine, "net-in",
+                                                      "block-flow", "network", flow_start);
+                                            executor_->network_scheduler(assignment_.machine)
+                                                .Release();
+                                            network_slot_held_ = false;
+                                            OnInputPieceDone();
+                                          });
                       });
             });
       });
@@ -200,12 +211,13 @@ void MonoMultitaskSim::StartInputPhase() {
       const int disk = executor_->PickServeDisk(assignment_.machine);
       executor_->disk_scheduler(assignment_.machine, disk)
           .EnqueueRead(DiskPhase::kRead, local_bytes,
-                       [this, &times, local_bytes, disk](double service,
-                                                         double wait) {
-            times.disk_read_seconds += service;
-            times.disk_queue_wait_seconds += wait;
-            ++times.disk_count;
-            RecordDiskService(&times, assignment_.machine, service, local_bytes);
+                       // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                       [this, times, local_bytes, disk](double service,
+                                                        double wait) {
+            times->disk_read_seconds += service;
+            times->disk_queue_wait_seconds += wait;
+            ++times->disk_count;
+            RecordDiskService(times, assignment_.machine, service, local_bytes);
             LogMonotask(MonoResource::kDisk, "shuffle-read", assignment_.machine,
                         service, wait);
             TraceSpan(assignment_.machine, "disk" + std::to_string(disk),
@@ -213,6 +225,7 @@ void MonoMultitaskSim::StartInputPhase() {
             OnInputPieceDone();
           });
     } else {
+      // mono_lint: allow(escaping-capture) -- zero-delay self-schedule, fires before Finish().
       executor_->sim_->ScheduleAfter(SimTime(), [this] { OnInputPieceDone(); });
     }
   }
@@ -228,30 +241,36 @@ void MonoMultitaskSim::StartInputPhase() {
     // One network slot covers the whole fetch set: all of this multitask's requests
     // go out together, so its data arrives before later multitasks' data (§3.3).
     executor_->network_scheduler(assignment_.machine)
+        // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
         .Acquire([this, remote = std::move(remote), serve_from_disk,
-                  &times](double acquire_wait) {
-          times.network_acquire_wait_seconds += acquire_wait;
+                  times](double acquire_wait) {
+          times->network_acquire_wait_seconds += acquire_wait;
           auto remaining = std::make_shared<int>(static_cast<int>(remote.size()));
           for (const ShufflePortion& portion : remote) {
-            auto piece_done = [this, remaining, &times] {
+            // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+            auto piece_done = [this, remaining, times] {
               if (--*remaining == 0) {
                 executor_->network_scheduler(assignment_.machine).Release();
                 network_slot_held_ = false;
               }
               OnInputPieceDone();
             };
-            auto& fabric = executor_->cluster_->fabric();
-            fabric.SendControl(
+            NetworkFabricSim* fabric = &executor_->cluster_->fabric();
+            fabric->SendControl(
                 assignment_.machine, portion.src_machine,
-                [this, portion, serve_from_disk, piece_done, &times, &fabric] {
-                  auto send_back = [this, portion, piece_done, &times, &fabric] {
+                // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                [this, portion, serve_from_disk, piece_done, times, fabric] {
+                  // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                  auto send_back = [this, portion, piece_done, times, fabric] {
                     const SimTime flow_start = executor_->sim_->now();
-                    fabric.StartFlow(portion.src_machine, assignment_.machine,
-                                     portion.bytes, [piece_done, flow_start, &times, this] {
-                                       times.network_seconds +=
+                    fabric->StartFlow(portion.src_machine, assignment_.machine,
+                                     portion.bytes,
+                                     // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                                     [piece_done, flow_start, times, this] {
+                                       times->network_seconds +=
                                            (executor_->sim_->now() - flow_start)
                                                .seconds();
-                                       ++times.network_count;
+                                       ++times->network_count;
                                        LogMonotask(
                                            MonoResource::kNetwork, "shuffle-fetch",
                                            assignment_.machine,
@@ -267,12 +286,13 @@ void MonoMultitaskSim::StartInputPhase() {
                     const int disk = executor_->PickServeDisk(portion.src_machine);
                     executor_->disk_scheduler(portion.src_machine, disk)
                         .EnqueueRead(DiskPhase::kServe, portion.bytes,
-                                     [this, send_back, &times, portion,
+                                     // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+                                     [this, send_back, times, portion,
                                       disk](double service, double wait) {
-                                       times.disk_read_seconds += service;
-                                       times.disk_queue_wait_seconds += wait;
-                                       ++times.disk_count;
-                                       RecordDiskService(&times, portion.src_machine,
+                                       times->disk_read_seconds += service;
+                                       times->disk_queue_wait_seconds += wait;
+                                       ++times->disk_count;
+                                       RecordDiskService(times, portion.src_machine,
                                                          service, portion.bytes);
                                        LogMonotask(MonoResource::kDisk, "serve-read",
                                                    portion.src_machine, service, wait);
@@ -299,7 +319,7 @@ void MonoMultitaskSim::OnInputPieceDone() {
 }
 
 void MonoMultitaskSim::StartComputePhase() {
-  auto& times = assignment_.stage->result().monotask_times;
+  MonotaskTimes* times = &assignment_.stage->result().monotask_times;
   // Blocked-on-dependency: the compute monotask only became ready now, after
   // the whole input phase; everything since dispatch was spent waiting on the
   // DAG rather than in any resource queue.
@@ -310,13 +330,14 @@ void MonoMultitaskSim::StartComputePhase() {
     dep_blocked->Add((executor_->sim_->now() - start_time_).seconds());
   }
   executor_->cpu_scheduler(assignment_.machine)
-      .Enqueue(assignment_.cpu_seconds, [this, &times](double service,
-                                                       double wait) {
-        times.compute_seconds += service;
-        times.compute_queue_wait_seconds += wait;
-        times.compute_deser_seconds += assignment_.deser_cpu_seconds;
-        times.compute_decompress_seconds += assignment_.decompress_cpu_seconds;
-        ++times.compute_count;
+      // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+      .Enqueue(assignment_.cpu_seconds, [this, times](double service,
+                                                      double wait) {
+        times->compute_seconds += service;
+        times->compute_queue_wait_seconds += wait;
+        times->compute_deser_seconds += assignment_.deser_cpu_seconds;
+        times->compute_decompress_seconds += assignment_.decompress_cpu_seconds;
+        ++times->compute_count;
         LogMonotask(MonoResource::kCpu, "compute", assignment_.machine, service,
                     wait);
         TraceSpan(assignment_.machine, "cpu", "compute", "cpu",
@@ -335,15 +356,16 @@ void MonoMultitaskSim::StartWritePhase() {
     Finish();
     return;
   }
-  auto& times = assignment_.stage->result().monotask_times;
+  MonotaskTimes* times = &assignment_.stage->result().monotask_times;
   const int disk = executor_->PickWriteDisk(assignment_.machine);
   executor_->disk_scheduler(assignment_.machine, disk)
-      .EnqueueWrite(write_total_, [this, &times, disk](double service,
-                                                       double wait) {
-        times.disk_write_seconds += service;
-        times.disk_queue_wait_seconds += wait;
-        ++times.disk_count;
-        RecordDiskService(&times, assignment_.machine, service, write_total_);
+      // mono_lint: allow(escaping-capture) -- DAG callback, fires before Finish().
+      .EnqueueWrite(write_total_, [this, times, disk](double service,
+                                                      double wait) {
+        times->disk_write_seconds += service;
+        times->disk_queue_wait_seconds += wait;
+        ++times->disk_count;
+        RecordDiskService(times, assignment_.machine, service, write_total_);
         LogMonotask(MonoResource::kDisk, "disk-write", assignment_.machine,
                     service, wait);
         TraceSpan(assignment_.machine, "disk" + std::to_string(disk),

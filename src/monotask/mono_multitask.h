@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "src/common/domain.h"
 #include "src/framework/monotask_log.h"
 #include "src/framework/task.h"
 
@@ -27,6 +28,11 @@ class MonotasksExecutorSim;
 
 class MonoMultitaskSim {
  public:
+  // Deliberately NOT MONO_SIM_OWNED: the executor destroys the multitask when
+  // it completes, mid-run, so a `this` capture scheduled from here may only
+  // reach APIs whose callbacks are guaranteed to fire before Finish() runs.
+  MONO_DOMAIN("machine");
+
   // `dispatch_id` is the executor-assigned stable identity of this dispatch
   // (the key of the executor's running registry; never a heap address).
   MonoMultitaskSim(MonotasksExecutorSim* executor, TaskAssignment assignment,

@@ -29,6 +29,7 @@
 
 #include "src/cluster/disk.h"
 #include "src/cluster/machine.h"
+#include "src/common/domain.h"
 #include "src/common/tracing/tracer.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
@@ -43,6 +44,12 @@ using MonotaskDone =
 
 class CpuSchedulerSim {
  public:
+  // Per-machine schedulers are owned by the executor's worker state, which
+  // outlives the simulation run; `this` captures into device completion
+  // callbacks cannot dangle. Applies to all three schedulers in this header.
+  MONO_DOMAIN("machine");
+  MONO_SIM_OWNED;
+
   CpuSchedulerSim(Simulation* sim, MachineSim* machine);
 
   CpuSchedulerSim(const CpuSchedulerSim&) = delete;
@@ -108,6 +115,9 @@ enum class DiskPhase {
 
 class DiskSchedulerSim {
  public:
+  MONO_DOMAIN("machine");
+  MONO_SIM_OWNED;
+
   // `max_outstanding` is 1 for HDDs; flash uses the configured outstanding count.
   // `fifo` disables the per-phase round-robin (ablation of §3.3's queueing design):
   // all monotasks share one FIFO queue.
@@ -180,6 +190,9 @@ class DiskSchedulerSim {
 // utilization against pipelining with compute monotasks).
 class NetworkSchedulerSim {
  public:
+  MONO_DOMAIN("machine");
+  MONO_SIM_OWNED;
+
   // `sim` is only needed for queue-length trace timestamps; pass nullptr when the
   // scheduler is used standalone (tests) and no counter track is named.
   explicit NetworkSchedulerSim(int multitask_limit, Simulation* sim = nullptr);

@@ -76,6 +76,8 @@ int SparkExecutorSim::SlotsFor(int machine) const {
 }
 
 void SparkExecutorSim::OnWorkAvailable() {
+  // Sanctioned channel: the driver kicks the executor after activating a stage.
+  MONO_DOMAIN_CHANNEL();
   // Fill machines breadth-first (one task per machine per round) so local tasks are
   // claimed by their home machines before anyone starts stealing — the behaviour a
   // real driver gets from per-machine resource offers.
@@ -116,6 +118,7 @@ void SparkExecutorSim::TryDispatch(int machine) {
 }
 
 void SparkExecutorSim::OnTaskComplete(SparkTaskSim* task) {
+  MONO_DOMAIN_MUTATION();
   const TaskAssignment& assignment = task->assignment();
   const int machine = assignment.machine;
   StageExecution* stage = assignment.stage;

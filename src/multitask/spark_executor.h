@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/cluster/machine.h"
+#include "src/common/domain.h"
 #include "src/common/rng.h"
 #include "src/framework/executor.h"
 #include "src/framework/task.h"
@@ -59,6 +60,12 @@ struct SparkConfig {
 
 class SparkExecutorSim : public ExecutorSim, public Auditable {
  public:
+  // Machine-side execution; outlives the simulation run (tests/benches keep it
+  // alive past Run()), so `this` captures into completion plumbing cannot
+  // dangle.
+  MONO_DOMAIN("machine");
+  MONO_SIM_OWNED;
+
   SparkExecutorSim(Simulation* sim, ClusterSim* cluster, TaskPool* pool,
                    SparkConfig config = {});
   ~SparkExecutorSim() override;

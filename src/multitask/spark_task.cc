@@ -148,6 +148,7 @@ void SparkTaskSim::IssueBlockRead() {
     DiskSim& disk =
         executor_->cluster_->machine(assignment_.input_machine).disk(assignment_.input_disk);
     if (assignment_.input_local) {
+      // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
       disk.Read(Bytes(static_cast<int64_t>(bytes)), [this, bytes, read_start] {
         TraceChunkSpan(assignment_.input_machine,
                        "disk" + std::to_string(assignment_.input_disk), "block-read",
@@ -160,6 +161,7 @@ void SparkTaskSim::IssueBlockRead() {
       });
     } else {
       // Remote block: disk read on the block's home machine, then a network flow.
+      // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
       disk.Read(Bytes(static_cast<int64_t>(bytes)), [this, bytes, read_start] {
         TraceChunkSpan(assignment_.input_machine,
                        "disk" + std::to_string(assignment_.input_disk), "block-read",
@@ -167,6 +169,7 @@ void SparkTaskSim::IssueBlockRead() {
         const SimTime flow_start = executor_->sim_->now();
         executor_->cluster_->fabric().StartFlow(
             assignment_.input_machine, assignment_.machine, Bytes(static_cast<int64_t>(bytes)),
+            // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
             [this, bytes, flow_start] {
               TraceChunkSpan(assignment_.machine, "net-in", "block-flow", "network",
                              flow_start);
@@ -205,6 +208,7 @@ void SparkTaskSim::StartNextFetch() {
         const int disk = executor_->PickServeDisk(assignment_.machine);
         const SimTime read_start = executor_->sim_->now();
         executor_->cluster_->machine(assignment_.machine).disk(disk).Read(
+            // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
             portion.bytes, [this, disk, read_start, delivered = std::move(delivered)] {
               TraceChunkSpan(assignment_.machine, "disk" + std::to_string(disk),
                              "shuffle-read", "disk", read_start);
@@ -222,10 +226,12 @@ void SparkTaskSim::StartNextFetch() {
     // Remote portion: request message, then (optionally) a disk read on the serving
     // machine through the shuffle service's bounded I/O pool, then the bulk flow back.
     executor_->cluster_->fabric().SendControl(
+        // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
         assignment_.machine, portion.src_machine, [this, portion, delivered] {
           // The serve-read span starts when the request reaches the serving
           // machine, so shuffle-service queueing is visible inside it.
           const SimTime serve_start = executor_->sim_->now();
+          // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
           auto send = [this, portion, delivered, serve_start] {
             if (serve_from_disk_) {
               TraceChunkSpan(portion.src_machine, "serve", "serve-read", "disk",
@@ -234,6 +240,7 @@ void SparkTaskSim::StartNextFetch() {
             const SimTime flow_start = executor_->sim_->now();
             executor_->cluster_->fabric().StartFlow(
                 portion.src_machine, assignment_.machine, portion.bytes,
+                // mono_lint: allow(escaping-capture) -- pipeline callback, fires before MaybeFinish().
                 [this, delivered, flow_start] {
                   TraceChunkSpan(assignment_.machine, "net-in", "shuffle-fetch",
                                  "network", flow_start);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/framework/task.h"
 
 namespace monosim {
@@ -26,6 +27,11 @@ class SparkExecutorSim;
 
 class SparkTaskSim {
  public:
+  // Deliberately NOT MONO_SIM_OWNED: the executor destroys the task when it
+  // completes, mid-run, so a `this` capture scheduled from here may only reach
+  // APIs whose callbacks are guaranteed to fire before MaybeFinish() runs.
+  MONO_DOMAIN("machine");
+
   // `dispatch_id` is the executor-assigned stable identity of this dispatch
   // (the key of the executor's running registry; never a heap address).
   SparkTaskSim(SparkExecutorSim* executor, TaskAssignment assignment,
@@ -74,7 +80,7 @@ class SparkTaskSim {
   int total_chunks_ = 1;
   // Fractional per-chunk amounts (input_bytes / total_chunks): rounding to
   // whole bytes per chunk would drift the pipeline schedule and digests.
-  // mono_lint: allow(raw-unit-double)
+  // mono_lint: allow(raw-unit-double) -- fractional per-chunk bytes, see above.
   double chunk_input_bytes_ = 0.0;
   double chunk_cpu_seconds_ = 0.0;
   // mono_lint: allow(raw-unit-double) -- fractional, see above.

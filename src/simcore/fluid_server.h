@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/simcore/audit.h"
 #include "src/simcore/rate_trace.h"
 #include "src/simcore/simulation.h"
@@ -41,11 +42,17 @@ namespace monosim {
 //
 // Config-time only: bound once at server construction, never on the event hot
 // path, so the std::function indirection and its one-time allocation are fine.
-// mono_lint: allow(std-function-hot-path)
+// mono_lint: allow(std-function-hot-path) -- bound once at construction, never per event.
 using CapacityFn = std::function<double(double active_weight)>;
 
 class FluidServer : public Auditable {
  public:
+  // Fluid servers model per-machine devices (CPU pools, disks); they are owned
+  // by machine-domain components that outlive the simulation run, so `this`
+  // captures into their own schedule sites cannot dangle.
+  MONO_DOMAIN("machine");
+  MONO_SIM_OWNED;
+
   // `per_request_cap` limits the rate any single request may receive; pass
   // kUnlimited for none. `name` is used in traces and error messages.
   static constexpr double kUnlimited = -1.0;
@@ -151,7 +158,7 @@ class FluidServer : public Auditable {
     double share_weight = 1.0;  // Fair-share weight (capacity-split input).
     // Unit-agnostic: the server drains abstract work (bytes for disks,
     // core-seconds for CPU).
-    // mono_lint: allow(raw-unit-double)
+    // mono_lint: allow(raw-unit-double) -- abstract work units per second.
     double rate = 0.0;
     InlineCallback done;
   };
@@ -216,7 +223,7 @@ CapacityFn ConstantCapacity(double capacity);
 // 1 / (1 + alpha * (w - 1)) with total contention weight w.
 // Capacity models are in the server's abstract work units per second; disk
 // call sites unwrap BytesPerSecond via .bps().
-// mono_lint: allow(raw-unit-double)
+// mono_lint: allow(raw-unit-double) -- abstract work units per second.
 CapacityFn HddCapacity(double bandwidth, double alpha);
 
 // SSD model: bandwidth scales up with outstanding requests until `channels` worth of

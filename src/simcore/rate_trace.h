@@ -18,7 +18,7 @@ class RateTrace {
     monoutil::SimTime time;
     // Unit-agnostic: traces record fractions-of-capacity (CPU cores) as
     // well as byte rates.
-    // mono_lint: allow(raw-unit-double)
+    // mono_lint: allow(raw-unit-double) -- unit-agnostic trace rate.
     double rate;
   };
 

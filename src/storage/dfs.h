@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/domain.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 
@@ -38,6 +39,10 @@ struct DfsFile {
 
 class DfsSim {
  public:
+  // Passive metadata store: files are created at setup time and only read
+  // during a run, so the storage domain needs no runtime mutation guards.
+  MONO_DOMAIN("storage");
+
   // `disks_per_machine` must match the cluster the file will be read on.
   DfsSim(int num_machines, int disks_per_machine, int replication, uint64_t seed);
 

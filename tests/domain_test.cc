@@ -1,0 +1,177 @@
+// Regression tests for the ownership-domain runtime cross-check
+// (src/common/domain.h): a mis-annotated component — one whose declared
+// MONO_DOMAIN does not match how it is actually called — must abort under
+// armed checks, while same-domain work, sanctioned channels, neutral
+// dispatch, and disarmed runs stay quiet. This is the dynamic twin of
+// mono_lint's domain-ownership rule: if an annotation rots, this suite (armed
+// via ScopedDomainChecks, and in the wider suite via the audit listener's
+// ScopedAudit) turns red instead of the linter silently lying.
+
+#include "src/common/domain.h"
+
+#include "gtest/gtest.h"
+#include "src/simcore/audit.h"
+#include "src/simcore/simulation.h"
+
+namespace monosim {
+namespace {
+
+using monodomain::CurrentDomain;
+using monodomain::DomainChecksEnabled;
+using monodomain::ScopedDomainChecks;
+
+// A machine-side component: mutations must come from machine-domain code, a
+// sanctioned channel, or neutral context.
+struct MachinePart {
+  MONO_DOMAIN("machine");
+  int value = 0;
+  void Mutate() {
+    MONO_DOMAIN_MUTATION();
+    ++value;
+  }
+  void OnChannel() {
+    MONO_DOMAIN_CHANNEL();
+    ++value;
+  }
+};
+
+// A driver-side component that calls MachinePart::Mutate synchronously: the
+// mis-annotation (or mis-routing) the cross-check exists to catch.
+struct MisbehavingDriver {
+  MONO_DOMAIN("driver");
+  MachinePart* machine = nullptr;
+  void Tick() {
+    MONO_DOMAIN_MUTATION();
+    machine->Mutate();  // Cross-domain, no channel: aborts when armed.
+  }
+};
+
+// MONO_DOMAIN declares a static member, so these helper drivers must live at
+// namespace scope rather than inside the test bodies.
+
+// machine -> machine: nesting inside one domain is the normal case.
+struct SameDomainCaller {
+  MONO_DOMAIN("machine");
+  void Run(MachinePart* a, MachinePart* b) {
+    MONO_DOMAIN_MUTATION();
+    a->Mutate();
+    b->Mutate();
+  }
+};
+
+// driver -> machine via a sanctioned channel entry point.
+struct ChannelDriver {
+  MONO_DOMAIN("driver");
+  MachinePart* machine = nullptr;
+  void Kick() {
+    MONO_DOMAIN_MUTATION();
+    machine->OnChannel();  // Sanctioned entry: no caller check.
+  }
+};
+
+// driver -> machine through an explicit neutral hand-off, as the kernel's
+// event dispatch does around every fired callback.
+struct NeutralDriver {
+  MONO_DOMAIN("driver");
+  MachinePart* machine = nullptr;
+  void Dispatch() {
+    MONO_DOMAIN_MUTATION();
+    MONO_DOMAIN_NEUTRAL();
+    machine->Mutate();
+  }
+};
+
+// driver-domain code that routes machine work through the scheduler instead
+// of touching the machine directly.
+struct PostingDriver {
+  MONO_DOMAIN("driver");
+  void Post(Simulation* sim, MachinePart* m) {
+    MONO_DOMAIN_MUTATION();
+    sim->ScheduleAfter(monoutil::Seconds(1.0),
+                       // mono_lint: allow(escaping-capture) -- sim.Run() below outlives the event.
+                       [m] { m->Mutate(); });
+  }
+};
+
+TEST(DomainCheckTest, MisannotatedCrossDomainMutationDies) {
+  ScopedDomainChecks armed;
+  MachinePart machine;
+  MisbehavingDriver driver;
+  driver.machine = &machine;
+  EXPECT_DEATH(driver.Tick(), "cross-domain mutation");
+}
+
+TEST(DomainCheckTest, SameDomainNestingIsQuiet) {
+  ScopedDomainChecks armed;
+  MachinePart outer;
+  MachinePart inner;
+  SameDomainCaller caller;
+  caller.Run(&outer, &inner);
+  EXPECT_EQ(outer.value, 1);
+  EXPECT_EQ(inner.value, 1);
+}
+
+TEST(DomainCheckTest, ChannelEntryDoesNotCheckTheCaller) {
+  ScopedDomainChecks armed;
+  MachinePart machine;
+  ChannelDriver ok;
+  ok.machine = &machine;
+  ok.Kick();
+  EXPECT_EQ(machine.value, 1);
+}
+
+TEST(DomainCheckTest, NeutralScopeHandsOffOwnership) {
+  ScopedDomainChecks armed;
+  MachinePart machine;
+  NeutralDriver driver;
+  driver.machine = &machine;
+  driver.Dispatch();
+  EXPECT_EQ(machine.value, 1);
+}
+
+TEST(DomainCheckTest, DisarmedChecksTrackNothing) {
+  // The suite-wide audit listener arms the check for every test; drop its
+  // (refcounted) arm for the scope of this test and restore it at the end.
+  monodomain::DisableDomainChecks();
+  ASSERT_FALSE(DomainChecksEnabled());
+  MachinePart machine;
+  MisbehavingDriver driver;
+  driver.machine = &machine;
+  driver.Tick();  // No abort, and no domain is recorded.
+  EXPECT_EQ(machine.value, 1);
+  EXPECT_EQ(CurrentDomain(), nullptr);
+  monodomain::EnableDomainChecks();
+}
+
+TEST(DomainCheckTest, ScheduledEventsAreASanctionedChannel) {
+  // The kernel wraps every fired event in a neutral scope, so scheduling is
+  // how cross-domain work is legitimately routed: driver-domain code
+  // schedules, the callback mutates machine state when it fires.
+  ScopedDomainChecks armed;
+  Simulation sim;
+  MachinePart machine;
+  PostingDriver driver;
+  driver.Post(&sim, &machine);
+  sim.Run();
+  EXPECT_EQ(machine.value, 1);
+}
+
+TEST(DomainCheckTest, AuditInstallationArmsTheCheck) {
+  // The suite-wide audit listener installs a ScopedAudit around every test,
+  // so checks are already armed here: audit installation is the production
+  // arming path, and the enable is refcounted across nested audits.
+  EXPECT_TRUE(DomainChecksEnabled());
+  {
+    ScopedAudit nested(ScopedAudit::kReport);
+    EXPECT_TRUE(DomainChecksEnabled());
+  }
+  EXPECT_TRUE(DomainChecksEnabled());
+  // Dropping the last enabler disarms; restore it for the listener.
+  monodomain::DisableDomainChecks();
+  EXPECT_FALSE(DomainChecksEnabled());
+  monodomain::EnableDomainChecks();
+  EXPECT_TRUE(DomainChecksEnabled());
+}
+
+}  // namespace
+}  // namespace monosim

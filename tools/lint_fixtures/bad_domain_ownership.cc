@@ -1,0 +1,44 @@
+// mono_lint fixture: domain-ownership. A component in one domain may not
+// mutate a component of another domain except through sanctioned channels;
+// const queries and ctor wiring are allowed. Every line marked VIOLATION must
+// be flagged; mono_lint_test.py asserts the exact count.
+// Not compiled — the macros are stand-ins for src/common/domain.h.
+
+namespace monosim {
+
+class NetworkFabricSim {
+ public:
+  MONO_DOMAIN("fabric");
+  void StartFlow(int src, int dst, long bytes);  // Sanctioned channel.
+  void Poke();                                   // Unsanctioned mutation.
+  int flows() const { return flows_; }
+  int flows_ = 0;
+};
+
+class DriverSim {
+ public:
+  MONO_DOMAIN("driver");
+  explicit DriverSim(NetworkFabricSim* fabric);
+  NetworkFabricSim& fabric() { return *fabric_; }
+  void Tick();
+
+ private:
+  NetworkFabricSim* fabric_;
+};
+
+DriverSim::DriverSim(NetworkFabricSim* fabric) : fabric_(fabric) {
+  fabric_->Poke();  // OK: ctors wire the component graph.
+}
+
+void DriverSim::Tick() {
+  // VIOLATION: cross-domain non-const call outside the sanctioned channels.
+  fabric_->Poke();
+  // OK: const query.
+  int f = fabric_->flows();
+  // OK: sanctioned channel.
+  fabric_->StartFlow(0, 1, f);
+  // VIOLATION: cross-domain member assignment.
+  fabric_->flows_ = 0;
+}
+
+}  // namespace monosim

@@ -1,0 +1,46 @@
+// mono_lint fixture: escaping-capture. Lambdas handed to deferring APIs
+// outlive the calling frame, so by-reference captures dangle and `this`
+// captures are only safe in MONO_SIM_OWNED classes. Every line marked
+// VIOLATION must be flagged; mono_lint_test.py asserts the exact count.
+// Not compiled — the macros and types are stand-ins for src/common/domain.h.
+#include <functional>
+
+namespace monosim {
+
+class DiskSchedulerSim {
+ public:
+  MONO_DOMAIN("machine");
+  void EnqueueRead(int phase, long bytes,
+                   std::function<void(double, double)> done);
+};
+
+class TaskSim {
+ public:
+  MONO_DOMAIN("machine");
+  void Run();
+
+ private:
+  void Done();
+  DiskSchedulerSim* disk_;
+  long bytes_ = 0;
+};
+
+void TaskSim::Run() {
+  double local_total = 0.0;
+  // VIOLATION: by-reference capture of a local escapes into the callback.
+  disk_->EnqueueRead(0, bytes_, [&local_total](double service, double wait) {
+    local_total += service + wait;
+  });
+  // VIOLATION: [&] default capture.
+  disk_->EnqueueRead(0, bytes_, [&](double service, double) {
+    local_total += service;
+  });
+  // VIOLATION: `this` capture, but TaskSim is not MONO_SIM_OWNED.
+  ScheduleAfter(0.0, [this] { Done(); });
+  // VIOLATION: init-capture that takes an address.
+  disk_->EnqueueRead(0, bytes_, [total = &local_total](double s, double) {
+    *total += s;
+  });
+}
+
+}  // namespace monosim

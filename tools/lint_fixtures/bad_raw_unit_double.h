@@ -14,7 +14,7 @@ struct FlowStats {
   double load_fraction;      // OK: dimensionless.
   double time_scale = 1.0;   // OK: dimensionless multiplier.
   // Unit-agnostic by design: this trace records fractions-of-capacity too.
-  // mono_lint: allow(raw-unit-double)
+  // mono_lint: allow(raw-unit-double) -- unit-agnostic: fractions-of-capacity too.
   double rate = 0.0;         // OK: tagged with the reason above.
 };
 

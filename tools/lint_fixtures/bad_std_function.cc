@@ -13,7 +13,7 @@ struct BadEventRecord {
 void ScheduleLike(double when, std::function<void()> fn);
 
 // Config-time capacity model, evaluated at setup only.
-// mono_lint: allow(std-function-hot-path)
+// mono_lint: allow(std-function-hot-path) -- bound once at setup, never per event.
 using CapacityModel = std::function<double(double)>;
 
 // Mentioning std::function<void()> in a comment is fine; so is "std::function<int()>"

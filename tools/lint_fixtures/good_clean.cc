@@ -28,8 +28,8 @@ class Registry {
   std::unordered_map<TaskSim*, int> lookup_only_;
   std::unordered_map<TaskSim*, int> also_ok_;  // mono_lint: iteration-free
   // Wall-clock measurement gated out of simulation builds, reviewed:
-  // mono_lint: allow(wall-clock)
-  double epoch_ = 0;  // would hold std::chrono::steady_clock::now() readings
+  // mono_lint: allow(wall-clock) -- debug-only probe, stripped from sim builds.
+  int64_t epoch_ = std::chrono::steady_clock::now().time_since_epoch().count();
 };
 
 inline const char* Describe() {

@@ -1,0 +1,51 @@
+// mono_lint fixture: domain-ownership, clean twin. Same-domain calls, const
+// queries, sanctioned channels, and an audited allow tag all stay quiet.
+// Not compiled — the macros are stand-ins for src/common/domain.h.
+
+namespace monosim {
+
+class NetworkFabricSim {
+ public:
+  MONO_DOMAIN("fabric");
+  void StartFlow(int src, int dst, long bytes);  // Sanctioned channel.
+  void Poke();
+  int flows() const { return flows_; }
+
+ private:
+  int flows_ = 0;
+};
+
+class MachineSim {
+ public:
+  MONO_DOMAIN("machine");
+  void Step();
+};
+
+class ClusterDriverSim {
+ public:
+  MONO_DOMAIN("driver");
+  void Tick();
+  void EnableTraces();
+
+ private:
+  NetworkFabricSim* fabric_;
+};
+
+class PeerDriverSim {
+ public:
+  MONO_DOMAIN("driver");
+  void Nudge(ClusterDriverSim* peer) { peer->Tick(); }  // OK: same domain.
+};
+
+void ClusterDriverSim::Tick() {
+  // OK: const query and sanctioned channel.
+  fabric_->StartFlow(0, 1, fabric_->flows());
+}
+
+void ClusterDriverSim::EnableTraces() {
+  // OK: audited cross-domain call, tagged with the reason.
+  // mono_lint: allow(domain-ownership) -- config-time fan-out before the run.
+  fabric_->Poke();
+}
+
+}  // namespace monosim

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""mono_lint: repo-specific determinism static analysis.
+"""mono_lint: repo-specific determinism and event-discipline static analysis.
 
 The cluster simulator's contract is "same seed => same schedule => same
 figures" (DESIGN.md, "Determinism contract & static enforcement"). This linter
@@ -62,28 +62,91 @@ src/framework, src/storage, src/workloads):
                   wall clock, and an include edge from sim to engine would
                   let wall-clock types leak into schedule decisions.
 
+Cross-TU rules (v3). These run over a project-wide index: every class in
+src/ is recorded with its file, `MONO_DOMAIN(...)` ownership domain,
+`MONO_SIM_OWNED` lifetime marker (src/common/domain.h), component-typed
+members, pass-through accessors (methods returning a component by
+reference/pointer), and const methods. Member-access chains such as
+`cluster_->machine(m).disk(d).Read(...)` are resolved through that index.
+
+  escaping-capture
+                  A lambda passed to a deferring API (Simulation::ScheduleAt /
+                  ScheduleAfter / AtEpochEnd, FluidServer::Submit,
+                  DiskSim::Read/Write, BufferCacheSim::Write/WriteSync,
+                  NetworkFabricSim::StartFlow/SendControl, the monotask
+                  resource schedulers' Enqueue*/Acquire, and the engine's
+                  SubmitDag/SubmitDetached/Submit) outlives the current
+                  frame. It must not capture by reference (`[&]`, `[&x]`) or
+                  capture the address of a local in an init-capture. `this`
+                  may be captured only in classes marked MONO_SIM_OWNED in
+                  their header (the object outlives the simulation run);
+                  anything else needs an audited
+                  `// mono_lint: allow(escaping-capture) -- <why safe>` tag.
+
+  domain-ownership
+                  Every simulation component declares
+                  `MONO_DOMAIN("machine"|"fabric"|"driver"|"storage")`.
+                  A method of a component in one domain may not call a
+                  non-const method of (or assign to a member of) a component
+                  in a different domain, except through the sanctioned
+                  channels (SANCTIONED_CHANNELS below: scheduled events reach
+                  everything by design, fabric control messages, the
+                  driver->executor work kick, and the executor->stage metrics
+                  reporting surface). Constructors/destructors are exempt:
+                  wiring the component graph is configuration, not steady-
+                  state execution. The same rules are checked dynamically in
+                  audited runs (src/common/domain.h).
+
+  lock-across-schedule
+                  (src/engine only) No call to a deferring or blocking API
+                  (scheduler Submit, SubmitDag, SubmitDetached, the `submit_`
+                  routing callback, fabric Transfer, block-device Read/Write)
+                  on a path that token analysis shows inside a `MutexLock`
+                  scope: the callee may block on a device or take another
+                  scheduler's mutex, inverting lock order.
+
+Tree-only checks (always on when linting with --root and no explicit files):
+
+  unmapped-dir    Every directory under src/ must appear in DIR_RULES. A new
+                  directory must be placed in the layer DAG and rule map
+                  explicitly, not silently skipped.
+
+  undeclared-domain
+                  Every component in COMPONENT_ROSTER must be found by the
+                  indexer and carry a MONO_DOMAIN annotation.
+
+  suppression-hygiene
+                  Every `// mono_lint: allow(rule)` tag must carry a trailing
+                  reason on the same line and name a known rule; a tag that
+                  suppresses nothing is stale and reported as unused.
+
 Benchmark sources (bench/) are additionally checked against the entropy rule
 only: benches measure wall time legitimately, but must seed exclusively through
 monoutil::Rng so the run digest recorded in BENCH_*.json is same-schedule.
 
 Suppressions, on the flagged line or the line directly above it:
-  // mono_lint: iteration-free        (ptr-keyed-container only)
-  // mono_lint: allow(<rule-name>)    (any rule; say why in a comment)
+  // mono_lint: iteration-free            (ptr-keyed-container only)
+  // mono_lint: allow(<rule>) -- <why>    (any rule; the reason is required)
 
-Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
+Exit status: 0 when clean, 1 when violations were found (or the --budget
+was exceeded), 2 on usage errors.
 
 Usage:
   mono_lint.py --root <repo-root>                # lint the tree
   mono_lint.py --root <repo-root> file.cc ...    # lint specific files with
                                                  # the full rule set (fixtures)
+  mono_lint.py --root . --stats-json out.json --budget-seconds 5
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import pathlib
 import re
 import sys
+import time
 from typing import Iterable, NamedTuple
 
 # Rule name -> list of (compiled regex, human message).
@@ -177,7 +240,25 @@ TOKEN_RULES = {
     "include-layering": (
         "include edge violates the layer DAG"
     ),
+    "escaping-capture": (
+        "lambda passed to a deferring API escapes the current frame; capture "
+        "by value, or tag `// mono_lint: allow(escaping-capture)` with the "
+        "lifetime argument"
+    ),
+    "domain-ownership": (
+        "cross-domain mutation outside the sanctioned channels; route through "
+        "a scheduled event / declared channel, or tag "
+        "`// mono_lint: allow(domain-ownership)` with the reason"
+    ),
+    "lock-across-schedule": (
+        "deferring/blocking call while a MutexLock is held; collect work "
+        "under the lock and submit after releasing it"
+    ),
 }
+
+# Checks that only make sense over the whole tree (enabled automatically in
+# tree mode; not selectable through --rules).
+TREE_RULES = ("unmapped-dir", "undeclared-domain", "suppression-hygiene")
 
 ALL_RULES = tuple(RULES) + tuple(TOKEN_RULES)
 
@@ -204,7 +285,7 @@ UNIT_NAME_EXEMPT = re.compile(
 # declaration of a named quantity.
 DECLARATION_FOLLOWERS = frozenset({",", ";", "=", ")", "{", "("})
 
-TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|::|[0-9][\w.+-]*|\S")
+TOKEN_PATTERN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|->|::|[0-9][\w.+-]*|\S")
 
 # ---------------------------------------------------------------------------
 # include-layering: the declared layer DAG.
@@ -233,27 +314,36 @@ LAYER_DEPS: dict[str, tuple[str, ...]] = {
 
 INCLUDE_DIRECTIVE = re.compile(r'^\s*#\s*include\s*"(src/[\w./-]+)"')
 
-# Directories linted with the full rule set, relative to --root.
-SIM_DIRS = (
-    "src/simcore",
-    "src/cluster",
-    "src/monotask",
-    "src/multitask",
-    "src/model",
-    "src/framework",
-    "src/storage",
-    "src/workloads",
-)
+# ---------------------------------------------------------------------------
+# Per-directory rule map. Every directory under src/ MUST appear here (the
+# unmapped-dir tree check enforces it): a new directory gets a deliberate
+# placement in the layer DAG and rule set, never a silent skip.
+# ---------------------------------------------------------------------------
 
-# The hot-path callback rule applies only to the event kernel itself; in the
-# layers above it std::function off the event hot path is legitimate.
-HOT_PATH_DIRS = ("src/simcore",)
-SIM_RULES = tuple(r for r in RULES if r != "std-function-hot-path") + tuple(TOKEN_RULES)
+CROSS_TU_RULES = ("escaping-capture", "domain-ownership")
 
-# Directories outside the simulation stack that still participate in the layer
-# DAG: only the include-layering rule applies there (the engine and api layers
-# legitimately use wall clock, std::function, and raw doubles).
-LAYER_ONLY_DIRS = ("src/common", "src/engine", "src/api")
+# The deterministic simulation stack: everything except the kernel-only
+# std-function-hot-path rule, plus the cross-TU discipline rules.
+_SIM_RULE_SET = tuple(r for r in RULES if r != "std-function-hot-path") + (
+    "raw-unit-double", "include-layering") + CROSS_TU_RULES
+
+DIR_RULES: dict[str, tuple[str, ...]] = {
+    "src/simcore": tuple(RULES) + ("raw-unit-double",
+                                   "include-layering") + CROSS_TU_RULES,
+    "src/cluster": _SIM_RULE_SET,
+    "src/monotask": _SIM_RULE_SET,
+    "src/multitask": _SIM_RULE_SET,
+    "src/model": _SIM_RULE_SET,
+    "src/framework": _SIM_RULE_SET,
+    "src/storage": _SIM_RULE_SET,
+    "src/workloads": _SIM_RULE_SET,
+    # The layer boundary and lambda discipline still hold in the wall-clock
+    # world; wall clock, std::function, and raw doubles are legitimate there.
+    "src/common": ("include-layering",),
+    "src/engine": ("include-layering", "escaping-capture",
+                   "lock-across-schedule"),
+    "src/api": ("include-layering", "escaping-capture"),
+}
 
 # Directories linted with a reduced rule set (wall time is legitimate there,
 # entropy is not).
@@ -264,6 +354,104 @@ SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".hpp")
 
 SUPPRESS_ALLOW = re.compile(r"//\s*mono_lint:\s*allow\(([\w,\- ]+)\)")
 SUPPRESS_ITERFREE = re.compile(r"//\s*mono_lint:\s*iteration-free\b")
+
+# ---------------------------------------------------------------------------
+# Cross-TU rule tables. These mirror the runtime tables in
+# src/common/domain.h / the MONO_DOMAIN_CHANNEL() sites: the linter is the
+# static half of the same contract, so keep them in sync.
+# ---------------------------------------------------------------------------
+
+# Every simulation component that must carry a MONO_DOMAIN annotation.
+COMPONENT_ROSTER = (
+    # Virtual-time simulation stack.
+    "FluidServer", "DiskSim", "BufferCacheSim", "MachineSim", "ClusterSim",
+    "NetworkFabricSim", "DfsSim", "TaskPool", "StageExecution", "JobDriver",
+    "SimEnvironment", "MonotasksExecutorSim", "MonoMultitaskSim",
+    "CpuSchedulerSim", "DiskSchedulerSim", "NetworkSchedulerSim",
+    "SparkExecutorSim", "SparkTaskSim",
+    # Threaded engine (static annotation only; thread_annotations.h carries
+    # the runtime discipline there).
+    "Worker", "CpuScheduler", "DiskScheduler", "NetworkScheduler",
+    "LocalDagScheduler", "SimulatedBlockDevice", "InProcessFabric",
+)
+
+# Deferring APIs reached through a bare name: these exist only on Simulation,
+# so no receiver resolution is needed.
+BARE_DEFERRING = ("ScheduleAt", "ScheduleAfter", "AtEpochEnd")
+
+# Deferring APIs reached through a resolved receiver: (class, method). The
+# callback argument outlives the call.
+DEFERRING_METHODS = frozenset({
+    # Qualified kernel scheduling (`sim_->ScheduleAfter(...)`) resolves here
+    # rather than through BARE_DEFERRING.
+    ("Simulation", "ScheduleAt"), ("Simulation", "ScheduleAfter"),
+    ("Simulation", "AtEpochEnd"),
+    ("FluidServer", "Submit"),
+    ("DiskSim", "Read"), ("DiskSim", "Write"),
+    ("BufferCacheSim", "Write"), ("BufferCacheSim", "WriteSync"),
+    ("NetworkFabricSim", "StartFlow"), ("NetworkFabricSim", "SendControl"),
+    ("CpuSchedulerSim", "Enqueue"),
+    ("DiskSchedulerSim", "EnqueueRead"), ("DiskSchedulerSim", "EnqueueWrite"),
+    ("NetworkSchedulerSim", "Acquire"),
+    ("SparkExecutorSim", "ServeRead"),
+    ("LocalDagScheduler", "SubmitDag"),
+    ("Worker", "SubmitDetached"),
+    ("CpuScheduler", "Submit"), ("DiskScheduler", "Submit"),
+    ("NetworkScheduler", "Submit"),
+})
+
+# Sanctioned cross-domain call surfaces: (class, method). Mirrors the
+# MONO_DOMAIN_CHANNEL() sites in the runtime. A scheduled event is always a
+# sanctioned channel (the kernel dispatches under MONO_DOMAIN_NEUTRAL()), so
+# only *synchronous* cross-domain surfaces need an entry here.
+SANCTIONED_CHANNELS = frozenset({
+    # Fabric control messages (paper §3.3): machine-side components talk to
+    # the fabric through flows and control sends only.
+    ("NetworkFabricSim", "StartFlow"), ("NetworkFabricSim", "SendControl"),
+    # Executors (machine domain) pull work from the driver-owned pool and
+    # report per-task lifecycle and metrics back to the driver-owned stage.
+    ("TaskPool", "TakeTask"),
+    ("StageExecution", "TakeTask"), ("StageExecution", "OnTaskStarted"),
+    ("StageExecution", "OnTaskFinished"),
+    ("StageExecution", "RecordShuffleWrite"),
+    ("StageExecution", "result"),
+    # The driver kicks the executor after activating a stage.
+    ("MonotasksExecutorSim", "OnWorkAvailable"),
+    ("SparkExecutorSim", "OnWorkAvailable"),
+})
+
+# Engine calls that defer or block (lock-across-schedule). `submit_` is the
+# LocalDagScheduler's routing callback into Worker::Route -> scheduler Submit.
+ENGINE_BLOCKING_FUNCTORS = ("submit_",)
+
+# STL container operations. A member declared `std::vector<MachineSim> ms_`
+# indexes as type MachineSim, so `ms_.size()` would otherwise be read as a
+# component method call. Pure container ops terminate analysis; element
+# accessors (back/front/at) pass the chain through to the element type.
+CONTAINER_METHODS = frozenset({
+    "size", "empty", "begin", "end", "rbegin", "rend", "cbegin", "cend",
+    "clear", "erase", "insert", "emplace", "push_back", "pop_back",
+    "emplace_back", "resize", "reserve", "find", "count", "contains", "swap",
+})
+CONTAINER_PASSTHROUGH = frozenset({"back", "front", "at"})
+
+ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+                        "++", "--"})
+
+CPP_KEYWORDS = frozenset({
+    "if", "for", "while", "return", "switch", "case", "new", "delete",
+    "sizeof", "const", "constexpr", "static", "class", "struct", "enum",
+    "namespace", "using", "template", "typename", "public", "private",
+    "protected", "virtual", "override", "final", "auto", "void", "int",
+    "bool", "double", "float", "char", "else", "do", "break", "continue",
+    "this", "operator", "true", "false", "nullptr", "friend", "explicit",
+    "inline", "mutable", "noexcept", "default",
+})
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*\Z")
+
+DOMAIN_DECL = re.compile(r"\bMONO_DOMAIN\(\s*\"(\w+)\"\s*\)")
+SIM_OWNED_DECL = re.compile(r"\bMONO_SIM_OWNED\b")
 
 
 class Violation(NamedTuple):
@@ -324,15 +512,13 @@ def strip_code_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
     return "".join(out), in_block_comment
 
 
-def suppressions(raw_line: str) -> set[str]:
-    """Rules suppressed by directives on `raw_line` (comment text included)."""
-    allowed: set[str] = set()
-    match = SUPPRESS_ALLOW.search(raw_line)
-    if match:
-        allowed.update(part.strip() for part in match.group(1).split(","))
-    if SUPPRESS_ITERFREE.search(raw_line):
-        allowed.add("ptr-keyed-container")
-    return allowed
+def strip_lines(raw_lines: list[str]) -> list[str]:
+    code_lines: list[str] = []
+    in_block = False
+    for raw in raw_lines:
+        code, in_block = strip_code_line(raw, in_block)
+        code_lines.append(code)
+    return code_lines
 
 
 def tokenize(code_lines: list[str]) -> list[tuple[str, int]]:
@@ -342,6 +528,645 @@ def tokenize(code_lines: list[str]) -> list[tuple[str, int]]:
         for match in TOKEN_PATTERN.finditer(code):
             tokens.append((match.group(0), line_number))
     return tokens
+
+
+def is_ident(token: str) -> bool:
+    return bool(IDENT_RE.match(token)) and token not in CPP_KEYWORDS
+
+
+def skip_balanced(tokens: list[tuple[str, int]], i: int, open_t: str,
+                  close_t: str) -> int:
+    """tokens[i] == open_t; returns the index of the matching close token."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i][0]
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n - 1
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, with a trailing-reason requirement and use tracking.
+# ---------------------------------------------------------------------------
+
+
+class Directive(NamedTuple):
+    line: int               # 1-based line the directive sits on
+    rules: tuple[str, ...]  # rules it suppresses
+    has_reason: bool        # trailing reason text after the tag
+    is_allow: bool          # allow(...) form (vs iteration-free)
+    text: str
+
+
+class SuppressionMap:
+    """Parses `// mono_lint:` directives and tracks which ones fired.
+
+    A directive suppresses matches on its own line and the line directly
+    below it.
+    """
+
+    def __init__(self, raw_lines: list[str]) -> None:
+        self.directives: list[Directive] = []
+        self._cover: dict[tuple[int, str], int] = {}
+        self.used: set[int] = set()
+        for line_number, raw in enumerate(raw_lines, start=1):
+            match = SUPPRESS_ALLOW.search(raw)
+            if match:
+                rules = tuple(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip())
+                rest = raw[match.end():]
+                self._add(Directive(line_number, rules,
+                                    bool(re.search(r"\w", rest)), True,
+                                    raw.strip()))
+            if SUPPRESS_ITERFREE.search(raw):
+                self._add(Directive(line_number, ("ptr-keyed-container",),
+                                    True, False, raw.strip()))
+
+    def _add(self, directive: Directive) -> None:
+        idx = len(self.directives)
+        self.directives.append(directive)
+        for rule in directive.rules:
+            for covered in (directive.line, directive.line + 1):
+                self._cover.setdefault((covered, rule), idx)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        idx = self._cover.get((line, rule))
+        if idx is None:
+            return False
+        self.used.add(idx)
+        return True
+
+    def hygiene_violations(self, path: pathlib.Path) -> list[Violation]:
+        """Reason-required and unknown-rule checks (every mode)."""
+        violations = []
+        for directive in self.directives:
+            if not directive.is_allow:
+                continue
+            for rule in directive.rules:
+                if rule not in ALL_RULES:
+                    violations.append(Violation(
+                        path, directive.line, "suppression-hygiene",
+                        f"allow({rule}) names an unknown rule; known: "
+                        f"{', '.join(ALL_RULES)}", directive.text))
+            if not directive.has_reason:
+                violations.append(Violation(
+                    path, directive.line, "suppression-hygiene",
+                    "allow(...) tag without a trailing reason; write "
+                    "`// mono_lint: allow(rule) -- <why this is safe>`",
+                    directive.text))
+        return violations
+
+    def unused_violations(self, path: pathlib.Path) -> list[Violation]:
+        """Stale-directive check (tree mode only)."""
+        violations = []
+        for idx, directive in enumerate(self.directives):
+            if idx in self.used:
+                continue
+            # A directive that also failed hygiene is already reported.
+            if directive.is_allow and any(
+                    rule not in ALL_RULES for rule in directive.rules):
+                continue
+            violations.append(Violation(
+                path, directive.line, "suppression-hygiene",
+                "unused suppression: nothing on this or the next line "
+                "triggers "
+                f"{', '.join(directive.rules)}; delete the stale tag",
+                directive.text))
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Project index: classes, domains, members, accessors (cross-TU rules).
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str
+    path: pathlib.Path
+    line: int
+    domain: str | None = None
+    sim_owned: bool = False
+    # member name -> component class name (includes container-of-component
+    # members: `vector<unique_ptr<DiskSchedulerSim>> disks` maps disks ->
+    # DiskSchedulerSim; chain resolution skips the subscript).
+    members: dict[str, str] = dataclasses.field(default_factory=dict)
+    # method name -> component class it returns by reference/pointer
+    # (pass-through accessors; calling one is not a mutation, and chain
+    # resolution continues through it).
+    accessors: dict[str, str] = dataclasses.field(default_factory=dict)
+    const_methods: set[str] = dataclasses.field(default_factory=set)
+
+
+@dataclasses.dataclass
+class ProjectIndex:
+    classes: dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+
+
+class _ClassRegion(NamedTuple):
+    name: str
+    start_line: int
+    end_line: int
+
+
+def _class_regions(tokens: list[tuple[str, int]]) -> list[_ClassRegion]:
+    """Class/struct definition regions (name, line range), outermost first."""
+    n = len(tokens)
+    opens: dict[int, str] = {}
+    i = 0
+    while i < n:
+        tok = tokens[i][0]
+        if (tok in ("class", "struct") and i + 1 < n
+                and is_ident(tokens[i + 1][0])
+                and (i == 0 or tokens[i - 1][0] != "enum")):
+            j = i + 2
+            while j < n and tokens[j][0] not in (";", "{", "(", ")"):
+                j += 1
+            if j < n and tokens[j][0] == "{":
+                opens[j] = tokens[i + 1][0]
+                i += 2
+                continue
+        i += 1
+    regions: list[_ClassRegion] = []
+    stack: list[tuple[str, int]] = []  # (name, open line)
+    depth_stack: list[int] = []
+    depth = 0
+    for idx in range(n):
+        tok, line = tokens[idx]
+        if tok == "{":
+            depth += 1
+            if idx in opens:
+                stack.append((opens[idx], line))
+                depth_stack.append(depth)
+        elif tok == "}":
+            if depth_stack and depth_stack[-1] == depth:
+                name, start = stack.pop()
+                depth_stack.pop()
+                regions.append(_ClassRegion(name, start, line))
+            depth -= 1
+    return regions
+
+
+def build_index(paths: Iterable[pathlib.Path]) -> ProjectIndex:
+    """Two-pass symbol index over `paths` (headers and sources)."""
+    filedata = []
+    names: set[str] = set()
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        raw_lines = text.splitlines()
+        code_lines = strip_lines(raw_lines)
+        regions = _class_regions(tokenize(code_lines))
+        names.update(region.name for region in regions)
+        filedata.append((path, raw_lines, code_lines, regions))
+
+    index = ProjectIndex()
+    for path, _, _, regions in filedata:
+        for region in regions:
+            if region.name not in index.classes:
+                index.classes[region.name] = ClassInfo(
+                    region.name, path, region.start_line)
+
+    if not names:
+        return index
+    name_alt = "|".join(sorted(names, key=len, reverse=True))
+    member_re = re.compile(
+        rf"\b({name_alt})\b[^();]*?\b([A-Za-z_]\w*)\s*(?:;|=|\{{)")
+    accessor_re = re.compile(rf"\b({name_alt})\s*[&*]\s*([A-Za-z_]\w*)\s*\(")
+    const_re = re.compile(r"\b([A-Za-z_]\w*)\s*\([^;{}()]*\)\s*const\b")
+
+    for path, raw_lines, code_lines, regions in filedata:
+        # Innermost-region attribution: larger regions first so nested
+        # structs overwrite their enclosing class on shared lines.
+        line_class: dict[int, str] = {}
+        for region in sorted(regions,
+                             key=lambda r: r.end_line - r.start_line,
+                             reverse=True):
+            for line in range(region.start_line, region.end_line + 1):
+                line_class[line] = region.name
+        for line_number, code in enumerate(code_lines, start=1):
+            cls = line_class.get(line_number)
+            if cls is None:
+                continue
+            info = index.classes[cls]
+            match = DOMAIN_DECL.search(raw_lines[line_number - 1])
+            if match:
+                info.domain = match.group(1)
+            if SIM_OWNED_DECL.search(code):
+                info.sim_owned = True
+            for m in accessor_re.finditer(code):
+                info.accessors[m.group(2)] = m.group(1)
+            for m in member_re.finditer(code):
+                if m.group(2) not in info.accessors:
+                    info.members[m.group(2)] = m.group(1)
+            for m in const_re.finditer(code):
+                info.const_methods.add(m.group(1))
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Scope tracking: which class/method encloses each token.
+# ---------------------------------------------------------------------------
+
+# Tokens that, immediately before `X` in `X::y(`, mean the mention is a call
+# or a type usage rather than an out-of-line method definition.
+_DEF_PREV_EXCLUDE = frozenset({
+    "return", "(", ",", "=", "::", ".", "->", "!", "<", "+", "-", "/", "?",
+    ":", "case", "|", "^",
+})
+
+
+def compute_scopes(tokens: list[tuple[str, int]],
+                   index: ProjectIndex) -> list[tuple[str | None, str | None]]:
+    """Per token: (enclosing class name, enclosing method name) or Nones."""
+    n = len(tokens)
+    opens: dict[int, tuple[str, str, str | None]] = {}  # idx -> (kind, cls, m)
+
+    i = 0
+    while i < n:
+        tok = tokens[i][0]
+        if (tok in ("class", "struct") and i + 1 < n
+                and is_ident(tokens[i + 1][0])
+                and (i == 0 or tokens[i - 1][0] != "enum")):
+            j = i + 2
+            while j < n and tokens[j][0] not in (";", "{", "(", ")"):
+                j += 1
+            if j < n and tokens[j][0] == "{":
+                opens[j] = ("class", tokens[i + 1][0], None)
+                i += 2
+                continue
+        i += 1
+
+    # Out-of-line definitions: Class :: [~] Method ( ... ) [quals] {
+    i = 1
+    while i < n - 3:
+        if (tokens[i + 1][0] == "::" and is_ident(tokens[i][0])
+                and tokens[i][0] in index.classes
+                and tokens[i - 1][0] not in _DEF_PREV_EXCLUDE):
+            k = i + 2
+            if k < n and tokens[k][0] == "~":
+                k += 1
+            if k + 1 < n and is_ident(tokens[k][0]) and tokens[k + 1][0] == "(":
+                method = tokens[k][0]
+                close = skip_balanced(tokens, k + 1, "(", ")")
+                j = close + 1
+                body = None
+                guard = 0
+                while j < n and guard < 400:
+                    tj = tokens[j][0]
+                    if tj == "{":
+                        body = j
+                        break
+                    if tj in (";", "}"):
+                        break
+                    if tj == "(":
+                        j = skip_balanced(tokens, j, "(", ")")
+                    j += 1
+                    guard += 1
+                if body is not None and body not in opens:
+                    opens[body] = ("method", tokens[i][0], method)
+                i = close
+                continue
+        i += 1
+
+    encl: list[tuple[str | None, str | None]] = [(None, None)] * n
+    stack: list[tuple[str | None, str | None]] = []
+    cur: tuple[str | None, str | None] = (None, None)
+    for idx in range(n):
+        tok = tokens[idx][0]
+        if tok == "{":
+            stack.append(cur)
+            if idx in opens:
+                kind, cls, method = opens[idx]
+                cur = (cls, None) if kind == "class" else (cls, method)
+        encl[idx] = cur
+        if tok == "}" and stack:
+            cur = stack.pop()
+    return encl
+
+
+# ---------------------------------------------------------------------------
+# Chain resolution.
+# ---------------------------------------------------------------------------
+
+
+class _Terminal(NamedTuple):
+    receiver: str        # component class of the final receiver
+    member: str          # method or field name
+    is_call: bool
+    line: int
+    args_open: int | None    # token index of '(' for calls
+    args_close: int | None
+    after: int               # token index just past the member (field case)
+
+
+def _skip_subscripts(tokens: list[tuple[str, int]], j: int) -> int:
+    while j < len(tokens) and tokens[j][0] == "[":
+        j = skip_balanced(tokens, j, "[", "]") + 1
+    return j
+
+
+def resolve_chain(tokens: list[tuple[str, int]], i: int, ctype: str,
+                  index: ProjectIndex) -> _Terminal | None:
+    """Resolves `x->a(...).b...` starting at identifier token i of type ctype.
+
+    Pass-through accessors (methods returning a component by ref/ptr) and
+    component-typed fields continue the chain; the first other member access
+    is the terminal.
+    """
+    n = len(tokens)
+    j = _skip_subscripts(tokens, i + 1)
+    for _ in range(24):
+        if j >= n or tokens[j][0] not in (".", "->"):
+            return None
+        if j + 1 >= n or not is_ident(tokens[j + 1][0]):
+            return None
+        name = tokens[j + 1][0]
+        line = tokens[j + 1][1]
+        info = index.classes[ctype]
+        if j + 2 < n and tokens[j + 2][0] == "(":
+            close = skip_balanced(tokens, j + 2, "(", ")")
+            after = tokens[close + 1][0] if close + 1 < n else ";"
+            if name in info.accessors and after in (".", "->", "["):
+                ctype = info.accessors[name]
+                if ctype not in index.classes:
+                    return None
+                j = _skip_subscripts(tokens, close + 1)
+                continue
+            if name in CONTAINER_PASSTHROUGH and after in (".", "->", "["):
+                # back()/front()/at() on a container member yield the element
+                # type, which is what the member already indexed as.
+                j = _skip_subscripts(tokens, close + 1)
+                continue
+            if name in CONTAINER_METHODS:
+                return None  # Container op, not a component method.
+            return _Terminal(ctype, name, True, line, j + 2, close, close + 1)
+        after_tok = tokens[j + 2][0] if j + 2 < n else ";"
+        if name in info.members and after_tok in (".", "->", "["):
+            ctype = info.members[name]
+            if ctype not in index.classes:
+                return None
+            j = _skip_subscripts(tokens, j + 2)
+            continue
+        return _Terminal(ctype, name, False, line, None, None, j + 2)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Cross-TU pass: escaping-capture, domain-ownership, lock-across-schedule.
+# ---------------------------------------------------------------------------
+
+_LAMBDA_PREV = frozenset({"(", ",", "{", ";", "=", "return"})
+
+
+def _split_captures(group_tokens: list[str]) -> list[list[str]]:
+    groups: list[list[str]] = []
+    cur: list[str] = []
+    depth = 0
+    for tok in group_tokens:
+        if tok in ("(", "{", "["):
+            depth += 1
+        elif tok in (")", "}", "]"):
+            depth -= 1
+        if tok == "," and depth == 0:
+            groups.append(cur)
+            cur = []
+        else:
+            cur.append(tok)
+    if cur:
+        groups.append(cur)
+    return groups
+
+
+def _lambda_capture_violations(
+    path: pathlib.Path,
+    raw_lines: list[str],
+    tokens: list[tuple[str, int]],
+    start: int,
+    end: int,
+    sim_owned: bool,
+    encl_cls: str | None,
+    smap: SuppressionMap,
+) -> list[Violation]:
+    """Flags escaping captures in every lambda between token start..end."""
+    violations: list[Violation] = []
+    k = start
+    n = len(tokens)
+    while k <= end and k < n:
+        tok, line = tokens[k]
+        if tok == "[" and k > 0 and tokens[k - 1][0] in _LAMBDA_PREV:
+            close = skip_balanced(tokens, k, "[", "]")
+            after = tokens[close + 1][0] if close + 1 < n else ""
+            if after not in ("(", "{", "mutable", "noexcept", "->"):
+                k += 1
+                continue
+            problems: list[str] = []
+            for group in _split_captures(
+                    [t for t, _ in tokens[k + 1:close]]):
+                if not group:
+                    continue
+                if group == ["&"]:
+                    problems.append(
+                        "[&] default capture is by reference")
+                elif group[0] == "&":
+                    problems.append(
+                        f"`&{group[1] if len(group) > 1 else ''}` captures "
+                        "by reference")
+                elif group == ["this"]:
+                    if not sim_owned:
+                        owner = encl_cls or "this context"
+                        problems.append(
+                            f"`this` captured but {owner} is not marked "
+                            "MONO_SIM_OWNED (object may die before the "
+                            "event fires)")
+                elif "=" in group:
+                    eq = group.index("=")
+                    if "&" in group[eq + 1:]:
+                        problems.append(
+                            f"init-capture `{group[0]}` takes an address")
+            if problems and not smap.suppressed(line, "escaping-capture"):
+                for problem in problems:
+                    violations.append(Violation(
+                        path, line, "escaping-capture",
+                        f"{problem}; " + TOKEN_RULES["escaping-capture"],
+                        raw_lines[line - 1].strip()))
+            k = close + 1
+            continue
+        k += 1
+    return violations
+
+
+def _collect_local_types(tokens: list[tuple[str, int]],
+                         index: ProjectIndex) -> dict[str, str]:
+    """File-wide `KnownClass [&*] name = ...` local declarations."""
+    local_types: dict[str, str] = {}
+    n = len(tokens)
+    for i in range(n - 3):
+        t0 = tokens[i][0]
+        if t0 not in index.classes:
+            continue
+        if i > 0 and tokens[i - 1][0] in (".", "->", "::", "class", "struct",
+                                          "enum", "friend", "<"):
+            continue
+        t1, t2, t3 = tokens[i + 1][0], tokens[i + 2][0], tokens[i + 3][0]
+        if t1 in ("&", "*") and is_ident(t2) and t3 == "=":
+            local_types[t2] = t0
+        elif is_ident(t1) and t2 == "=":
+            local_types[t1] = t0
+    return local_types
+
+
+def analyze_cross_tu(
+    path: pathlib.Path,
+    raw_lines: list[str],
+    tokens: list[tuple[str, int]],
+    rules: Iterable[str],
+    index: ProjectIndex,
+    smap: SuppressionMap,
+) -> list[Violation]:
+    rules = set(rules)
+    check_escape = "escaping-capture" in rules
+    check_domain = "domain-ownership" in rules
+    check_lock = "lock-across-schedule" in rules
+    if not (check_escape or check_domain or check_lock):
+        return []
+
+    violations: list[Violation] = []
+    encl = compute_scopes(tokens, index)
+    local_types = _collect_local_types(tokens, index)
+    n = len(tokens)
+    depth = 0
+    lock_depths: list[int] = []
+    i = 0
+
+    def flag_lock(line: int) -> None:
+        if not smap.suppressed(line, "lock-across-schedule"):
+            violations.append(Violation(
+                path, line, "lock-across-schedule",
+                TOKEN_RULES["lock-across-schedule"],
+                raw_lines[line - 1].strip()))
+
+    while i < n:
+        tok, line = tokens[i]
+        if tok == "{":
+            depth += 1
+            i += 1
+            continue
+        if tok == "}":
+            depth -= 1
+            while lock_depths and lock_depths[-1] > depth:
+                lock_depths.pop()
+            i += 1
+            continue
+        if (check_lock and tok == "MutexLock" and i + 2 < n
+                and is_ident(tokens[i + 1][0]) and tokens[i + 2][0] == "("):
+            lock_depths.append(depth)
+            i += 3
+            continue
+        if (check_lock and lock_depths
+                and tok in ENGINE_BLOCKING_FUNCTORS and i + 1 < n
+                and tokens[i + 1][0] == "("):
+            flag_lock(line)
+            i += 1
+            continue
+        if tok in BARE_DEFERRING and i + 1 < n and tokens[i + 1][0] == "(":
+            close = skip_balanced(tokens, i + 1, "(", ")")
+            cls = encl[i][0]
+            info = index.classes.get(cls) if cls else None
+            if check_escape:
+                violations.extend(_lambda_capture_violations(
+                    path, raw_lines, tokens, i + 2, close,
+                    bool(info and info.sim_owned), cls, smap))
+            if check_lock and lock_depths:
+                flag_lock(line)
+            i += 1  # Keep scanning inside the argument list.
+            continue
+        if is_ident(tok) and (i == 0
+                              or tokens[i - 1][0] not in (".", "->", "::")):
+            ctype = local_types.get(tok)
+            if ctype is None:
+                cls = encl[i][0]
+                cinfo = index.classes.get(cls) if cls else None
+                if cinfo:
+                    ctype = cinfo.members.get(tok)
+            if ctype and ctype in index.classes:
+                terminal = resolve_chain(tokens, i, ctype, index)
+                if terminal:
+                    violations.extend(_handle_terminal(
+                        path, raw_lines, tokens, encl, index, smap, terminal,
+                        i, check_escape, check_domain, check_lock,
+                        lock_depths, flag_lock))
+                    # Advance past the member token; argument lists are still
+                    # scanned (nested chains and lambdas live there).
+                    i = (terminal.args_open or terminal.after) - 1
+        i += 1
+    # Nested deferring calls scan overlapping argument spans (the outer span
+    # contains the inner call's lambdas); keep the first report of each.
+    return list(dict.fromkeys(violations))
+
+
+def _handle_terminal(path, raw_lines, tokens, encl, index, smap, terminal,
+                     start, check_escape, check_domain, check_lock,
+                     lock_depths, flag_lock) -> list[Violation]:
+    violations: list[Violation] = []
+    rinfo = index.classes[terminal.receiver]
+    encl_cls, encl_method = encl[start]
+    einfo = index.classes.get(encl_cls) if encl_cls else None
+    pair = (terminal.receiver, terminal.member)
+
+    if terminal.is_call and pair in DEFERRING_METHODS:
+        if check_escape:
+            violations.extend(_lambda_capture_violations(
+                path, raw_lines, tokens, terminal.args_open + 1,
+                terminal.args_close, bool(einfo and einfo.sim_owned),
+                encl_cls, smap))
+        if check_lock and lock_depths:
+            flag_lock(terminal.line)
+
+    if (check_domain and einfo and einfo.domain and rinfo.domain
+            and einfo.domain != rinfo.domain
+            and encl_method != encl_cls):  # ctors/dtors wire the graph
+        if terminal.is_call:
+            if (terminal.member not in rinfo.const_methods
+                    and terminal.member not in rinfo.accessors
+                    and pair not in SANCTIONED_CHANNELS
+                    and not smap.suppressed(terminal.line,
+                                            "domain-ownership")):
+                violations.append(Violation(
+                    path, terminal.line, "domain-ownership",
+                    f"{encl_cls} (domain \"{einfo.domain}\") calls "
+                    f"{terminal.receiver}::{terminal.member} (domain "
+                    f"\"{rinfo.domain}\"); "
+                    + TOKEN_RULES["domain-ownership"],
+                    raw_lines[terminal.line - 1].strip()))
+        else:
+            after = (tokens[terminal.after][0]
+                     if terminal.after < len(tokens) else ";")
+            if (after in ASSIGN_OPS
+                    and not smap.suppressed(terminal.line,
+                                            "domain-ownership")):
+                violations.append(Violation(
+                    path, terminal.line, "domain-ownership",
+                    f"{encl_cls} (domain \"{einfo.domain}\") assigns to "
+                    f"{terminal.receiver}::{terminal.member} (domain "
+                    f"\"{rinfo.domain}\"); "
+                    + TOKEN_RULES["domain-ownership"],
+                    raw_lines[terminal.line - 1].strip()))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Single-file checks (regex rules, raw-unit-double, include-layering).
+# ---------------------------------------------------------------------------
 
 
 def layer_of(path: pathlib.Path) -> str | None:
@@ -357,13 +1182,12 @@ def layer_of(path: pathlib.Path) -> str | None:
 
 def check_raw_unit_double(
     path: pathlib.Path,
-    code_lines: list[str],
+    tokens: list[tuple[str, int]],
     raw_lines: list[str],
-    suppressed: list[set[str]],
+    smap: SuppressionMap,
 ) -> list[Violation]:
     """Token pass: `double`/`int64_t` declarations with unit-bearing names."""
     violations: list[Violation] = []
-    tokens = tokenize(code_lines)
     for i, (token, _) in enumerate(tokens):
         if token not in ("double", "int64_t") or i + 2 > len(tokens) - 1:
             continue
@@ -374,7 +1198,7 @@ def check_raw_unit_double(
         ident = name.lower()
         if not UNIT_NAME.search(ident) or UNIT_NAME_EXEMPT.search(ident):
             continue
-        if "raw-unit-double" in suppressed[name_line - 1]:
+        if smap.suppressed(name_line, "raw-unit-double"):
             continue
         violations.append(
             Violation(path, name_line, "raw-unit-double",
@@ -387,7 +1211,7 @@ def check_include_layering(
     path: pathlib.Path,
     raw_lines: list[str],
     layer: str,
-    suppressed: list[set[str]],
+    smap: SuppressionMap,
 ) -> list[Violation]:
     """#include edges must stay inside the declared layer DAG."""
     violations: list[Violation] = []
@@ -399,7 +1223,7 @@ def check_include_layering(
         include_layer = "/".join(match.group(1).split("/")[:2])
         if include_layer in allowed or include_layer not in LAYER_DEPS:
             continue
-        if "include-layering" in suppressed[line_number - 1]:
+        if smap.suppressed(line_number, "include-layering"):
             continue
         violations.append(
             Violation(path, line_number, "include-layering",
@@ -409,51 +1233,85 @@ def check_include_layering(
     return violations
 
 
-def lint_file(
+class LintResult(NamedTuple):
+    violations: list[Violation]
+    smap: SuppressionMap
+
+
+def _lint_file_ex(
     path: pathlib.Path,
     rules: Iterable[str],
     layer: str | None = None,
-) -> list[Violation]:
+    index: ProjectIndex | None = None,
+    stats: dict | None = None,
+) -> LintResult:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
         raise SystemExit(f"mono_lint: cannot read {path}: {err}")
     rules = tuple(rules)
     raw_lines = text.splitlines()
+    code_lines = strip_lines(raw_lines)
+    smap = SuppressionMap(raw_lines)
+    tokens = tokenize(code_lines)
 
-    # Comment/string-stripped view plus the per-line suppression sets (a
-    # directive suppresses its own line and the one below it).
-    code_lines: list[str] = []
-    suppressed: list[set[str]] = []
-    in_block = False
-    previous_raw = ""
-    for raw in raw_lines:
-        code, in_block = strip_code_line(raw, in_block)
-        code_lines.append(code)
-        suppressed.append(suppressions(raw) | suppressions(previous_raw))
-        previous_raw = raw
+    def tick(phase: str, started: float) -> None:
+        if stats is not None:
+            phases = stats.setdefault("phases", {})
+            phases[phase] = phases.get(phase, 0.0) + (
+                time.perf_counter() - started)
 
-    violations: list[Violation] = []
-    for line_number, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
-        for rule in rules:
-            if rule not in RULES or rule in suppressed[line_number - 1]:
+    violations: list[Violation] = list(smap.hygiene_violations(path))
+
+    for rule in rules:
+        if rule not in RULES:
+            continue
+        started = time.perf_counter()
+        for line_number, (code, raw) in enumerate(
+                zip(code_lines, raw_lines), start=1):
+            if smap._cover.get((line_number, rule)) is not None:
+                if any(pattern.search(code) for pattern, _ in RULES[rule]):
+                    smap.suppressed(line_number, rule)
                 continue
             for pattern, message in RULES[rule]:
                 if pattern.search(code):
                     violations.append(
-                        Violation(path, line_number, rule, message, raw.strip())
-                    )
+                        Violation(path, line_number, rule, message,
+                                  raw.strip()))
                     break  # One report per rule per line.
+        tick(rule, started)
 
     if "raw-unit-double" in rules and path.suffix in (".h", ".hpp"):
-        violations.extend(
-            check_raw_unit_double(path, code_lines, raw_lines, suppressed))
+        started = time.perf_counter()
+        violations.extend(check_raw_unit_double(path, tokens, raw_lines, smap))
+        tick("raw-unit-double", started)
     if "include-layering" in rules:
         file_layer = layer if layer is not None else layer_of(path)
         if file_layer is not None:
+            started = time.perf_counter()
             violations.extend(
-                check_include_layering(path, raw_lines, file_layer, suppressed))
-    return violations
+                check_include_layering(path, raw_lines, file_layer, smap))
+            tick("include-layering", started)
+
+    if any(rule in rules for rule in
+           CROSS_TU_RULES + ("lock-across-schedule",)):
+        if index is None:
+            index = build_index([path])
+        started = time.perf_counter()
+        violations.extend(
+            analyze_cross_tu(path, raw_lines, tokens, rules, index, smap))
+        tick("cross-tu", started)
+
+    return LintResult(violations, smap)
+
+
+def lint_file(
+    path: pathlib.Path,
+    rules: Iterable[str],
+    layer: str | None = None,
+    index: ProjectIndex | None = None,
+) -> list[Violation]:
+    return _lint_file_ex(path, rules, layer=layer, index=index).violations
 
 
 def iter_sources(root: pathlib.Path, directory: str) -> Iterable[pathlib.Path]:
@@ -465,18 +1323,54 @@ def iter_sources(root: pathlib.Path, directory: str) -> Iterable[pathlib.Path]:
             yield path
 
 
-def lint_tree(root: pathlib.Path) -> list[Violation]:
+def lint_tree(root: pathlib.Path, stats: dict | None = None) -> list[Violation]:
     violations: list[Violation] = []
-    for directory in SIM_DIRS:
-        rules = ALL_RULES if directory in HOT_PATH_DIRS else SIM_RULES
+
+    started = time.perf_counter()
+    src_files = [p for d in sorted(DIR_RULES) for p in iter_sources(root, d)]
+    index = build_index(src_files)
+    if stats is not None:
+        stats.setdefault("phases", {})["index"] = (
+            time.perf_counter() - started)
+        stats["files"] = len(src_files)
+
+    # unmapped-dir: every directory under src/ must have an explicit rule set.
+    src_dir = root / "src"
+    if src_dir.is_dir():
+        for child in sorted(src_dir.iterdir()):
+            if child.is_dir() and f"src/{child.name}" not in DIR_RULES:
+                violations.append(Violation(
+                    child, 0, "unmapped-dir",
+                    f"src/{child.name} is not in mono_lint's DIR_RULES / "
+                    "layer DAG; add it with an explicit rule set",
+                    ""))
+
+    # undeclared-domain: every rostered component must carry MONO_DOMAIN.
+    for name in COMPONENT_ROSTER:
+        info = index.classes.get(name)
+        if info is None:
+            violations.append(Violation(
+                src_dir, 0, "undeclared-domain",
+                f"component class {name} (COMPONENT_ROSTER) was not found "
+                "by the indexer", ""))
+        elif info.domain is None:
+            violations.append(Violation(
+                info.path, info.line, "undeclared-domain",
+                f"{name} must declare MONO_DOMAIN(\"machine\"|\"fabric\"|"
+                "\"driver\"|\"storage\") (src/common/domain.h)", ""))
+
+    for directory in sorted(DIR_RULES):
         for path in iter_sources(root, directory):
-            violations.extend(lint_file(path, rules))
+            result = _lint_file_ex(path, DIR_RULES[directory], index=index,
+                                   stats=stats)
+            violations.extend(result.violations)
+            violations.extend(result.smap.unused_violations(path))
     for directory in BENCH_DIRS:
         for path in iter_sources(root, directory):
-            violations.extend(lint_file(path, BENCH_RULES))
-    for directory in LAYER_ONLY_DIRS:
-        for path in iter_sources(root, directory):
-            violations.extend(lint_file(path, ("include-layering",)))
+            result = _lint_file_ex(path, BENCH_RULES, index=index,
+                                   stats=stats)
+            violations.extend(result.violations)
+            violations.extend(result.smap.unused_violations(path))
     return violations
 
 
@@ -489,6 +1383,11 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--layer", default=None,
                         help="treat explicit files as members of this layer "
                              "(include-layering; e.g. src/simcore)")
+    parser.add_argument("--stats-json", default=None, type=pathlib.Path,
+                        help="write per-rule timing and finding counts here")
+    parser.add_argument("--budget-seconds", default=None, type=float,
+                        help="fail if the full run exceeds this wall-clock "
+                             "budget")
     parser.add_argument("files", nargs="*", type=pathlib.Path,
                         help="lint these files (full rule set) instead of the tree")
     args = parser.parse_args(argv)
@@ -501,24 +1400,57 @@ def main(argv: list[str]) -> int:
         parser.error(f"unknown layer {args.layer!r}; "
                      f"known: {', '.join(LAYER_DEPS)}")
 
+    stats: dict = {"phases": {}}
+    run_started = time.perf_counter()
     if args.files:
+        index = build_index(args.files)
         violations = []
         for path in args.files:
-            violations.extend(lint_file(path, rules, layer=args.layer))
+            violations.extend(
+                lint_file(path, rules, layer=args.layer, index=index))
     else:
-        violations = lint_tree(args.root)
+        violations = lint_tree(args.root, stats=stats)
+    elapsed = time.perf_counter() - run_started
 
+    violations.sort(key=lambda v: (str(v.path), v.line_number, v.rule))
     for v in violations:
         try:
             shown = v.path.resolve().relative_to(args.root.resolve())
         except ValueError:
             shown = v.path
         print(f"{shown}:{v.line_number}: [{v.rule}] {v.message}")
-        print(f"    {v.line}")
+        if v.line:
+            print(f"    {v.line}")
+
+    if args.stats_json is not None:
+        findings: dict[str, int] = {
+            rule: 0 for rule in ALL_RULES + TREE_RULES}
+        for v in violations:
+            findings[v.rule] = findings.get(v.rule, 0) + 1
+        payload = {
+            "total_seconds": round(elapsed, 4),
+            "files": stats.get("files", len(args.files)),
+            "budget_seconds": args.budget_seconds,
+            # Phase seconds: one entry per regex rule plus "index",
+            # "raw-unit-double", "include-layering", and "cross-tu" (the
+            # shared pass behind escaping-capture / domain-ownership /
+            # lock-across-schedule).
+            "phase_seconds": {
+                k: round(s, 4) for k, s in sorted(stats["phases"].items())},
+            "findings": findings,
+        }
+        args.stats_json.write_text(json.dumps(payload, indent=2) + "\n",
+                                   encoding="utf-8")
+
+    status = 0
     if violations:
         print(f"mono_lint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        print(f"mono_lint: run took {elapsed:.2f}s, over the "
+              f"{args.budget_seconds:.2f}s budget", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

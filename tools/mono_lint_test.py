@@ -19,6 +19,13 @@ def rules_found(name: str, rules=mono_lint.ALL_RULES) -> list[str]:
     return [v.rule for v in mono_lint.lint_file(FIXTURES / name, rules)]
 
 
+def cross_tu_found(name: str, rules) -> list[mono_lint.Violation]:
+    """Lints one fixture with an index built from that fixture alone."""
+    path = FIXTURES / name
+    index = mono_lint.build_index([path])
+    return mono_lint.lint_file(path, rules, index=index)
+
+
 class WallClockRuleTest(unittest.TestCase):
     def test_flags_every_wall_clock_source(self) -> None:
         found = rules_found("bad_wall_clock.cc")
@@ -65,8 +72,9 @@ class StdFunctionHotPathRuleTest(unittest.TestCase):
         # Only src/simcore is linted with the rule: the layers above wrap
         # their callbacks before they reach the kernel, and config-time
         # std::function there is legitimate.
-        self.assertEqual(mono_lint.HOT_PATH_DIRS, ("src/simcore",))
-        self.assertNotIn("std-function-hot-path", mono_lint.SIM_RULES)
+        hot = [d for d, rules in mono_lint.DIR_RULES.items()
+               if "std-function-hot-path" in rules]
+        self.assertEqual(hot, ["src/simcore"])
         self.assertIn("std-function-hot-path", mono_lint.ALL_RULES)
 
 
@@ -167,20 +175,166 @@ class RuleSubsetTest(unittest.TestCase):
         found = rules_found("bad_wall_clock.cc", mono_lint.BENCH_RULES)
         self.assertEqual(found, [])
 
-    def test_tree_scope_excludes_engine_and_api(self) -> None:
-        for directory in mono_lint.SIM_DIRS:
-            self.assertNotIn("engine", directory)
-            self.assertNotIn("api", directory)
+    def test_every_layer_has_an_explicit_rule_set(self) -> None:
+        # DIR_RULES and the layer DAG must cover exactly the same directories:
+        # the unmapped-dir tree check relies on this being exhaustive.
+        self.assertEqual(sorted(mono_lint.DIR_RULES), sorted(mono_lint.LAYER_DEPS))
 
-    def test_new_rules_are_active_in_sim_dirs(self) -> None:
-        self.assertIn("raw-unit-double", mono_lint.SIM_RULES)
-        self.assertIn("include-layering", mono_lint.SIM_RULES)
-        self.assertIn("raw-unit-double", mono_lint.ALL_RULES)
-        self.assertIn("include-layering", mono_lint.ALL_RULES)
+    def test_determinism_rules_stay_out_of_the_wall_clock_world(self) -> None:
+        # src/engine and src/api run on real threads and the real clock; only
+        # the layer boundary and the lambda/lock discipline apply there.
+        for directory in ("src/common", "src/engine", "src/api"):
+            rules = set(mono_lint.DIR_RULES[directory])
+            self.assertNotIn("wall-clock", rules, directory)
+            self.assertNotIn("entropy", rules, directory)
+            self.assertIn("include-layering", rules, directory)
+        self.assertIn("lock-across-schedule", mono_lint.DIR_RULES["src/engine"])
+        self.assertIn("escaping-capture", mono_lint.DIR_RULES["src/engine"])
+        self.assertIn("escaping-capture", mono_lint.DIR_RULES["src/api"])
 
-    def test_engine_and_api_are_layer_checked_only(self) -> None:
-        self.assertEqual(mono_lint.LAYER_ONLY_DIRS,
-                         ("src/common", "src/engine", "src/api"))
+    def test_cross_tu_rules_are_active_in_sim_dirs(self) -> None:
+        for directory in ("src/simcore", "src/cluster", "src/monotask",
+                          "src/multitask", "src/framework", "src/storage"):
+            rules = set(mono_lint.DIR_RULES[directory])
+            self.assertIn("escaping-capture", rules, directory)
+            self.assertIn("domain-ownership", rules, directory)
+            self.assertIn("raw-unit-double", rules, directory)
+            self.assertIn("include-layering", rules, directory)
+
+
+class EscapingCaptureRuleTest(unittest.TestCase):
+    def test_firing_fixture_flags_every_escape_form(self) -> None:
+        violations = cross_tu_found("bad_escaping_capture.cc",
+                                    ["escaping-capture"])
+        self.assertEqual({v.rule for v in violations}, {"escaping-capture"})
+        # &local, [&] default, `this` in a non-sim-owned class, init-capture
+        # taking an address.
+        self.assertEqual(len(violations), 4)
+        joined = " ".join(v.message for v in violations)
+        self.assertIn("`&local_total`", joined)
+        self.assertIn("[&] default capture", joined)
+        self.assertIn("`this` captured", joined)
+        self.assertIn("init-capture `total`", joined)
+
+    def test_clean_twin_is_quiet(self) -> None:
+        self.assertEqual(
+            cross_tu_found("good_escaping_capture.cc", ["escaping-capture"]),
+            [])
+
+
+class DomainOwnershipRuleTest(unittest.TestCase):
+    def test_firing_fixture_flags_unsanctioned_mutations(self) -> None:
+        violations = cross_tu_found("bad_domain_ownership.cc",
+                                    ["domain-ownership"])
+        self.assertEqual({v.rule for v in violations}, {"domain-ownership"})
+        # The Poke() call and the flows_ assignment; the ctor call, const
+        # query, and sanctioned StartFlow stay quiet.
+        self.assertEqual(len(violations), 2)
+        joined = " ".join(v.message for v in violations)
+        self.assertIn("calls NetworkFabricSim::Poke", joined)
+        self.assertIn("assigns to NetworkFabricSim::flows_", joined)
+
+    def test_clean_twin_is_quiet(self) -> None:
+        self.assertEqual(
+            cross_tu_found("good_domain_ownership.cc", ["domain-ownership"]),
+            [])
+
+
+class LockAcrossScheduleRuleTest(unittest.TestCase):
+    def test_firing_fixture_flags_calls_under_the_lock(self) -> None:
+        violations = cross_tu_found("bad_lock_across_schedule.cc",
+                                    ["lock-across-schedule"])
+        self.assertEqual({v.rule for v in violations},
+                         {"lock-across-schedule"})
+        # Scheduler Submit, the submit_ routing functor, and bare
+        # ScheduleAfter, all inside the MutexLock scope.
+        self.assertEqual(len(violations), 3)
+
+    def test_clean_twin_submits_after_release(self) -> None:
+        self.assertEqual(
+            cross_tu_found("good_lock_across_schedule.cc",
+                           ["lock-across-schedule"]),
+            [])
+
+
+class ProjectIndexTest(unittest.TestCase):
+    def test_domains_members_accessors_and_const_methods(self) -> None:
+        index = mono_lint.build_index([FIXTURES / "bad_domain_ownership.cc"])
+        fabric = index.classes["NetworkFabricSim"]
+        driver = index.classes["DriverSim"]
+        self.assertEqual(fabric.domain, "fabric")
+        self.assertEqual(driver.domain, "driver")
+        self.assertFalse(driver.sim_owned)
+        self.assertEqual(driver.members.get("fabric_"), "NetworkFabricSim")
+        self.assertEqual(driver.accessors.get("fabric"), "NetworkFabricSim")
+        self.assertIn("flows", fabric.const_methods)
+
+    def test_sim_owned_flag_is_indexed(self) -> None:
+        index = mono_lint.build_index([FIXTURES / "good_escaping_capture.cc"])
+        self.assertTrue(index.classes["OwnedTaskSim"].sim_owned)
+        self.assertFalse(index.classes["DiskSchedulerSim"].sim_owned)
+
+
+class SuppressionHygieneTest(unittest.TestCase):
+    def test_tag_without_a_reason_is_flagged(self) -> None:
+        scratch = FIXTURES / "scratch_bare_tag.cc"
+        try:
+            scratch.write_text("// mono_lint: allow(entropy)\nint x = 0;\n")
+            found = [v.rule for v in mono_lint.lint_file(scratch, ["entropy"])]
+            self.assertEqual(found, ["suppression-hygiene"])
+        finally:
+            scratch.unlink()
+
+    def test_unknown_rule_in_tag_is_flagged(self) -> None:
+        scratch = FIXTURES / "scratch_unknown_tag.cc"
+        try:
+            scratch.write_text(
+                "// mono_lint: allow(no-such-rule) -- reasoned.\nint x = 0;\n")
+            found = [v.rule for v in mono_lint.lint_file(scratch, ["entropy"])]
+            self.assertEqual(found, ["suppression-hygiene"])
+        finally:
+            scratch.unlink()
+
+    def test_unused_tag_is_reported_as_stale(self) -> None:
+        scratch = FIXTURES / "scratch_stale_tag.cc"
+        try:
+            scratch.write_text(
+                "// mono_lint: allow(entropy) -- nothing below uses entropy.\n"
+                "int x = 0;\n")
+            result = mono_lint._lint_file_ex(scratch, ["entropy"])
+            self.assertEqual(result.violations, [])
+            stale = result.smap.unused_violations(scratch)
+            self.assertEqual([v.rule for v in stale], ["suppression-hygiene"])
+            self.assertIn("unused suppression", stale[0].message)
+        finally:
+            scratch.unlink()
+
+    def test_used_tag_with_reason_is_quiet(self) -> None:
+        scratch = FIXTURES / "scratch_used_tag.cc"
+        try:
+            scratch.write_text(
+                "// mono_lint: allow(entropy) -- fixture exercises the tag.\n"
+                "int x = rand();\n")
+            result = mono_lint._lint_file_ex(scratch, ["entropy"])
+            self.assertEqual(result.violations, [])
+            self.assertEqual(result.smap.unused_violations(scratch), [])
+        finally:
+            scratch.unlink()
+
+
+class UnmappedDirTest(unittest.TestCase):
+    def test_new_src_directory_fails_the_tree(self) -> None:
+        import shutil
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "src" / "newdir").mkdir(parents=True)
+            (root / "src" / "newdir" / "thing.h").write_text("int x = 0;\n")
+            violations = mono_lint.lint_tree(root)
+            unmapped = [v for v in violations if v.rule == "unmapped-dir"]
+            self.assertEqual(len(unmapped), 1)
+            self.assertIn("src/newdir", unmapped[0].message)
+            shutil.rmtree(root / "src")
 
 
 class CommentAndStringStrippingTest(unittest.TestCase):
